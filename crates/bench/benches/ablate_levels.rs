@@ -1,0 +1,40 @@
+//! Ablation A1 (paper finding 4): level-list vs. reverse-walk orders for
+//! the intermediate backward heuristic pass. The paper concludes the two
+//! are equivalent; this bench lets Criterion confirm the difference is
+//! in the noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_bench::run_benchmark;
+use dagsched_core::{BackwardOrder, ConstructionAlgorithm, MemDepPolicy};
+use dagsched_isa::MachineModel;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn bench_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_levels");
+    group.sample_size(10);
+    let model = MachineModel::sparc2();
+    for name in ["linpack", "fpppp"] {
+        let bench = generate(BenchmarkProfile::by_name(name).unwrap(), PAPER_SEED);
+        for (label, order) in [
+            ("reverse-walk", BackwardOrder::ReverseWalk),
+            ("level-lists", BackwardOrder::LevelLists),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), &bench, |b, bench| {
+                b.iter(|| {
+                    run_benchmark(
+                        bench,
+                        &model,
+                        ConstructionAlgorithm::TableBackward,
+                        MemDepPolicy::SymbolicExpr,
+                        order,
+                        false,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

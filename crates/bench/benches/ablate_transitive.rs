@@ -1,0 +1,46 @@
+//! Ablation A2 (paper finding 3): the cost of transitive-arc avoidance.
+//!
+//! Landskov pruning and reachability-bitmap suppression remove transitive
+//! arcs at extra construction cost — and lose the Figure 1 timing
+//! information. This bench measures the cost side on tomcatv, the paper's
+//! densest benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_bench::run_benchmark;
+use dagsched_core::{BackwardOrder, ConstructionAlgorithm, MemDepPolicy};
+use dagsched_isa::MachineModel;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn bench_transitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_transitive");
+    group.sample_size(10);
+    let model = MachineModel::sparc2();
+    let bench = generate(BenchmarkProfile::by_name("tomcatv").unwrap(), PAPER_SEED);
+    for algo in [
+        ConstructionAlgorithm::N2Forward,
+        ConstructionAlgorithm::N2ForwardLandskov,
+        ConstructionAlgorithm::TableBackward,
+        ConstructionAlgorithm::TableBackwardBitmap,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    run_benchmark(
+                        bench,
+                        &model,
+                        algo,
+                        MemDepPolicy::SymbolicExpr,
+                        BackwardOrder::ReverseWalk,
+                        false,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Raw DAG construction cost: all six algorithms over one prepared
+//! benchmark (no heuristic or scheduling pass) — isolates the §2
+//! comparison from the full pipeline of Tables 4/5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_core::{ConstructionAlgorithm, MemDepPolicy, PreparedBlock};
+use dagsched_isa::MachineModel;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    let model = MachineModel::sparc2();
+    let bench = generate(BenchmarkProfile::by_name("tomcatv").unwrap(), PAPER_SEED);
+    let prepared: Vec<PreparedBlock> = bench
+        .blocks
+        .iter()
+        .map(|b| PreparedBlock::new(bench.program.block_insns(b)))
+        .collect();
+    for &algo in ConstructionAlgorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &prepared,
+            |b, blocks| {
+                b.iter(|| {
+                    let mut arcs = 0usize;
+                    for block in blocks {
+                        arcs += algo
+                            .run(block, &model, MemDepPolicy::SymbolicExpr)
+                            .arc_count();
+                    }
+                    arcs
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Cost of the six published scheduling algorithms (Table 2) over a
+//! common workload — complements Tables 4/5, which fix the scheduler and
+//! vary DAG construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_isa::MachineModel;
+use dagsched_sched::{Scheduler, SchedulerKind};
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    group.sample_size(10);
+    let model = MachineModel::sparc2();
+    let bench = generate(BenchmarkProfile::by_name("linpack").unwrap(), PAPER_SEED);
+    for &kind in SchedulerKind::ALL {
+        let sched = Scheduler::new(kind);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    for block in &bench.blocks {
+                        let insns = bench.program.block_insns(block);
+                        if !insns.is_empty() {
+                            let _ = sched.schedule_block(insns, &model);
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 3: benchmark generation + structural statistics.
+//!
+//! Benchmarks the workload generator and the per-block structural
+//! statistics that feed Table 3 (block sizes, unique memory expressions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_stats::block_structure;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_structure");
+    group.sample_size(10);
+    for name in ["grep", "linpack", "tomcatv", "fpppp"] {
+        let profile = BenchmarkProfile::by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("generate", name), profile, |b, p| {
+            b.iter(|| generate(p, PAPER_SEED));
+        });
+        let bench = generate(profile, PAPER_SEED);
+        group.bench_with_input(BenchmarkId::new("stats", name), &bench, |b, bench| {
+            b.iter(|| block_structure(&bench.program, &bench.blocks));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 4: the `n**2` (compare-against-all) scheduling pipeline.
+//!
+//! One benchmark per Table 4 row: DAG construction by the `n**2` forward
+//! algorithm, the intermediate backward heuristic pass, and the simple
+//! forward scheduling pass — the paper's three-step cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_bench::run_benchmark;
+use dagsched_core::{BackwardOrder, ConstructionAlgorithm, MemDepPolicy};
+use dagsched_isa::MachineModel;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_n2");
+    group.sample_size(10);
+    let model = MachineModel::sparc2();
+    // The full Table 4 row set runs in the `tables` binary; Criterion
+    // covers a representative spread (small blocks, FP kernels, and the
+    // windowed fpppp the paper stopped at).
+    for name in ["grep", "linpack", "tomcatv", "nasa7", "fpppp-1000"] {
+        let bench = generate(BenchmarkProfile::by_name(name).unwrap(), PAPER_SEED);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &bench, |b, bench| {
+            b.iter(|| {
+                run_benchmark(
+                    bench,
+                    &model,
+                    ConstructionAlgorithm::N2Forward,
+                    MemDepPolicy::SymbolicExpr,
+                    BackwardOrder::ReverseWalk,
+                    false,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 5: the table-building scheduling pipelines (forward & backward).
+//!
+//! The headline comparison: table building stays fast even on the full
+//! fpppp with its 11750-instruction block, and the forward and backward
+//! variants are essentially equivalent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_bench::run_benchmark;
+use dagsched_core::{BackwardOrder, ConstructionAlgorithm, MemDepPolicy};
+use dagsched_isa::MachineModel;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_table");
+    group.sample_size(10);
+    let model = MachineModel::sparc2();
+    for name in ["grep", "linpack", "tomcatv", "fpppp-1000", "fpppp"] {
+        let bench = generate(BenchmarkProfile::by_name(name).unwrap(), PAPER_SEED);
+        for (label, algo) in [
+            ("forward", ConstructionAlgorithm::TableForward),
+            ("backward", ConstructionAlgorithm::TableBackward),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), &bench, |b, bench| {
+                b.iter(|| {
+                    run_benchmark(
+                        bench,
+                        &model,
+                        algo,
+                        MemDepPolicy::SymbolicExpr,
+                        BackwardOrder::ReverseWalk,
+                        false,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p dagsched-bench --bin tables -- all
+//! cargo run --release -p dagsched-bench --bin tables -- table4 --runs 5
+//! ```
+//!
+//! Artifacts: `table1`, `table2`, `table3`, `table4`, `table5`, `fig1`,
+//! `ablate-levels`, `ablate-transitive`, or `all`. Options: `--seed N`
+//! (default 1991), `--runs N` (default 3, the timing average count).
+
+use dagsched_bench::rows;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut seed = dagsched_workloads::PAPER_SEED;
+    let mut runs = 3u32;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--runs needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".into());
+    }
+    let all = artifacts.iter().any(|a| a == "all");
+    let want = |name: &str| all || artifacts.iter().any(|a| a == name);
+
+    if want("table1") {
+        section("Table 1. Various heuristics");
+        print!("{}", rows::table1());
+    }
+    if want("table2") {
+        section("Table 2. Various scheduling algorithms");
+        print!("{}", rows::table2());
+    }
+    if want("table3") {
+        section(&format!(
+            "Table 3. Structural data for benchmarks (seed {seed}, independent of approach)"
+        ));
+        print!("{}", rows::table3(seed));
+    }
+    if want("table4") {
+        section(&format!(
+            "Table 4. Scheduling run times and structural data for n**2 approach \
+             (seed {seed}, avg of {runs} runs)"
+        ));
+        print!("{}", rows::table4(seed, runs));
+    }
+    if want("table5") {
+        section(&format!(
+            "Table 5. Scheduling run times and structural data for table-building \
+             approaches (seed {seed}, avg of {runs} runs)"
+        ));
+        print!("{}", rows::table5(seed, runs));
+    }
+    if want("fig1") {
+        section("Figure 1. Importance of transitive arcs");
+        print!("{}", rows::figure1());
+    }
+    if want("ablate-levels") {
+        section(&format!(
+            "Ablation A1 (finding 4): level lists vs reverse walk (seed {seed}, avg of {runs})"
+        ));
+        print!("{}", rows::ablate_levels(seed, runs));
+    }
+    if want("ablate-transitive") {
+        section(&format!(
+            "Ablation A2 (finding 3): transitive-arc avoidance (seed {seed}, avg of {runs})"
+        ));
+        print!("{}", rows::ablate_transitive(seed, runs));
+    }
+    if want("ablate-optimal") {
+        section(&format!(
+            "Ablation A3 (§7): branch-and-bound optimum vs heuristics on small blocks \
+             (grep, blocks <= 16, seed {seed})"
+        ));
+        print!("{}", rows::ablate_optimal(seed, "grep", 16));
+    }
+    if want("ablate-alternate") {
+        section(&format!(
+            "Ablation A4 (§3): alternate-type heuristic on a dual-issue machine \
+             (linpack, seed {seed})"
+        ));
+        print!("{}", rows::ablate_alternate(seed, "linpack"));
+    }
+    if want("heur-overhead") {
+        section(&format!(
+            "Pipeline phase breakdown (context for finding 6; seed {seed}, avg of {runs})"
+        ));
+        print!("{}", rows::heur_overhead(seed, runs));
+    }
+    if want("windows") {
+        section(&format!(
+            "Window sweep (§6): n**2 vs table building under instruction windows \
+             (nasa7, seed {seed}, avg of {runs})"
+        ));
+        print!("{}", rows::window_sweep(seed, runs));
+    }
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: tables [table1|table2|table3|table4|table5|fig1|ablate-levels|ablate-transitive|ablate-optimal|ablate-alternate|heur-overhead|windows|all]... \
+         [--seed N] [--runs N]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,17 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper (Tables 1–5, Figure 1) plus the ablations behind its findings.
+//!
+//! * [`pipeline`] — the §6 measurement pipeline (DAG construction →
+//!   intermediate heuristic pass → simple forward scheduling pass).
+//! * [`rows`] — one function per paper artifact, each returning a
+//!   printable table.
+//! * the `tables` binary — `cargo run -p dagsched-bench --bin tables
+//!   --release -- all` prints everything; see `EXPERIMENTS.md` for
+//!   recorded output.
+//! * Criterion benches (`benches/`) — statistically sound timing per
+//!   table.
+
+pub mod pipeline;
+pub mod rows;
+
+pub use pipeline::{run_benchmark, simple_forward_scheduler, PipelineResult};

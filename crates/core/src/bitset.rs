@@ -1,0 +1,173 @@
+//! A fixed-capacity bit set used for reachability maps.
+//!
+//! The paper (§2, §3) uses "reachability bit maps ... one bit position per
+//! node" both to suppress transitive arcs during backward DAG construction
+//! and to compute the `#descendants` heuristic as a population count. This
+//! is that structure.
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+///
+/// ```
+/// use dagsched_core::BitSet;
+/// let mut a = BitSet::new(100);
+/// a.insert(3);
+/// a.insert(99);
+/// assert!(a.contains(3));
+/// assert!(!a.contains(4));
+/// assert_eq!(a.count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert `ix`. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix >= capacity`.
+    pub fn insert(&mut self, ix: usize) -> bool {
+        assert!(
+            ix < self.capacity,
+            "bit index {ix} out of capacity {}",
+            self.capacity
+        );
+        let (w, b) = (ix / 64, ix % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Remove `ix` from the set.
+    pub fn remove(&mut self, ix: usize) {
+        if ix < self.capacity {
+            self.words[ix / 64] &= !(1 << (ix % 64));
+        }
+    }
+
+    /// Whether `ix` is in the set.
+    pub fn contains(&self, ix: usize) -> bool {
+        ix < self.capacity && self.words[ix / 64] & (1 << (ix % 64)) != 0
+    }
+
+    /// In-place union (`self |= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Population count: number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports not-new");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(2);
+        b.insert(70);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 70]);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut s = BitSet::new(200);
+        let ixs = [0usize, 5, 63, 64, 65, 127, 128, 199];
+        for &i in &ixs {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), ixs.to_vec());
+        assert_eq!(s.count(), ixs.len());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_capacity_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(20);
+        a.union_with(&b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Landskov et al. transitive-arc-avoiding `n**2` construction.
+
+use dagsched_isa::MachineModel;
+
+use crate::bitset::BitSet;
+use crate::construct::n2::strongest_dep;
+use crate::dag::{Dag, NodeId};
+use crate::memdep::MemDepPolicy;
+use crate::prepare::PreparedBlock;
+
+/// Forward `n**2` construction with the Landskov et al. modification:
+/// "examines leaves first and prunes away any ancestors whenever a
+/// dependency is observed" (paper §2), preventing **all** transitive arcs.
+///
+/// For each new node the previous nodes are scanned *most-recent-first*
+/// (the most recent dependent nodes are leaves of the partial DAG). A
+/// per-node ancestor bitmap is maintained; once a dependence to `j` is
+/// recorded, `j` and all of `j`'s ancestors are covered and any direct
+/// dependence on them is pruned.
+///
+/// The paper recommends **against** this variant (finding 3): some
+/// transitive arcs carry timing information that the remaining short-delay
+/// path (e.g. a 1-cycle WAR arc) does not, so heuristics such as earliest
+/// execution time become inaccurate. See `tests/figure1.rs` for the
+/// demonstration.
+pub fn n2_forward_landskov(
+    block: &PreparedBlock<'_>,
+    model: &MachineModel,
+    policy: MemDepPolicy,
+) -> Dag {
+    let n = block.len();
+    let mut dag = Dag::new(n);
+    let mut ancestors: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for i in 0..n {
+        for j in (0..i).rev() {
+            if ancestors[i].contains(j) {
+                continue; // already ordered transitively: prune
+            }
+            if let Some((kind, lat)) = strongest_dep(block, model, policy, j, i) {
+                dag.add_arc(NodeId::new(j), NodeId::new(i), kind, lat);
+                let (lo, hi) = ancestors.split_at_mut(i);
+                hi[0].union_with(&lo[j]);
+                hi[0].insert(j);
+            }
+        }
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::n2::n2_forward;
+    use dagsched_isa::{DepKind, Instruction, Opcode, Reg};
+
+    fn model() -> MachineModel {
+        MachineModel::sparc2()
+    }
+
+    #[test]
+    fn prunes_transitive_raw_chain() {
+        let insns = vec![
+            Instruction::int_imm(Opcode::Add, Reg::o(0), 1, Reg::o(1)),
+            Instruction::int_imm(Opcode::Add, Reg::o(1), 1, Reg::o(2)),
+            Instruction::int3(Opcode::Add, Reg::o(1), Reg::o(2), Reg::o(3)),
+        ];
+        let block = PreparedBlock::new(&insns);
+        let full = n2_forward(&block, &model(), MemDepPolicy::SymbolicExpr);
+        let pruned = n2_forward_landskov(&block, &model(), MemDepPolicy::SymbolicExpr);
+        assert_eq!(full.arc_count(), 3);
+        assert_eq!(pruned.arc_count(), 2);
+        assert!(pruned.arc_between(NodeId::new(0), NodeId::new(2)).is_none());
+    }
+
+    #[test]
+    fn drops_figure1_timing_arc() {
+        // The paper's Figure 1: the pruned DAG loses the 20-cycle RAW arc
+        // because the WAR(1)+RAW(4) path already orders the pair — this is
+        // exactly why the paper recommends against the variant.
+        let insns = vec![
+            Instruction::fp3(Opcode::FDivD, Reg::f(1), Reg::f(2), Reg::f(3)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(4), Reg::f(5), Reg::f(1)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(1), Reg::f(3), Reg::f(6)),
+        ];
+        let block = PreparedBlock::new(&insns);
+        let pruned = n2_forward_landskov(&block, &model(), MemDepPolicy::SymbolicExpr);
+        assert!(pruned.arc_between(NodeId::new(0), NodeId::new(2)).is_none());
+        // The ordering is still covered transitively…
+        assert!(pruned
+            .longest_path(NodeId::new(0), NodeId::new(2))
+            .is_some());
+        // …but the path latency (1 + 4) understates the true 20-cycle delay.
+        assert_eq!(pruned.longest_path(NodeId::new(0), NodeId::new(2)), Some(5));
+    }
+
+    #[test]
+    fn reachability_is_preserved() {
+        let insns = vec![
+            Instruction::int_imm(Opcode::Add, Reg::o(0), 1, Reg::o(1)),
+            Instruction::int_imm(Opcode::Add, Reg::o(1), 1, Reg::o(2)),
+            Instruction::int_imm(Opcode::Add, Reg::o(2), 1, Reg::o(1)),
+            Instruction::int3(Opcode::Add, Reg::o(1), Reg::o(2), Reg::o(3)),
+        ];
+        let block = PreparedBlock::new(&insns);
+        let full = n2_forward(&block, &model(), MemDepPolicy::SymbolicExpr);
+        let pruned = n2_forward_landskov(&block, &model(), MemDepPolicy::SymbolicExpr);
+        for i in 0..insns.len() {
+            for j in i + 1..insns.len() {
+                let a = full.longest_path(NodeId::new(i), NodeId::new(j)).is_some();
+                let b = pruned
+                    .longest_path(NodeId::new(i), NodeId::new(j))
+                    .is_some();
+                assert_eq!(a, b, "reachability differs for {i}->{j}");
+            }
+        }
+        assert!(pruned.arc_count() <= full.arc_count());
+    }
+
+    #[test]
+    fn diamond_keeps_both_parents() {
+        // 0 defs %o1, 1 defs %o2 (independent), 2 uses both: both arcs stay.
+        let insns = vec![
+            Instruction::int_imm(Opcode::Add, Reg::o(0), 1, Reg::o(1)),
+            Instruction::int_imm(Opcode::Add, Reg::o(0), 2, Reg::o(2)),
+            Instruction::int3(Opcode::Add, Reg::o(1), Reg::o(2), Reg::o(3)),
+        ];
+        let block = PreparedBlock::new(&insns);
+        let pruned = n2_forward_landskov(&block, &model(), MemDepPolicy::SymbolicExpr);
+        assert_eq!(pruned.arc_count(), 2);
+        assert_eq!(
+            pruned
+                .arc_between(NodeId::new(0), NodeId::new(2))
+                .unwrap()
+                .kind,
+            DepKind::Raw
+        );
+        assert_eq!(
+            pruned
+                .arc_between(NodeId::new(1), NodeId::new(2))
+                .unwrap()
+                .kind,
+            DepKind::Raw
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! The dependence DAG.
+
+use std::fmt;
+
+use dagsched_isa::DepKind;
+
+use crate::bitset::BitSet;
+
+/// Identifier of a DAG node. Node `i` always corresponds to the `i`-th
+/// instruction of the basic block the DAG was built from, so arcs always
+/// point from lower to higher original index (program-forward), regardless
+/// of whether the DAG was *constructed* by a forward or a backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Construct from a raw index.
+    pub fn new(ix: usize) -> NodeId {
+        NodeId(ix as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a DAG arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(u32);
+
+impl ArcId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dependence arc: `from` must precede `to`.
+///
+/// When several dependencies connect the same ordered pair of nodes (e.g.
+/// an RAW on one register and a WAR on another), they are merged into a
+/// single arc carrying the *strongest* dependence: maximum latency, with
+/// ties broken RAW > WAW > WAR. This keeps the paper's per-block arc
+/// statistics meaningful and matches how its schedulers consume arcs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagArc {
+    /// Parent (earlier) node.
+    pub from: NodeId,
+    /// Child (later) node.
+    pub to: NodeId,
+    /// Dependence kind of the strongest merged dependence.
+    pub kind: DepKind,
+    /// Arc delay in cycles.
+    pub latency: u32,
+}
+
+/// Per-node adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct DagNode {
+    /// Outgoing arcs (to children).
+    pub out: Vec<ArcId>,
+    /// Incoming arcs (from parents).
+    pub inc: Vec<ArcId>,
+}
+
+fn kind_rank(kind: DepKind) -> u8 {
+    match kind {
+        DepKind::Raw => 2,
+        DepKind::Waw => 1,
+        DepKind::War => 0,
+    }
+}
+
+/// A dependence DAG over one basic block.
+///
+/// Nodes are created up front (one per instruction); arcs are added by the
+/// construction algorithms via [`Dag::add_arc`].
+///
+/// ```
+/// use dagsched_core::{Dag, NodeId};
+/// use dagsched_isa::DepKind;
+/// let mut dag = Dag::new(3);
+/// dag.add_arc(NodeId::new(0), NodeId::new(1), DepKind::War, 1);
+/// dag.add_arc(NodeId::new(1), NodeId::new(2), DepKind::Raw, 4);
+/// assert_eq!(dag.roots(), vec![NodeId::new(0)]);
+/// assert_eq!(dag.leaves(), vec![NodeId::new(2)]);
+/// assert_eq!(dag.arc_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dag {
+    nodes: Vec<DagNode>,
+    arcs: Vec<DagArc>,
+}
+
+impl Dag {
+    /// A DAG with `n` isolated nodes.
+    pub fn new(n: usize) -> Dag {
+        Dag {
+            nodes: vec![DagNode::default(); n],
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (merged) arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[DagArc] {
+        &self.arcs
+    }
+
+    /// Arc by id.
+    pub fn arc(&self, id: ArcId) -> &DagArc {
+        &self.arcs[id.0 as usize]
+    }
+
+    /// Add (or merge) a dependence arc from `from` to `to`.
+    ///
+    /// Returns `true` if a new arc was created, `false` if an existing arc
+    /// between the pair absorbed the dependence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either id is out of range (a self-arc
+    /// would make the graph cyclic; construction algorithms must filter
+    /// same-instruction def/use overlap).
+    pub fn add_arc(&mut self, from: NodeId, to: NodeId, kind: DepKind, latency: u32) -> bool {
+        assert_ne!(from, to, "self-arc on {from}");
+        // Merge with an existing arc between the same ordered pair.
+        for &aid in &self.nodes[from.index()].out {
+            let arc = &mut self.arcs[aid.0 as usize];
+            if arc.to == to {
+                if latency > arc.latency
+                    || (latency == arc.latency && kind_rank(kind) > kind_rank(arc.kind))
+                {
+                    arc.latency = latency;
+                    arc.kind = kind;
+                }
+                return false;
+            }
+        }
+        let aid = ArcId(self.arcs.len() as u32);
+        self.arcs.push(DagArc {
+            from,
+            to,
+            kind,
+            latency,
+        });
+        self.nodes[from.index()].out.push(aid);
+        self.nodes[to.index()].inc.push(aid);
+        true
+    }
+
+    /// The merged arc between `from` and `to`, if any.
+    pub fn arc_between(&self, from: NodeId, to: NodeId) -> Option<&DagArc> {
+        self.nodes[from.index()]
+            .out
+            .iter()
+            .map(|&aid| &self.arcs[aid.0 as usize])
+            .find(|a| a.to == to)
+    }
+
+    /// Outgoing arcs of `n` (to its children).
+    pub fn out_arcs(&self, n: NodeId) -> impl Iterator<Item = &DagArc> {
+        self.nodes[n.index()]
+            .out
+            .iter()
+            .map(|&a| &self.arcs[a.0 as usize])
+    }
+
+    /// Incoming arcs of `n` (from its parents).
+    pub fn in_arcs(&self, n: NodeId) -> impl Iterator<Item = &DagArc> {
+        self.nodes[n.index()]
+            .inc
+            .iter()
+            .map(|&a| &self.arcs[a.0 as usize])
+    }
+
+    /// Children of `n`.
+    pub fn children(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_arcs(n).map(|a| a.to)
+    }
+
+    /// Parents of `n`.
+    pub fn parents(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_arcs(n).map(|a| a.from)
+    }
+
+    /// Out-degree (the `#children` heuristic).
+    pub fn num_children(&self, n: NodeId) -> usize {
+        self.nodes[n.index()].out.len()
+    }
+
+    /// In-degree (the `#parents` heuristic).
+    pub fn num_parents(&self, n: NodeId) -> usize {
+        self.nodes[n.index()].inc.len()
+    }
+
+    /// Root nodes (no parents), in original order. With a forest this
+    /// returns the roots of every tree — the paper's "dummy root" trick is
+    /// equivalent to seeding a scheduler's candidate list with this set.
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].inc.is_empty())
+            .map(NodeId::new)
+            .collect()
+    }
+
+    /// Leaf nodes (no children), in original order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].out.is_empty())
+            .map(NodeId::new)
+            .collect()
+    }
+
+    /// All node ids in original (program) order. Because arcs always point
+    /// program-forward, this is also a topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Descendant reachability bitmaps: `maps[i]` contains `i` and every
+    /// node reachable from `i`. This is the paper's `#descendants`
+    /// machinery ("the #descendants is then merely the population count on
+    /// the reachability bit map minus one").
+    pub fn descendant_maps(&self) -> Vec<BitSet> {
+        let n = self.nodes.len();
+        let mut maps: Vec<BitSet> = (0..n)
+            .map(|i| {
+                let mut b = BitSet::new(n);
+                b.insert(i);
+                b
+            })
+            .collect();
+        // Reverse original order is reverse-topological: children first.
+        for i in (0..n).rev() {
+            let child_ids: Vec<usize> = self.nodes[i]
+                .out
+                .iter()
+                .map(|&a| self.arcs[a.0 as usize].to.index())
+                .collect();
+            for c in child_ids {
+                let (left, right) = maps.split_at_mut(c.max(i));
+                let (a, b) = if c > i {
+                    (&mut left[i], &right[0])
+                } else {
+                    unreachable!("arcs point program-forward")
+                };
+                a.union_with(b);
+            }
+        }
+        maps
+    }
+
+    /// Verify acyclicity and program-forward arc orientation. All
+    /// construction algorithms in this crate maintain both invariants by
+    /// construction; this is a checking aid for tests and debug builds.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for arc in &self.arcs {
+            if arc.from.index() >= arc.to.index() {
+                return Err(format!(
+                    "arc {} -> {} is not program-forward",
+                    arc.from, arc.to
+                ));
+            }
+            if arc.to.index() >= self.nodes.len() {
+                return Err(format!("arc target {} out of range", arc.to));
+            }
+        }
+        Ok(())
+    }
+
+    /// Longest weighted path length from `from` to `to` following arcs, or
+    /// `None` if `to` is unreachable from `from`. Used to verify the
+    /// Figure 1 timing-preservation property.
+    pub fn longest_path(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        let n = self.nodes.len();
+        let mut dist: Vec<Option<u64>> = vec![None; n];
+        dist[from.index()] = Some(0);
+        for i in from.index()..=to.index().min(n - 1) {
+            if let Some(d) = dist[i] {
+                for arc in self.out_arcs(NodeId::new(i)) {
+                    if arc.to.index() <= to.index() {
+                        let cand = d + arc.latency as u64;
+                        let slot = &mut dist[arc.to.index()];
+                        if slot.is_none_or(|v| cand > v) {
+                            *slot = Some(cand);
+                        }
+                    }
+                }
+            }
+        }
+        dist[to.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut d = Dag::new(4);
+        d.add_arc(NodeId::new(0), NodeId::new(1), DepKind::Raw, 2);
+        d.add_arc(NodeId::new(0), NodeId::new(2), DepKind::Raw, 5);
+        d.add_arc(NodeId::new(1), NodeId::new(3), DepKind::Raw, 1);
+        d.add_arc(NodeId::new(2), NodeId::new(3), DepKind::Raw, 1);
+        d
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let d = diamond();
+        assert_eq!(d.roots(), vec![NodeId::new(0)]);
+        assert_eq!(d.leaves(), vec![NodeId::new(3)]);
+        assert_eq!(d.num_children(NodeId::new(0)), 2);
+        assert_eq!(d.num_parents(NodeId::new(3)), 2);
+    }
+
+    #[test]
+    fn duplicate_arcs_merge_keeping_strongest() {
+        let mut d = Dag::new(2);
+        assert!(d.add_arc(NodeId::new(0), NodeId::new(1), DepKind::War, 1));
+        assert!(!d.add_arc(NodeId::new(0), NodeId::new(1), DepKind::Raw, 4));
+        assert_eq!(d.arc_count(), 1);
+        let a = d.arc_between(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(a.kind, DepKind::Raw);
+        assert_eq!(a.latency, 4);
+        // Weaker dependence does not downgrade.
+        assert!(!d.add_arc(NodeId::new(0), NodeId::new(1), DepKind::War, 1));
+        let a = d.arc_between(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(a.latency, 4);
+    }
+
+    #[test]
+    fn equal_latency_prefers_raw() {
+        let mut d = Dag::new(2);
+        d.add_arc(NodeId::new(0), NodeId::new(1), DepKind::War, 1);
+        d.add_arc(NodeId::new(0), NodeId::new(1), DepKind::Raw, 1);
+        assert_eq!(
+            d.arc_between(NodeId::new(0), NodeId::new(1)).unwrap().kind,
+            DepKind::Raw
+        );
+    }
+
+    #[test]
+    fn longest_path_takes_heavier_branch() {
+        let d = diamond();
+        assert_eq!(d.longest_path(NodeId::new(0), NodeId::new(3)), Some(6));
+        assert_eq!(d.longest_path(NodeId::new(1), NodeId::new(2)), None);
+        assert_eq!(d.longest_path(NodeId::new(0), NodeId::new(0)), Some(0));
+    }
+
+    #[test]
+    fn descendant_maps_count_transitively() {
+        let d = diamond();
+        let maps = d.descendant_maps();
+        assert_eq!(maps[0].count(), 4); // itself + 3 descendants
+        assert_eq!(maps[1].count(), 2);
+        assert_eq!(maps[3].count(), 1);
+    }
+
+    #[test]
+    fn invariants_hold_for_forward_arcs() {
+        assert!(diamond().check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-arc")]
+    fn self_arc_panics() {
+        let mut d = Dag::new(1);
+        d.add_arc(NodeId::new(0), NodeId::new(0), DepKind::Raw, 1);
+    }
+
+    #[test]
+    fn forest_has_multiple_roots() {
+        let mut d = Dag::new(4);
+        d.add_arc(NodeId::new(0), NodeId::new(2), DepKind::Raw, 1);
+        // 1 and 3 isolated except 1 -> 3
+        d.add_arc(NodeId::new(1), NodeId::new(3), DepKind::Raw, 1);
+        assert_eq!(d.roots(), vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(d.leaves(), vec![NodeId::new(2), NodeId::new(3)]);
+    }
+}

@@ -1,0 +1,501 @@
+//! The Table 1 heuristic survey as machine-readable metadata.
+//!
+//! The paper's Table 1 organizes 26 heuristics into six categories,
+//! splits them into relationship-based vs. timing-based, records how each
+//! is calculated, and flags the ones whose calculation is affected by the
+//! presence of transitive arcs. [`heuristic_catalog`] regenerates exactly
+//! that table; the experiment harness prints it and the tests pin its
+//! shape.
+
+use std::fmt;
+
+/// The six broad heuristic categories of the paper's introduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Avoid stall cycles (interlocks, earliest execution).
+    StallBehavior,
+    /// Balance across instruction classes (superscalar issue).
+    InstructionClass,
+    /// Identify instructions that must be scheduled early.
+    CriticalPath,
+    /// Enlarge the candidate list.
+    Uncovering,
+    /// Balance progress through the DAG.
+    Structural,
+    /// Reduce simultaneously live registers (prepass scheduling).
+    RegisterUsage,
+}
+
+impl Category {
+    /// All categories, in Table 1 order.
+    pub const ALL: &'static [Category] = &[
+        Category::StallBehavior,
+        Category::InstructionClass,
+        Category::CriticalPath,
+        Category::Uncovering,
+        Category::Structural,
+        Category::RegisterUsage,
+    ];
+
+    /// Human-readable name, as in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::StallBehavior => "stall behavior",
+            Category::InstructionClass => "inst. class",
+            Category::CriticalPath => "critical path",
+            Category::Uncovering => "uncovering",
+            Category::Structural => "structural",
+            Category::RegisterUsage => "register usage",
+        }
+    }
+}
+
+/// Relationship-based vs. timing-based (Table 1's column split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Basis {
+    /// Timing considerations absent or implicit.
+    Relationship,
+    /// Explicitly considers operation timing.
+    Timing,
+}
+
+/// How a heuristic is calculated (Table 1's third column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Determined when a node/arc is added to the DAG (`a`).
+    AtConstruction,
+    /// Requires a forward pass over the basic block (`f`).
+    ForwardPass,
+    /// Requires a backward pass over the basic block (`b`).
+    BackwardPass,
+    /// Requires both (`f+b`, e.g. slack).
+    ForwardAndBackward,
+    /// Requires node visitation during the scheduling pass (`v`).
+    Visitation,
+}
+
+impl PassKind {
+    /// The paper's one-letter code.
+    pub fn code(self) -> &'static str {
+        match self {
+            PassKind::AtConstruction => "a",
+            PassKind::ForwardPass => "f",
+            PassKind::BackwardPass => "b",
+            PassKind::ForwardAndBackward => "f+b",
+            PassKind::Visitation => "v",
+        }
+    }
+}
+
+/// Identifier for each of the 26 surveyed heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // names mirror the paper's Table 1 rows
+pub enum HeuristicId {
+    InterlockWithPrevious,
+    EarliestExecutionTime,
+    InterlockWithChild,
+    ExecutionTime,
+    AlternateType,
+    FpuBusyTimes,
+    MaxPathToLeaf,
+    MaxDelayToLeaf,
+    MaxPathFromRoot,
+    MaxDelayFromRoot,
+    EarliestStartTime,
+    LatestStartTime,
+    Slack,
+    NumChildren,
+    DelaysToChildren,
+    NumSingleParentChildren,
+    SumDelaysToSingleParentChildren,
+    NumUncoveredChildren,
+    NumParents,
+    DelaysFromParents,
+    NumDescendants,
+    SumExecTimesOfDescendants,
+    RegistersBorn,
+    RegistersKilled,
+    Liveness,
+    BirthingInstruction,
+}
+
+impl fmt::Display for HeuristicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.info().name)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeuristicInfo {
+    /// Which heuristic.
+    pub id: HeuristicId,
+    /// Name as printed in the paper.
+    pub name: &'static str,
+    /// Table 1 category.
+    pub category: Category,
+    /// Relationship- or timing-based.
+    pub basis: Basis,
+    /// Calculation method.
+    pub pass: PassKind,
+    /// Whether the calculation is affected by the presence of transitive
+    /// arcs (Table 1's `**` mark).
+    pub transitive_sensitive: bool,
+}
+
+impl HeuristicId {
+    /// Metadata for this heuristic.
+    pub fn info(self) -> HeuristicInfo {
+        use Basis::*;
+        use Category::*;
+        use HeuristicId as H;
+        use PassKind::*;
+        let row = |id, name, category, basis, pass, ts| HeuristicInfo {
+            id,
+            name,
+            category,
+            basis,
+            pass,
+            transitive_sensitive: ts,
+        };
+        match self {
+            H::InterlockWithPrevious => row(
+                self,
+                "interlock with previous inst.",
+                StallBehavior,
+                Relationship,
+                Visitation,
+                false,
+            ),
+            H::EarliestExecutionTime => row(
+                self,
+                "earliest execution time",
+                StallBehavior,
+                Timing,
+                Visitation,
+                true,
+            ),
+            H::InterlockWithChild => row(
+                self,
+                "interlock with child",
+                StallBehavior,
+                Relationship,
+                AtConstruction,
+                true,
+            ),
+            H::ExecutionTime => row(
+                self,
+                "execution time",
+                StallBehavior,
+                Timing,
+                AtConstruction,
+                false,
+            ),
+            H::AlternateType => row(
+                self,
+                "alternate type",
+                InstructionClass,
+                Relationship,
+                AtConstruction,
+                false,
+            ),
+            H::FpuBusyTimes => row(
+                self,
+                "busy times for flt. pt. function units",
+                InstructionClass,
+                Timing,
+                Visitation,
+                false,
+            ),
+            H::MaxPathToLeaf => row(
+                self,
+                "max path length to a leaf",
+                CriticalPath,
+                Relationship,
+                BackwardPass,
+                false,
+            ),
+            H::MaxDelayToLeaf => row(
+                self,
+                "max total delay to a leaf",
+                CriticalPath,
+                Timing,
+                BackwardPass,
+                false,
+            ),
+            H::MaxPathFromRoot => row(
+                self,
+                "max path length from root",
+                CriticalPath,
+                Relationship,
+                ForwardPass,
+                false,
+            ),
+            H::MaxDelayFromRoot => row(
+                self,
+                "max total delay from root",
+                CriticalPath,
+                Timing,
+                ForwardPass,
+                false,
+            ),
+            H::EarliestStartTime => row(
+                self,
+                "earliest start time (EST)",
+                CriticalPath,
+                Timing,
+                ForwardPass,
+                true,
+            ),
+            H::LatestStartTime => row(
+                self,
+                "latest start time (LST)",
+                CriticalPath,
+                Timing,
+                BackwardPass,
+                true,
+            ),
+            H::Slack => row(
+                self,
+                "slack (= LST-EST)",
+                CriticalPath,
+                Timing,
+                ForwardAndBackward,
+                true,
+            ),
+            H::NumChildren => row(
+                self,
+                "#children",
+                Uncovering,
+                Relationship,
+                AtConstruction,
+                true,
+            ),
+            H::DelaysToChildren => row(
+                self,
+                "φ delays to children",
+                Uncovering,
+                Timing,
+                AtConstruction,
+                true,
+            ),
+            H::NumSingleParentChildren => row(
+                self,
+                "#single-parent children",
+                Uncovering,
+                Relationship,
+                Visitation,
+                false,
+            ),
+            H::SumDelaysToSingleParentChildren => row(
+                self,
+                "sum of delays to single-parent children",
+                Uncovering,
+                Timing,
+                Visitation,
+                false,
+            ),
+            H::NumUncoveredChildren => row(
+                self,
+                "#uncovered children",
+                Uncovering,
+                Relationship,
+                Visitation,
+                false,
+            ),
+            H::NumParents => row(
+                self,
+                "#parents",
+                Structural,
+                Relationship,
+                AtConstruction,
+                true,
+            ),
+            H::DelaysFromParents => row(
+                self,
+                "φ delays from parents",
+                Structural,
+                Timing,
+                AtConstruction,
+                true,
+            ),
+            H::NumDescendants => row(
+                self,
+                "#descendants",
+                Structural,
+                Relationship,
+                BackwardPass,
+                false,
+            ),
+            H::SumExecTimesOfDescendants => row(
+                self,
+                "sum of execution times of descendants",
+                Structural,
+                Timing,
+                BackwardPass,
+                false,
+            ),
+            H::RegistersBorn => row(
+                self,
+                "#registers born",
+                RegisterUsage,
+                Relationship,
+                AtConstruction,
+                false,
+            ),
+            H::RegistersKilled => row(
+                self,
+                "#registers killed",
+                RegisterUsage,
+                Relationship,
+                AtConstruction,
+                false,
+            ),
+            H::Liveness => row(
+                self,
+                "liveness",
+                RegisterUsage,
+                Relationship,
+                AtConstruction,
+                false,
+            ),
+            H::BirthingInstruction => row(
+                self,
+                "birthing instruction",
+                RegisterUsage,
+                Relationship,
+                AtConstruction,
+                false,
+            ),
+        }
+    }
+}
+
+/// The full 26-heuristic survey, in Table 1 order.
+pub fn heuristic_catalog() -> Vec<HeuristicInfo> {
+    use HeuristicId::*;
+    [
+        InterlockWithPrevious,
+        EarliestExecutionTime,
+        InterlockWithChild,
+        ExecutionTime,
+        AlternateType,
+        FpuBusyTimes,
+        MaxPathToLeaf,
+        MaxDelayToLeaf,
+        MaxPathFromRoot,
+        MaxDelayFromRoot,
+        EarliestStartTime,
+        LatestStartTime,
+        Slack,
+        NumChildren,
+        DelaysToChildren,
+        NumSingleParentChildren,
+        SumDelaysToSingleParentChildren,
+        NumUncoveredChildren,
+        NumParents,
+        DelaysFromParents,
+        NumDescendants,
+        SumExecTimesOfDescendants,
+        RegistersBorn,
+        RegistersKilled,
+        Liveness,
+        BirthingInstruction,
+    ]
+    .into_iter()
+    .map(HeuristicId::info)
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_26_heuristics_in_6_categories() {
+        let cat = heuristic_catalog();
+        assert_eq!(cat.len(), 26, "the paper surveys 26 heuristics");
+        let categories: std::collections::BTreeSet<_> = cat.iter().map(|h| h.category).collect();
+        assert_eq!(categories.len(), 6);
+    }
+
+    #[test]
+    fn category_sizes_match_table1() {
+        let cat = heuristic_catalog();
+        let count = |c: Category| cat.iter().filter(|h| h.category == c).count();
+        assert_eq!(count(Category::StallBehavior), 4);
+        assert_eq!(count(Category::InstructionClass), 2);
+        assert_eq!(count(Category::CriticalPath), 7);
+        assert_eq!(count(Category::Uncovering), 5);
+        assert_eq!(count(Category::Structural), 4);
+        assert_eq!(count(Category::RegisterUsage), 4);
+    }
+
+    #[test]
+    fn transitive_sensitive_marks_match_table1() {
+        // Table 1 flags exactly these with `**`.
+        let expected = [
+            HeuristicId::EarliestExecutionTime,
+            HeuristicId::InterlockWithChild,
+            HeuristicId::EarliestStartTime,
+            HeuristicId::LatestStartTime,
+            HeuristicId::Slack,
+            HeuristicId::NumChildren,
+            HeuristicId::DelaysToChildren,
+            HeuristicId::NumParents,
+            HeuristicId::DelaysFromParents,
+        ];
+        let flagged: Vec<_> = heuristic_catalog()
+            .into_iter()
+            .filter(|h| h.transitive_sensitive)
+            .map(|h| h.id)
+            .collect();
+        assert_eq!(flagged, expected);
+    }
+
+    #[test]
+    fn pass_codes_match_table1() {
+        use HeuristicId::*;
+        let check = |id: HeuristicId, code: &str| {
+            assert_eq!(id.info().pass.code(), code, "{id}");
+        };
+        check(InterlockWithPrevious, "v");
+        check(EarliestExecutionTime, "v");
+        check(InterlockWithChild, "a");
+        check(ExecutionTime, "a");
+        check(AlternateType, "a");
+        check(FpuBusyTimes, "v");
+        check(MaxPathToLeaf, "b");
+        check(MaxDelayToLeaf, "b");
+        check(MaxPathFromRoot, "f");
+        check(MaxDelayFromRoot, "f");
+        check(EarliestStartTime, "f");
+        check(LatestStartTime, "b");
+        check(Slack, "f+b");
+        check(NumChildren, "a");
+        check(NumSingleParentChildren, "v");
+        check(NumUncoveredChildren, "v");
+        check(NumParents, "a");
+        check(NumDescendants, "b");
+        check(SumExecTimesOfDescendants, "b");
+        check(RegistersBorn, "a");
+        check(BirthingInstruction, "a");
+    }
+
+    #[test]
+    fn relationship_timing_split() {
+        // Every category has at least one relationship-based heuristic.
+        for c in Category::ALL {
+            assert!(
+                heuristic_catalog()
+                    .iter()
+                    .any(|h| h.category == *c && h.basis == Basis::Relationship),
+                "{c:?}"
+            );
+        }
+        // Timing-based examples.
+        assert_eq!(HeuristicId::MaxDelayToLeaf.info().basis, Basis::Timing);
+        assert_eq!(HeuristicId::Slack.info().basis, Basis::Timing);
+        assert_eq!(HeuristicId::NumChildren.info().basis, Basis::Relationship);
+    }
+}

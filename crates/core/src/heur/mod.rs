@@ -1,0 +1,118 @@
+//! Heuristic calculation: the paper's Table 1 survey, implemented.
+//!
+//! Heuristics divide by *when* they can be computed (Table 1's fourth
+//! column):
+//!
+//! * `a` — determined when a node or arc is added to the DAG
+//!   ([`annotate_construction`]).
+//! * `f` — requires a forward pass over the basic block
+//!   ([`annotate_forward`]).
+//! * `b` — requires a backward pass ([`annotate_backward`]); the paper's
+//!   §4 shows a reverse walk of the original instruction list is as good
+//!   as a level algorithm, and both are provided
+//!   ([`BackwardOrder::ReverseWalk`], [`BackwardOrder::LevelLists`]).
+//! * `v` — requires node visitation during the scheduling pass
+//!   ([`DynState`]).
+
+mod catalog;
+mod dynamic;
+mod static_pass;
+
+pub use catalog::{heuristic_catalog, Basis, Category, HeuristicId, HeuristicInfo, PassKind};
+pub use dynamic::DynState;
+pub use static_pass::{
+    annotate_backward, annotate_backward_cp, annotate_construction, annotate_forward,
+    compute_levels, BackwardOrder,
+};
+
+use dagsched_isa::{Instruction, MachineModel};
+
+use crate::dag::Dag;
+
+/// All static heuristic annotations for one DAG, stored
+/// structure-of-arrays (one slot per node).
+///
+/// Build a full set with [`HeuristicSet::compute`], or run the individual
+/// passes ([`annotate_construction`], [`annotate_forward`],
+/// [`annotate_backward`]) for fine-grained timing — the paper's Tables 4
+/// and 5 time exactly those passes.
+#[derive(Debug, Clone, Default)]
+pub struct HeuristicSet {
+    // ---- determined at DAG construction time (`a`) ----
+    /// Operation latency of the node ("execution time").
+    pub exec_time: Vec<u32>,
+    /// Whether any child arc has delay > 1 ("interlock with child").
+    pub interlock_with_child: Vec<bool>,
+    /// Out-degree ("#children"). Inflated by transitive arcs.
+    pub num_children: Vec<u32>,
+    /// In-degree ("#parents"). Inflated by transitive arcs.
+    pub num_parents: Vec<u32>,
+    /// Sum of delays on child arcs ("φ=sum delays to children").
+    pub sum_delays_to_children: Vec<u64>,
+    /// Maximum delay on child arcs ("φ=max delays to children").
+    pub max_delay_to_child: Vec<u32>,
+    /// Sum of delays on parent arcs ("φ=sum delays from parents").
+    pub sum_delays_from_parents: Vec<u64>,
+    /// Maximum delay on parent arcs ("φ=max delays from parents").
+    pub max_delay_from_parent: Vec<u32>,
+    /// Number of integer/FP registers defined ("#registers born").
+    pub regs_born: Vec<u32>,
+    /// Number of registers last-used here ("#registers killed").
+    pub regs_killed: Vec<u32>,
+    /// Net register-pressure delta, born − killed (Warren's "liveness";
+    /// lower is better for a prepass scheduler).
+    pub liveness: Vec<i32>,
+    /// Original program order (the final tie-break of Tiemann and Warren).
+    pub original_order: Vec<u32>,
+    // ---- forward pass (`f`) ----
+    /// Maximum number of arcs from any root ("max path length from root").
+    pub max_path_from_root: Vec<u32>,
+    /// Maximum total delay from any root ("max total delay from root").
+    pub max_delay_from_root: Vec<u64>,
+    /// Earliest start time: max over parents of `est(p) + arc delay`.
+    pub est: Vec<u64>,
+    // ---- backward pass (`b`) ----
+    /// Maximum number of arcs to any leaf ("max path length to a leaf").
+    pub max_path_to_leaf: Vec<u32>,
+    /// Maximum total delay to any leaf ("max total delay to a leaf").
+    pub max_delay_to_leaf: Vec<u64>,
+    /// Latest start time (requires `est` first).
+    pub lst: Vec<u64>,
+    /// Slack = LST − EST; zero on the critical path.
+    pub slack: Vec<u64>,
+    /// Number of distinct descendants ("#descendants"), when requested.
+    pub num_descendants: Vec<u32>,
+    /// Sum of execution times over distinct descendants, when requested.
+    pub sum_exec_descendants: Vec<u64>,
+}
+
+impl HeuristicSet {
+    /// Compute every static heuristic for `dag` over `insns`.
+    ///
+    /// `with_descendants` controls whether the expensive
+    /// reachability-bitmap pass for `#descendants` / "sum of execution
+    /// times of descendants" runs (the paper notes it is "hard to compute"
+    /// and its schedulers do not use it by default).
+    pub fn compute(
+        dag: &Dag,
+        insns: &[Instruction],
+        model: &MachineModel,
+        with_descendants: bool,
+    ) -> HeuristicSet {
+        let mut h = HeuristicSet::default();
+        annotate_construction(&mut h, dag, insns, model);
+        annotate_forward(&mut h, dag);
+        annotate_backward(&mut h, dag, BackwardOrder::ReverseWalk, with_descendants);
+        h
+    }
+
+    /// Number of nodes annotated.
+    pub fn len(&self) -> usize {
+        self.exec_time.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exec_time.is_empty()
+    }
+}

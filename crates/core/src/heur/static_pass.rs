@@ -1,0 +1,430 @@
+//! Static heuristic calculation passes.
+
+use dagsched_isa::{Instruction, MachineModel, Reg, RegClass, Resource};
+
+use crate::dag::{Dag, NodeId};
+use crate::heur::HeuristicSet;
+
+/// Annotate the heuristics that are "determined when an instruction node
+/// or dependency arc is added to the DAG" (Table 1 class `a`).
+///
+/// In a production scheduler these counters would be maintained inside
+/// `add_arc`; keeping them in a separate sweep leaves the construction
+/// algorithms uncluttered while costing one pass over the arcs — the
+/// per-arc work is identical.
+pub fn annotate_construction(
+    h: &mut HeuristicSet,
+    dag: &Dag,
+    insns: &[Instruction],
+    model: &MachineModel,
+) {
+    let n = dag.node_count();
+    assert_eq!(n, insns.len(), "DAG/block size mismatch");
+    h.exec_time = insns.iter().map(|i| model.exec_latency(i)).collect();
+    h.interlock_with_child = vec![false; n];
+    h.num_children = vec![0; n];
+    h.num_parents = vec![0; n];
+    h.sum_delays_to_children = vec![0; n];
+    h.max_delay_to_child = vec![0; n];
+    h.sum_delays_from_parents = vec![0; n];
+    h.max_delay_from_parent = vec![0; n];
+    for arc in dag.arcs() {
+        let (f, t) = (arc.from.index(), arc.to.index());
+        h.num_children[f] += 1;
+        h.num_parents[t] += 1;
+        h.sum_delays_to_children[f] += arc.latency as u64;
+        h.max_delay_to_child[f] = h.max_delay_to_child[f].max(arc.latency);
+        h.sum_delays_from_parents[t] += arc.latency as u64;
+        h.max_delay_from_parent[t] = h.max_delay_from_parent[t].max(arc.latency);
+        if arc.latency > 1 {
+            h.interlock_with_child[f] = true;
+        }
+    }
+    h.original_order = (0..n as u32).collect();
+    annotate_registers(h, insns);
+}
+
+/// Register-pressure heuristics: `#registers born` (integer/FP registers
+/// defined), `#registers killed` (registers whose last use within the
+/// block is here), and Warren-style `liveness` (born − killed).
+fn annotate_registers(h: &mut HeuristicSet, insns: &[Instruction]) {
+    let n = insns.len();
+    h.regs_born = vec![0; n];
+    h.regs_killed = vec![0; n];
+    h.liveness = vec![0; n];
+    // Last use index per register within the block.
+    let mut last_use: std::collections::HashMap<Reg, usize> = std::collections::HashMap::new();
+    for (i, insn) in insns.iter().enumerate() {
+        for res in insn.uses() {
+            if let Resource::Reg(r) = res {
+                if matches!(r.class(), RegClass::Int | RegClass::Fp) {
+                    last_use.insert(r, i);
+                }
+            }
+        }
+    }
+    for (i, insn) in insns.iter().enumerate() {
+        for res in insn.defs() {
+            if let Resource::Reg(r) = res {
+                if matches!(r.class(), RegClass::Int | RegClass::Fp) {
+                    h.regs_born[i] += 1;
+                }
+            }
+        }
+        let mut seen: Vec<Reg> = Vec::new();
+        for res in insn.uses() {
+            if let Resource::Reg(r) = res {
+                if matches!(r.class(), RegClass::Int | RegClass::Fp)
+                    && last_use.get(&r) == Some(&i)
+                    && !seen.contains(&r)
+                {
+                    h.regs_killed[i] += 1;
+                    seen.push(r);
+                }
+            }
+        }
+        h.liveness[i] = h.regs_born[i] as i32 - h.regs_killed[i] as i32;
+    }
+}
+
+/// Annotate the forward-pass heuristics (Table 1 class `f`): max path
+/// length / total delay from a root, and earliest start time.
+///
+/// Because arcs always point program-forward, original order is a
+/// topological order and one ascending sweep suffices.
+pub fn annotate_forward(h: &mut HeuristicSet, dag: &Dag) {
+    let n = dag.node_count();
+    h.max_path_from_root = vec![0; n];
+    h.max_delay_from_root = vec![0; n];
+    h.est = vec![0; n];
+    for i in 0..n {
+        for arc in dag.in_arcs(NodeId::new(i)) {
+            let p = arc.from.index();
+            h.max_path_from_root[i] = h.max_path_from_root[i].max(h.max_path_from_root[p] + 1);
+            h.max_delay_from_root[i] =
+                h.max_delay_from_root[i].max(h.max_delay_from_root[p] + arc.latency as u64);
+            h.est[i] = h.est[i].max(h.est[p] + arc.latency as u64);
+        }
+    }
+}
+
+/// Iteration order for the backward (class `b`) pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackwardOrder {
+    /// Reverse walk of the original instruction list — the paper's §4
+    /// recommendation ("any reverse topological sort, including a reverse
+    /// scan of the original instructions ... produces the same result").
+    ReverseWalk,
+    /// The level-list algorithm of \[8,13\]: bucket nodes by level (leaves
+    /// at level 0, parents one above their highest child) and visit levels
+    /// high-to-low... equivalently buckets built leaf-up and iterated in
+    /// level order. Produces identical annotations at slightly higher
+    /// bookkeeping cost; kept for the paper's finding 4 ablation.
+    LevelLists,
+}
+
+/// Compute leaf-based levels: leaves are level 0, every other node is one
+/// plus the maximum level of its children (the paper's §4 alternate
+/// definition for backward-pass use).
+pub fn compute_levels(dag: &Dag) -> Vec<u32> {
+    let n = dag.node_count();
+    let mut level = vec![0u32; n];
+    for i in (0..n).rev() {
+        for arc in dag.out_arcs(NodeId::new(i)) {
+            level[i] = level[i].max(level[arc.to.index()] + 1);
+        }
+    }
+    level
+}
+
+/// Annotate only the critical-path backward heuristics — max path length
+/// and max total delay to a leaf — without requiring the forward pass.
+///
+/// This is the intermediate step of the paper's §6 measurement pipeline
+/// ("the following backward static heuristics are used: max path to leaf,
+/// max delay to leaf, and max delay to child"): the cheapest useful
+/// backward pass, timed in Tables 4 and 5.
+pub fn annotate_backward_cp(h: &mut HeuristicSet, dag: &Dag, order: BackwardOrder) {
+    let n = dag.node_count();
+    h.max_path_to_leaf = vec![0; n];
+    h.max_delay_to_leaf = vec![0; n];
+    let visit_order: Vec<usize> = match order {
+        BackwardOrder::ReverseWalk => (0..n).rev().collect(),
+        BackwardOrder::LevelLists => {
+            let levels = compute_levels(dag);
+            let max_level = levels.iter().copied().max().unwrap_or(0);
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_level as usize + 1];
+            for (i, &l) in levels.iter().enumerate() {
+                buckets[l as usize].push(i);
+            }
+            buckets.into_iter().flatten().collect()
+        }
+    };
+    for &i in &visit_order {
+        for arc in dag.out_arcs(NodeId::new(i)) {
+            let c = arc.to.index();
+            h.max_path_to_leaf[i] = h.max_path_to_leaf[i].max(h.max_path_to_leaf[c] + 1);
+            h.max_delay_to_leaf[i] =
+                h.max_delay_to_leaf[i].max(h.max_delay_to_leaf[c] + arc.latency as u64);
+        }
+    }
+}
+
+/// Annotate the backward-pass heuristics (Table 1 class `b`): max path
+/// length / total delay to a leaf, latest start time and slack (requires
+/// [`annotate_forward`] to have run, for EST), and — when
+/// `with_descendants` is set — `#descendants` and the sum of descendant
+/// execution times via reachability bitmaps.
+///
+/// # Panics
+///
+/// Panics if the forward pass has not run (EST missing) or construction
+/// annotations are missing (exec_time needed for LST and descendant sums).
+pub fn annotate_backward(
+    h: &mut HeuristicSet,
+    dag: &Dag,
+    order: BackwardOrder,
+    with_descendants: bool,
+) {
+    let n = dag.node_count();
+    assert_eq!(
+        h.est.len(),
+        n,
+        "run annotate_forward first (EST required for LST)"
+    );
+    assert_eq!(h.exec_time.len(), n, "run annotate_construction first");
+    // Completion time of the block: the EST of the paper's dummy
+    // block-terminating node, "the maximum of earliest_start(p) +
+    // latency(p) over all parents p" — the dummy's parents are the
+    // *leaves*. (Using leaves only also guarantees a slack-zero critical
+    // path from some root to some leaf.)
+    let total: u64 = (0..n)
+        .filter(|&i| dag.num_children(NodeId::new(i)) == 0)
+        .map(|i| h.est[i] + h.exec_time[i] as u64)
+        .max()
+        .unwrap_or(0);
+
+    h.max_path_to_leaf = vec![0; n];
+    h.max_delay_to_leaf = vec![0; n];
+    h.lst = vec![0; n];
+    h.slack = vec![0; n];
+
+    let visit_order: Vec<usize> = match order {
+        BackwardOrder::ReverseWalk => (0..n).rev().collect(),
+        BackwardOrder::LevelLists => {
+            let levels = compute_levels(dag);
+            let max_level = levels.iter().copied().max().unwrap_or(0);
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_level as usize + 1];
+            for (i, &l) in levels.iter().enumerate() {
+                buckets[l as usize].push(i);
+            }
+            buckets.into_iter().flatten().collect()
+        }
+    };
+
+    for &i in &visit_order {
+        let node = NodeId::new(i);
+        if dag.num_children(node) == 0 {
+            h.lst[i] = total - h.exec_time[i] as u64;
+            continue;
+        }
+        let mut lst = u64::MAX;
+        for arc in dag.out_arcs(node) {
+            let c = arc.to.index();
+            h.max_path_to_leaf[i] = h.max_path_to_leaf[i].max(h.max_path_to_leaf[c] + 1);
+            h.max_delay_to_leaf[i] =
+                h.max_delay_to_leaf[i].max(h.max_delay_to_leaf[c] + arc.latency as u64);
+            lst = lst.min(h.lst[c].saturating_sub(arc.latency as u64));
+        }
+        h.lst[i] = lst;
+    }
+    for i in 0..n {
+        h.slack[i] = h.lst[i].saturating_sub(h.est[i]);
+    }
+
+    if with_descendants {
+        let maps = dag.descendant_maps();
+        h.num_descendants = maps.iter().map(|m| (m.count() - 1) as u32).collect();
+        h.sum_exec_descendants = (0..n)
+            .map(|i| {
+                maps[i]
+                    .iter()
+                    .filter(|&d| d != i)
+                    .map(|d| h.exec_time[d] as u64)
+                    .sum()
+            })
+            .collect();
+    } else {
+        h.num_descendants = Vec::new();
+        h.sum_exec_descendants = Vec::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_dag, ConstructionAlgorithm};
+    use crate::memdep::MemDepPolicy;
+    use dagsched_isa::Instruction;
+    use dagsched_isa::Reg;
+    use dagsched_isa::{MachineModel, Opcode};
+
+    fn fig1() -> (Vec<Instruction>, MachineModel) {
+        (
+            vec![
+                Instruction::fp3(Opcode::FDivD, Reg::f(1), Reg::f(2), Reg::f(3)),
+                Instruction::fp3(Opcode::FAddD, Reg::f(4), Reg::f(5), Reg::f(1)),
+                Instruction::fp3(Opcode::FAddD, Reg::f(1), Reg::f(3), Reg::f(6)),
+            ],
+            MachineModel::sparc2(),
+        )
+    }
+
+    fn full_set(insns: &[Instruction], model: &MachineModel) -> (crate::dag::Dag, HeuristicSet) {
+        let dag = build_dag(
+            insns,
+            model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let h = HeuristicSet::compute(&dag, insns, model, true);
+        (dag, h)
+    }
+
+    #[test]
+    fn figure1_est_uses_transitive_arc() {
+        let (insns, model) = fig1();
+        let (_dag, h) = full_set(&insns, &model);
+        // Node 2 must wait for the 20-cycle divide, not just the 1+4 path.
+        assert_eq!(h.est[0], 0);
+        assert_eq!(h.est[1], 1); // WAR delay
+        assert_eq!(h.est[2], 20);
+    }
+
+    #[test]
+    fn figure1_delays_and_paths() {
+        let (insns, model) = fig1();
+        let (_dag, h) = full_set(&insns, &model);
+        assert_eq!(h.max_delay_to_leaf[0], 20);
+        assert_eq!(h.max_delay_to_leaf[1], 4);
+        assert_eq!(h.max_delay_to_leaf[2], 0);
+        assert_eq!(h.max_path_to_leaf[0], 2); // via 0->1->2
+        assert_eq!(h.max_path_from_root[2], 2);
+        assert_eq!(h.max_delay_from_root[2], 20);
+    }
+
+    #[test]
+    fn slack_is_zero_on_critical_path() {
+        let (insns, model) = fig1();
+        let (_dag, h) = full_set(&insns, &model);
+        // total = est[2] + exec[2] = 20 + 4 = 24.
+        assert_eq!(h.lst[2], 20);
+        assert_eq!(h.slack[2], 0);
+        assert_eq!(h.slack[0], 0, "the divide is critical");
+        // Node 1 can start anywhere in [1, 16]: lst = lst[2] - 4 = 16.
+        assert_eq!(h.lst[1], 16);
+        assert_eq!(h.slack[1], 15);
+    }
+
+    #[test]
+    fn est_never_exceeds_lst() {
+        let (insns, model) = fig1();
+        let (_dag, h) = full_set(&insns, &model);
+        for i in 0..insns.len() {
+            assert!(h.est[i] <= h.lst[i], "node {i}: est > lst");
+        }
+    }
+
+    #[test]
+    fn construction_annotations_count_arcs() {
+        let (insns, model) = fig1();
+        let (_dag, h) = full_set(&insns, &model);
+        assert_eq!(h.num_children[0], 2);
+        assert_eq!(h.num_parents[2], 2);
+        assert_eq!(h.sum_delays_to_children[0], 21); // WAR 1 + RAW 20
+        assert_eq!(h.max_delay_to_child[0], 20);
+        assert_eq!(h.sum_delays_from_parents[2], 24); // 20 + 4
+        assert!(h.interlock_with_child[0]);
+        assert!(h.interlock_with_child[1]); // 4-cycle RAW
+        assert!(!h.interlock_with_child[2]);
+        assert_eq!(h.exec_time[0], 20);
+    }
+
+    #[test]
+    fn descendant_counts_avoid_double_counting() {
+        let (insns, model) = fig1();
+        let (_dag, h) = full_set(&insns, &model);
+        // Node 0 reaches 1 and 2 (2 is reachable two ways, counted once).
+        assert_eq!(h.num_descendants[0], 2);
+        assert_eq!(h.num_descendants[1], 1);
+        assert_eq!(h.num_descendants[2], 0);
+        assert_eq!(h.sum_exec_descendants[0], 8); // two 4-cycle adds
+    }
+
+    #[test]
+    fn reverse_walk_equals_level_lists() {
+        let (insns, model) = fig1();
+        let dag = build_dag(
+            &insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let mut a = HeuristicSet::default();
+        annotate_construction(&mut a, &dag, &insns, &model);
+        annotate_forward(&mut a, &dag);
+        annotate_backward(&mut a, &dag, BackwardOrder::ReverseWalk, true);
+        let mut b = HeuristicSet::default();
+        annotate_construction(&mut b, &dag, &insns, &model);
+        annotate_forward(&mut b, &dag);
+        annotate_backward(&mut b, &dag, BackwardOrder::LevelLists, true);
+        assert_eq!(a.max_path_to_leaf, b.max_path_to_leaf);
+        assert_eq!(a.max_delay_to_leaf, b.max_delay_to_leaf);
+        assert_eq!(a.lst, b.lst);
+        assert_eq!(a.slack, b.slack);
+        assert_eq!(a.num_descendants, b.num_descendants);
+    }
+
+    #[test]
+    fn levels_assign_leaves_zero() {
+        let (insns, model) = fig1();
+        let dag = build_dag(
+            &insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let levels = compute_levels(&dag);
+        assert_eq!(levels, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn register_pressure_heuristics() {
+        let insns = vec![
+            // %o1 born here, %o0 used again later (not killed).
+            Instruction::int_imm(Opcode::Add, Reg::o(0), 1, Reg::o(1)),
+            // kills %o0 and %o1, births %o2.
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)),
+        ];
+        let model = MachineModel::sparc2();
+        let (_dag, h) = full_set(&insns, &model);
+        assert_eq!(h.regs_born, vec![1, 1]);
+        assert_eq!(h.regs_killed, vec![0, 2]);
+        assert_eq!(h.liveness, vec![1, -1]);
+    }
+
+    #[test]
+    fn independent_nodes_have_zero_est_and_full_slack_shape() {
+        let insns = vec![
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)),
+            Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4)),
+        ];
+        let model = MachineModel::sparc2();
+        let (_dag, h) = full_set(&insns, &model);
+        assert_eq!(h.est, vec![0, 0]);
+        // total = 20 (the divide); the add may start as late as 19.
+        assert_eq!(h.lst[0], 19);
+        assert_eq!(h.lst[1], 0);
+        assert_eq!(h.slack[1], 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Memory disambiguation policies.
+//!
+//! Register definitions and uses are unambiguous, but (paper, §2) "there is
+//! sometimes not enough information after compilation to disambiguate
+//! memory references". The policies here span the spectrum the paper
+//! discusses:
+//!
+//! * [`MemDepPolicy::SingleResource`] — treat memory as a single resource,
+//!   serializing all loads and stores.
+//! * [`MemDepPolicy::BaseOffset`] — the observation that two references
+//!   with the *same base register but different offsets* cannot overlap;
+//!   everything else (in particular, different base registers) must still
+//!   be serialized.
+//! * [`MemDepPolicy::StorageClass`] — Warren's refinement: storage classes
+//!   (stack vs. static vs. heap) do not overlap, and base registers for
+//!   these areas can be identified; within a class the base+offset rule
+//!   applies.
+//! * [`MemDepPolicy::SymbolicExpr`] — the policy the paper's own
+//!   measurements use (Table 3 counts "unique memory expressions" as
+//!   resources): two references conflict iff they have the same symbolic
+//!   address expression. This is the most optimistic policy.
+
+use dagsched_isa::{MemAccessKind, MemExprId, MemRef, Reg};
+
+/// Coarse storage class of a memory reference, derived from its base
+/// register following Warren's observation that compilers use dedicated
+/// base registers per storage area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageClass {
+    /// Stack frame (`%fp` / `%sp` based).
+    Stack,
+    /// Static data (global-register based, e.g. after `sethi %hi(sym)`
+    /// the paper-era convention keeps static bases in `%g` registers).
+    Static,
+    /// Heap or otherwise unclassified pointer.
+    Heap,
+    /// Indexed or otherwise wild reference: may alias anything.
+    Wild,
+}
+
+impl StorageClass {
+    /// Derive the storage class of a memory reference.
+    pub fn of(mem: &MemRef) -> StorageClass {
+        if mem.index.is_some() {
+            return StorageClass::Wild;
+        }
+        match mem.base {
+            r if r == Reg::fp() || r == Reg::sp() => StorageClass::Stack,
+            Reg::Int(n) if (1..8).contains(&n) => StorageClass::Static,
+            _ => StorageClass::Heap,
+        }
+    }
+
+    fn may_overlap(self, other: StorageClass) -> bool {
+        self == StorageClass::Wild || other == StorageClass::Wild || self == other
+    }
+}
+
+/// The dependence-relevant identity of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemKey {
+    /// Base address register.
+    pub base: Reg,
+    /// Whether an index register is involved (making the offset unknown).
+    pub has_index: bool,
+    /// Constant displacement.
+    pub offset: i32,
+    /// Interned symbolic expression (the location's identity).
+    pub expr: MemExprId,
+    /// Derived storage class.
+    pub class: StorageClass,
+}
+
+impl MemKey {
+    /// Build the key for a memory reference.
+    pub fn of(mem: &MemRef) -> MemKey {
+        MemKey {
+            base: mem.base,
+            has_index: mem.index.is_some(),
+            offset: mem.offset,
+            expr: mem.expr,
+            class: StorageClass::of(mem),
+        }
+    }
+}
+
+/// One memory operation (load or store) with its dependence key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Load (memory use) or store (memory definition).
+    pub kind: MemAccessKind,
+    /// The access's dependence key.
+    pub key: MemKey,
+}
+
+/// A memory disambiguation policy: decides which pairs of memory
+/// references may refer to the same location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemDepPolicy {
+    /// All of memory is one resource: every load/store pair with at least
+    /// one store conflicts.
+    SingleResource,
+    /// Same base register + different (known) offsets are disjoint;
+    /// everything else conflicts.
+    BaseOffset,
+    /// Distinct storage classes are disjoint; within a class the
+    /// base+offset rule applies; indexed references alias everything.
+    StorageClass,
+    /// Two references conflict iff their symbolic address expressions are
+    /// identical (the paper's measurement policy; default).
+    #[default]
+    SymbolicExpr,
+}
+
+impl MemDepPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: &'static [MemDepPolicy] = &[
+        MemDepPolicy::SingleResource,
+        MemDepPolicy::BaseOffset,
+        MemDepPolicy::StorageClass,
+        MemDepPolicy::SymbolicExpr,
+    ];
+
+    /// Whether two memory references may refer to the same location under
+    /// this policy. Symmetric. Note this is *may*-alias: `true` means a
+    /// dependence arc is required when at least one access is a store.
+    pub fn alias(self, a: &MemKey, b: &MemKey) -> bool {
+        match self {
+            MemDepPolicy::SingleResource => true,
+            MemDepPolicy::BaseOffset => !Self::base_offset_disjoint(a, b),
+            MemDepPolicy::StorageClass => {
+                a.class.may_overlap(b.class) && !Self::base_offset_disjoint(a, b)
+            }
+            MemDepPolicy::SymbolicExpr => a.expr == b.expr,
+        }
+    }
+
+    /// Whether two references are *the same location* for table-erasure
+    /// purposes: a store to the same location supersedes the previous
+    /// definition entry in the table-building algorithms. Under
+    /// [`MemDepPolicy::SingleResource`] all of memory is one location;
+    /// otherwise identity of the symbolic expression is required (a
+    /// may-alias pair must keep both entries alive).
+    pub fn same_location(self, a: &MemKey, b: &MemKey) -> bool {
+        match self {
+            MemDepPolicy::SingleResource => true,
+            _ => a.expr == b.expr,
+        }
+    }
+
+    fn base_offset_disjoint(a: &MemKey, b: &MemKey) -> bool {
+        a.base == b.base && !a.has_index && !b.has_index && a.offset != b.offset
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemDepPolicy::SingleResource => "single-resource",
+            MemDepPolicy::BaseOffset => "base+offset",
+            MemDepPolicy::StorageClass => "storage-class",
+            MemDepPolicy::SymbolicExpr => "symbolic-expr",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_isa::MemExprPool;
+
+    fn key(base: Reg, offset: i32, pool: &mut MemExprPool) -> MemKey {
+        let text = format!("[{base}{offset:+}]");
+        let expr = pool.intern(&text);
+        MemKey::of(&MemRef::base_offset(base, offset, expr))
+    }
+
+    #[test]
+    fn single_resource_serializes_everything() {
+        let mut pool = MemExprPool::new();
+        let a = key(Reg::fp(), -8, &mut pool);
+        let b = key(Reg::o(0), 4, &mut pool);
+        assert!(MemDepPolicy::SingleResource.alias(&a, &b));
+    }
+
+    #[test]
+    fn base_offset_disambiguates_same_base() {
+        let mut pool = MemExprPool::new();
+        let a = key(Reg::fp(), -8, &mut pool);
+        let b = key(Reg::fp(), -12, &mut pool);
+        let c = key(Reg::o(0), -8, &mut pool);
+        assert!(
+            !MemDepPolicy::BaseOffset.alias(&a, &b),
+            "same base, diff offset"
+        );
+        assert!(
+            MemDepPolicy::BaseOffset.alias(&a, &c),
+            "different bases serialize"
+        );
+        assert!(
+            MemDepPolicy::BaseOffset.alias(&a, &a),
+            "same location conflicts"
+        );
+    }
+
+    #[test]
+    fn storage_classes_do_not_overlap() {
+        let mut pool = MemExprPool::new();
+        let stack = key(Reg::fp(), -8, &mut pool);
+        let heap = key(Reg::o(0), -8, &mut pool);
+        let static_ = key(Reg::g(1), 0, &mut pool);
+        assert!(!MemDepPolicy::StorageClass.alias(&stack, &heap));
+        assert!(!MemDepPolicy::StorageClass.alias(&stack, &static_));
+        assert!(!MemDepPolicy::StorageClass.alias(&heap, &static_));
+        // Within a class, different bases still conflict.
+        let heap2 = key(Reg::o(1), 0, &mut pool);
+        assert!(MemDepPolicy::StorageClass.alias(&heap, &heap2));
+    }
+
+    #[test]
+    fn indexed_references_are_wild() {
+        let mut pool = MemExprPool::new();
+        let e = pool.intern("[%o0+%o1]");
+        let wild = MemKey::of(&MemRef::base_index(Reg::o(0), Reg::o(1), e));
+        let stack = key(Reg::fp(), -8, &mut pool);
+        assert_eq!(wild.class, StorageClass::Wild);
+        assert!(MemDepPolicy::StorageClass.alias(&wild, &stack));
+    }
+
+    #[test]
+    fn symbolic_expr_matches_only_identical_expressions() {
+        let mut pool = MemExprPool::new();
+        let a = key(Reg::fp(), -8, &mut pool);
+        let a2 = key(Reg::fp(), -8, &mut pool); // same text, same expr id
+        let b = key(Reg::o(0), 0, &mut pool);
+        assert!(MemDepPolicy::SymbolicExpr.alias(&a, &a2));
+        assert!(!MemDepPolicy::SymbolicExpr.alias(&a, &b));
+    }
+
+    #[test]
+    fn alias_is_symmetric_across_policies() {
+        let mut pool = MemExprPool::new();
+        let keys = [
+            key(Reg::fp(), -8, &mut pool),
+            key(Reg::fp(), -12, &mut pool),
+            key(Reg::o(0), 0, &mut pool),
+            key(Reg::g(1), 4, &mut pool),
+        ];
+        for p in MemDepPolicy::ALL {
+            for a in &keys {
+                for b in &keys {
+                    assert_eq!(p.alias(a, b), p.alias(b, a), "{p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storage_class_derivation() {
+        let mut pool = MemExprPool::new();
+        assert_eq!(key(Reg::fp(), 0, &mut pool).class, StorageClass::Stack);
+        assert_eq!(key(Reg::sp(), 0, &mut pool).class, StorageClass::Stack);
+        assert_eq!(key(Reg::g(2), 0, &mut pool).class, StorageClass::Static);
+        assert_eq!(key(Reg::l(0), 0, &mut pool).class, StorageClass::Heap);
+    }
+}

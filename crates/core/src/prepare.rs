@@ -1,0 +1,213 @@
+//! Per-block preparation shared by all construction algorithms.
+
+use dagsched_isa::{Instruction, MachineModel, MemAccessKind, Reg, Resource};
+
+use crate::memdep::{MemKey, MemOp};
+
+/// Dense index of a register resource (`0..REG_RESOURCE_COUNT`), used by
+/// the table-building algorithms' definition/use tables.
+pub const REG_RESOURCE_COUNT: usize = 67;
+
+/// Map a register to its dense resource index.
+pub fn reg_resource_id(r: Reg) -> usize {
+    match r {
+        Reg::Int(n) => n as usize,
+        Reg::Fp(n) => 32 + n as usize,
+        Reg::Icc => 64,
+        Reg::Fcc => 65,
+        Reg::Y => 66,
+    }
+}
+
+/// A basic block preprocessed for DAG construction: per-instruction
+/// register definition/use lists (deduplicated, `%g0` writes removed) and
+/// the memory operation, if any.
+///
+/// Both the compare-against-all and the table-building algorithms consume
+/// this; building it is the common "first pass over the instructions".
+#[derive(Debug)]
+pub struct PreparedBlock<'a> {
+    /// The block's instructions.
+    pub insns: &'a [Instruction],
+    /// Register definitions per instruction (deduplicated).
+    pub reg_defs: Vec<Vec<Reg>>,
+    /// Register uses per instruction (deduplicated, operand order kept).
+    pub reg_uses: Vec<Vec<Reg>>,
+    /// Memory operation per instruction.
+    pub mem_ops: Vec<Option<MemOp>>,
+}
+
+impl<'a> PreparedBlock<'a> {
+    /// Preprocess a block.
+    pub fn new(insns: &'a [Instruction]) -> PreparedBlock<'a> {
+        let mut reg_defs = Vec::with_capacity(insns.len());
+        let mut reg_uses = Vec::with_capacity(insns.len());
+        let mut mem_ops = Vec::with_capacity(insns.len());
+        for insn in insns {
+            let mut defs: Vec<Reg> = Vec::new();
+            for res in insn.defs() {
+                if let Resource::Reg(r) = res {
+                    if !defs.contains(&r) {
+                        defs.push(r);
+                    }
+                }
+            }
+            let mut uses: Vec<Reg> = Vec::new();
+            for res in insn.uses() {
+                if let Resource::Reg(r) = res {
+                    if !uses.contains(&r) {
+                        uses.push(r);
+                    }
+                }
+            }
+            reg_defs.push(defs);
+            reg_uses.push(uses);
+            mem_ops.push(insn.opcode.mem_access().map(|kind| MemOp {
+                kind,
+                key: MemKey::of(insn.mem.as_ref().expect("memory opcode without operand")),
+            }));
+        }
+        PreparedBlock {
+            insns,
+            reg_defs,
+            reg_uses,
+            mem_ops,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// RAW arc latency from instruction `parent` to `child` through
+    /// register `r`.
+    pub fn raw_reg_latency(
+        &self,
+        model: &MachineModel,
+        parent: usize,
+        child: usize,
+        r: Reg,
+    ) -> u32 {
+        model.raw_latency(&self.insns[parent], &self.insns[child], Resource::Reg(r))
+    }
+
+    /// RAW arc latency for a memory (store→load) dependence.
+    pub fn raw_mem_latency(&self, model: &MachineModel, parent: usize, child: usize) -> u32 {
+        let expr = self.mem_ops[parent]
+            .expect("parent is not a memory op")
+            .key
+            .expr;
+        model.raw_latency(&self.insns[parent], &self.insns[child], Resource::Mem(expr))
+    }
+
+    /// WAR arc latency from `parent` to `child` (register or memory).
+    pub fn war_latency(
+        &self,
+        model: &MachineModel,
+        parent: usize,
+        child: usize,
+        res: Resource,
+    ) -> u32 {
+        model.war_latency(&self.insns[parent], &self.insns[child], res)
+    }
+
+    /// WAW arc latency from `parent` to `child` (register or memory).
+    pub fn waw_latency(
+        &self,
+        model: &MachineModel,
+        parent: usize,
+        child: usize,
+        res: Resource,
+    ) -> u32 {
+        model.waw_latency(&self.insns[parent], &self.insns[child], res)
+    }
+
+    /// Whether instruction `i` is a store.
+    pub fn is_store(&self, i: usize) -> bool {
+        matches!(
+            self.mem_ops[i],
+            Some(MemOp {
+                kind: MemAccessKind::Store,
+                ..
+            })
+        )
+    }
+
+    /// Whether instruction `i` is a load.
+    pub fn is_load(&self, i: usize) -> bool {
+        matches!(
+            self.mem_ops[i],
+            Some(MemOp {
+                kind: MemAccessKind::Load,
+                ..
+            })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_isa::{MemExprPool, MemRef, Opcode};
+
+    #[test]
+    fn duplicate_register_uses_are_collapsed() {
+        // add %o0, %o0, %o1 uses %o0 once for dependence purposes.
+        let insns = [Instruction::int3(
+            Opcode::Add,
+            Reg::o(0),
+            Reg::o(0),
+            Reg::o(1),
+        )];
+        let p = PreparedBlock::new(&insns);
+        assert_eq!(p.reg_uses[0], vec![Reg::o(0)]);
+        assert_eq!(p.reg_defs[0], vec![Reg::o(1)]);
+        assert!(p.mem_ops[0].is_none());
+    }
+
+    #[test]
+    fn g0_defs_are_dropped() {
+        let insns = [Instruction::int3(
+            Opcode::Add,
+            Reg::o(0),
+            Reg::o(1),
+            Reg::g(0),
+        )];
+        let p = PreparedBlock::new(&insns);
+        assert!(p.reg_defs[0].is_empty());
+    }
+
+    #[test]
+    fn memory_ops_are_extracted() {
+        let mut pool = MemExprPool::new();
+        let e = pool.intern("[%fp-8]");
+        let insns = [
+            Instruction::load(Opcode::Ld, MemRef::base_offset(Reg::fp(), -8, e), Reg::l(0)),
+            Instruction::store(Opcode::St, Reg::l(0), MemRef::base_offset(Reg::fp(), -8, e)),
+        ];
+        let p = PreparedBlock::new(&insns);
+        assert!(p.is_load(0));
+        assert!(p.is_store(1));
+        assert_eq!(p.mem_ops[0].unwrap().key.expr, e);
+    }
+
+    #[test]
+    fn resource_ids_are_dense_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..32 {
+            assert!(seen.insert(reg_resource_id(Reg::Int(n))));
+            assert!(seen.insert(reg_resource_id(Reg::Fp(n))));
+        }
+        assert!(seen.insert(reg_resource_id(Reg::Icc)));
+        assert!(seen.insert(reg_resource_id(Reg::Fcc)));
+        assert!(seen.insert(reg_resource_id(Reg::Y)));
+        assert_eq!(seen.len(), REG_RESOURCE_COUNT);
+        assert!(seen.iter().all(|&id| id < REG_RESOURCE_COUNT));
+    }
+}

@@ -1,0 +1,147 @@
+//! Debug/visualization output: Graphviz DOT export and annotation dumps.
+
+use std::fmt::Write as _;
+
+use dagsched_isa::{DepKind, Instruction};
+
+use crate::dag::Dag;
+use crate::heur::HeuristicSet;
+
+/// Render a DAG as Graphviz DOT, labelling nodes with their instructions
+/// and arcs with dependence kind and delay.
+///
+/// ```
+/// use dagsched_core::{build_dag, to_dot, ConstructionAlgorithm, MemDepPolicy};
+/// use dagsched_isa::{Instruction, MachineModel, Opcode, Reg};
+/// let insns = vec![
+///     Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4)),
+///     Instruction::fp3(Opcode::FAddD, Reg::f(4), Reg::f(6), Reg::f(8)),
+/// ];
+/// let dag = build_dag(&insns, &MachineModel::sparc2(),
+///                     ConstructionAlgorithm::TableBackward, MemDepPolicy::SymbolicExpr);
+/// let dot = to_dot(&dag, &insns);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("RAW"));
+/// ```
+pub fn to_dot(dag: &Dag, insns: &[Instruction]) -> String {
+    let mut out =
+        String::from("digraph dag {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for n in dag.node_ids() {
+        let label = if n.index() < insns.len() {
+            insns[n.index()].to_string().replace('"', "'")
+        } else {
+            format!("n{}", n.index())
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}: {}\"];",
+            n.index(),
+            n.index(),
+            label
+        );
+    }
+    for arc in dag.arcs() {
+        let style = match arc.kind {
+            DepKind::Raw => "solid",
+            DepKind::War => "dashed",
+            DepKind::Waw => "dotted",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{} {}\", style={}];",
+            arc.from.index(),
+            arc.to.index(),
+            arc.kind,
+            arc.latency,
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the per-node heuristic annotations as an aligned text table —
+/// the view a compiler engineer wants when debugging a scheduling choice.
+pub fn dump_annotations(dag: &Dag, insns: &[Instruction], heur: &HeuristicSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<4} {:<28} {:>4} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+        "#", "instruction", "exec", "kids", "pars", "mptl", "mdtl", "est", "lst", "slack", "live"
+    );
+    for n in dag.node_ids() {
+        let i = n.index();
+        let _ = writeln!(
+            out,
+            "{:<4} {:<28} {:>4} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>+5}",
+            i,
+            insns.get(i).map(|x| x.to_string()).unwrap_or_default(),
+            heur.exec_time[i],
+            heur.num_children[i],
+            heur.num_parents[i],
+            heur.max_path_to_leaf[i],
+            heur.max_delay_to_leaf[i],
+            heur.est[i],
+            heur.lst[i],
+            heur.slack[i],
+            heur.liveness[i],
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_dag, ConstructionAlgorithm};
+    use crate::memdep::MemDepPolicy;
+    use dagsched_isa::{MachineModel, Opcode, Reg};
+
+    fn fixture() -> (Vec<Instruction>, Dag, HeuristicSet) {
+        let insns = vec![
+            Instruction::fp3(Opcode::FDivD, Reg::f(1), Reg::f(2), Reg::f(3)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(4), Reg::f(5), Reg::f(1)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(1), Reg::f(3), Reg::f(6)),
+        ];
+        let model = MachineModel::sparc2();
+        let dag = build_dag(
+            &insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let heur = HeuristicSet::compute(&dag, &insns, &model, false);
+        (insns, dag, heur)
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_arc() {
+        let (insns, dag, _) = fixture();
+        let dot = to_dot(&dag, &insns);
+        for i in 0..3 {
+            assert!(dot.contains(&format!("n{i} [label=")), "node {i}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), dag.arc_count());
+        assert!(dot.contains("WAR 1"));
+        assert!(dot.contains("RAW 20"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let (mut insns, _, _) = fixture();
+        insns.truncate(1);
+        let dag = Dag::new(1);
+        let dot = to_dot(&dag, &insns);
+        assert!(!dot.contains("\"\"\""));
+    }
+
+    #[test]
+    fn annotation_dump_lists_every_node() {
+        let (insns, dag, heur) = fixture();
+        let dump = dump_annotations(&dag, &insns, &heur);
+        assert_eq!(dump.lines().count(), 4); // header + 3 nodes
+        assert!(dump.contains("fdivd"));
+        assert!(dump.contains("slack"));
+    }
+}

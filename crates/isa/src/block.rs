@@ -1,0 +1,190 @@
+//! Programs and basic-block partitioning.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::insn::Instruction;
+use crate::memexpr::MemExprPool;
+
+/// A straight-line instruction stream plus its interned memory expressions.
+///
+/// ```
+/// use dagsched_isa::{Instruction, Opcode, Program, Reg};
+/// let mut p = Program::new();
+/// p.push(Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)));
+/// p.push(Instruction::branch(Opcode::Bicc));
+/// p.push(Instruction::nop()); // delay slot: counted with the NEXT block
+/// p.push(Instruction::int3(Opcode::Sub, Reg::o(0), Reg::o(1), Reg::o(3)));
+/// let blocks = p.basic_blocks();
+/// assert_eq!(blocks.len(), 2);
+/// assert_eq!(blocks[0].len(), 2); // add + branch
+/// assert_eq!(blocks[1].len(), 2); // delay-slot nop + sub
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instructions, in original order.
+    pub insns: Vec<Instruction>,
+    /// Interned symbolic memory address expressions.
+    pub mem_exprs: MemExprPool,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Append an instruction, assigning its
+    /// [`orig_index`](Instruction::orig_index).
+    pub fn push(&mut self, mut insn: Instruction) {
+        insn.orig_index = self.insns.len() as u32;
+        self.insns.push(insn);
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Partition the program into basic blocks using the paper's
+    /// conventions:
+    ///
+    /// * branches, calls, indirect jumps and register-window instructions
+    ///   (`save`/`restore`) end a block;
+    /// * the delay-slot instruction following a delayed control transfer is
+    ///   counted with the *following* block (Table 3's counting rule);
+    /// * a trailing run of instructions with no terminator forms a final
+    ///   block.
+    pub fn basic_blocks(&self) -> Vec<BasicBlock> {
+        let mut blocks = Vec::new();
+        let mut start = 0usize;
+        for (i, insn) in self.insns.iter().enumerate() {
+            if insn.opcode.ends_block() {
+                blocks.push(BasicBlock {
+                    range: start..i + 1,
+                });
+                start = i + 1;
+            }
+        }
+        if start < self.insns.len() {
+            blocks.push(BasicBlock {
+                range: start..self.insns.len(),
+            });
+        }
+        blocks
+    }
+
+    /// The instructions of `block`.
+    pub fn block_insns(&self, block: &BasicBlock) -> &[Instruction] {
+        &self.insns[block.range.clone()]
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for insn in &self.insns {
+            writeln!(f, "    {insn}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A maximal straight-line region: a contiguous index range of a
+/// [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index range into [`Program::insns`].
+    pub range: Range<usize>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the block is empty (never produced by the partitioner).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+    use crate::reg::Reg;
+
+    fn alu(d: u8) -> Instruction {
+        Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(d))
+    }
+
+    #[test]
+    fn push_assigns_orig_index() {
+        let mut p = Program::new();
+        p.push(alu(2));
+        p.push(alu(3));
+        assert_eq!(p.insns[0].orig_index, 0);
+        assert_eq!(p.insns[1].orig_index, 1);
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut p = Program::new();
+        for _ in 0..5 {
+            p.push(alu(2));
+        }
+        let blocks = p.basic_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), 5);
+    }
+
+    #[test]
+    fn branch_ends_block_delay_slot_counts_forward() {
+        let mut p = Program::new();
+        p.push(alu(2));
+        p.push(Instruction::branch(Opcode::Ba));
+        p.push(Instruction::nop()); // delay slot
+        p.push(alu(3));
+        let blocks = p.basic_blocks();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(p.block_insns(&blocks[0]).len(), 2);
+        assert_eq!(p.block_insns(&blocks[1])[0].opcode, Opcode::Nop);
+    }
+
+    #[test]
+    fn call_and_window_ops_end_blocks() {
+        let mut p = Program::new();
+        p.push(Instruction::new(Opcode::Save));
+        p.push(alu(2));
+        p.push(Instruction::branch(Opcode::Call));
+        p.push(alu(3));
+        p.push(Instruction::new(Opcode::Restore));
+        let blocks = p.basic_blocks();
+        // save | add call | add restore
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len(), 1);
+        assert_eq!(blocks[1].len(), 2);
+        assert_eq!(blocks[2].len(), 2);
+    }
+
+    #[test]
+    fn trailing_terminator_leaves_no_empty_block() {
+        let mut p = Program::new();
+        p.push(alu(2));
+        p.push(Instruction::branch(Opcode::Ba));
+        let blocks = p.basic_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_program_has_no_blocks() {
+        assert!(Program::new().basic_blocks().is_empty());
+    }
+}

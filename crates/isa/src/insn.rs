@@ -1,0 +1,495 @@
+//! Instructions: operands, definitions and uses.
+
+use std::fmt;
+
+use crate::memexpr::MemExprId;
+use crate::opcode::{InsnClass, MemAccessKind, Opcode};
+use crate::reg::{Reg, Resource};
+
+/// A memory operand: `[base + index + offset]`, plus the interned symbolic
+/// address expression used for dependence analysis and the paper's "unique
+/// memory expressions" statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base address register.
+    pub base: Reg,
+    /// Optional index register.
+    pub index: Option<Reg>,
+    /// Constant displacement.
+    pub offset: i32,
+    /// Interned symbolic address expression.
+    pub expr: MemExprId,
+}
+
+impl MemRef {
+    /// A `[base + offset]` reference.
+    pub fn base_offset(base: Reg, offset: i32, expr: MemExprId) -> MemRef {
+        MemRef {
+            base,
+            index: None,
+            offset,
+            expr,
+        }
+    }
+
+    /// A `[base + index]` reference.
+    pub fn base_index(base: Reg, index: Reg, expr: MemExprId) -> MemRef {
+        MemRef {
+            base,
+            index: Some(index),
+            offset: 0,
+            expr,
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.base)?;
+        if let Some(ix) = self.index {
+            write!(f, "+{ix}")?;
+        }
+        if self.offset != 0 {
+            write!(f, "{:+}", self.offset)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// One machine instruction.
+///
+/// An instruction is an [`Opcode`] plus operands. Definitions and uses —
+/// the inputs to DAG construction — are derived from the opcode's static
+/// properties and the operands by [`Instruction::defs`] and
+/// [`Instruction::uses`].
+///
+/// ```
+/// use dagsched_isa::{Instruction, Opcode, Reg, Resource};
+/// // %f6 = %f8 + %f0
+/// let add = Instruction::fp3(Opcode::FAddD, Reg::f(8), Reg::f(0), Reg::f(6));
+/// assert_eq!(add.defs(), vec![Resource::Reg(Reg::f(6))]);
+/// assert!(add.uses().contains(&Resource::Reg(Reg::f(0))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// The operation.
+    pub opcode: Opcode,
+    /// Destination register, if any.
+    pub rd: Option<Reg>,
+    /// Register source operands, in operand order.
+    pub rs: Vec<Reg>,
+    /// Memory operand for loads and stores.
+    pub mem: Option<MemRef>,
+    /// Immediate operand, if any.
+    pub imm: Option<i64>,
+    /// Index of this instruction in the original program order. Assigned by
+    /// [`Program::push`](crate::Program::push); used by the "original
+    /// order" tie-break heuristic and by delay-slot bookkeeping.
+    pub orig_index: u32,
+}
+
+impl Instruction {
+    /// A bare instruction with no operands.
+    pub fn new(opcode: Opcode) -> Instruction {
+        Instruction {
+            opcode,
+            rd: None,
+            rs: Vec::new(),
+            mem: None,
+            imm: None,
+            orig_index: u32::MAX,
+        }
+    }
+
+    /// Three-address integer operation `rd = rs1 op rs2`.
+    pub fn int3(opcode: Opcode, rs1: Reg, rs2: Reg, rd: Reg) -> Instruction {
+        debug_assert!(matches!(
+            opcode.class(),
+            InsnClass::IntAlu | InsnClass::IntMulDiv
+        ));
+        Instruction {
+            rd: Some(rd),
+            rs: vec![rs1, rs2],
+            ..Instruction::new(opcode)
+        }
+    }
+
+    /// Integer operation with immediate: `rd = rs1 op imm`.
+    pub fn int_imm(opcode: Opcode, rs1: Reg, imm: i64, rd: Reg) -> Instruction {
+        Instruction {
+            rd: Some(rd),
+            rs: vec![rs1],
+            imm: Some(imm),
+            ..Instruction::new(opcode)
+        }
+    }
+
+    /// Three-address floating point operation `rd = rs1 op rs2`.
+    pub fn fp3(opcode: Opcode, rs1: Reg, rs2: Reg, rd: Reg) -> Instruction {
+        Instruction {
+            rd: Some(rd),
+            rs: vec![rs1, rs2],
+            ..Instruction::new(opcode)
+        }
+    }
+
+    /// Two-address floating point operation `rd = op rs` (moves,
+    /// conversions, square root).
+    pub fn fp2(opcode: Opcode, rs: Reg, rd: Reg) -> Instruction {
+        Instruction {
+            rd: Some(rd),
+            rs: vec![rs],
+            ..Instruction::new(opcode)
+        }
+    }
+
+    /// Floating point compare (defines the FP condition codes only).
+    pub fn fcmp(opcode: Opcode, rs1: Reg, rs2: Reg) -> Instruction {
+        debug_assert!(opcode.sets_fcc());
+        Instruction {
+            rs: vec![rs1, rs2],
+            ..Instruction::new(opcode)
+        }
+    }
+
+    /// Integer compare `cmp rs1, rs2` (a `subcc` discarding its result).
+    pub fn cmp(rs1: Reg, rs2: Reg) -> Instruction {
+        Instruction {
+            rs: vec![rs1, rs2],
+            ..Instruction::new(Opcode::SubCc)
+        }
+    }
+
+    /// Load `rd = [mem]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `opcode` is not a load.
+    pub fn load(opcode: Opcode, mem: MemRef, rd: Reg) -> Instruction {
+        debug_assert_eq!(opcode.mem_access(), Some(MemAccessKind::Load));
+        Instruction {
+            rd: Some(rd),
+            mem: Some(mem),
+            ..Instruction::new(opcode)
+        }
+    }
+
+    /// Store `[mem] = src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `opcode` is not a store.
+    pub fn store(opcode: Opcode, src: Reg, mem: MemRef) -> Instruction {
+        debug_assert_eq!(opcode.mem_access(), Some(MemAccessKind::Store));
+        Instruction {
+            rs: vec![src],
+            mem: Some(mem),
+            ..Instruction::new(opcode)
+        }
+    }
+
+    /// `sethi imm, rd`.
+    pub fn sethi(imm: i64, rd: Reg) -> Instruction {
+        Instruction {
+            rd: Some(rd),
+            imm: Some(imm),
+            ..Instruction::new(Opcode::Sethi)
+        }
+    }
+
+    /// `mov imm, rd`.
+    pub fn mov_imm(imm: i64, rd: Reg) -> Instruction {
+        Instruction {
+            rd: Some(rd),
+            imm: Some(imm),
+            ..Instruction::new(Opcode::Mov)
+        }
+    }
+
+    /// A control transfer with no register operands (`ba`, `bicc`, `fbcc`,
+    /// `call`, `jmpl`).
+    pub fn branch(opcode: Opcode) -> Instruction {
+        debug_assert!(matches!(
+            opcode.class(),
+            InsnClass::Branch | InsnClass::Call
+        ));
+        Instruction::new(opcode)
+    }
+
+    /// `nop`.
+    pub fn nop() -> Instruction {
+        Instruction::new(Opcode::Nop)
+    }
+
+    /// The functional class (delegates to the opcode).
+    pub fn class(&self) -> InsnClass {
+        self.opcode.class()
+    }
+
+    /// All resources *defined* (written) by this instruction, in a fixed
+    /// order: destination register (then its double-word partner), condition
+    /// codes, `%y`, then the memory expression for stores.
+    ///
+    /// Writes to the hardwired zero register `%g0` are discarded.
+    pub fn defs(&self) -> Vec<Resource> {
+        let mut out = Vec::with_capacity(2);
+        if let Some(rd) = self.rd {
+            if rd.is_writable() {
+                out.push(Resource::Reg(rd));
+            }
+            if self.opcode.is_dword() && self.opcode.mem_access() == Some(MemAccessKind::Load) {
+                if let Some(hi) = rd.pair_partner() {
+                    out.push(Resource::Reg(hi));
+                }
+            }
+        }
+        if self.opcode.sets_icc() {
+            out.push(Resource::Reg(Reg::Icc));
+        }
+        if self.opcode.sets_fcc() {
+            out.push(Resource::Reg(Reg::Fcc));
+        }
+        if self.opcode.sets_y() {
+            out.push(Resource::Reg(Reg::Y));
+        }
+        if self.opcode.mem_access() == Some(MemAccessKind::Store) {
+            if let Some(m) = &self.mem {
+                out.push(Resource::Mem(m.expr));
+            }
+        }
+        out
+    }
+
+    /// All resources *used* (read) by this instruction, in a fixed order:
+    /// register sources (then double-word partners for dword stores),
+    /// memory base/index registers, condition codes, `%y`, then the memory
+    /// expression for loads.
+    ///
+    /// Reads of `%g0` are kept (they are harmless: `%g0` is never defined,
+    /// so no arcs result).
+    pub fn uses(&self) -> Vec<Resource> {
+        let mut out = Vec::with_capacity(4);
+        for &r in &self.rs {
+            out.push(Resource::Reg(r));
+            if self.opcode.is_dword() && self.opcode.mem_access() == Some(MemAccessKind::Store) {
+                if let Some(hi) = r.pair_partner() {
+                    out.push(Resource::Reg(hi));
+                }
+            }
+        }
+        if let Some(m) = &self.mem {
+            out.push(Resource::Reg(m.base));
+            if let Some(ix) = m.index {
+                out.push(Resource::Reg(ix));
+            }
+        }
+        if self.opcode.reads_icc() {
+            out.push(Resource::Reg(Reg::Icc));
+        }
+        if self.opcode.reads_fcc() {
+            out.push(Resource::Reg(Reg::Fcc));
+        }
+        if self.opcode.reads_y() {
+            out.push(Resource::Reg(Reg::Y));
+        }
+        if self.opcode.mem_access() == Some(MemAccessKind::Load) {
+            if let Some(m) = &self.mem {
+                out.push(Resource::Mem(m.expr));
+            }
+        }
+        out
+    }
+
+    /// Position of `res` among this instruction's *register source
+    /// operands* (`rs`), used by asymmetric-bypass latency rules (a value
+    /// consumed as the second source operand may see a different RAW delay
+    /// than one consumed as the first — cf. the paper's RS/6000 example).
+    pub fn src_position(&self, res: Resource) -> Option<usize> {
+        match res {
+            Resource::Reg(r) => self.rs.iter().position(|&s| s == r),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction accesses memory.
+    pub fn is_mem(&self) -> bool {
+        self.opcode.mem_access().is_some()
+    }
+
+    /// Whether this instruction is a load.
+    pub fn is_load(&self) -> bool {
+        self.opcode.mem_access() == Some(MemAccessKind::Load)
+    }
+
+    /// Whether this instruction is a store.
+    pub fn is_store(&self) -> bool {
+        self.opcode.mem_access() == Some(MemAccessKind::Store)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if self.is_load() {
+            if let Some(m) = &self.mem {
+                sep(f)?;
+                write!(f, "{m}")?;
+            }
+        }
+        for r in &self.rs {
+            sep(f)?;
+            write!(f, "{r}")?;
+        }
+        if let Some(imm) = self.imm {
+            sep(f)?;
+            write!(f, "{imm}")?;
+        }
+        if self.is_store() {
+            if let Some(m) = &self.mem {
+                sep(f)?;
+                write!(f, "{m}")?;
+            }
+        }
+        if let Some(rd) = self.rd {
+            sep(f)?;
+            write!(f, "{rd}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memexpr::MemExprPool;
+
+    fn expr(pool: &mut MemExprPool, t: &str) -> MemExprId {
+        pool.intern(t)
+    }
+
+    #[test]
+    fn int3_defs_and_uses() {
+        let i = Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2));
+        assert_eq!(i.defs(), vec![Resource::Reg(Reg::o(2))]);
+        assert_eq!(
+            i.uses(),
+            vec![Resource::Reg(Reg::o(0)), Resource::Reg(Reg::o(1))]
+        );
+    }
+
+    #[test]
+    fn g0_writes_are_discarded() {
+        let i = Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::g(0));
+        assert!(i.defs().is_empty());
+    }
+
+    #[test]
+    fn cmp_defines_only_icc() {
+        let i = Instruction::cmp(Reg::o(0), Reg::o(1));
+        assert_eq!(i.defs(), vec![Resource::Reg(Reg::Icc)]);
+    }
+
+    #[test]
+    fn branch_uses_icc() {
+        let i = Instruction::branch(Opcode::Bicc);
+        assert_eq!(i.uses(), vec![Resource::Reg(Reg::Icc)]);
+        assert!(i.defs().is_empty());
+    }
+
+    #[test]
+    fn load_uses_base_and_memory_defines_rd() {
+        let mut pool = MemExprPool::new();
+        let e = expr(&mut pool, "[%fp-8]");
+        let i = Instruction::load(Opcode::Ld, MemRef::base_offset(Reg::fp(), -8, e), Reg::l(0));
+        assert_eq!(i.defs(), vec![Resource::Reg(Reg::l(0))]);
+        assert_eq!(i.uses(), vec![Resource::Reg(Reg::fp()), Resource::Mem(e)]);
+    }
+
+    #[test]
+    fn store_defines_memory_uses_value_and_base() {
+        let mut pool = MemExprPool::new();
+        let e = expr(&mut pool, "[%fp-8]");
+        let i = Instruction::store(Opcode::St, Reg::l(1), MemRef::base_offset(Reg::fp(), -8, e));
+        assert_eq!(i.defs(), vec![Resource::Mem(e)]);
+        assert_eq!(
+            i.uses(),
+            vec![Resource::Reg(Reg::l(1)), Resource::Reg(Reg::fp())]
+        );
+    }
+
+    #[test]
+    fn dword_load_defines_register_pair() {
+        let mut pool = MemExprPool::new();
+        let e = expr(&mut pool, "[%o0]");
+        let i = Instruction::load(
+            Opcode::LdDf,
+            MemRef::base_offset(Reg::o(0), 0, e),
+            Reg::f(2),
+        );
+        assert_eq!(
+            i.defs(),
+            vec![Resource::Reg(Reg::f(2)), Resource::Reg(Reg::f(3))]
+        );
+    }
+
+    #[test]
+    fn dword_store_uses_register_pair() {
+        let mut pool = MemExprPool::new();
+        let e = expr(&mut pool, "[%o0]");
+        let i = Instruction::store(
+            Opcode::StDf,
+            Reg::f(4),
+            MemRef::base_offset(Reg::o(0), 0, e),
+        );
+        assert!(i.uses().contains(&Resource::Reg(Reg::f(4))));
+        assert!(i.uses().contains(&Resource::Reg(Reg::f(5))));
+    }
+
+    #[test]
+    fn mul_defines_y() {
+        let i = Instruction::int3(Opcode::Umul, Reg::o(0), Reg::o(1), Reg::o(2));
+        assert!(i.defs().contains(&Resource::Reg(Reg::Y)));
+    }
+
+    #[test]
+    fn base_index_mem_uses_both_registers() {
+        let mut pool = MemExprPool::new();
+        let e = expr(&mut pool, "[%o0+%o1]");
+        let i = Instruction::load(
+            Opcode::LdF,
+            MemRef::base_index(Reg::o(0), Reg::o(1), e),
+            Reg::f(0),
+        );
+        assert!(i.uses().contains(&Resource::Reg(Reg::o(0))));
+        assert!(i.uses().contains(&Resource::Reg(Reg::o(1))));
+    }
+
+    #[test]
+    fn src_position_reports_operand_slot() {
+        let i = Instruction::fp3(Opcode::FAddD, Reg::f(0), Reg::f(2), Reg::f(4));
+        assert_eq!(i.src_position(Resource::Reg(Reg::f(0))), Some(0));
+        assert_eq!(i.src_position(Resource::Reg(Reg::f(2))), Some(1));
+        assert_eq!(i.src_position(Resource::Reg(Reg::f(4))), None);
+    }
+
+    #[test]
+    fn display_formats_assembly() {
+        let mut pool = MemExprPool::new();
+        let e = expr(&mut pool, "[%fp-8]");
+        let i = Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2));
+        assert_eq!(i.to_string(), "add %o0, %o1, %o2");
+        let l = Instruction::load(Opcode::Ld, MemRef::base_offset(Reg::fp(), -8, e), Reg::l(0));
+        assert_eq!(l.to_string(), "ld [%i6-8], %l0");
+        let s = Instruction::store(Opcode::St, Reg::l(0), MemRef::base_offset(Reg::fp(), -8, e));
+        assert_eq!(s.to_string(), "st %l0, [%i6-8]");
+    }
+}

@@ -1,0 +1,136 @@
+//! Interned symbolic memory address expressions.
+//!
+//! The paper characterizes benchmarks by the number of *unique memory
+//! expressions* per basic block (Table 3) and notes that its DAG
+//! construction implementation grows a variable-length resource map as new
+//! expressions are encountered. We reproduce that structure: each distinct
+//! symbolic address text (`[%fp-8]`, `[%o0+%o1]`, a synthetic generator
+//! token, …) is interned once per [`MemExprPool`] and identified by a
+//! [`MemExprId`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned symbolic memory address expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemExprId(u32);
+
+impl MemExprId {
+    /// Construct from a raw pool index.
+    pub fn from_index(ix: u32) -> MemExprId {
+        MemExprId(ix)
+    }
+
+    /// The raw pool index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MemExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mexpr#{}", self.0)
+    }
+}
+
+/// A pool of interned symbolic memory address expressions.
+///
+/// ```
+/// use dagsched_isa::MemExprPool;
+/// let mut pool = MemExprPool::new();
+/// let a = pool.intern("[%fp-8]");
+/// let b = pool.intern("[%fp-12]");
+/// assert_ne!(a, b);
+/// assert_eq!(pool.intern("[%fp-8]"), a);
+/// assert_eq!(pool.text(a), "[%fp-8]");
+/// assert_eq!(pool.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemExprPool {
+    texts: Vec<String>,
+    index: HashMap<String, MemExprId>,
+}
+
+impl MemExprPool {
+    /// An empty pool.
+    pub fn new() -> MemExprPool {
+        MemExprPool::default()
+    }
+
+    /// Intern `text`, returning the existing id if already present.
+    pub fn intern(&mut self, text: &str) -> MemExprId {
+        if let Some(&id) = self.index.get(text) {
+            return id;
+        }
+        let id = MemExprId(self.texts.len() as u32);
+        self.texts.push(text.to_owned());
+        self.index.insert(text.to_owned(), id);
+        id
+    }
+
+    /// Look up an expression without interning it.
+    pub fn get(&self, text: &str) -> Option<MemExprId> {
+        self.index.get(text).copied()
+    }
+
+    /// The text of an interned expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this pool.
+    pub fn text(&self, id: MemExprId) -> &str {
+        &self.texts[id.0 as usize]
+    }
+
+    /// Number of distinct expressions interned so far.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Iterate over `(id, text)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (MemExprId, &str)> {
+        self.texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (MemExprId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut pool = MemExprPool::new();
+        let a = pool.intern("x");
+        let a2 = pool.intern("x");
+        assert_eq!(a, a2);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_order() {
+        let mut pool = MemExprPool::new();
+        for i in 0..10 {
+            let id = pool.intern(&format!("e{i}"));
+            assert_eq!(id.index(), i);
+        }
+        let collected: Vec<_> = pool.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(collected, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut pool = MemExprPool::new();
+        assert_eq!(pool.get("y"), None);
+        let id = pool.intern("y");
+        assert_eq!(pool.get("y"), Some(id));
+        assert_eq!(pool.len(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Architectural registers and schedulable resources.
+
+use std::fmt;
+
+use crate::memexpr::MemExprId;
+
+/// An architectural register of the modelled SPARC-like machine.
+///
+/// Integer registers are numbered 0–31 and displayed with the SPARC window
+/// naming convention (`%g0`–`%g7`, `%o0`–`%o7`, `%l0`–`%l7`, `%i0`–`%i7`).
+/// Floating point registers are `%f0`–`%f31`. The integer and floating
+/// point condition codes and the `%y` multiply/divide register are modelled
+/// as dedicated resources so that compare/branch and `mul`/`div` chains are
+/// properly serialized.
+///
+/// ```
+/// use dagsched_isa::Reg;
+/// assert_eq!(Reg::int(9).to_string(), "%o1");
+/// assert_eq!(Reg::f(2).to_string(), "%f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// Integer register `0..32` (`%g`, `%o`, `%l`, `%i` banks).
+    Int(u8),
+    /// Floating point register `0..32`.
+    Fp(u8),
+    /// Integer condition codes (set by `subcc`/`addcc`, read by `bicc`).
+    Icc,
+    /// Floating point condition codes (set by `fcmp*`, read by `fbcc`).
+    Fcc,
+    /// The `%y` register used by integer multiply/divide.
+    Y,
+}
+
+impl Reg {
+    /// Integer register `n` (0–31).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn int(n: u8) -> Reg {
+        assert!(n < 32, "integer register out of range: {n}");
+        Reg::Int(n)
+    }
+
+    /// Floating point register `n` (0–31).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn f(n: u8) -> Reg {
+        assert!(n < 32, "fp register out of range: {n}");
+        Reg::Fp(n)
+    }
+
+    /// Global integer register `%gN`.
+    pub fn g(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg::Int(n)
+    }
+
+    /// Output integer register `%oN`.
+    pub fn o(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg::Int(8 + n)
+    }
+
+    /// Local integer register `%lN`.
+    pub fn l(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg::Int(16 + n)
+    }
+
+    /// Input integer register `%iN`.
+    pub fn i(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg::Int(24 + n)
+    }
+
+    /// The frame pointer `%fp` (alias of `%i6`).
+    pub fn fp() -> Reg {
+        Reg::Int(30)
+    }
+
+    /// The stack pointer `%sp` (alias of `%o6`).
+    pub fn sp() -> Reg {
+        Reg::Int(14)
+    }
+
+    /// The register class this register belongs to.
+    pub fn class(&self) -> RegClass {
+        match self {
+            Reg::Int(_) => RegClass::Int,
+            Reg::Fp(_) => RegClass::Fp,
+            Reg::Icc | Reg::Fcc => RegClass::CondCode,
+            Reg::Y => RegClass::Special,
+        }
+    }
+
+    /// Whether writes to this register create a value (`%g0` is hardwired
+    /// to zero on SPARC, so defining it is a no-op and births no register).
+    pub fn is_writable(&self) -> bool {
+        !matches!(self, Reg::Int(0))
+    }
+
+    /// The next consecutive register of the same bank, used for double-word
+    /// register pairs (`ldd`/`std`/`lddf`). Returns `None` at bank ends or
+    /// for non-numbered registers.
+    pub fn pair_partner(&self) -> Option<Reg> {
+        match *self {
+            Reg::Int(n) if n + 1 < 32 => Some(Reg::Int(n + 1)),
+            Reg::Fp(n) if n + 1 < 32 => Some(Reg::Fp(n + 1)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::Int(n) => {
+                let (bank, idx) = match n {
+                    0..=7 => ('g', n),
+                    8..=15 => ('o', n - 8),
+                    16..=23 => ('l', n - 16),
+                    _ => ('i', n - 24),
+                };
+                write!(f, "%{bank}{idx}")
+            }
+            Reg::Fp(n) => write!(f, "%f{n}"),
+            Reg::Icc => write!(f, "%icc"),
+            Reg::Fcc => write!(f, "%fcc"),
+            Reg::Y => write!(f, "%y"),
+        }
+    }
+}
+
+/// Broad register classes, used by register-pressure heuristics and by the
+/// workload generator's operand selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// General purpose integer registers.
+    Int,
+    /// Floating point registers.
+    Fp,
+    /// Condition code registers.
+    CondCode,
+    /// Special registers (`%y`).
+    Special,
+}
+
+/// A schedulable resource: the unit on which RAW/WAR/WAW dependencies are
+/// computed during DAG construction.
+///
+/// Memory is represented by interned symbolic address expressions
+/// ([`MemExprId`]), matching the paper's Table 3 statistic "unique memory
+/// expressions". How expressions are mapped to dependence-relevant
+/// resources (one resource per expression, a single serialized memory
+/// resource, base+offset disambiguation, …) is a *policy* decision made by
+/// the DAG construction crate; `Resource::MemAll` exists so that the
+/// fully-serialized policy can be expressed in resource terms too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// An architectural register.
+    Reg(Reg),
+    /// One interned symbolic memory expression.
+    Mem(MemExprId),
+    /// All of memory as a single resource (strict load/store serialization).
+    MemAll,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Reg(r) => write!(f, "{r}"),
+            Resource::Mem(id) => write!(f, "[mem#{}]", id.index()),
+            Resource::MemAll => write!(f, "[mem]"),
+        }
+    }
+}
+
+impl From<Reg> for Resource {
+    fn from(r: Reg) -> Resource {
+        Resource::Reg(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_window_banks() {
+        assert_eq!(Reg::int(0).to_string(), "%g0");
+        assert_eq!(Reg::int(8).to_string(), "%o0");
+        assert_eq!(Reg::int(17).to_string(), "%l1");
+        assert_eq!(Reg::int(31).to_string(), "%i7");
+        assert_eq!(Reg::Y.to_string(), "%y");
+    }
+
+    #[test]
+    fn bank_constructors_agree_with_flat_numbering() {
+        assert_eq!(Reg::g(3), Reg::int(3));
+        assert_eq!(Reg::o(3), Reg::int(11));
+        assert_eq!(Reg::l(3), Reg::int(19));
+        assert_eq!(Reg::i(3), Reg::int(27));
+        assert_eq!(Reg::fp(), Reg::i(6));
+        assert_eq!(Reg::sp(), Reg::o(6));
+    }
+
+    #[test]
+    fn g0_is_not_writable() {
+        assert!(!Reg::int(0).is_writable());
+        assert!(Reg::int(1).is_writable());
+        assert!(Reg::f(0).is_writable());
+    }
+
+    #[test]
+    fn pair_partner_is_next_register() {
+        assert_eq!(Reg::f(0).pair_partner(), Some(Reg::f(1)));
+        assert_eq!(Reg::int(5).pair_partner(), Some(Reg::int(6)));
+        assert_eq!(Reg::f(31).pair_partner(), None);
+        assert_eq!(Reg::Icc.pair_partner(), None);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Reg::int(4).class(), RegClass::Int);
+        assert_eq!(Reg::f(4).class(), RegClass::Fp);
+        assert_eq!(Reg::Icc.class(), RegClass::CondCode);
+        assert_eq!(Reg::Fcc.class(), RegClass::CondCode);
+        assert_eq!(Reg::Y.class(), RegClass::Special);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_bounds_checked() {
+        let _ = Reg::int(32);
+    }
+}

@@ -1,0 +1,231 @@
+//! Table 2 — the analysis of six published scheduling algorithms — as
+//! machine-readable metadata derived from the *actual* [`Scheduler`]
+//! configurations (so the printed table cannot drift from the code).
+
+use dagsched_core::PassDirection;
+
+use crate::algorithms::{Scheduler, SchedulerKind};
+use crate::framework::SchedDirection;
+use crate::selector::Criterion;
+
+/// One ranked heuristic entry of a Table 2 column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedHeuristic {
+    /// 1-based rank ("relative importance of heuristic").
+    pub rank: usize,
+    /// The criterion (key + sense).
+    pub criterion: Criterion,
+    /// The paper's calculation-code annotation (`f`, `b`, `v`, or empty
+    /// for construction-time heuristics).
+    pub pass_code: &'static str,
+}
+
+/// One column of Table 2.
+#[derive(Debug, Clone)]
+pub struct AlgorithmInfo {
+    /// Which algorithm.
+    pub kind: SchedulerKind,
+    /// DAG construction pass direction, `None` when the paper prints
+    /// "n.g." (not given).
+    pub dag_pass: Option<PassDirection>,
+    /// DAG construction algorithm name, `None` when not given.
+    pub dag_algorithm: Option<&'static str>,
+    /// Scheduling pass direction.
+    pub sched_pass: SchedDirection,
+    /// Whether a postpass fixup follows the scheduling pass.
+    pub postpass: bool,
+    /// Whether heuristics combine into a single priority value.
+    pub priority_fn: bool,
+    /// The ranked heuristics.
+    pub heuristics: Vec<RankedHeuristic>,
+}
+
+/// Table 2, derived from the live scheduler configurations.
+pub fn algorithm_catalog() -> Vec<AlgorithmInfo> {
+    SchedulerKind::ALL
+        .iter()
+        .map(|&kind| {
+            let s = Scheduler::new(kind);
+            let heuristics = s
+                .list
+                .strategy
+                .criteria()
+                .into_iter()
+                .enumerate()
+                .map(|(i, criterion)| RankedHeuristic {
+                    rank: i + 1,
+                    criterion,
+                    pass_code: criterion.key.pass_code(),
+                })
+                .collect();
+            AlgorithmInfo {
+                kind,
+                dag_pass: kind
+                    .construction_given()
+                    .then(|| s.construction.direction()),
+                dag_algorithm: kind.construction_given().then(|| {
+                    if s.construction.name().starts_with("n**2") {
+                        "n**2"
+                    } else {
+                        "table building"
+                    }
+                }),
+                sched_pass: s.list.direction,
+                postpass: s.postpass_fixup,
+                priority_fn: s.list.strategy.is_priority_fn(),
+                heuristics,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::HeurKey;
+
+    fn info(kind: SchedulerKind) -> AlgorithmInfo {
+        algorithm_catalog()
+            .into_iter()
+            .find(|a| a.kind == kind)
+            .unwrap()
+    }
+
+    #[test]
+    fn catalog_has_six_columns() {
+        assert_eq!(algorithm_catalog().len(), 6);
+    }
+
+    #[test]
+    fn dag_construction_row_matches_table2() {
+        let gm = info(SchedulerKind::GibbonsMuchnick);
+        assert_eq!(gm.dag_pass, Some(PassDirection::Backward));
+        assert_eq!(gm.dag_algorithm, Some("n**2"));
+        let k = info(SchedulerKind::Krishnamurthy);
+        assert_eq!(k.dag_pass, Some(PassDirection::Forward));
+        assert_eq!(k.dag_algorithm, Some("table building"));
+        assert_eq!(info(SchedulerKind::Schlansker).dag_algorithm, None, "n.g.");
+        assert_eq!(
+            info(SchedulerKind::ShiehPapachristou).dag_pass,
+            None,
+            "n.g."
+        );
+        let t = info(SchedulerKind::Tiemann);
+        assert_eq!(t.dag_algorithm, Some("table building"));
+        let w = info(SchedulerKind::Warren);
+        assert_eq!(w.dag_algorithm, Some("n**2"));
+        assert_eq!(w.dag_pass, Some(PassDirection::Forward));
+    }
+
+    #[test]
+    fn priority_fn_flags_match_table2() {
+        assert!(!info(SchedulerKind::GibbonsMuchnick).priority_fn);
+        assert!(info(SchedulerKind::Krishnamurthy).priority_fn);
+        assert!(info(SchedulerKind::Schlansker).priority_fn);
+        assert!(!info(SchedulerKind::ShiehPapachristou).priority_fn);
+        assert!(info(SchedulerKind::Tiemann).priority_fn);
+        assert!(!info(SchedulerKind::Warren).priority_fn);
+    }
+
+    #[test]
+    fn ranked_heuristics_match_table2() {
+        let keys = |k: SchedulerKind| -> Vec<HeurKey> {
+            info(k).heuristics.iter().map(|h| h.criterion.key).collect()
+        };
+        assert_eq!(
+            keys(SchedulerKind::GibbonsMuchnick),
+            vec![
+                HeurKey::NoInterlockWithPrevious,
+                HeurKey::InterlockWithChild,
+                HeurKey::NumChildren,
+                HeurKey::MaxPathToLeaf,
+            ]
+        );
+        assert_eq!(
+            keys(SchedulerKind::Krishnamurthy),
+            vec![
+                HeurKey::EarliestExecTime,
+                HeurKey::NoFpuInterlock,
+                HeurKey::MaxPathToLeaf,
+                HeurKey::ExecTime,
+                HeurKey::MaxDelayToLeaf,
+            ]
+        );
+        assert_eq!(
+            keys(SchedulerKind::Schlansker),
+            vec![HeurKey::Slack, HeurKey::Lst]
+        );
+        assert_eq!(
+            keys(SchedulerKind::ShiehPapachristou),
+            vec![
+                HeurKey::MaxDelayToLeaf,
+                HeurKey::ExecTime,
+                HeurKey::NumChildren,
+                HeurKey::NumParents,
+                HeurKey::MaxPathFromRoot,
+            ]
+        );
+        assert_eq!(
+            keys(SchedulerKind::Tiemann),
+            vec![
+                HeurKey::MaxDelayFromRoot,
+                HeurKey::BirthingAdjust,
+                HeurKey::OriginalOrder,
+            ]
+        );
+        assert_eq!(
+            keys(SchedulerKind::Warren),
+            vec![
+                HeurKey::EarliestExecTime,
+                HeurKey::AlternateType,
+                HeurKey::MaxDelayToLeaf,
+                HeurKey::Liveness,
+                HeurKey::NumUncoveredChildren,
+                HeurKey::OriginalOrder,
+            ]
+        );
+    }
+
+    #[test]
+    fn pass_codes_annotate_dynamic_and_directional_heuristics() {
+        let gm = info(SchedulerKind::GibbonsMuchnick);
+        assert_eq!(gm.heuristics[0].pass_code, "v");
+        assert_eq!(gm.heuristics[3].pass_code, "b");
+        let t = info(SchedulerKind::Tiemann);
+        assert_eq!(t.heuristics[0].pass_code, "f");
+    }
+
+    #[test]
+    fn only_krishnamurthy_has_a_postpass() {
+        for a in algorithm_catalog() {
+            assert_eq!(
+                a.postpass,
+                a.kind == SchedulerKind::Krishnamurthy,
+                "{}",
+                a.kind
+            );
+        }
+    }
+
+    #[test]
+    fn two_algorithms_need_both_pass_directions() {
+        // §5: "two require the calculation of heuristics in both a forward
+        // and backward manner" — Schlansker (slack) and Shieh (leaf +
+        // root heuristics).
+        let needs_both = |a: &AlgorithmInfo| {
+            let codes: Vec<_> = a.heuristics.iter().map(|h| h.pass_code).collect();
+            let f = codes.iter().any(|c| c.contains('f'));
+            let b = codes.iter().any(|c| c.contains('b') || *c == "f+b");
+            f && b
+        };
+        let both: Vec<_> = algorithm_catalog()
+            .into_iter()
+            .filter(needs_both)
+            .map(|a| a.kind)
+            .collect();
+        assert_eq!(
+            both,
+            vec![SchedulerKind::Schlansker, SchedulerKind::ShiehPapachristou]
+        );
+    }
+}

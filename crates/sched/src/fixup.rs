@@ -1,0 +1,196 @@
+//! Postpass delay-slot fixup (Krishnamurthy).
+//!
+//! Table 2 notes Krishnamurthy's algorithm uses "a postpass 'fixup' to try
+//! to fill more operation delay slots than are filled by the heuristic
+//! scheduling pass": after list scheduling, idle issue cycles (operation
+//! delay slots the heuristics failed to cover) are filled by hoisting a
+//! later, independent instruction into the gap when legal.
+
+use dagsched_core::Dag;
+use dagsched_isa::{Instruction, MachineModel};
+
+use crate::schedule::Schedule;
+
+/// Attempt to fill idle cycles in `schedule` by hoisting later
+/// instructions. Returns the improved schedule and how many instructions
+/// were moved.
+///
+/// A candidate instruction at position `k` may be hoisted to the gap after
+/// position `g` when:
+///
+/// * none of its DAG parents sit strictly between `g` and `k` in the
+///   current order (its dependences are already satisfied at the gap), and
+/// * its operands are ready by the gap cycle, so the move genuinely fills
+///   the stall instead of relocating it.
+///
+/// The scan is a single forward pass, restarting timing after each move —
+/// the same greedy structure as the original postpass.
+pub fn fixup_delay_slots(
+    schedule: &Schedule,
+    dag: &Dag,
+    insns: &[Instruction],
+    model: &MachineModel,
+) -> (Schedule, usize) {
+    let mut order = schedule.order.clone();
+    let mut moved = 0usize;
+    let mut g = 0usize;
+    while g + 1 < order.len() {
+        let timed = Schedule::from_order(order.clone(), dag, insns, model);
+        // Node -> position index for this iteration's order.
+        let mut pos_of = vec![usize::MAX; order.len()];
+        for (p, n) in order.iter().enumerate() {
+            pos_of[n.index()] = p;
+        }
+        let gap_start = timed.issue_cycle[g] + 1;
+        let gap = timed.issue_cycle[g + 1].saturating_sub(gap_start);
+        if gap == 0 {
+            g += 1;
+            continue;
+        }
+        // Find the first later instruction that can legally move to g+1,
+        // actually issues inside the gap, and does not push the rest of
+        // the schedule out (hoisting past instructions costs each of them
+        // an issue slot, which can lengthen a tight schedule).
+        let old_makespan = timed.makespan(insns, model);
+        let mut found = None;
+        'search: for k in g + 2..order.len() {
+            let cand = order[k];
+            // Never hoist a control transfer: the block terminator must
+            // keep its final position.
+            if insns[cand.index()].opcode.ends_block() {
+                continue;
+            }
+            // All parents must be at or before position g.
+            for arc in dag.in_arcs(cand) {
+                if pos_of[arc.from.index()] > g {
+                    continue 'search;
+                }
+            }
+            // Operand readiness at the gap cycle.
+            let ready_at: u64 = dag
+                .in_arcs(cand)
+                .map(|arc| timed.issue_cycle[pos_of[arc.from.index()]] + arc.latency as u64)
+                .max()
+                .unwrap_or(0);
+            if ready_at > gap_start {
+                continue;
+            }
+            // No-regression check before committing the move.
+            let mut trial = order.clone();
+            let c = trial.remove(k);
+            trial.insert(g + 1, c);
+            if Schedule::from_order(trial, dag, insns, model).makespan(insns, model) <= old_makespan
+            {
+                found = Some(k);
+                break;
+            }
+        }
+        match found {
+            Some(k) => {
+                let cand = order.remove(k);
+                order.insert(g + 1, cand);
+                moved += 1;
+                g += 1;
+            }
+            None => g += 1,
+        }
+    }
+    (Schedule::from_order(order, dag, insns, model), moved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::{build_dag, ConstructionAlgorithm, MemDepPolicy, NodeId};
+    use dagsched_isa::{Opcode, Reg};
+
+    #[test]
+    fn fills_load_delay_slot() {
+        let mut pool = dagsched_isa::MemExprPool::new();
+        let e = pool.intern("[%fp-8]");
+        // ld (2-cycle) followed immediately by its consumer stalls one
+        // cycle; the independent add at the end can fill that slot.
+        let insns = vec![
+            Instruction::load(
+                Opcode::Ld,
+                dagsched_isa::MemRef::base_offset(Reg::fp(), -8, e),
+                Reg::o(1),
+            ),
+            Instruction::int_imm(Opcode::Add, Reg::o(1), 1, Reg::o(2)),
+            Instruction::int3(Opcode::Add, Reg::o(3), Reg::o(4), Reg::o(5)),
+        ];
+        let model = MachineModel::sparc2();
+        let dag = build_dag(
+            &insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let naive = Schedule::from_order(
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            &dag,
+            &insns,
+            &model,
+        );
+        assert_eq!(naive.stall_cycles(), 1);
+        let (fixed, moved) = fixup_delay_slots(&naive, &dag, &insns, &model);
+        assert_eq!(moved, 1);
+        assert_eq!(
+            fixed.order,
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(1)]
+        );
+        assert_eq!(fixed.stall_cycles(), 0);
+        fixed.verify(&dag).unwrap();
+    }
+
+    #[test]
+    fn does_not_move_dependent_instructions() {
+        let mut pool = dagsched_isa::MemExprPool::new();
+        let e = pool.intern("[%fp-8]");
+        let insns = vec![
+            Instruction::load(
+                Opcode::Ld,
+                dagsched_isa::MemRef::base_offset(Reg::fp(), -8, e),
+                Reg::o(1),
+            ),
+            Instruction::int_imm(Opcode::Add, Reg::o(1), 1, Reg::o(2)),
+            Instruction::int_imm(Opcode::Add, Reg::o(2), 1, Reg::o(3)), // chained: cannot hoist
+        ];
+        let model = MachineModel::sparc2();
+        let dag = build_dag(
+            &insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let naive = Schedule::from_order((0..3).map(NodeId::new).collect(), &dag, &insns, &model);
+        let (fixed, moved) = fixup_delay_slots(&naive, &dag, &insns, &model);
+        assert_eq!(moved, 0);
+        assert_eq!(fixed.order, naive.order);
+    }
+
+    #[test]
+    fn never_worsens_makespan() {
+        let insns = vec![
+            Instruction::fp3(Opcode::FDivD, Reg::f(1), Reg::f(2), Reg::f(3)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(3), Reg::f(5), Reg::f(6)),
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)),
+            Instruction::int3(Opcode::Sub, Reg::o(3), Reg::o(4), Reg::o(5)),
+        ];
+        let model = MachineModel::sparc2();
+        let dag = build_dag(
+            &insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let naive = Schedule::from_order((0..4).map(NodeId::new).collect(), &dag, &insns, &model);
+        let (fixed, moved) = fixup_delay_slots(&naive, &dag, &insns, &model);
+        assert!(
+            moved >= 1,
+            "the independent adds should fill the divide shadow"
+        );
+        assert!(fixed.makespan(&insns, &model) <= naive.makespan(&insns, &model));
+        fixed.verify(&dag).unwrap();
+    }
+}

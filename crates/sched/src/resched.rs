@@ -1,0 +1,274 @@
+//! Reservation-table scheduling.
+//!
+//! The paper's §1 describes the refined alternative to ad-hoc structural
+//! hazard handling: "this latter approach always inserts the 'highest
+//! priority' instruction into the earliest empty slots of the table; that
+//! is, an instruction is an aggregate structure represented by blocks of
+//! busy cycles for one or more function units, and scheduling involves
+//! pattern matching these blocks into a partially-filled reservation
+//! table as well as considering operand dependencies."
+//!
+//! Unlike a list scheduler — whose clock only moves forward — the
+//! reservation scheduler may *backfill*: a low-priority instruction
+//! selected late can still land in an early idle cycle if its operands
+//! and units allow. The emitted instruction order is the placement sorted
+//! by assigned cycle.
+
+use dagsched_core::{Dag, HeuristicSet, NodeId};
+use dagsched_isa::{Instruction, MachineModel};
+
+use crate::reservation::{usage_of, ReservationTable};
+use crate::schedule::Schedule;
+use crate::selector::Criterion;
+
+/// Priority-driven reservation-table scheduler.
+#[derive(Debug, Clone)]
+pub struct ReservationScheduler {
+    /// Static priority ranking (higher-ranked criteria first). Dynamic
+    /// (`v`-class) keys are not meaningful here — selection order is
+    /// priority-global, not clock-driven — and will panic if their
+    /// backing annotations are absent.
+    pub priority: Vec<Criterion>,
+    /// Keep a block-terminating control transfer in final position.
+    pub pin_terminator: bool,
+}
+
+impl Default for ReservationScheduler {
+    fn default() -> ReservationScheduler {
+        ReservationScheduler {
+            priority: vec![
+                Criterion::max(crate::selector::HeurKey::MaxDelayToLeaf),
+                Criterion::max(crate::selector::HeurKey::MaxPathToLeaf),
+                Criterion::min(crate::selector::HeurKey::OriginalOrder),
+            ],
+            pin_terminator: true,
+        }
+    }
+}
+
+impl ReservationScheduler {
+    /// Schedule `dag` by repeatedly placing the highest-priority *ready*
+    /// node into the earliest cycle where its operands are available, an
+    /// issue slot is free, and its function-unit usage pattern fits the
+    /// reservation table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heur` does not match `dag`.
+    pub fn run(
+        &self,
+        dag: &Dag,
+        insns: &[Instruction],
+        model: &MachineModel,
+        heur: &HeuristicSet,
+    ) -> Schedule {
+        let n = dag.node_count();
+        assert_eq!(heur.len(), n, "heuristics/DAG mismatch");
+        if n == 0 {
+            return Schedule {
+                order: Vec::new(),
+                issue_cycle: Vec::new(),
+            };
+        }
+        // Static priority scores (single scalar per node, as the paper
+        // says: "combine the heuristic information into a single priority
+        // value per node").
+        let dyn_state = dagsched_core::DynState::new(dag);
+        let ctx = crate::selector::SelectCtx {
+            dag,
+            insns,
+            model,
+            heur,
+            dyn_state: &dyn_state,
+            time: 0,
+            last_class: None,
+        };
+        let score: Vec<i128> = (0..n)
+            .map(|i| ctx.priority_value(&self.priority, NodeId::new(i)))
+            .collect();
+
+        let pinned: Option<usize> = if self.pin_terminator {
+            insns
+                .last()
+                .filter(|i| i.opcode.ends_block())
+                .map(|_| n - 1)
+        } else {
+            None
+        };
+
+        let mut table = ReservationTable::new();
+        let mut issue_slot_busy: Vec<bool> = Vec::new(); // single-issue machine
+        let mut assigned: Vec<Option<u64>> = vec![None; n];
+        let mut unscheduled_parents: Vec<u32> = (0..n)
+            .map(|i| dag.num_parents(NodeId::new(i)) as u32)
+            .collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| unscheduled_parents[i] == 0).collect();
+        let mut placed = 0usize;
+
+        while placed < n {
+            // Highest-priority ready node (terminator withheld).
+            let &node = ready
+                .iter()
+                .filter(|&&i| Some(i) != pinned || placed + 1 == n)
+                .max_by_key(|&&i| (score[i], std::cmp::Reverse(i)))
+                .expect("ready set empty with nodes unplaced");
+            // Operand floor from already-placed parents.
+            let mut floor: u64 = 0;
+            for arc in dag.in_arcs(NodeId::new(node)) {
+                let p = assigned[arc.from.index()].expect("parents placed first");
+                floor = floor.max(p + arc.latency as u64);
+            }
+            if Some(node) == pinned {
+                // The terminator also stays behind every other placement.
+                floor = floor.max(assigned.iter().flatten().max().map(|&m| m + 1).unwrap_or(0));
+            }
+            // Earliest cycle with a free issue slot and a fitting
+            // unit-usage pattern.
+            let usage = usage_of(&insns[node], model);
+            let mut cycle = floor;
+            loop {
+                let slot_free =
+                    cycle as usize >= issue_slot_busy.len() || !issue_slot_busy[cycle as usize];
+                if slot_free && table.fits(usage, cycle) {
+                    break;
+                }
+                cycle += 1;
+            }
+            table.place(usage, cycle);
+            if issue_slot_busy.len() <= cycle as usize {
+                issue_slot_busy.resize(cycle as usize + 1, false);
+            }
+            issue_slot_busy[cycle as usize] = true;
+            assigned[node] = Some(cycle);
+            placed += 1;
+            ready.retain(|&i| i != node);
+            for arc in dag.out_arcs(NodeId::new(node)) {
+                let c = arc.to.index();
+                unscheduled_parents[c] -= 1;
+                if unscheduled_parents[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+
+        // Emit in cycle order.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| assigned[i].unwrap());
+        let issue_cycle: Vec<u64> = order.iter().map(|&i| assigned[i].unwrap()).collect();
+        Schedule {
+            order: order.into_iter().map(NodeId::new).collect(),
+            issue_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{Gating, ListScheduler, SchedDirection};
+    use crate::selector::{HeurKey, SelectStrategy};
+    use dagsched_core::{build_dag, ConstructionAlgorithm, MemDepPolicy};
+    use dagsched_isa::{Opcode, Reg};
+
+    fn setup(insns: &[Instruction]) -> (Dag, HeuristicSet, MachineModel) {
+        let model = MachineModel::sparc2();
+        let dag = build_dag(
+            insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let heur = HeuristicSet::compute(&dag, insns, &model, false);
+        (dag, heur, model)
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        let insns = vec![
+            Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(4), Reg::f(6), Reg::f(8)),
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)),
+            Instruction::cmp(Reg::o(2), Reg::o(3)),
+            Instruction::branch(Opcode::Bicc),
+        ];
+        let (dag, heur, model) = setup(&insns);
+        let s = ReservationScheduler::default().run(&dag, &insns, &model, &heur);
+        s.verify(&dag).unwrap();
+        assert_eq!(s.order.last().unwrap().index(), 4, "branch stays last");
+    }
+
+    #[test]
+    fn backfills_idle_cycles_behind_the_critical_path() {
+        // Priority places the divide + its consumer first; the independent
+        // adds are selected last but *backfill* cycles 1..3 — something a
+        // forward list scheduler with a monotone clock also achieves, but
+        // here the placements happen out of selection order.
+        let insns = vec![
+            Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(4), Reg::f(6), Reg::f(8)),
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)),
+            Instruction::int3(Opcode::Sub, Reg::o(3), Reg::o(4), Reg::o(5)),
+        ];
+        let (dag, heur, model) = setup(&insns);
+        let s = ReservationScheduler::default().run(&dag, &insns, &model, &heur);
+        s.verify(&dag).unwrap();
+        // Optimal makespan: divide at 0, adds backfilled, consumer at 20.
+        assert_eq!(s.makespan(&insns, &model), 24);
+        let pos = s.position_of();
+        assert!(
+            pos[2] < pos[1] && pos[3] < pos[1],
+            "adds precede the FP add"
+        );
+    }
+
+    #[test]
+    fn respects_unpipelined_unit_patterns() {
+        // Two divides + filler: the second divide cannot start until the
+        // divider frees at cycle 20, and the filler backfills.
+        let insns = vec![
+            Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4)),
+            Instruction::fp3(Opcode::FDivD, Reg::f(6), Reg::f(8), Reg::f(10)),
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)),
+        ];
+        let (dag, heur, model) = setup(&insns);
+        let s = ReservationScheduler::default().run(&dag, &insns, &model, &heur);
+        s.verify(&dag).unwrap();
+        let pos = s.position_of();
+        let cycle_of = |i: usize| s.issue_cycle[pos[i]];
+        assert_eq!(cycle_of(0), 0);
+        assert_eq!(cycle_of(1), 20, "divider busy until 20");
+        assert!(cycle_of(2) < 20, "the add backfills the divider shadow");
+    }
+
+    #[test]
+    fn matches_list_scheduling_quality_on_simple_blocks() {
+        let insns = vec![
+            Instruction::fp3(Opcode::FMulD, Reg::f(0), Reg::f(2), Reg::f(4)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(4), Reg::f(6), Reg::f(8)),
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)),
+            Instruction::int_imm(Opcode::Add, Reg::o(2), 1, Reg::o(3)),
+            Instruction::int3(Opcode::Sub, Reg::o(3), Reg::o(4), Reg::o(5)),
+        ];
+        let (dag, heur, model) = setup(&insns);
+        let resv = ReservationScheduler::default().run(&dag, &insns, &model, &heur);
+        let list = ListScheduler {
+            direction: SchedDirection::Forward,
+            gating: Gating::ByEarliestExec {
+                include_fpu_busy: true,
+            },
+            strategy: SelectStrategy::Winnowing(vec![Criterion::max(HeurKey::MaxDelayToLeaf)]),
+            pin_terminator: true,
+            birthing_boost: 0,
+        }
+        .run(&dag, &insns, &model, &heur);
+        resv.verify(&dag).unwrap();
+        assert!(resv.makespan(&insns, &model) <= list.makespan(&insns, &model));
+    }
+
+    #[test]
+    fn empty_block() {
+        let (dag, heur, model) = setup(&[]);
+        let s = ReservationScheduler::default().run(&dag, &[], &model, &heur);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Resource reservation tables.
+//!
+//! The paper's introduction describes the refined approach to structural
+//! hazards: "an instruction is an aggregate structure represented by
+//! blocks of busy cycles for one or more function units, and scheduling
+//! involves pattern matching these blocks into a partially-filled
+//! reservation table as well as considering operand dependencies". This
+//! module provides that table; the framework's earliest-start gating and
+//! the pipeline simulator both build on the same usage model.
+
+use dagsched_isa::{FuncUnit, Instruction, MachineModel};
+
+/// One block of busy cycles on a function unit, relative to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitUsage {
+    /// The unit occupied.
+    pub unit: FuncUnit,
+    /// First busy cycle (relative to issue).
+    pub from: u32,
+    /// One past the last busy cycle.
+    pub until: u32,
+}
+
+/// The unit-usage pattern of an instruction under a machine model: a
+/// pipelined unit is busy for the issue cycle only; an unpipelined unit
+/// for the full execution latency.
+pub fn usage_of(insn: &Instruction, model: &MachineModel) -> UnitUsage {
+    let unit = model.unit_of(insn);
+    let until = if model.unit_pipelined(insn) {
+        1
+    } else {
+        model.exec_latency(insn)
+    };
+    UnitUsage {
+        unit,
+        from: 0,
+        until,
+    }
+}
+
+/// A growable reservation table: one row per function unit, one column per
+/// cycle.
+///
+/// ```
+/// use dagsched_isa::{Instruction, MachineModel, Opcode, Reg};
+/// use dagsched_sched::{usage_of, ReservationTable};
+///
+/// let model = MachineModel::sparc2();
+/// let div = Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4));
+/// let mut table = ReservationTable::new();
+/// let u = usage_of(&div, &model);
+/// assert_eq!(table.earliest_fit(u, 0), 0);
+/// table.place(u, 0);
+/// // The unpipelined divider is busy for 20 cycles.
+/// assert_eq!(table.earliest_fit(u, 1), 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReservationTable {
+    // busy[unit][cycle]
+    busy: [Vec<bool>; 5],
+}
+
+fn unit_row(u: FuncUnit) -> usize {
+    match u {
+        FuncUnit::IntAlu => 0,
+        FuncUnit::LoadStore => 1,
+        FuncUnit::FpAdd => 2,
+        FuncUnit::FpMul => 3,
+        FuncUnit::FpDiv => 4,
+    }
+}
+
+impl ReservationTable {
+    /// An empty table.
+    pub fn new() -> ReservationTable {
+        ReservationTable::default()
+    }
+
+    /// Whether placing `usage` at `cycle` conflicts with existing
+    /// reservations.
+    pub fn fits(&self, usage: UnitUsage, cycle: u64) -> bool {
+        let row = &self.busy[unit_row(usage.unit)];
+        (usage.from..usage.until).all(|off| {
+            let c = (cycle + off as u64) as usize;
+            c >= row.len() || !row[c]
+        })
+    }
+
+    /// The earliest cycle `>= from` at which `usage` fits ("always inserts
+    /// the highest priority instruction into the earliest empty slots").
+    pub fn earliest_fit(&self, usage: UnitUsage, from: u64) -> u64 {
+        let mut c = from;
+        while !self.fits(usage, c) {
+            c += 1;
+        }
+        c
+    }
+
+    /// Reserve `usage` starting at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation conflicts with an existing one.
+    pub fn place(&mut self, usage: UnitUsage, cycle: u64) {
+        assert!(
+            self.fits(usage, cycle),
+            "reservation conflict at cycle {cycle}"
+        );
+        let row = &mut self.busy[unit_row(usage.unit)];
+        let end = (cycle + usage.until as u64) as usize;
+        if row.len() < end {
+            row.resize(end, false);
+        }
+        for off in usage.from..usage.until {
+            row[(cycle + off as u64) as usize] = true;
+        }
+    }
+
+    /// First cycle at which `unit` becomes permanently free.
+    pub fn busy_until(&self, unit: FuncUnit) -> u64 {
+        let row = &self.busy[unit_row(unit)];
+        row.iter()
+            .rposition(|&b| b)
+            .map(|p| p as u64 + 1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_isa::{Opcode, Reg};
+
+    #[test]
+    fn pipelined_units_accept_back_to_back() {
+        let model = MachineModel::sparc2();
+        let add = Instruction::fp3(Opcode::FAddD, Reg::f(0), Reg::f(2), Reg::f(4));
+        let u = usage_of(&add, &model);
+        assert_eq!(u.until, 1, "pipelined: one busy cycle");
+        let mut t = ReservationTable::new();
+        t.place(u, 0);
+        assert_eq!(t.earliest_fit(u, 0), 1);
+        t.place(u, 1);
+        assert_eq!(t.busy_until(FuncUnit::FpAdd), 2);
+    }
+
+    #[test]
+    fn unpipelined_divider_blocks() {
+        let model = MachineModel::sparc2();
+        let div = Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4));
+        let u = usage_of(&div, &model);
+        assert_eq!(u.until, 20);
+        let mut t = ReservationTable::new();
+        t.place(u, 3);
+        assert_eq!(t.earliest_fit(u, 0), 23, "must wait out the busy block");
+        assert!(t.fits(u, 23));
+        assert!(!t.fits(u, 22));
+    }
+
+    #[test]
+    fn different_units_do_not_conflict() {
+        let model = MachineModel::sparc2();
+        let div = Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4));
+        let add = Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2));
+        let mut t = ReservationTable::new();
+        t.place(usage_of(&div, &model), 0);
+        assert_eq!(t.earliest_fit(usage_of(&add, &model), 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reservation conflict")]
+    fn double_booking_panics() {
+        let model = MachineModel::sparc2();
+        let div = Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4));
+        let mut t = ReservationTable::new();
+        t.place(usage_of(&div, &model), 0);
+        t.place(usage_of(&div, &model), 5);
+    }
+
+    #[test]
+    fn gap_filling_finds_earliest_hole() {
+        let model = MachineModel::sparc2();
+        let add = Instruction::fp3(Opcode::FAddD, Reg::f(0), Reg::f(2), Reg::f(4));
+        let u = usage_of(&add, &model);
+        let mut t = ReservationTable::new();
+        t.place(u, 0);
+        t.place(u, 2);
+        assert_eq!(t.earliest_fit(u, 0), 1, "the hole at cycle 1 is found");
+    }
+}

@@ -1,0 +1,206 @@
+//! Structural statistics over blocks and DAGs.
+
+use std::collections::HashSet;
+
+use dagsched_core::Dag;
+use dagsched_isa::{BasicBlock, Program};
+
+/// A `(max, avg)` pair, the shape of every statistics column in the
+/// paper's Tables 3–5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Maximum observed value.
+    pub max: f64,
+    /// Mean value.
+    pub avg: f64,
+}
+
+impl Summary {
+    /// Summarize a sequence of observations. Empty input yields zeros.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for v in values {
+            max = max.max(v);
+            sum += v;
+            n += 1;
+        }
+        Summary {
+            max,
+            avg: if n == 0 { 0.0 } else { sum / n as f64 },
+        }
+    }
+}
+
+/// Table 3: per-benchmark block structure.
+#[derive(Debug, Clone)]
+pub struct BlockStructure {
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Total instructions.
+    pub insts: usize,
+    /// Instructions per block.
+    pub insts_per_block: Summary,
+    /// Unique symbolic memory expressions per block.
+    pub mem_exprs_per_block: Summary,
+}
+
+/// Compute the Table 3 statistics for a program's block structure.
+pub fn block_structure(program: &Program, blocks: &[BasicBlock]) -> BlockStructure {
+    let sizes: Vec<f64> = blocks.iter().map(|b| b.len() as f64).collect();
+    let uniques: Vec<f64> = blocks
+        .iter()
+        .map(|b| {
+            let mut set = HashSet::new();
+            for insn in program.block_insns(b) {
+                if let Some(m) = &insn.mem {
+                    set.insert(m.expr);
+                }
+            }
+            set.len() as f64
+        })
+        .collect();
+    BlockStructure {
+        blocks: blocks.len(),
+        insts: blocks.iter().map(|b| b.len()).sum(),
+        insts_per_block: Summary::of(sizes),
+        mem_exprs_per_block: Summary::of(uniques),
+    }
+}
+
+/// Tables 4–5: DAG structure aggregated over a benchmark's blocks.
+#[derive(Debug, Clone, Default)]
+pub struct DagStructure {
+    /// Children per instruction (out-degree), max and running totals.
+    max_children: usize,
+    total_children: usize,
+    total_insts: usize,
+    /// Arcs per block.
+    max_arcs: usize,
+    total_arcs: usize,
+    blocks: usize,
+}
+
+impl DagStructure {
+    /// An empty accumulator.
+    pub fn new() -> DagStructure {
+        DagStructure::default()
+    }
+
+    /// Fold one block's DAG into the statistics.
+    pub fn add_dag(&mut self, dag: &Dag) {
+        let n = dag.node_count();
+        self.total_insts += n;
+        self.total_arcs += dag.arc_count();
+        self.max_arcs = self.max_arcs.max(dag.arc_count());
+        self.blocks += 1;
+        for node in dag.node_ids() {
+            let c = dag.num_children(node);
+            self.max_children = self.max_children.max(c);
+            self.total_children += c;
+        }
+    }
+
+    /// Children per instruction, `(max, avg)`.
+    pub fn children_per_inst(&self) -> Summary {
+        Summary {
+            max: self.max_children as f64,
+            avg: if self.total_insts == 0 {
+                0.0
+            } else {
+                self.total_children as f64 / self.total_insts as f64
+            },
+        }
+    }
+
+    /// Arcs per basic block, `(max, avg)`.
+    pub fn arcs_per_block(&self) -> Summary {
+        Summary {
+            max: self.max_arcs as f64,
+            avg: if self.blocks == 0 {
+                0.0
+            } else {
+                self.total_arcs as f64 / self.blocks as f64
+            },
+        }
+    }
+
+    /// Number of blocks folded in.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+}
+
+/// One-shot DAG structure for a collection of DAGs.
+pub fn dag_structure<'a>(dags: impl IntoIterator<Item = &'a Dag>) -> DagStructure {
+    let mut s = DagStructure::new();
+    for d in dags {
+        s.add_dag(d);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::NodeId;
+    use dagsched_isa::{DepKind, Instruction, MemExprPool, MemRef, Opcode, Reg};
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of([1.0, 2.0, 3.0]);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.avg, 2.0);
+        let empty = Summary::of(std::iter::empty());
+        assert_eq!(empty.max, 0.0);
+        assert_eq!(empty.avg, 0.0);
+    }
+
+    #[test]
+    fn block_structure_counts_unique_exprs() {
+        let mut p = Program::new();
+        let mut pool = MemExprPool::new();
+        let e1 = pool.intern("[%fp-8]");
+        let e2 = pool.intern("[%fp-16]");
+        p.mem_exprs = pool;
+        p.push(Instruction::load(
+            Opcode::Ld,
+            MemRef::base_offset(Reg::fp(), -8, e1),
+            Reg::o(0),
+        ));
+        p.push(Instruction::load(
+            Opcode::Ld,
+            MemRef::base_offset(Reg::fp(), -8, e1),
+            Reg::o(1),
+        ));
+        p.push(Instruction::store(
+            Opcode::St,
+            Reg::o(1),
+            MemRef::base_offset(Reg::fp(), -16, e2),
+        ));
+        p.push(Instruction::branch(Opcode::Ba));
+        p.push(Instruction::nop());
+        let blocks = p.basic_blocks();
+        let s = block_structure(&p, &blocks);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.insts, 5);
+        assert_eq!(s.insts_per_block.max, 4.0);
+        assert_eq!(s.mem_exprs_per_block.max, 2.0, "e1 counted once");
+        assert_eq!(s.mem_exprs_per_block.avg, 1.0);
+    }
+
+    #[test]
+    fn dag_structure_accumulates() {
+        let mut d1 = Dag::new(3);
+        d1.add_arc(NodeId::new(0), NodeId::new(1), DepKind::Raw, 1);
+        d1.add_arc(NodeId::new(0), NodeId::new(2), DepKind::Raw, 1);
+        let d2 = Dag::new(2); // no arcs
+        let s = dag_structure([&d1, &d2]);
+        assert_eq!(s.children_per_inst().max, 2.0);
+        assert_eq!(s.children_per_inst().avg, 2.0 / 5.0);
+        assert_eq!(s.arcs_per_block().max, 2.0);
+        assert_eq!(s.arcs_per_block().avg, 1.0);
+        assert_eq!(s.blocks(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Timing harness.
+//!
+//! The paper's methodology (§6): timings "collected using /usr/bin/time
+//! ... and taking the average of user + sys over five runs". The modern
+//! equivalent here is a monotonic-clock average over `runs` executions.
+
+use std::time::{Duration, Instant};
+
+/// A timed result: the value of the last run and the mean wall-clock
+/// duration.
+#[derive(Debug, Clone)]
+pub struct Timed<T> {
+    /// Result of the final run.
+    pub value: T,
+    /// Mean duration over all runs.
+    pub avg: Duration,
+    /// Number of runs averaged.
+    pub runs: u32,
+}
+
+impl<T> Timed<T> {
+    /// Mean duration in (fractional) seconds.
+    pub fn secs(&self) -> f64 {
+        self.avg.as_secs_f64()
+    }
+
+    /// Mean duration in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.avg.as_secs_f64() * 1e3
+    }
+}
+
+/// Run `f` `runs` times and average the wall-clock durations.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn time_avg<T>(runs: u32, mut f: impl FnMut() -> T) -> Timed<T> {
+    assert!(runs > 0, "need at least one run");
+    let mut total = Duration::ZERO;
+    let mut value = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        value = Some(f());
+        total += start.elapsed();
+    }
+    Timed {
+        value: value.expect("runs > 0"),
+        avg: total / runs,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_runs_and_returns_last_value() {
+        let mut calls = 0;
+        let t = time_avg(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(t.value, 5);
+        assert_eq!(t.runs, 5);
+        assert!(t.secs() >= 0.0);
+        assert!((t.millis() - t.secs() * 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let _ = time_avg(0, || ());
+    }
+}

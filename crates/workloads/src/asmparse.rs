@@ -1,0 +1,421 @@
+//! A small assembly parser for tests, examples and hand-written blocks.
+//!
+//! Two syntaxes are accepted, line by line:
+//!
+//! * SPARC-flavoured: `add %o0, %o1, %o2`, `ld [%fp-8], %l0`,
+//!   `st %l0, [%fp-8]`, `fdivd %f0, %f2, %f4`, `cmp %o0, %o1`, `bne L1`,
+//!   `call f`, `nop`, `save`, `restore`.
+//! * The paper's Figure 1 notation: `DIVF R1,R2,R3` (meaning
+//!   `R3 = R1 / R2` — destination **last**), `ADDF R4,R5,R1`,
+//!   `SUBF`/`MULF` likewise, with `Rn` mapping to `%fn`.
+//!
+//! Comments start with `!`, `;` or `#`; labels (`name:`) are skipped.
+
+use dagsched_isa::{Instruction, MemRef, Opcode, Program, Reg};
+
+/// A parse failure, with 1-based line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+/// Parse an assembly listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first line that fails to parse.
+///
+/// ```
+/// use dagsched_workloads::parse_asm;
+/// let prog = parse_asm("
+///     ! the paper's Figure 1
+///     DIVF R1,R2,R3
+///     ADDF R4,R5,R1
+///     ADDF R1,R3,R6
+/// ").unwrap();
+/// assert_eq!(prog.len(), 3);
+/// ```
+pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
+    let mut prog = Program::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        let insn = parse_line(line, &mut prog).map_err(|message| ParseAsmError {
+            line: lineno + 1,
+            message,
+        })?;
+        prog.push(insn);
+    }
+    Ok(prog)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find(['!', ';', '#']).unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn parse_line(line: &str, prog: &mut Program) -> Result<Instruction, String> {
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    // Figure 1 notation: dst-last FP three-address ops on Rn registers.
+    if let Some(op) = fig1_opcode(mnemonic) {
+        let ops = split_operands(rest);
+        if ops.len() != 3 {
+            return Err(format!("{mnemonic} expects 3 operands"));
+        }
+        let a = parse_fig1_reg(&ops[0])?;
+        let b = parse_fig1_reg(&ops[1])?;
+        let d = parse_fig1_reg(&ops[2])?;
+        return Ok(Instruction::fp3(op, a, b, d));
+    }
+
+    let op =
+        Opcode::from_mnemonic(mnemonic).ok_or_else(|| format!("unknown mnemonic `{mnemonic}`"))?;
+    let ops = split_operands(rest);
+    match op {
+        Opcode::Nop | Opcode::Save | Opcode::Restore => Ok(Instruction::new(op)),
+        Opcode::Ba | Opcode::Bicc | Opcode::Fbcc | Opcode::Call | Opcode::Jmpl => {
+            Ok(Instruction::branch(op))
+        }
+        _ if op.mem_access() == Some(dagsched_isa::MemAccessKind::Load) => {
+            if ops.len() != 2 {
+                return Err(format!("{mnemonic} expects `[addr], reg`"));
+            }
+            let mem = parse_mem(&ops[0], prog)?;
+            let rd = parse_reg(&ops[1])?;
+            Ok(Instruction::load(op, mem, rd))
+        }
+        _ if op.mem_access() == Some(dagsched_isa::MemAccessKind::Store) => {
+            if ops.len() != 2 {
+                return Err(format!("{mnemonic} expects `reg, [addr]`"));
+            }
+            let rs = parse_reg(&ops[0])?;
+            let mem = parse_mem(&ops[1], prog)?;
+            Ok(Instruction::store(op, rs, mem))
+        }
+        Opcode::SubCc if ops.len() == 2 => {
+            // `cmp a, b`
+            Ok(Instruction::cmp(parse_reg(&ops[0])?, parse_reg(&ops[1])?))
+        }
+        Opcode::Sethi => {
+            if ops.len() != 2 {
+                return Err("sethi expects `imm, reg`".into());
+            }
+            Ok(Instruction::sethi(parse_imm(&ops[0])?, parse_reg(&ops[1])?))
+        }
+        Opcode::Mov => {
+            if ops.len() != 2 {
+                return Err("mov expects `imm|reg, reg`".into());
+            }
+            let rd = parse_reg(&ops[1])?;
+            match parse_reg(&ops[0]) {
+                Ok(rs) => Ok(Instruction::fp2(Opcode::Mov, rs, rd)),
+                Err(_) => Ok(Instruction::mov_imm(parse_imm(&ops[0])?, rd)),
+            }
+        }
+        Opcode::FCmpS | Opcode::FCmpD => {
+            if ops.len() != 2 {
+                return Err(format!("{mnemonic} expects 2 operands"));
+            }
+            Ok(Instruction::fcmp(
+                op,
+                parse_reg(&ops[0])?,
+                parse_reg(&ops[1])?,
+            ))
+        }
+        Opcode::FMovS
+        | Opcode::FNegS
+        | Opcode::FAbsS
+        | Opcode::FSqrtD
+        | Opcode::FiToS
+        | Opcode::FiToD
+        | Opcode::FsToD
+        | Opcode::FdToS
+        | Opcode::FsToI
+        | Opcode::FdToI => {
+            if ops.len() != 2 {
+                return Err(format!("{mnemonic} expects 2 operands"));
+            }
+            Ok(Instruction::fp2(
+                op,
+                parse_reg(&ops[0])?,
+                parse_reg(&ops[1])?,
+            ))
+        }
+        _ => {
+            // Three-address integer/FP: `op a, b, d` or `op a, imm, d`.
+            if ops.len() != 3 {
+                return Err(format!("{mnemonic} expects 3 operands"));
+            }
+            let a = parse_reg(&ops[0])?;
+            let d = parse_reg(&ops[2])?;
+            match parse_reg(&ops[1]) {
+                Ok(b) if op.is_fp() => Ok(Instruction::fp3(op, a, b, d)),
+                Ok(b) => Ok(Instruction::int3(op, a, b, d)),
+                Err(_) => Ok(Instruction::int_imm(op, a, parse_imm(&ops[1])?, d)),
+            }
+        }
+    }
+}
+
+fn fig1_opcode(mnemonic: &str) -> Option<Opcode> {
+    match mnemonic.to_ascii_uppercase().as_str() {
+        "DIVF" => Some(Opcode::FDivD),
+        "ADDF" => Some(Opcode::FAddD),
+        "SUBF" => Some(Opcode::FSubD),
+        "MULF" => Some(Opcode::FMulD),
+        _ => None,
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    if rest.is_empty() {
+        return Vec::new();
+    }
+    // Split on commas that are not inside a bracketed address.
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in rest.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_fig1_reg(s: &str) -> Result<Reg, String> {
+    let rest = s
+        .strip_prefix(['R', 'r'])
+        .ok_or_else(|| format!("expected Rn register, got `{s}`"))?;
+    let n: u8 = rest.parse().map_err(|_| format!("bad register `{s}`"))?;
+    if n >= 32 {
+        return Err(format!("register number out of range: `{s}`"));
+    }
+    Ok(Reg::f(n))
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let body = s
+        .strip_prefix('%')
+        .ok_or_else(|| format!("expected register, got `{s}`"))?;
+    // Named registers first: `%fp` must not be read as the fp bank.
+    match body {
+        "fp" => return Ok(Reg::fp()),
+        "sp" => return Ok(Reg::sp()),
+        "y" => return Ok(Reg::Y),
+        "icc" => return Ok(Reg::Icc),
+        "fcc" => return Ok(Reg::Fcc),
+        _ => {}
+    }
+    let (bank, num) = body.split_at(1);
+    match (bank, num) {
+        ("g", n) => ok_bank(n, 0, s),
+        ("o", n) => ok_bank(n, 8, s),
+        ("l", n) => ok_bank(n, 16, s),
+        ("i", n) => ok_bank(n, 24, s),
+        ("f", n) => {
+            let k: u8 = n.parse().map_err(|_| format!("bad register `{s}`"))?;
+            if k >= 32 {
+                return Err(format!("fp register out of range `{s}`"));
+            }
+            Ok(Reg::f(k))
+        }
+        _ => Err(format!("unknown register `{s}`")),
+    }
+}
+
+fn ok_bank(n: &str, base: u8, orig: &str) -> Result<Reg, String> {
+    let k: u8 = n.parse().map_err(|_| format!("bad register `{orig}`"))?;
+    if k >= 8 {
+        return Err(format!("register out of range `{orig}`"));
+    }
+    Ok(Reg::Int(base + k))
+}
+
+fn parse_imm(s: &str) -> Result<i64, String> {
+    let t = s.trim();
+    if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| format!("bad immediate `{s}`"))
+    } else {
+        t.parse().map_err(|_| format!("bad immediate `{s}`"))
+    }
+}
+
+/// Parse `[%base]`, `[%base+off]`, `[%base-off]` or `[%base+%index]`;
+/// the bracketed text itself is interned as the symbolic expression.
+fn parse_mem(s: &str, prog: &mut Program) -> Result<MemRef, String> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| format!("expected `[address]`, got `{s}`"))?
+        .trim();
+    let expr = prog.mem_exprs.intern(&format!("[{inner}]"));
+    // %base ± rest
+    let (base_txt, sign, rest) = match inner.find(['+', '-']) {
+        Some(pos) => (
+            inner[..pos].trim(),
+            if inner.as_bytes()[pos] == b'+' {
+                1i32
+            } else {
+                -1
+            },
+            inner[pos + 1..].trim(),
+        ),
+        None => (inner, 1, ""),
+    };
+    let base = parse_reg(base_txt)?;
+    if rest.is_empty() {
+        return Ok(MemRef::base_offset(base, 0, expr));
+    }
+    if rest.starts_with('%') {
+        if sign < 0 {
+            return Err(format!("negative index register in `{s}`"));
+        }
+        let index = parse_reg(rest)?;
+        return Ok(MemRef::base_index(base, index, expr));
+    }
+    let off: i32 = rest.parse().map_err(|_| format!("bad offset in `{s}`"))?;
+    Ok(MemRef::base_offset(base, sign * off, expr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_isa::Resource;
+
+    #[test]
+    fn parses_figure1_notation() {
+        let p = parse_asm("DIVF R1,R2,R3\nADDF R4,R5,R1\nADDF R1,R3,R6").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.insns[0].opcode, Opcode::FDivD);
+        assert_eq!(p.insns[0].rd, Some(Reg::f(3)));
+        assert_eq!(p.insns[0].rs, vec![Reg::f(1), Reg::f(2)]);
+        assert_eq!(p.insns[2].rd, Some(Reg::f(6)));
+    }
+
+    #[test]
+    fn parses_sparc_three_address() {
+        let p = parse_asm("add %o0, %o1, %o2\nsub %o2, 4, %o3").unwrap();
+        assert_eq!(p.insns[0].rs, vec![Reg::o(0), Reg::o(1)]);
+        assert_eq!(p.insns[1].imm, Some(4));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = parse_asm("ld [%fp-8], %l0\nst %l0, [%fp-8]\nlddf [%o0+%o1], %f2").unwrap();
+        let m0 = p.insns[0].mem.unwrap();
+        assert_eq!(m0.base, Reg::fp());
+        assert_eq!(m0.offset, -8);
+        let m1 = p.insns[1].mem.unwrap();
+        assert_eq!(m0.expr, m1.expr, "same text interns to the same expression");
+        let m2 = p.insns[2].mem.unwrap();
+        assert_eq!(m2.index, Some(Reg::o(1)));
+    }
+
+    #[test]
+    fn parses_control_flow_and_blocks() {
+        let p =
+            parse_asm("cmp %o0, %o1\n bne loop\n nop\n add %o0, 1, %o0\n ba exit\n nop").unwrap();
+        assert_eq!(p.insns[0].defs(), vec![Resource::Reg(Reg::Icc)]);
+        // cmp+bne | nop+add+ba | nop (delay slots count with the next block)
+        assert_eq!(p.basic_blocks().len(), 3);
+    }
+
+    #[test]
+    fn comments_and_labels_are_skipped() {
+        let p = parse_asm("! header\nstart:\n  add %o0, %o1, %o2  ; trailing\n# done").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_asm("add %o0, %o1, %o2\nbogus %o0").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+        let err = parse_asm("add %q0, %o1, %o2").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn save_restore_and_calls() {
+        let p = parse_asm("save\ncall f\nnop\nrestore").unwrap();
+        assert_eq!(p.insns[0].opcode, Opcode::Save);
+        assert_eq!(p.insns[1].opcode, Opcode::Call);
+        assert_eq!(p.basic_blocks().len(), 3);
+    }
+
+    #[test]
+    fn display_parse_round_trip_over_generated_benchmarks() {
+        // Every instruction the generator emits must print as parseable
+        // assembly that reconstructs the same operation (memory expression
+        // identity aside — the printed form is `[base+offset]`, not the
+        // generator's synthetic name).
+        for name in ["grep", "linpack", "tomcatv"] {
+            let profile = crate::BenchmarkProfile::by_name(name).unwrap();
+            let bench = crate::generate(profile, 1991);
+            let text: String = bench
+                .program
+                .insns
+                .iter()
+                .map(|i| format!("{i}\n"))
+                .collect();
+            let reparsed = parse_asm(&text)
+                .unwrap_or_else(|e| panic!("{name}: generated asm must reparse: {e}"));
+            assert_eq!(reparsed.len(), bench.program.len(), "{name}");
+            for (a, b) in bench.program.insns.iter().zip(&reparsed.insns) {
+                assert_eq!(a.opcode, b.opcode, "{name}: {a}");
+                assert_eq!(a.rd, b.rd, "{name}: {a}");
+                assert_eq!(a.rs, b.rs, "{name}: {a}");
+                assert_eq!(a.imm, b.imm, "{name}: {a}");
+                match (&a.mem, &b.mem) {
+                    (Some(ma), Some(mb)) => {
+                        assert_eq!(ma.base, mb.base, "{name}: {a}");
+                        assert_eq!(ma.offset, mb.offset, "{name}: {a}");
+                        assert_eq!(ma.index, mb.index, "{name}: {a}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("{name}: memory operand mismatch on {a}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mov_and_sethi_forms() {
+        let p = parse_asm("mov 42, %o0\nsethi 0x1000, %o1\nfsqrtd %f0, %f2").unwrap();
+        assert_eq!(p.insns[0].imm, Some(42));
+        assert_eq!(p.insns[1].imm, Some(0x1000));
+        assert_eq!(p.insns[2].opcode, Opcode::FSqrtD);
+    }
+}

@@ -1,0 +1,42 @@
+//! Benchmark workloads for the `dagsched` experiments.
+//!
+//! The paper evaluates on SPARC assembly of GNU grep/regex/dfa/cccp,
+//! Linpack, the Livermore Loops and SPEC tomcatv/nasa7/fpppp — inputs we
+//! cannot redistribute. This crate substitutes a **deterministic synthetic
+//! generator** calibrated to the structural statistics the paper reports
+//! in Table 3 (block counts, instruction counts, block-size extremes,
+//! unique-memory-expression density, instruction mix), which are the only
+//! properties the measured algorithms consume. See `DESIGN.md` §2 for the
+//! substitution rationale.
+//!
+//! * [`BenchmarkProfile`] / [`ALL_PROFILES`] — the twelve Table 3 rows.
+//! * [`generate`] — profile + seed → instruction stream + block structure.
+//! * [`clamp_blocks`] — the instruction-window mechanism behind the
+//!   fpppp-1000/2000/4000 variants.
+//! * [`parse_asm`] — a small assembly parser for hand-written blocks
+//!   (including the paper's Figure 1 notation).
+//!
+//! # Example
+//!
+//! ```
+//! use dagsched_workloads::{generate, BenchmarkProfile};
+//! let profile = BenchmarkProfile::by_name("grep").unwrap();
+//! let bench = generate(profile, 1991);
+//! assert_eq!(bench.program.len(), 1739);   // Table 3: grep, 1739 insts
+//! assert_eq!(bench.blocks.len(), 730);     // Table 3: grep, 730 blocks
+//! ```
+
+mod asmparse;
+mod gen;
+mod profile;
+mod window;
+
+pub use asmparse::{parse_asm, ParseAsmError};
+pub use gen::{generate, Benchmark};
+pub use profile::{base_profiles, BenchmarkProfile, OpMix, Placement, ALL_PROFILES};
+pub use window::clamp_blocks;
+
+/// The seed used throughout the experiment harness, chosen for the year
+/// of the paper. Any seed works; this one makes every number in
+/// `EXPERIMENTS.md` reproducible.
+pub const PAPER_SEED: u64 = 1991;

@@ -1,0 +1,82 @@
+//! Instruction windows.
+//!
+//! The paper keeps the `n**2` construction algorithm practical on huge
+//! basic blocks by limiting the number of instructions considered at once:
+//! fpppp-1000/2000/4000 are the same program analyzed with maximum block
+//! sizes of 1000/2000/4000 instructions. A window does not change the
+//! instruction stream — it splits oversized blocks into window-sized
+//! chunks at analysis time.
+
+use dagsched_isa::BasicBlock;
+
+/// Split every block larger than `window` into consecutive chunks of at
+/// most `window` instructions.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+///
+/// ```
+/// use dagsched_isa::BasicBlock;
+/// use dagsched_workloads::clamp_blocks;
+/// let blocks = vec![BasicBlock { range: 0..25 }, BasicBlock { range: 25..30 }];
+/// let clamped = clamp_blocks(&blocks, 10);
+/// let lens: Vec<usize> = clamped.iter().map(|b| b.len()).collect();
+/// assert_eq!(lens, vec![10, 10, 5, 5]);
+/// ```
+pub fn clamp_blocks(blocks: &[BasicBlock], window: usize) -> Vec<BasicBlock> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        let mut start = b.range.start;
+        while start < b.range.end {
+            let end = (start + window).min(b.range.end);
+            out.push(BasicBlock { range: start..end });
+            start = end;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(start: usize, end: usize) -> BasicBlock {
+        BasicBlock { range: start..end }
+    }
+
+    #[test]
+    fn small_blocks_pass_through() {
+        let blocks = vec![block(0, 5), block(5, 8)];
+        assert_eq!(clamp_blocks(&blocks, 100), blocks);
+    }
+
+    #[test]
+    fn oversized_block_splits_with_ceil_division() {
+        let blocks = vec![block(0, 11750)];
+        let clamped = clamp_blocks(&blocks, 1000);
+        assert_eq!(clamped.len(), 12);
+        assert_eq!(clamped[0].len(), 1000);
+        assert_eq!(clamped[11].len(), 750);
+        // Coverage is exact and contiguous.
+        let total: usize = clamped.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 11750);
+        for w in clamped.windows(2) {
+            assert_eq!(w[0].range.end, w[1].range.start);
+        }
+    }
+
+    #[test]
+    fn exact_multiple_makes_equal_chunks() {
+        let clamped = clamp_blocks(&[block(10, 30)], 10);
+        assert_eq!(clamped.len(), 2);
+        assert!(clamped.iter().all(|b| b.len() == 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        clamp_blocks(&[block(0, 1)], 0);
+    }
+}

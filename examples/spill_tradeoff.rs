@@ -1,0 +1,111 @@
+//! The prepass trade-off in full: Warren-style two-phase scheduling
+//! (pressure-aware prepass → linear-scan allocation → latency-focused
+//! postpass) versus a latency-only prepass, measured in both spills and
+//! pipeline cycles under shrinking register budgets.
+//!
+//! ```text
+//! cargo run --example spill_tradeoff
+//! ```
+
+use dagsched::isa::{Instruction, MachineModel, MemRef, Opcode, Program, Reg};
+use dagsched::pipesim::{simulate, SimOptions};
+use dagsched::sched::{
+    Criterion, Gating, HeurKey, LinearScan, ListScheduler, SchedDirection, SelectStrategy, TwoPhase,
+};
+
+/// A wide block: twelve independent load/compute/store strands. Pressure
+/// is entirely schedule-determined.
+fn wide_block() -> Program {
+    let mut p = Program::new();
+    const VREGS: [u8; 12] = [8, 9, 10, 11, 12, 13, 18, 19, 20, 21, 22, 23];
+    for (k, &v) in VREGS.iter().enumerate() {
+        let src = p.mem_exprs.intern(&format!("[%fp-{}]", 8 * (k + 1)));
+        p.push(Instruction::load(
+            Opcode::Ld,
+            MemRef::base_offset(Reg::fp(), -(8 * (k as i32 + 1)), src),
+            Reg::Int(v),
+        ));
+        // The add *kills* its loaded input and births a short-lived result
+        // (register-usage heuristics see it as pressure-neutral).
+        p.push(Instruction::int_imm(
+            Opcode::Add,
+            Reg::Int(v),
+            k as i64,
+            Reg::i((k % 4) as u8),
+        ));
+        let dst = p.mem_exprs.intern(&format!("[%fp-{}]", 200 + 8 * (k + 1)));
+        p.push(Instruction::store(
+            Opcode::St,
+            Reg::i((k % 4) as u8),
+            MemRef::base_offset(Reg::fp(), -(200 + 8 * (k as i32 + 1)), dst),
+        ));
+    }
+    p
+}
+
+fn latency_first_prepass() -> ListScheduler {
+    ListScheduler {
+        direction: SchedDirection::Forward,
+        gating: Gating::AllReady,
+        strategy: SelectStrategy::Winnowing(vec![
+            Criterion::max(HeurKey::MaxDelayToLeaf),
+            Criterion::min(HeurKey::OriginalOrder),
+        ]),
+        pin_terminator: true,
+        birthing_boost: 0,
+    }
+}
+
+fn main() {
+    let prog = wide_block();
+    let model = MachineModel::sparc2();
+    println!(
+        "{:>10} {:>22} {:>10} {:>10} {:>10}",
+        "int regs", "prepass", "spills", "insns", "cycles"
+    );
+    println!("{}", "-".repeat(68));
+    for budget in [12usize, 8, 6, 4] {
+        // Allocatable candidates: skip %sp (14) and the spill scratches
+        // %l0/%l1 (16, 17).
+        const CANDIDATES: [u8; 12] = [8, 9, 10, 11, 12, 13, 18, 19, 20, 21, 22, 23];
+        let pool = LinearScan {
+            int_pool: CANDIDATES[..budget].iter().map(|&k| Reg::Int(k)).collect(),
+            ..LinearScan::default()
+        };
+        for (label, tp) in [
+            (
+                "pressure-aware",
+                TwoPhase {
+                    allocator: pool.clone(),
+                    ..TwoPhase::default()
+                },
+            ),
+            (
+                "latency-first",
+                TwoPhase {
+                    prepass: latency_first_prepass(),
+                    allocator: pool.clone(),
+                    ..TwoPhase::default()
+                },
+            ),
+        ] {
+            let mut mem_exprs = prog.mem_exprs.clone();
+            let r = tp.run(&prog.insns, &model, &mut mem_exprs);
+            let sim = simulate(&r.insns, &model, SimOptions::default());
+            println!(
+                "{:>10} {:>22} {:>10} {:>10} {:>10}",
+                budget,
+                label,
+                r.spilled_ranges,
+                r.insns.len(),
+                sim.cycles
+            );
+        }
+    }
+    println!(
+        "\nWith plenty of registers the latency-first prepass wins cycles; as the\n\
+         budget shrinks its loads-first order spills, and each spill costs a\n\
+         store, a reload and a load-delay bubble — the trade the paper's\n\
+         register-usage heuristics (§3) exist to manage."
+    );
+}

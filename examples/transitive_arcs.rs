@@ -1,0 +1,63 @@
+//! The paper's Figure 1: why table building deliberately keeps some
+//! transitive arcs, and what goes wrong when an algorithm prunes them all.
+//!
+//! ```text
+//! cargo run --example transitive_arcs
+//! ```
+
+use dagsched::core::{
+    closure, ConstructionAlgorithm, HeuristicSet, MemDepPolicy, NodeId, PreparedBlock,
+};
+use dagsched::isa::MachineModel;
+use dagsched::workloads::parse_asm;
+
+fn main() {
+    // 1: DIVF R1,R2,R3 (20 cycles)   2: ADDF R4,R5,R1   3: ADDF R1,R3,R6
+    let prog = parse_asm("DIVF R1,R2,R3\nADDF R4,R5,R1\nADDF R1,R3,R6").unwrap();
+    let model = MachineModel::sparc2();
+    let block = PreparedBlock::new(&prog.insns);
+
+    println!("Figure 1 block:");
+    for (i, insn) in prog.insns.iter().enumerate() {
+        println!("  {}: {insn}", i + 1);
+    }
+    println!(
+        "\nThe WAR arc 1->2 costs 1 cycle and the RAW arc 2->3 costs 4, but node 3\n\
+         also consumes the divide's 20-cycle result: the direct arc 1->3 is\n\
+         *transitive* (1->2->3 already orders the pair) yet carries timing that\n\
+         the short path does not.\n"
+    );
+
+    for algo in ConstructionAlgorithm::ALL {
+        let dag = algo.run(&block, &model, MemDepPolicy::SymbolicExpr);
+        let mut h = HeuristicSet::default();
+        dagsched::core::annotate_construction(&mut h, &dag, &prog.insns, &model);
+        dagsched::core::annotate_forward(&mut h, &dag);
+        let keeps = dag.arc_between(NodeId::new(0), NodeId::new(2)).is_some();
+        let sound = closure::preserves_dependence_latencies(
+            &dag,
+            &block,
+            &model,
+            MemDepPolicy::SymbolicExpr,
+        )
+        .is_ok();
+        println!(
+            "{:<26} arcs={}  keeps 1->3: {:<5}  EST(node 3) = {:>2} cycles  [{}]",
+            algo.name(),
+            dag.arc_count(),
+            keeps,
+            h.est[2],
+            if sound {
+                "timing preserved"
+            } else {
+                "TIMING LOST"
+            },
+        );
+    }
+
+    println!(
+        "\nPaper finding 3: avoid the transitive-arc-removal variants — a scheduler\n\
+         using the pruned DAG believes node 3 can start at cycle 5 and will emit a\n\
+         schedule that stalls 15 cycles on the divide."
+    );
+}

@@ -1,0 +1,284 @@
+//! `dagsched` — command-line front end for the library.
+//!
+//! ```text
+//! dagsched dag      block.s            # dependence arcs per basic block
+//! dagsched dot      block.s --block 0  # Graphviz DOT of one block's DAG
+//! dagsched heur     block.s            # heuristic annotation tables
+//! dagsched schedule block.s --scheduler warren --fill-slots
+//! dagsched sim      block.s            # pipeline cycles before/after
+//! ```
+//!
+//! Input is SPARC-flavoured assembly (or the paper's Figure 1 `DIVF
+//! R1,R2,R3` notation); `-` or no file reads stdin.
+
+use std::io::Read;
+
+use dagsched::core::{
+    build_dag, dump_annotations, to_dot, ConstructionAlgorithm, HeuristicSet, MemDepPolicy,
+};
+use dagsched::driver::{schedule_program, DriverConfig};
+use dagsched::isa::{MachineModel, Program};
+use dagsched::pipesim::{render_timeline, simulate, SimOptions};
+use dagsched::sched::{Scheduler, SchedulerKind};
+use dagsched::workloads::parse_asm;
+
+struct Options {
+    command: String,
+    file: Option<String>,
+    algo: ConstructionAlgorithm,
+    policy: MemDepPolicy,
+    scheduler: SchedulerKind,
+    model: MachineModel,
+    block: Option<usize>,
+    inherit: bool,
+    fill_slots: bool,
+    timeline: bool,
+}
+
+fn main() {
+    let opts = parse_args().unwrap_or_else(|e| usage(&e));
+    let text = read_input(&opts.file).unwrap_or_else(|e| die(&format!("reading input: {e}")));
+    let program = parse_asm(&text).unwrap_or_else(|e| die(&format!("parse error: {e}")));
+    if program.is_empty() {
+        die("no instructions in input");
+    }
+    match opts.command.as_str() {
+        "dag" => cmd_dag(&program, &opts),
+        "dot" => cmd_dot(&program, &opts),
+        "heur" => cmd_heur(&program, &opts),
+        "schedule" => cmd_schedule(&program, &opts),
+        "sim" => cmd_sim(&program, &opts),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn blocks_to_show<'p>(
+    program: &'p Program,
+    opts: &Options,
+) -> Vec<(usize, &'p [dagsched::isa::Instruction])> {
+    let blocks = program.basic_blocks();
+    blocks
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| opts.block.is_none_or(|want| want == *i))
+        .map(|(i, b)| (i, program.block_insns(b)))
+        .collect()
+}
+
+fn cmd_dag(program: &Program, opts: &Options) {
+    for (bi, insns) in blocks_to_show(program, opts) {
+        let dag = build_dag(insns, &opts.model, opts.algo, opts.policy);
+        println!(
+            "block {bi}: {} instructions, {} arcs ({})",
+            insns.len(),
+            dag.arc_count(),
+            opts.algo.name()
+        );
+        for arc in dag.arcs() {
+            println!(
+                "  [{:>2}] {:<26} -({} {})-> [{:>2}] {}",
+                arc.from.index(),
+                insns[arc.from.index()].to_string(),
+                arc.kind,
+                arc.latency,
+                arc.to.index(),
+                insns[arc.to.index()],
+            );
+        }
+    }
+}
+
+fn cmd_dot(program: &Program, opts: &Options) {
+    for (bi, insns) in blocks_to_show(program, opts) {
+        let dag = build_dag(insns, &opts.model, opts.algo, opts.policy);
+        println!("// block {bi}");
+        print!("{}", to_dot(&dag, insns));
+    }
+}
+
+fn cmd_heur(program: &Program, opts: &Options) {
+    for (bi, insns) in blocks_to_show(program, opts) {
+        let dag = build_dag(insns, &opts.model, opts.algo, opts.policy);
+        let heur = HeuristicSet::compute(&dag, insns, &opts.model, false);
+        println!("block {bi}:");
+        print!("{}", dump_annotations(&dag, insns, &heur));
+    }
+}
+
+fn cmd_schedule(program: &Program, opts: &Options) {
+    let cfg = DriverConfig {
+        scheduler: Scheduler::new(opts.scheduler)
+            .with_construction(opts.algo)
+            .with_policy(opts.policy),
+        inherit_latencies: opts.inherit,
+        fill_delay_slots: opts.fill_slots,
+    };
+    let result = schedule_program(program, &opts.model, &cfg);
+    for insn in &result.insns {
+        println!("    {insn}");
+    }
+    let (before, after) = result.speedup(program, &opts.model);
+    eprintln!(
+        "! {}: {} blocks, {} -> {} cycles ({:+.1}%)",
+        opts.scheduler,
+        result.blocks.len(),
+        before,
+        after,
+        100.0 * (after as f64 - before as f64) / before as f64,
+    );
+}
+
+fn cmd_sim(program: &Program, opts: &Options) {
+    let r = simulate(&program.insns, &opts.model, SimOptions::default());
+    if opts.timeline {
+        print!("{}", render_timeline(&program.insns, &opts.model, &r, 72));
+    }
+    println!(
+        "{} instructions: {} cycles, {} data stalls, {} structural stalls, IPC {:.3}",
+        program.len(),
+        r.cycles,
+        r.data_stalls,
+        r.struct_stalls,
+        r.ipc()
+    );
+    let cfg = DriverConfig {
+        scheduler: Scheduler::new(opts.scheduler)
+            .with_construction(opts.algo)
+            .with_policy(opts.policy),
+        inherit_latencies: opts.inherit,
+        fill_delay_slots: false,
+    };
+    let result = schedule_program(program, &opts.model, &cfg);
+    let after = simulate(&result.insns, &opts.model, SimOptions::default());
+    if opts.timeline {
+        print!(
+            "{}",
+            render_timeline(&result.insns, &opts.model, &after, 72)
+        );
+    }
+    println!(
+        "after {}: {} cycles, {} data stalls, {} structural stalls, IPC {:.3}",
+        opts.scheduler,
+        after.cycles,
+        after.data_stalls,
+        after.struct_stalls,
+        after.ipc()
+    );
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    if command == "--help" || command == "-h" {
+        usage("");
+    }
+    let mut opts = Options {
+        command,
+        file: None,
+        algo: ConstructionAlgorithm::TableBackward,
+        policy: MemDepPolicy::SymbolicExpr,
+        scheduler: SchedulerKind::Warren,
+        model: MachineModel::sparc2(),
+        block: None,
+        inherit: false,
+        fill_slots: false,
+        timeline: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--algo" => {
+                let v = args.next().ok_or("--algo needs a value")?;
+                opts.algo = match v.as_str() {
+                    "n2" | "n2-forward" => ConstructionAlgorithm::N2Forward,
+                    "n2-backward" => ConstructionAlgorithm::N2Backward,
+                    "landskov" => ConstructionAlgorithm::N2ForwardLandskov,
+                    "table-forward" => ConstructionAlgorithm::TableForward,
+                    "table-backward" => ConstructionAlgorithm::TableBackward,
+                    "bitmap" => ConstructionAlgorithm::TableBackwardBitmap,
+                    _ => return Err(format!("unknown algo `{v}`")),
+                };
+            }
+            "--policy" => {
+                let v = args.next().ok_or("--policy needs a value")?;
+                opts.policy = match v.as_str() {
+                    "single" => MemDepPolicy::SingleResource,
+                    "base-offset" => MemDepPolicy::BaseOffset,
+                    "storage-class" => MemDepPolicy::StorageClass,
+                    "symbolic" => MemDepPolicy::SymbolicExpr,
+                    _ => return Err(format!("unknown policy `{v}`")),
+                };
+            }
+            "--scheduler" => {
+                let v = args.next().ok_or("--scheduler needs a value")?;
+                opts.scheduler = match v.as_str() {
+                    "gibbons-muchnick" | "gm" => SchedulerKind::GibbonsMuchnick,
+                    "krishnamurthy" => SchedulerKind::Krishnamurthy,
+                    "schlansker" => SchedulerKind::Schlansker,
+                    "shieh-papachristou" | "shieh" => SchedulerKind::ShiehPapachristou,
+                    "tiemann" | "gcc" => SchedulerKind::Tiemann,
+                    "warren" => SchedulerKind::Warren,
+                    _ => return Err(format!("unknown scheduler `{v}`")),
+                };
+            }
+            "--model" => {
+                let v = args.next().ok_or("--model needs a value")?;
+                opts.model = match v.as_str() {
+                    "sparc2" => MachineModel::sparc2(),
+                    "rs6000" => MachineModel::rs6000_like(),
+                    "deep-fpu" => MachineModel::deep_fpu(),
+                    _ => return Err(format!("unknown model `{v}`")),
+                };
+            }
+            "--block" => {
+                opts.block = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--block needs an index")?,
+                );
+            }
+            "--inherit" => opts.inherit = true,
+            "--timeline" => opts.timeline = true,
+            "--fill-slots" => opts.fill_slots = true,
+            "-" => opts.file = None,
+            f if !f.starts_with('-') && opts.file.is_none() => opts.file = Some(f.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn read_input(file: &Option<String>) -> std::io::Result<String> {
+    match file {
+        Some(path) => std::fs::read_to_string(path),
+        None => {
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s)?;
+            Ok(s)
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dagsched: {msg}");
+    std::process::exit(1);
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("dagsched: {err}\n");
+    }
+    eprintln!(
+        "usage: dagsched <dag|dot|heur|schedule|sim> [file|-]\n\
+         \n\
+         options:\n\
+         \x20 --algo       n2 | n2-backward | landskov | table-forward | table-backward | bitmap\n\
+         \x20 --policy     single | base-offset | storage-class | symbolic\n\
+         \x20 --scheduler  gm | krishnamurthy | schlansker | shieh | tiemann | warren\n\
+         \x20 --model      sparc2 | rs6000 | deep-fpu\n\
+         \x20 --block N    restrict to one basic block\n\
+         \x20 --inherit    carry latencies across blocks\n\
+         \x20 --timeline   draw the pipeline timeline under `sim`\n\
+         \x20 --fill-slots fill branch delay slots"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

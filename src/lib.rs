@@ -1,0 +1,69 @@
+//! # dagsched
+//!
+//! A reproduction of Smotherman, Krishnamurthy, Aravind and Hunnicutt,
+//! *"Efficient DAG Construction and Heuristic Calculation for Instruction
+//! Scheduling"* (MICRO-24, 1991), as a reusable Rust library for
+//! basic-block instruction scheduling research.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`isa`] — SPARC-like instruction set and machine timing model.
+//! * [`core`] — dependence-DAG construction (compare-against-all and
+//!   table-building, forward and backward, with transitive-arc-avoidance
+//!   variants) and the paper's 26 scheduling heuristics.
+//! * [`sched`] — a list-scheduling framework and the six published
+//!   scheduling algorithms the paper analyzes.
+//! * [`pipesim`] — an in-order pipeline simulator for measuring schedule
+//!   quality (stall cycles).
+//! * [`workloads`] — synthetic benchmark generation calibrated to the
+//!   paper's Table 3, plus a small assembly parser.
+//! * [`stats`] — structural statistics and table rendering used by the
+//!   experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dagsched::prelude::*;
+//!
+//! // The paper's Figure 1 block: a 20-cycle divide, then two adds.
+//! let mut prog = Program::new();
+//! prog.push(Instruction::fp3(Opcode::FDivD, Reg::f(0), Reg::f(2), Reg::f(4)));
+//! prog.push(Instruction::fp3(Opcode::FAddD, Reg::f(6), Reg::f(8), Reg::f(0)));
+//! prog.push(Instruction::fp3(Opcode::FAddD, Reg::f(0), Reg::f(4), Reg::f(10)));
+//!
+//! let model = MachineModel::sparc2();
+//! let dag = build_dag(
+//!     &prog.insns,
+//!     &model,
+//!     ConstructionAlgorithm::TableBackward,
+//!     MemDepPolicy::SymbolicExpr,
+//! );
+//! assert_eq!(dag.node_count(), 3);
+//! // The table-building methods retain the "important" transitive RAW arc.
+//! assert!(dag.arc_between(NodeId::new(0), NodeId::new(2)).is_some());
+//! ```
+
+pub mod driver;
+
+pub use dagsched_core as core;
+pub use dagsched_isa as isa;
+pub use dagsched_pipesim as pipesim;
+pub use dagsched_sched as sched;
+pub use dagsched_stats as stats;
+pub use dagsched_workloads as workloads;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use dagsched_core::{
+        build_dag, ConstructionAlgorithm, Dag, DagArc, DagNode, HeuristicSet, MemDepPolicy, NodeId,
+    };
+    pub use dagsched_isa::{
+        BasicBlock, DepKind, FuncUnit, Instruction, MachineModel, MemRef, Opcode, Program, Reg,
+        Resource,
+    };
+    pub use dagsched_pipesim::{simulate, SimReport};
+    pub use dagsched_sched::{Schedule, Scheduler, SchedulerKind};
+    pub use dagsched_workloads::{generate, BenchmarkProfile};
+
+    pub use crate::driver::{schedule_program, DriverConfig, ScheduledProgram};
+}

@@ -1,0 +1,128 @@
+//! End-to-end tests of the `dagsched` command-line binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const FIXTURE: &str = "
+    lddf [%fp-8], %f0
+    fdivd %f0, %f2, %f4
+    faddd %f4, %f6, %f8
+    add %o0, %o1, %o2
+    cmp %o2, %o3
+    bne out
+";
+
+fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dagsched"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn dag_command_prints_arcs() {
+    let (stdout, _, ok) = run_cli(&["dag", "-"], FIXTURE);
+    assert!(ok);
+    assert!(stdout.contains("block 0"), "{stdout}");
+    assert!(
+        stdout.contains("RAW 20"),
+        "the divide arc is shown: {stdout}"
+    );
+    assert!(stdout.contains("fdivd"));
+}
+
+#[test]
+fn dot_command_emits_graphviz() {
+    let (stdout, _, ok) = run_cli(&["dot", "-", "--block", "0"], FIXTURE);
+    assert!(ok);
+    assert!(stdout.contains("digraph dag {"));
+    assert!(stdout.contains("style=solid"));
+}
+
+#[test]
+fn heur_command_dumps_annotations() {
+    let (stdout, _, ok) = run_cli(&["heur", "-"], FIXTURE);
+    assert!(ok);
+    assert!(stdout.contains("slack"));
+    assert!(stdout.contains("faddd"));
+}
+
+#[test]
+fn schedule_command_reorders_and_reports() {
+    let (stdout, stderr, ok) = run_cli(
+        &["schedule", "-", "--scheduler", "warren", "--fill-slots"],
+        FIXTURE,
+    );
+    assert!(ok, "{stderr}");
+    // All six instructions re-emitted (plus possibly a nop in the slot).
+    assert!(stdout.lines().count() >= 6, "{stdout}");
+    assert!(stderr.contains("Warren"), "{stderr}");
+    assert!(stderr.contains("cycles"), "{stderr}");
+}
+
+#[test]
+fn sim_command_shows_before_and_after() {
+    let (stdout, _, ok) = run_cli(&["sim", "-"], FIXTURE);
+    assert!(ok);
+    assert!(stdout.contains("data stalls"));
+    assert!(stdout.contains("after Warren"));
+}
+
+#[test]
+fn every_algo_and_policy_flag_parses() {
+    for algo in [
+        "n2",
+        "n2-backward",
+        "landskov",
+        "table-forward",
+        "table-backward",
+        "bitmap",
+    ] {
+        let (_, stderr, ok) = run_cli(&["dag", "-", "--algo", algo], FIXTURE);
+        assert!(ok, "--algo {algo}: {stderr}");
+    }
+    for policy in ["single", "base-offset", "storage-class", "symbolic"] {
+        let (_, stderr, ok) = run_cli(&["dag", "-", "--policy", policy], FIXTURE);
+        assert!(ok, "--policy {policy}: {stderr}");
+    }
+    for sched in [
+        "gm",
+        "krishnamurthy",
+        "schlansker",
+        "shieh",
+        "tiemann",
+        "warren",
+    ] {
+        let (_, stderr, ok) = run_cli(&["sim", "-", "--scheduler", sched], FIXTURE);
+        assert!(ok, "--scheduler {sched}: {stderr}");
+    }
+    for model in ["sparc2", "rs6000", "deep-fpu"] {
+        let (_, stderr, ok) = run_cli(&["dag", "-", "--model", model], FIXTURE);
+        assert!(ok, "--model {model}: {stderr}");
+    }
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (_, stderr, ok) = run_cli(&["dag", "-"], "bogus %q9\n");
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+    let (_, stderr, ok) = run_cli(&["frobnicate", "-"], FIXTURE);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}

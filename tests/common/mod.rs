@@ -1,0 +1,134 @@
+//! Shared proptest strategies: random basic blocks with realistic
+//! dependence structure (small register pools force conflicts).
+
+use dagsched::isa::{Instruction, MemRef, Opcode, Program, Reg};
+use proptest::prelude::*;
+
+/// An instruction description proptest can generate and shrink; memory
+/// expressions are interned when the block is materialized.
+#[derive(Debug, Clone)]
+pub enum InsnSpec {
+    Int3 { op: u8, a: u8, b: u8, d: u8 },
+    IntImm { op: u8, a: u8, imm: i8, d: u8 },
+    Fp3 { op: u8, a: u8, b: u8, d: u8 },
+    Load { dword: bool, expr: u8, d: u8 },
+    Store { dword: bool, expr: u8, s: u8 },
+    Cmp { a: u8, b: u8 },
+    Fcmp { a: u8, b: u8 },
+    MulDiv { op: u8, a: u8, b: u8, d: u8 },
+    Nop,
+}
+
+const INT_OPS: [Opcode; 6] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Sll,
+];
+const FP_OPS: [Opcode; 5] = [
+    Opcode::FAddD,
+    Opcode::FSubD,
+    Opcode::FMulD,
+    Opcode::FDivD,
+    Opcode::FAddS,
+];
+const MULDIV_OPS: [Opcode; 4] = [Opcode::Umul, Opcode::Smul, Opcode::Udiv, Opcode::Sdiv];
+
+fn ireg(n: u8) -> Reg {
+    // Six-register pool: plenty of WAR/WAW collisions.
+    Reg::o(n % 6)
+}
+
+fn freg(n: u8) -> Reg {
+    Reg::f(2 * (n % 5))
+}
+
+/// Materialize a block; `terminated` appends a conditional branch.
+pub fn build_block(specs: &[InsnSpec], terminated: bool) -> Program {
+    let mut prog = Program::new();
+    let exprs: Vec<_> = (0..4)
+        .map(|k| prog.mem_exprs.intern(&format!("[%fp-{}]", 8 * (k + 1))))
+        .collect();
+    for spec in specs {
+        let insn = match *spec {
+            InsnSpec::Int3 { op, a, b, d } => Instruction::int3(
+                INT_OPS[op as usize % INT_OPS.len()],
+                ireg(a),
+                ireg(b),
+                ireg(d),
+            ),
+            InsnSpec::IntImm { op, a, imm, d } => Instruction::int_imm(
+                INT_OPS[op as usize % INT_OPS.len()],
+                ireg(a),
+                imm as i64,
+                ireg(d),
+            ),
+            InsnSpec::Fp3 { op, a, b, d } => Instruction::fp3(
+                FP_OPS[op as usize % FP_OPS.len()],
+                freg(a),
+                freg(b),
+                freg(d),
+            ),
+            InsnSpec::Load { dword, expr, d } => {
+                let e = exprs[expr as usize % exprs.len()];
+                let mem = MemRef::base_offset(Reg::fp(), -8 * (1 + (expr as i32 % 4)), e);
+                if dword {
+                    Instruction::load(Opcode::LdDf, mem, freg(d))
+                } else {
+                    Instruction::load(Opcode::Ld, mem, ireg(d))
+                }
+            }
+            InsnSpec::Store { dword, expr, s } => {
+                let e = exprs[expr as usize % exprs.len()];
+                let mem = MemRef::base_offset(Reg::fp(), -8 * (1 + (expr as i32 % 4)), e);
+                if dword {
+                    Instruction::store(Opcode::StDf, freg(s), mem)
+                } else {
+                    Instruction::store(Opcode::St, ireg(s), mem)
+                }
+            }
+            InsnSpec::Cmp { a, b } => Instruction::cmp(ireg(a), ireg(b)),
+            InsnSpec::Fcmp { a, b } => Instruction::fcmp(Opcode::FCmpD, freg(a), freg(b)),
+            InsnSpec::MulDiv { op, a, b, d } => Instruction::int3(
+                MULDIV_OPS[op as usize % MULDIV_OPS.len()],
+                ireg(a),
+                ireg(b),
+                ireg(d),
+            ),
+            InsnSpec::Nop => Instruction::nop(),
+        };
+        prog.push(insn);
+    }
+    if terminated {
+        prog.push(Instruction::branch(Opcode::Bicc));
+    }
+    prog
+}
+
+/// Strategy over single instruction specs.
+pub fn insn_spec() -> impl Strategy<Value = InsnSpec> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(op, a, b, d)| InsnSpec::Int3 { op, a, b, d }),
+        2 => (any::<u8>(), any::<u8>(), any::<i8>(), any::<u8>())
+            .prop_map(|(op, a, imm, d)| InsnSpec::IntImm { op, a, imm, d }),
+        3 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(op, a, b, d)| InsnSpec::Fp3 { op, a, b, d }),
+        2 => (any::<bool>(), any::<u8>(), any::<u8>())
+            .prop_map(|(dword, expr, d)| InsnSpec::Load { dword, expr, d }),
+        2 => (any::<bool>(), any::<u8>(), any::<u8>())
+            .prop_map(|(dword, expr, s)| InsnSpec::Store { dword, expr, s }),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| InsnSpec::Cmp { a, b }),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| InsnSpec::Fcmp { a, b }),
+        1 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(op, a, b, d)| InsnSpec::MulDiv { op, a, b, d }),
+        1 => Just(InsnSpec::Nop),
+    ]
+}
+
+/// Strategy over whole blocks of up to `max_len` instructions.
+pub fn block_specs(max_len: usize) -> impl Strategy<Value = Vec<InsnSpec>> {
+    prop::collection::vec(insn_spec(), 0..=max_len)
+}

@@ -1,0 +1,191 @@
+//! Property tests over the heuristic calculation passes: internal
+//! consistency of the Table 1 heuristics on random blocks.
+
+mod common;
+
+use common::{block_specs, build_block};
+use dagsched::core::{
+    annotate_backward, annotate_backward_cp, annotate_construction, annotate_forward,
+    BackwardOrder, ConstructionAlgorithm, DynState, HeuristicSet, MemDepPolicy, NodeId,
+};
+use dagsched::isa::MachineModel;
+use proptest::prelude::*;
+
+fn full(prog: &dagsched::isa::Program) -> (dagsched::core::Dag, HeuristicSet) {
+    let model = MachineModel::sparc2();
+    let dag = dagsched::core::build_dag(
+        &prog.insns,
+        &model,
+        ConstructionAlgorithm::TableBackward,
+        MemDepPolicy::SymbolicExpr,
+    );
+    let h = HeuristicSet::compute(&dag, &prog.insns, &model, true);
+    (dag, h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// EST ≤ LST everywhere, and slack is their difference; at least one
+    /// node sits on the critical path (slack 0) in a nonempty block.
+    #[test]
+    fn est_lst_slack_relations(specs in block_specs(24)) {
+        let prog = build_block(&specs, false);
+        if prog.insns.is_empty() {
+            return Ok(());
+        }
+        let (_dag, h) = full(&prog);
+        let mut any_critical = false;
+        for i in 0..prog.insns.len() {
+            prop_assert!(h.est[i] <= h.lst[i], "node {i}: est {} > lst {}", h.est[i], h.lst[i]);
+            prop_assert_eq!(h.slack[i], h.lst[i] - h.est[i]);
+            any_critical |= h.slack[i] == 0;
+        }
+        prop_assert!(any_critical, "some node must be critical");
+    }
+
+    /// Path/delay heuristics are monotone along arcs: a parent's
+    /// leaf-distance strictly exceeds each child's, and delays dominate
+    /// path lengths (every arc costs at least 1 cycle).
+    #[test]
+    fn path_heuristics_are_monotone(specs in block_specs(24)) {
+        let prog = build_block(&specs, false);
+        let (dag, h) = full(&prog);
+        for arc in dag.arcs() {
+            let (f, t) = (arc.from.index(), arc.to.index());
+            prop_assert!(h.max_path_to_leaf[f] > h.max_path_to_leaf[t]);
+            prop_assert!(h.max_delay_to_leaf[f] >= h.max_delay_to_leaf[t] + arc.latency as u64);
+            prop_assert!(h.max_path_from_root[t] > h.max_path_from_root[f]);
+            prop_assert!(h.est[t] >= h.est[f] + arc.latency as u64);
+        }
+        for i in 0..prog.insns.len() {
+            prop_assert!(h.max_delay_to_leaf[i] >= h.max_path_to_leaf[i] as u64);
+            prop_assert!(h.max_delay_from_root[i] >= h.max_path_from_root[i] as u64);
+        }
+    }
+
+    /// The paper's finding 4: the level-list and reverse-walk orders for
+    /// the backward pass produce identical annotations — on the full pass
+    /// and on the critical-path-only variant.
+    #[test]
+    fn backward_orders_agree(specs in block_specs(24)) {
+        let prog = build_block(&specs, false);
+        let model = MachineModel::sparc2();
+        let dag = dagsched::core::build_dag(
+            &prog.insns, &model, ConstructionAlgorithm::TableBackward, MemDepPolicy::SymbolicExpr,
+        );
+        let mk = |order: BackwardOrder| {
+            let mut h = HeuristicSet::default();
+            annotate_construction(&mut h, &dag, &prog.insns, &model);
+            annotate_forward(&mut h, &dag);
+            annotate_backward(&mut h, &dag, order, true);
+            h
+        };
+        let a = mk(BackwardOrder::ReverseWalk);
+        let b = mk(BackwardOrder::LevelLists);
+        prop_assert_eq!(&a.max_path_to_leaf, &b.max_path_to_leaf);
+        prop_assert_eq!(&a.max_delay_to_leaf, &b.max_delay_to_leaf);
+        prop_assert_eq!(&a.lst, &b.lst);
+        prop_assert_eq!(&a.num_descendants, &b.num_descendants);
+        prop_assert_eq!(&a.sum_exec_descendants, &b.sum_exec_descendants);
+
+        let mk_cp = |order: BackwardOrder| {
+            let mut h = HeuristicSet::default();
+            annotate_construction(&mut h, &dag, &prog.insns, &model);
+            annotate_backward_cp(&mut h, &dag, order);
+            h
+        };
+        let a = mk_cp(BackwardOrder::ReverseWalk);
+        let b = mk_cp(BackwardOrder::LevelLists);
+        prop_assert_eq!(&a.max_path_to_leaf, &b.max_path_to_leaf);
+        prop_assert_eq!(&a.max_delay_to_leaf, &b.max_delay_to_leaf);
+    }
+
+    /// `#descendants` equals the brute-force count of reachable nodes, and
+    /// `#children`/`#parents` match the adjacency (the paper: `add_arc`
+    /// maintains the counters).
+    #[test]
+    fn counters_match_structure(specs in block_specs(20)) {
+        let prog = build_block(&specs, false);
+        let (dag, h) = full(&prog);
+        let maps = dag.descendant_maps();
+        for (i, map) in maps.iter().enumerate().take(prog.insns.len()) {
+            prop_assert_eq!(h.num_descendants[i] as usize, map.count() - 1);
+            prop_assert_eq!(h.num_children[i] as usize, dag.num_children(NodeId::new(i)));
+            prop_assert_eq!(h.num_parents[i] as usize, dag.num_parents(NodeId::new(i)));
+            prop_assert!(h.num_descendants[i] >= h.num_children[i]);
+            // Delay sums dominate their maxima.
+            prop_assert!(h.sum_delays_to_children[i] >= h.max_delay_to_child[i] as u64);
+            prop_assert!(h.sum_delays_from_parents[i] >= h.max_delay_from_parent[i] as u64);
+        }
+    }
+
+    /// Interlock-with-child is exactly "some child arc has delay > 1".
+    #[test]
+    fn interlock_with_child_definition(specs in block_specs(20)) {
+        let prog = build_block(&specs, false);
+        let (dag, h) = full(&prog);
+        for i in 0..prog.insns.len() {
+            let expected = dag.out_arcs(NodeId::new(i)).any(|a| a.latency > 1);
+            prop_assert_eq!(h.interlock_with_child[i], expected, "node {}", i);
+        }
+    }
+
+    /// Dynamic uncovering counters shrink toward zero as the block is
+    /// consumed in topological order, and uncovered ⊆ single-parent.
+    #[test]
+    fn dynamic_uncovering_is_consistent(specs in block_specs(20)) {
+        let prog = build_block(&specs, false);
+        if prog.insns.is_empty() {
+            return Ok(());
+        }
+        let model = MachineModel::sparc2();
+        let dag = dagsched::core::build_dag(
+            &prog.insns, &model, ConstructionAlgorithm::TableBackward, MemDepPolicy::SymbolicExpr,
+        );
+        let mut st = DynState::new(&dag);
+        for i in 0..prog.insns.len() {
+            let n = NodeId::new(i);
+            prop_assert!(st.ready_forward(n), "program order is topological");
+            let single = st.num_single_parent_children(&dag, n);
+            let uncovered = st.num_uncovered_children(&dag, n);
+            prop_assert!(uncovered <= single, "uncovered ⊆ single-parent");
+            prop_assert!(
+                st.sum_delays_single_parent_children(&dag, n) >= single as u64,
+                "each single-parent child contributes ≥ 1 cycle"
+            );
+            st.on_schedule(&dag, &prog.insns, &model, n, i as u64 * 64);
+        }
+        prop_assert_eq!(st.remaining(), 0);
+    }
+
+    /// Register bookkeeping: each instruction kills no more registers than
+    /// it reads and births no more than it writes.
+    #[test]
+    fn register_heuristics_are_bounded(specs in block_specs(20)) {
+        let prog = build_block(&specs, false);
+        let (_dag, h) = full(&prog);
+        for (i, insn) in prog.insns.iter().enumerate() {
+            prop_assert!(h.regs_killed[i] as usize <= insn.uses().len());
+            prop_assert!(h.regs_born[i] as usize <= insn.defs().len());
+            prop_assert_eq!(h.liveness[i], h.regs_born[i] as i32 - h.regs_killed[i] as i32);
+        }
+        // Across the block, every birth of a register that is later read
+        // is matched by exactly one kill of that register.
+        let total_killed: u32 = h.regs_killed.iter().sum();
+        let distinct_read: u32 = {
+            let mut seen = std::collections::HashSet::new();
+            for insn in &prog.insns {
+                for r in insn.uses() {
+                    if let dagsched::isa::Resource::Reg(reg) = r {
+                        if matches!(reg.class(), dagsched::isa::RegClass::Int | dagsched::isa::RegClass::Fp) {
+                            seen.insert(reg);
+                        }
+                    }
+                }
+            }
+            seen.len() as u32
+        };
+        prop_assert_eq!(total_killed, distinct_read, "one kill per distinct register read");
+    }
+}

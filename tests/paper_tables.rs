@@ -1,0 +1,193 @@
+//! Integration tests pinning the *shape* of the paper's experimental
+//! tables: exact structural targets for Table 3 and the qualitative
+//! findings of Tables 4–5 (who wins, by how much, where the blow-up is).
+//! Absolute timings live in `EXPERIMENTS.md`; here only robust ratios are
+//! asserted.
+
+use dagsched::core::{BackwardOrder, ConstructionAlgorithm, MemDepPolicy};
+use dagsched::isa::MachineModel;
+use dagsched::workloads::{generate, BenchmarkProfile, ALL_PROFILES, PAPER_SEED};
+use dagsched_bench::run_benchmark;
+use dagsched_stats::block_structure;
+
+/// Table 3 columns that are pinned exactly: (#blocks, #insts, max block).
+const TABLE3_EXACT: &[(&str, usize, usize, usize)] = &[
+    ("grep", 730, 1739, 34),
+    ("regex", 873, 2417, 52),
+    ("dfa", 1623, 4760, 45),
+    ("cccp", 3480, 8831, 36),
+    ("linpack", 390, 3391, 145),
+    ("lloops", 263, 3753, 124),
+    ("tomcatv", 112, 1928, 326),
+    ("nasa7", 756, 10654, 284),
+    ("fpppp-1000", 675, 25545, 1000),
+    ("fpppp-2000", 668, 25545, 2000),
+    ("fpppp-4000", 664, 25545, 4000),
+    ("fpppp", 662, 25545, 11750),
+];
+
+#[test]
+fn table3_block_and_instruction_counts_are_exact() {
+    for &(name, blocks, insts, max_block) in TABLE3_EXACT {
+        let bench = generate(BenchmarkProfile::by_name(name).unwrap(), PAPER_SEED);
+        let s = block_structure(&bench.program, &bench.blocks);
+        assert_eq!(s.blocks, blocks, "{name}: #blocks");
+        assert_eq!(s.insts, insts, "{name}: #insts");
+        assert_eq!(
+            s.insts_per_block.max as usize, max_block,
+            "{name}: max block"
+        );
+        // avg insts/block follows exactly from the two totals.
+        let avg = insts as f64 / blocks as f64;
+        assert!((s.insts_per_block.avg - avg).abs() < 1e-9, "{name}: avg");
+    }
+}
+
+#[test]
+fn table3_memory_expression_stats_track_paper_within_tolerance() {
+    // (name, paper max, paper avg) — the generator targets these; max is
+    // exact for base benchmarks, windowed variants within 40%.
+    let rows: &[(&str, f64, f64, f64)] = &[
+        ("grep", 5.0, 0.32, 0.35),
+        ("linpack", 62.0, 2.58, 0.35),
+        ("tomcatv", 68.0, 5.24, 0.35),
+        ("nasa7", 60.0, 4.23, 0.35),
+        ("fpppp", 324.0, 4.76, 0.35),
+        ("fpppp-1000", 120.0, 5.92, 0.40),
+        ("fpppp-4000", 209.0, 5.02, 0.40),
+    ];
+    for &(name, paper_max, paper_avg, tol) in rows {
+        let profile = BenchmarkProfile::by_name(name).unwrap();
+        let bench = generate(profile, PAPER_SEED);
+        let s = block_structure(&bench.program, &bench.blocks);
+        if profile.window.is_none() {
+            assert_eq!(
+                s.mem_exprs_per_block.max, paper_max,
+                "{name}: max mem exprs"
+            );
+        } else {
+            let rel = (s.mem_exprs_per_block.max - paper_max).abs() / paper_max;
+            assert!(
+                rel < tol,
+                "{name}: windowed max {} vs paper {paper_max}",
+                s.mem_exprs_per_block.max
+            );
+        }
+        let rel = (s.mem_exprs_per_block.avg - paper_avg).abs() / paper_avg;
+        assert!(
+            rel < tol,
+            "{name}: avg mem exprs {:.2} vs paper {paper_avg} (rel {rel:.2})",
+            s.mem_exprs_per_block.avg
+        );
+    }
+}
+
+#[test]
+fn every_profile_row_exists_and_is_generable() {
+    assert_eq!(ALL_PROFILES.len(), 12);
+    for p in ALL_PROFILES {
+        let bench = generate(p, PAPER_SEED);
+        assert!(!bench.blocks.is_empty(), "{}", p.name);
+    }
+}
+
+fn structure_for(name: &str, algo: ConstructionAlgorithm) -> dagsched_stats::DagStructure {
+    let bench = generate(BenchmarkProfile::by_name(name).unwrap(), PAPER_SEED);
+    run_benchmark(
+        &bench,
+        &MachineModel::sparc2(),
+        algo,
+        MemDepPolicy::SymbolicExpr,
+        BackwardOrder::ReverseWalk,
+        false,
+    )
+    .structure
+}
+
+#[test]
+fn table4_vs_table5_arc_explosion_shape() {
+    // Paper shape: for the FP benchmarks the n**2 method materializes a
+    // multiple of the arcs table building does, and the factor grows with
+    // block size (tomcatv: 84.5 vs 26.1; fpppp-1000: 2104.6 vs 88.4).
+    // Paper ratios: linpack 2.1x, tomcatv 3.2x, fpppp-1000 23.8x.
+    let mut last_ratio = 0.0;
+    for (name, min_ratio) in [("linpack", 1.4), ("tomcatv", 2.0), ("fpppp-1000", 8.0)] {
+        let n2 = structure_for(name, ConstructionAlgorithm::N2Forward);
+        let tb = structure_for(name, ConstructionAlgorithm::TableBackward);
+        let ratio = n2.arcs_per_block().avg / tb.arcs_per_block().avg;
+        assert!(ratio > min_ratio, "{name}: n**2/table arc ratio {ratio:.1}");
+        assert!(
+            ratio > last_ratio,
+            "{name}: the explosion grows with block size"
+        );
+        last_ratio = ratio;
+    }
+    // fpppp-1000 must be an order of magnitude apart, as in the paper.
+    let n2 = structure_for("fpppp-1000", ConstructionAlgorithm::N2Forward);
+    let tb = structure_for("fpppp-1000", ConstructionAlgorithm::TableBackward);
+    assert!(n2.arcs_per_block().avg > 10.0 * tb.arcs_per_block().avg);
+}
+
+#[test]
+fn table5_forward_and_backward_structures_agree() {
+    for name in ["grep", "tomcatv", "fpppp-1000"] {
+        let f = structure_for(name, ConstructionAlgorithm::TableForward);
+        let b = structure_for(name, ConstructionAlgorithm::TableBackward);
+        let (fa, ba) = (f.arcs_per_block().avg, b.arcs_per_block().avg);
+        assert!(
+            (fa - ba).abs() / fa.max(ba) < 0.02,
+            "{name}: forward {fa:.2} vs backward {ba:.2}"
+        );
+    }
+}
+
+#[test]
+fn children_per_instruction_ordering_matches_paper() {
+    // Paper Table 5: tomcatv has the densest table-built DAGs of the
+    // small benchmarks (1.52 avg children/inst vs linpack's 1.02 and
+    // grep's 0.52) — the reason its n**2 runs were disproportionately
+    // slow (§6).
+    let grep = structure_for("grep", ConstructionAlgorithm::TableBackward);
+    let linpack = structure_for("linpack", ConstructionAlgorithm::TableBackward);
+    let tomcatv = structure_for("tomcatv", ConstructionAlgorithm::TableBackward);
+    let g = grep.children_per_inst().avg;
+    let l = linpack.children_per_inst().avg;
+    let t = tomcatv.children_per_inst().avg;
+    assert!(
+        g < l && l < t,
+        "ordering grep({g:.2}) < linpack({l:.2}) < tomcatv({t:.2})"
+    );
+}
+
+#[test]
+fn n2_needs_windows_but_table_building_does_not() {
+    // Time-based shape check with a wide margin: on fpppp-1000 the n**2
+    // pipeline must cost several times the table-building pipeline.
+    use std::time::Instant;
+    let bench = generate(BenchmarkProfile::by_name("fpppp-1000").unwrap(), PAPER_SEED);
+    let model = MachineModel::sparc2();
+    let t0 = Instant::now();
+    run_benchmark(
+        &bench,
+        &model,
+        ConstructionAlgorithm::N2Forward,
+        MemDepPolicy::SymbolicExpr,
+        BackwardOrder::ReverseWalk,
+        false,
+    );
+    let n2 = t0.elapsed();
+    let t1 = Instant::now();
+    run_benchmark(
+        &bench,
+        &model,
+        ConstructionAlgorithm::TableBackward,
+        MemDepPolicy::SymbolicExpr,
+        BackwardOrder::ReverseWalk,
+        false,
+    );
+    let tb = t1.elapsed();
+    assert!(
+        n2 > 3 * tb,
+        "n**2 ({n2:?}) must dwarf table building ({tb:?}) on 1000-instruction blocks"
+    );
+}

@@ -1,0 +1,172 @@
+//! Property tests: every published scheduler emits a valid schedule —
+//! a topologically ordered permutation with a terminal branch — and its
+//! timing never beats the DAG critical-path bound.
+
+mod common;
+
+use common::{block_specs, build_block};
+use dagsched::core::{ConstructionAlgorithm, HeuristicSet, MemDepPolicy, PreparedBlock};
+use dagsched::isa::MachineModel;
+use dagsched::sched::{BranchAndBound, Scheduler, SchedulerKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Schedules are valid for every algorithm and random block.
+    #[test]
+    fn schedules_are_valid(specs in block_specs(20), terminated in any::<bool>()) {
+        let prog = build_block(&specs, terminated);
+        let model = MachineModel::sparc2();
+        for &kind in SchedulerKind::ALL {
+            let sched = Scheduler::new(kind);
+            let block = PreparedBlock::new(&prog.insns);
+            let dag = sched.construction.run(&block, &model, sched.policy);
+            let schedule = sched.schedule_block(&prog.insns, &model);
+            schedule.verify(&dag).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            if terminated && !prog.insns.is_empty() {
+                prop_assert_eq!(
+                    schedule.order.last().unwrap().index(),
+                    prog.insns.len() - 1,
+                    "{}: branch must stay terminal", kind
+                );
+            }
+        }
+    }
+
+    /// No schedule finishes before the critical-path lower bound
+    /// (max over nodes of EST + execution latency).
+    #[test]
+    fn makespan_respects_critical_path(specs in block_specs(20)) {
+        let prog = build_block(&specs, false);
+        if prog.insns.is_empty() {
+            return Ok(());
+        }
+        let model = MachineModel::sparc2();
+        let dag = dagsched::core::build_dag(
+            &prog.insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let h = HeuristicSet::compute(&dag, &prog.insns, &model, false);
+        let bound: u64 = (0..prog.insns.len())
+            .map(|i| h.est[i] + h.exec_time[i] as u64)
+            .max()
+            .unwrap();
+        for &kind in SchedulerKind::ALL {
+            let schedule = Scheduler::new(kind).schedule_block(&prog.insns, &model);
+            prop_assert!(
+                schedule.makespan(&prog.insns, &model) >= bound,
+                "{}: makespan {} < critical path {}",
+                kind, schedule.makespan(&prog.insns, &model), bound
+            );
+        }
+    }
+
+    /// Swapping the construction algorithm under a scheduler (the paper's
+    /// §6 pairing experiment) never invalidates its schedules, because all
+    /// algorithms encode the same dependence relation.
+    #[test]
+    fn construction_pairing_is_sound(specs in block_specs(16), algo_ix in 0usize..6) {
+        let prog = build_block(&specs, false);
+        let model = MachineModel::sparc2();
+        let algo = ConstructionAlgorithm::ALL[algo_ix];
+        let sched = Scheduler::new(SchedulerKind::Krishnamurthy).with_construction(algo);
+        let block = PreparedBlock::new(&prog.insns);
+        // Verify against the FULL dependence DAG, not the (possibly
+        // pruned) one the scheduler used: the order must respect every
+        // true dependence.
+        let truth = ConstructionAlgorithm::N2Forward.run(&block, &model, sched.policy);
+        let schedule = sched.schedule_block(&prog.insns, &model);
+        schedule.verify(&truth).unwrap_or_else(|e| panic!("{algo}: {e}"));
+    }
+
+    /// The branch-and-bound optimum is valid, proven for small blocks,
+    /// and never beaten by any list scheduler or by program order.
+    #[test]
+    fn branch_and_bound_is_a_true_lower_bound(specs in block_specs(9)) {
+        let prog = build_block(&specs, false);
+        let model = MachineModel::sparc2();
+        let dag = dagsched::core::build_dag(
+            &prog.insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let heur = HeuristicSet::compute(&dag, &prog.insns, &model, false);
+        let r = BranchAndBound::default().schedule(&dag, &prog.insns, &model, &heur);
+        prop_assert!(r.is_proven(), "nine instructions must be solvable");
+        r.schedule().verify(&dag).unwrap();
+        let opt = r.schedule().makespan(&prog.insns, &model);
+        for &kind in SchedulerKind::ALL {
+            let s = Scheduler::new(kind).schedule_block(&prog.insns, &model);
+            prop_assert!(
+                s.makespan(&prog.insns, &model) >= opt,
+                "{} beat the optimum: {} < {}",
+                kind, s.makespan(&prog.insns, &model), opt
+            );
+        }
+        if !prog.insns.is_empty() {
+            let orig = dagsched::sched::Schedule::from_order(
+                (0..prog.insns.len()).map(dagsched::core::NodeId::new).collect(),
+                &dag,
+                &prog.insns,
+                &model,
+            );
+            prop_assert!(orig.makespan(&prog.insns, &model) >= opt);
+        }
+    }
+
+    /// The reservation-table scheduler (§1's refined structural-hazard
+    /// approach) emits valid schedules and never beats the optimum.
+    #[test]
+    fn reservation_scheduler_is_valid_and_bounded(specs in block_specs(9)) {
+        let prog = build_block(&specs, false);
+        let model = MachineModel::sparc2();
+        let dag = dagsched::core::build_dag(
+            &prog.insns,
+            &model,
+            ConstructionAlgorithm::TableBackward,
+            MemDepPolicy::SymbolicExpr,
+        );
+        let heur = HeuristicSet::compute(&dag, &prog.insns, &model, false);
+        let s = dagsched::sched::ReservationScheduler::default()
+            .run(&dag, &prog.insns, &model, &heur);
+        s.verify(&dag).unwrap();
+        if !prog.insns.is_empty() {
+            let opt = BranchAndBound::default()
+                .schedule(&dag, &prog.insns, &model, &heur);
+            prop_assert!(opt.is_proven());
+            prop_assert!(
+                s.makespan(&prog.insns, &model)
+                    >= opt.schedule().makespan(&prog.insns, &model)
+            );
+        }
+    }
+
+    /// The Krishnamurthy postpass fixup never worsens the schedule.
+    #[test]
+    fn fixup_never_hurts(specs in block_specs(20)) {
+        let prog = build_block(&specs, false);
+        if prog.insns.is_empty() {
+            return Ok(());
+        }
+        let model = MachineModel::sparc2();
+        let mut sched = Scheduler::new(SchedulerKind::Krishnamurthy);
+        let block = PreparedBlock::new(&prog.insns);
+        let dag = sched.construction.run(&block, &model, sched.policy);
+        let heur = HeuristicSet::compute(&dag, &prog.insns, &model, false);
+        sched.postpass_fixup = false;
+        let plain = sched.schedule_dag(&dag, &prog.insns, &model, &heur);
+        sched.postpass_fixup = true;
+        let fixed = sched.schedule_dag(&dag, &prog.insns, &model, &heur);
+        fixed.verify(&dag).unwrap();
+        prop_assert!(
+            fixed.makespan(&prog.insns, &model) <= plain.makespan(&prog.insns, &model),
+            "fixup worsened {} -> {}",
+            plain.makespan(&prog.insns, &model),
+            fixed.makespan(&prog.insns, &model)
+        );
+    }
+}
