@@ -6,8 +6,10 @@
 //! ```
 //!
 //! Artifacts: `table1`, `table2`, `table3`, `table4`, `table5`, `fig1`,
-//! `ablate-levels`, `ablate-transitive`, or `all`. Options: `--seed N`
-//! (default 1991), `--runs N` (default 3, the timing average count).
+//! `ablate-levels`, `ablate-transitive`, `jobs-scaling`, or `all`.
+//! Options: `--seed N` (default 1991), `--runs N` (default 3, the timing
+//! average count), `--jobs N` (worker threads for the timed pipelines;
+//! 0 = machine parallelism, default 1).
 
 use dagsched_bench::rows;
 
@@ -16,6 +18,7 @@ fn main() {
     let mut artifacts: Vec<String> = Vec::new();
     let mut seed = dagsched_workloads::PAPER_SEED;
     let mut runs = 3u32;
+    let mut jobs = 1usize;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,9 +34,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--runs needs a number"));
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a thread count (0 = all cores)"));
+            }
             "--help" | "-h" => usage(""),
             other => artifacts.push(other.to_string()),
         }
+    }
+    if jobs == 0 {
+        jobs = dagsched_core::default_jobs();
     }
     if artifacts.is_empty() {
         artifacts.push("all".into());
@@ -60,14 +72,14 @@ fn main() {
             "Table 4. Scheduling run times and structural data for n**2 approach \
              (seed {seed}, avg of {runs} runs)"
         ));
-        print!("{}", rows::table4(seed, runs));
+        print!("{}", rows::table4(seed, runs, jobs));
     }
     if want("table5") {
         section(&format!(
             "Table 5. Scheduling run times and structural data for table-building \
              approaches (seed {seed}, avg of {runs} runs)"
         ));
-        print!("{}", rows::table5(seed, runs));
+        print!("{}", rows::table5(seed, runs, jobs));
     }
     if want("fig1") {
         section("Figure 1. Importance of transitive arcs");
@@ -112,6 +124,13 @@ fn main() {
         ));
         print!("{}", rows::window_sweep(seed, runs));
     }
+    if want("jobs-scaling") {
+        section(&format!(
+            "Parallel scaling: block-compilation pipeline across worker threads \
+             (cccp, 3480 blocks, backward table building; seed {seed}, avg of {runs})"
+        ));
+        print!("{}", rows::jobs_scaling(seed, runs, &[1, 2, 4, 8]));
+    }
 }
 
 fn section(title: &str) {
@@ -123,8 +142,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: tables [table1|table2|table3|table4|table5|fig1|ablate-levels|ablate-transitive|ablate-optimal|ablate-alternate|heur-overhead|windows|all]... \
-         [--seed N] [--runs N]"
+        "usage: tables [table1|table2|table3|table4|table5|fig1|ablate-levels|ablate-transitive|ablate-optimal|ablate-alternate|heur-overhead|windows|jobs-scaling|all]... \
+         [--seed N] [--runs N] [--jobs N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -13,10 +13,10 @@
 //! Tables 4 and 5.
 
 use dagsched_core::{
-    annotate_backward_cp, annotate_construction, BackwardOrder, ConstructionAlgorithm,
-    HeuristicSet, MemDepPolicy, PreparedBlock,
+    annotate_backward_cp, annotate_construction, map_blocks_with_scratch, BackwardOrder,
+    ConstructionAlgorithm, HeuristicSet, MemDepPolicy, PhaseStats, PreparedBlock, Scratch,
 };
-use dagsched_isa::MachineModel;
+use dagsched_isa::{Instruction, MachineModel};
 use dagsched_sched::{
     Criterion, Gating, HeurKey, ListScheduler, SchedDirection, Schedule, SelectStrategy,
 };
@@ -51,6 +51,49 @@ pub struct PipelineResult {
     pub insts: usize,
     /// Sum of schedule makespans (cycles) across blocks.
     pub total_cycles: u64,
+    /// Per-phase counters aggregated over every block (comparisons,
+    /// table probes, arcs added/suppressed, nanoseconds per phase).
+    pub stats: PhaseStats,
+}
+
+/// One block's contribution to a [`PipelineResult`].
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    bench: &Benchmark,
+    block_insns: &[Instruction],
+    model: &MachineModel,
+    algo: ConstructionAlgorithm,
+    policy: MemDepPolicy,
+    heur_order: BackwardOrder,
+    verify: bool,
+    scheduler: &ListScheduler,
+    scratch: &mut Scratch,
+) -> (DagStructure, usize, u64) {
+    // Pass 1 over the instructions: preparation + DAG construction.
+    let prepared = PreparedBlock::new(block_insns);
+    let dag = algo.run_with_scratch(&prepared, model, policy, scratch);
+    // Pass 2: the intermediate heuristic calculation step.
+    let t_heur = std::time::Instant::now();
+    let mut heur = HeuristicSet::default();
+    annotate_construction(&mut heur, &dag, block_insns, model);
+    annotate_backward_cp(&mut heur, &dag, heur_order);
+    scratch.stats.heur_ns += t_heur.elapsed().as_nanos() as u64;
+    // Pass 3: the scheduling pass over the DAG.
+    let t_sched = std::time::Instant::now();
+    let schedule: Schedule = scheduler.run(&dag, block_insns, model, &heur);
+    scratch.stats.sched_ns += t_sched.elapsed().as_nanos() as u64;
+    if verify {
+        schedule
+            .verify(&dag)
+            .unwrap_or_else(|e| panic!("{}/{algo}: {e}", bench.name));
+    }
+    let mut structure = DagStructure::new();
+    structure.add_dag(&dag);
+    (
+        structure,
+        block_insns.len(),
+        schedule.makespan(block_insns, model),
+    )
 }
 
 /// Run construction + heuristic calculation + scheduling on every block
@@ -66,37 +109,61 @@ pub fn run_benchmark(
     heur_order: BackwardOrder,
     verify: bool,
 ) -> PipelineResult {
+    run_benchmark_jobs(bench, model, algo, policy, heur_order, verify, 1)
+}
+
+/// [`run_benchmark`] sharded across `jobs` worker threads, each with a
+/// reusable [`Scratch`] arena.
+///
+/// Blocks are distributed by a fixed stride and every per-block result is
+/// folded back in original block order, so the statistics — structure,
+/// instruction and cycle totals, and the count-fields of
+/// [`PipelineResult::stats`] — are identical for every `jobs` value
+/// (timing fields genuinely vary). `jobs == 1` is the serial path used
+/// by [`run_benchmark`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_benchmark_jobs(
+    bench: &Benchmark,
+    model: &MachineModel,
+    algo: ConstructionAlgorithm,
+    policy: MemDepPolicy,
+    heur_order: BackwardOrder,
+    verify: bool,
+    jobs: usize,
+) -> PipelineResult {
     let scheduler = simple_forward_scheduler();
+    let items: Vec<&[Instruction]> = bench
+        .blocks
+        .iter()
+        .map(|b| bench.program.block_insns(b))
+        .filter(|insns| !insns.is_empty())
+        .collect();
+    let (per_block, stats) = map_blocks_with_scratch(&items, jobs, |_, block_insns, scratch| {
+        run_block(
+            bench,
+            block_insns,
+            model,
+            algo,
+            policy,
+            heur_order,
+            verify,
+            &scheduler,
+            scratch,
+        )
+    });
     let mut structure = DagStructure::new();
     let mut insts = 0usize;
     let mut total_cycles = 0u64;
-    for block in &bench.blocks {
-        let block_insns = bench.program.block_insns(block);
-        if block_insns.is_empty() {
-            continue;
-        }
-        // Pass 1 over the instructions: preparation + DAG construction.
-        let prepared = PreparedBlock::new(block_insns);
-        let dag = algo.run(&prepared, model, policy);
-        // Pass 2: the intermediate heuristic calculation step.
-        let mut heur = HeuristicSet::default();
-        annotate_construction(&mut heur, &dag, block_insns, model);
-        annotate_backward_cp(&mut heur, &dag, heur_order);
-        // Pass 3: the scheduling pass over the DAG.
-        let schedule: Schedule = scheduler.run(&dag, block_insns, model, &heur);
-        if verify {
-            schedule
-                .verify(&dag)
-                .unwrap_or_else(|e| panic!("{}/{algo}: {e}", bench.name));
-        }
-        structure.add_dag(&dag);
-        insts += block_insns.len();
-        total_cycles += schedule.makespan(block_insns, model);
+    for (s, n, cycles) in &per_block {
+        structure.merge(s);
+        insts += n;
+        total_cycles += cycles;
     }
     PipelineResult {
         structure,
         insts,
         total_cycles,
+        stats,
     }
 }
 

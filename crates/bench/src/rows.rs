@@ -9,7 +9,7 @@ use dagsched_sched::{algorithm_catalog, SchedDirection, Sense};
 use dagsched_stats::{time_avg, Table};
 use dagsched_workloads::{generate, parse_asm, BenchmarkProfile, ALL_PROFILES};
 
-use crate::pipeline::run_benchmark;
+use crate::pipeline::{run_benchmark, run_benchmark_jobs};
 
 /// The benchmarks of Table 4 (the paper ran the `n**2` approach only up
 /// to fpppp-1000 "due to the excessive time and space requirements").
@@ -156,7 +156,7 @@ fn timed_pipeline_row(
 ) -> (f64, dagsched_stats::DagStructure) {
     let profile = BenchmarkProfile::by_name(name).expect("profile");
     let bench = generate(profile, seed);
-    timed_pipeline_bench(&bench, runs, algo, order)
+    timed_pipeline_bench(&bench, runs, algo, order, 1)
 }
 
 /// Like [`timed_pipeline_row`] but over an already-generated benchmark —
@@ -167,38 +167,43 @@ fn timed_pipeline_bench(
     runs: u32,
     algo: ConstructionAlgorithm,
     order: BackwardOrder,
+    jobs: usize,
 ) -> (f64, dagsched_stats::DagStructure) {
     let model = MachineModel::sparc2();
     let timed = time_avg(runs, || {
-        run_benchmark(
+        run_benchmark_jobs(
             bench,
             &model,
             algo,
             MemDepPolicy::SymbolicExpr,
             order,
             false,
+            jobs,
         )
     });
     (timed.secs(), timed.value.structure)
 }
 
-/// Table 4: run times and structure for the `n**2` approach.
-pub fn table4(seed: u64, runs: u32) -> Table {
+/// Table 4: run times and structure for the `n**2` approach. `jobs`
+/// shards the pipeline across worker threads (structure columns are
+/// identical for every value; only the wall-clock time changes).
+pub fn table4(seed: u64, runs: u32, jobs: usize) -> Table {
     let mut t = Table::new(vec![
         "benchmark".into(),
-        "run time (s)".into(),
+        format!("run time (s, jobs={jobs})"),
         "children/inst max".into(),
         "children/inst avg".into(),
         "arcs/bb max".into(),
         "arcs/bb avg".into(),
     ]);
     for name in TABLE4_BENCHMARKS {
-        let (secs, s) = timed_pipeline_row(
-            name,
-            seed,
+        let bench = generate(BenchmarkProfile::by_name(name).expect("profile"), seed);
+        let (secs, s) = timed_pipeline_bench(
+            &bench,
             runs,
             ConstructionAlgorithm::N2Forward,
             BackwardOrder::ReverseWalk,
+            jobs,
         );
         t.row(vec![
             (*name).into(),
@@ -213,12 +218,12 @@ pub fn table4(seed: u64, runs: u32) -> Table {
 }
 
 /// Table 5: run times and structure for the table-building approaches
-/// (forward and backward).
-pub fn table5(seed: u64, runs: u32) -> Table {
+/// (forward and backward). `jobs` as in [`table4`].
+pub fn table5(seed: u64, runs: u32, jobs: usize) -> Table {
     let mut t = Table::new(vec![
         "benchmark".into(),
-        "fwd time (s)".into(),
-        "bwd time (s)".into(),
+        format!("fwd time (s, jobs={jobs})"),
+        format!("bwd time (s, jobs={jobs})"),
         "children/inst max".into(),
         "children/inst avg".into(),
         "arcs/bb max".into(),
@@ -231,12 +236,14 @@ pub fn table5(seed: u64, runs: u32) -> Table {
             runs,
             ConstructionAlgorithm::TableForward,
             BackwardOrder::ReverseWalk,
+            jobs,
         );
         let (b_secs, _) = timed_pipeline_bench(
             &bench,
             runs,
             ConstructionAlgorithm::TableBackward,
             BackwardOrder::ReverseWalk,
+            jobs,
         );
         t.row(vec![
             name.into(),
@@ -249,6 +256,74 @@ pub fn table5(seed: u64, runs: u32) -> Table {
         ]);
     }
     t
+}
+
+/// Parallel scaling of the block-compilation pipeline: the same
+/// ≥1000-block workload (cccp, 3480 blocks) compiled with increasing
+/// worker counts, backward table building.
+///
+/// Besides wall-clock time and speedup, the per-phase counters are
+/// reported so the row-to-row invariants are visible: arcs, table probes
+/// and instruction totals must be *identical* across job counts (they
+/// are asserted, not just printed), while the per-phase CPU times are
+/// summed across workers and so exceed wall-clock once `jobs > 1`.
+pub fn jobs_scaling(seed: u64, runs: u32, jobs_list: &[usize]) -> Table {
+    let bench = generate(BenchmarkProfile::by_name("cccp").expect("profile"), seed);
+    let model = MachineModel::sparc2();
+    let mut t = Table::new(vec![
+        "jobs".into(),
+        "time (s)".into(),
+        "speedup".into(),
+        "blocks".into(),
+        "insts".into(),
+        "arcs".into(),
+        "table probes".into(),
+        "construct cpu (ms)".into(),
+        "heur cpu (ms)".into(),
+        "sched cpu (ms)".into(),
+    ]);
+    let mut baseline: Option<(f64, crate::PipelineResult)> = None;
+    for &jobs in jobs_list {
+        let timed = time_avg(runs, || {
+            run_benchmark_jobs(
+                &bench,
+                &model,
+                ConstructionAlgorithm::TableBackward,
+                MemDepPolicy::SymbolicExpr,
+                BackwardOrder::ReverseWalk,
+                false,
+                jobs,
+            )
+        });
+        let secs = timed.secs();
+        let r = timed.value;
+        if let Some((base_secs, base)) = &baseline {
+            assert!(
+                base.stats.same_counts(&r.stats) && base.insts == r.insts,
+                "jobs={jobs} diverged from the serial counters"
+            );
+            t.row(row_for(jobs, secs, base_secs / secs.max(1e-12), &r));
+        } else {
+            t.row(row_for(jobs, secs, 1.0, &r));
+            baseline = Some((secs, r));
+        }
+    }
+    return t;
+
+    fn row_for(jobs: usize, secs: f64, speedup: f64, r: &crate::PipelineResult) -> Vec<String> {
+        vec![
+            jobs.to_string(),
+            fmt_secs(secs),
+            fmt2(speedup),
+            r.stats.blocks.to_string(),
+            r.insts.to_string(),
+            r.stats.arcs_added.to_string(),
+            r.stats.table_probes.to_string(),
+            format!("{:.1}", r.stats.construct_ns as f64 / 1e6),
+            format!("{:.1}", r.stats.heur_ns as f64 / 1e6),
+            format!("{:.1}", r.stats.sched_ns as f64 / 1e6),
+        ]
+    }
 }
 
 /// The paper's Figure 1 block.

@@ -107,6 +107,17 @@ impl BitSet {
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
+
+    /// Empty the set and change its capacity in place, keeping the backing
+    /// allocation when possible. After `reset(c)` the set is
+    /// indistinguishable from `BitSet::new(c)`; this is what lets the
+    /// per-worker [`crate::Scratch`] arena reuse one bitmap pool across
+    /// blocks of different sizes without reallocating.
+    pub fn reset(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +172,23 @@ mod tests {
     fn contains_out_of_range_is_false() {
         let s = BitSet::new(10);
         assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_new() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(129);
+        // Shrink: stale high bits must not survive.
+        s.reset(10);
+        assert_eq!(s, BitSet::new(10));
+        s.insert(9);
+        // Grow again across a word boundary.
+        s.reset(200);
+        assert_eq!(s, BitSet::new(200));
+        assert!(!s.contains(9));
+        s.insert(199);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![199]);
     }
 
     #[test]

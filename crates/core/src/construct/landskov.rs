@@ -2,11 +2,11 @@
 
 use dagsched_isa::MachineModel;
 
-use crate::bitset::BitSet;
 use crate::construct::n2::strongest_dep;
 use crate::dag::{Dag, NodeId};
 use crate::memdep::MemDepPolicy;
 use crate::prepare::PreparedBlock;
+use crate::scratch::{reset_bitmaps, Scratch};
 
 /// Forward `n**2` construction with the Landskov et al. modification:
 /// "examines leaves first and prunes away any ancestors whenever a
@@ -28,14 +28,33 @@ pub fn n2_forward_landskov(
     model: &MachineModel,
     policy: MemDepPolicy,
 ) -> Dag {
+    n2_forward_landskov_in(block, model, policy, &mut Scratch::new())
+}
+
+/// [`n2_forward_landskov`] against a reusable [`Scratch`] arena: the
+/// ancestor bitmaps come from the arena's bitmap pool;
+/// `stats.comparisons` counts the pairwise comparisons actually made and
+/// `stats.arcs_suppressed` the pair comparisons pruned away (an upper
+/// bound on suppressed arcs — a pruned pair is never examined, so whether
+/// it would have carried a dependence is unknown by design).
+pub(crate) fn n2_forward_landskov_in(
+    block: &PreparedBlock<'_>,
+    model: &MachineModel,
+    policy: MemDepPolicy,
+    scratch: &mut Scratch,
+) -> Dag {
     let n = block.len();
     let mut dag = Dag::new(n);
-    let mut ancestors: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    let ancestors = reset_bitmaps(&mut scratch.bitmaps, n, false);
+    let mut comparisons = 0u64;
+    let mut pruned = 0u64;
     for i in 0..n {
         for j in (0..i).rev() {
             if ancestors[i].contains(j) {
+                pruned += 1;
                 continue; // already ordered transitively: prune
             }
+            comparisons += 1;
             if let Some((kind, lat)) = strongest_dep(block, model, policy, j, i) {
                 dag.add_arc(NodeId::new(j), NodeId::new(i), kind, lat);
                 let (lo, hi) = ancestors.split_at_mut(i);
@@ -44,6 +63,8 @@ pub fn n2_forward_landskov(
             }
         }
     }
+    scratch.stats.comparisons += comparisons;
+    scratch.stats.arcs_suppressed += pruned;
     dag
 }
 

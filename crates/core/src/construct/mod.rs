@@ -18,7 +18,7 @@
 
 mod landskov;
 mod n2;
-mod table;
+pub(crate) mod table;
 
 pub use landskov::n2_forward_landskov;
 pub use n2::{n2_backward, n2_forward, strongest_dep};
@@ -29,6 +29,7 @@ use dagsched_isa::{Instruction, MachineModel};
 use crate::dag::Dag;
 use crate::memdep::MemDepPolicy;
 use crate::prepare::PreparedBlock;
+use crate::scratch::Scratch;
 
 /// Direction of the pass a construction algorithm makes over the block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,17 +124,56 @@ impl ConstructionAlgorithm {
     }
 
     /// Run this algorithm on a prepared block.
+    ///
+    /// Equivalent to [`ConstructionAlgorithm::run_with_scratch`] with a
+    /// fresh throwaway arena — both entry points share one code path, so
+    /// the produced DAG is bit-identical either way.
     pub fn run(self, block: &PreparedBlock<'_>, model: &MachineModel, policy: MemDepPolicy) -> Dag {
-        match self {
-            ConstructionAlgorithm::N2Forward => n2_forward(block, model, policy),
-            ConstructionAlgorithm::N2Backward => n2_backward(block, model, policy),
-            ConstructionAlgorithm::N2ForwardLandskov => n2_forward_landskov(block, model, policy),
-            ConstructionAlgorithm::TableForward => table_forward(block, model, policy),
-            ConstructionAlgorithm::TableBackward => table_backward(block, model, policy),
-            ConstructionAlgorithm::TableBackwardBitmap => {
-                table_backward_bitmap(block, model, policy)
+        self.run_with_scratch(block, model, policy, &mut Scratch::new())
+    }
+
+    /// Run this algorithm against a reusable per-worker [`Scratch`]
+    /// arena, accumulating per-phase counters into `scratch.stats`.
+    ///
+    /// The arena only changes *where* the algorithm's working storage
+    /// lives (definition/use tables, reachability bitmaps); the produced
+    /// DAG is identical to [`ConstructionAlgorithm::run`]. Counters
+    /// bumped here: `blocks`, `nodes`, `arcs_added`, `construct_ns`,
+    /// plus the per-algorithm `comparisons` / `table_probes` /
+    /// `arcs_suppressed`.
+    pub fn run_with_scratch(
+        self,
+        block: &PreparedBlock<'_>,
+        model: &MachineModel,
+        policy: MemDepPolicy,
+        scratch: &mut Scratch,
+    ) -> Dag {
+        let start = std::time::Instant::now();
+        let dag = match self {
+            ConstructionAlgorithm::N2Forward => {
+                n2::n2_forward_in(block, model, policy, &mut scratch.stats)
             }
-        }
+            ConstructionAlgorithm::N2Backward => {
+                n2::n2_backward_in(block, model, policy, &mut scratch.stats)
+            }
+            ConstructionAlgorithm::N2ForwardLandskov => {
+                landskov::n2_forward_landskov_in(block, model, policy, scratch)
+            }
+            ConstructionAlgorithm::TableForward => {
+                table::table_forward_in(block, model, policy, scratch)
+            }
+            ConstructionAlgorithm::TableBackward => {
+                table::table_backward_in(block, model, policy, scratch)
+            }
+            ConstructionAlgorithm::TableBackwardBitmap => {
+                table::table_backward_bitmap_in(block, model, policy, scratch)
+            }
+        };
+        scratch.stats.construct_ns += start.elapsed().as_nanos() as u64;
+        scratch.stats.blocks += 1;
+        scratch.stats.nodes += block.len() as u64;
+        scratch.stats.arcs_added += dag.arc_count() as u64;
+        dag
     }
 }
 
@@ -174,4 +214,50 @@ pub fn build_dag(
 ) -> Dag {
     let block = PreparedBlock::new(insns);
     algo.run(&block, model, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_isa::{Instruction, MemExprPool, MemRef, Opcode, Reg};
+
+    /// Every algorithm must produce the same arc set through a warm,
+    /// repeatedly-reused arena as through `run`'s fresh one, and the
+    /// per-phase counters must accumulate sensibly.
+    #[test]
+    fn run_with_scratch_is_identical_to_run() {
+        let mut pool = MemExprPool::new();
+        let e = pool.intern("[%fp-8]");
+        let insns = vec![
+            Instruction::fp3(Opcode::FDivD, Reg::f(1), Reg::f(2), Reg::f(3)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(4), Reg::f(5), Reg::f(1)),
+            Instruction::store(Opcode::St, Reg::o(0), MemRef::base_offset(Reg::fp(), -8, e)),
+            Instruction::load(Opcode::Ld, MemRef::base_offset(Reg::fp(), -8, e), Reg::o(1)),
+            Instruction::fp3(Opcode::FAddD, Reg::f(1), Reg::f(3), Reg::f(6)),
+        ];
+        let block = PreparedBlock::new(&insns);
+        let model = MachineModel::sparc2();
+        let mut scratch = Scratch::new();
+        for round in 0..3 {
+            for &algo in ConstructionAlgorithm::ALL {
+                let fresh = algo.run(&block, &model, MemDepPolicy::SymbolicExpr);
+                let warm =
+                    algo.run_with_scratch(&block, &model, MemDepPolicy::SymbolicExpr, &mut scratch);
+                assert_eq!(fresh.arc_count(), warm.arc_count(), "{algo} round {round}");
+                for arc in fresh.arcs() {
+                    let other = warm
+                        .arc_between(arc.from, arc.to)
+                        .unwrap_or_else(|| panic!("{algo} round {round}: missing arc"));
+                    assert_eq!((other.kind, other.latency), (arc.kind, arc.latency), "{algo}");
+                }
+            }
+        }
+        let stats = scratch.stats;
+        assert_eq!(stats.blocks, 3 * ConstructionAlgorithm::ALL.len() as u64);
+        assert_eq!(stats.nodes, stats.blocks * insns.len() as u64);
+        assert!(stats.arcs_added > 0);
+        assert!(stats.comparisons > 0, "n**2 family must count comparisons");
+        assert!(stats.table_probes > 0, "table family must count probes");
+        assert!(stats.construct_ns > 0);
+    }
 }

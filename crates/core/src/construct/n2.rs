@@ -5,6 +5,7 @@ use dagsched_isa::{DepKind, MachineModel, MemAccessKind, Resource};
 use crate::dag::{Dag, NodeId};
 use crate::memdep::MemDepPolicy;
 use crate::prepare::PreparedBlock;
+use crate::scratch::PhaseStats;
 
 /// The strongest dependence (if any) from instruction `j` to a later
 /// instruction `i` of the prepared block: maximum arc latency over all
@@ -99,15 +100,28 @@ fn rank(kind: DepKind) -> u8 {
 /// on large basic blocks (the paper recommends an instruction window of
 /// 300–400 instructions to keep it practical).
 pub fn n2_forward(block: &PreparedBlock<'_>, model: &MachineModel, policy: MemDepPolicy) -> Dag {
+    n2_forward_in(block, model, policy, &mut PhaseStats::default())
+}
+
+/// [`n2_forward`] with pairwise-comparison counting into `stats`.
+pub(crate) fn n2_forward_in(
+    block: &PreparedBlock<'_>,
+    model: &MachineModel,
+    policy: MemDepPolicy,
+    stats: &mut PhaseStats,
+) -> Dag {
     let n = block.len();
     let mut dag = Dag::new(n);
+    let mut comparisons = 0u64;
     for i in 0..n {
         for j in 0..i {
+            comparisons += 1;
             if let Some((kind, lat)) = strongest_dep(block, model, policy, j, i) {
                 dag.add_arc(NodeId::new(j), NodeId::new(i), kind, lat);
             }
         }
     }
+    stats.comparisons += comparisons;
     dag
 }
 
@@ -117,15 +131,28 @@ pub fn n2_forward(block: &PreparedBlock<'_>, model: &MachineModel, policy: MemDe
 /// is compared against all *later* nodes while walking the block
 /// last-to-first).
 pub fn n2_backward(block: &PreparedBlock<'_>, model: &MachineModel, policy: MemDepPolicy) -> Dag {
+    n2_backward_in(block, model, policy, &mut PhaseStats::default())
+}
+
+/// [`n2_backward`] with pairwise-comparison counting into `stats`.
+pub(crate) fn n2_backward_in(
+    block: &PreparedBlock<'_>,
+    model: &MachineModel,
+    policy: MemDepPolicy,
+    stats: &mut PhaseStats,
+) -> Dag {
     let n = block.len();
     let mut dag = Dag::new(n);
+    let mut comparisons = 0u64;
     for i in (0..n).rev() {
         for j in i + 1..n {
+            comparisons += 1;
             if let Some((kind, lat)) = strongest_dep(block, model, policy, i, j) {
                 dag.add_arc(NodeId::new(i), NodeId::new(j), kind, lat);
             }
         }
     }
+    stats.comparisons += comparisons;
     dag
 }
 

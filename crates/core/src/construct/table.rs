@@ -16,6 +16,7 @@ use crate::bitset::BitSet;
 use crate::dag::{Dag, NodeId};
 use crate::memdep::{MemDepPolicy, MemKey};
 use crate::prepare::{reg_resource_id, PreparedBlock, REG_RESOURCE_COUNT};
+use crate::scratch::{reset_bitmaps, PhaseStats, Scratch};
 
 #[derive(Debug, Clone, Default)]
 struct RegEntry {
@@ -31,17 +32,33 @@ struct MemEntry {
 }
 
 /// The definition/use tables of the table-building algorithms.
-struct DepTables {
+///
+/// Owned by the per-worker [`Scratch`] arena so the register table (67
+/// dense entries, each with a use-list allocation) survives from block to
+/// block; [`DepTables::reset`] restores the empty state without touching
+/// the allocations.
+#[derive(Debug)]
+pub(crate) struct DepTables {
     regs: Vec<RegEntry>,
     mem: Vec<MemEntry>,
 }
 
 impl DepTables {
-    fn new() -> DepTables {
+    pub(crate) fn new() -> DepTables {
         DepTables {
             regs: vec![RegEntry::default(); REG_RESOURCE_COUNT],
             mem: Vec::new(),
         }
+    }
+
+    /// Restore the freshly-constructed state, keeping the register-table
+    /// allocation and each entry's use-list capacity.
+    pub(crate) fn reset(&mut self) {
+        for e in &mut self.regs {
+            e.last_def = None;
+            e.uses.clear();
+        }
+        self.mem.clear();
     }
 }
 
@@ -60,11 +77,24 @@ pub fn table_backward(
     model: &MachineModel,
     policy: MemDepPolicy,
 ) -> Dag {
+    table_backward_in(block, model, policy, &mut Scratch::new())
+}
+
+/// [`table_backward`] against a reusable [`Scratch`] arena: the
+/// definition/use tables come from (and are reset in) `scratch`, and
+/// `scratch.stats.table_probes` counts the table entries consulted.
+pub(crate) fn table_backward_in(
+    block: &PreparedBlock<'_>,
+    model: &MachineModel,
+    policy: MemDepPolicy,
+    scratch: &mut Scratch,
+) -> Dag {
     let mut dag = Dag::new(block.len());
+    let Scratch { tables, stats, .. } = scratch;
     let mut add = |dag: &mut Dag, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
         dag.add_arc(from, to, kind, lat);
     };
-    backward_core(block, model, policy, &mut dag, &mut add);
+    backward_core(block, model, policy, tables, stats, &mut dag, &mut add);
     dag
 }
 
@@ -80,41 +110,88 @@ pub fn table_backward_bitmap(
     model: &MachineModel,
     policy: MemDepPolicy,
 ) -> Dag {
+    table_backward_bitmap_in(block, model, policy, &mut Scratch::new())
+}
+
+/// [`table_backward_bitmap`] against a reusable [`Scratch`] arena: both
+/// the definition/use tables and the reachability-bitmap pool are reused,
+/// and `scratch.stats.arcs_suppressed` counts the transitive arcs the
+/// bitmaps absorbed.
+pub(crate) fn table_backward_bitmap_in(
+    block: &PreparedBlock<'_>,
+    model: &MachineModel,
+    policy: MemDepPolicy,
+    scratch: &mut Scratch,
+) -> Dag {
     let n = block.len();
     let mut dag = Dag::new(n);
-    let mut desc: Vec<BitSet> = (0..n)
-        .map(|i| {
-            let mut b = BitSet::new(n);
-            b.insert(i); // "each node's map is initialized to indicate that a node can reach itself"
-            b
-        })
-        .collect();
+    let Scratch {
+        tables,
+        bitmaps,
+        stats,
+    } = scratch;
+    // "each node's map is initialized to indicate that a node can reach itself"
+    let desc = reset_bitmaps(bitmaps, n, true);
+    let mut suppressed = 0u64;
     let mut add = |dag: &mut Dag, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
         let (f, t) = (from.index(), to.index());
-        if desc[f].contains(t) {
-            return;
+        // `backward_core` walks last-to-first and only ever emits arcs
+        // toward already-visited (later) nodes.
+        debug_assert!(
+            f < t,
+            "backward table building must emit forward arcs only ({f} -> {t})"
+        );
+        if bitmap_absorb(desc, f, t) {
+            dag.add_arc(from, to, kind, lat);
+        } else {
+            suppressed += 1;
         }
+    };
+    backward_core(block, model, policy, tables, stats, &mut dag, &mut add);
+    stats.arcs_suppressed += suppressed;
+    dag
+}
+
+/// Fold node `t`'s descendant map into node `f`'s and report whether the
+/// arc `f -> t` must be materialized; it is suppressed when `t` is already
+/// reachable from `f`.
+///
+/// Robust to degenerate inputs: a self arc (`f == t`) is never
+/// materialized, and either orientation of `f` vs `t` borrow-splits on
+/// the larger index — the historical sink did `split_at_mut(t)` + `lo[f]`
+/// unconditionally, which panics (or, one element off, silently merges
+/// the wrong map) whenever `f >= t`.
+fn bitmap_absorb(desc: &mut [BitSet], f: usize, t: usize) -> bool {
+    if f == t || desc[f].contains(t) {
+        return false;
+    }
+    if f < t {
         let (lo, hi) = desc.split_at_mut(t);
         lo[f].union_with(&hi[0]);
-        dag.add_arc(from, to, kind, lat);
-    };
-    backward_core(block, model, policy, &mut dag, &mut add);
-    dag
+    } else {
+        let (lo, hi) = desc.split_at_mut(f);
+        hi[0].union_with(&lo[t]);
+    }
+    true
 }
 
 fn backward_core(
     block: &PreparedBlock<'_>,
     model: &MachineModel,
     policy: MemDepPolicy,
+    t: &mut DepTables,
+    stats: &mut PhaseStats,
     dag: &mut Dag,
     add: &mut ArcSink<'_>,
 ) {
     let n = block.len();
-    let mut t = DepTables::new();
+    t.reset();
+    let mut probes = 0u64;
     for i in (0..n).rev() {
         let node = NodeId::new(i);
         // --- process resources defined (before uses: paper order) ---
         for &r in &block.reg_defs[i] {
+            probes += 1;
             let e = &mut t.regs[reg_resource_id(r)];
             if e.uses.is_empty() {
                 if let Some(d) = e.last_def {
@@ -139,6 +216,7 @@ fn backward_core(
             let key = block.mem_ops[i].unwrap().key;
             let mut found_same = false;
             for entry in &mut t.mem {
+                probes += 1;
                 if !policy.alias(&key, &entry.key) {
                     continue;
                 }
@@ -173,6 +251,7 @@ fn backward_core(
         }
         // --- process resources used ---
         for &r in &block.reg_uses[i] {
+            probes += 1;
             let e = &mut t.regs[reg_resource_id(r)];
             if let Some(d) = e.last_def {
                 if d as usize != i {
@@ -186,6 +265,7 @@ fn backward_core(
             let key = block.mem_ops[i].unwrap().key;
             let mut found_same = false;
             for entry in &mut t.mem {
+                probes += 1;
                 if !policy.alias(&key, &entry.key) {
                     continue;
                 }
@@ -210,6 +290,7 @@ fn backward_core(
             }
         }
     }
+    stats.table_probes += probes;
 }
 
 /// Forward-pass table building (Krishnamurthy-like): "similar, but with
@@ -219,13 +300,26 @@ fn backward_core(
 /// WAW arc from the recorded definition if there are none) and supersedes
 /// the entry.
 pub fn table_forward(block: &PreparedBlock<'_>, model: &MachineModel, policy: MemDepPolicy) -> Dag {
+    table_forward_in(block, model, policy, &mut Scratch::new())
+}
+
+/// [`table_forward`] against a reusable [`Scratch`] arena.
+pub(crate) fn table_forward_in(
+    block: &PreparedBlock<'_>,
+    model: &MachineModel,
+    policy: MemDepPolicy,
+    scratch: &mut Scratch,
+) -> Dag {
     let n = block.len();
     let mut dag = Dag::new(n);
-    let mut t = DepTables::new();
+    let t = &mut scratch.tables;
+    t.reset();
+    let mut probes = 0u64;
     for i in 0..n {
         let node = NodeId::new(i);
         // --- process resources used (before definitions: paper order) ---
         for &r in &block.reg_uses[i] {
+            probes += 1;
             let e = &mut t.regs[reg_resource_id(r)];
             if let Some(d) = e.last_def {
                 let lat = block.raw_reg_latency(model, d as usize, i, r);
@@ -237,6 +331,7 @@ pub fn table_forward(block: &PreparedBlock<'_>, model: &MachineModel, policy: Me
             let key = block.mem_ops[i].unwrap().key;
             let mut found_same = false;
             for entry in &mut t.mem {
+                probes += 1;
                 if !policy.alias(&key, &entry.key) {
                     continue;
                 }
@@ -259,6 +354,7 @@ pub fn table_forward(block: &PreparedBlock<'_>, model: &MachineModel, policy: Me
         }
         // --- process resources defined ---
         for &r in &block.reg_defs[i] {
+            probes += 1;
             let e = &mut t.regs[reg_resource_id(r)];
             if e.uses.iter().all(|&u| u as usize == i) {
                 if let Some(d) = e.last_def {
@@ -282,6 +378,7 @@ pub fn table_forward(block: &PreparedBlock<'_>, model: &MachineModel, policy: Me
             let key = block.mem_ops[i].unwrap().key;
             let mut found_same = false;
             for entry in &mut t.mem {
+                probes += 1;
                 if !policy.alias(&key, &entry.key) {
                     continue;
                 }
@@ -326,6 +423,7 @@ pub fn table_forward(block: &PreparedBlock<'_>, model: &MachineModel, policy: Me
             }
         }
     }
+    scratch.stats.table_probes += probes;
     dag
 }
 
@@ -533,6 +631,134 @@ mod tests {
         assert!(bitmap
             .longest_path(NodeId::new(0), NodeId::new(2))
             .is_some());
+    }
+
+    /// Regression: the bitmap sink used to `split_at_mut(t)` and index
+    /// `lo[f]` unconditionally, panicking on a self arc or any `f > t`
+    /// call. The factored helper must tolerate both orientations.
+    #[test]
+    fn bitmap_absorb_handles_degenerate_and_reversed_arcs() {
+        let mk = |n: usize| -> Vec<BitSet> {
+            (0..n)
+                .map(|i| {
+                    let mut b = BitSet::new(n);
+                    b.insert(i);
+                    b
+                })
+                .collect()
+        };
+
+        // Self arc: suppressed, no panic, map untouched.
+        let mut desc = mk(3);
+        assert!(!bitmap_absorb(&mut desc, 1, 1));
+        assert_eq!(desc[1].count(), 1);
+
+        // Reversed orientation (f > t): folds t's map into f's.
+        let mut desc = mk(3);
+        desc[0].insert(2); // 0 reaches 2
+        assert!(bitmap_absorb(&mut desc, 1, 0));
+        assert!(desc[1].contains(0) && desc[1].contains(2));
+
+        // Second insertion of a now-covered arc is suppressed.
+        assert!(!bitmap_absorb(&mut desc, 1, 2));
+
+        // Forward orientation still works as before.
+        let mut desc = mk(3);
+        assert!(bitmap_absorb(&mut desc, 0, 2));
+        assert!(desc[0].contains(2));
+        assert!(!bitmap_absorb(&mut desc, 0, 2));
+    }
+
+    /// Regression (seed suite): an all-`%f0` double-word block — pair
+    /// defs and uses overlapping on the same architectural registers —
+    /// must give the bitmap variant identical reachability to the plain
+    /// backward pass, with no panic in the arc sink.
+    #[test]
+    fn bitmap_variant_survives_double_word_register_pairs() {
+        let mut pool = MemExprPool::new();
+        let e = pool.intern("[%fp-8]");
+        let insns = vec![
+            Instruction::fp3(Opcode::FMulD, Reg::f(0), Reg::f(0), Reg::f(0)),
+            Instruction::load(Opcode::LdDf, MemRef::base_offset(Reg::fp(), -8, e), Reg::f(0)),
+            Instruction::store(Opcode::StDf, Reg::f(0), MemRef::base_offset(Reg::fp(), -8, e)),
+        ];
+        let block = PreparedBlock::new(&insns);
+        for policy in MemDepPolicy::ALL {
+            let plain = table_backward(&block, &model(), *policy);
+            let bitmap = table_backward_bitmap(&block, &model(), *policy);
+            assert!(bitmap.check_invariants().is_ok());
+            assert!(bitmap.arc_count() <= plain.arc_count());
+            let a = plain.descendant_maps();
+            let b = bitmap.descendant_maps();
+            for i in 0..insns.len() {
+                assert!(
+                    a[i].iter().eq(b[i].iter()),
+                    "{}: reachability differs at node {i}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    /// A warm (reused) [`Scratch`] arena must be observationally
+    /// identical to fresh allocation: interleave blocks of different
+    /// sizes and shapes through one arena and compare every arc against
+    /// the fresh-run output. This is the property the parallel pipeline's
+    /// bit-identity guarantee rests on.
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut pool = MemExprPool::new();
+        let e = pool.intern("[%fp-8]");
+        let blocks: Vec<Vec<Instruction>> = vec![
+            fig1(),
+            vec![
+                Instruction::store(Opcode::St, Reg::o(0), MemRef::base_offset(Reg::fp(), -8, e)),
+                Instruction::load(Opcode::Ld, MemRef::base_offset(Reg::fp(), -8, e), Reg::o(1)),
+                Instruction::store(Opcode::St, Reg::o(2), MemRef::base_offset(Reg::fp(), -8, e)),
+                Instruction::int_imm(Opcode::Add, Reg::o(1), 1, Reg::o(2)),
+            ],
+            vec![Instruction::int_imm(Opcode::Add, Reg::o(0), 1, Reg::o(0))],
+            fig1(),
+        ];
+        let arcs = |d: &Dag| -> Vec<(usize, usize, DepKind, u32)> {
+            d.arcs()
+                .iter()
+                .map(|a| (a.from.index(), a.to.index(), a.kind, a.latency))
+                .collect()
+        };
+        let mut scratch = Scratch::new();
+        for round in 0..2 {
+            for (bi, insns) in blocks.iter().enumerate() {
+                let block = PreparedBlock::new(insns);
+                for policy in MemDepPolicy::ALL {
+                    let fwd = table_forward_in(&block, &model(), *policy, &mut scratch);
+                    assert_eq!(
+                        arcs(&fwd),
+                        arcs(&table_forward(&block, &model(), *policy)),
+                        "forward r{round} b{bi} {}",
+                        policy.name()
+                    );
+                    let bwd = table_backward_in(&block, &model(), *policy, &mut scratch);
+                    assert_eq!(
+                        arcs(&bwd),
+                        arcs(&table_backward(&block, &model(), *policy)),
+                        "backward r{round} b{bi} {}",
+                        policy.name()
+                    );
+                    let bmp = table_backward_bitmap_in(&block, &model(), *policy, &mut scratch);
+                    assert_eq!(
+                        arcs(&bmp),
+                        arcs(&table_backward_bitmap(&block, &model(), *policy)),
+                        "bitmap r{round} b{bi} {}",
+                        policy.name()
+                    );
+                }
+            }
+        }
+        assert!(
+            scratch.stats.table_probes > 0,
+            "probe counter must accumulate"
+        );
     }
 
     #[test]

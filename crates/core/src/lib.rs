@@ -50,6 +50,7 @@ mod dag;
 pub mod heur;
 mod memdep;
 mod prepare;
+mod scratch;
 mod viz;
 
 pub use bitset::BitSet;
@@ -65,4 +66,5 @@ pub use heur::{
 };
 pub use memdep::{MemDepPolicy, MemKey, MemOp, StorageClass};
 pub use prepare::{reg_resource_id, PreparedBlock, REG_RESOURCE_COUNT};
+pub use scratch::{default_jobs, map_blocks_with_scratch, PhaseStats, Scratch};
 pub use viz::{dump_annotations, to_dot};

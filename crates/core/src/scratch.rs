@@ -1,0 +1,334 @@
+//! Reusable per-worker scratch arenas and per-phase counters for the
+//! batch-compilation pipeline.
+//!
+//! The paper's pipeline runs the same three passes (DAG construction →
+//! intermediate heuristic calculation → list scheduling) over thousands of
+//! basic blocks. Re-running it block-by-block with fresh allocations
+//! spends a measurable fraction of the "run time" columns of Tables 4 and
+//! 5 in the allocator: the table-building algorithms allocate a 67-entry
+//! register table and a memory table per block, and the bitmap variants
+//! allocate `n` reachability bitmaps per block.
+//!
+//! [`Scratch`] owns those structures once per worker and resets them
+//! between blocks, so the per-block hot path allocates nothing after
+//! warm-up (beyond the output [`crate::Dag`] itself). [`PhaseStats`]
+//! threads per-phase work counters (nodes, arcs, table probes, pairwise
+//! comparisons, suppressed transitive arcs) and wall-clock nanoseconds
+//! through the pipeline so experiments can report *what* each phase did,
+//! not only how long it took.
+//!
+//! [`map_blocks_with_scratch`] is the deterministic fan-out primitive:
+//! it shards a slice of work items across `jobs` scoped threads (worker
+//! `w` takes items `w`, `w + jobs`, `w + 2*jobs`, …), gives each worker a
+//! private `Scratch`, and reassembles results in original item order.
+//! Because every item is processed by the exact same code path as the
+//! serial loop — `Scratch` reuse is observationally identical to fresh
+//! allocation — results are bit-identical for every `jobs` value.
+
+use crate::bitset::BitSet;
+use crate::construct::table::DepTables;
+
+/// Per-phase work counters and timings for a batch-compilation run.
+///
+/// The `*_ns` fields are wall-clock nanoseconds and will differ from run
+/// to run (and between `jobs` settings); every other field is a
+/// deterministic count of work performed, identical for any `jobs` value.
+/// Use [`PhaseStats::same_counts`] to compare runs while ignoring timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Basic blocks compiled.
+    pub blocks: u64,
+    /// DAG nodes (instructions) processed by construction.
+    pub nodes: u64,
+    /// Arcs materialized into DAGs.
+    pub arcs_added: u64,
+    /// Arcs (or pruned pair comparisons, for the Landskov variant)
+    /// suppressed by a transitive-arc-avoidance mechanism.
+    pub arcs_suppressed: u64,
+    /// Definition/use table entries consulted by the table-building
+    /// algorithms (register entries accessed + memory entries scanned).
+    pub table_probes: u64,
+    /// Pairwise `strongest_dep` comparisons made by the `n**2` family.
+    pub comparisons: u64,
+    /// Nanoseconds spent in DAG construction.
+    pub construct_ns: u64,
+    /// Nanoseconds spent in heuristic annotation passes.
+    pub heur_ns: u64,
+    /// Nanoseconds spent in the scheduling pass.
+    pub sched_ns: u64,
+}
+
+impl PhaseStats {
+    /// Fold another accumulator into this one (all fields are additive).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.blocks += other.blocks;
+        self.nodes += other.nodes;
+        self.arcs_added += other.arcs_added;
+        self.arcs_suppressed += other.arcs_suppressed;
+        self.table_probes += other.table_probes;
+        self.comparisons += other.comparisons;
+        self.construct_ns += other.construct_ns;
+        self.heur_ns += other.heur_ns;
+        self.sched_ns += other.sched_ns;
+    }
+
+    /// Whether the deterministic work counters match, ignoring the
+    /// wall-clock `*_ns` fields (which legitimately vary between runs and
+    /// between `jobs` settings).
+    pub fn same_counts(&self, other: &PhaseStats) -> bool {
+        self.blocks == other.blocks
+            && self.nodes == other.nodes
+            && self.arcs_added == other.arcs_added
+            && self.arcs_suppressed == other.arcs_suppressed
+            && self.table_probes == other.table_probes
+            && self.comparisons == other.comparisons
+    }
+
+    /// Total measured pipeline time in seconds (sum of the per-phase
+    /// wall-clock fields). Under `jobs > 1` this is *aggregate CPU time*
+    /// across workers, not elapsed time.
+    pub fn total_secs(&self) -> f64 {
+        (self.construct_ns + self.heur_ns + self.sched_ns) as f64 / 1e9
+    }
+}
+
+impl std::fmt::Display for PhaseStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} blocks, {} nodes, {} arcs (+{} suppressed), {} table probes, \
+             {} comparisons; construct {:.3} ms, heur {:.3} ms, sched {:.3} ms",
+            self.blocks,
+            self.nodes,
+            self.arcs_added,
+            self.arcs_suppressed,
+            self.table_probes,
+            self.comparisons,
+            self.construct_ns as f64 / 1e6,
+            self.heur_ns as f64 / 1e6,
+            self.sched_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// A reusable per-worker arena for the block-compilation hot path.
+///
+/// One `Scratch` is owned by each pipeline worker (or by the single
+/// serial loop) and lives for the whole batch: the definition/use tables
+/// of the table-building algorithms and the reachability-bitmap pool of
+/// the avoidance variants are reset — not reallocated — between blocks.
+/// The embedded [`PhaseStats`] accumulates per-phase counters for every
+/// block the worker compiles.
+#[derive(Debug)]
+pub struct Scratch {
+    /// Definition/use tables reused by the table-building algorithms.
+    pub(crate) tables: DepTables,
+    /// Bitmap pool reused by the transitive-arc-avoidance variants.
+    pub(crate) bitmaps: Vec<BitSet>,
+    /// Accumulated per-phase counters.
+    pub stats: PhaseStats,
+}
+
+impl Scratch {
+    /// A fresh arena with empty tables and counters.
+    pub fn new() -> Scratch {
+        Scratch {
+            tables: DepTables::new(),
+            bitmaps: Vec::new(),
+            stats: PhaseStats::default(),
+        }
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch::new()
+    }
+}
+
+/// Reset the first `n` bitmaps of `pool` to empty sets of capacity `n`,
+/// growing the pool if needed, and return them. With `self_init` each
+/// bitmap `i` starts containing `i` (the paper's "each node's map is
+/// initialized to indicate that a node can reach itself").
+pub(crate) fn reset_bitmaps(pool: &mut Vec<BitSet>, n: usize, self_init: bool) -> &mut [BitSet] {
+    if pool.len() < n {
+        pool.resize_with(n, || BitSet::new(0));
+    }
+    for (i, b) in pool[..n].iter_mut().enumerate() {
+        b.reset(n);
+        if self_init {
+            b.insert(i);
+        }
+    }
+    &mut pool[..n]
+}
+
+/// The default worker count: the machine's available parallelism, or 1
+/// when it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Deterministically map `f` over `items` with `jobs` workers, each
+/// owning a reusable [`Scratch`] arena.
+///
+/// * `jobs <= 1` runs a plain serial loop (no threads spawned).
+/// * `jobs > 1` spawns scoped threads; worker `w` processes items
+///   `w, w + jobs, w + 2*jobs, …` — a static stride schedule, so the
+///   assignment of items to workers does not depend on thread timing.
+///
+/// Results are returned in original item order and each worker's
+/// [`PhaseStats`] are merged (all counter fields are additive and
+/// order-independent), so the output — results *and* work counters — is
+/// identical for every `jobs` value; only the `*_ns` timing fields vary.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn map_blocks_with_scratch<T, R, F>(items: &[T], jobs: usize, f: F) -> (Vec<R>, PhaseStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &mut Scratch) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        let mut scratch = Scratch::new();
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item, &mut scratch))
+            .collect();
+        return (out, scratch.stats);
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut stats = PhaseStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut i = w;
+                    while i < items.len() {
+                        local.push((i, f(i, &items[i], &mut scratch)));
+                        i += jobs;
+                    }
+                    (local, scratch.stats)
+                })
+            })
+            .collect();
+        // Join in worker order: counter merging is additive (and thus
+        // order-independent), but a fixed order keeps even the timing
+        // aggregation reproducible given identical per-worker values.
+        for h in handles {
+            let (local, worker_stats) = h.join().expect("pipeline worker panicked");
+            stats.merge(&worker_stats);
+            for (i, r) in local {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    let out = slots
+        .into_iter()
+        .map(|s| s.expect("stride schedule covers every index"))
+        .collect();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_for_any_job_count() {
+        let items: Vec<usize> = (0..37).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let (out, stats) = map_blocks_with_scratch(&items, jobs, |i, &item, scratch| {
+                assert_eq!(i, item);
+                scratch.stats.blocks += 1;
+                item * 2
+            });
+            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(stats.blocks, 37, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_input() {
+        let (out, stats) = map_blocks_with_scratch(&[] as &[usize], 8, |_, _, _| 0usize);
+        assert!(out.is_empty());
+        assert_eq!(stats, PhaseStats::default());
+    }
+
+    #[test]
+    fn counters_are_identical_across_job_counts() {
+        // Deterministic per-item work: counters must agree regardless of
+        // how items are sharded.
+        let items: Vec<u64> = (1..=100).collect();
+        let run = |jobs| {
+            map_blocks_with_scratch(&items, jobs, |_, &item, scratch| {
+                scratch.stats.blocks += 1;
+                scratch.stats.nodes += item;
+                scratch.stats.arcs_added += item % 7;
+            })
+            .1
+        };
+        let serial = run(1);
+        for jobs in [2, 4, 8] {
+            let par = run(jobs);
+            assert!(serial.same_counts(&par), "jobs={jobs}: {serial:?} vs {par:?}");
+        }
+    }
+
+    #[test]
+    fn merge_is_additive_and_same_counts_ignores_timing() {
+        let mut a = PhaseStats {
+            blocks: 1,
+            nodes: 10,
+            arcs_added: 5,
+            arcs_suppressed: 1,
+            table_probes: 20,
+            comparisons: 45,
+            construct_ns: 100,
+            heur_ns: 50,
+            sched_ns: 25,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.blocks, 2);
+        assert_eq!(a.comparisons, 90);
+        assert_eq!(a.construct_ns, 200);
+        let mut c = a;
+        c.construct_ns = 0;
+        c.heur_ns = 99999;
+        assert!(a.same_counts(&c), "timing fields must be ignored");
+        c.arcs_added += 1;
+        assert!(!a.same_counts(&c));
+    }
+
+    #[test]
+    fn reset_bitmaps_reuses_and_reinitializes() {
+        let mut pool = Vec::new();
+        let maps = reset_bitmaps(&mut pool, 4, true);
+        assert_eq!(maps.len(), 4);
+        for (i, m) in maps.iter().enumerate() {
+            assert_eq!(m.iter().collect::<Vec<_>>(), vec![i]);
+        }
+        maps[0].insert(3);
+        // Shrink without self-init: stale contents must be gone.
+        let maps = reset_bitmaps(&mut pool, 2, false);
+        assert_eq!(maps.len(), 2);
+        assert!(maps[0].is_empty() && maps[1].is_empty());
+        assert_eq!(maps[0].capacity(), 2);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -102,6 +102,19 @@ impl DagStructure {
         }
     }
 
+    /// Fold another accumulator into this one: totals and block counts
+    /// add, maxima take the maximum. Merging per-worker accumulators in
+    /// any order yields the same result as folding every DAG into one
+    /// accumulator serially.
+    pub fn merge(&mut self, other: &DagStructure) {
+        self.max_children = self.max_children.max(other.max_children);
+        self.total_children += other.total_children;
+        self.total_insts += other.total_insts;
+        self.max_arcs = self.max_arcs.max(other.max_arcs);
+        self.total_arcs += other.total_arcs;
+        self.blocks += other.blocks;
+    }
+
     /// Children per instruction, `(max, avg)`.
     pub fn children_per_inst(&self) -> Summary {
         Summary {
@@ -188,6 +201,21 @@ mod tests {
         assert_eq!(s.insts_per_block.max, 4.0);
         assert_eq!(s.mem_exprs_per_block.max, 2.0, "e1 counted once");
         assert_eq!(s.mem_exprs_per_block.avg, 1.0);
+    }
+
+    #[test]
+    fn merge_matches_serial_accumulation() {
+        let mut d1 = Dag::new(3);
+        d1.add_arc(NodeId::new(0), NodeId::new(1), DepKind::Raw, 1);
+        d1.add_arc(NodeId::new(0), NodeId::new(2), DepKind::Raw, 1);
+        let mut d2 = Dag::new(2);
+        d2.add_arc(NodeId::new(0), NodeId::new(1), DepKind::War, 1);
+        let serial = dag_structure([&d1, &d2]);
+        let mut merged = dag_structure([&d1]);
+        merged.merge(&dag_structure([&d2]));
+        assert_eq!(serial.children_per_inst(), merged.children_per_inst());
+        assert_eq!(serial.arcs_per_block(), merged.arcs_per_block());
+        assert_eq!(serial.blocks(), merged.blocks());
     }
 
     #[test]

@@ -238,6 +238,12 @@ fn parse_reg(s: &str) -> Result<Reg, String> {
         "fcc" => return Ok(Reg::Fcc),
         _ => {}
     }
+    // `split_at(1)` would panic on an empty body (a bare `%`) or when the
+    // first character is multi-byte (index 1 is not a char boundary) —
+    // both reachable from user input, so they must be parse errors.
+    if body.len() < 2 || !body.is_char_boundary(1) {
+        return Err(format!("unknown register `{s}`"));
+    }
     let (bank, num) = body.split_at(1);
     match (bank, num) {
         ("g", n) => ok_bank(n, 0, s),
@@ -365,6 +371,17 @@ mod tests {
         assert!(err.message.contains("bogus"));
         let err = parse_asm("add %q0, %o1, %o2").unwrap_err();
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn malformed_registers_are_errors_not_panics() {
+        // A bare `%` used to panic in `split_at(1)` on the empty body.
+        assert!(parse_asm("add %, %o1, %o2").unwrap_err().message.contains('%'));
+        // A multi-byte first character used to panic on the char boundary.
+        assert!(parse_asm("add %é0, %o1, %o2").is_err());
+        assert!(parse_asm("ld [%é0-8], %l0").is_err());
+        // One-character bank without a number stays an error.
+        assert!(parse_asm("add %g, %o1, %o2").is_err());
     }
 
     #[test]

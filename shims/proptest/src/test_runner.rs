@@ -1,0 +1,143 @@
+//! Test configuration, error type, and the deterministic RNG.
+
+use std::fmt;
+
+/// Per-`proptest!` configuration (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed assertion inside a proptest body.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Construct from a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+
+    /// Upstream-compatible alias of [`TestCaseError::fail`].
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of a single generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG driving strategy sampling (xoshiro256**-like;
+/// quality is ample for test-input generation).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from raw entropy.
+    pub fn new(seed: u64) -> TestRng {
+        // SplitMix64 expansion.
+        const PHI: u64 = 0x9e3779b97f4a7c15;
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            *word = z;
+        }
+        TestRng { s }
+    }
+
+    /// Seed deterministically from a test's fully qualified name, mixed
+    /// with `PROPTEST_SHIM_SEED` when set.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        if let Ok(v) = std::env::var("PROPTEST_SHIM_SEED") {
+            if let Ok(extra) = v.trim().parse::<u64>() {
+                h ^= extra.rotate_left(17);
+            }
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)` (`bound > 0`) by rejection.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn for_test_is_deterministic() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

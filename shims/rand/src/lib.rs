@@ -1,0 +1,135 @@
+//! Offline stand-in for the `rand` crate (0.8 series).
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the *small* slice of `rand` it actually uses. Everything here is a
+//! bit-compatible reimplementation of rand 0.8.5 semantics:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the 64-bit `SmallRng`), seeded
+//!   through SplitMix64 exactly like `SeedableRng::seed_from_u64`.
+//! * `Rng::gen::<f64>()` — the 53-bit multiply-based `Standard` sampler.
+//! * `Rng::gen_range` — Lemire widening-multiply rejection sampling for
+//!   integers (32-bit `u_large` for types ≤ 32 bits, 64-bit above), and
+//!   the `[1, 2)`-mantissa method for floats.
+//!
+//! Bit-compatibility matters: the synthetic workload generator is
+//! calibrated against the paper's Table 3 with fixed seeds, and the test
+//! suite asserts those structural statistics exactly.
+
+pub mod rngs;
+mod uniform;
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Core RNG interface (the subset of `rand_core::RngCore` we need).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from the `Standard` distribution (uniform over the
+/// whole domain; `[0, 1)` for floats).
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // rand 0.8: multiply-based, 53 random bits, [0, 1).
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        let value = rng.next_u64() >> 11;
+        scale * value as f64
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        let value = rng.next_u32() >> 8;
+        scale * value as f32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // rand 0.8 compares the most significant bit of a u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident),+ $(,)?) => {$(
+        impl Standard for $ty {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        }
+    )+};
+}
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+              i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              u64 => next_u64, i64 => next_u64,
+              usize => next_u64, isize => next_u64);
+
+/// User-facing random value generation (the subset of `rand::Rng` used
+/// by the workspace).
+pub trait Rng: RngCore {
+    /// Sample from the `Standard` distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // Matches rand 0.8's Bernoulli: scaled 64-bit integer compare.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * ((1u64 << 63) as f64) * 2.0) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface (the subset of `rand::SeedableRng` we need).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full seed from a `u64` via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}

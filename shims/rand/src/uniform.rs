@@ -1,0 +1,147 @@
+//! Uniform range sampling, bit-compatible with rand 0.8.5's
+//! `UniformInt::sample_single{,_inclusive}` and `UniformFloat`.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_uniform_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_uniform_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range types accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = a as u64 * b as u64;
+    ((t >> 32) as u32, t as u32)
+}
+
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = a as u128 * b as u128;
+    ((t >> 64) as u64, t as u64)
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $next:ident, $wmul:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_uniform_single<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low < high, "gen_range: low >= high");
+                Self::sample_uniform_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low <= high, "gen_range: low > high (inclusive)");
+                // rand 0.8.5 uniform_int_impl!: the +1 wraps in the source
+                // type before widening, so a full-domain range maps to 0.
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // Full domain: any value is acceptable.
+                    return rng.$next() as $ty;
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    // Small types: reject by modulo (rand's fallback arm).
+                    let unsigned_max = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    // Lemire multiply-shift zone.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$next() as $u_large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, next_u32, wmul32);
+uniform_int_impl!(u16, u16, u32, next_u32, wmul32);
+uniform_int_impl!(u32, u32, u32, next_u32, wmul32);
+uniform_int_impl!(i8, u8, u32, next_u32, wmul32);
+uniform_int_impl!(i16, u16, u32, next_u32, wmul32);
+uniform_int_impl!(i32, u32, u32, next_u32, wmul32);
+uniform_int_impl!(u64, u64, u64, next_u64, wmul64);
+uniform_int_impl!(i64, u64, u64, next_u64, wmul64);
+uniform_int_impl!(usize, usize, u64, next_u64, wmul64);
+uniform_int_impl!(isize, usize, u64, next_u64, wmul64);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $next:ident, $bits_to_discard:expr, $exponent_one:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_uniform_single<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low < high, "gen_range: low >= high");
+                let mut scale = high - low;
+                loop {
+                    // Value in [1, 2): random mantissa under exponent 0.
+                    let value1_2 =
+                        <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $exponent_one);
+                    // rand 0.8.5 order of operations, kept exactly: the
+                    // subtraction first, then mul-add against `low`.
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Edge case (rounding hit `high`): shrink by one ulp.
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low <= high, "gen_range: low > high (inclusive)");
+                let scale = high - low;
+                let value1_2 =
+                    <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $exponent_one);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f64, next_u64, 12, 1023u64 << 52);
+uniform_float_impl!(f32, next_u32, 9, 127u32 << 23);

@@ -15,9 +15,11 @@ use std::io::Read;
 
 use dagsched::core::{
     build_dag, dump_annotations, to_dot, ConstructionAlgorithm, HeuristicSet, MemDepPolicy,
+    PhaseStats,
 };
-use dagsched::driver::{schedule_program, DriverConfig};
+use dagsched::driver::DriverConfig;
 use dagsched::isa::{MachineModel, Program};
+use dagsched::parallel::schedule_program_jobs;
 use dagsched::pipesim::{render_timeline, simulate, SimOptions};
 use dagsched::sched::{Scheduler, SchedulerKind};
 use dagsched::workloads::parse_asm;
@@ -33,6 +35,10 @@ struct Options {
     inherit: bool,
     fill_slots: bool,
     timeline: bool,
+    /// Worker threads for block compilation (0 = machine parallelism).
+    jobs: usize,
+    /// Print the per-phase counters after scheduling.
+    stats: bool,
 }
 
 fn main() {
@@ -57,12 +63,26 @@ fn blocks_to_show<'p>(
     opts: &Options,
 ) -> Vec<(usize, &'p [dagsched::isa::Instruction])> {
     let blocks = program.basic_blocks();
+    if let Some(want) = opts.block {
+        if want >= blocks.len() {
+            die(&format!(
+                "--block {want} out of range (program has {} blocks)",
+                blocks.len()
+            ));
+        }
+    }
     blocks
         .iter()
         .enumerate()
         .filter(|(i, _)| opts.block.is_none_or(|want| want == *i))
         .map(|(i, b)| (i, program.block_insns(b)))
         .collect()
+}
+
+fn report_stats(opts: &Options, stats: &PhaseStats) {
+    if opts.stats {
+        eprintln!("! stats: {stats}");
+    }
 }
 
 fn cmd_dag(program: &Program, opts: &Options) {
@@ -113,7 +133,7 @@ fn cmd_schedule(program: &Program, opts: &Options) {
         inherit_latencies: opts.inherit,
         fill_delay_slots: opts.fill_slots,
     };
-    let result = schedule_program(program, &opts.model, &cfg);
+    let (result, stats) = schedule_program_jobs(program, &opts.model, &cfg, opts.jobs);
     for insn in &result.insns {
         println!("    {insn}");
     }
@@ -126,6 +146,7 @@ fn cmd_schedule(program: &Program, opts: &Options) {
         after,
         100.0 * (after as f64 - before as f64) / before as f64,
     );
+    report_stats(opts, &stats);
 }
 
 fn cmd_sim(program: &Program, opts: &Options) {
@@ -148,7 +169,7 @@ fn cmd_sim(program: &Program, opts: &Options) {
         inherit_latencies: opts.inherit,
         fill_delay_slots: false,
     };
-    let result = schedule_program(program, &opts.model, &cfg);
+    let (result, stats) = schedule_program_jobs(program, &opts.model, &cfg, opts.jobs);
     let after = simulate(&result.insns, &opts.model, SimOptions::default());
     if opts.timeline {
         print!(
@@ -164,6 +185,7 @@ fn cmd_sim(program: &Program, opts: &Options) {
         after.struct_stalls,
         after.ipc()
     );
+    report_stats(opts, &stats);
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -183,6 +205,8 @@ fn parse_args() -> Result<Options, String> {
         inherit: false,
         fill_slots: false,
         timeline: false,
+        jobs: 1,
+        stats: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -236,6 +260,13 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--block needs an index")?,
                 );
             }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--jobs needs a thread count (0 = all cores)")?;
+            }
+            "--stats" => opts.stats = true,
             "--inherit" => opts.inherit = true,
             "--timeline" => opts.timeline = true,
             "--fill-slots" => opts.fill_slots = true,
@@ -276,6 +307,8 @@ fn usage(err: &str) -> ! {
          \x20 --scheduler  gm | krishnamurthy | schlansker | shieh | tiemann | warren\n\
          \x20 --model      sparc2 | rs6000 | deep-fpu\n\
          \x20 --block N    restrict to one basic block\n\
+         \x20 --jobs N     compile blocks on N threads (0 = all cores; default 1)\n\
+         \x20 --stats      print per-phase counters after scheduling\n\
          \x20 --inherit    carry latencies across blocks\n\
          \x20 --timeline   draw the pipeline timeline under `sim`\n\
          \x20 --fill-slots fill branch delay slots"

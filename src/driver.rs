@@ -1,7 +1,7 @@
 //! Whole-program scheduling driver: the paper's per-block machinery
 //! composed into the pass a compiler backend would actually run.
 
-use dagsched_core::{HeuristicSet, PreparedBlock};
+use dagsched_core::{HeuristicSet, PhaseStats, PreparedBlock, Scratch};
 use dagsched_isa::{Instruction, MachineModel, Program};
 use dagsched_pipesim::{simulate, SimOptions};
 use dagsched_sched::{
@@ -66,6 +66,111 @@ impl ScheduledProgram {
     }
 }
 
+/// Everything produced by compiling one basic block.
+///
+/// Shared by the serial driver loop and the [`crate::parallel`] pipeline —
+/// both call the same [`compile_block`], so their outputs are
+/// bit-identical by construction.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockOutcome {
+    /// The emitted instruction stream for this block.
+    pub(crate) emitted: Vec<Instruction>,
+    /// The per-block report.
+    pub(crate) report: BlockReport,
+    /// Operation latencies carried past the block's exit (consumed by the
+    /// next block only under latency inheritance).
+    pub(crate) carry: CarryOut,
+}
+
+/// Compile one basic block: construct the DAG, compute heuristics,
+/// schedule, and emit.
+///
+/// `carry_in` is `Some` only when latencies are inherited across block
+/// boundaries (forward schedulers); that mode is inherently sequential
+/// because block `i + 1` consumes block `i`'s [`CarryOut`]. With
+/// `carry_in == None` blocks are independent and may be compiled in any
+/// order / on any thread.
+///
+/// Working storage is drawn from `scratch`, and the per-phase counters
+/// (`construct_ns`, `heur_ns`, `sched_ns`, arc/probe/comparison counts)
+/// are accumulated into `scratch.stats`.
+pub(crate) fn compile_block(
+    bi: usize,
+    insns: &[Instruction],
+    model: &MachineModel,
+    config: &DriverConfig,
+    carry_in: Option<&CarryOut>,
+    scratch: &mut Scratch,
+) -> BlockOutcome {
+    let prepared = PreparedBlock::new(insns);
+    let dag = config.scheduler.construction.run_with_scratch(
+        &prepared,
+        model,
+        config.scheduler.policy,
+        scratch,
+    );
+    let t_heur = std::time::Instant::now();
+    let heur = HeuristicSet::compute(&dag, insns, model, false);
+    scratch.stats.heur_ns += t_heur.elapsed().as_nanos() as u64;
+
+    let t_sched = std::time::Instant::now();
+    let schedule = if let Some(carry) = carry_in {
+        let entry = entry_constraints(insns, model, carry);
+        let s = config
+            .scheduler
+            .list
+            .run_with_entry(&dag, insns, model, &heur, &entry);
+        // Inheritance must not silently drop the algorithm's postpass
+        // (Krishnamurthy's delay-slot fixup).
+        if config.scheduler.postpass_fixup {
+            dagsched_sched::fixup_delay_slots(&s, &dag, insns, model).0
+        } else {
+            s
+        }
+    } else {
+        config.scheduler.schedule_dag(&dag, insns, model, &heur)
+    };
+    scratch.stats.sched_ns += t_sched.elapsed().as_nanos() as u64;
+    debug_assert!(schedule.verify(&dag).is_ok());
+    let carry = carry_out(&schedule, insns, model);
+
+    let original = dagsched_sched::Schedule::from_order(
+        (0..insns.len()).map(dagsched_core::NodeId::new).collect(),
+        &dag,
+        insns,
+        model,
+    );
+    let mut slot = None;
+    let emitted = if config.fill_delay_slots {
+        let (stream, fill) = fill_branch_delay_slot(&schedule, &dag, insns);
+        slot = Some(fill);
+        stream
+    } else {
+        schedule
+            .order
+            .iter()
+            .map(|n| insns[n.index()].clone())
+            .collect()
+    };
+    BlockOutcome {
+        emitted,
+        report: BlockReport {
+            block: bi,
+            len: insns.len(),
+            original_makespan: original.makespan(insns, model),
+            scheduled_makespan: schedule.makespan(insns, model),
+            slot,
+        },
+        carry,
+    }
+}
+
+/// Whether `config` requires block `i + 1` to observe block `i`'s carried
+/// latencies — the one driver mode that cannot be parallelized.
+pub(crate) fn needs_sequential_carry(config: &DriverConfig) -> bool {
+    config.inherit_latencies && config.scheduler.list.direction == SchedDirection::Forward
+}
+
 /// Schedule every basic block of `program` under `config`.
 ///
 /// Blocks are partitioned with the paper's conventions, scheduled
@@ -76,68 +181,41 @@ pub fn schedule_program(
     model: &MachineModel,
     config: &DriverConfig,
 ) -> ScheduledProgram {
+    schedule_program_stats(program, model, config).0
+}
+
+/// [`schedule_program`], additionally returning the per-phase counters
+/// accumulated over every block (construction comparisons / table probes,
+/// arcs added and suppressed, nanoseconds per phase).
+pub fn schedule_program_stats(
+    program: &Program,
+    model: &MachineModel,
+    config: &DriverConfig,
+) -> (ScheduledProgram, PhaseStats) {
     let blocks = program.basic_blocks();
     let mut out: Vec<Instruction> = Vec::with_capacity(program.len());
     let mut reports = Vec::with_capacity(blocks.len());
     let mut carry = CarryOut::default();
+    let sequential = needs_sequential_carry(config);
+    let mut scratch = Scratch::new();
     for (bi, block) in blocks.iter().enumerate() {
         let insns = program.block_insns(block);
         if insns.is_empty() {
             continue;
         }
-        let prepared = PreparedBlock::new(insns);
-        let dag = config
-            .scheduler
-            .construction
-            .run(&prepared, model, config.scheduler.policy);
-        let heur = HeuristicSet::compute(&dag, insns, model, false);
-        let schedule = if config.inherit_latencies
-            && config.scheduler.list.direction == SchedDirection::Forward
-        {
-            let entry = entry_constraints(insns, model, &carry);
-            let s = config
-                .scheduler
-                .list
-                .run_with_entry(&dag, insns, model, &heur, &entry);
-            // Inheritance must not silently drop the algorithm's postpass
-            // (Krishnamurthy's delay-slot fixup).
-            if config.scheduler.postpass_fixup {
-                dagsched_sched::fixup_delay_slots(&s, &dag, insns, model).0
-            } else {
-                s
-            }
-        } else {
-            config.scheduler.schedule_dag(&dag, insns, model, &heur)
-        };
-        debug_assert!(schedule.verify(&dag).is_ok());
-        carry = carry_out(&schedule, insns, model);
-
-        let original = dagsched_sched::Schedule::from_order(
-            (0..insns.len()).map(dagsched_core::NodeId::new).collect(),
-            &dag,
-            insns,
-            model,
-        );
-        let mut slot = None;
-        if config.fill_delay_slots {
-            let (stream, fill) = fill_branch_delay_slot(&schedule, &dag, insns);
-            slot = Some(fill);
-            out.extend(stream);
-        } else {
-            out.extend(schedule.order.iter().map(|n| insns[n.index()].clone()));
-        }
-        reports.push(BlockReport {
-            block: bi,
-            len: insns.len(),
-            original_makespan: original.makespan(insns, model),
-            scheduled_makespan: schedule.makespan(insns, model),
-            slot,
-        });
+        let carry_in = if sequential { Some(&carry) } else { None };
+        let outcome = compile_block(bi, insns, model, config, carry_in, &mut scratch);
+        carry = outcome.carry;
+        out.extend(outcome.emitted);
+        reports.push(outcome.report);
     }
-    ScheduledProgram {
-        insns: out,
-        blocks: reports,
-    }
+    (
+        ScheduledProgram {
+            insns: out,
+            blocks: reports,
+        },
+        scratch.stats,
+    )
 }
 
 #[cfg(test)]

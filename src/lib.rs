@@ -44,6 +44,7 @@
 //! ```
 
 pub mod driver;
+pub mod parallel;
 
 pub use dagsched_core as core;
 pub use dagsched_isa as isa;
@@ -65,5 +66,10 @@ pub mod prelude {
     pub use dagsched_sched::{Schedule, Scheduler, SchedulerKind};
     pub use dagsched_workloads::{generate, BenchmarkProfile};
 
-    pub use crate::driver::{schedule_program, DriverConfig, ScheduledProgram};
+    pub use dagsched_core::{default_jobs, PhaseStats, Scratch};
+
+    pub use crate::driver::{
+        schedule_program, schedule_program_stats, BlockReport, DriverConfig, ScheduledProgram,
+    };
+    pub use crate::parallel::schedule_program_jobs;
 }

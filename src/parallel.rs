@@ -1,0 +1,129 @@
+//! Parallel batch compilation of basic blocks.
+//!
+//! The paper's per-block pipeline — DAG construction, heuristic
+//! calculation, list scheduling — is embarrassingly parallel across
+//! blocks whenever latencies are *not* inherited across block boundaries:
+//! each block's schedule depends only on its own instructions. This
+//! module shards the blocks of a program across `std::thread::scope`
+//! workers, each owning a reusable [`Scratch`] arena so the per-block hot
+//! path allocates nothing once warm, and reassembles the emitted streams
+//! and reports in original block order.
+//!
+//! Determinism: every worker runs the exact same [`compile_block`] code
+//! path as the serial driver, blocks are assigned by a fixed stride
+//! (worker `w` takes blocks `w, w + jobs, w + 2*jobs, …`), and results
+//! are written back by block index. The output is therefore bit-identical
+//! for every job count — `tests/parallel_determinism.rs` asserts this.
+//!
+//! The per-phase counters ([`PhaseStats`]) are all additive and
+//! order-independent, so the merged aggregate is also identical across
+//! job counts (timing fields aside, which genuinely vary run to run).
+
+use dagsched_core::{default_jobs, map_blocks_with_scratch, PhaseStats};
+use dagsched_isa::{Instruction, MachineModel, Program};
+
+use crate::driver::{
+    compile_block, needs_sequential_carry, schedule_program_stats, DriverConfig, ScheduledProgram,
+};
+
+/// Schedule every basic block of `program` across `jobs` worker threads.
+///
+/// `jobs == 0` selects [`default_jobs`] (the machine's available
+/// parallelism). `jobs == 1` runs the serial path directly. When
+/// `config` inherits latencies with a forward scheduler the pipeline is
+/// inherently sequential (block `i + 1` consumes block `i`'s carried
+/// latencies), so the serial path is used regardless of `jobs`.
+///
+/// The returned program is bit-identical to
+/// [`crate::driver::schedule_program`] for every `jobs` value, and the
+/// returned [`PhaseStats`] count-fields are identical too.
+pub fn schedule_program_jobs(
+    program: &Program,
+    model: &MachineModel,
+    config: &DriverConfig,
+    jobs: usize,
+) -> (ScheduledProgram, PhaseStats) {
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
+    if jobs <= 1 || needs_sequential_carry(config) {
+        return schedule_program_stats(program, model, config);
+    }
+    let blocks = program.basic_blocks();
+    let items: Vec<(usize, &[Instruction])> = blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| (bi, program.block_insns(b)))
+        .filter(|(_, insns)| !insns.is_empty())
+        .collect();
+    let (outcomes, stats) = map_blocks_with_scratch(&items, jobs, |_, &(bi, insns), scratch| {
+        compile_block(bi, insns, model, config, None, scratch)
+    });
+    let mut out: Vec<Instruction> = Vec::with_capacity(program.len());
+    let mut reports = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        out.extend(outcome.emitted);
+        reports.push(outcome.report);
+    }
+    (
+        ScheduledProgram {
+            insns: out,
+            blocks: reports,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::schedule_program;
+    use dagsched_sched::{Scheduler, SchedulerKind};
+    use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+    fn assert_identical(a: &ScheduledProgram, b: &ScheduledProgram) {
+        assert_eq!(a.insns, b.insns);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.block, y.block);
+            assert_eq!(x.len, y.len);
+            assert_eq!(x.original_makespan, y.original_makespan);
+            assert_eq!(x.scheduled_makespan, y.scheduled_makespan);
+        }
+    }
+
+    #[test]
+    fn jobs_match_serial_for_every_count() {
+        let bench = generate(BenchmarkProfile::by_name("grep").unwrap(), PAPER_SEED);
+        let model = dagsched_isa::MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let serial = schedule_program(&bench.program, &model, &config);
+        for jobs in [1, 2, 3, 8] {
+            let (par, stats) = schedule_program_jobs(&bench.program, &model, &config, jobs);
+            assert_identical(&serial, &par);
+            assert!(stats.blocks > 0 && stats.construct_ns > 0, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn inheritance_falls_back_to_serial() {
+        let bench = generate(BenchmarkProfile::by_name("linpack").unwrap(), PAPER_SEED);
+        let model = dagsched_isa::MachineModel::sparc2();
+        let config = DriverConfig {
+            inherit_latencies: true,
+            scheduler: Scheduler::new(SchedulerKind::Warren),
+            ..DriverConfig::default()
+        };
+        let serial = schedule_program(&bench.program, &model, &config);
+        let (par, _) = schedule_program_jobs(&bench.program, &model, &config, 8);
+        assert_identical(&serial, &par);
+    }
+
+    #[test]
+    fn zero_selects_default_parallelism() {
+        let bench = generate(BenchmarkProfile::by_name("regex").unwrap(), PAPER_SEED);
+        let model = dagsched_isa::MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let serial = schedule_program(&bench.program, &model, &config);
+        let (par, _) = schedule_program_jobs(&bench.program, &model, &config, 0);
+        assert_identical(&serial, &par);
+    }
+}

@@ -1,0 +1,121 @@
+//! The parallel pipeline must be bit-identical to the serial one.
+//!
+//! Shards the same workloads across 1, 2 and 8 worker threads and
+//! asserts identical emitted streams, per-block reports, DAG structure
+//! and per-phase work counters — including the fpppp-like profile whose
+//! largest block is ~2800 instructions (the paper's stress case for
+//! per-block working storage).
+
+use dagsched::driver::{schedule_program, DriverConfig};
+use dagsched::parallel::schedule_program_jobs;
+use dagsched_bench::{run_benchmark, run_benchmark_jobs};
+use dagsched_core::{BackwardOrder, ConstructionAlgorithm, MemDepPolicy, PhaseStats};
+use dagsched_isa::MachineModel;
+use dagsched_sched::{Scheduler, SchedulerKind};
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+#[test]
+fn driver_output_is_identical_for_every_job_count() {
+    // grep: 730 blocks — a ≥2-orders-of-magnitude block count relative
+    // to any worker count we shard across.
+    let bench = generate(BenchmarkProfile::by_name("grep").unwrap(), PAPER_SEED);
+    let model = MachineModel::sparc2();
+    for kind in [SchedulerKind::Warren, SchedulerKind::GibbonsMuchnick] {
+        let config = DriverConfig {
+            scheduler: Scheduler::new(kind),
+            ..DriverConfig::default()
+        };
+        let serial = schedule_program(&bench.program, &model, &config);
+        let mut counter_sets: Vec<PhaseStats> = Vec::new();
+        for jobs in [1usize, 2, 8] {
+            let (par, stats) = schedule_program_jobs(&bench.program, &model, &config, jobs);
+            assert_eq!(par.insns, serial.insns, "{kind:?} jobs={jobs}: emitted stream");
+            assert_eq!(par.blocks.len(), serial.blocks.len());
+            for (a, b) in par.blocks.iter().zip(&serial.blocks) {
+                assert_eq!(a.block, b.block, "{kind:?} jobs={jobs}");
+                assert_eq!(a.len, b.len, "{kind:?} jobs={jobs}");
+                assert_eq!(a.original_makespan, b.original_makespan, "{kind:?} jobs={jobs}");
+                assert_eq!(
+                    a.scheduled_makespan, b.scheduled_makespan,
+                    "{kind:?} jobs={jobs}"
+                );
+            }
+            counter_sets.push(stats);
+        }
+        // The deterministic work counters must agree across job counts.
+        let first = counter_sets[0];
+        assert!(first.blocks > 0 && first.nodes > 0 && first.arcs_added > 0);
+        assert!(first.construct_ns > 0 && first.heur_ns > 0 && first.sched_ns > 0);
+        for (i, s) in counter_sets.iter().enumerate() {
+            assert!(first.same_counts(s), "{kind:?} counter set {i}: {s} vs {first}");
+        }
+    }
+}
+
+#[test]
+fn bench_pipeline_is_identical_on_large_block_profile() {
+    // fpppp: 662 blocks / 25545 instructions with a ~2800-instruction
+    // block — the workload where per-block scratch reuse matters most.
+    let bench = generate(BenchmarkProfile::by_name("fpppp").unwrap(), PAPER_SEED);
+    let model = MachineModel::sparc2();
+    for algo in [
+        ConstructionAlgorithm::TableBackward,
+        ConstructionAlgorithm::TableBackwardBitmap,
+    ] {
+        let serial = run_benchmark(
+            &bench,
+            &model,
+            algo,
+            MemDepPolicy::SymbolicExpr,
+            BackwardOrder::ReverseWalk,
+            false,
+        );
+        for jobs in [2usize, 8] {
+            let par = run_benchmark_jobs(
+                &bench,
+                &model,
+                algo,
+                MemDepPolicy::SymbolicExpr,
+                BackwardOrder::ReverseWalk,
+                false,
+                jobs,
+            );
+            assert_eq!(par.insts, serial.insts, "{algo} jobs={jobs}");
+            assert_eq!(par.total_cycles, serial.total_cycles, "{algo} jobs={jobs}");
+            assert_eq!(
+                par.structure.arcs_per_block(),
+                serial.structure.arcs_per_block(),
+                "{algo} jobs={jobs}"
+            );
+            assert_eq!(
+                par.structure.children_per_inst(),
+                serial.structure.children_per_inst(),
+                "{algo} jobs={jobs}"
+            );
+            assert_eq!(par.structure.blocks(), serial.structure.blocks());
+            assert!(
+                serial.stats.same_counts(&par.stats),
+                "{algo} jobs={jobs}: {} vs {}",
+                par.stats,
+                serial.stats
+            );
+        }
+        assert!(serial.stats.table_probes > 0, "{algo} must count probes");
+    }
+}
+
+#[test]
+fn inherited_latencies_still_match_serial() {
+    // The sequential-carry mode must fall back to the serial path and
+    // stay identical no matter what job count is requested.
+    let bench = generate(BenchmarkProfile::by_name("tomcatv").unwrap(), PAPER_SEED);
+    let model = MachineModel::sparc2();
+    let config = DriverConfig {
+        inherit_latencies: true,
+        ..DriverConfig::default()
+    };
+    let serial = schedule_program(&bench.program, &model, &config);
+    let (par, stats) = schedule_program_jobs(&bench.program, &model, &config, 8);
+    assert_eq!(par.insns, serial.insns);
+    assert!(stats.blocks > 0);
+}
