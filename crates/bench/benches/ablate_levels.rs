@@ -28,7 +28,7 @@ fn bench_levels(c: &mut Criterion) {
                         MemDepPolicy::SymbolicExpr,
                         order,
                         false,
-                    )
+                    ).expect("pipeline")
                 });
             });
         }

@@ -29,7 +29,7 @@ fn bench_table5(c: &mut Criterion) {
                         MemDepPolicy::SymbolicExpr,
                         BackwardOrder::ReverseWalk,
                         false,
-                    )
+                    ).expect("pipeline")
                 });
             });
         }

@@ -1,0 +1,359 @@
+//! `loadgen` — closed-plus-paced load harness for `dagsched-service`.
+//!
+//! Replays the paper's workload profiles against a scheduling daemon at
+//! a target request rate and reports client-observed latency
+//! percentiles plus the server's cache hit rate:
+//!
+//! ```text
+//! loadgen --qps 200 --requests 400 --clients 4 --out service-load.json
+//! loadgen --connect unix:/tmp/dagsched.sock --profiles grep,yacc
+//! ```
+//!
+//! Without `--connect` the harness starts an in-process server on an
+//! ephemeral TCP port, so a single binary produces the whole
+//! measurement. Requests cycle over `profiles x seeds`; with the
+//! default `--seeds 8` and hundreds of requests, the steady state is
+//! dominated by cache hits — exactly the regime the daemon exists for.
+//! The run is summarized into a JSON artifact (default
+//! `service-load.json`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dagsched_service::json::Json;
+use dagsched_service::server::{serve, Listen, ServerConfig};
+use dagsched_service::{Client, ScheduleRequest};
+use dagsched_workloads::PAPER_SEED;
+
+struct Options {
+    /// Endpoint to dial; `None` starts an in-process server.
+    connect: Option<String>,
+    /// Target aggregate request rate (requests/second).
+    qps: f64,
+    /// Total requests to issue.
+    requests: usize,
+    /// Concurrent client connections.
+    clients: usize,
+    /// Workload profiles to cycle over.
+    profiles: Vec<String>,
+    /// Distinct generator seeds per profile (controls the hit rate:
+    /// the working set is `profiles x seeds` distinct programs).
+    seeds: u64,
+    /// Worker threads for the in-process server.
+    workers: usize,
+    /// Entry bound for the in-process server's schedule cache.
+    cache_entries: usize,
+    /// Output artifact path.
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            connect: None,
+            qps: 200.0,
+            requests: 400,
+            clients: 4,
+            profiles: vec![
+                "grep".to_string(),
+                "cccp".to_string(),
+                "linpack".to_string(),
+            ],
+            seeds: 8,
+            workers: 4,
+            cache_entries: dagsched_service::CacheConfig::default().max_entries,
+            out: "service-load.json".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--connect" => opts.connect = Some(args.next().ok_or("--connect needs an endpoint")?),
+            "--qps" => {
+                opts.qps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&q: &f64| q > 0.0)
+                    .ok_or("--qps needs a positive rate")?;
+            }
+            "--requests" => {
+                opts.requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--requests needs a positive count")?;
+            }
+            "--clients" => {
+                opts.clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--clients needs a positive count")?;
+            }
+            "--profiles" => {
+                let v = args.next().ok_or("--profiles needs a comma-separated list")?;
+                opts.profiles = v.split(',').map(|s| s.trim().to_string()).collect();
+                if opts.profiles.iter().any(|p| p.is_empty()) {
+                    return Err("--profiles has an empty entry".to_string());
+                }
+            }
+            "--seeds" => {
+                opts.seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or("--seeds needs a positive count")?;
+            }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--workers needs a positive count")?;
+            }
+            "--cache-entries" => {
+                opts.cache_entries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--cache-entries needs a positive count")?;
+            }
+            "--out" => opts.out = args.next().ok_or("--out needs a path")?,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: loadgen [--connect EP] [--qps N] [--requests N] [--clients N]\n\
+                     \x20              [--profiles a,b,c] [--seeds N] [--workers N]\n\
+                     \x20              [--cache-entries N] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The request mix: profile `k % profiles` with seed `PAPER_SEED + (k /
+/// profiles) % seeds`. Deterministic, so reruns replay the same stream.
+fn request_for(opts: &Options, k: usize) -> ScheduleRequest {
+    let profile = &opts.profiles[k % opts.profiles.len()];
+    let seed = PAPER_SEED + (k / opts.profiles.len()) as u64 % opts.seeds;
+    ScheduleRequest::profile(profile.clone(), seed)
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+struct ClientTally {
+    latencies_ns: Vec<u64>,
+    cache_hits: u64,
+    cache_misses: u64,
+    errors: u64,
+}
+
+fn run_client(
+    endpoint: &str,
+    opts: &Options,
+    next: &AtomicUsize,
+    start: Instant,
+) -> Result<ClientTally, String> {
+    let mut client = Client::connect(endpoint).map_err(|e| format!("connect: {e}"))?;
+    let mut tally = ClientTally {
+        latencies_ns: Vec::new(),
+        cache_hits: 0,
+        cache_misses: 0,
+        errors: 0,
+    };
+    loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        if k >= opts.requests {
+            return Ok(tally);
+        }
+        // Open-loop pacing: request `k` is due at `start + k/qps`;
+        // sleeping until its slot keeps the aggregate rate at the
+        // target regardless of how the clients interleave.
+        let due = start + Duration::from_secs_f64(k as f64 / opts.qps);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let req = request_for(opts, k);
+        let t = Instant::now();
+        match client.request(&req) {
+            Ok(resp) => {
+                tally.latencies_ns.push(t.elapsed().as_nanos() as u64);
+                tally.cache_hits += resp.stats.cache_hits;
+                tally.cache_misses += resp.stats.cache_misses;
+            }
+            Err(e) => {
+                tally.errors += 1;
+                eprintln!("loadgen: request {k}: {e}");
+                // A transport error poisons the connection; redial.
+                if matches!(
+                    e,
+                    dagsched_service::ClientError::Io(_) | dagsched_service::ClientError::Frame(_)
+                ) {
+                    client = Client::connect(endpoint).map_err(|e| format!("redial: {e}"))?;
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args().unwrap_or_else(|e| {
+        eprintln!("loadgen: {e}");
+        std::process::exit(2);
+    });
+
+    // Dial a remote daemon, or stand one up in-process.
+    let (endpoint, handle) = match &opts.connect {
+        Some(ep) => (ep.clone(), None),
+        None => {
+            let config = ServerConfig {
+                workers: opts.workers,
+                cache: dagsched_service::CacheConfig {
+                    max_entries: opts.cache_entries,
+                    ..dagsched_service::CacheConfig::default()
+                },
+                ..ServerConfig::default()
+            };
+            let handle = serve(Listen::Tcp("127.0.0.1:0".to_string()), config)
+                .unwrap_or_else(|e| {
+                    eprintln!("loadgen: in-process server: {e}");
+                    std::process::exit(1);
+                });
+            (handle.endpoint(), Some(handle))
+        }
+    };
+    eprintln!(
+        "loadgen: {} requests at {} qps over {} clients -> {} ({} profiles x {} seeds)",
+        opts.requests,
+        opts.qps,
+        opts.clients,
+        endpoint,
+        opts.profiles.len(),
+        opts.seeds
+    );
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let opts = Arc::new(opts);
+    let mut threads = Vec::new();
+    for _ in 0..opts.clients {
+        let endpoint = endpoint.clone();
+        let next = Arc::clone(&next);
+        let opts = Arc::clone(&opts);
+        threads.push(std::thread::spawn(move || {
+            run_client(&endpoint, &opts, &next, start)
+        }));
+    }
+    let mut latencies = Vec::with_capacity(opts.requests);
+    let (mut hits, mut misses, mut errors) = (0u64, 0u64, 0u64);
+    for t in threads {
+        match t.join().expect("client thread panicked") {
+            Ok(tally) => {
+                latencies.extend(tally.latencies_ns);
+                hits += tally.cache_hits;
+                misses += tally.cache_misses;
+                errors += tally.errors;
+            }
+            Err(e) => {
+                eprintln!("loadgen: client failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // Pull the server's own counters when we can reach it.
+    let server_metrics = Client::connect(&endpoint)
+        .ok()
+        .and_then(|mut c| c.metrics().ok());
+    if let Some(handle) = handle {
+        handle.begin_drain();
+        handle.join();
+    }
+
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let mean_ns = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / total
+    };
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+    let p99 = percentile(&latencies, 99.0);
+
+    let mut report = vec![
+        ("endpoint", Json::from(endpoint.as_str())),
+        (
+            "profiles",
+            Json::Arr(opts.profiles.iter().map(|p| Json::from(p.as_str())).collect()),
+        ),
+        ("seeds", Json::from(opts.seeds)),
+        ("clients", Json::from(opts.clients)),
+        ("target_qps", Json::from(opts.qps)),
+        ("requests", Json::from(opts.requests)),
+        ("completed", Json::from(total)),
+        ("errors", Json::from(errors)),
+        ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
+        (
+            "achieved_qps",
+            Json::from(total as f64 / elapsed.as_secs_f64().max(1e-9)),
+        ),
+        ("latency_ms_p50", Json::from(ms(p50))),
+        ("latency_ms_p95", Json::from(ms(p95))),
+        ("latency_ms_p99", Json::from(ms(p99))),
+        ("latency_ms_mean", Json::from(ms(mean_ns))),
+        (
+            "latency_ms_max",
+            Json::from(ms(latencies.last().copied().unwrap_or(0))),
+        ),
+        ("cache_hits", Json::from(hits)),
+        ("cache_misses", Json::from(misses)),
+        ("cache_hit_rate", Json::from(hit_rate)),
+    ];
+    if let Some(m) = server_metrics {
+        report.push(("server", m));
+    }
+    let artifact = Json::Obj(
+        report
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    std::fs::write(&opts.out, format!("{artifact}\n")).unwrap_or_else(|e| {
+        eprintln!("loadgen: writing {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "loadgen: {total} ok, {errors} errors in {:.1} ms; p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms; hit rate {:.1}% -> {}",
+        elapsed.as_secs_f64() * 1e3,
+        ms(p50),
+        ms(p95),
+        ms(p99),
+        100.0 * hit_rate,
+        opts.out
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -14,4 +14,6 @@
 pub mod pipeline;
 pub mod rows;
 
-pub use pipeline::{run_benchmark, run_benchmark_jobs, simple_forward_scheduler, PipelineResult};
+pub use pipeline::{
+    run_benchmark, run_benchmark_jobs, simple_forward_scheduler, PipelineError, PipelineResult,
+};

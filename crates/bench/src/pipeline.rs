@@ -42,6 +42,33 @@ pub fn simple_forward_scheduler() -> ListScheduler {
     }
 }
 
+/// A schedule that failed verification against its DAG.
+///
+/// Surfaced as a typed error instead of a worker panic so harnesses
+/// (and the scheduling service, which shares the no-panic policy) can
+/// report the offending benchmark/algorithm pair and move on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    /// The benchmark being scheduled.
+    pub bench: String,
+    /// The construction algorithm in use.
+    pub algo: ConstructionAlgorithm,
+    /// The verifier's message.
+    pub message: String,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: invalid schedule: {}",
+            self.bench, self.algo, self.message
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// Aggregated result of scheduling a whole benchmark.
 #[derive(Debug)]
 pub struct PipelineResult {
@@ -68,7 +95,7 @@ fn run_block(
     verify: bool,
     scheduler: &ListScheduler,
     scratch: &mut Scratch,
-) -> (DagStructure, usize, u64) {
+) -> Result<(DagStructure, usize, u64), PipelineError> {
     // Pass 1 over the instructions: preparation + DAG construction.
     let prepared = PreparedBlock::new(block_insns);
     let dag = algo.run_with_scratch(&prepared, model, policy, scratch);
@@ -83,24 +110,27 @@ fn run_block(
     let schedule: Schedule = scheduler.run(&dag, block_insns, model, &heur);
     scratch.stats.sched_ns += t_sched.elapsed().as_nanos() as u64;
     if verify {
-        schedule
-            .verify(&dag)
-            .unwrap_or_else(|e| panic!("{}/{algo}: {e}", bench.name));
+        schedule.verify(&dag).map_err(|e| PipelineError {
+            bench: bench.name.to_string(),
+            algo,
+            message: e.to_string(),
+        })?;
     }
     let mut structure = DagStructure::new();
     structure.add_dag(&dag);
-    (
+    Ok((
         structure,
         block_insns.len(),
         schedule.makespan(block_insns, model),
-    )
+    ))
 }
 
 /// Run construction + heuristic calculation + scheduling on every block
 /// of `bench`, using `algo`, and accumulate statistics.
 ///
 /// `verify` additionally checks every schedule against its DAG (used by
-/// the test suite; disabled in timing runs).
+/// the test suite; disabled in timing runs). A verification failure is
+/// reported as a typed [`PipelineError`], not a panic.
 pub fn run_benchmark(
     bench: &Benchmark,
     model: &MachineModel,
@@ -108,7 +138,7 @@ pub fn run_benchmark(
     policy: MemDepPolicy,
     heur_order: BackwardOrder,
     verify: bool,
-) -> PipelineResult {
+) -> Result<PipelineResult, PipelineError> {
     run_benchmark_jobs(bench, model, algo, policy, heur_order, verify, 1)
 }
 
@@ -130,7 +160,7 @@ pub fn run_benchmark_jobs(
     heur_order: BackwardOrder,
     verify: bool,
     jobs: usize,
-) -> PipelineResult {
+) -> Result<PipelineResult, PipelineError> {
     let scheduler = simple_forward_scheduler();
     let items: Vec<&[Instruction]> = bench
         .blocks
@@ -154,17 +184,18 @@ pub fn run_benchmark_jobs(
     let mut structure = DagStructure::new();
     let mut insts = 0usize;
     let mut total_cycles = 0u64;
-    for (s, n, cycles) in &per_block {
-        structure.merge(s);
+    for result in per_block {
+        let (s, n, cycles) = result?;
+        structure.merge(&s);
         insts += n;
         total_cycles += cycles;
     }
-    PipelineResult {
+    Ok(PipelineResult {
         structure,
         insts,
         total_cycles,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -184,7 +215,8 @@ mod tests {
                 MemDepPolicy::SymbolicExpr,
                 BackwardOrder::ReverseWalk,
                 true,
-            );
+            )
+            .expect("schedule verification");
             assert_eq!(r.insts, 1739, "{algo}");
             assert!(r.total_cycles > 0);
         }
@@ -201,7 +233,8 @@ mod tests {
             MemDepPolicy::SymbolicExpr,
             BackwardOrder::ReverseWalk,
             false,
-        );
+        )
+        .unwrap();
         let tb = run_benchmark(
             &bench,
             &model,
@@ -209,7 +242,8 @@ mod tests {
             MemDepPolicy::SymbolicExpr,
             BackwardOrder::ReverseWalk,
             false,
-        );
+        )
+        .unwrap();
         let n2_arcs = n2.structure.arcs_per_block().avg;
         let tb_arcs = tb.structure.arcs_per_block().avg;
         assert!(
@@ -229,7 +263,8 @@ mod tests {
             MemDepPolicy::SymbolicExpr,
             BackwardOrder::ReverseWalk,
             false,
-        );
+        )
+        .unwrap();
         let b = run_benchmark(
             &bench,
             &model,
@@ -237,7 +272,8 @@ mod tests {
             MemDepPolicy::SymbolicExpr,
             BackwardOrder::ReverseWalk,
             false,
-        );
+        )
+        .unwrap();
         // §6: "the two table-building methods are essentially equivalent";
         // they may differ by a handful of arcs on may-alias chains, so
         // compare within 2%.

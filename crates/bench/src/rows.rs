@@ -180,6 +180,7 @@ fn timed_pipeline_bench(
             false,
             jobs,
         )
+        .expect("pipeline")
     });
     (timed.secs(), timed.value.structure)
 }
@@ -294,6 +295,7 @@ pub fn jobs_scaling(seed: u64, runs: u32, jobs_list: &[usize]) -> Table {
                 false,
                 jobs,
             )
+            .expect("pipeline")
         });
         let secs = timed.secs();
         let r = timed.value;
@@ -596,6 +598,7 @@ pub fn window_sweep(seed: u64, runs: u32) -> Table {
                 BackwardOrder::ReverseWalk,
                 false,
             )
+            .expect("pipeline")
         })
         .secs();
         let tb = time_avg(runs, || {
@@ -607,6 +610,7 @@ pub fn window_sweep(seed: u64, runs: u32) -> Table {
                 BackwardOrder::ReverseWalk,
                 false,
             )
+            .expect("pipeline")
         })
         .secs();
         t.row(vec![

@@ -56,6 +56,14 @@ pub struct PhaseStats {
     pub heur_ns: u64,
     /// Nanoseconds spent in the scheduling pass.
     pub sched_ns: u64,
+    /// Blocks served from a schedule cache (construction, heuristic and
+    /// scheduling passes all skipped). Only batch entry points given a
+    /// real cache (the driver crate's `BlockCache`) increment this; the
+    /// plain driver paths leave it 0.
+    pub cache_hits: u64,
+    /// Blocks that consulted a schedule cache and missed (and were then
+    /// compiled and inserted).
+    pub cache_misses: u64,
 }
 
 impl PhaseStats {
@@ -70,11 +78,16 @@ impl PhaseStats {
         self.construct_ns += other.construct_ns;
         self.heur_ns += other.heur_ns;
         self.sched_ns += other.sched_ns;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Whether the deterministic work counters match, ignoring the
     /// wall-clock `*_ns` fields (which legitimately vary between runs and
-    /// between `jobs` settings).
+    /// between `jobs` settings). The `cache_hits` / `cache_misses` fields
+    /// are also ignored: with a shared schedule cache, whether a given
+    /// block hits depends on which identical block was compiled first,
+    /// which legitimately varies with worker interleaving.
     pub fn same_counts(&self, other: &PhaseStats) -> bool {
         self.blocks == other.blocks
             && self.nodes == other.nodes
@@ -107,7 +120,15 @@ impl std::fmt::Display for PhaseStats {
             self.construct_ns as f64 / 1e6,
             self.heur_ns as f64 / 1e6,
             self.sched_ns as f64 / 1e6,
-        )
+        )?;
+        if self.cache_hits > 0 || self.cache_misses > 0 {
+            write!(
+                f,
+                "; cache {} hits / {} misses",
+                self.cache_hits, self.cache_misses
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -297,6 +318,8 @@ mod tests {
             construct_ns: 100,
             heur_ns: 50,
             sched_ns: 25,
+            cache_hits: 0,
+            cache_misses: 0,
         };
         let b = a;
         a.merge(&b);
@@ -309,6 +332,16 @@ mod tests {
         assert!(a.same_counts(&c), "timing fields must be ignored");
         c.arcs_added += 1;
         assert!(!a.same_counts(&c));
+        // Cache counters merge additively but are ignored by same_counts
+        // (hit/miss totals legitimately vary with worker interleaving).
+        let mut d = a;
+        d.cache_hits = 7;
+        d.cache_misses = 3;
+        assert!(a.same_counts(&d));
+        let e = d;
+        d.merge(&e);
+        assert_eq!(d.cache_hits, 14);
+        assert_eq!(d.cache_misses, 6);
     }
 
     #[test]

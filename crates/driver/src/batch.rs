@@ -1,0 +1,504 @@
+//! The unified batch-compilation loop, with limits and a cache hook.
+//!
+//! Every whole-program entry point in the workspace — the serial driver
+//! ([`crate::driver::schedule_program_stats`]), the parallel pipeline
+//! ([`crate::parallel::schedule_program_jobs`]), the CLI's guarded
+//! one-shot path, and the `dagsched-service` daemon — delegates to
+//! [`schedule_program_batch`]. One loop, several entry points: the limit
+//! enforcement and the per-block compile path cannot drift apart between
+//! the CLI and the service.
+//!
+//! Two hooks distinguish a served deployment from a one-shot run:
+//!
+//! * [`Limits`] — a per-request deadline and a maximum block size. Both
+//!   are enforced *before* work is wasted: block sizes are checked up
+//!   front for the whole program, and the deadline is re-checked before
+//!   every block. Violations surface as typed [`LimitError`]s, never as
+//!   panics, so a daemon can turn them into protocol error replies.
+//! * [`BlockCache`] — a content-addressed schedule cache consulted per
+//!   block. On a hit the construction / heuristic / scheduling passes are
+//!   skipped entirely (the `PhaseStats` work counters for that block stay
+//!   zero and `cache_hits` increments); on a miss the block is compiled by
+//!   the ordinary [`compile_block`] path and offered back to the cache.
+//!   [`NoCache`] is the no-op implementation used by the CLI driver.
+//!
+//! Blocks scheduled under latency inheritance (forward schedulers with
+//! `inherit_latencies`) bypass the cache: their output depends on the
+//! predecessor block's carried latencies, which are not part of any
+//! per-block cache key.
+
+use std::time::{Duration, Instant};
+
+use dagsched_core::{default_jobs, map_blocks_with_scratch, PhaseStats, Scratch};
+use dagsched_isa::{Instruction, MachineModel, Program};
+use dagsched_sched::CarryOut;
+
+use crate::driver::{
+    compile_block, needs_sequential_carry, BlockOutcome, DriverConfig, ScheduledProgram,
+};
+
+/// Per-request resource limits, shared by the CLI (`--timeout-ms`,
+/// `--max-block`) and the service (request deadlines, `max_block`
+/// server config).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Limits {
+    /// Reject programs containing a block with more instructions than
+    /// this (the `n**2` construction algorithms are quadratic in block
+    /// size — one adversarial megablock can stall a worker for minutes).
+    pub max_block: Option<usize>,
+    /// Abandon the batch once this instant passes. Checked before every
+    /// block, so the overshoot is bounded by one block's compile time.
+    pub deadline: Option<Instant>,
+}
+
+impl Limits {
+    /// No limits: never rejects, never expires.
+    pub fn none() -> Limits {
+        Limits::default()
+    }
+
+    /// Cap the largest schedulable block.
+    pub fn with_max_block(mut self, max: usize) -> Limits {
+        self.max_block = Some(max);
+        self
+    }
+
+    /// Set the deadline `timeout` from now.
+    pub fn with_deadline_in(mut self, timeout: Duration) -> Limits {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Check one block's size against `max_block`.
+    pub fn check_block(&self, block: usize, len: usize) -> Result<(), LimitError> {
+        match self.max_block {
+            Some(max) if len > max => Err(LimitError::BlockTooLarge { block, len, max }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Check whether the deadline has passed.
+    pub fn check_deadline(&self) -> Result<(), LimitError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(LimitError::DeadlineExpired),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A typed limit violation — the batch loop's only error channel, so a
+/// served request can always be answered with a structured error reply
+/// instead of a worker panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitError {
+    /// A block exceeds the configured maximum size.
+    BlockTooLarge {
+        /// Offending block index.
+        block: usize,
+        /// Its instruction count.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The request deadline passed before the batch completed.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for LimitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LimitError::BlockTooLarge { block, len, max } => write!(
+                f,
+                "block {block} has {len} instructions, exceeding the limit of {max}"
+            ),
+            LimitError::DeadlineExpired => write!(f, "deadline expired before scheduling finished"),
+        }
+    }
+}
+
+impl std::error::Error for LimitError {}
+
+/// A per-block schedule cache consulted by [`schedule_program_batch`].
+///
+/// Implementations key on *content*: the block's canonical instruction
+/// bytes plus the machine / algorithm / heuristic configuration. A
+/// `lookup` hit must return a [`BlockOutcome`] bit-identical to what
+/// [`compile_block`] would produce for `insns` under (`model`, `config`)
+/// — the service's cache guarantees this by reconstructing the emitted
+/// stream from the *requesting* block's instructions, so even interned
+/// memory-expression identities match a fresh compile.
+pub trait BlockCache: Sync {
+    /// Whether this cache is real. The batch loop skips lookups and
+    /// hit/miss accounting entirely when `false` (see [`NoCache`]).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Look up block `block` (`insns`) under (`model`, `config`).
+    fn lookup(
+        &self,
+        block: usize,
+        insns: &[Instruction],
+        model: &MachineModel,
+        config: &DriverConfig,
+    ) -> Option<BlockOutcome>;
+
+    /// Offer a freshly compiled outcome for caching.
+    fn store(
+        &self,
+        insns: &[Instruction],
+        model: &MachineModel,
+        config: &DriverConfig,
+        outcome: &BlockOutcome,
+    );
+}
+
+/// The no-op cache: every lookup misses, nothing is stored, and the
+/// batch loop's hit/miss counters stay zero.
+pub struct NoCache;
+
+impl BlockCache for NoCache {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn lookup(
+        &self,
+        _block: usize,
+        _insns: &[Instruction],
+        _model: &MachineModel,
+        _config: &DriverConfig,
+    ) -> Option<BlockOutcome> {
+        None
+    }
+
+    fn store(
+        &self,
+        _insns: &[Instruction],
+        _model: &MachineModel,
+        _config: &DriverConfig,
+        _outcome: &BlockOutcome,
+    ) {
+    }
+}
+
+/// Compile one block through the cache, falling back to [`compile_block`].
+fn compile_one(
+    bi: usize,
+    insns: &[Instruction],
+    model: &MachineModel,
+    config: &DriverConfig,
+    carry_in: Option<&CarryOut>,
+    scratch: &mut Scratch,
+    cache: &dyn BlockCache,
+) -> BlockOutcome {
+    let use_cache = cache.enabled() && carry_in.is_none();
+    if use_cache {
+        if let Some(outcome) = cache.lookup(bi, insns, model, config) {
+            scratch.stats.cache_hits += 1;
+            return outcome;
+        }
+    }
+    let outcome = compile_block(bi, insns, model, config, carry_in, scratch);
+    if use_cache {
+        scratch.stats.cache_misses += 1;
+        cache.store(insns, model, config, &outcome);
+    }
+    outcome
+}
+
+/// The serial batch loop over pre-partitioned `items`, drawing working
+/// storage from a caller-provided `scratch`.
+fn serial_batch(
+    items: &[(usize, &[Instruction])],
+    total_len: usize,
+    model: &MachineModel,
+    config: &DriverConfig,
+    limits: &Limits,
+    cache: &dyn BlockCache,
+    scratch: &mut Scratch,
+) -> Result<ScheduledProgram, LimitError> {
+    let sequential = needs_sequential_carry(config);
+    let mut out: Vec<Instruction> = Vec::with_capacity(total_len);
+    let mut reports = Vec::with_capacity(items.len());
+    let mut carry = CarryOut::default();
+    for &(bi, insns) in items {
+        limits.check_deadline()?;
+        let carry_in = if sequential { Some(&carry) } else { None };
+        let outcome = compile_one(bi, insns, model, config, carry_in, scratch, cache);
+        carry = outcome.carry;
+        out.extend(outcome.emitted);
+        reports.push(outcome.report);
+    }
+    Ok(ScheduledProgram {
+        insns: out,
+        blocks: reports,
+    })
+}
+
+/// [`schedule_program_batch`] with `jobs == 1`, drawing working storage
+/// from a caller-owned arena instead of allocating a fresh one.
+///
+/// This is the entry point a long-running worker thread wants: the
+/// `dagsched-service` daemon gives each pool worker one [`Scratch`] that
+/// it reuses across every request it serves, so the per-block hot path
+/// stops allocating once the arena is warm. The per-request counters are
+/// taken by resetting `scratch.stats` on entry and returning the
+/// accumulated value, so `scratch.stats` afterwards reflects only the
+/// *last* call.
+pub fn schedule_program_batch_scratch(
+    program: &Program,
+    model: &MachineModel,
+    config: &DriverConfig,
+    limits: &Limits,
+    cache: &dyn BlockCache,
+    scratch: &mut Scratch,
+) -> Result<(ScheduledProgram, PhaseStats), LimitError> {
+    scratch.stats = PhaseStats::default();
+    let blocks = program.basic_blocks();
+    let items: Vec<(usize, &[Instruction])> = blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| (bi, program.block_insns(b)))
+        .filter(|(_, insns)| !insns.is_empty())
+        .collect();
+    for &(bi, insns) in &items {
+        limits.check_block(bi, insns.len())?;
+    }
+    limits.check_deadline()?;
+    let result = serial_batch(&items, program.len(), model, config, limits, cache, scratch)?;
+    Ok((result, scratch.stats))
+}
+
+/// Schedule every basic block of `program` under `config` with `jobs`
+/// workers, enforcing `limits` and consulting `cache` per block.
+///
+/// This is the single batch loop behind every entry point; see the
+/// module docs. `jobs == 0` selects [`default_jobs`]; latency-inheriting
+/// forward configurations run serially regardless of `jobs` (block
+/// `i + 1` consumes block `i`'s carry) and bypass the cache.
+///
+/// The result is bit-identical to
+/// [`crate::driver::schedule_program_stats`] for every `jobs` value and
+/// every cache state — caches replay exact prior outcomes — and the
+/// deterministic `PhaseStats` work counters are jobs-invariant
+/// (`cache_hits` / `cache_misses` excepted; see
+/// [`PhaseStats::same_counts`]).
+pub fn schedule_program_batch(
+    program: &Program,
+    model: &MachineModel,
+    config: &DriverConfig,
+    jobs: usize,
+    limits: &Limits,
+    cache: &dyn BlockCache,
+) -> Result<(ScheduledProgram, PhaseStats), LimitError> {
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
+    let blocks = program.basic_blocks();
+    let items: Vec<(usize, &[Instruction])> = blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| (bi, program.block_insns(b)))
+        .filter(|(_, insns)| !insns.is_empty())
+        .collect();
+    // Size limits are checked for the whole program up front: a
+    // rejection must not waste compilation work on the other blocks.
+    for &(bi, insns) in &items {
+        limits.check_block(bi, insns.len())?;
+    }
+    limits.check_deadline()?;
+
+    let sequential = needs_sequential_carry(config);
+    if jobs <= 1 || sequential {
+        let mut scratch = Scratch::new();
+        let result = serial_batch(&items, program.len(), model, config, limits, cache, &mut scratch)?;
+        return Ok((result, scratch.stats));
+    }
+
+    let (results, stats) = map_blocks_with_scratch(&items, jobs, |_, &(bi, insns), scratch| {
+        limits
+            .check_deadline()
+            .map(|()| compile_one(bi, insns, model, config, None, scratch, cache))
+    });
+    let mut out: Vec<Instruction> = Vec::with_capacity(program.len());
+    let mut reports = Vec::with_capacity(results.len());
+    for result in results {
+        let outcome = result?;
+        out.extend(outcome.emitted);
+        reports.push(outcome.report);
+    }
+    Ok((
+        ScheduledProgram {
+            insns: out,
+            blocks: reports,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+    /// An exact-replay test cache: stores outcomes keyed by the block's
+    /// rendered text (good enough within one program).
+    #[derive(Default)]
+    struct TextCache {
+        map: Mutex<std::collections::HashMap<String, BlockOutcome>>,
+    }
+
+    fn text_key(insns: &[Instruction]) -> String {
+        insns
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    impl BlockCache for TextCache {
+        fn lookup(
+            &self,
+            block: usize,
+            insns: &[Instruction],
+            _model: &MachineModel,
+            _config: &DriverConfig,
+        ) -> Option<BlockOutcome> {
+            self.map.lock().unwrap().get(&text_key(insns)).map(|o| {
+                let mut o = o.clone();
+                o.report.block = block;
+                o
+            })
+        }
+
+        fn store(
+            &self,
+            insns: &[Instruction],
+            _model: &MachineModel,
+            _config: &DriverConfig,
+            outcome: &BlockOutcome,
+        ) {
+            self.map
+                .lock()
+                .unwrap()
+                .insert(text_key(insns), outcome.clone());
+        }
+    }
+
+    #[test]
+    fn max_block_limit_rejects_before_compiling() {
+        let bench = generate(BenchmarkProfile::by_name("grep").unwrap(), PAPER_SEED);
+        let model = MachineModel::sparc2();
+        let limits = Limits::none().with_max_block(4);
+        let err = schedule_program_batch(
+            &bench.program,
+            &model,
+            &DriverConfig::default(),
+            1,
+            &limits,
+            &NoCache,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LimitError::BlockTooLarge { max: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error_for_any_job_count() {
+        let bench = generate(BenchmarkProfile::by_name("dfa").unwrap(), PAPER_SEED);
+        let model = MachineModel::sparc2();
+        let limits = Limits {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Limits::none()
+        };
+        for jobs in [1, 4] {
+            let err = schedule_program_batch(
+                &bench.program,
+                &model,
+                &DriverConfig::default(),
+                jobs,
+                &limits,
+                &NoCache,
+            )
+            .unwrap_err();
+            assert_eq!(err, LimitError::DeadlineExpired, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn warm_cache_replays_bit_identical_output_and_skips_construction() {
+        let bench = generate(BenchmarkProfile::by_name("regex").unwrap(), PAPER_SEED);
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let cache = TextCache::default();
+        let (cold, cold_stats) =
+            schedule_program_batch(&bench.program, &model, &config, 1, &Limits::none(), &cache)
+                .unwrap();
+        // Only missed blocks were actually constructed (repeated blocks
+        // within the program already hit on the cold pass).
+        assert!(cold_stats.cache_misses > 0);
+        assert_eq!(cold_stats.blocks, cold_stats.cache_misses);
+        let total = cold_stats.cache_hits + cold_stats.cache_misses;
+        let (warm, warm_stats) =
+            schedule_program_batch(&bench.program, &model, &config, 1, &Limits::none(), &cache)
+                .unwrap();
+        assert_eq!(cold.insns, warm.insns);
+        assert_eq!(cold.blocks.len(), warm.blocks.len());
+        // Every block hit: no construction work was performed at all.
+        assert_eq!(warm_stats.cache_hits, total);
+        assert_eq!(warm_stats.cache_misses, 0);
+        assert_eq!(warm_stats.blocks, 0, "construction ran on the hit path");
+        assert_eq!(warm_stats.nodes, 0);
+        assert_eq!(warm_stats.arcs_added, 0);
+        assert_eq!(warm_stats.table_probes, 0);
+        assert_eq!(warm_stats.construct_ns, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_the_one_shot_path_and_resets_stats() {
+        let bench = generate(BenchmarkProfile::by_name("grep").unwrap(), PAPER_SEED);
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let (fresh, fresh_stats) = schedule_program_batch(
+            &bench.program,
+            &model,
+            &config,
+            1,
+            &Limits::none(),
+            &NoCache,
+        )
+        .unwrap();
+        let mut scratch = Scratch::new();
+        for round in 0..3 {
+            let (reused, stats) = schedule_program_batch_scratch(
+                &bench.program,
+                &model,
+                &config,
+                &Limits::none(),
+                &NoCache,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(fresh.insns, reused.insns, "round {round}");
+            // Stats are per-request, not cumulative across requests.
+            assert!(stats.same_counts(&fresh_stats), "round {round}: {stats}");
+        }
+    }
+
+    #[test]
+    fn inheritance_bypasses_the_cache() {
+        let bench = generate(BenchmarkProfile::by_name("linpack").unwrap(), PAPER_SEED);
+        let model = MachineModel::sparc2();
+        let config = DriverConfig {
+            inherit_latencies: true,
+            ..DriverConfig::default()
+        };
+        let cache = TextCache::default();
+        let (_, stats) =
+            schedule_program_batch(&bench.program, &model, &config, 1, &Limits::none(), &cache)
+                .unwrap();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert!(cache.map.lock().unwrap().is_empty());
+    }
+}

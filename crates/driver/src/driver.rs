@@ -9,6 +9,8 @@ use dagsched_sched::{
     SchedulerKind, SlotFill,
 };
 
+use crate::batch::{schedule_program_batch, Limits, NoCache};
+
 /// Driver options.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
@@ -68,18 +70,20 @@ impl ScheduledProgram {
 
 /// Everything produced by compiling one basic block.
 ///
-/// Shared by the serial driver loop and the [`crate::parallel`] pipeline —
-/// both call the same [`compile_block`], so their outputs are
-/// bit-identical by construction.
+/// Shared by the serial driver loop, the [`crate::parallel`] pipeline and
+/// the [`crate::batch`] entry point behind the scheduling service — every
+/// path calls the same [`compile_block`], so their outputs are
+/// bit-identical by construction. A schedule cache
+/// ([`crate::batch::BlockCache`]) stores and replays these.
 #[derive(Debug, Clone)]
-pub(crate) struct BlockOutcome {
+pub struct BlockOutcome {
     /// The emitted instruction stream for this block.
-    pub(crate) emitted: Vec<Instruction>,
+    pub emitted: Vec<Instruction>,
     /// The per-block report.
-    pub(crate) report: BlockReport,
+    pub report: BlockReport,
     /// Operation latencies carried past the block's exit (consumed by the
     /// next block only under latency inheritance).
-    pub(crate) carry: CarryOut,
+    pub carry: CarryOut,
 }
 
 /// Compile one basic block: construct the DAG, compute heuristics,
@@ -94,7 +98,7 @@ pub(crate) struct BlockOutcome {
 /// Working storage is drawn from `scratch`, and the per-phase counters
 /// (`construct_ns`, `heur_ns`, `sched_ns`, arc/probe/comparison counts)
 /// are accumulated into `scratch.stats`.
-pub(crate) fn compile_block(
+pub fn compile_block(
     bi: usize,
     insns: &[Instruction],
     model: &MachineModel,
@@ -166,8 +170,10 @@ pub(crate) fn compile_block(
 }
 
 /// Whether `config` requires block `i + 1` to observe block `i`'s carried
-/// latencies — the one driver mode that cannot be parallelized.
-pub(crate) fn needs_sequential_carry(config: &DriverConfig) -> bool {
+/// latencies — the one driver mode that cannot be parallelized (and whose
+/// blocks a schedule cache must not serve, since a block's output depends
+/// on its predecessor's carry).
+pub fn needs_sequential_carry(config: &DriverConfig) -> bool {
     config.inherit_latencies && config.scheduler.list.direction == SchedDirection::Forward
 }
 
@@ -192,30 +198,11 @@ pub fn schedule_program_stats(
     model: &MachineModel,
     config: &DriverConfig,
 ) -> (ScheduledProgram, PhaseStats) {
-    let blocks = program.basic_blocks();
-    let mut out: Vec<Instruction> = Vec::with_capacity(program.len());
-    let mut reports = Vec::with_capacity(blocks.len());
-    let mut carry = CarryOut::default();
-    let sequential = needs_sequential_carry(config);
-    let mut scratch = Scratch::new();
-    for (bi, block) in blocks.iter().enumerate() {
-        let insns = program.block_insns(block);
-        if insns.is_empty() {
-            continue;
-        }
-        let carry_in = if sequential { Some(&carry) } else { None };
-        let outcome = compile_block(bi, insns, model, config, carry_in, &mut scratch);
-        carry = outcome.carry;
-        out.extend(outcome.emitted);
-        reports.push(outcome.report);
+    match schedule_program_batch(program, model, config, 1, &Limits::none(), &NoCache) {
+        Ok(r) => r,
+        // `Limits::none()` can produce no limit errors.
+        Err(e) => unreachable!("unlimited batch reported a limit error: {e}"),
     }
-    (
-        ScheduledProgram {
-            insns: out,
-            blocks: reports,
-        },
-        scratch.stats,
-    )
 }
 
 #[cfg(test)]

@@ -3,35 +3,40 @@
 //! The paper's per-block pipeline — DAG construction, heuristic
 //! calculation, list scheduling — is embarrassingly parallel across
 //! blocks whenever latencies are *not* inherited across block boundaries:
-//! each block's schedule depends only on its own instructions. This
-//! module shards the blocks of a program across `std::thread::scope`
-//! workers, each owning a reusable [`Scratch`] arena so the per-block hot
-//! path allocates nothing once warm, and reassembles the emitted streams
-//! and reports in original block order.
+//! each block's schedule depends only on its own instructions. The work
+//! is sharded across `std::thread::scope` workers, each owning a reusable
+//! [`dagsched_core::Scratch`] arena so the per-block hot path allocates
+//! nothing once warm, and the emitted streams and reports are reassembled
+//! in original block order.
 //!
-//! Determinism: every worker runs the exact same [`compile_block`] code
-//! path as the serial driver, blocks are assigned by a fixed stride
-//! (worker `w` takes blocks `w, w + jobs, w + 2*jobs, …`), and results
-//! are written back by block index. The output is therefore bit-identical
-//! for every job count — `tests/parallel_determinism.rs` asserts this.
+//! Determinism: every worker runs the exact same
+//! [`crate::driver::compile_block`] code path as the serial driver,
+//! blocks are assigned by a fixed stride (worker `w` takes blocks
+//! `w, w + jobs, w + 2*jobs, …`), and results are written back by block
+//! index. The output is therefore bit-identical for every job count —
+//! the facade crate's `tests/parallel_determinism.rs` asserts this.
 //!
-//! The per-phase counters ([`PhaseStats`]) are all additive and
-//! order-independent, so the merged aggregate is also identical across
-//! job counts (timing fields aside, which genuinely vary run to run).
+//! The per-phase counters ([`dagsched_core::PhaseStats`]) are all
+//! additive and order-independent, so the merged aggregate is also
+//! identical across job counts (timing fields aside, which genuinely vary
+//! run to run).
+//!
+//! This function is a thin wrapper over the unified batch loop
+//! ([`crate::batch::schedule_program_batch`]) with no limits and no
+//! cache; the service daemon drives the same loop with both.
 
-use dagsched_core::{default_jobs, map_blocks_with_scratch, PhaseStats};
-use dagsched_isa::{Instruction, MachineModel, Program};
+use dagsched_core::PhaseStats;
+use dagsched_isa::{MachineModel, Program};
 
-use crate::driver::{
-    compile_block, needs_sequential_carry, schedule_program_stats, DriverConfig, ScheduledProgram,
-};
+use crate::batch::{schedule_program_batch, Limits, NoCache};
+use crate::driver::{DriverConfig, ScheduledProgram};
 
 /// Schedule every basic block of `program` across `jobs` worker threads.
 ///
-/// `jobs == 0` selects [`default_jobs`] (the machine's available
-/// parallelism). `jobs == 1` runs the serial path directly. When
-/// `config` inherits latencies with a forward scheduler the pipeline is
-/// inherently sequential (block `i + 1` consumes block `i`'s carried
+/// `jobs == 0` selects [`dagsched_core::default_jobs`] (the machine's
+/// available parallelism). `jobs == 1` runs the serial path directly.
+/// When `config` inherits latencies with a forward scheduler the pipeline
+/// is inherently sequential (block `i + 1` consumes block `i`'s carried
 /// latencies), so the serial path is used regardless of `jobs`.
 ///
 /// The returned program is bit-identical to
@@ -43,33 +48,11 @@ pub fn schedule_program_jobs(
     config: &DriverConfig,
     jobs: usize,
 ) -> (ScheduledProgram, PhaseStats) {
-    let jobs = if jobs == 0 { default_jobs() } else { jobs };
-    if jobs <= 1 || needs_sequential_carry(config) {
-        return schedule_program_stats(program, model, config);
+    match schedule_program_batch(program, model, config, jobs, &Limits::none(), &NoCache) {
+        Ok(r) => r,
+        // `Limits::none()` can produce no limit errors.
+        Err(e) => unreachable!("unlimited batch reported a limit error: {e}"),
     }
-    let blocks = program.basic_blocks();
-    let items: Vec<(usize, &[Instruction])> = blocks
-        .iter()
-        .enumerate()
-        .map(|(bi, b)| (bi, program.block_insns(b)))
-        .filter(|(_, insns)| !insns.is_empty())
-        .collect();
-    let (outcomes, stats) = map_blocks_with_scratch(&items, jobs, |_, &(bi, insns), scratch| {
-        compile_block(bi, insns, model, config, None, scratch)
-    });
-    let mut out: Vec<Instruction> = Vec::with_capacity(program.len());
-    let mut reports = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        out.extend(outcome.emitted);
-        reports.push(outcome.report);
-    }
-    (
-        ScheduledProgram {
-            insns: out,
-            blocks: reports,
-        },
-        stats,
-    )
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 //! ```
 
 mod block;
+mod fingerprint;
 mod insn;
 mod machine;
 mod memexpr;
@@ -45,6 +46,7 @@ mod opcode;
 mod reg;
 
 pub use block::{BasicBlock, Program};
+pub use fingerprint::{fnv64, Fnv64};
 pub use insn::{Instruction, MemRef};
 pub use machine::{DepKind, FuncUnit, MachineModel, UnitDesc};
 pub use memexpr::{MemExprId, MemExprPool};

@@ -216,6 +216,42 @@ impl MachineModel {
         &self.name
     }
 
+    /// A deterministic 64-bit fingerprint of every timing-relevant field.
+    ///
+    /// Two models with equal fingerprints weight DAG arcs identically, so
+    /// the scheduling service may share cached schedules between them;
+    /// any builder-setter change (latency override, WAR/WAW delay, issue
+    /// width, unit pipelining) changes the fingerprint. The latency
+    /// override table is hashed in sorted order, so the value does not
+    /// depend on `HashMap` iteration order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::Fnv64::new();
+        h.write_str(&self.name);
+        h.write_u32(self.war_delay);
+        h.write_u32(self.waw_delay);
+        h.write_u32(self.store_forward_discount);
+        h.write_u32(self.second_src_penalty);
+        h.write_u32(self.dword_pair_skew);
+        h.write_u32(self.issue_width);
+        let mut overrides: Vec<(String, u32)> = self
+            .latency_overrides
+            .iter()
+            .map(|(op, &cycles)| (format!("{op:?}"), cycles))
+            .collect();
+        overrides.sort();
+        h.write_u64(overrides.len() as u64);
+        for (op, cycles) in &overrides {
+            h.write_str(op);
+            h.write_u32(*cycles);
+        }
+        h.write_u64(self.units.len() as u64);
+        for u in &self.units {
+            h.write_str(&format!("{:?}", u.unit));
+            h.write_u32(u.pipelined as u32);
+        }
+        h.finish()
+    }
+
     /// Override the result latency of `op`.
     pub fn with_latency(mut self, op: Opcode, cycles: u32) -> MachineModel {
         self.latency_overrides.insert(op, cycles);
@@ -482,5 +518,41 @@ mod tests {
         let add = Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2));
         assert!(m.has_delay_slots(&ld));
         assert!(!m.has_delay_slots(&add));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let a = MachineModel::sparc2();
+        let b = MachineModel::sparc2();
+        // Deterministic across construction (HashMap order must not leak).
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Every preset is distinct.
+        assert_ne!(
+            MachineModel::sparc2().fingerprint(),
+            MachineModel::rs6000_like().fingerprint()
+        );
+        assert_ne!(
+            MachineModel::sparc2().fingerprint(),
+            MachineModel::deep_fpu().fingerprint()
+        );
+        // Any builder tweak changes the fingerprint.
+        assert_ne!(
+            a.fingerprint(),
+            MachineModel::sparc2().with_latency(Opcode::Add, 9).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            MachineModel::sparc2().with_war_delay(3).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            MachineModel::sparc2().with_issue_width(2).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            MachineModel::sparc2()
+                .with_unit_pipelined(FuncUnit::FpAdd, false)
+                .fingerprint()
+        );
     }
 }

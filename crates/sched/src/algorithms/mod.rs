@@ -286,7 +286,7 @@ mod tests {
     }
 
     #[test]
-    fn every_algorithm_produces_a_valid_schedule() {
+    fn every_algorithm_produces_a_valid_schedule() -> Result<(), String> {
         let insns = mixed_block();
         let model = MachineModel::sparc2();
         for &kind in SchedulerKind::ALL {
@@ -294,11 +294,14 @@ mod tests {
             let prepared = PreparedBlock::new(&insns);
             let dag = sched.construction.run(&prepared, &model, sched.policy);
             let s = sched.schedule_block(&insns, &model);
-            s.verify(&dag).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            // A verification failure is propagated as a test error, not a
+            // panic, matching the workspace's no-panic policy.
+            s.verify(&dag).map_err(|e| format!("{kind}: {e}"))?;
             assert_eq!(s.len(), insns.len(), "{kind}");
             // The block-terminating branch stays last.
             assert_eq!(s.order.last().unwrap().index(), insns.len() - 1, "{kind}");
         }
+        Ok(())
     }
 
     #[test]
@@ -337,7 +340,7 @@ mod tests {
     }
 
     #[test]
-    fn construction_swap_keeps_schedules_valid() {
+    fn construction_swap_keeps_schedules_valid() -> Result<(), String> {
         // §6 pairs each construction algorithm with a simple forward pass;
         // here: Warren's scheduler over all construction methods.
         let insns = mixed_block();
@@ -347,8 +350,9 @@ mod tests {
             let prepared = PreparedBlock::new(&insns);
             let dag = sched.construction.run(&prepared, &model, sched.policy);
             let s = sched.schedule_block(&insns, &model);
-            s.verify(&dag).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            s.verify(&dag).map_err(|e| format!("{algo}: {e}"))?;
         }
+        Ok(())
     }
 
     #[test]

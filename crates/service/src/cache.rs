@@ -1,0 +1,606 @@
+//! The content-addressed schedule cache.
+//!
+//! Real programs repeat themselves: unrolled loops, macro expansions and
+//! generated code produce the same basic block over and over, and a
+//! long-running scheduling daemon sees the same hot blocks across many
+//! requests. This cache keys each block by *content* — a canonical
+//! rendering of its instructions plus the machine / algorithm
+//! configuration — and replays the previously computed schedule on a
+//! hit, skipping DAG construction, heuristic calculation and list
+//! scheduling entirely.
+//!
+//! # Keying
+//!
+//! The canonical bytes of a block are, per instruction, its rendered
+//! text (which deliberately excludes the program-absolute `orig_index`
+//! and the program-interned [`MemExprId`]) followed by the
+//! *first-occurrence ordinal* of the instruction's memory-expression id
+//! within the block. The ordinal encoding captures exactly the
+//! information the symbolic memory-disambiguation policy consumes —
+//! which memory references within the block share an address expression
+//! — while remaining invariant under the program-wide renumbering that
+//! makes raw `MemExprId`s unusable as keys. The configuration
+//! fingerprint appends the scheduler's full `Debug` rendering (construction
+//! algorithm, memory policy, heuristic list, direction, postpass flag),
+//! the driver flags and [`MachineModel::fingerprint`]. Everything is
+//! hashed with two independent FNV-1a streams into a 128-bit key, so
+//! accidental collisions are out of reach for any realistic cache
+//! population.
+//!
+//! # Why values store indices, not instructions
+//!
+//! A cached entry must replay *bit-identically* — including the interned
+//! memory-expression identities the pipeline simulator keys on, which
+//! differ from program to program. Entries therefore store the emitted
+//! **order** (indices into the block, plus literal `nop`s inserted by
+//! delay-slot filling) and reconstruct the stream from the *requesting*
+//! block's own instructions; a hit is indistinguishable from a fresh
+//! compile by construction.
+//!
+//! # Eviction
+//!
+//! A doubly-linked LRU list threaded through a slab, bounded by both an
+//! entry count and an approximate byte budget. Oversized single entries
+//! are never admitted. Hits, misses, insertions and evictions are
+//! counted for the metrics endpoint.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use dagsched_driver::{BlockCache, BlockOutcome, BlockReport, DriverConfig};
+use dagsched_isa::{Fnv64, Instruction, MachineModel};
+use dagsched_sched::{CarryOut, SlotFill};
+
+/// Seed of the second hash stream (an arbitrary odd constant).
+const KEY_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Sentinel slab index for "no node".
+const NONE: usize = usize::MAX;
+
+/// Configuration for [`ScheduleCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum number of cached blocks.
+    pub max_entries: usize,
+    /// Approximate byte budget over all cached blocks.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            max_entries: 4096,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// A 128-bit content key: two independent FNV-1a streams over the same
+/// canonical bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    a: u64,
+    b: u64,
+}
+
+/// Compute the cache key for (`insns`, `model`, `config`).
+pub fn block_key(insns: &[Instruction], model: &MachineModel, config: &DriverConfig) -> Key {
+    let mut a = Fnv64::new();
+    let mut b = Fnv64::with_seed(KEY_SEED);
+    let mut ordinals: HashMap<u32, u32> = HashMap::new();
+    let mut text = String::new();
+    for insn in insns {
+        use std::fmt::Write as _;
+        text.clear();
+        let _ = write!(text, "{insn}");
+        let ord = match &insn.mem {
+            Some(m) => {
+                let next = ordinals.len() as u32;
+                *ordinals.entry(m.expr.index()).or_insert(next)
+            }
+            None => u32::MAX,
+        };
+        a.write_str(&text);
+        a.write_u32(ord);
+        b.write_str(&text);
+        b.write_u32(ord);
+    }
+    let cfg = format!(
+        "{:?}|inherit={}|fill={}",
+        config.scheduler, config.inherit_latencies, config.fill_delay_slots
+    );
+    a.write_str(&cfg);
+    b.write_str(&cfg);
+    let mfp = model.fingerprint();
+    a.write_u64(mfp);
+    b.write_u64(mfp);
+    Key {
+        a: a.finish(),
+        b: b.finish(),
+    }
+}
+
+/// One position of a cached emitted stream.
+#[derive(Debug, Clone)]
+enum EmitSlot {
+    /// The instruction at this index of the *requesting* block.
+    FromBlock(u32),
+    /// A literal instruction not present in the block (the delay-slot
+    /// `nop`).
+    Literal(Instruction),
+}
+
+/// The cached value: everything needed to reproduce a [`BlockOutcome`]
+/// from the requesting block's own instructions.
+#[derive(Debug, Clone)]
+struct CachedBlock {
+    order: Vec<EmitSlot>,
+    len: usize,
+    original_makespan: u64,
+    scheduled_makespan: u64,
+    slot: Option<SlotFill>,
+    cost_bytes: usize,
+}
+
+impl CachedBlock {
+    /// Capture a freshly compiled outcome, mapping each emitted
+    /// instruction back to its index in `insns` (multiset matching, so
+    /// duplicate instructions are assigned distinct indices).
+    fn capture(insns: &[Instruction], outcome: &BlockOutcome) -> CachedBlock {
+        let mut positions: HashMap<&Instruction, VecDeque<usize>> = HashMap::new();
+        for (i, insn) in insns.iter().enumerate() {
+            positions.entry(insn).or_default().push_back(i);
+        }
+        let order: Vec<EmitSlot> = outcome
+            .emitted
+            .iter()
+            .map(|insn| {
+                match positions.get_mut(insn).and_then(VecDeque::pop_front) {
+                    Some(i) => EmitSlot::FromBlock(i as u32),
+                    None => EmitSlot::Literal(insn.clone()),
+                }
+            })
+            .collect();
+        let cost_bytes = order.len() * std::mem::size_of::<Instruction>() + 96;
+        CachedBlock {
+            order,
+            len: outcome.report.len,
+            original_makespan: outcome.report.original_makespan,
+            scheduled_makespan: outcome.report.scheduled_makespan,
+            slot: outcome.report.slot.clone(),
+            cost_bytes,
+        }
+    }
+
+    /// Reconstruct the outcome for block `block` of the requesting
+    /// program, using *its* instructions.
+    fn replay(&self, block: usize, insns: &[Instruction]) -> Option<BlockOutcome> {
+        let emitted: Option<Vec<Instruction>> = self
+            .order
+            .iter()
+            .map(|slot| match slot {
+                EmitSlot::FromBlock(i) => insns.get(*i as usize).cloned(),
+                EmitSlot::Literal(insn) => Some(insn.clone()),
+            })
+            .collect();
+        Some(BlockOutcome {
+            emitted: emitted?,
+            report: BlockReport {
+                block,
+                len: self.len,
+                original_makespan: self.original_makespan,
+                scheduled_makespan: self.scheduled_makespan,
+                slot: self.slot.clone(),
+            },
+            // The carry is only consumed under latency inheritance,
+            // which bypasses the cache entirely.
+            carry: CarryOut::default(),
+        })
+    }
+}
+
+struct Entry {
+    key: Key,
+    value: CachedBlock,
+    prev: usize,
+    next: usize,
+}
+
+/// Counters exposed by [`ScheduleCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to stay within budget.
+    pub evictions: u64,
+    /// Current entry count.
+    pub entries: usize,
+    /// Current approximate byte footprint.
+    pub bytes: usize,
+}
+
+struct Lru {
+    map: HashMap<Key, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl Lru {
+    fn new() -> Lru {
+        Lru {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Unlink slot `ix` from the recency list.
+    fn unlink(&mut self, ix: usize) {
+        let (prev, next) = (self.slab[ix].prev, self.slab[ix].next);
+        if prev != NONE {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Link slot `ix` at the head (most recently used).
+    fn link_front(&mut self, ix: usize) {
+        self.slab[ix].prev = NONE;
+        self.slab[ix].next = self.head;
+        if self.head != NONE {
+            self.slab[self.head].prev = ix;
+        }
+        self.head = ix;
+        if self.tail == NONE {
+            self.tail = ix;
+        }
+    }
+
+    fn touch(&mut self, ix: usize) {
+        if self.head != ix {
+            self.unlink(ix);
+            self.link_front(ix);
+        }
+    }
+
+    fn evict_tail(&mut self) {
+        let ix = self.tail;
+        if ix == NONE {
+            return;
+        }
+        self.unlink(ix);
+        self.map.remove(&self.slab[ix].key);
+        self.bytes -= self.slab[ix].value.cost_bytes;
+        // Drop the payload; keep the slot for reuse.
+        self.slab[ix].value.order = Vec::new();
+        self.free.push(ix);
+        self.evictions += 1;
+    }
+
+    fn insert(&mut self, key: Key, value: CachedBlock, config: &CacheConfig) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if value.cost_bytes > config.max_bytes || config.max_entries == 0 {
+            // A single over-budget entry would evict the whole cache and
+            // still not fit; never admit it.
+            return;
+        }
+        self.bytes += value.cost_bytes;
+        let entry = Entry {
+            key,
+            value,
+            prev: NONE,
+            next: NONE,
+        };
+        let ix = match self.free.pop() {
+            Some(ix) => {
+                self.slab[ix] = entry;
+                ix
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.link_front(ix);
+        self.map.insert(key, ix);
+        self.insertions += 1;
+        while self.map.len() > config.max_entries || self.bytes > config.max_bytes {
+            self.evict_tail();
+        }
+    }
+}
+
+/// A bounded, thread-safe, content-addressed schedule cache implementing
+/// the driver's [`BlockCache`] interposition point.
+pub struct ScheduleCache {
+    config: CacheConfig,
+    inner: Mutex<Lru>,
+}
+
+impl ScheduleCache {
+    /// An empty cache bounded by `config`.
+    pub fn new(config: CacheConfig) -> ScheduleCache {
+        ScheduleCache {
+            config,
+            inner: Mutex::new(Lru::new()),
+        }
+    }
+
+    /// Snapshot the hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cached keys from most to least recently used (test/diagnostic
+    /// helper).
+    pub fn keys_by_recency(&self) -> Vec<Key> {
+        let inner = self.inner.lock().unwrap();
+        let mut out = Vec::with_capacity(inner.map.len());
+        let mut ix = inner.head;
+        while ix != NONE {
+            out.push(inner.slab[ix].key);
+            ix = inner.slab[ix].next;
+        }
+        out
+    }
+}
+
+impl Default for ScheduleCache {
+    fn default() -> ScheduleCache {
+        ScheduleCache::new(CacheConfig::default())
+    }
+}
+
+impl BlockCache for ScheduleCache {
+    fn lookup(
+        &self,
+        block: usize,
+        insns: &[Instruction],
+        model: &MachineModel,
+        config: &DriverConfig,
+    ) -> Option<BlockOutcome> {
+        let key = block_key(insns, model, config);
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get(&key).copied() {
+            Some(ix) => {
+                inner.touch(ix);
+                let replayed = inner.slab[ix].value.replay(block, insns);
+                if replayed.is_some() {
+                    inner.hits += 1;
+                } else {
+                    inner.misses += 1;
+                }
+                replayed
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(
+        &self,
+        insns: &[Instruction],
+        model: &MachineModel,
+        config: &DriverConfig,
+        outcome: &BlockOutcome,
+    ) {
+        let key = block_key(insns, model, config);
+        let value = CachedBlock::capture(insns, outcome);
+        self.inner.lock().unwrap().insert(key, value, &self.config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_driver::compile_block;
+    use dagsched_core::Scratch;
+    use dagsched_workloads::parse_asm;
+
+    fn block(text: &str) -> Vec<Instruction> {
+        parse_asm(text).unwrap().insns
+    }
+
+    fn compile(insns: &[Instruction], model: &MachineModel, config: &DriverConfig) -> BlockOutcome {
+        let mut scratch = Scratch::new();
+        compile_block(0, insns, model, config, None, &mut scratch)
+    }
+
+    #[test]
+    fn store_then_lookup_replays_the_same_outcome() {
+        let insns = block("ld [%o0], %l0\n add %l0, %o1, %o2\n st %o2, [%o3]");
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let cache = ScheduleCache::default();
+        let outcome = compile(&insns, &model, &config);
+        cache.store(&insns, &model, &config, &outcome);
+        let hit = cache.lookup(3, &insns, &model, &config).unwrap();
+        assert_eq!(hit.emitted, outcome.emitted);
+        assert_eq!(hit.report.block, 3, "block index is the requester's");
+        assert_eq!(hit.report.scheduled_makespan, outcome.report.scheduled_makespan);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn key_is_sensitive_to_model_config_and_expr_structure() {
+        let insns = block("ld [%o0], %l0\n faddd %f0, %f2, %f4");
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let base = block_key(&insns, &model, &config);
+
+        assert_ne!(
+            base,
+            block_key(&insns, &MachineModel::deep_fpu(), &config),
+            "machine model must be part of the key"
+        );
+        let other_cfg = DriverConfig {
+            scheduler: dagsched_sched::Scheduler::new(dagsched_sched::SchedulerKind::Tiemann),
+            ..DriverConfig::default()
+        };
+        assert_ne!(
+            base,
+            block_key(&insns, &model, &other_cfg),
+            "scheduler must be part of the key"
+        );
+        let flagged = DriverConfig {
+            fill_delay_slots: true,
+            ..DriverConfig::default()
+        };
+        assert_ne!(base, block_key(&insns, &model, &flagged));
+
+        // Same rendered text, different expr sharing structure.
+        let shared = block("ld [%o0], %l0\n st %l0, [%o0]");
+        let a = block_key(&shared, &model, &config);
+        let mut unshared = shared.clone();
+        unshared[1].mem.as_mut().unwrap().expr = dagsched_isa::MemExprId::from_index(7);
+        assert_ne!(
+            a,
+            block_key(&unshared, &model, &config),
+            "expr-sharing structure must be part of the key"
+        );
+    }
+
+    #[test]
+    fn key_ignores_program_position() {
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let a = block("add %o0, %o1, %o2\n sub %o2, %o3, %o4");
+        let mut b = a.clone();
+        for (i, insn) in b.iter_mut().enumerate() {
+            insn.orig_index = 1000 + i as u32; // same block later in a program
+        }
+        assert_eq!(
+            block_key(&a, &model, &config),
+            block_key(&b, &model, &config)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let cache = ScheduleCache::new(CacheConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX >> 1,
+        });
+        let b1 = block("add %o0, %o1, %o2");
+        let b2 = block("sub %o0, %o1, %o2");
+        let b3 = block("xor %o0, %o1, %o2");
+        for b in [&b1, &b2] {
+            let o = compile(b, &model, &config);
+            cache.store(b, &model, &config, &o);
+        }
+        // Touch b1 so b2 becomes the LRU victim.
+        assert!(cache.lookup(0, &b1, &model, &config).is_some());
+        let o3 = compile(&b3, &model, &config);
+        cache.store(&b3, &model, &config, &o3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(0, &b2, &model, &config).is_none(), "b2 evicted");
+        assert!(cache.lookup(0, &b1, &model, &config).is_some(), "b1 kept");
+        assert!(cache.lookup(0, &b3, &model, &config).is_some(), "b3 kept");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(
+            cache.keys_by_recency().len(),
+            2,
+            "recency list stays consistent"
+        );
+    }
+
+    #[test]
+    fn byte_budget_is_enforced_and_oversized_entries_are_skipped() {
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let one = block("add %o0, %o1, %o2");
+        let o = compile(&one, &model, &config);
+        let entry_cost = CachedBlock::capture(&one, &o).cost_bytes;
+
+        // Budget for exactly two single-instruction entries.
+        let cache = ScheduleCache::new(CacheConfig {
+            max_entries: usize::MAX,
+            max_bytes: 2 * entry_cost,
+        });
+        let blocks = [
+            block("add %o0, %o1, %o2"),
+            block("sub %o0, %o1, %o2"),
+            block("xor %o0, %o1, %o2"),
+        ];
+        for b in &blocks {
+            let o = compile(b, &model, &config);
+            cache.store(b, &model, &config, &o);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2, "{stats:?}");
+        assert!(stats.bytes <= 2 * entry_cost, "{stats:?}");
+        assert_eq!(stats.evictions, 1);
+
+        // An entry larger than the whole budget is never admitted (and
+        // evicts nothing).
+        let tiny = ScheduleCache::new(CacheConfig {
+            max_entries: usize::MAX,
+            max_bytes: entry_cost.saturating_sub(1),
+        });
+        tiny.store(&one, &model, &config, &o);
+        assert!(tiny.is_empty());
+        assert_eq!(tiny.stats().evictions, 0);
+    }
+
+    #[test]
+    fn duplicate_instructions_map_to_distinct_indices() {
+        // Two identical adds: multiset matching must keep both.
+        let insns = block("add %o0, %o1, %o2\n add %o0, %o1, %o2\n smul %o2, %o3, %o4");
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let cache = ScheduleCache::default();
+        let outcome = compile(&insns, &model, &config);
+        cache.store(&insns, &model, &config, &outcome);
+        let hit = cache.lookup(0, &insns, &model, &config).unwrap();
+        assert_eq!(hit.emitted.len(), insns.len());
+        assert_eq!(hit.emitted, outcome.emitted);
+    }
+}

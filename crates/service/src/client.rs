@@ -1,0 +1,168 @@
+//! A small blocking client for the `dagsched-service` protocol.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::proto::{
+    read_frame, write_frame, ErrorReply, FrameKind, FrameReadError, ScheduleRequest,
+    ScheduleResponse, DEFAULT_MAX_FRAME,
+};
+use crate::server::{parse_endpoint, Listen};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's frame could not be read.
+    Frame(FrameReadError),
+    /// The server answered with an unexpected or undecodable frame.
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(ErrorReply),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+trait Transport: Read + Write + Send {}
+impl<T: Read + Write + Send> Transport for T {}
+
+/// A blocking connection to a `dagsched-service` daemon.
+pub struct Client {
+    stream: Box<dyn Transport>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect to an endpoint string (`tcp:HOST:PORT`, `HOST:PORT`, or
+    /// `unix:/path`).
+    pub fn connect(endpoint: &str) -> Result<Client, ClientError> {
+        match parse_endpoint(endpoint).map_err(ClientError::Protocol)? {
+            Listen::Tcp(addr) => Ok(Client::from_tcp(TcpStream::connect(addr)?)),
+            #[cfg(unix)]
+            Listen::Unix(path) => Client::connect_unix(&path),
+            #[cfg(not(unix))]
+            Listen::Unix(_) => Err(ClientError::Protocol(
+                "unix sockets are not available on this platform".to_string(),
+            )),
+        }
+    }
+
+    /// Wrap an already connected TCP stream.
+    pub fn from_tcp(stream: TcpStream) -> Client {
+        Client {
+            stream: Box::new(stream),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// Connect over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> Result<Client, ClientError> {
+        Ok(Client {
+            stream: Box::new(UnixStream::connect(path)?),
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    fn roundtrip(
+        &mut self,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<(FrameKind, Vec<u8>), ClientError> {
+        write_frame(&mut self.stream, kind, payload)?;
+        let (kind, payload) = read_frame(&mut self.stream, self.max_frame)?;
+        if kind == FrameKind::Error {
+            let reply = decode_error(&payload)?;
+            return Err(ClientError::Server(reply));
+        }
+        Ok((kind, payload))
+    }
+
+    /// Schedule a program.
+    pub fn request(&mut self, req: &ScheduleRequest) -> Result<ScheduleResponse, ClientError> {
+        let payload = req.to_json().to_string();
+        let (kind, payload) = self.roundtrip(FrameKind::Request, payload.as_bytes())?;
+        if kind != FrameKind::Response {
+            return Err(ClientError::Protocol(format!(
+                "expected a response frame, got {kind:?}"
+            )));
+        }
+        let value = decode_json(&payload)?;
+        ScheduleResponse::from_json(&value)
+            .ok_or_else(|| ClientError::Protocol("undecodable response".to_string()))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let (kind, _) = self.roundtrip(FrameKind::Ping, b"")?;
+        match kind {
+            FrameKind::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let (kind, payload) = self.roundtrip(FrameKind::Metrics, b"")?;
+        if kind != FrameKind::Metrics {
+            return Err(ClientError::Protocol(format!(
+                "expected metrics, got {kind:?}"
+            )));
+        }
+        decode_json(&payload)
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let (kind, _) = self.roundtrip(FrameKind::Shutdown, b"")?;
+        match kind {
+            FrameKind::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected shutdown ack, got {other:?}"
+            ))),
+        }
+    }
+}
+
+fn decode_json(payload: &[u8]) -> Result<Json, ClientError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ClientError::Protocol("payload is not UTF-8".to_string()))?;
+    Json::parse(text).map_err(|e| ClientError::Protocol(format!("payload is not JSON: {e}")))
+}
+
+fn decode_error(payload: &[u8]) -> Result<ErrorReply, ClientError> {
+    let value = decode_json(payload)?;
+    ErrorReply::from_json(&value)
+        .ok_or_else(|| ClientError::Protocol("undecodable error reply".to_string()))
+}

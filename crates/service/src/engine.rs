@@ -1,0 +1,200 @@
+//! Request execution: turn a [`ScheduleRequest`] into a
+//! [`ScheduleResponse`] (or a typed [`ErrorReply`]).
+//!
+//! This is the only place where a request's strings become programs,
+//! configurations and limits, so the daemon and any embedded caller
+//! (the load generator drives this directly when measuring the
+//! no-network ceiling) behave identically. Every failure path returns
+//! an [`ErrorReply`]; nothing here panics on user input.
+
+use std::time::Duration;
+
+use dagsched_core::Scratch;
+use dagsched_driver::{schedule_program_batch, schedule_program_batch_scratch, Limits};
+use dagsched_isa::Program;
+use dagsched_pipesim::{simulate, SimOptions};
+use dagsched_workloads::{generate, parse_asm, BenchmarkProfile};
+
+use crate::cache::ScheduleCache;
+use crate::proto::{
+    build_driver_config, BlockSummary, ErrorCode, ErrorReply, RequestInput, ScheduleRequest,
+    ScheduleResponse,
+};
+
+/// Cap on the debug `linger_ms` knob, so a hostile request cannot park
+/// a worker for minutes.
+pub const MAX_LINGER_MS: u64 = 10_000;
+
+/// Engine-level limits inherited from the server configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineLimits {
+    /// Largest schedulable block (`None` = unlimited).
+    pub max_block: Option<usize>,
+    /// Deadline applied when the request does not carry its own.
+    pub default_deadline_ms: Option<u64>,
+    /// Cap on per-request `jobs` (`0` = force serial).
+    pub max_jobs: usize,
+}
+
+/// Materialize the request's program.
+fn build_program(input: &RequestInput) -> Result<Program, ErrorReply> {
+    let program = match input {
+        RequestInput::Asm(text) => parse_asm(text)
+            .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("parse error: {e}")))?,
+        RequestInput::Profile { name, seed } => {
+            let profile = BenchmarkProfile::by_name(name).ok_or_else(|| {
+                ErrorReply::new(ErrorCode::BadRequest, format!("unknown profile `{name}`"))
+            })?;
+            generate(profile, *seed).program
+        }
+    };
+    if program.is_empty() {
+        return Err(ErrorReply::new(
+            ErrorCode::BadRequest,
+            "program contains no instructions",
+        ));
+    }
+    Ok(program)
+}
+
+/// Execute one request against `cache`, drawing working storage from
+/// the caller's `scratch` for the serial path.
+pub fn execute(
+    req: &ScheduleRequest,
+    limits: &EngineLimits,
+    cache: &ScheduleCache,
+    scratch: &mut Scratch,
+) -> Result<ScheduleResponse, ErrorReply> {
+    let program = build_program(&req.input)?;
+    let (config, model) = build_driver_config(req)?;
+
+    let mut batch_limits = Limits::none();
+    if let Some(max) = limits.max_block {
+        batch_limits = batch_limits.with_max_block(max);
+    }
+    let deadline_ms = req.deadline_ms.or(limits.default_deadline_ms);
+    if let Some(ms) = deadline_ms {
+        batch_limits = batch_limits.with_deadline_in(Duration::from_millis(ms));
+    }
+
+    let jobs = req.jobs.min(limits.max_jobs.max(1));
+    let result = if jobs <= 1 {
+        schedule_program_batch_scratch(&program, &model, &config, &batch_limits, cache, scratch)
+    } else {
+        schedule_program_batch(&program, &model, &config, jobs, &batch_limits, cache)
+    };
+    let (scheduled, stats) = result.map_err(ErrorReply::from)?;
+
+    let cycles = if req.sim {
+        let before = simulate(&program.insns, &model, SimOptions::default());
+        let after = simulate(&scheduled.insns, &model, SimOptions::default());
+        Some((before.cycles, after.cycles))
+    } else {
+        None
+    };
+
+    if req.linger_ms > 0 {
+        std::thread::sleep(Duration::from_millis(req.linger_ms.min(MAX_LINGER_MS)));
+    }
+
+    Ok(ScheduleResponse {
+        insns: scheduled.insns.iter().map(|i| i.to_string()).collect(),
+        blocks: scheduled
+            .blocks
+            .iter()
+            .map(|b| BlockSummary {
+                block: b.block,
+                len: b.len,
+                original_makespan: b.original_makespan,
+                scheduled_makespan: b.scheduled_makespan,
+            })
+            .collect(),
+        stats,
+        cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, ScheduleCache};
+
+    fn run(req: &ScheduleRequest, cache: &ScheduleCache) -> Result<ScheduleResponse, ErrorReply> {
+        let mut scratch = Scratch::new();
+        execute(req, &EngineLimits::default(), cache, &mut scratch)
+    }
+
+    #[test]
+    fn schedules_literal_assembly() {
+        let req = ScheduleRequest::asm("ld [%o0], %l0\n add %l0, %o1, %o2\n xor %o3, %o4, %o5");
+        let cache = ScheduleCache::default();
+        let resp = run(&req, &cache).unwrap();
+        assert_eq!(resp.insns.len(), 3);
+        assert_eq!(resp.blocks.len(), 1);
+        assert!(resp.stats.blocks > 0);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let req = ScheduleRequest::profile("grep", 1991);
+        let cache = ScheduleCache::default();
+        let cold = run(&req, &cache).unwrap();
+        let warm = run(&req, &cache).unwrap();
+        assert_eq!(cold.insns, warm.insns, "cache hits must be bit-identical");
+        assert_eq!(warm.stats.cache_misses, 0);
+        assert!(warm.stats.cache_hits > 0);
+        assert_eq!(warm.stats.blocks, 0, "no construction ran on the hit path");
+    }
+
+    #[test]
+    fn sim_reports_before_after_cycles() {
+        let mut req = ScheduleRequest::profile("regex", 1);
+        req.sim = true;
+        let cache = ScheduleCache::new(CacheConfig::default());
+        let resp = run(&req, &cache).unwrap();
+        let (before, after) = resp.cycles.unwrap();
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn each_failure_mode_maps_to_its_code() {
+        let cache = ScheduleCache::default();
+        let cases: Vec<(ScheduleRequest, ErrorCode)> = vec![
+            (ScheduleRequest::asm("not an instruction"), ErrorCode::ParseError),
+            (ScheduleRequest::asm(""), ErrorCode::BadRequest),
+            (ScheduleRequest::profile("no-such-profile", 1), ErrorCode::BadRequest),
+            (
+                {
+                    let mut r = ScheduleRequest::asm("nop");
+                    r.machine = "vax".to_string();
+                    r
+                },
+                ErrorCode::BadRequest,
+            ),
+        ];
+        for (req, want) in cases {
+            let err = run(&req, &cache).unwrap_err();
+            assert_eq!(err.code, want, "{req:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn server_limits_apply_when_the_request_has_none() {
+        let req = ScheduleRequest::profile("linpack", 1991);
+        let cache = ScheduleCache::default();
+        let mut scratch = Scratch::new();
+        let limits = EngineLimits {
+            max_block: Some(2),
+            ..EngineLimits::default()
+        };
+        let err = execute(&req, &limits, &cache, &mut scratch).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BlockTooLarge);
+
+        let limits = EngineLimits {
+            default_deadline_ms: Some(0),
+            ..EngineLimits::default()
+        };
+        let err = execute(&req, &limits, &cache, &mut scratch).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExpired);
+    }
+}

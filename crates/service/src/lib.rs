@@ -1,0 +1,61 @@
+//! # dagsched-service
+//!
+//! A long-running scheduling daemon for the `dagsched` workspace: the
+//! paper's per-block pipeline behind a length-prefixed binary+JSON wire
+//! protocol over TCP or Unix sockets, with a fixed worker pool
+//! (one reusable `Scratch` arena per worker), a content-addressed
+//! schedule cache with LRU eviction and a byte budget, per-request
+//! deadlines and block-size limits, explicit `busy` backpressure, and a
+//! SIGTERM-triggered graceful drain.
+//!
+//! Entirely `std`: no async runtime, no serde, no external crates —
+//! the workspace builds offline.
+//!
+//! * [`proto`] — frames, request/response payloads, typed error codes.
+//! * [`json`] — the minimal JSON value/parser/writer behind the
+//!   payloads.
+//! * [`cache`] — the content-addressed schedule cache
+//!   ([`cache::ScheduleCache`]) plugged into the driver's `BlockCache`
+//!   interposition point.
+//! * [`engine`] — request execution (shared by the server and the load
+//!   generator).
+//! * [`pool`] — the bounded worker pool.
+//! * [`server`] — listeners, accept loop, drain.
+//! * [`client`] — a small blocking client.
+//! * [`metrics`] — server counters.
+//!
+//! ```no_run
+//! use dagsched_service::client::Client;
+//! use dagsched_service::proto::ScheduleRequest;
+//! use dagsched_service::server::{serve, Listen, ServerConfig};
+//!
+//! let handle = serve(
+//!     Listen::Tcp("127.0.0.1:0".to_string()),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//! let mut client = Client::connect(&handle.endpoint()).unwrap();
+//! let resp = client
+//!     .request(&ScheduleRequest::asm("add %o0, %o1, %o2"))
+//!     .unwrap();
+//! assert_eq!(resp.insns.len(), 1);
+//! handle.begin_drain();
+//! handle.join();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheConfig, CacheStats, ScheduleCache};
+pub use client::{Client, ClientError};
+pub use engine::{execute, EngineLimits};
+pub use proto::{
+    ErrorCode, ErrorReply, FrameKind, ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
+};
+pub use server::{parse_endpoint, serve, Listen, ServerConfig, ServerHandle};

@@ -1,0 +1,81 @@
+//! Server-side counters, exported over the `Metrics` frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::CacheStats;
+use crate::json::Json;
+
+/// Monotonic counters maintained by the server (all relaxed: they are
+/// statistics, not synchronization).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Schedule requests received.
+    pub requests: AtomicU64,
+    /// Successful responses sent.
+    pub responses: AtomicU64,
+    /// Error replies sent (any code).
+    pub errors: AtomicU64,
+    /// Connections rejected with `busy` because the queue was full.
+    pub busy_rejections: AtomicU64,
+    /// Requests rejected because the server was draining.
+    pub drain_rejections: AtomicU64,
+    /// Requests that hit their deadline.
+    pub deadline_expirations: AtomicU64,
+}
+
+impl Metrics {
+    /// Increment a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter (plus the cache's) as a JSON object.
+    pub fn snapshot(&self, cache: &CacheStats) -> Json {
+        let g = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        Json::obj(vec![
+            ("connections", g(&self.connections)),
+            ("requests", g(&self.requests)),
+            ("responses", g(&self.responses)),
+            ("errors", g(&self.errors)),
+            ("busy_rejections", g(&self.busy_rejections)),
+            ("drain_rejections", g(&self.drain_rejections)),
+            ("deadline_expirations", g(&self.deadline_expirations)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::from(cache.hits)),
+                    ("misses", Json::from(cache.misses)),
+                    ("insertions", Json::from(cache.insertions)),
+                    ("evictions", Json::from(cache.evictions)),
+                    ("entries", Json::from(cache.entries)),
+                    ("bytes", Json::from(cache.bytes)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_every_counter() {
+        let m = Metrics::default();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.responses);
+        let snap = m.snapshot(&CacheStats {
+            hits: 7,
+            ..CacheStats::default()
+        });
+        assert_eq!(snap.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(snap.get("responses").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            snap.get("cache").unwrap().get("hits").unwrap().as_u64(),
+            Some(7)
+        );
+    }
+}

@@ -1,0 +1,780 @@
+//! The `dagsched-service` wire protocol.
+//!
+//! Every message is one *frame*: an 8-byte header followed by a JSON
+//! payload.
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic  "DS"
+//!      2     1  protocol version (currently 1)
+//!      3     1  frame kind (see FrameKind)
+//!      4     4  payload length, little-endian u32
+//!      8     n  payload (UTF-8 JSON)
+//! ```
+//!
+//! The header is validated *before* the payload is read, and the length
+//! is checked against a caller-supplied cap, so a hostile peer cannot
+//! make the server allocate an arbitrary buffer. Every malformed input —
+//! bad magic, unknown kind, oversized or truncated frame, junk JSON —
+//! maps to a typed error ([`FrameReadError`] / [`ErrorReply`]), never a
+//! panic: the daemon answers garbage with an `Error` frame and closes
+//! the connection.
+//!
+//! Request/response payloads are plain JSON objects (see
+//! [`ScheduleRequest`] / [`ScheduleResponse`]); unknown fields are
+//! ignored so old clients keep working against newer servers.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use dagsched_core::PhaseStats;
+use dagsched_driver::{DriverConfig, LimitError};
+use dagsched_isa::MachineModel;
+use dagsched_sched::{Scheduler, SchedulerKind};
+
+use crate::json::Json;
+
+/// Protocol magic: the first two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"DS";
+/// Protocol version carried in byte 2.
+pub const VERSION: u8 = 1;
+/// Default cap on a frame payload (16 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: a [`ScheduleRequest`].
+    Request = 1,
+    /// Server → client: a [`ScheduleResponse`].
+    Response = 2,
+    /// Server → client: an [`ErrorReply`].
+    Error = 3,
+    /// Client → server: liveness probe (empty payload).
+    Ping = 4,
+    /// Server → client: answer to a ping (empty payload).
+    Pong = 5,
+    /// Client → server: ask the daemon to drain and exit.
+    Shutdown = 6,
+    /// Both directions: request for / snapshot of server counters.
+    Metrics = 7,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            1 => FrameKind::Request,
+            2 => FrameKind::Response,
+            3 => FrameKind::Error,
+            4 => FrameKind::Ping,
+            5 => FrameKind::Pong,
+            6 => FrameKind::Shutdown,
+            7 => FrameKind::Metrics,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The underlying read failed (includes truncation:
+    /// `UnexpectedEof`).
+    Io(io::Error),
+    /// The first two bytes were not `"DS"`.
+    BadMagic([u8; 2]),
+    /// The version byte was not [`VERSION`].
+    BadVersion(u8),
+    /// The kind byte named no known [`FrameKind`].
+    UnknownKind(u8),
+    /// The payload length exceeds the reader's cap.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameReadError::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            FrameReadError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameReadError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameReadError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> FrameReadError {
+        FrameReadError::Io(e)
+    }
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut dyn Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 8];
+    header[..2].copy_from_slice(&MAGIC);
+    header[2] = VERSION;
+    header[3] = kind as u8;
+    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, validating the header before allocating the payload
+/// buffer and rejecting payloads longer than `max_payload`.
+pub fn read_frame(
+    r: &mut dyn Read,
+    max_payload: usize,
+) -> Result<(FrameKind, Vec<u8>), FrameReadError> {
+    match read_frame_or_eof(r, max_payload)? {
+        Some(frame) => Ok(frame),
+        None => Err(FrameReadError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a frame",
+        ))),
+    }
+}
+
+/// [`read_frame`], but a clean end-of-stream *before any header byte*
+/// reads as `Ok(None)` — the server uses this to tell an orderly client
+/// hangup apart from a truncated frame (which is still an error).
+pub fn read_frame_or_eof(
+    r: &mut dyn Read,
+    max_payload: usize,
+) -> Result<Option<(FrameKind, Vec<u8>)>, FrameReadError> {
+    let mut header = [0u8; 8];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if header[..2] != MAGIC {
+        return Err(FrameReadError::BadMagic([header[0], header[1]]));
+    }
+    if header[2] != VERSION {
+        return Err(FrameReadError::BadVersion(header[2]));
+    }
+    let kind = FrameKind::from_u8(header[3]).ok_or(FrameReadError::UnknownKind(header[3]))?;
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    if len > max_payload {
+        return Err(FrameReadError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((kind, payload)))
+}
+
+/// Machine-readable error category carried by an `Error` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame header or framing was invalid.
+    MalformedFrame,
+    /// The frame payload exceeded the server's cap.
+    OversizedFrame,
+    /// The request was structurally valid JSON but semantically bad
+    /// (unknown scheduler, empty program, …).
+    BadRequest,
+    /// The payload was not valid JSON / assembly.
+    ParseError,
+    /// A block exceeded the server's `max_block` limit.
+    BlockTooLarge,
+    /// The request deadline passed before scheduling finished.
+    DeadlineExpired,
+    /// The accept queue was full; retry later.
+    Busy,
+    /// The server is draining for shutdown and accepts no new work.
+    Draining,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedFrame => "malformed-frame",
+            ErrorCode::OversizedFrame => "oversized-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::ParseError => "parse-error",
+            ErrorCode::BlockTooLarge => "block-too-large",
+            ErrorCode::DeadlineExpired => "deadline-expired",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire string back into a code.
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "malformed-frame" => ErrorCode::MalformedFrame,
+            "oversized-frame" => ErrorCode::OversizedFrame,
+            "bad-request" => ErrorCode::BadRequest,
+            "parse-error" => ErrorCode::ParseError,
+            "block-too-large" => ErrorCode::BlockTooLarge,
+            "deadline-expired" => ErrorCode::DeadlineExpired,
+            "busy" => ErrorCode::Busy,
+            "draining" => ErrorCode::Draining,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// Build a reply.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ErrorReply {
+        ErrorReply {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Serialize to the wire payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("code", Json::from(self.code.as_str())),
+            ("message", Json::from(self.message.as_str())),
+        ])
+    }
+
+    /// Deserialize from a wire payload.
+    pub fn from_json(v: &Json) -> Option<ErrorReply> {
+        Some(ErrorReply {
+            code: ErrorCode::from_wire(v.get("code")?.as_str()?)?,
+            message: v.get("message")?.as_str()?.to_string(),
+        })
+    }
+}
+
+impl From<LimitError> for ErrorReply {
+    fn from(e: LimitError) -> ErrorReply {
+        let code = match e {
+            LimitError::BlockTooLarge { .. } => ErrorCode::BlockTooLarge,
+            LimitError::DeadlineExpired => ErrorCode::DeadlineExpired,
+        };
+        ErrorReply::new(code, e.to_string())
+    }
+}
+
+impl fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// What a request schedules: literal assembly or a generated workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestInput {
+    /// SPARC-flavoured assembly text.
+    Asm(String),
+    /// A synthetic benchmark: profile name + generator seed.
+    Profile {
+        /// Profile name (see `dagsched_workloads::BenchmarkProfile`).
+        name: String,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// A scheduling request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// The program to schedule.
+    pub input: RequestInput,
+    /// Machine model name (`sparc2`, `rs6000`, `deep-fpu`).
+    pub machine: String,
+    /// Published algorithm name (`warren`, `gm`, …).
+    pub scheduler: String,
+    /// DAG construction algorithm override (empty = scheduler default).
+    pub algo: String,
+    /// Memory disambiguation policy override (empty = scheduler default).
+    pub policy: String,
+    /// Carry latencies across block boundaries.
+    pub inherit: bool,
+    /// Fill branch delay slots.
+    pub fill_slots: bool,
+    /// Worker threads for this request (0 = server default of 1).
+    pub jobs: usize,
+    /// Per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Also simulate before/after cycle counts.
+    pub sim: bool,
+    /// Debug knob: hold the worker for this many milliseconds after
+    /// scheduling (capped server-side). Lets tests fill the queue and
+    /// exercise `busy` / drain paths deterministically.
+    pub linger_ms: u64,
+}
+
+impl ScheduleRequest {
+    /// A request with every knob at its default.
+    pub fn asm(text: impl Into<String>) -> ScheduleRequest {
+        ScheduleRequest {
+            input: RequestInput::Asm(text.into()),
+            machine: "sparc2".to_string(),
+            scheduler: "warren".to_string(),
+            algo: String::new(),
+            policy: String::new(),
+            inherit: false,
+            fill_slots: false,
+            jobs: 0,
+            deadline_ms: None,
+            sim: false,
+            linger_ms: 0,
+        }
+    }
+
+    /// A generated-workload request with every knob at its default.
+    pub fn profile(name: impl Into<String>, seed: u64) -> ScheduleRequest {
+        ScheduleRequest {
+            input: RequestInput::Profile {
+                name: name.into(),
+                seed,
+            },
+            ..ScheduleRequest::asm("")
+        }
+    }
+
+    /// Serialize to the wire payload.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![];
+        match &self.input {
+            RequestInput::Asm(text) => fields.push(("asm", Json::from(text.as_str()))),
+            RequestInput::Profile { name, seed } => {
+                fields.push(("profile", Json::from(name.as_str())));
+                fields.push(("seed", Json::from(*seed)));
+            }
+        }
+        fields.push(("machine", Json::from(self.machine.as_str())));
+        fields.push(("scheduler", Json::from(self.scheduler.as_str())));
+        if !self.algo.is_empty() {
+            fields.push(("algo", Json::from(self.algo.as_str())));
+        }
+        if !self.policy.is_empty() {
+            fields.push(("policy", Json::from(self.policy.as_str())));
+        }
+        fields.push(("inherit", Json::from(self.inherit)));
+        fields.push(("fill_slots", Json::from(self.fill_slots)));
+        fields.push(("jobs", Json::from(self.jobs)));
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", Json::from(ms)));
+        }
+        fields.push(("sim", Json::from(self.sim)));
+        if self.linger_ms > 0 {
+            fields.push(("linger_ms", Json::from(self.linger_ms)));
+        }
+        Json::obj(fields)
+    }
+
+    /// Deserialize from a wire payload. Unknown fields are ignored;
+    /// missing optional fields take their defaults.
+    pub fn from_json(v: &Json) -> Result<ScheduleRequest, ErrorReply> {
+        let input = if let Some(asm) = v.get("asm").and_then(Json::as_str) {
+            RequestInput::Asm(asm.to_string())
+        } else if let Some(name) = v.get("profile").and_then(Json::as_str) {
+            RequestInput::Profile {
+                name: name.to_string(),
+                seed: v.get("seed").and_then(Json::as_u64).unwrap_or(1991),
+            }
+        } else {
+            return Err(ErrorReply::new(
+                ErrorCode::BadRequest,
+                "request needs an `asm` or `profile` field",
+            ));
+        };
+        let s = |key: &str, default: &str| -> String {
+            v.get(key)
+                .and_then(Json::as_str)
+                .unwrap_or(default)
+                .to_string()
+        };
+        Ok(ScheduleRequest {
+            input,
+            machine: s("machine", "sparc2"),
+            scheduler: s("scheduler", "warren"),
+            algo: s("algo", ""),
+            policy: s("policy", ""),
+            inherit: v.get("inherit").and_then(Json::as_bool).unwrap_or(false),
+            fill_slots: v.get("fill_slots").and_then(Json::as_bool).unwrap_or(false),
+            jobs: v.get("jobs").and_then(Json::as_u64).unwrap_or(0) as usize,
+            deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
+            sim: v.get("sim").and_then(Json::as_bool).unwrap_or(false),
+            linger_ms: v.get("linger_ms").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// One block's outcome in a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Block index.
+    pub block: usize,
+    /// Instructions in the block.
+    pub len: usize,
+    /// Makespan of the original order.
+    pub original_makespan: u64,
+    /// Makespan of the scheduled order.
+    pub scheduled_makespan: u64,
+}
+
+/// A scheduling response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResponse {
+    /// The emitted instruction stream, rendered one instruction per
+    /// element.
+    pub insns: Vec<String>,
+    /// Per-block outcomes.
+    pub blocks: Vec<BlockSummary>,
+    /// The per-phase counters for this request.
+    pub stats: PhaseStats,
+    /// `(before, after)` simulated cycles, when the request asked.
+    pub cycles: Option<(u64, u64)>,
+}
+
+/// Serialize `stats` for the wire.
+pub fn stats_to_json(stats: &PhaseStats) -> Json {
+    Json::obj(vec![
+        ("blocks", Json::from(stats.blocks)),
+        ("nodes", Json::from(stats.nodes)),
+        ("arcs_added", Json::from(stats.arcs_added)),
+        ("arcs_suppressed", Json::from(stats.arcs_suppressed)),
+        ("table_probes", Json::from(stats.table_probes)),
+        ("comparisons", Json::from(stats.comparisons)),
+        ("construct_ns", Json::from(stats.construct_ns)),
+        ("heur_ns", Json::from(stats.heur_ns)),
+        ("sched_ns", Json::from(stats.sched_ns)),
+        ("cache_hits", Json::from(stats.cache_hits)),
+        ("cache_misses", Json::from(stats.cache_misses)),
+    ])
+}
+
+/// Deserialize wire stats (missing fields read as zero).
+pub fn stats_from_json(v: &Json) -> PhaseStats {
+    let g = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+    PhaseStats {
+        blocks: g("blocks"),
+        nodes: g("nodes"),
+        arcs_added: g("arcs_added"),
+        arcs_suppressed: g("arcs_suppressed"),
+        table_probes: g("table_probes"),
+        comparisons: g("comparisons"),
+        construct_ns: g("construct_ns"),
+        heur_ns: g("heur_ns"),
+        sched_ns: g("sched_ns"),
+        cache_hits: g("cache_hits"),
+        cache_misses: g("cache_misses"),
+    }
+}
+
+impl ScheduleResponse {
+    /// Serialize to the wire payload.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "insns",
+                Json::Arr(self.insns.iter().map(|s| Json::from(s.as_str())).collect()),
+            ),
+            (
+                "blocks",
+                Json::Arr(
+                    self.blocks
+                        .iter()
+                        .map(|b| {
+                            Json::obj(vec![
+                                ("block", Json::from(b.block)),
+                                ("len", Json::from(b.len)),
+                                ("original_makespan", Json::from(b.original_makespan)),
+                                ("scheduled_makespan", Json::from(b.scheduled_makespan)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("stats", stats_to_json(&self.stats)),
+        ];
+        if let Some((before, after)) = self.cycles {
+            fields.push((
+                "cycles",
+                Json::obj(vec![
+                    ("before", Json::from(before)),
+                    ("after", Json::from(after)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    /// Deserialize from a wire payload.
+    pub fn from_json(v: &Json) -> Option<ScheduleResponse> {
+        let insns = v
+            .get("insns")?
+            .as_arr()?
+            .iter()
+            .map(|i| i.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        let blocks = v
+            .get("blocks")?
+            .as_arr()?
+            .iter()
+            .map(|b| {
+                Some(BlockSummary {
+                    block: b.get("block")?.as_u64()? as usize,
+                    len: b.get("len")?.as_u64()? as usize,
+                    original_makespan: b.get("original_makespan")?.as_u64()?,
+                    scheduled_makespan: b.get("scheduled_makespan")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let stats = stats_from_json(v.get("stats")?);
+        let cycles = v
+            .get("cycles")
+            .and_then(|c| Some((c.get("before")?.as_u64()?, c.get("after")?.as_u64()?)));
+        Some(ScheduleResponse {
+            insns,
+            blocks,
+            stats,
+            cycles,
+        })
+    }
+}
+
+/// Parse a construction-algorithm name (shared with the CLI's `--algo`).
+pub fn parse_algo(v: &str) -> Result<dagsched_core::ConstructionAlgorithm, String> {
+    use dagsched_core::ConstructionAlgorithm as A;
+    Ok(match v {
+        "n2" | "n2-forward" => A::N2Forward,
+        "n2-backward" => A::N2Backward,
+        "landskov" => A::N2ForwardLandskov,
+        "table-forward" => A::TableForward,
+        "table-backward" => A::TableBackward,
+        "bitmap" => A::TableBackwardBitmap,
+        _ => return Err(format!("unknown algo `{v}`")),
+    })
+}
+
+/// Parse a memory-policy name (shared with the CLI's `--policy`).
+pub fn parse_policy(v: &str) -> Result<dagsched_core::MemDepPolicy, String> {
+    use dagsched_core::MemDepPolicy as P;
+    Ok(match v {
+        "single" => P::SingleResource,
+        "base-offset" => P::BaseOffset,
+        "storage-class" => P::StorageClass,
+        "symbolic" => P::SymbolicExpr,
+        _ => return Err(format!("unknown policy `{v}`")),
+    })
+}
+
+/// Parse a published-scheduler name (shared with the CLI's
+/// `--scheduler`).
+pub fn parse_scheduler_kind(v: &str) -> Result<SchedulerKind, String> {
+    Ok(match v {
+        "gibbons-muchnick" | "gm" => SchedulerKind::GibbonsMuchnick,
+        "krishnamurthy" => SchedulerKind::Krishnamurthy,
+        "schlansker" => SchedulerKind::Schlansker,
+        "shieh-papachristou" | "shieh" => SchedulerKind::ShiehPapachristou,
+        "tiemann" | "gcc" => SchedulerKind::Tiemann,
+        "warren" => SchedulerKind::Warren,
+        _ => return Err(format!("unknown scheduler `{v}`")),
+    })
+}
+
+/// Parse a machine-model name (shared with the CLI's `--model`).
+pub fn parse_model(v: &str) -> Result<MachineModel, String> {
+    Ok(match v {
+        "sparc2" => MachineModel::sparc2(),
+        "rs6000" => MachineModel::rs6000_like(),
+        "deep-fpu" => MachineModel::deep_fpu(),
+        _ => return Err(format!("unknown model `{v}`")),
+    })
+}
+
+/// Resolve a request's configuration strings into a driver config and a
+/// machine model, surfacing unknown names as `bad-request` replies.
+pub fn build_driver_config(
+    req: &ScheduleRequest,
+) -> Result<(DriverConfig, MachineModel), ErrorReply> {
+    let bad = |m: String| ErrorReply::new(ErrorCode::BadRequest, m);
+    let kind = parse_scheduler_kind(&req.scheduler).map_err(bad)?;
+    let mut scheduler = Scheduler::new(kind);
+    if !req.algo.is_empty() {
+        scheduler = scheduler.with_construction(parse_algo(&req.algo).map_err(bad)?);
+    }
+    if !req.policy.is_empty() {
+        scheduler = scheduler.with_policy(parse_policy(&req.policy).map_err(bad)?);
+    }
+    let model = parse_model(&req.machine).map_err(bad)?;
+    Ok((
+        DriverConfig {
+            scheduler,
+            inherit_latencies: req.inherit,
+            fill_delay_slots: req.fill_slots,
+        },
+        model,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"{\"asm\":\"nop\"}").unwrap();
+        let mut r = &buf[..];
+        let (kind, payload) = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(payload, b"{\"asm\":\"nop\"}");
+    }
+
+    #[test]
+    fn bad_headers_are_typed_errors() {
+        let mut good = Vec::new();
+        write_frame(&mut good, FrameKind::Ping, b"").unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut &bad_magic[..], 1024),
+            Err(FrameReadError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[2] = 9;
+        assert!(matches!(
+            read_frame(&mut &bad_version[..], 1024),
+            Err(FrameReadError::BadVersion(9))
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[3] = 200;
+        assert!(matches!(
+            read_frame(&mut &bad_kind[..], 1024),
+            Err(FrameReadError::UnknownKind(200))
+        ));
+
+        let mut oversized = good.clone();
+        oversized[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &oversized[..], 1024),
+            Err(FrameReadError::Oversized { .. })
+        ));
+
+        // Truncated payload: header promises 100 bytes, stream has none.
+        let mut truncated = good.clone();
+        truncated[4..8].copy_from_slice(&100u32.to_le_bytes());
+        match read_frame(&mut &truncated[..], 1024) {
+            Err(FrameReadError::Io(e)) => {
+                assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let mut req = ScheduleRequest::asm("add %o0, %o1, %o2");
+        req.machine = "rs6000".to_string();
+        req.scheduler = "gm".to_string();
+        req.algo = "bitmap".to_string();
+        req.deadline_ms = Some(250);
+        req.sim = true;
+        req.jobs = 4;
+        let back = ScheduleRequest::from_json(&Json::parse(&req.to_json().to_string()).unwrap())
+            .unwrap();
+        assert_eq!(req, back);
+
+        let prof = ScheduleRequest::profile("grep", 7);
+        let back = ScheduleRequest::from_json(&Json::parse(&prof.to_json().to_string()).unwrap())
+            .unwrap();
+        assert_eq!(prof, back);
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let resp = ScheduleResponse {
+            insns: vec!["nop".to_string(), "add %o0, %o1, %o2".to_string()],
+            blocks: vec![BlockSummary {
+                block: 0,
+                len: 2,
+                original_makespan: 5,
+                scheduled_makespan: 3,
+            }],
+            stats: PhaseStats {
+                blocks: 1,
+                nodes: 2,
+                cache_hits: 1,
+                ..PhaseStats::default()
+            },
+            cycles: Some((10, 7)),
+        };
+        let back =
+            ScheduleResponse::from_json(&Json::parse(&resp.to_json().to_string()).unwrap())
+                .unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn bad_config_names_become_bad_request_errors() {
+        let mut req = ScheduleRequest::asm("nop");
+        req.scheduler = "does-not-exist".to_string();
+        let err = build_driver_config(&req).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("does-not-exist"));
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::MalformedFrame,
+            ErrorCode::OversizedFrame,
+            ErrorCode::BadRequest,
+            ErrorCode::ParseError,
+            ErrorCode::BlockTooLarge,
+            ErrorCode::DeadlineExpired,
+            ErrorCode::Busy,
+            ErrorCode::Draining,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
+        }
+    }
+}

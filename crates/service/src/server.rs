@@ -1,0 +1,521 @@
+//! The daemon: listeners, accept loop, connection handling, drain.
+//!
+//! One accept thread per server polls a non-blocking listener (TCP or
+//! Unix) and hands each accepted connection to a fixed
+//! [`WorkerPool`](crate::pool::WorkerPool). The pool's bounded queue is
+//! the backpressure mechanism: when it is full the accept thread writes
+//! a `busy` error frame and closes the connection immediately, so
+//! overload shows up as an explicit, machine-readable rejection rather
+//! than unbounded queueing.
+//!
+//! Connections are served keep-alive: a worker reads frames until the
+//! client hangs up, answering each `Request` with a `Response` or a
+//! typed `Error`. No input — malformed header, oversized frame,
+//! truncated payload, junk JSON, unknown scheduler — can panic a
+//! worker; every failure maps to an [`ErrorReply`] (see
+//! [`crate::proto`]).
+//!
+//! # Drain
+//!
+//! [`ServerHandle::begin_drain`], a `Shutdown` frame, or SIGTERM (when
+//! [`ServerConfig::handle_sigterm`] is set) all flip one flag. The
+//! accept thread stops accepting; connections already accepted get
+//! their in-flight request completed (a connection that has already
+//! been answered once is told `draining` instead); the worker pool
+//! drains its queue and joins; a Unix socket path is unlinked. A
+//! served request is therefore never dropped on shutdown.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dagsched_core::Scratch;
+
+use crate::cache::{CacheConfig, ScheduleCache};
+use crate::engine::{execute, EngineLimits};
+use crate::metrics::Metrics;
+use crate::proto::{
+    read_frame_or_eof, write_frame, ErrorCode, ErrorReply, FrameKind, FrameReadError,
+    ScheduleRequest, DEFAULT_MAX_FRAME,
+};
+use crate::{json::Json, pool::SubmitError, pool::WorkerPool};
+
+/// How often the accept loop re-checks the drain flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Where to listen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address, e.g. `127.0.0.1:7117` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// Parse an endpoint string: `tcp:HOST:PORT`, `unix:/path`, or a bare
+/// `HOST:PORT` (TCP).
+pub fn parse_endpoint(s: &str) -> Result<Listen, String> {
+    if let Some(rest) = s.strip_prefix("unix:") {
+        if rest.is_empty() {
+            return Err("unix endpoint needs a path".to_string());
+        }
+        Ok(Listen::Unix(PathBuf::from(rest)))
+    } else if let Some(rest) = s.strip_prefix("tcp:") {
+        Ok(Listen::Tcp(rest.to_string()))
+    } else if s.contains(':') {
+        Ok(Listen::Tcp(s.to_string()))
+    } else {
+        Err(format!(
+            "cannot parse endpoint `{s}` (use tcp:HOST:PORT or unix:/path)"
+        ))
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded connection-queue depth; beyond this, `busy`.
+    pub queue: usize,
+    /// Schedule-cache bounds.
+    pub cache: CacheConfig,
+    /// Largest accepted frame payload.
+    pub max_frame: usize,
+    /// Largest schedulable block (`None` = unlimited).
+    pub max_block: Option<usize>,
+    /// Deadline applied to requests that carry none.
+    pub default_deadline_ms: Option<u64>,
+    /// Cap on per-request `jobs`.
+    pub max_jobs: usize,
+    /// Per-connection read timeout (an idle client is disconnected).
+    pub read_timeout_ms: u64,
+    /// Install a SIGTERM handler that triggers a graceful drain.
+    pub handle_sigterm: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue: 64,
+            cache: CacheConfig::default(),
+            max_frame: DEFAULT_MAX_FRAME,
+            max_block: None,
+            default_deadline_ms: None,
+            max_jobs: 8,
+            read_timeout_ms: 10_000,
+            handle_sigterm: false,
+        }
+    }
+}
+
+/// State shared by the accept thread and every worker.
+struct Shared {
+    cache: ScheduleCache,
+    metrics: Metrics,
+    drain: AtomicBool,
+    limits: EngineLimits,
+    max_frame: usize,
+}
+
+/// One accepted connection (either transport).
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum ListenerImpl {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl ListenerImpl {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            ListenerImpl::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            ListenerImpl::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::begin_drain`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+    local_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (useful with port 0).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// The bound Unix socket path, if listening on one.
+    pub fn unix_path(&self) -> Option<&PathBuf> {
+        self.unix_path.as_ref()
+    }
+
+    /// An endpoint string a [`crate::client::Client`] can connect to.
+    pub fn endpoint(&self) -> String {
+        match (&self.local_addr, &self.unix_path) {
+            (Some(addr), _) => format!("tcp:{addr}"),
+            (None, Some(path)) => format!("unix:{}", path.display()),
+            (None, None) => unreachable!("server listens somewhere"),
+        }
+    }
+
+    /// Stop accepting connections and begin a graceful drain.
+    pub fn begin_drain(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested (by any trigger).
+    pub fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot the server counters.
+    pub fn metrics(&self) -> Json {
+        self.shared
+            .metrics
+            .snapshot(&self.shared.cache.stats())
+    }
+
+    /// Wait for the accept thread and worker pool to finish (after a
+    /// drain has been triggered).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// SIGTERM flag. Written from the signal handler, so it must be a
+/// lock-free atomic and nothing else.
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" fn on_term(_sig: i32) {
+        SIGTERM_SEEN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// Bind `listen` and start serving under `config`.
+pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
+    let (listener, local_addr, unix_path) = match listen {
+        Listen::Tcp(addr) => {
+            let l = TcpListener::bind(&addr)?;
+            l.set_nonblocking(true)?;
+            let bound = l.local_addr()?;
+            (ListenerImpl::Tcp(l), Some(bound), None)
+        }
+        #[cfg(unix)]
+        Listen::Unix(path) => {
+            // A stale socket file from a crashed predecessor would make
+            // bind fail; remove it only if it is a socket nobody serves.
+            if path.exists() && UnixStream::connect(&path).is_err() {
+                let _ = std::fs::remove_file(&path);
+            }
+            let l = UnixListener::bind(&path)?;
+            l.set_nonblocking(true)?;
+            (ListenerImpl::Unix(l, path.clone()), None, Some(path))
+        }
+        #[cfg(not(unix))]
+        Listen::Unix(_) => {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ))
+        }
+    };
+
+    if config.handle_sigterm {
+        install_sigterm_handler();
+    }
+
+    let shared = Arc::new(Shared {
+        cache: ScheduleCache::new(config.cache),
+        metrics: Metrics::default(),
+        drain: AtomicBool::new(false),
+        limits: EngineLimits {
+            max_block: config.max_block,
+            default_deadline_ms: config.default_deadline_ms,
+            max_jobs: config.max_jobs,
+        },
+        max_frame: config.max_frame,
+    });
+
+    let pool_shared = Arc::clone(&shared);
+    let pool: WorkerPool<Conn> = WorkerPool::new(
+        config.workers,
+        config.queue,
+        |_| Scratch::new(),
+        move |_, scratch, conn| serve_conn(&pool_shared, scratch, conn),
+    );
+
+    let accept_shared = Arc::clone(&shared);
+    let read_timeout = Duration::from_millis(config.read_timeout_ms.max(1));
+    let thread = std::thread::Builder::new()
+        .name("dagsched-accept".to_string())
+        .spawn(move || {
+            accept_loop(listener, accept_shared, pool, read_timeout);
+        })?;
+
+    Ok(ServerHandle {
+        shared,
+        thread: Some(thread),
+        local_addr,
+        unix_path,
+    })
+}
+
+fn accept_loop(
+    listener: ListenerImpl,
+    shared: Arc<Shared>,
+    mut pool: WorkerPool<Conn>,
+    read_timeout: Duration,
+) {
+    loop {
+        if SIGTERM_SEEN.load(Ordering::SeqCst) {
+            shared.drain.store(true, Ordering::SeqCst);
+        }
+        if shared.drain.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                Metrics::bump(&shared.metrics.connections);
+                set_read_timeout(&conn, read_timeout);
+                match pool.try_submit(conn) {
+                    Ok(()) => {}
+                    Err(SubmitError::Full(mut conn)) => {
+                        Metrics::bump(&shared.metrics.busy_rejections);
+                        send_error(
+                            &shared,
+                            &mut conn,
+                            &ErrorReply::new(
+                                ErrorCode::Busy,
+                                "all workers busy and the queue is full; retry later",
+                            ),
+                        );
+                    }
+                    Err(SubmitError::Closed(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Listener failure (fd limit, socket unlinked, …): stop
+                // accepting; the drain path below still completes
+                // queued work.
+                break;
+            }
+        }
+    }
+    // Graceful drain: stop accepting, finish queued + in-flight
+    // connections, then tear down.
+    pool.close_and_join();
+    #[cfg(unix)]
+    if let ListenerImpl::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn set_read_timeout(conn: &Conn, timeout: Duration) {
+    match conn {
+        Conn::Tcp(s) => {
+            let _ = s.set_read_timeout(Some(timeout));
+        }
+        #[cfg(unix)]
+        Conn::Unix(s) => {
+            let _ = s.set_read_timeout(Some(timeout));
+        }
+    }
+}
+
+/// Serialize-and-send helpers. Write failures are ignored: the peer is
+/// gone and the connection is about to be dropped anyway.
+fn send_error(shared: &Shared, conn: &mut Conn, reply: &ErrorReply) {
+    Metrics::bump(&shared.metrics.errors);
+    let payload = reply.to_json().to_string();
+    let _ = write_frame(conn, FrameKind::Error, payload.as_bytes());
+}
+
+fn send_ok(conn: &mut Conn, kind: FrameKind, payload: &Json) {
+    let _ = write_frame(conn, kind, payload.to_string().as_bytes());
+}
+
+/// Serve one keep-alive connection until EOF, error, or drain.
+fn serve_conn(shared: &Shared, scratch: &mut Scratch, mut conn: Conn) {
+    let mut served = 0usize;
+    loop {
+        let frame = match read_frame_or_eof(&mut conn, shared.max_frame) {
+            Ok(None) => return, // orderly hangup
+            Ok(Some(frame)) => frame,
+            Err(FrameReadError::Oversized { len, max }) => {
+                send_error(
+                    shared,
+                    &mut conn,
+                    &ErrorReply::new(
+                        ErrorCode::OversizedFrame,
+                        format!("frame payload of {len} bytes exceeds the {max}-byte cap"),
+                    ),
+                );
+                return;
+            }
+            Err(FrameReadError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle past the read timeout; hang up quietly.
+                return;
+            }
+            Err(e) => {
+                send_error(
+                    shared,
+                    &mut conn,
+                    &ErrorReply::new(ErrorCode::MalformedFrame, e.to_string()),
+                );
+                return;
+            }
+        };
+        match frame {
+            (FrameKind::Ping, _) => send_ok(&mut conn, FrameKind::Pong, &Json::Null),
+            (FrameKind::Metrics, _) => {
+                let snap = shared.metrics.snapshot(&shared.cache.stats());
+                send_ok(&mut conn, FrameKind::Metrics, &snap);
+            }
+            (FrameKind::Shutdown, _) => {
+                shared.drain.store(true, Ordering::SeqCst);
+                send_ok(&mut conn, FrameKind::Pong, &Json::Null);
+                return;
+            }
+            (FrameKind::Request, payload) => {
+                Metrics::bump(&shared.metrics.requests);
+                if shared.drain.load(Ordering::SeqCst) && served > 0 {
+                    // In-flight work is completed during a drain, but a
+                    // connection that already got its answer is asked
+                    // to go away.
+                    Metrics::bump(&shared.metrics.drain_rejections);
+                    send_error(
+                        shared,
+                        &mut conn,
+                        &ErrorReply::new(ErrorCode::Draining, "server is draining"),
+                    );
+                    return;
+                }
+                match handle_request(shared, scratch, &payload) {
+                    Ok(response) => {
+                        Metrics::bump(&shared.metrics.responses);
+                        send_ok(&mut conn, FrameKind::Response, &response);
+                    }
+                    Err(reply) => {
+                        if reply.code == ErrorCode::DeadlineExpired {
+                            Metrics::bump(&shared.metrics.deadline_expirations);
+                        }
+                        send_error(shared, &mut conn, &reply);
+                    }
+                }
+                served += 1;
+            }
+            (other, _) => {
+                send_error(
+                    shared,
+                    &mut conn,
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!("unexpected client frame kind {other:?}"),
+                    ),
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, scratch: &mut Scratch, payload: &[u8]) -> Result<Json, ErrorReply> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "request payload is not UTF-8"))?;
+    let value = Json::parse(text)
+        .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("request is not JSON: {e}")))?;
+    let request = ScheduleRequest::from_json(&value)?;
+    let response = execute(&request, &shared.limits, &shared.cache, scratch)?;
+    Ok(response.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_parse() {
+        assert_eq!(
+            parse_endpoint("tcp:127.0.0.1:7117"),
+            Ok(Listen::Tcp("127.0.0.1:7117".to_string()))
+        );
+        assert_eq!(
+            parse_endpoint("127.0.0.1:0"),
+            Ok(Listen::Tcp("127.0.0.1:0".to_string()))
+        );
+        assert_eq!(
+            parse_endpoint("unix:/tmp/d.sock"),
+            Ok(Listen::Unix(PathBuf::from("/tmp/d.sock")))
+        );
+        assert!(parse_endpoint("nonsense").is_err());
+        assert!(parse_endpoint("unix:").is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! End-to-end tests for the scheduling daemon: concurrent determinism
+//! against the serial driver, protocol robustness against malformed
+//! input, typed limit errors, backpressure, and graceful drain.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use dagsched_driver::{schedule_program_batch, DriverConfig, Limits, NoCache};
+use dagsched_isa::MachineModel;
+use dagsched_sched::{Scheduler, SchedulerKind};
+use dagsched_service::proto::{read_frame, write_frame, ErrorReply, FrameKind};
+use dagsched_service::server::{serve, Listen, ServerConfig};
+use dagsched_service::{CacheConfig, Client, ClientError, ErrorCode, ScheduleRequest};
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn tcp_server(config: ServerConfig) -> dagsched_service::ServerHandle {
+    serve(Listen::Tcp("127.0.0.1:0".to_string()), config).expect("bind ephemeral TCP port")
+}
+
+/// What the serial, uncached, in-process driver emits for a profile
+/// under the server's default configuration (warren, no inherit, no
+/// delay-slot filling).
+fn serial_reference(profile: &str, seed: u64) -> Vec<String> {
+    let bench = generate(BenchmarkProfile::by_name(profile).unwrap(), seed);
+    let model = MachineModel::sparc2();
+    let config = DriverConfig {
+        scheduler: Scheduler::new(SchedulerKind::Warren),
+        inherit_latencies: false,
+        fill_delay_slots: false,
+    };
+    let (result, _) = schedule_program_batch(
+        &bench.program,
+        &model,
+        &config,
+        1,
+        &Limits::none(),
+        &NoCache,
+    )
+    .expect("serial reference");
+    result.insns.iter().map(|i| i.to_string()).collect()
+}
+
+/// ISSUE acceptance: responses produced by concurrent clients hammering
+/// a warm-and-cold cache are bit-identical to the serial driver.
+#[test]
+fn concurrent_clients_match_the_serial_driver() {
+    let handle = tcp_server(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let endpoint = handle.endpoint();
+    let reference = serial_reference("grep", PAPER_SEED);
+
+    let mut threads = Vec::new();
+    for _ in 0..6 {
+        let endpoint = endpoint.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&endpoint).expect("connect");
+            let mut responses = Vec::new();
+            for _ in 0..4 {
+                let resp = client
+                    .request(&ScheduleRequest::profile("grep", PAPER_SEED))
+                    .expect("request");
+                responses.push(resp);
+            }
+            responses
+        }));
+    }
+    let mut total_hits = 0u64;
+    for t in threads {
+        for resp in t.join().expect("client thread") {
+            assert_eq!(resp.insns, reference, "wire response != serial driver");
+            total_hits += resp.stats.cache_hits;
+        }
+    }
+    // 24 identical requests against one cache: the steady state is hits.
+    assert!(total_hits > 0, "no cache hits across 24 identical requests");
+
+    handle.begin_drain();
+    handle.join();
+}
+
+fn raw_tcp(handle: &dagsched_service::ServerHandle) -> TcpStream {
+    let addr = handle.local_addr().expect("tcp server has an address");
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+fn expect_error_frame(stream: &mut TcpStream) -> ErrorReply {
+    let (kind, payload) = read_frame(stream, 1 << 20).expect("server reply frame");
+    assert_eq!(kind, FrameKind::Error, "expected an error frame");
+    let text = std::str::from_utf8(&payload).expect("error payload is UTF-8");
+    let value = dagsched_service::json::Json::parse(text).expect("error payload is JSON");
+    ErrorReply::from_json(&value).expect("decodable error reply")
+}
+
+#[test]
+fn garbage_bytes_get_a_malformed_frame_error() {
+    let handle = tcp_server(ServerConfig::default());
+    let mut s = raw_tcp(&handle);
+    s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let reply = expect_error_frame(&mut s);
+    assert_eq!(reply.code, ErrorCode::MalformedFrame);
+    handle.begin_drain();
+    handle.join();
+}
+
+#[test]
+fn oversized_frames_are_rejected_without_allocation() {
+    let handle = tcp_server(ServerConfig {
+        max_frame: 1024,
+        ..ServerConfig::default()
+    });
+    let mut s = raw_tcp(&handle);
+    // A well-formed header declaring a payload far beyond the cap.
+    let mut header = Vec::new();
+    header.extend_from_slice(b"DS");
+    header.push(1); // version
+    header.push(FrameKind::Request as u8);
+    header.extend_from_slice(&(64u32 << 20).to_le_bytes());
+    s.write_all(&header).unwrap();
+    let reply = expect_error_frame(&mut s);
+    assert_eq!(reply.code, ErrorCode::OversizedFrame);
+    handle.begin_drain();
+    handle.join();
+}
+
+#[test]
+fn truncated_frames_are_detected() {
+    let handle = tcp_server(ServerConfig::default());
+    let mut s = raw_tcp(&handle);
+    // Half a header, then an orderly half-close: not a clean hangup.
+    s.write_all(b"DS\x01\x01").unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let reply = expect_error_frame(&mut s);
+    assert_eq!(reply.code, ErrorCode::MalformedFrame);
+    assert!(
+        reply.message.contains("truncated"),
+        "message should name the truncation: {}",
+        reply.message
+    );
+    handle.begin_drain();
+    handle.join();
+}
+
+#[test]
+fn bad_requests_and_expired_deadlines_are_typed_errors() {
+    let handle = tcp_server(ServerConfig {
+        max_block: Some(4),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+
+    // An already-expired deadline (the block itself is within limits,
+    // so the deadline is the check that fires).
+    let mut req = ScheduleRequest::asm("add %o0, %o1, %o2");
+    req.deadline_ms = Some(0);
+    match client.request(&req) {
+        Err(ClientError::Server(reply)) => assert_eq!(reply.code, ErrorCode::DeadlineExpired),
+        other => panic!("expected a deadline-expired error, got {other:?}"),
+    }
+
+    // A block over the server's size cap.
+    let req = ScheduleRequest::asm(
+        "add %o0, %o1, %o2\n\
+         add %o2, %o1, %o3\n\
+         add %o3, %o1, %o4\n\
+         add %o4, %o1, %o5\n\
+         add %o5, %o1, %o0",
+    );
+    match client.request(&req) {
+        Err(ClientError::Server(reply)) => assert_eq!(reply.code, ErrorCode::BlockTooLarge),
+        other => panic!("expected a block-too-large error, got {other:?}"),
+    }
+
+    // Unknown scheduler name.
+    let mut req = ScheduleRequest::asm("add %o0, %o1, %o2");
+    req.scheduler = "belady".to_string();
+    match client.request(&req) {
+        Err(ClientError::Server(reply)) => assert_eq!(reply.code, ErrorCode::BadRequest),
+        other => panic!("expected a bad-request error, got {other:?}"),
+    }
+
+    // The connection survives typed errors: a valid request still works.
+    let resp = client
+        .request(&ScheduleRequest::asm("add %o0, %o1, %o2"))
+        .expect("valid request after errors");
+    assert_eq!(resp.insns.len(), 1);
+
+    handle.begin_drain();
+    handle.join();
+}
+
+#[test]
+fn full_queue_answers_busy() {
+    let handle = tcp_server(ServerConfig {
+        workers: 1,
+        queue: 1,
+        cache: CacheConfig::default(),
+        ..ServerConfig::default()
+    });
+    let endpoint = handle.endpoint();
+
+    // Occupy the only worker with a lingering request.
+    let endpoint_a = endpoint.clone();
+    let worker_hog = std::thread::spawn(move || {
+        let mut client = Client::connect(&endpoint_a).expect("connect A");
+        let mut req = ScheduleRequest::asm("add %o0, %o1, %o2");
+        req.linger_ms = 600;
+        client.request(&req).expect("lingering request")
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Fill the one queue slot with a second connection.
+    let _parked = raw_tcp(&handle);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The third connection must be told `busy` immediately.
+    let mut s = raw_tcp(&handle);
+    let reply = expect_error_frame(&mut s);
+    assert_eq!(reply.code, ErrorCode::Busy);
+
+    let resp = worker_hog.join().expect("hog thread");
+    assert_eq!(resp.insns.len(), 1, "lingering request still completes");
+    handle.begin_drain();
+    handle.join();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_work() {
+    let handle = tcp_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let endpoint = handle.endpoint();
+
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let mut req = ScheduleRequest::profile("grep", PAPER_SEED);
+        req.linger_ms = 300;
+        let first = client.request(&req).expect("in-flight request survives drain");
+        // The same connection's *next* request is refused.
+        let second = client.request(&ScheduleRequest::asm("add %o0, %o1, %o2"));
+        (first, second)
+    });
+    // Let the worker pick the request up, then pull the plug.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.begin_drain();
+
+    let (first, second) = in_flight.join().expect("client thread");
+    assert!(!first.insns.is_empty());
+    match second {
+        Err(ClientError::Server(reply)) => assert_eq!(reply.code, ErrorCode::Draining),
+        other => panic!("expected a draining error, got {other:?}"),
+    }
+    assert!(handle.draining());
+    handle.join();
+}
+
+#[test]
+fn shutdown_frame_drains_the_server() {
+    let handle = tcp_server(ServerConfig::default());
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+    client.ping().expect("ping");
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.get("connections").is_some());
+    client.shutdown_server().expect("shutdown ack");
+    // The shutdown frame flips the drain flag; the accept loop then
+    // exits on its own and `join` returns.
+    handle.join();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_roundtrip_and_cleanup() {
+    let dir = std::env::temp_dir().join(format!("dagsched-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("server-test.sock");
+    let handle = serve(Listen::Unix(path.clone()), ServerConfig::default()).expect("bind unix");
+    let mut client = Client::connect(&handle.endpoint()).expect("connect unix");
+    let resp = client
+        .request(&ScheduleRequest::asm("add %o0, %o1, %o2"))
+        .expect("unix request");
+    assert_eq!(resp.insns.len(), 1);
+    handle.begin_drain();
+    handle.join();
+    assert!(!path.exists(), "socket file is unlinked on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

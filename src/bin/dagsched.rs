@@ -6,22 +6,33 @@
 //! dagsched heur     block.s            # heuristic annotation tables
 //! dagsched schedule block.s --scheduler warren --fill-slots
 //! dagsched sim      block.s            # pipeline cycles before/after
+//! dagsched serve    --listen unix:/tmp/dagsched.sock
+//! dagsched request  block.s --connect unix:/tmp/dagsched.sock
 //! ```
 //!
 //! Input is SPARC-flavoured assembly (or the paper's Figure 1 `DIVF
 //! R1,R2,R3` notation); `-` or no file reads stdin.
+//!
+//! `schedule` and `sim` honour the same `--timeout-ms` / `--max-block`
+//! guards as the daemon — both front ends funnel through
+//! [`dagsched::batch::Limits`], so a block the service would reject is
+//! rejected identically here.
 
 use std::io::Read;
+use std::time::Duration;
 
+use dagsched::batch::{schedule_program_batch, Limits, NoCache};
 use dagsched::core::{
     build_dag, dump_annotations, to_dot, ConstructionAlgorithm, HeuristicSet, MemDepPolicy,
     PhaseStats,
 };
 use dagsched::driver::DriverConfig;
 use dagsched::isa::{MachineModel, Program};
-use dagsched::parallel::schedule_program_jobs;
 use dagsched::pipesim::{render_timeline, simulate, SimOptions};
 use dagsched::sched::{Scheduler, SchedulerKind};
+use dagsched::service::proto::{parse_algo, parse_model, parse_policy, parse_scheduler_kind};
+use dagsched::service::server::{serve, ServerConfig};
+use dagsched::service::{CacheConfig, Client, ScheduleRequest};
 use dagsched::workloads::parse_asm;
 
 struct Options {
@@ -31,6 +42,11 @@ struct Options {
     policy: MemDepPolicy,
     scheduler: SchedulerKind,
     model: MachineModel,
+    /// The raw flag values, kept for wire requests.
+    algo_name: String,
+    policy_name: String,
+    scheduler_name: String,
+    model_name: String,
     block: Option<usize>,
     inherit: bool,
     fill_slots: bool,
@@ -39,10 +55,33 @@ struct Options {
     jobs: usize,
     /// Print the per-phase counters after scheduling.
     stats: bool,
+    /// Abandon scheduling after this many milliseconds.
+    timeout_ms: Option<u64>,
+    /// Reject blocks larger than this many instructions.
+    max_block: Option<usize>,
+    /// `serve`: endpoint to listen on; `request`: endpoint to dial.
+    endpoint: String,
+    /// `serve`: worker threads.
+    workers: usize,
+    /// `serve`: bounded connection-queue depth.
+    queue: usize,
+    /// `serve`: schedule-cache byte budget in MiB.
+    cache_mb: usize,
+    /// `request`: generated workload instead of an input file.
+    profile: Option<String>,
+    /// `request`: workload generator seed.
+    seed: u64,
+    /// `request`: ask the server for before/after cycle counts.
+    sim: bool,
 }
 
 fn main() {
     let opts = parse_args().unwrap_or_else(|e| usage(&e));
+    match opts.command.as_str() {
+        "serve" => return cmd_serve(&opts),
+        "request" => return cmd_request(&opts),
+        _ => {}
+    }
     let text = read_input(&opts.file).unwrap_or_else(|e| die(&format!("reading input: {e}")));
     let program = parse_asm(&text).unwrap_or_else(|e| die(&format!("parse error: {e}")));
     if program.is_empty() {
@@ -55,6 +94,29 @@ fn main() {
         "schedule" => cmd_schedule(&program, &opts),
         "sim" => cmd_sim(&program, &opts),
         other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+/// The shared guard set for one-shot runs: the same [`Limits`] the
+/// daemon enforces per request.
+fn limits(opts: &Options) -> Limits {
+    let mut l = Limits::none();
+    if let Some(max) = opts.max_block {
+        l = l.with_max_block(max);
+    }
+    if let Some(ms) = opts.timeout_ms {
+        l = l.with_deadline_in(Duration::from_millis(ms));
+    }
+    l
+}
+
+fn driver_config(opts: &Options) -> DriverConfig {
+    DriverConfig {
+        scheduler: Scheduler::new(opts.scheduler)
+            .with_construction(opts.algo)
+            .with_policy(opts.policy),
+        inherit_latencies: opts.inherit,
+        fill_delay_slots: opts.fill_slots,
     }
 }
 
@@ -126,14 +188,10 @@ fn cmd_heur(program: &Program, opts: &Options) {
 }
 
 fn cmd_schedule(program: &Program, opts: &Options) {
-    let cfg = DriverConfig {
-        scheduler: Scheduler::new(opts.scheduler)
-            .with_construction(opts.algo)
-            .with_policy(opts.policy),
-        inherit_latencies: opts.inherit,
-        fill_delay_slots: opts.fill_slots,
-    };
-    let (result, stats) = schedule_program_jobs(program, &opts.model, &cfg, opts.jobs);
+    let cfg = driver_config(opts);
+    let (result, stats) =
+        schedule_program_batch(program, &opts.model, &cfg, opts.jobs, &limits(opts), &NoCache)
+            .unwrap_or_else(|e| die(&e.to_string()));
     for insn in &result.insns {
         println!("    {insn}");
     }
@@ -163,13 +221,12 @@ fn cmd_sim(program: &Program, opts: &Options) {
         r.ipc()
     );
     let cfg = DriverConfig {
-        scheduler: Scheduler::new(opts.scheduler)
-            .with_construction(opts.algo)
-            .with_policy(opts.policy),
-        inherit_latencies: opts.inherit,
         fill_delay_slots: false,
+        ..driver_config(opts)
     };
-    let (result, stats) = schedule_program_jobs(program, &opts.model, &cfg, opts.jobs);
+    let (result, stats) =
+        schedule_program_batch(program, &opts.model, &cfg, opts.jobs, &limits(opts), &NoCache)
+            .unwrap_or_else(|e| die(&e.to_string()));
     let after = simulate(&result.insns, &opts.model, SimOptions::default());
     if opts.timeline {
         print!(
@@ -188,6 +245,89 @@ fn cmd_sim(program: &Program, opts: &Options) {
     report_stats(opts, &stats);
 }
 
+fn cmd_serve(opts: &Options) {
+    let listen = match dagsched::service::parse_endpoint(&opts.endpoint) {
+        Ok(l) => l,
+        Err(e) => die(&format!("--listen: {e}")),
+    };
+    let config = ServerConfig {
+        workers: opts.workers,
+        queue: opts.queue,
+        cache: CacheConfig {
+            max_bytes: opts.cache_mb << 20,
+            ..CacheConfig::default()
+        },
+        max_block: opts.max_block,
+        default_deadline_ms: opts.timeout_ms,
+        handle_sigterm: true,
+        ..ServerConfig::default()
+    };
+    let handle = serve(listen, config).unwrap_or_else(|e| die(&format!("serve: {e}")));
+    eprintln!(
+        "dagsched: serving on {} ({} workers, queue {}, cache {} MiB)",
+        handle.endpoint(),
+        opts.workers,
+        opts.queue,
+        opts.cache_mb
+    );
+    handle.join();
+    eprintln!("dagsched: drained, exiting");
+}
+
+fn cmd_request(opts: &Options) {
+    let mut req = match &opts.profile {
+        Some(name) => ScheduleRequest::profile(name.clone(), opts.seed),
+        None => {
+            let text =
+                read_input(&opts.file).unwrap_or_else(|e| die(&format!("reading input: {e}")));
+            if text.trim().is_empty() {
+                die("no instructions in input");
+            }
+            ScheduleRequest::asm(text)
+        }
+    };
+    req.machine = opts.model_name.clone();
+    req.scheduler = opts.scheduler_name.clone();
+    req.algo = opts.algo_name.clone();
+    req.policy = opts.policy_name.clone();
+    req.inherit = opts.inherit;
+    req.fill_slots = opts.fill_slots;
+    req.jobs = opts.jobs;
+    req.deadline_ms = opts.timeout_ms;
+    req.sim = opts.sim;
+    let mut client =
+        Client::connect(&opts.endpoint).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let resp = client
+        .request(&req)
+        .unwrap_or_else(|e| die(&format!("request: {e}")));
+    for insn in &resp.insns {
+        println!("    {insn}");
+    }
+    let (before, after): (u64, u64) = resp
+        .blocks
+        .iter()
+        .fold((0, 0), |(b, a), s| {
+            (b + s.original_makespan, a + s.scheduled_makespan)
+        });
+    eprintln!(
+        "! {}: {} blocks, {} -> {} cycles",
+        req.scheduler,
+        resp.blocks.len(),
+        before,
+        after
+    );
+    if let Some((sim_before, sim_after)) = resp.cycles {
+        eprintln!("! sim: {sim_before} -> {sim_after} cycles");
+    }
+    report_stats(opts, &resp.stats);
+    if opts.stats {
+        eprintln!(
+            "! cache: {} hits, {} misses",
+            resp.stats.cache_hits, resp.stats.cache_misses
+        );
+    }
+}
+
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or("missing command")?;
@@ -201,57 +341,47 @@ fn parse_args() -> Result<Options, String> {
         policy: MemDepPolicy::SymbolicExpr,
         scheduler: SchedulerKind::Warren,
         model: MachineModel::sparc2(),
+        algo_name: String::new(),
+        policy_name: String::new(),
+        scheduler_name: "warren".to_string(),
+        model_name: "sparc2".to_string(),
         block: None,
         inherit: false,
         fill_slots: false,
         timeline: false,
         jobs: 1,
         stats: false,
+        timeout_ms: None,
+        max_block: None,
+        endpoint: "tcp:127.0.0.1:4591".to_string(),
+        workers: 4,
+        queue: 64,
+        cache_mb: 64,
+        profile: None,
+        seed: dagsched::workloads::PAPER_SEED,
+        sim: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--algo" => {
                 let v = args.next().ok_or("--algo needs a value")?;
-                opts.algo = match v.as_str() {
-                    "n2" | "n2-forward" => ConstructionAlgorithm::N2Forward,
-                    "n2-backward" => ConstructionAlgorithm::N2Backward,
-                    "landskov" => ConstructionAlgorithm::N2ForwardLandskov,
-                    "table-forward" => ConstructionAlgorithm::TableForward,
-                    "table-backward" => ConstructionAlgorithm::TableBackward,
-                    "bitmap" => ConstructionAlgorithm::TableBackwardBitmap,
-                    _ => return Err(format!("unknown algo `{v}`")),
-                };
+                opts.algo = parse_algo(&v)?;
+                opts.algo_name = v;
             }
             "--policy" => {
                 let v = args.next().ok_or("--policy needs a value")?;
-                opts.policy = match v.as_str() {
-                    "single" => MemDepPolicy::SingleResource,
-                    "base-offset" => MemDepPolicy::BaseOffset,
-                    "storage-class" => MemDepPolicy::StorageClass,
-                    "symbolic" => MemDepPolicy::SymbolicExpr,
-                    _ => return Err(format!("unknown policy `{v}`")),
-                };
+                opts.policy = parse_policy(&v)?;
+                opts.policy_name = v;
             }
             "--scheduler" => {
                 let v = args.next().ok_or("--scheduler needs a value")?;
-                opts.scheduler = match v.as_str() {
-                    "gibbons-muchnick" | "gm" => SchedulerKind::GibbonsMuchnick,
-                    "krishnamurthy" => SchedulerKind::Krishnamurthy,
-                    "schlansker" => SchedulerKind::Schlansker,
-                    "shieh-papachristou" | "shieh" => SchedulerKind::ShiehPapachristou,
-                    "tiemann" | "gcc" => SchedulerKind::Tiemann,
-                    "warren" => SchedulerKind::Warren,
-                    _ => return Err(format!("unknown scheduler `{v}`")),
-                };
+                opts.scheduler = parse_scheduler_kind(&v)?;
+                opts.scheduler_name = v;
             }
             "--model" => {
                 let v = args.next().ok_or("--model needs a value")?;
-                opts.model = match v.as_str() {
-                    "sparc2" => MachineModel::sparc2(),
-                    "rs6000" => MachineModel::rs6000_like(),
-                    "deep-fpu" => MachineModel::deep_fpu(),
-                    _ => return Err(format!("unknown model `{v}`")),
-                };
+                opts.model = parse_model(&v)?;
+                opts.model_name = v;
             }
             "--block" => {
                 opts.block = Some(
@@ -266,6 +396,53 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--jobs needs a thread count (0 = all cores)")?;
             }
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--timeout-ms needs a millisecond count")?,
+                );
+            }
+            "--max-block" => {
+                opts.max_block = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-block needs an instruction count")?,
+                );
+            }
+            "--listen" | "--connect" => {
+                opts.endpoint = args.next().ok_or("--listen/--connect need an endpoint")?;
+            }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--workers needs a positive thread count")?;
+            }
+            "--queue" => {
+                opts.queue = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--queue needs a positive depth")?;
+            }
+            "--cache-mb" => {
+                opts.cache_mb = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cache-mb needs a byte budget in MiB")?;
+            }
+            "--profile" => {
+                opts.profile = Some(args.next().ok_or("--profile needs a workload name")?);
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--sim" => opts.sim = true,
             "--stats" => opts.stats = true,
             "--inherit" => opts.inherit = true,
             "--timeline" => opts.timeline = true,
@@ -299,7 +476,7 @@ fn usage(err: &str) -> ! {
         eprintln!("dagsched: {err}\n");
     }
     eprintln!(
-        "usage: dagsched <dag|dot|heur|schedule|sim> [file|-]\n\
+        "usage: dagsched <dag|dot|heur|schedule|sim|serve|request> [file|-]\n\
          \n\
          options:\n\
          \x20 --algo       n2 | n2-backward | landskov | table-forward | table-backward | bitmap\n\
@@ -308,10 +485,24 @@ fn usage(err: &str) -> ! {
          \x20 --model      sparc2 | rs6000 | deep-fpu\n\
          \x20 --block N    restrict to one basic block\n\
          \x20 --jobs N     compile blocks on N threads (0 = all cores; default 1)\n\
+         \x20 --timeout-ms N  abandon scheduling after N milliseconds\n\
+         \x20 --max-block N   reject blocks larger than N instructions\n\
          \x20 --stats      print per-phase counters after scheduling\n\
          \x20 --inherit    carry latencies across blocks\n\
          \x20 --timeline   draw the pipeline timeline under `sim`\n\
-         \x20 --fill-slots fill branch delay slots"
+         \x20 --fill-slots fill branch delay slots\n\
+         \n\
+         serve options:\n\
+         \x20 --listen EP  tcp:HOST:PORT or unix:/path (default tcp:127.0.0.1:4591)\n\
+         \x20 --workers N  worker threads (default 4)\n\
+         \x20 --queue N    connection-queue depth before `busy` (default 64)\n\
+         \x20 --cache-mb N schedule-cache byte budget in MiB (default 64)\n\
+         \n\
+         request options:\n\
+         \x20 --connect EP server endpoint (default tcp:127.0.0.1:4591)\n\
+         \x20 --profile P  schedule a generated workload instead of a file\n\
+         \x20 --seed N     workload generator seed\n\
+         \x20 --sim        ask the server for before/after cycle counts"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -19,6 +19,13 @@
 //!   paper's Table 3, plus a small assembly parser.
 //! * [`stats`] — structural statistics and table rendering used by the
 //!   experiment harness.
+//! * [`driver`] / [`parallel`] / [`batch`] — the whole-program scheduling
+//!   driver (serial, sharded across threads, and the limit-enforcing,
+//!   cache-aware batch loop behind the service daemon).
+//! * [`service`] — the `dagsched-service` daemon: a length-prefixed wire
+//!   protocol over TCP / Unix sockets, a fixed worker pool, and a
+//!   content-addressed schedule cache (`dagsched serve` /
+//!   `dagsched request`).
 //!
 //! # Quickstart
 //!
@@ -43,13 +50,13 @@
 //! assert!(dag.arc_between(NodeId::new(0), NodeId::new(2)).is_some());
 //! ```
 
-pub mod driver;
-pub mod parallel;
+pub use dagsched_driver::{batch, driver, parallel};
 
 pub use dagsched_core as core;
 pub use dagsched_isa as isa;
 pub use dagsched_pipesim as pipesim;
 pub use dagsched_sched as sched;
+pub use dagsched_service as service;
 pub use dagsched_stats as stats;
 pub use dagsched_workloads as workloads;
 
@@ -68,6 +75,7 @@ pub mod prelude {
 
     pub use dagsched_core::{default_jobs, PhaseStats, Scratch};
 
+    pub use crate::batch::{schedule_program_batch, BlockCache, LimitError, Limits, NoCache};
     pub use crate::driver::{
         schedule_program, schedule_program_stats, BlockReport, DriverConfig, ScheduledProgram,
     };

@@ -101,6 +101,7 @@ fn structure_for(name: &str, algo: ConstructionAlgorithm) -> dagsched_stats::Dag
         BackwardOrder::ReverseWalk,
         false,
     )
+    .expect("pipeline")
     .structure
 }
 
@@ -174,7 +175,8 @@ fn n2_needs_windows_but_table_building_does_not() {
         MemDepPolicy::SymbolicExpr,
         BackwardOrder::ReverseWalk,
         false,
-    );
+    )
+    .expect("pipeline");
     let n2 = t0.elapsed();
     let t1 = Instant::now();
     run_benchmark(
@@ -184,7 +186,8 @@ fn n2_needs_windows_but_table_building_does_not() {
         MemDepPolicy::SymbolicExpr,
         BackwardOrder::ReverseWalk,
         false,
-    );
+    )
+    .expect("pipeline");
     let tb = t1.elapsed();
     assert!(
         n2 > 3 * tb,

@@ -69,7 +69,8 @@ fn bench_pipeline_is_identical_on_large_block_profile() {
             MemDepPolicy::SymbolicExpr,
             BackwardOrder::ReverseWalk,
             false,
-        );
+        )
+        .expect("pipeline");
         for jobs in [2usize, 8] {
             let par = run_benchmark_jobs(
                 &bench,
@@ -79,7 +80,8 @@ fn bench_pipeline_is_identical_on_large_block_profile() {
                 BackwardOrder::ReverseWalk,
                 false,
                 jobs,
-            );
+            )
+            .expect("pipeline");
             assert_eq!(par.insts, serial.insts, "{algo} jobs={jobs}");
             assert_eq!(par.total_cycles, serial.total_cycles, "{algo} jobs={jobs}");
             assert_eq!(

@@ -1,0 +1,91 @@
+//! End-to-end smoke test of the shipped binaries: `dagsched serve` on a
+//! Unix socket, `dagsched request` as the client, cache hits across
+//! processes, and a SIGTERM graceful drain — the same sequence the CI
+//! smoke step runs.
+
+#![cfg(unix)]
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use dagsched::service::Client;
+
+const DAGSCHED: &str = env!("CARGO_BIN_EXE_dagsched");
+
+fn wait_ready(endpoint: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(mut c) = Client::connect(endpoint) {
+            if c.ping().is_ok() {
+                return c;
+            }
+        }
+        assert!(Instant::now() <= deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn serve_and_request_binaries_roundtrip_with_cache_hits() {
+    let dir = std::env::temp_dir().join(format!("dagsched-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("smoke.sock");
+    let asm = dir.join("block.s");
+    std::fs::write(
+        &asm,
+        "ld [%fp-8], %l0\nadd %l0, %l1, %l2\nsub %l2, %l0, %l3\nst %l3, [%fp-16]\n",
+    )
+    .unwrap();
+    let endpoint = format!("unix:{}", sock.display());
+
+    let mut server = Command::new(DAGSCHED)
+        .args(["serve", "--listen", &endpoint, "--workers", "2"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dagsched serve");
+    let mut probe = wait_ready(&endpoint);
+
+    // Repeated identical requests through the CLI client: the first
+    // misses, the rest hit the daemon's schedule cache.
+    let mut outputs = Vec::new();
+    for _ in 0..3 {
+        let out = Command::new(DAGSCHED)
+            .args(["request", asm.to_str().unwrap(), "--connect", &endpoint])
+            .output()
+            .expect("run dagsched request");
+        assert!(
+            out.status.success(),
+            "request failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(out.stdout);
+    }
+    assert!(!outputs[0].is_empty());
+    assert!(
+        outputs.iter().all(|o| o == &outputs[0]),
+        "cached replies diverged from the first compilation"
+    );
+
+    let metrics = probe.metrics().expect("metrics frame");
+    let hits = metrics
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|h| h.as_u64())
+        .expect("cache.hits in metrics");
+    assert!(hits > 0, "no cross-process cache hits: {metrics}");
+
+    // Graceful drain on SIGTERM: the daemon unlinks its socket and
+    // exits zero.
+    let kill = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+    let status = server.wait().expect("server exit status");
+    assert!(status.success(), "server exited with {status}");
+    assert!(!sock.exists(), "socket not unlinked after drain");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
