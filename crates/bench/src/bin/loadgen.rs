@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use dagsched_service::json::Json;
 use dagsched_service::server::{serve, Listen, ServerConfig};
 use dagsched_service::{Client, ScheduleRequest};
+use dagsched_stats::percentile;
 use dagsched_workloads::PAPER_SEED;
 
 struct Options {
@@ -144,14 +145,6 @@ fn request_for(opts: &Options, k: usize) -> ScheduleRequest {
     let profile = &opts.profiles[k % opts.profiles.len()];
     let seed = PAPER_SEED + (k / opts.profiles.len()) as u64 % opts.seeds;
     ScheduleRequest::profile(profile.clone(), seed)
-}
-
-fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
-    if sorted_ns.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted_ns[idx.min(sorted_ns.len() - 1)]
 }
 
 struct ClientTally {

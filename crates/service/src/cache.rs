@@ -57,6 +57,17 @@ const KEY_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Sentinel slab index for "no node".
 const NONE: usize = usize::MAX;
 
+/// Fixed per-entry bookkeeping charged by [`CachedBlock::capture`]:
+/// LRU links, report fields, vector headers and hash-table slack.
+const ENTRY_OVERHEAD: usize = 96;
+
+/// The minimum [`CachedBlock::cost_bytes`] any entry can be charged:
+/// key storage (map + slab copy), the map's slab-index value, and
+/// [`ENTRY_OVERHEAD`]. Exposed for the byte-accounting invariant in
+/// the cache property test.
+pub const MIN_ENTRY_COST: usize =
+    2 * std::mem::size_of::<Key>() + std::mem::size_of::<usize>() + ENTRY_OVERHEAD;
+
 /// Configuration for [`ScheduleCache`].
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
@@ -161,7 +172,18 @@ impl CachedBlock {
                 }
             })
             .collect();
-        let cost_bytes = order.len() * std::mem::size_of::<Instruction>() + 96;
+        // Approximate footprint of the whole entry, not just the
+        // payload: the emitted-order slots, plus the 128-bit content
+        // key this entry pins (stored twice — once in the lookup map,
+        // once in the slab entry), the map's slab-index value, and
+        // fixed per-entry bookkeeping (LRU links, report fields).
+        // Omitting the key/index share under-counted every entry by
+        // ~40 bytes, so a cache full of tiny blocks blew its byte
+        // budget by an unbounded margin.
+        let cost_bytes = order.len() * std::mem::size_of::<Instruction>()
+            + 2 * std::mem::size_of::<Key>()
+            + std::mem::size_of::<usize>()
+            + ENTRY_OVERHEAD;
         CachedBlock {
             order,
             len: outcome.report.len,
@@ -221,6 +243,19 @@ pub struct CacheStats {
     pub entries: usize,
     /// Current approximate byte footprint.
     pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]`. Reads as `0.0` (not
+    /// NaN) before any lookup has happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 struct Lru {

@@ -52,7 +52,7 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 
-pub use cache::{CacheConfig, CacheStats, ScheduleCache};
+pub use cache::{CacheConfig, CacheStats, ScheduleCache, MIN_ENTRY_COST};
 pub use client::{Client, ClientError};
 pub use engine::{execute, EngineLimits};
 pub use proto::{

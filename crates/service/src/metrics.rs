@@ -51,6 +51,7 @@ impl Metrics {
                     ("evictions", Json::from(cache.evictions)),
                     ("entries", Json::from(cache.entries)),
                     ("bytes", Json::from(cache.bytes)),
+                    ("hit_rate", Json::from(cache.hit_rate())),
                 ]),
             ),
         ])
@@ -77,5 +78,47 @@ mod tests {
             snap.get("cache").unwrap().get("hits").unwrap().as_u64(),
             Some(7)
         );
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_before_any_lookup() {
+        let fresh = CacheStats::default();
+        assert_eq!(fresh.hits + fresh.misses, 0);
+        let rate = fresh.hit_rate();
+        assert!(rate == 0.0 && !rate.is_nan(), "{rate}");
+
+        // The snapshot serializes the same guarded value: a fresh
+        // server's metrics frame must carry 0, never `null`/NaN.
+        let snap = Metrics::default().snapshot(&fresh);
+        assert_eq!(
+            snap.get("cache").unwrap().get("hit_rate").unwrap().as_f64(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn hit_rate_covers_all_hit_all_miss_and_mixed() {
+        let all_hits = CacheStats { hits: 5, ..CacheStats::default() };
+        assert_eq!(all_hits.hit_rate(), 1.0);
+        let all_misses = CacheStats { misses: 5, ..CacheStats::default() };
+        assert_eq!(all_misses.hit_rate(), 0.0);
+        let mixed = CacheStats { hits: 3, misses: 1, ..CacheStats::default() };
+        assert_eq!(mixed.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn untouched_counters_snapshot_as_zero() {
+        let snap = Metrics::default().snapshot(&CacheStats::default());
+        for key in [
+            "connections",
+            "requests",
+            "responses",
+            "errors",
+            "busy_rejections",
+            "drain_rejections",
+            "deadline_expirations",
+        ] {
+            assert_eq!(snap.get(key).unwrap().as_u64(), Some(0), "{key}");
+        }
     }
 }

@@ -40,6 +40,11 @@ pub const MAGIC: [u8; 2] = *b"DS";
 pub const VERSION: u8 = 1;
 /// Default cap on a frame payload (16 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+/// Sanity cap on a request's `jobs` field: more worker threads than
+/// this is never a legitimate request, so larger values (including
+/// u64s that would truncate in a `as usize` cast on 32-bit hosts) are
+/// rejected as `bad-request`.
+pub const MAX_REQUEST_JOBS: usize = 1 << 16;
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,13 +123,55 @@ impl From<io::Error> for FrameReadError {
     }
 }
 
+/// A frame payload too large for the 4-byte length field.
+///
+/// The header stores the payload length as a `u32`; on a 64-bit host a
+/// `&[u8]` can be longer, and `len as u32` would silently truncate —
+/// the peer would then read a frame whose payload is `len % 2^32` bytes
+/// followed by what it parses as billions of garbage "frames". This is
+/// surfaced as a typed error *before* the cast instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadTooLarge {
+    /// The actual payload length that did not fit.
+    pub len: usize,
+}
+
+impl fmt::Display for PayloadTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frame payload of {} bytes exceeds the u32 length field (max {})",
+            self.len,
+            u32::MAX
+        )
+    }
+}
+
+impl std::error::Error for PayloadTooLarge {}
+
+/// Check a payload length against the header's `u32` field.
+///
+/// Split out of [`write_frame`] so the bound is unit-testable without
+/// allocating a 4 GiB buffer.
+pub fn encode_payload_len(len: usize) -> Result<u32, PayloadTooLarge> {
+    u32::try_from(len).map_err(|_| PayloadTooLarge { len })
+}
+
 /// Write one frame.
+///
+/// Fails with [`PayloadTooLarge`] (wrapped in an
+/// [`io::ErrorKind::InvalidInput`] error) when the payload does not fit
+/// the header's 4-byte length field, *before* anything is written: the
+/// stream is left clean for an error reply rather than desynchronized
+/// by a truncated length.
 pub fn write_frame(w: &mut dyn Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    let len = encode_payload_len(payload.len())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let mut header = [0u8; 8];
     header[..2].copy_from_slice(&MAGIC);
     header[2] = VERSION;
     header[3] = kind as u8;
-    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&len.to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()
@@ -426,6 +473,23 @@ impl ScheduleRequest {
                 .unwrap_or(default)
                 .to_string()
         };
+        // `jobs` crosses a u64 → usize boundary: a hostile peer can send
+        // any 64-bit value, and `as usize` would silently truncate it on
+        // a 32-bit host (e.g. 2^32 + 1 → 1 worker). Reject anything that
+        // does not fit, or that exceeds the sanity cap, as a typed
+        // bad-request instead of guessing.
+        let jobs = match v.get("jobs").and_then(Json::as_u64) {
+            None => 0,
+            Some(raw) => match usize::try_from(raw) {
+                Ok(n) if n <= MAX_REQUEST_JOBS => n,
+                _ => {
+                    return Err(ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!("`jobs` value {raw} is out of range (max {MAX_REQUEST_JOBS})"),
+                    ))
+                }
+            },
+        };
         Ok(ScheduleRequest {
             input,
             machine: s("machine", "sparc2"),
@@ -434,7 +498,7 @@ impl ScheduleRequest {
             policy: s("policy", ""),
             inherit: v.get("inherit").and_then(Json::as_bool).unwrap_or(false),
             fill_slots: v.get("fill_slots").and_then(Json::as_bool).unwrap_or(false),
-            jobs: v.get("jobs").and_then(Json::as_u64).unwrap_or(0) as usize,
+            jobs,
             deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
             sim: v.get("sim").and_then(Json::as_bool).unwrap_or(false),
             linger_ms: v.get("linger_ms").and_then(Json::as_u64).unwrap_or(0),
@@ -556,8 +620,10 @@ impl ScheduleResponse {
             .iter()
             .map(|b| {
                 Some(BlockSummary {
-                    block: b.get("block")?.as_u64()? as usize,
-                    len: b.get("len")?.as_u64()? as usize,
+                    // Checked u64 → usize: refuse (rather than truncate)
+                    // counters that do not fit the host's word size.
+                    block: usize::try_from(b.get("block")?.as_u64()?).ok()?,
+                    len: usize::try_from(b.get("len")?.as_u64()?).ok()?,
                     original_makespan: b.get("original_makespan")?.as_u64()?,
                     scheduled_makespan: b.get("scheduled_makespan")?.as_u64()?,
                 })
@@ -707,6 +773,80 @@ mod tests {
             }
             other => panic!("expected truncation error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn oversized_payload_is_a_typed_error_not_a_truncated_header() {
+        // The bound itself, without allocating 4 GiB.
+        assert_eq!(encode_payload_len(0), Ok(0));
+        assert_eq!(encode_payload_len(u32::MAX as usize), Ok(u32::MAX));
+        let too_big = u32::MAX as usize + 1;
+        assert_eq!(
+            encode_payload_len(too_big),
+            Err(PayloadTooLarge { len: too_big })
+        );
+        let msg = PayloadTooLarge { len: too_big }.to_string();
+        assert!(msg.contains("4294967296"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_jobs_is_a_bad_request() {
+        // In range: accepted.
+        let v = Json::parse(r#"{"asm":"nop","jobs":8}"#).unwrap();
+        assert_eq!(ScheduleRequest::from_json(&v).unwrap().jobs, 8);
+        // Above the sanity cap (and anything that would truncate in a
+        // u64 → usize cast on 32-bit hosts): typed bad-request.
+        for raw in [
+            (MAX_REQUEST_JOBS as u64 + 1).to_string(),
+            (u32::MAX as u64 + 1).to_string(), // → 1 worker after a 32-bit `as usize`
+            i64::MAX.to_string(),
+        ] {
+            let v = Json::parse(&format!(r#"{{"asm":"nop","jobs":{raw}}}"#)).unwrap();
+            let err = ScheduleRequest::from_json(&v).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "jobs={raw}");
+            assert!(err.message.contains("jobs"), "{}", err.message);
+        }
+        // Values beyond i64 don't even parse: the JSON layer rejects
+        // them before decode, so no cast is reachable at all.
+        assert!(Json::parse(&format!(r#"{{"jobs":{}}}"#, u64::MAX)).is_err());
+        // Negative numbers never read as u64, so they take the default.
+        let v = Json::parse(r#"{"asm":"nop","jobs":-3}"#).unwrap();
+        assert_eq!(ScheduleRequest::from_json(&v).unwrap().jobs, 0);
+    }
+
+    #[test]
+    fn frame_fuzz_random_headers_never_panic() {
+        // Deterministic xorshift over random 8..24-byte prefixes: every
+        // outcome must be a typed error or a valid (kind, payload) —
+        // never a panic or an allocation beyond the cap.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let len = 8 + (x % 17) as usize;
+            let mut bytes = Vec::with_capacity(len);
+            let mut y = x;
+            for _ in 0..len {
+                y = y.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                bytes.push((y >> 56) as u8);
+            }
+            let _ = read_frame(&mut &bytes[..], 1024);
+        }
+    }
+
+    #[test]
+    fn response_counters_that_overflow_usize_are_rejected() {
+        // On 64-bit hosts u64 always fits usize, so only the
+        // well-formed path is observable here; the point is the decode
+        // goes through `usize::try_from`, which this pins.
+        let v = Json::parse(
+            r#"{"insns":[],"blocks":[{"block":1,"len":2,"original_makespan":3,"scheduled_makespan":3}],"stats":{}}"#,
+        )
+        .unwrap();
+        let resp = ScheduleResponse::from_json(&v).unwrap();
+        assert_eq!(resp.blocks[0].block, 1);
+        assert_eq!(resp.blocks[0].len, 2);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! statistics of the paper's Tables 3–5, a timing harness matching its
 //! methodology (average of repeated runs), and an ASCII table renderer.
 
+mod percentile;
 mod render;
 mod structure;
 mod timing;
 
+pub use percentile::percentile;
 pub use render::Table;
 pub use structure::{block_structure, dag_structure, BlockStructure, DagStructure, Summary};
 pub use timing::{time_avg, Timed};

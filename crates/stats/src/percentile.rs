@@ -1,0 +1,80 @@
+//! Percentile extraction over sorted latency samples.
+//!
+//! Shared by the `loadgen` harness and anything else summarizing
+//! latency windows. The estimator is nearest-rank with rounding
+//! (`round((n-1) * p/100)`), which is exact on the degenerate windows
+//! a short measurement produces: an empty window reads as 0, a
+//! one-sample window returns that sample for every percentile, and a
+//! two-sample window splits at p50.
+
+/// The `p`-th percentile (0..=100) of an ascending-sorted sample
+/// window, by the nearest-rank-with-rounding rule. Out-of-range `p` is
+/// clamped to the window; an empty window reads as 0.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let pos = (sorted.len() - 1) as f64 * p.max(0.0) / 100.0;
+    let idx = pos.round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_reads_zero() {
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[], p), 0);
+        }
+    }
+
+    #[test]
+    fn one_sample_window_is_that_sample_at_every_percentile() {
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42], p), 42);
+        }
+    }
+
+    #[test]
+    fn two_sample_window_splits_at_the_median() {
+        let w = [10, 20];
+        assert_eq!(percentile(&w, 0.0), 10);
+        assert_eq!(percentile(&w, 49.0), 10, "below the midpoint rounds down");
+        assert_eq!(percentile(&w, 50.0), 20, "0.5 rounds half-up");
+        assert_eq!(percentile(&w, 95.0), 20);
+        assert_eq!(percentile(&w, 99.0), 20);
+        assert_eq!(percentile(&w, 100.0), 20);
+    }
+
+    #[test]
+    fn known_positions_on_a_larger_window() {
+        // 101 samples 0..=100: percentile == value.
+        let w: Vec<u64> = (0..=100).collect();
+        assert_eq!(percentile(&w, 0.0), 0);
+        assert_eq!(percentile(&w, 50.0), 50);
+        assert_eq!(percentile(&w, 95.0), 95);
+        assert_eq!(percentile(&w, 99.0), 99);
+        assert_eq!(percentile(&w, 100.0), 100);
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped_not_a_panic() {
+        let w = [1, 2, 3];
+        assert_eq!(percentile(&w, -5.0), 1);
+        assert_eq!(percentile(&w, 250.0), 3);
+    }
+
+    #[test]
+    fn duplicate_heavy_windows_stay_monotone() {
+        let w = [5, 5, 5, 5, 9];
+        let mut last = 0;
+        for p in 0..=100 {
+            let v = percentile(&w, p as f64);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+        assert_eq!(percentile(&w, 99.0), 9);
+    }
+}

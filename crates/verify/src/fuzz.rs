@@ -1,0 +1,219 @@
+//! The fuzz driver loop behind `dagsched fuzz`.
+//!
+//! Budgeted by wall-clock minutes and/or an iteration count, the loop
+//! round-robins over every generator [`Shape`], derives a fresh
+//! per-iteration seed from the master seed via SplitMix64, runs the full
+//! cross-check [`matrix`](crate::matrix) on the candidate, and — on a
+//! disagreement — shrinks it to a minimal reproducer and (optionally)
+//! writes it into the committed corpus directory.
+//!
+//! The loop *continues after a failure*: one sustained run should
+//! surface every distinct bug, not just the first. Failures are deduped
+//! by `(check kind, pair)` so one root cause does not flood the corpus.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::corpus::write_reproducer;
+use crate::gen::{generate_program, Shape};
+use crate::matrix::{check_text, CheckSummary, Disagreement, MatrixConfig};
+use crate::shrink::shrink_text;
+
+/// Fuzz loop configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed: the whole run is a deterministic function of it.
+    pub seed: u64,
+    /// Wall-clock budget in minutes (fractional allowed; `0` disables
+    /// the time budget and `iters` alone bounds the run).
+    pub minutes: f64,
+    /// Iteration bound (`None` = run until the time budget expires).
+    pub iters: Option<u64>,
+    /// Where to write shrunk reproducers (`None` = report only).
+    pub corpus_dir: Option<PathBuf>,
+    /// Shrink failures before reporting/writing them.
+    pub shrink: bool,
+    /// The matrix configuration candidates are checked under.
+    pub matrix: MatrixConfig,
+    /// Print a progress line roughly this often (0 = quiet).
+    pub progress_every: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0xDA65_C4ED,
+            minutes: 2.0,
+            iters: None,
+            corpus_dir: None,
+            shrink: true,
+            matrix: MatrixConfig::default(),
+            progress_every: 0,
+        }
+    }
+}
+
+/// One recorded failure.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// The disagreement (from the shrunk reproducer when shrinking is on).
+    pub disagreement: Disagreement,
+    /// The (shrunk) program text.
+    pub text: String,
+    /// Generator provenance, e.g. `"fan-out seed 0x1234"`.
+    pub provenance: String,
+    /// Reproducer path, when a corpus directory was given.
+    pub path: Option<PathBuf>,
+}
+
+/// Outcome of a fuzz run.
+#[derive(Debug, Default)]
+pub struct FuzzOutcome {
+    /// Programs generated and checked.
+    pub iterations: u64,
+    /// Aggregate matrix coverage over passing programs.
+    pub summary: CheckSummary,
+    /// Deduplicated failures, in discovery order.
+    pub failures: Vec<FuzzFailure>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl FuzzOutcome {
+    /// Whether the run completed with zero disagreements.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the fuzz loop. Deterministic in `cfg` up to the wall-clock
+/// budget: a longer run is a superset of a shorter one with the same
+/// seed (iteration seeds do not depend on elapsed time).
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    let start = Instant::now();
+    let deadline = if cfg.minutes > 0.0 {
+        Some(start + Duration::from_secs_f64(cfg.minutes * 60.0))
+    } else {
+        None
+    };
+    let mut stream = cfg.seed;
+    let mut outcome = FuzzOutcome::default();
+    let mut seen_pairs: Vec<(String, String)> = Vec::new();
+
+    loop {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        }
+        if let Some(max) = cfg.iters {
+            if outcome.iterations >= max {
+                break;
+            }
+        }
+        let iter_seed = crate::splitmix64(&mut stream);
+        let shape = Shape::ALL[(outcome.iterations % Shape::ALL.len() as u64) as usize];
+        let text = generate_program(shape, iter_seed);
+        outcome.iterations += 1;
+        match check_text(&text, &cfg.matrix) {
+            Ok(summary) => outcome.summary.absorb(&summary),
+            Err(first) => {
+                let provenance = format!("{} seed {iter_seed:#x}", shape.name());
+                let (min_text, disagreement) = if cfg.shrink {
+                    let min = shrink_text(&text, first.kind, &cfg.matrix);
+                    // Re-run to get the diagnosis of the *shrunk* program.
+                    let d = match check_text(&min, &cfg.matrix) {
+                        Err(d) => d,
+                        Ok(_) => first.clone(),
+                    };
+                    (min, d)
+                } else {
+                    (text.clone(), first)
+                };
+                let key = (disagreement.kind.name().to_string(), disagreement.pair.clone());
+                let fresh = !seen_pairs.contains(&key);
+                if fresh {
+                    seen_pairs.push(key);
+                    let path = cfg.corpus_dir.as_ref().and_then(|dir| {
+                        write_reproducer(
+                            dir,
+                            disagreement.kind,
+                            &disagreement.pair,
+                            &disagreement.detail,
+                            &provenance,
+                            &min_text,
+                        )
+                        .ok()
+                    });
+                    outcome.failures.push(FuzzFailure {
+                        disagreement,
+                        text: min_text,
+                        provenance,
+                        path,
+                    });
+                }
+            }
+        }
+        if cfg.progress_every > 0 && outcome.iterations % cfg.progress_every == 0 {
+            eprintln!(
+                "fuzz: {} programs, {} blocks, {} optima proven, {} failure(s), {:.1}s",
+                outcome.iterations,
+                outcome.summary.blocks,
+                outcome.summary.optimal_proven,
+                outcome.failures.len(),
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+    outcome.elapsed = start.elapsed();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "manual triage tool: dumps a specific iteration of a seed stream"]
+    fn dump_iteration() {
+        let master: u64 = std::env::var("HUNT_SEED")
+            .ok()
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+            .unwrap_or(0xBEEF);
+        let target: u64 = std::env::var("HUNT_ITER")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(6301);
+        let mut stream = master;
+        for i in 0u64..=target {
+            let iter_seed = crate::splitmix64(&mut stream);
+            if i == target {
+                let shape = Shape::ALL[(i % Shape::ALL.len() as u64) as usize];
+                let text = generate_program(shape, iter_seed);
+                eprintln!(
+                    "iter {i}: {} seed {iter_seed:#x}, {} lines",
+                    shape.name(),
+                    text.lines().count()
+                );
+                std::fs::write("/tmp/slow.s", &text).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn a_bounded_run_is_clean_and_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            minutes: 0.0,
+            iters: Some(14),
+            shrink: false,
+            ..FuzzConfig::default()
+        };
+        let a = run_fuzz(&cfg);
+        let b = run_fuzz(&cfg);
+        assert_eq!(a.iterations, 14);
+        assert!(a.is_clean(), "{:?}", a.failures);
+        assert_eq!(a.summary.blocks, b.summary.blocks);
+        assert_eq!(a.summary.insns, b.summary.insns);
+    }
+}

@@ -1,0 +1,550 @@
+//! Structure-diverse random block generation.
+//!
+//! Canon et al. (PAPERS.md) observe that random-DAG fuzzing only
+//! exercises scheduler corner cases when the generator is *structure
+//! diverse* — a single Erdős–Rényi-style sampler concentrates on one
+//! density regime and misses the pathological shapes. This generator
+//! therefore samples from explicit shape families, each chosen to stress
+//! a different part of the pipeline:
+//!
+//! * [`Shape::Layered`] — rank-structured blocks (wide dependence
+//!   frontiers, the regime where heuristic ties dominate).
+//! * [`Shape::FanIn`] — reduction trees (deep fan-in; stresses
+//!   `max_delay_to_leaf` and backward passes).
+//! * [`Shape::FanOut`] — one long-latency def read by many (the paper's
+//!   Figure 1 "important transitive arc" situation).
+//! * [`Shape::MemHeavy`] — load/store traffic over few distinct cells
+//!   (stresses the memory disambiguation policies and store ordering).
+//! * [`Shape::Carry`] — a serial chain through one register (degenerate
+//!   DAG: a path; catches off-by-ones at zero parallelism).
+//! * [`Shape::DelaySlot`] — `cmp` + conditional branch endings
+//!   (stresses terminator pinning and the delay-slot postpass).
+//! * [`Shape::Mutated`] — corpus mutation: a block drawn from the
+//!   calibrated workload profiles (including the fpppp large-block
+//!   profile) with line-level mutations applied.
+//!
+//! All programs are emitted as assembly text. The fuzz loop
+//! canonicalizes through `parse_asm` before checking, so generated
+//! programs are exactly what a reproducer file will contain.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dagsched_isa::{Instruction, MemRef, Opcode, Program, Reg};
+use dagsched_workloads::{generate, BenchmarkProfile};
+
+/// A structural family of generated blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Rank-structured: each instruction reads results of the previous layer.
+    Layered,
+    /// Reduction tree: many independent defs folded pairwise into one.
+    FanIn,
+    /// One (often long-latency) def fanned out to many readers.
+    FanOut,
+    /// Mostly loads/stores over a small pool of memory cells.
+    MemHeavy,
+    /// A serial dependence chain through a single register.
+    Carry,
+    /// Generic mix ending in `cmp` + conditional branch (delay-slot bait).
+    DelaySlot,
+    /// A workload-profile block with random line-level mutations.
+    Mutated,
+}
+
+impl Shape {
+    /// Every shape, for round-robin / random selection.
+    pub const ALL: &'static [Shape] = &[
+        Shape::Layered,
+        Shape::FanIn,
+        Shape::FanOut,
+        Shape::MemHeavy,
+        Shape::Carry,
+        Shape::DelaySlot,
+        Shape::Mutated,
+    ];
+
+    /// Short name used in reproducer headers and progress lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Layered => "layered",
+            Shape::FanIn => "fan-in",
+            Shape::FanOut => "fan-out",
+            Shape::MemHeavy => "mem-heavy",
+            Shape::Carry => "carry",
+            Shape::DelaySlot => "delay-slot",
+            Shape::Mutated => "mutated",
+        }
+    }
+}
+
+/// Profiles drawn from for [`Shape::Mutated`]. `fpppp-1000` is the
+/// windowed large-block profile — its blocks are big enough to stress
+/// the table builders' resource records without drowning the fuzz loop.
+const MUTATION_PROFILES: &[&str] = &["grep", "cccp", "linpack", "dfa", "tomcatv", "fpppp-1000"];
+
+/// Integer registers the generator writes. A deliberately small pool so
+/// blocks are dependence-dense.
+const INT_POOL: &[Reg] = &[
+    Reg::Int(8),  // %o0
+    Reg::Int(9),  // %o1
+    Reg::Int(10), // %o2
+    Reg::Int(11), // %o3
+    Reg::Int(16), // %l0
+    Reg::Int(17), // %l1
+    Reg::Int(18), // %l2
+    Reg::Int(19), // %l3
+    Reg::Int(24), // %i0
+    Reg::Int(25), // %i1
+    Reg::Int(1),  // %g1
+    Reg::Int(2),  // %g2
+];
+
+struct Gen {
+    rng: SmallRng,
+    prog: Program,
+    /// Distinct memory cells available to the current block.
+    cells: Vec<(String, i32)>,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            rng: SmallRng::seed_from_u64(seed),
+            prog: Program::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    fn int_reg(&mut self) -> Reg {
+        INT_POOL[self.rng.gen_range(0..INT_POOL.len())]
+    }
+
+    /// Even fp register (double ops pair `%fN`/`%fN+1`).
+    fn fp_reg(&mut self) -> Reg {
+        Reg::f(2 * self.rng.gen_range(0u8..8))
+    }
+
+    fn fresh_cells(&mut self, n: usize) {
+        self.cells = (0..n).map(|k| (format!("[%fp-{}]", 8 * (k + 1)), -(8 * (k as i32 + 1)))).collect();
+    }
+
+    fn mem(&mut self) -> MemRef {
+        let k = self.rng.gen_range(0..self.cells.len());
+        let (text, off) = self.cells[k].clone();
+        let id = self.prog.mem_exprs.intern(&text);
+        MemRef::base_offset(Reg::fp(), off, id)
+    }
+
+    fn int_op(&mut self) -> Opcode {
+        const OPS: &[Opcode] = &[
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Sll,
+        ];
+        OPS[self.rng.gen_range(0..OPS.len())]
+    }
+
+    fn fp_op(&mut self) -> Opcode {
+        const OPS: &[Opcode] = &[
+            Opcode::FAddD,
+            Opcode::FSubD,
+            Opcode::FMulD,
+            Opcode::FAddD,
+            Opcode::FMulD,
+            Opcode::FDivD,
+        ];
+        OPS[self.rng.gen_range(0..OPS.len())]
+    }
+
+    /// A random "filler" instruction reading `src` (if given).
+    fn filler(&mut self, src: Option<Reg>) -> Instruction {
+        let a = src.unwrap_or_else(|| self.int_reg());
+        match self.rng.gen_range(0u32..10) {
+            0..=4 => {
+                let op = self.int_op();
+                let b = self.int_reg();
+                let d = self.int_reg();
+                if self.rng.gen_bool(0.3) {
+                    Instruction::int_imm(op, a, self.rng.gen_range(1i64..64), d)
+                } else {
+                    Instruction::int3(op, a, b, d)
+                }
+            }
+            5 => {
+                let op = if self.rng.gen_bool(0.5) { Opcode::Umul } else { Opcode::Smul };
+                Instruction::int3(op, a, self.int_reg(), self.int_reg())
+            }
+            6 => {
+                let m = self.mem();
+                Instruction::load(Opcode::Ld, m, self.int_reg())
+            }
+            7 => {
+                let m = self.mem();
+                Instruction::store(Opcode::St, a, m)
+            }
+            8 => {
+                let (x, y, d) = (self.fp_reg(), self.fp_reg(), self.fp_reg());
+                Instruction::fp3(self.fp_op(), x, y, d)
+            }
+            _ => {
+                let m = self.mem();
+                if self.rng.gen_bool(0.5) {
+                    Instruction::load(Opcode::LdDf, m, self.fp_reg())
+                } else {
+                    Instruction::store(Opcode::StDf, self.fp_reg(), m)
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, insn: Instruction) {
+        self.prog.push(insn);
+    }
+
+    /// Optionally terminate the current block.
+    fn terminator(&mut self, force_bicc: bool) {
+        let roll = self.rng.gen_range(0u32..10);
+        if force_bicc || roll < 5 {
+            let (a, b) = (self.int_reg(), self.int_reg());
+            self.push(Instruction::cmp(a, b));
+            self.push(Instruction::branch(Opcode::Bicc));
+        } else if roll < 6 {
+            self.push(Instruction::branch(Opcode::Ba));
+        } else if roll < 7 {
+            self.push(Instruction::branch(Opcode::Call));
+        } else if roll < 8 {
+            self.push(Instruction::new(Opcode::Save));
+        } else if roll < 9 {
+            self.push(Instruction::new(Opcode::Restore));
+        }
+        // roll == 9: fall through (no terminator; block ends at program end
+        // or the next block's first label-free instruction run).
+    }
+
+    fn block(&mut self, shape: Shape) {
+        let cells = self.rng.gen_range(1usize..5);
+        self.fresh_cells(cells);
+        match shape {
+            Shape::Layered => {
+                let layers = self.rng.gen_range(2usize..5);
+                let width = self.rng.gen_range(2usize..5);
+                let mut prev: Vec<Reg> = (0..width).map(|_| self.int_reg()).collect();
+                // Seed layer: independent defs.
+                for &r in prev.clone().iter() {
+                    let op = self.int_op();
+                    let a = self.int_reg();
+                    let imm = self.rng.gen_range(1i64..32);
+                    self.push(Instruction::int_imm(op, a, imm, r));
+                }
+                for _ in 1..layers {
+                    let mut next = Vec::new();
+                    for _ in 0..width {
+                        let a = prev[self.rng.gen_range(0..prev.len())];
+                        let b = prev[self.rng.gen_range(0..prev.len())];
+                        let d = self.int_reg();
+                        let op = self.int_op();
+                        self.push(Instruction::int3(op, a, b, d));
+                        next.push(d);
+                    }
+                    prev = next;
+                }
+                self.terminator(false);
+            }
+            Shape::FanIn => {
+                let leaves = self.rng.gen_range(3usize..8);
+                let mut live: Vec<Reg> = Vec::new();
+                for k in 0..leaves {
+                    let d = INT_POOL[k % INT_POOL.len()];
+                    if self.rng.gen_bool(0.35) {
+                        let m = self.mem();
+                        self.push(Instruction::load(Opcode::Ld, m, d));
+                    } else {
+                        let a = self.int_reg();
+                        let op = self.int_op();
+                        self.push(Instruction::int_imm(op, a, k as i64 + 1, d));
+                    }
+                    live.push(d);
+                }
+                while live.len() > 1 {
+                    let a = live.remove(self.rng.gen_range(0..live.len()));
+                    let b = live.remove(self.rng.gen_range(0..live.len()));
+                    let d = self.int_reg();
+                    let op = self.int_op();
+                    self.push(Instruction::int3(op, a, b, d));
+                    live.push(d);
+                }
+                self.terminator(false);
+            }
+            Shape::FanOut => {
+                // A long-latency producer…
+                let hub = self.fp_reg();
+                let (x, y) = (self.fp_reg(), self.fp_reg());
+                self.push(Instruction::fp3(Opcode::FDivD, x, y, hub));
+                // …fanned out to consumers, some of which redefine the hub
+                // (creating the WAR/"important transitive arc" structure).
+                let readers = self.rng.gen_range(3usize..8);
+                for _ in 0..readers {
+                    let other = self.fp_reg();
+                    let d = if self.rng.gen_bool(0.25) { hub } else { self.fp_reg() };
+                    let op = self.fp_op();
+                    self.push(Instruction::fp3(op, hub, other, d));
+                }
+                if self.rng.gen_bool(0.5) {
+                    let m = self.mem();
+                    self.push(Instruction::store(Opcode::StDf, hub, m));
+                }
+                self.terminator(false);
+            }
+            Shape::MemHeavy => {
+                let n = self.rng.gen_range(4usize..14);
+                for _ in 0..n {
+                    let m = self.mem();
+                    match self.rng.gen_range(0u32..5) {
+                        0 | 1 => {
+                            let d = self.int_reg();
+                            self.push(Instruction::load(Opcode::Ld, m, d));
+                        }
+                        2 => {
+                            let s = self.int_reg();
+                            self.push(Instruction::store(Opcode::St, s, m));
+                        }
+                        3 => {
+                            let d = self.fp_reg();
+                            self.push(Instruction::load(Opcode::LdDf, m, d));
+                        }
+                        _ => {
+                            let s = self.fp_reg();
+                            self.push(Instruction::store(Opcode::StDf, s, m));
+                        }
+                    }
+                    if self.rng.gen_bool(0.3) {
+                        let f = self.filler(None);
+                        self.push(f);
+                    }
+                }
+                self.terminator(false);
+            }
+            Shape::Carry => {
+                let n = self.rng.gen_range(3usize..12);
+                let chain = self.int_reg();
+                let a = self.int_reg();
+                self.push(Instruction::int_imm(Opcode::Add, a, 1, chain));
+                for _ in 0..n {
+                    if self.rng.gen_bool(0.8) {
+                        let op = self.int_op();
+                        let imm = self.rng.gen_range(1i64..16);
+                        self.push(Instruction::int_imm(op, chain, imm, chain));
+                    } else {
+                        // Interleave an independent instruction: the chain
+                        // still dominates, but scheduling has one choice.
+                        let f = self.filler(None);
+                        self.push(f);
+                    }
+                }
+                self.terminator(false);
+            }
+            Shape::DelaySlot => {
+                let n = self.rng.gen_range(3usize..10);
+                let mut last: Option<Reg> = None;
+                for _ in 0..n {
+                    let reuse = self.rng.gen_bool(0.4);
+                    let f = self.filler(if reuse { last } else { None });
+                    last = f.rd;
+                    self.push(f);
+                }
+                self.terminator(true);
+            }
+            Shape::Mutated => unreachable!("mutated programs are built from profile text"),
+        }
+    }
+}
+
+/// Generate one program (1–3 basic blocks) of the given shape as
+/// assembly text. Deterministic in `(shape, seed)`.
+pub fn generate_program(shape: Shape, seed: u64) -> String {
+    if shape == Shape::Mutated {
+        let mut state = seed;
+        let pick = crate::splitmix64(&mut state);
+        let name = MUTATION_PROFILES[(pick % MUTATION_PROFILES.len() as u64) as usize];
+        let profile = BenchmarkProfile::by_name(name).expect("known mutation profile");
+        let bench = generate(profile, crate::splitmix64(&mut state) % 64);
+        // Keep a window of whole blocks so the fuzz loop stays fast even
+        // on the fpppp profile.
+        let text = window_text(&bench.program, crate::splitmix64(&mut state), 80);
+        return mutate_program(&text, crate::splitmix64(&mut state));
+    }
+    let mut g = Gen::new(seed);
+    let blocks = g.rng.gen_range(1usize..4);
+    for _ in 0..blocks {
+        g.block(shape);
+    }
+    if g.prog.is_empty() {
+        // Degenerate roll (every block emitted only a terminator that the
+        // parser treats as its own block is still fine, but guard the
+        // truly-empty case).
+        g.push(Instruction::int_imm(Opcode::Add, Reg::o(0), 1, Reg::o(1)));
+    }
+    g.prog.to_string()
+}
+
+/// A window of up to `max_insns` whole basic blocks from `prog`,
+/// starting at a seeded block index, rendered as text.
+fn window_text(prog: &Program, seed: u64, max_insns: usize) -> String {
+    let blocks = prog.basic_blocks();
+    if blocks.is_empty() {
+        return prog.to_string();
+    }
+    let start = (seed % blocks.len() as u64) as usize;
+    let mut out = String::new();
+    let mut taken = 0usize;
+    for b in blocks.iter().cycle().skip(start).take(blocks.len()) {
+        let insns = prog.block_insns(b);
+        if taken == 0 && insns.len() > max_insns {
+            // The first block alone is over budget. The old `taken > 0`
+            // guard admitted it whole — so whenever the seeded start
+            // landed on fpppp's 11750-instruction block, the "window"
+            // was the entire block and a single fuzz iteration spent
+            // ~20 minutes inside the O(n^3) closure oracle, blowing the
+            // run's wall-clock budget by an order of magnitude. Slice a
+            // seeded max_insns stretch *inside* the block instead: the
+            // window is still real fpppp code, just bounded.
+            let offset = (seed >> 7) as usize % (insns.len() - max_insns + 1);
+            for i in &insns[offset..offset + max_insns] {
+                out.push_str(&format!("    {i}\n"));
+            }
+            break;
+        }
+        if taken > 0 && taken + insns.len() > max_insns {
+            break;
+        }
+        for i in insns {
+            out.push_str(&format!("    {i}\n"));
+        }
+        taken += insns.len();
+        if taken >= max_insns {
+            break;
+        }
+    }
+    out
+}
+
+/// Registers used for token-level register mutation. All parse back.
+const REG_TOKENS: &[&str] = &["%o0", "%o1", "%l0", "%l1", "%i0", "%g1", "%g2", "%l2"];
+
+/// Apply 1–4 line-level mutations to `text`: delete, duplicate, swap,
+/// move, or register-token substitution. Every mutation keeps each line
+/// individually well-formed, so the result always parses.
+pub fn mutate_program(text: &str, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.to_string())
+        .collect();
+    if lines.is_empty() {
+        return text.to_string();
+    }
+    let muts = rng.gen_range(1usize..5);
+    for _ in 0..muts {
+        if lines.is_empty() {
+            break;
+        }
+        match rng.gen_range(0u32..5) {
+            0 if lines.len() > 1 => {
+                let k = rng.gen_range(0..lines.len());
+                lines.remove(k);
+            }
+            1 => {
+                let k = rng.gen_range(0..lines.len());
+                let l = lines[k].clone();
+                lines.insert(k, l);
+            }
+            2 if lines.len() > 1 => {
+                let a = rng.gen_range(0..lines.len());
+                let b = rng.gen_range(0..lines.len());
+                lines.swap(a, b);
+            }
+            3 if lines.len() > 1 => {
+                let from = rng.gen_range(0..lines.len());
+                let l = lines.remove(from);
+                let to = rng.gen_range(0..=lines.len());
+                lines.insert(to.min(lines.len()), l);
+            }
+            _ => {
+                let k = rng.gen_range(0..lines.len());
+                let old = REG_TOKENS[rng.gen_range(0..REG_TOKENS.len())];
+                let new = REG_TOKENS[rng.gen_range(0..REG_TOKENS.len())];
+                if lines[k].contains(old) {
+                    lines[k] = lines[k].replacen(old, new, 1);
+                }
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_workloads::parse_asm;
+
+    #[test]
+    fn every_shape_parses_over_many_seeds() {
+        for &shape in Shape::ALL {
+            for seed in 0..40u64 {
+                let text = generate_program(shape, seed);
+                let prog = parse_asm(&text)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}\n{text}", shape.name()));
+                assert!(!prog.is_empty(), "{} seed {seed} generated no insns", shape.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for &shape in Shape::ALL {
+            assert_eq!(generate_program(shape, 7), generate_program(shape, 7));
+        }
+    }
+
+    #[test]
+    fn mutated_programs_are_always_bounded() {
+        // Regression: seed 0x640a9583b62dfa2c (iteration 6306 of the
+        // 0xBEEF fuzz stream) picks the fpppp-1000 profile and lands
+        // the window start on its 11750-instruction block; the old
+        // window logic admitted the whole block and one fuzz iteration
+        // ran for ~20 minutes. The window must stay bounded for every
+        // seed; the +8 slack covers duplicate-line mutations (≤ 4 per
+        // program, but mutations compound over the 1–4 rolls).
+        const BOUND: usize = 80 + 8;
+        let text = generate_program(Shape::Mutated, 0x640a_9583_b62d_fa2c);
+        assert!(
+            text.lines().count() <= BOUND,
+            "fpppp-first-block seed generated {} lines",
+            text.lines().count()
+        );
+        for seed in 0..300u64 {
+            let text = generate_program(Shape::Mutated, seed);
+            let n = text.lines().count();
+            assert!(n <= BOUND, "seed {seed} generated {n} lines");
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_parseability() {
+        let base = generate_program(Shape::Layered, 3);
+        for seed in 0..60u64 {
+            let m = mutate_program(&base, seed);
+            if m.trim().is_empty() {
+                continue;
+            }
+            parse_asm(&m).unwrap_or_else(|e| panic!("mutation seed {seed}: {e}\n{m}"));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Reproducer minimization.
+//!
+//! A ddmin-style delta debugger over assembly *lines*: repeatedly try
+//! removing chunks of the program (halves, quarters, …, single lines)
+//! and keep any removal after which the matrix still fails with the
+//! *same* [`CheckKind`]. Pinning the kind prevents the classic shrinking
+//! failure mode where the reproducer morphs into a different (usually
+//! shallower) bug along the way.
+//!
+//! Minimization is bounded by an evaluation budget: each candidate costs
+//! a full matrix run, and a pathological input could otherwise stall the
+//! fuzz loop.
+
+use crate::matrix::{check_text, CheckKind, MatrixConfig};
+
+/// Upper bound on matrix evaluations per shrink.
+const MAX_EVALS: usize = 1500;
+
+/// Does `text` still fail with `kind`?
+fn still_fails(text: &str, kind: CheckKind, cfg: &MatrixConfig, evals: &mut usize) -> bool {
+    *evals += 1;
+    matches!(check_text(text, cfg), Err(d) if d.kind == kind)
+}
+
+fn join(lines: &[String]) -> String {
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Minimize `text` so it still fails the matrix with `kind`.
+///
+/// Returns the smallest failing variant found (at worst, `text` itself,
+/// normalized to non-empty lines). Deterministic: the same input always
+/// shrinks to the same reproducer.
+pub fn shrink_text(text: &str, kind: CheckKind, cfg: &MatrixConfig) -> String {
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.to_string())
+        .collect();
+    let mut evals = 0usize;
+    if lines.is_empty() || !still_fails(&join(&lines), kind, cfg, &mut evals) {
+        // The normalized text no longer fails (or there is nothing to
+        // shrink); keep the original bytes as the reproducer.
+        return text.to_string();
+    }
+
+    // Phase 1: ddmin chunk removal. Start with big chunks and refine.
+    let mut chunk = lines.len().div_ceil(2).max(1);
+    while chunk >= 1 && evals < MAX_EVALS {
+        let mut removed_any = false;
+        let mut start = 0usize;
+        while start < lines.len() && evals < MAX_EVALS {
+            if lines.len() <= 1 {
+                break;
+            }
+            let end = (start + chunk).min(lines.len());
+            let mut candidate = lines.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && still_fails(&join(&candidate), kind, cfg, &mut evals) {
+                lines = candidate;
+                removed_any = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+        // After a successful pass at this granularity, retry the same
+        // size first — removals often unlock each other.
+    }
+    join(&lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_reduces_a_parse_failure_to_one_line() {
+        let text = "    add %o0, %o1, %o2\n    sub %o2, %o1, %o3\n    bogus_opcode %o0\n    xor %o0, %o1, %o2\n";
+        let cfg = MatrixConfig::default();
+        let min = shrink_text(text, CheckKind::Parse, &cfg);
+        assert_eq!(min.trim(), "bogus_opcode %o0");
+    }
+
+    #[test]
+    fn shrink_keeps_text_that_does_not_fail() {
+        let text = "    add %o0, %o1, %o2\n";
+        let cfg = MatrixConfig::default();
+        assert_eq!(shrink_text(text, CheckKind::Parse, &cfg), text);
+    }
+}

@@ -8,6 +8,9 @@
 //! dagsched sim      block.s            # pipeline cycles before/after
 //! dagsched serve    --listen unix:/tmp/dagsched.sock
 //! dagsched request  block.s --connect unix:/tmp/dagsched.sock
+//! dagsched fuzz     --seed 0xDA65C4ED --minutes 2
+//! dagsched diff     block.s            # run the full cross-check matrix
+//! dagsched diff     --corpus tests/corpus
 //! ```
 //!
 //! Input is SPARC-flavoured assembly (or the paper's Figure 1 `DIVF
@@ -33,6 +36,7 @@ use dagsched::sched::{Scheduler, SchedulerKind};
 use dagsched::service::proto::{parse_algo, parse_model, parse_policy, parse_scheduler_kind};
 use dagsched::service::server::{serve, ServerConfig};
 use dagsched::service::{CacheConfig, Client, ScheduleRequest};
+use dagsched::verify::{check_text, replay_dir, run_fuzz, FuzzConfig, MatrixConfig};
 use dagsched::workloads::parse_asm;
 
 struct Options {
@@ -73,6 +77,14 @@ struct Options {
     seed: u64,
     /// `request`: ask the server for before/after cycle counts.
     sim: bool,
+    /// `fuzz`: wall-clock budget in minutes.
+    minutes: f64,
+    /// `fuzz`: iteration bound (`None` = time budget only).
+    iters: Option<u64>,
+    /// `fuzz`/`diff`: reproducer corpus directory.
+    corpus: Option<String>,
+    /// `fuzz`: skip shrinking (report the raw failing program).
+    no_shrink: bool,
 }
 
 fn main() {
@@ -80,6 +92,8 @@ fn main() {
     match opts.command.as_str() {
         "serve" => return cmd_serve(&opts),
         "request" => return cmd_request(&opts),
+        "fuzz" => return cmd_fuzz(&opts),
+        "diff" => return cmd_diff(&opts),
         _ => {}
     }
     let text = read_input(&opts.file).unwrap_or_else(|e| die(&format!("reading input: {e}")));
@@ -328,6 +342,115 @@ fn cmd_request(opts: &Options) {
     }
 }
 
+fn cmd_fuzz(opts: &Options) {
+    let cfg = FuzzConfig {
+        seed: opts.seed,
+        minutes: opts.minutes,
+        iters: opts.iters,
+        corpus_dir: opts.corpus.as_ref().map(std::path::PathBuf::from),
+        shrink: !opts.no_shrink,
+        matrix: MatrixConfig {
+            model: opts.model.clone(),
+            ..MatrixConfig::default()
+        },
+        progress_every: 25,
+    };
+    eprintln!(
+        "dagsched: fuzzing with seed {:#x} ({})",
+        cfg.seed,
+        match (cfg.minutes > 0.0, cfg.iters) {
+            (true, Some(n)) => format!("{} min budget, at most {n} programs", cfg.minutes),
+            (true, None) => format!("{} min budget", cfg.minutes),
+            (false, Some(n)) => format!("{n} programs"),
+            (false, None) => "unbounded — interrupt to stop".to_string(),
+        }
+    );
+    let outcome = run_fuzz(&cfg);
+    eprintln!(
+        "dagsched: fuzz done: {} programs, {} blocks ({} insns), {} proven optima, {:.1}s",
+        outcome.iterations,
+        outcome.summary.blocks,
+        outcome.summary.insns,
+        outcome.summary.optimal_proven,
+        outcome.elapsed.as_secs_f64()
+    );
+    if !outcome.summary.opt_gaps.is_empty() {
+        let gaps: Vec<String> = outcome
+            .summary
+            .opt_gaps
+            .iter()
+            .map(|(n, g)| format!("{n}: {g}"))
+            .collect();
+        eprintln!("dagsched: max cycles over optimum: {}", gaps.join(", "));
+    }
+    if outcome.is_clean() {
+        eprintln!("dagsched: zero disagreements across the cross-check matrix");
+        return;
+    }
+    for f in &outcome.failures {
+        eprintln!("\ndagsched: DISAGREEMENT [{}] {}", f.disagreement.kind, f.disagreement.pair);
+        eprintln!("  detail: {}", f.disagreement.detail);
+        eprintln!("  found by: {}", f.provenance);
+        if let Some(p) = &f.path {
+            eprintln!("  reproducer: {}", p.display());
+        }
+        eprintln!("  shrunk block:");
+        for line in f.text.lines() {
+            eprintln!("  | {line}");
+        }
+    }
+    std::process::exit(1);
+}
+
+fn cmd_diff(opts: &Options) {
+    let matrix = MatrixConfig {
+        model: opts.model.clone(),
+        ..MatrixConfig::default()
+    };
+    if let Some(dir) = &opts.corpus {
+        let failures = replay_dir(std::path::Path::new(dir), &matrix)
+            .unwrap_or_else(|e| die(&format!("replaying {dir}: {e}")));
+        if failures.is_empty() {
+            eprintln!("dagsched: corpus {dir} replays clean");
+            return;
+        }
+        for f in &failures {
+            eprintln!(
+                "\ndagsched: DISAGREEMENT [{}] {} in {}",
+                f.disagreement.kind,
+                f.disagreement.pair,
+                f.path.display()
+            );
+            eprintln!("  detail: {}", f.disagreement.detail);
+            for line in f.text.lines() {
+                eprintln!("  | {line}");
+            }
+        }
+        std::process::exit(1);
+    }
+    let text = read_input(&opts.file).unwrap_or_else(|e| die(&format!("reading input: {e}")));
+    match check_text(&text, &matrix) {
+        Ok(summary) => eprintln!(
+            "dagsched: matrix clean: {} blocks, {} insns, {} proven optima",
+            summary.blocks, summary.insns, summary.optimal_proven
+        ),
+        Err(d) => {
+            eprintln!("dagsched: DISAGREEMENT [{}] {}", d.kind, d.pair);
+            eprintln!("  detail: {}", d.detail);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parse a `u64` accepting both decimal and `0x` hexadecimal.
+fn parse_u64(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or("missing command")?;
@@ -360,7 +483,14 @@ fn parse_args() -> Result<Options, String> {
         profile: None,
         seed: dagsched::workloads::PAPER_SEED,
         sim: false,
+        minutes: 2.0,
+        iters: None,
+        corpus: None,
+        no_shrink: false,
     };
+    if opts.command == "fuzz" {
+        opts.seed = 0xDA65_C4ED;
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--algo" => {
@@ -439,9 +569,27 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => {
                 opts.seed = args
                     .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--seed needs an integer")?;
+                    .and_then(|v| parse_u64(&v))
+                    .ok_or("--seed needs an integer (decimal or 0x hex)")?;
             }
+            "--minutes" => {
+                opts.minutes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&m: &f64| m >= 0.0)
+                    .ok_or("--minutes needs a non-negative number")?;
+            }
+            "--iters" => {
+                opts.iters = Some(
+                    args.next()
+                        .and_then(|v| parse_u64(&v))
+                        .ok_or("--iters needs a count")?,
+                );
+            }
+            "--corpus" => {
+                opts.corpus = Some(args.next().ok_or("--corpus needs a directory")?);
+            }
+            "--no-shrink" => opts.no_shrink = true,
             "--sim" => opts.sim = true,
             "--stats" => opts.stats = true,
             "--inherit" => opts.inherit = true,
@@ -476,7 +624,7 @@ fn usage(err: &str) -> ! {
         eprintln!("dagsched: {err}\n");
     }
     eprintln!(
-        "usage: dagsched <dag|dot|heur|schedule|sim|serve|request> [file|-]\n\
+        "usage: dagsched <dag|dot|heur|schedule|sim|serve|request|fuzz|diff> [file|-]\n\
          \n\
          options:\n\
          \x20 --algo       n2 | n2-backward | landskov | table-forward | table-backward | bitmap\n\
@@ -502,7 +650,14 @@ fn usage(err: &str) -> ! {
          \x20 --connect EP server endpoint (default tcp:127.0.0.1:4591)\n\
          \x20 --profile P  schedule a generated workload instead of a file\n\
          \x20 --seed N     workload generator seed\n\
-         \x20 --sim        ask the server for before/after cycle counts"
+         \x20 --sim        ask the server for before/after cycle counts\n\
+         \n\
+         fuzz / diff options:\n\
+         \x20 --seed N     master fuzz seed, decimal or 0x hex (default 0xDA65C4ED)\n\
+         \x20 --minutes F  wall-clock fuzz budget (default 2; 0 = no time budget)\n\
+         \x20 --iters N    stop after N generated programs\n\
+         \x20 --corpus DIR write shrunk reproducers to DIR (fuzz) / replay DIR (diff)\n\
+         \x20 --no-shrink  report raw failing programs without minimizing"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

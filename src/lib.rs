@@ -26,6 +26,10 @@
 //!   protocol over TCP / Unix sockets, a fixed worker pool, and a
 //!   content-addressed schedule cache (`dagsched serve` /
 //!   `dagsched request`).
+//! * [`verify`] — the differential correctness harness: structure-diverse
+//!   block fuzzing, an N-way cross-check matrix against the simulator
+//!   oracle, ddmin shrinking, and the committed reproducer corpus
+//!   (`dagsched fuzz` / `dagsched diff`).
 //!
 //! # Quickstart
 //!
@@ -58,6 +62,7 @@ pub use dagsched_pipesim as pipesim;
 pub use dagsched_sched as sched;
 pub use dagsched_service as service;
 pub use dagsched_stats as stats;
+pub use dagsched_verify as verify;
 pub use dagsched_workloads as workloads;
 
 /// Convenient glob-import of the most commonly used items.

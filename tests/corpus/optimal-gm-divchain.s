@@ -1,0 +1,18 @@
+! dagsched-verify reproducer (shrunk)
+! check: optimal
+! pair: Gibbons & Muchnick vs branch-and-bound
+! detail: makespan 64 exceeds optimum 39 by 25 cycles on sparc2: GM's
+! detail: published heuristic ranks the successor-free udiv last, so the
+! detail: block ends by eating the full integer-divide latency instead of
+! detail: overlapping it under the fdivd shadow (Warren schedules the
+! detail: same block in 41). Triage verdict: faithful weakness of the
+! detail: published heuristic (paper Table 6 territory), not an
+! detail: implementation bug — this file pins the calibrated optimality
+! detail: envelope and every other cross-check on a divide-chain block.
+! found-by: fan-out seed, fuzz --seed 0xDA65C4ED
+    st %i0, [%i1]
+    fdivd %f26, %f24, %f16
+    fsubd %f16, %f16, %f28
+    fmuld %f16, %f28, %f22
+    lddf [%i1+16], %f12
+    udiv %l5, %i4, %l4

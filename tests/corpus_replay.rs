@@ -1,0 +1,51 @@
+//! Replay the committed fuzz-reproducer corpus (`tests/corpus/*.s`)
+//! through the full differential cross-check matrix.
+//!
+//! Every bug `dagsched fuzz` ever found lands with its ddmin-shrunk
+//! reproducer in this directory; this test re-runs the *whole* matrix
+//! on each file (not just the check that originally failed), so a
+//! reproducer keeps protecting against any regression it can reach. On
+//! failure it prints the shrunk block and the disagreeing pipeline
+//! pair, which is exactly what a triage needs.
+
+use std::path::Path;
+
+use dagsched::verify::{replay_dir, MatrixConfig};
+
+#[test]
+fn committed_reproducers_stay_fixed() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    assert!(
+        dir.is_dir(),
+        "tests/corpus is committed with the repo; missing at {}",
+        dir.display()
+    );
+    let failures = replay_dir(&dir, &MatrixConfig::default()).expect("corpus replay io");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("== regression: {} ==", f.path.display());
+            eprintln!(
+                "   check `{}` disagreed: {}",
+                f.disagreement.kind, f.disagreement.pair
+            );
+            eprintln!("   {}", f.disagreement.detail);
+            eprintln!("   shrunk block:");
+            for line in f.text.lines().filter(|l| !l.trim_start().starts_with('!')) {
+                eprintln!("     {line}");
+            }
+        }
+        panic!(
+            "{} corpus reproducer(s) regressed (see stderr above)",
+            failures.len()
+        );
+    }
+
+    // The corpus is never empty: at minimum the calibration pin for the
+    // Gibbons–Muchnick optimality envelope is committed.
+    let count = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "s"))
+        .count();
+    assert!(count >= 1, "tests/corpus holds no reproducers");
+}

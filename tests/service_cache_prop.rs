@@ -13,7 +13,7 @@ use dagsched::batch::{schedule_program_batch, Limits, NoCache};
 use dagsched::driver::DriverConfig;
 use dagsched::isa::MachineModel;
 use dagsched::sched::{Scheduler, SchedulerKind};
-use dagsched::service::ScheduleCache;
+use dagsched::service::{ScheduleCache, MIN_ENTRY_COST};
 use proptest::prelude::*;
 
 proptest! {
@@ -65,6 +65,22 @@ proptest! {
             prop_assert_eq!(warm_stats.cache_misses, 0);
             prop_assert_eq!(warm_stats.blocks, 0, "a hit must skip DAG construction");
             prop_assert_eq!(warm_stats.arcs_added, 0);
+        }
+
+        // Byte-accounting invariant: every resident entry is charged at
+        // least its key + index + bookkeeping share, so `bytes` can
+        // never under-count to zero-cost entries and quietly exceed the
+        // configured budget. An empty cache holds zero bytes.
+        let stats = cache.stats();
+        prop_assert!(
+            stats.bytes >= stats.entries * MIN_ENTRY_COST,
+            "cache charges {} bytes for {} entries (< {} per-entry floor)",
+            stats.bytes,
+            stats.entries,
+            MIN_ENTRY_COST
+        );
+        if stats.entries == 0 {
+            prop_assert_eq!(stats.bytes, 0);
         }
     }
 }
