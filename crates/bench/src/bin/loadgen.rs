@@ -16,6 +16,31 @@
 //! dominated by cache hits — exactly the regime the daemon exists for.
 //! The run is summarized into a JSON artifact (default
 //! `service-load.json`).
+//!
+//! # Chaos mode
+//!
+//! Built with `--features chaos`, the harness gains a `--chaos` flag
+//! that turns the run into a fault-tolerance audit: the in-process
+//! server is configured with deterministic fault injection (10% worker
+//! panics, 10% slow replies, plus truncated/corrupted/reset response
+//! frames), every request goes through the retrying client, and the
+//! run *fails* unless all of the following hold:
+//!
+//! 1. the daemon survives — it still answers a ping after the last
+//!    request and drains cleanly;
+//! 2. every request reaches a terminal outcome — a response or a typed
+//!    error — rather than hanging;
+//! 3. every `degraded: false` response is bit-identical to a fresh
+//!    serial compile of the same program;
+//! 4. every `degraded: true` response passes the standalone validity
+//!    oracle (`dagsched_verify::check_reordering_text`).
+//!
+//! ```text
+//! loadgen --chaos --seed 1991 --deadline-ms 200 --out service-chaos.json
+//! ```
+//!
+//! The same `--seed` replays the same fault stream bit-for-bit, so a
+//! chaos run that found a bug is a reproducer, not an anecdote.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -30,6 +55,9 @@ use dagsched_workloads::PAPER_SEED;
 struct Options {
     /// Endpoint to dial; `None` starts an in-process server.
     connect: Option<String>,
+    /// Bind the in-process server to this Unix socket path instead of
+    /// an ephemeral TCP port.
+    unix: Option<String>,
     /// Target aggregate request rate (requests/second).
     qps: f64,
     /// Total requests to issue.
@@ -45,14 +73,28 @@ struct Options {
     workers: usize,
     /// Entry bound for the in-process server's schedule cache.
     cache_entries: usize,
-    /// Output artifact path.
-    out: String,
+    /// Output artifact path (`None` = mode-dependent default).
+    out: Option<String>,
+    /// Chaos mode: inject faults, retry, audit invariants.
+    chaos: bool,
+    /// Seed for the injected-fault stream (chaos mode).
+    chaos_seed: u64,
+    /// Base injection rate in ‰ (chaos mode): applied to panics and
+    /// slow replies; frame faults run at 40% of it.
+    fault_per_mille: u16,
+    /// Injected delay for slow replies, in milliseconds (chaos mode).
+    slow_ms: u64,
+    /// Retry budget per request (chaos mode).
+    retries: u32,
+    /// Per-request deadline tagged on every request, if any.
+    deadline_ms: Option<u64>,
 }
 
 impl Default for Options {
     fn default() -> Options {
         Options {
             connect: None,
+            unix: None,
             qps: 200.0,
             requests: 400,
             clients: 4,
@@ -64,7 +106,13 @@ impl Default for Options {
             seeds: 8,
             workers: 4,
             cache_entries: dagsched_service::CacheConfig::default().max_entries,
-            out: "service-load.json".to_string(),
+            out: None,
+            chaos: false,
+            chaos_seed: 1991,
+            fault_per_mille: 100,
+            slow_ms: 20,
+            retries: 4,
+            deadline_ms: None,
         }
     }
 }
@@ -75,6 +123,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--connect" => opts.connect = Some(args.next().ok_or("--connect needs an endpoint")?),
+            "--unix" => opts.unix = Some(args.next().ok_or("--unix needs a socket path")?),
             "--qps" => {
                 opts.qps = args
                     .next()
@@ -124,27 +173,87 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|&n: &usize| n > 0)
                     .ok_or("--cache-entries needs a positive count")?;
             }
-            "--out" => opts.out = args.next().ok_or("--out needs a path")?,
+            "--out" => opts.out = Some(args.next().ok_or("--out needs a path")?),
+            "--chaos" => opts.chaos = true,
+            "--seed" => {
+                opts.chaos_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--faults" => {
+                opts.fault_per_mille = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u16| n <= 1000)
+                    .ok_or("--faults needs a per-mille rate (0..=1000)")?;
+            }
+            "--slow-ms" => {
+                opts.slow_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--slow-ms needs a millisecond count")?;
+            }
+            "--retries" => {
+                opts.retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--retries needs a count")?;
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--deadline-ms needs a millisecond count")?,
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: loadgen [--connect EP] [--qps N] [--requests N] [--clients N]\n\
+                    "usage: loadgen [--connect EP | --unix PATH] [--qps N] [--requests N] [--clients N]\n\
                      \x20              [--profiles a,b,c] [--seeds N] [--workers N]\n\
-                     \x20              [--cache-entries N] [--out FILE]"
+                     \x20              [--cache-entries N] [--deadline-ms N] [--out FILE]\n\
+                     \x20              [--chaos] [--seed N] [--faults PERMILLE] [--slow-ms N]\n\
+                     \x20              [--retries N]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
+    if opts.chaos && opts.connect.is_some() {
+        return Err("--chaos installs fault injection on the in-process server; \
+                    it cannot target a remote daemon (omit --connect)"
+            .to_string());
+    }
+    if opts.unix.is_some() && opts.connect.is_some() {
+        return Err("--unix binds the in-process server; it conflicts with --connect".to_string());
+    }
     Ok(opts)
 }
 
-/// The request mix: profile `k % profiles` with seed `PAPER_SEED + (k /
-/// profiles) % seeds`. Deterministic, so reruns replay the same stream.
-fn request_for(opts: &Options, k: usize) -> ScheduleRequest {
-    let profile = &opts.profiles[k % opts.profiles.len()];
+/// Where the in-process server listens: an ephemeral TCP port, or the
+/// `--unix` socket path.
+fn listen_for(opts: &Options) -> Listen {
+    match &opts.unix {
+        Some(path) => Listen::Unix(std::path::PathBuf::from(path)),
+        None => Listen::Tcp("127.0.0.1:0".to_string()),
+    }
+}
+
+/// `(profile, generator seed)` for request number `k`: profile
+/// `k % profiles` with seed `PAPER_SEED + (k / profiles) % seeds`.
+/// Deterministic, so reruns replay the same stream.
+fn mix_key(opts: &Options, k: usize) -> (String, u64) {
+    let profile = opts.profiles[k % opts.profiles.len()].clone();
     let seed = PAPER_SEED + (k / opts.profiles.len()) as u64 % opts.seeds;
-    ScheduleRequest::profile(profile.clone(), seed)
+    (profile, seed)
+}
+
+fn request_for(opts: &Options, k: usize) -> ScheduleRequest {
+    let (profile, seed) = mix_key(opts, k);
+    let mut req = ScheduleRequest::profile(profile, seed);
+    req.deadline_ms = opts.deadline_ms;
+    req
 }
 
 struct ClientTally {
@@ -203,11 +312,208 @@ fn run_client(
     }
 }
 
+/// The chaos audit. Gated behind the `chaos` feature because it
+/// installs [`dagsched_service::FaultConfig`] on the in-process server,
+/// which only exists when the service is built with `fault-injection`.
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+    use std::collections::HashMap;
+
+    use dagsched_driver::{schedule_program_batch, DriverConfig, Limits, NoCache};
+    use dagsched_isa::MachineModel;
+    use dagsched_sched::{Scheduler, SchedulerKind};
+    use dagsched_service::{ClientError, FaultConfig, RetryPolicy};
+    use dagsched_verify::check_reordering_text;
+    use dagsched_workloads::{generate, BenchmarkProfile};
+
+    /// Ground truth for one `(profile, seed)` in the working set.
+    pub struct Reference {
+        /// The generated program, rendered one instruction per line.
+        original: String,
+        /// The serial, uncached driver's schedule under the server's
+        /// default configuration.
+        scheduled: Vec<String>,
+    }
+
+    /// Serially compile every program the run will request, before any
+    /// fault is injected, so the audit compares against ground truth
+    /// produced outside the chaos blast radius.
+    pub fn references(opts: &Options) -> Result<HashMap<(String, u64), Reference>, String> {
+        let model = MachineModel::sparc2();
+        let config = DriverConfig {
+            scheduler: Scheduler::new(SchedulerKind::Warren),
+            ..DriverConfig::default()
+        };
+        let mut refs = HashMap::new();
+        let keys = opts.profiles.len() * opts.seeds as usize;
+        for k in 0..keys.min(opts.requests) {
+            let (profile, seed) = mix_key(opts, k);
+            if refs.contains_key(&(profile.clone(), seed)) {
+                continue;
+            }
+            let bp = BenchmarkProfile::by_name(&profile)
+                .ok_or_else(|| format!("unknown profile `{profile}`"))?;
+            let bench = generate(bp, seed);
+            let (result, _) =
+                schedule_program_batch(&bench.program, &model, &config, 1, &Limits::none(), &NoCache)
+                    .map_err(|e| format!("serial reference for {profile}/{seed}: {e:?}"))?;
+            let original = bench
+                .program
+                .insns
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n");
+            let scheduled = result.insns.iter().map(|i| i.to_string()).collect();
+            refs.insert((profile, seed), Reference { original, scheduled });
+        }
+        Ok(refs)
+    }
+
+    /// The injected mix at the default `--faults 100`: 10% panics, 10%
+    /// slow replies, and 4% each of truncated / corrupted / reset
+    /// response frames — every failure class the retry + supervision
+    /// machinery claims to absorb. `--faults N` scales the whole mix.
+    pub fn fault_config(opts: &Options) -> FaultConfig {
+        let base = opts.fault_per_mille;
+        let frame = base * 2 / 5;
+        FaultConfig {
+            seed: opts.chaos_seed,
+            panic_per_mille: base,
+            slow_per_mille: base,
+            slow_ms: opts.slow_ms,
+            truncate_per_mille: frame,
+            corrupt_per_mille: frame,
+            reset_per_mille: frame,
+        }
+    }
+
+    #[derive(Default)]
+    pub struct ChaosTally {
+        pub latencies_ns: Vec<u64>,
+        /// `degraded: false` responses, checked bit-identical.
+        pub ok_exact: u64,
+        /// `degraded: true` responses, checked semantically valid.
+        pub ok_degraded: u64,
+        /// Typed server errors by wire code (all terminal).
+        pub server_errors: HashMap<String, u64>,
+        /// Requests whose retry budget ran out on transport errors.
+        pub transport_failures: u64,
+        /// Client-side retry/redial work (successful requests only).
+        pub retries: u64,
+        pub redials: u64,
+        pub server_hints_honoured: u64,
+        /// Invariant violations; any entry fails the run.
+        pub violations: Vec<String>,
+    }
+
+    pub fn run_chaos_client(
+        endpoint: &str,
+        opts: &Options,
+        refs: &HashMap<(String, u64), Reference>,
+        next: &AtomicUsize,
+        start: Instant,
+        client_idx: usize,
+    ) -> Result<ChaosTally, String> {
+        let mut client = Client::connect(endpoint).map_err(|e| format!("connect: {e}"))?;
+        let policy = RetryPolicy {
+            max_retries: opts.retries,
+            per_attempt_timeout: Some(Duration::from_secs(5)),
+            jitter_seed: opts.chaos_seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9),
+            ..RetryPolicy::default()
+        };
+        let mut tally = ChaosTally::default();
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= opts.requests {
+                return Ok(tally);
+            }
+            let due = start + Duration::from_secs_f64(k as f64 / opts.qps);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            let req = request_for(opts, k);
+            let key = mix_key(opts, k);
+            let t = Instant::now();
+            match client.request_with_retry(&req, &policy) {
+                Ok((resp, stats)) => {
+                    tally.latencies_ns.push(t.elapsed().as_nanos() as u64);
+                    tally.retries += u64::from(stats.retries);
+                    tally.redials += u64::from(stats.redials);
+                    tally.server_hints_honoured += u64::from(stats.server_hints_honoured);
+                    let reference = refs.get(&key).expect("precomputed reference");
+                    if resp.degraded {
+                        tally.ok_degraded += 1;
+                        // Invariant 4: a degraded schedule is still a
+                        // *correct* schedule.
+                        if let Err(e) = check_reordering_text(
+                            &reference.original,
+                            &resp.insns.join("\n"),
+                            3,
+                            opts.chaos_seed,
+                        ) {
+                            tally.violations.push(format!(
+                                "request {k} ({}/{}): degraded reply fails validity: {e}",
+                                key.0, key.1
+                            ));
+                        }
+                    } else {
+                        tally.ok_exact += 1;
+                        // Invariant 3: no silent degradation — an
+                        // undegraded reply is the serial compile.
+                        if resp.insns != reference.scheduled {
+                            tally.violations.push(format!(
+                                "request {k} ({}/{}): degraded=false reply differs from \
+                                 the serial compile",
+                                key.0, key.1
+                            ));
+                        }
+                    }
+                }
+                Err(ClientError::Server(reply)) => {
+                    // Terminal typed error: Internal after retries ran
+                    // out, Quarantined, DeadlineExpired, ... — a valid
+                    // end state under invariant 2.
+                    tally.latencies_ns.push(t.elapsed().as_nanos() as u64);
+                    *tally
+                        .server_errors
+                        .entry(format!("{:?}", reply.code))
+                        .or_insert(0) += 1;
+                }
+                Err(e) => {
+                    // The retry budget ran out on transport errors.
+                    // Still terminal; redial before the next request.
+                    tally.transport_failures += 1;
+                    eprintln!("loadgen: request {k}: retries exhausted: {e}");
+                    client = Client::connect(endpoint).map_err(|e| format!("redial: {e}"))?;
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args().unwrap_or_else(|e| {
         eprintln!("loadgen: {e}");
         std::process::exit(2);
     });
+    if opts.chaos {
+        #[cfg(feature = "chaos")]
+        {
+            chaos_main(opts);
+            return;
+        }
+        #[cfg(not(feature = "chaos"))]
+        {
+            eprintln!(
+                "loadgen: --chaos requires fault injection; rebuild with \
+                 `cargo build -p dagsched-bench --features chaos`"
+            );
+            std::process::exit(2);
+        }
+    }
 
     // Dial a remote daemon, or stand one up in-process.
     let (endpoint, handle) = match &opts.connect {
@@ -221,11 +527,10 @@ fn main() {
                 },
                 ..ServerConfig::default()
             };
-            let handle = serve(Listen::Tcp("127.0.0.1:0".to_string()), config)
-                .unwrap_or_else(|e| {
-                    eprintln!("loadgen: in-process server: {e}");
-                    std::process::exit(1);
-                });
+            let handle = serve(listen_for(&opts), config).unwrap_or_else(|e| {
+                eprintln!("loadgen: in-process server: {e}");
+                std::process::exit(1);
+            });
             (handle.endpoint(), Some(handle))
         }
     };
@@ -333,8 +638,9 @@ fn main() {
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
     );
-    std::fs::write(&opts.out, format!("{artifact}\n")).unwrap_or_else(|e| {
-        eprintln!("loadgen: writing {}: {e}", opts.out);
+    let out = opts.out.clone().unwrap_or_else(|| "service-load.json".to_string());
+    std::fs::write(&out, format!("{artifact}\n")).unwrap_or_else(|e| {
+        eprintln!("loadgen: writing {out}: {e}");
         std::process::exit(1);
     });
     eprintln!(
@@ -344,9 +650,218 @@ fn main() {
         ms(p95),
         ms(p99),
         100.0 * hit_rate,
-        opts.out
+        out
     );
     if errors > 0 {
         std::process::exit(1);
     }
+}
+
+#[cfg(feature = "chaos")]
+fn chaos_main(opts: Options) {
+    // Injected panics are caught by the worker supervision boundary,
+    // but the default hook would still print a backtrace per injection
+    // and drown the report. Silence exactly those; real panics keep
+    // the default treatment.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected fault"))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let faults = chaos::fault_config(&opts);
+    eprintln!(
+        "loadgen: chaos audit: seed {}, {} requests at {} qps over {} clients, \
+         retries {}, deadline {:?} ms",
+        opts.chaos_seed, opts.requests, opts.qps, opts.clients, opts.retries, opts.deadline_ms
+    );
+    let refs = chaos::references(&opts).unwrap_or_else(|e| {
+        eprintln!("loadgen: serial references: {e}");
+        std::process::exit(1);
+    });
+    let config = ServerConfig {
+        workers: opts.workers,
+        cache: dagsched_service::CacheConfig {
+            max_entries: opts.cache_entries,
+            ..dagsched_service::CacheConfig::default()
+        },
+        faults: Some(faults),
+        ..ServerConfig::default()
+    };
+    let handle = serve(listen_for(&opts), config).unwrap_or_else(|e| {
+        eprintln!("loadgen: in-process server: {e}");
+        std::process::exit(1);
+    });
+    let endpoint = handle.endpoint();
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let opts = Arc::new(opts);
+    let refs = Arc::new(refs);
+    let mut threads = Vec::new();
+    for idx in 0..opts.clients {
+        let endpoint = endpoint.clone();
+        let next = Arc::clone(&next);
+        let opts = Arc::clone(&opts);
+        let refs = Arc::clone(&refs);
+        threads.push(std::thread::spawn(move || {
+            chaos::run_chaos_client(&endpoint, &opts, &refs, &next, start, idx)
+        }));
+    }
+
+    let mut latencies = Vec::with_capacity(opts.requests);
+    let mut merged = chaos::ChaosTally::default();
+    for t in threads {
+        match t.join().expect("chaos client thread panicked") {
+            Ok(tally) => {
+                latencies.extend(tally.latencies_ns);
+                merged.ok_exact += tally.ok_exact;
+                merged.ok_degraded += tally.ok_degraded;
+                merged.transport_failures += tally.transport_failures;
+                merged.retries += tally.retries;
+                merged.redials += tally.redials;
+                merged.server_hints_honoured += tally.server_hints_honoured;
+                for (code, n) in tally.server_errors {
+                    *merged.server_errors.entry(code).or_insert(0) += n;
+                }
+                merged.violations.extend(tally.violations);
+            }
+            Err(e) => merged
+                .violations
+                .push(format!("chaos client aborted: {e}")),
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // Invariant 1: the daemon survived the whole run.
+    let alive = Client::connect(&endpoint)
+        .and_then(|mut c| c.ping())
+        .is_ok();
+    if !alive {
+        merged
+            .violations
+            .push("daemon did not answer a ping after the run".to_string());
+    }
+    let server_metrics = Client::connect(&endpoint)
+        .ok()
+        .and_then(|mut c| c.metrics().ok());
+    handle.begin_drain();
+    handle.join();
+
+    // Invariant 2: every request reached a terminal outcome.
+    let typed_errors: u64 = merged.server_errors.values().sum();
+    let terminal = merged.ok_exact + merged.ok_degraded + typed_errors + merged.transport_failures;
+    if terminal != opts.requests as u64 {
+        merged.violations.push(format!(
+            "{terminal} terminal outcomes for {} requests",
+            opts.requests
+        ));
+    }
+
+    latencies.sort_unstable();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+    let p99 = percentile(&latencies, 99.0);
+    let ok_total = merged.ok_exact + merged.ok_degraded;
+    let degraded_fraction = if ok_total > 0 {
+        merged.ok_degraded as f64 / ok_total as f64
+    } else {
+        0.0
+    };
+
+    let mut report = vec![
+        ("mode", Json::from("chaos")),
+        ("chaos_seed", Json::from(opts.chaos_seed)),
+        (
+            "fault_per_mille",
+            Json::Obj(vec![
+                ("panic".to_string(), Json::from(u64::from(faults.panic_per_mille))),
+                ("slow".to_string(), Json::from(u64::from(faults.slow_per_mille))),
+                (
+                    "truncate".to_string(),
+                    Json::from(u64::from(faults.truncate_per_mille)),
+                ),
+                (
+                    "corrupt".to_string(),
+                    Json::from(u64::from(faults.corrupt_per_mille)),
+                ),
+                ("reset".to_string(), Json::from(u64::from(faults.reset_per_mille))),
+            ]),
+        ),
+        ("slow_ms", Json::from(opts.slow_ms)),
+        ("deadline_ms", match opts.deadline_ms {
+            Some(ms) => Json::from(ms),
+            None => Json::Null,
+        }),
+        ("retries_budget", Json::from(u64::from(opts.retries))),
+        ("requests", Json::from(opts.requests)),
+        ("clients", Json::from(opts.clients)),
+        ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
+        ("ok_exact", Json::from(merged.ok_exact)),
+        ("ok_degraded", Json::from(merged.ok_degraded)),
+        ("degraded_fraction", Json::from(degraded_fraction)),
+        ("typed_errors", Json::from(typed_errors)),
+        (
+            "typed_errors_by_code",
+            Json::Obj(
+                merged
+                    .server_errors
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        ),
+        ("transport_failures", Json::from(merged.transport_failures)),
+        ("retries", Json::from(merged.retries)),
+        ("redials", Json::from(merged.redials)),
+        ("server_hints_honoured", Json::from(merged.server_hints_honoured)),
+        ("latency_ms_p50", Json::from(ms(p50))),
+        ("latency_ms_p95", Json::from(ms(p95))),
+        ("latency_ms_p99", Json::from(ms(p99))),
+        ("daemon_alive_after_run", Json::from(alive)),
+        ("violations", Json::from(merged.violations.len() as u64)),
+    ];
+    if let Some(m) = server_metrics {
+        report.push(("server", m));
+    }
+    let artifact = Json::Obj(
+        report
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    let out = opts.out.clone().unwrap_or_else(|| "service-chaos.json".to_string());
+    std::fs::write(&out, format!("{artifact}\n")).unwrap_or_else(|e| {
+        eprintln!("loadgen: writing {out}: {e}");
+        std::process::exit(1);
+    });
+
+    eprintln!(
+        "loadgen: chaos: {} exact, {} degraded ({:.1}%), {} typed errors, {} transport \
+         failures, {} retries, {} redials; p50 {:.2} ms, p99 {:.2} ms -> {}",
+        merged.ok_exact,
+        merged.ok_degraded,
+        100.0 * degraded_fraction,
+        typed_errors,
+        merged.transport_failures,
+        merged.retries,
+        merged.redials,
+        ms(p50),
+        ms(p99),
+        out
+    );
+    if !merged.violations.is_empty() {
+        for v in &merged.violations {
+            eprintln!("loadgen: VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("loadgen: chaos audit passed: daemon alive, all requests terminal, all replies verified");
 }

@@ -106,6 +106,37 @@ impl HeuristicSet {
         h
     }
 
+    /// Compute only the cheapest useful heuristic subset: execution
+    /// times, original order, and the backward critical-path pair
+    /// (`max_path_to_leaf` / `max_delay_to_leaf`) via
+    /// [`annotate_backward_cp`].
+    ///
+    /// This is the degraded-mode heuristic stack of the serving stack's
+    /// cost ladder: one reverse walk over the block instead of the full
+    /// construction + forward + backward annotation passes. The paper's
+    /// Tables 4 and 5 time exactly this backward pass as the cheapest
+    /// pass that still yields a competitive list-scheduling priority
+    /// (max delay to a leaf *is* the critical-path heuristic).
+    ///
+    /// Only the fields above are populated; schedulers consuming the
+    /// result must restrict themselves to those (see the sched crate's
+    /// `critical_path_fallback`).
+    pub fn compute_critical_path(
+        dag: &Dag,
+        insns: &[Instruction],
+        model: &MachineModel,
+    ) -> HeuristicSet {
+        let n = dag.node_count();
+        assert_eq!(n, insns.len(), "DAG/block size mismatch");
+        let mut h = HeuristicSet {
+            exec_time: insns.iter().map(|i| model.exec_latency(i)).collect(),
+            original_order: (0..n as u32).collect(),
+            ..HeuristicSet::default()
+        };
+        annotate_backward_cp(&mut h, dag, BackwardOrder::ReverseWalk);
+        h
+    }
+
     /// Number of nodes annotated.
     pub fn len(&self) -> usize {
         self.exec_time.len()

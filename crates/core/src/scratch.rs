@@ -64,6 +64,11 @@ pub struct PhaseStats {
     /// Blocks that consulted a schedule cache and missed (and were then
     /// compiled and inserted).
     pub cache_misses: u64,
+    /// Blocks compiled under a degraded configuration (a cheaper rung
+    /// of the cost ladder selected because the request's deadline
+    /// budget ran low). Zero unless the batch loop was given a
+    /// degradation policy and actually fell down the ladder.
+    pub degraded_blocks: u64,
 }
 
 impl PhaseStats {
@@ -80,6 +85,7 @@ impl PhaseStats {
         self.sched_ns += other.sched_ns;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.degraded_blocks += other.degraded_blocks;
     }
 
     /// Whether the deterministic work counters match, ignoring the
@@ -87,7 +93,9 @@ impl PhaseStats {
     /// between `jobs` settings). The `cache_hits` / `cache_misses` fields
     /// are also ignored: with a shared schedule cache, whether a given
     /// block hits depends on which identical block was compiled first,
-    /// which legitimately varies with worker interleaving.
+    /// which legitimately varies with worker interleaving. Likewise
+    /// `degraded_blocks`: which rung a block compiles on depends on how
+    /// much wall-clock budget remained when its turn came.
     pub fn same_counts(&self, other: &PhaseStats) -> bool {
         self.blocks == other.blocks
             && self.nodes == other.nodes
@@ -127,6 +135,9 @@ impl std::fmt::Display for PhaseStats {
                 "; cache {} hits / {} misses",
                 self.cache_hits, self.cache_misses
             )?;
+        }
+        if self.degraded_blocks > 0 {
+            write!(f, "; {} blocks degraded", self.degraded_blocks)?;
         }
         Ok(())
     }
@@ -320,6 +331,7 @@ mod tests {
             sched_ns: 25,
             cache_hits: 0,
             cache_misses: 0,
+            degraded_blocks: 0,
         };
         let b = a;
         a.merge(&b);
@@ -337,11 +349,13 @@ mod tests {
         let mut d = a;
         d.cache_hits = 7;
         d.cache_misses = 3;
+        d.degraded_blocks = 2;
         assert!(a.same_counts(&d));
         let e = d;
         d.merge(&e);
         assert_eq!(d.cache_hits, 14);
         assert_eq!(d.cache_misses, 6);
+        assert_eq!(d.degraded_blocks, 4);
     }
 
     #[test]

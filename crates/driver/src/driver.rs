@@ -11,6 +11,25 @@ use dagsched_sched::{
 
 use crate::batch::{schedule_program_batch, Limits, NoCache};
 
+/// Which heuristic stack [`compile_block`] computes before scheduling.
+///
+/// The serving stack's degradation ladder (see [`crate::batch`]) trades
+/// schedule quality for compile latency by switching this from `Full`
+/// to `CriticalPathOnly` when a request's deadline budget runs low.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeuristicMode {
+    /// Every static heuristic pass ([`HeuristicSet::compute`]): the
+    /// construction-time sweep, the forward pass, and the backward pass.
+    #[default]
+    Full,
+    /// Only the cheapest useful subset
+    /// ([`HeuristicSet::compute_critical_path`]): execution times,
+    /// original order, and the backward critical-path walk. Valid only
+    /// with a scheduler restricted to those fields (the sched crate's
+    /// `critical_path_fallback`).
+    CriticalPathOnly,
+}
+
 /// Driver options.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
@@ -22,6 +41,8 @@ pub struct DriverConfig {
     /// Move an instruction into each delayed branch's delay slot (else
     /// the slot instruction stays wherever the partitioner found it).
     pub fill_delay_slots: bool,
+    /// Which heuristic stack to compute per block.
+    pub heuristics: HeuristicMode,
 }
 
 impl Default for DriverConfig {
@@ -30,6 +51,7 @@ impl Default for DriverConfig {
             scheduler: Scheduler::new(SchedulerKind::Warren),
             inherit_latencies: false,
             fill_delay_slots: false,
+            heuristics: HeuristicMode::Full,
         }
     }
 }
@@ -114,7 +136,12 @@ pub fn compile_block(
         scratch,
     );
     let t_heur = std::time::Instant::now();
-    let heur = HeuristicSet::compute(&dag, insns, model, false);
+    let heur = match config.heuristics {
+        HeuristicMode::Full => HeuristicSet::compute(&dag, insns, model, false),
+        HeuristicMode::CriticalPathOnly => {
+            HeuristicSet::compute_critical_path(&dag, insns, model)
+        }
+    };
     scratch.stats.heur_ns += t_heur.elapsed().as_nanos() as u64;
 
     let t_sched = std::time::Instant::now();

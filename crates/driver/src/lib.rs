@@ -27,10 +27,11 @@ pub mod driver;
 pub mod parallel;
 
 pub use batch::{
-    schedule_program_batch, schedule_program_batch_scratch, BlockCache, LimitError, Limits, NoCache,
+    schedule_program_batch, schedule_program_batch_scratch, BlockCache, DegradeLevel,
+    DegradePolicy, LimitError, Limits, NoCache,
 };
 pub use driver::{
     compile_block, schedule_program, schedule_program_stats, BlockOutcome, BlockReport,
-    DriverConfig, ScheduledProgram,
+    DriverConfig, HeuristicMode, ScheduledProgram,
 };
 pub use parallel::schedule_program_jobs;

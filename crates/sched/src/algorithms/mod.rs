@@ -212,6 +212,42 @@ impl Scheduler {
         }
     }
 
+    /// The degraded-mode scheduler at the bottom rung of the serving
+    /// stack's cost ladder: forward list scheduling over the *cheap*
+    /// table-building construction, ranked by the critical-path pair
+    /// alone (max delay to a leaf, original order as the tie-break).
+    ///
+    /// This configuration deliberately consumes only the heuristic
+    /// fields that `HeuristicSet::compute_critical_path` populates
+    /// (`exec_time`, `original_order`, `max_delay_to_leaf` — the gating
+    /// reads dynamic state, not static heuristics), so a deadline-starved
+    /// worker can skip the full annotation passes and still emit a valid,
+    /// competitive schedule. `kind` is reported as [`SchedulerKind::Warren`]
+    /// — the closest published ancestor (Warren's scheduler minus the
+    /// register-pressure and type-alternation refinements) — since the
+    /// fallback is a configuration of the framework, not a seventh
+    /// published algorithm.
+    pub fn critical_path_fallback(policy: MemDepPolicy) -> Scheduler {
+        Scheduler {
+            kind: SchedulerKind::Warren,
+            construction: ConstructionAlgorithm::TableForward,
+            policy,
+            list: ListScheduler {
+                direction: SchedDirection::Forward,
+                gating: Gating::ByEarliestExec {
+                    include_fpu_busy: false,
+                },
+                strategy: SelectStrategy::Winnowing(vec![
+                    Criterion::max(HeurKey::MaxDelayToLeaf),
+                    Criterion::min(HeurKey::OriginalOrder),
+                ]),
+                pin_terminator: true,
+                birthing_boost: 0,
+            },
+            postpass_fixup: false,
+        }
+    }
+
     /// Instantiate with a different construction algorithm — the pairing
     /// experiments of the paper's §6 swap construction methods while
     /// keeping the scheduling pass fixed.
@@ -353,6 +389,30 @@ mod tests {
             s.verify(&dag).map_err(|e| format!("{algo}: {e}"))?;
         }
         Ok(())
+    }
+
+    #[test]
+    fn critical_path_fallback_schedules_validly_with_cheap_heuristics() {
+        let insns = mixed_block();
+        let model = MachineModel::sparc2();
+        let sched = Scheduler::critical_path_fallback(MemDepPolicy::SymbolicExpr);
+        let prepared = PreparedBlock::new(&insns);
+        let dag = sched.construction.run(&prepared, &model, sched.policy);
+        // The degraded heuristic stack: no construction / forward
+        // annotation passes, only the backward critical-path walk.
+        let heur = HeuristicSet::compute_critical_path(&dag, &insns, &model);
+        let s = sched.schedule_dag(&dag, &insns, &model, &heur);
+        s.verify(&dag).unwrap();
+        assert_eq!(s.len(), insns.len());
+        assert_eq!(s.order.last().unwrap().index(), insns.len() - 1);
+        // Forward + stall-aware gating: must not lose to program order.
+        let orig = Schedule::from_order(
+            (0..insns.len()).map(dagsched_core::NodeId::new).collect(),
+            &dag,
+            &insns,
+            &model,
+        );
+        assert!(s.makespan(&insns, &model) <= orig.makespan(&insns, &model));
     }
 
     #[test]

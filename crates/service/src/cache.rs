@@ -117,8 +117,8 @@ pub fn block_key(insns: &[Instruction], model: &MachineModel, config: &DriverCon
         b.write_u32(ord);
     }
     let cfg = format!(
-        "{:?}|inherit={}|fill={}",
-        config.scheduler, config.inherit_latencies, config.fill_delay_slots
+        "{:?}|inherit={}|fill={}|heur={:?}",
+        config.scheduler, config.inherit_latencies, config.fill_delay_slots, config.heuristics
     );
     a.write_str(&cfg);
     b.write_str(&cfg);

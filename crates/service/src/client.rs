@@ -1,4 +1,24 @@
-//! A small blocking client for the `dagsched-service` protocol.
+//! A small blocking client for the `dagsched-service` protocol, with
+//! optional bounded retries.
+//!
+//! # Retries
+//!
+//! [`Client::request_with_retry`] wraps a request in a
+//! [`RetryPolicy`]: bounded attempts, jittered exponential backoff
+//! (each delay drawn uniformly from `[cap/2, cap]`, `cap` doubling up
+//! to `max_delay`), per-attempt socket timeouts, an optional overall
+//! deadline, and automatic redial after transport failures. The policy
+//! only retries failures the server marked transient
+//! ([`crate::proto::ErrorCode::is_retryable`]) or transport-level
+//! breakage (reset, truncated/corrupt frame); malformed requests fail
+//! identically every time and are returned at once. A server-supplied
+//! `retry_after_ms` hint overrides a shorter computed backoff.
+//!
+//! Retried requests are idempotent by construction: the server's
+//! schedule cache and quarantine both key on request *content* (the
+//! `attempt` counter is excluded), so a retry can never produce a
+//! different schedule than the attempt it replaces — at most it
+//! produces a cache hit.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -6,6 +26,7 @@ use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::proto::{
@@ -25,6 +46,36 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered with a structured error.
     Server(ErrorReply),
+}
+
+impl ClientError {
+    /// Whether a retry could plausibly succeed. Transport breakage and
+    /// undecodable frames are retryable (the bytes may have been
+    /// corrupted in flight; the connection is redialed first); server
+    /// errors defer to [`crate::proto::ErrorCode::is_retryable`].
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::Frame(_) | ClientError::Protocol(_) => true,
+            ClientError::Server(reply) => reply.code.is_retryable(),
+        }
+    }
+
+    /// Whether the underlying connection can no longer be trusted
+    /// (mid-frame failure leaves the stream at an unknown offset).
+    fn poisons_connection(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_) | ClientError::Frame(_) | ClientError::Protocol(_)
+        )
+    }
+
+    /// The server's suggested retry delay, when it sent one.
+    fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Server(reply) => reply.retry_after_ms.map(Duration::from_millis),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -52,23 +103,168 @@ impl From<FrameReadError> for ClientError {
     }
 }
 
-trait Transport: Read + Write + Send {}
-impl<T: Read + Write + Send> Transport for T {}
+/// How [`Client::request_with_retry`] behaves.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = try exactly once).
+    pub max_retries: u32,
+    /// Backoff cap before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Upper bound the doubling cap saturates at.
+    pub max_delay: Duration,
+    /// Socket read/write timeout applied to every attempt.
+    pub per_attempt_timeout: Option<Duration>,
+    /// Wall-clock budget for the whole call, backoff included. When a
+    /// computed backoff would cross it, the last error returns instead.
+    pub overall_timeout: Option<Duration>,
+    /// Seed for the deterministic jitter stream (reproducible runs).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+            per_attempt_timeout: Some(Duration::from_secs(10)),
+            overall_timeout: None,
+            jitter_seed: 0x5EED_1991,
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, good enough for jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `retry` (0-based),
+    /// advancing `rng`. The value is uniform in `[cap/2, cap]` where
+    /// `cap = min(base_delay << retry, max_delay)` — bounded above by
+    /// the doubling envelope and below by half of it, so consecutive
+    /// delays grow on average but never synchronize across clients.
+    pub fn backoff_delay(&self, retry: u32, rng: &mut u64) -> Duration {
+        let shift = retry.min(20); // 2^20 × base already dwarfs max_delay
+        let cap = self
+            .base_delay
+            .saturating_mul(1u32 << shift)
+            .min(self.max_delay);
+        let cap_ns = u64::try_from(cap.as_nanos()).unwrap_or(u64::MAX);
+        let half = cap_ns / 2;
+        let span = cap_ns - half; // inclusive range [half, cap_ns]
+        let jitter = if span == 0 {
+            0
+        } else {
+            splitmix64(rng) % (span + 1)
+        };
+        Duration::from_nanos(half + jitter)
+    }
+}
+
+/// What a retried call actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Total attempts sent (≥ 1 unless the overall deadline was
+    /// already spent).
+    pub attempts: u32,
+    /// Attempts after the first.
+    pub retries: u32,
+    /// Reconnections performed after transport failures.
+    pub redials: u32,
+    /// Backoffs that honoured a server `retry_after_ms` hint.
+    pub server_hints_honoured: u32,
+    /// Total time spent sleeping between attempts.
+    pub backoff_total: Duration,
+}
+
+/// The concrete connection (kept as an enum so per-attempt socket
+/// timeouts can be applied; trait objects would hide `set_read_timeout`).
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_timeouts(&self, timeout: Option<Duration>) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.set_read_timeout(timeout);
+                let _ = s.set_write_timeout(timeout);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.set_read_timeout(timeout);
+                let _ = s.set_write_timeout(timeout);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
 
 /// A blocking connection to a `dagsched-service` daemon.
 pub struct Client {
-    stream: Box<dyn Transport>,
+    stream: Stream,
     max_frame: usize,
+    /// Remembered dial target, enabling redial after transport errors.
+    endpoint: Option<Listen>,
+    /// Set when a transport error leaves the stream mid-frame; the
+    /// next retried attempt redials before sending anything.
+    broken: bool,
 }
 
 impl Client {
     /// Connect to an endpoint string (`tcp:HOST:PORT`, `HOST:PORT`, or
     /// `unix:/path`).
     pub fn connect(endpoint: &str) -> Result<Client, ClientError> {
-        match parse_endpoint(endpoint).map_err(ClientError::Protocol)? {
-            Listen::Tcp(addr) => Ok(Client::from_tcp(TcpStream::connect(addr)?)),
+        let listen = parse_endpoint(endpoint).map_err(ClientError::Protocol)?;
+        let stream = Client::dial(&listen)?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+            endpoint: Some(listen),
+            broken: false,
+        })
+    }
+
+    fn dial(listen: &Listen) -> Result<Stream, ClientError> {
+        match listen {
+            Listen::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr)?)),
             #[cfg(unix)]
-            Listen::Unix(path) => Client::connect_unix(&path),
+            Listen::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
             #[cfg(not(unix))]
             Listen::Unix(_) => Err(ClientError::Protocol(
                 "unix sockets are not available on this platform".to_string(),
@@ -76,11 +272,14 @@ impl Client {
         }
     }
 
-    /// Wrap an already connected TCP stream.
+    /// Wrap an already connected TCP stream. Such a client cannot
+    /// redial: transport failures during a retried call are final.
     pub fn from_tcp(stream: TcpStream) -> Client {
         Client {
-            stream: Box::new(stream),
+            stream: Stream::Tcp(stream),
             max_frame: DEFAULT_MAX_FRAME,
+            endpoint: None,
+            broken: false,
         }
     }
 
@@ -88,8 +287,10 @@ impl Client {
     #[cfg(unix)]
     pub fn connect_unix(path: &Path) -> Result<Client, ClientError> {
         Ok(Client {
-            stream: Box::new(UnixStream::connect(path)?),
+            stream: Stream::Unix(UnixStream::connect(path)?),
             max_frame: DEFAULT_MAX_FRAME,
+            endpoint: Some(Listen::Unix(path.to_path_buf())),
+            broken: false,
         })
     }
 
@@ -107,7 +308,7 @@ impl Client {
         Ok((kind, payload))
     }
 
-    /// Schedule a program.
+    /// Schedule a program (exactly one attempt).
     pub fn request(&mut self, req: &ScheduleRequest) -> Result<ScheduleResponse, ClientError> {
         let payload = req.to_json().to_string();
         let (kind, payload) = self.roundtrip(FrameKind::Request, payload.as_bytes())?;
@@ -119,6 +320,116 @@ impl Client {
         let value = decode_json(&payload)?;
         ScheduleResponse::from_json(&value)
             .ok_or_else(|| ClientError::Protocol("undecodable response".to_string()))
+    }
+
+    /// Schedule a program under `policy`, retrying transient failures
+    /// with jittered exponential backoff. Returns the response plus a
+    /// record of what the retry loop did.
+    pub fn request_with_retry(
+        &mut self,
+        req: &ScheduleRequest,
+        policy: &RetryPolicy,
+    ) -> Result<(ScheduleResponse, RetryStats), ClientError> {
+        let started = Instant::now();
+        let mut rng = policy.jitter_seed;
+        let mut stats = RetryStats::default();
+        let mut attempt_req = req.clone();
+        let mut last_err: Option<ClientError> = None;
+
+        for attempt in 0..=policy.max_retries {
+            // Respect the overall budget before doing any work.
+            if let Some(overall) = policy.overall_timeout {
+                if started.elapsed() >= overall && attempt > 0 {
+                    return Err(last_err.expect("attempt > 0 implies a recorded error"));
+                }
+            }
+            // A broken stream must be redialed before reuse.
+            if self.broken {
+                match &self.endpoint {
+                    Some(listen) => match Client::dial(listen) {
+                        Ok(stream) => {
+                            self.stream = stream;
+                            self.broken = false;
+                            stats.redials += 1;
+                        }
+                        Err(e) => {
+                            last_err = Some(e);
+                            // Fall through to backoff-and-retry below.
+                            if !self.backoff(policy, attempt, started, &mut rng, &mut stats, None)
+                            {
+                                return Err(last_err.expect("recorded above"));
+                            }
+                            continue;
+                        }
+                    },
+                    None => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            ClientError::Protocol(
+                                "connection broken and no endpoint to redial".to_string(),
+                            )
+                        }))
+                    }
+                }
+            }
+
+            self.stream.set_timeouts(policy.per_attempt_timeout);
+            // Tag the wire request with the attempt number: servers
+            // count retries, and operators can spot retry storms. The
+            // tag is excluded from cache and quarantine keys.
+            attempt_req.attempt = u64::from(attempt);
+            stats.attempts += 1;
+            if attempt > 0 {
+                stats.retries += 1;
+            }
+
+            match self.request(&attempt_req) {
+                Ok(resp) => return Ok((resp, stats)),
+                Err(err) => {
+                    if err.poisons_connection() {
+                        self.broken = true;
+                    }
+                    if !err.is_retryable() || attempt == policy.max_retries {
+                        return Err(err);
+                    }
+                    let hint = err.retry_after();
+                    last_err = Some(err);
+                    if !self.backoff(policy, attempt, started, &mut rng, &mut stats, hint) {
+                        return Err(last_err.expect("recorded above"));
+                    }
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            ClientError::Protocol("retry loop ended without an attempt".to_string())
+        }))
+    }
+
+    /// Sleep before the next retry. Returns `false` when the overall
+    /// deadline would be crossed (the caller gives up instead).
+    fn backoff(
+        &self,
+        policy: &RetryPolicy,
+        attempt: u32,
+        started: Instant,
+        rng: &mut u64,
+        stats: &mut RetryStats,
+        server_hint: Option<Duration>,
+    ) -> bool {
+        let mut delay = policy.backoff_delay(attempt, rng);
+        if let Some(hint) = server_hint {
+            if hint > delay {
+                delay = hint;
+                stats.server_hints_honoured += 1;
+            }
+        }
+        if let Some(overall) = policy.overall_timeout {
+            if started.elapsed() + delay >= overall {
+                return false;
+            }
+        }
+        std::thread::sleep(delay);
+        stats.backoff_total += delay;
+        true
     }
 
     /// Liveness probe.
@@ -165,4 +476,109 @@ fn decode_error(payload: &[u8]) -> Result<ErrorReply, ClientError> {
     let value = decode_json(payload)?;
     ErrorReply::from_json(&value)
         .ok_or_else(|| ClientError::Protocol("undecodable error reply".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ErrorCode;
+
+    /// Property: for every retry index and many seeds, the jittered
+    /// delay stays inside the `[cap/2, cap]` envelope, and the cap
+    /// itself is monotone non-decreasing and bounded by `max_delay`.
+    #[test]
+    fn backoff_jitter_respects_the_monotone_bounded_envelope() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(640),
+            ..RetryPolicy::default()
+        };
+        for seed in 0..200u64 {
+            let mut rng = seed;
+            let mut prev_cap = Duration::ZERO;
+            for retry in 0..12u32 {
+                let cap = policy
+                    .base_delay
+                    .saturating_mul(1 << retry.min(20))
+                    .min(policy.max_delay);
+                assert!(cap >= prev_cap, "cap is monotone");
+                assert!(cap <= policy.max_delay, "cap is bounded");
+                prev_cap = cap;
+                let d = policy.backoff_delay(retry, &mut rng);
+                assert!(
+                    d >= cap / 2 && d <= cap,
+                    "seed {seed} retry {retry}: {d:?} outside [{:?}, {cap:?}]",
+                    cap / 2,
+                );
+            }
+        }
+    }
+
+    /// Property: the jitter stream is deterministic per seed (so chaos
+    /// runs replay exactly) and differs across seeds (so a fleet of
+    /// clients does not thunder in lockstep).
+    #[test]
+    fn backoff_jitter_is_seeded_and_decorrelated() {
+        let policy = RetryPolicy::default();
+        let series = |seed: u64| -> Vec<Duration> {
+            let mut rng = seed;
+            (0..8).map(|r| policy.backoff_delay(r, &mut rng)).collect()
+        };
+        assert_eq!(series(42), series(42), "same seed, same delays");
+        let a = series(1);
+        let b = series(2);
+        assert_ne!(a, b, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn degenerate_policies_never_panic() {
+        // Zero base: delay pinned at zero.
+        let zero = RetryPolicy {
+            base_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let mut rng = 7;
+        assert_eq!(zero.backoff_delay(0, &mut rng), Duration::ZERO);
+        assert_eq!(zero.backoff_delay(31, &mut rng), Duration::ZERO);
+        // Huge retry index: shift is clamped, cap saturates at max.
+        let policy = RetryPolicy::default();
+        let d = policy.backoff_delay(u32::MAX, &mut rng);
+        assert!(d <= policy.max_delay);
+    }
+
+    /// Property: retryability classification — transport errors retry,
+    /// server errors follow the code's contract.
+    #[test]
+    fn non_retryable_errors_are_never_retried() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::ParseError,
+            ErrorCode::BlockTooLarge,
+            ErrorCode::DeadlineExpired,
+            ErrorCode::MalformedFrame,
+            ErrorCode::OversizedFrame,
+            ErrorCode::Quarantined,
+        ] {
+            let err = ClientError::Server(ErrorReply::new(code, "x"));
+            assert!(!err.is_retryable(), "{code} must not retry");
+        }
+        for code in [ErrorCode::Busy, ErrorCode::Draining, ErrorCode::Internal] {
+            let err = ClientError::Server(ErrorReply::new(code, "x"));
+            assert!(err.is_retryable(), "{code} must retry");
+            assert!(!err.poisons_connection(), "server replies keep the stream");
+        }
+        let io_err = ClientError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "rst"));
+        assert!(io_err.is_retryable());
+        assert!(io_err.poisons_connection());
+    }
+
+    #[test]
+    fn retry_after_hints_surface_through_client_errors() {
+        let err = ClientError::Server(
+            ErrorReply::new(ErrorCode::Busy, "q full").with_retry_after_ms(75),
+        );
+        assert_eq!(err.retry_after(), Some(Duration::from_millis(75)));
+        let plain = ClientError::Server(ErrorReply::new(ErrorCode::Busy, "q full"));
+        assert_eq!(plain.retry_after(), None);
+    }
 }

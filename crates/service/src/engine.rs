@@ -10,7 +10,9 @@
 use std::time::Duration;
 
 use dagsched_core::Scratch;
-use dagsched_driver::{schedule_program_batch, schedule_program_batch_scratch, Limits};
+use dagsched_driver::{
+    schedule_program_batch, schedule_program_batch_scratch, DegradePolicy, Limits,
+};
 use dagsched_isa::Program;
 use dagsched_pipesim::{simulate, SimOptions};
 use dagsched_workloads::{generate, parse_asm, BenchmarkProfile};
@@ -65,6 +67,13 @@ pub fn execute(
     cache: &ScheduleCache,
     scratch: &mut Scratch,
 ) -> Result<ScheduleResponse, ErrorReply> {
+    if req.debug_panic {
+        // Test-only chaos knob: blow up inside the worker so integration
+        // tests can watch the supervisor catch the panic, reply with a
+        // typed `internal` error, and respawn the worker's state.
+        panic!("debug_panic requested by client");
+    }
+
     let program = build_program(&req.input)?;
     let (config, model) = build_driver_config(req)?;
 
@@ -75,6 +84,14 @@ pub fn execute(
     let deadline_ms = req.deadline_ms.or(limits.default_deadline_ms);
     if let Some(ms) = deadline_ms {
         batch_limits = batch_limits.with_deadline_in(Duration::from_millis(ms));
+        if req.degrade {
+            // Deadline-aware degradation: as the remaining budget
+            // shrinks below policy thresholds, later blocks fall down
+            // the cost ladder instead of blowing the deadline outright.
+            batch_limits = batch_limits.with_degrade(DegradePolicy::for_budget(
+                Duration::from_millis(ms),
+            ));
+        }
     }
 
     let jobs = req.jobs.min(limits.max_jobs.max(1));
@@ -109,6 +126,7 @@ pub fn execute(
                 scheduled_makespan: b.scheduled_makespan,
             })
             .collect(),
+        degraded: stats.degraded_blocks > 0,
         stats,
         cycles,
     })
@@ -176,6 +194,60 @@ mod tests {
             let err = run(&req, &cache).unwrap_err();
             assert_eq!(err.code, want, "{req:?}: {err}");
         }
+    }
+
+    #[test]
+    fn undegraded_requests_report_degraded_false() {
+        let mut req = ScheduleRequest::profile("grep", 7);
+        // A generous deadline never crosses the soft threshold, so the
+        // full-fidelity pipeline runs and the flag stays off.
+        req.deadline_ms = Some(3_600_000);
+        let cache = ScheduleCache::default();
+        let resp = run(&req, &cache).unwrap();
+        assert!(!resp.degraded);
+        assert_eq!(resp.stats.degraded_blocks, 0);
+    }
+
+    #[test]
+    fn tight_deadlines_degrade_or_expire_but_never_fail_otherwise() {
+        // With a 1 ms budget the outcome depends on machine speed, but
+        // the contract doesn't: either the ladder saved the request
+        // (every compiled block is real output) or it expired cleanly.
+        let mut req = ScheduleRequest::profile("linpack", 1991);
+        req.deadline_ms = Some(1);
+        let cache = ScheduleCache::default();
+        match run(&req, &cache) {
+            Ok(resp) => {
+                assert!(!resp.insns.is_empty());
+                assert_eq!(resp.degraded, resp.stats.degraded_blocks > 0);
+            }
+            Err(err) => assert_eq!(err.code, ErrorCode::DeadlineExpired, "{err}"),
+        }
+    }
+
+    #[test]
+    fn degrade_opt_out_is_honoured() {
+        let mut req = ScheduleRequest::profile("grep", 7);
+        req.deadline_ms = Some(3_600_000);
+        req.degrade = false;
+        let cache = ScheduleCache::default();
+        let resp = run(&req, &cache).unwrap();
+        assert!(!resp.degraded);
+    }
+
+    #[test]
+    fn debug_panic_panics_inside_execute() {
+        let req = {
+            let mut r = ScheduleRequest::asm("nop");
+            r.debug_panic = true;
+            r
+        };
+        let cache = ScheduleCache::default();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut scratch = Scratch::new();
+            let _ = execute(&req, &EngineLimits::default(), &cache, &mut scratch);
+        }));
+        assert!(res.is_err(), "debug_panic must actually panic");
     }
 
     #[test]

@@ -53,9 +53,16 @@ pub mod proto;
 pub mod server;
 
 pub use cache::{CacheConfig, CacheStats, ScheduleCache, MIN_ENTRY_COST};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy, RetryStats};
 pub use engine::{execute, EngineLimits};
+pub use pool::PoolHealth;
 pub use proto::{
     ErrorCode, ErrorReply, FrameKind, ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
 };
 pub use server::{parse_endpoint, serve, Listen, ServerConfig, ServerHandle};
+
+#[cfg(feature = "fault-injection")]
+pub use faultinject::{Fault, FaultConfig};
+
+#[cfg(feature = "fault-injection")]
+pub mod faultinject;

@@ -23,6 +23,29 @@ pub struct Metrics {
     pub drain_rejections: AtomicU64,
     /// Requests that hit their deadline.
     pub deadline_expirations: AtomicU64,
+    /// Worker panics contained by the supervisor (each became a typed
+    /// `internal` reply instead of a dead worker).
+    pub panics_caught: AtomicU64,
+    /// Workers rebuilt with a fresh arena after a contained panic.
+    pub workers_respawned: AtomicU64,
+    /// Requests refused with `quarantined` because the same payload had
+    /// already crashed too many workers.
+    pub requests_quarantined: AtomicU64,
+    /// Responses served from a degraded rung of the cost ladder.
+    pub degraded_replies: AtomicU64,
+    /// Client retry attempts observed (requests carrying `attempt > 0`).
+    pub retries_attempted: AtomicU64,
+    /// Load-shedding rejections that carried a `retry_after_ms` hint.
+    pub shed_with_retry_after: AtomicU64,
+}
+
+/// NaN-safe ratio: `0.0` when the denominator is zero.
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 impl Metrics {
@@ -42,6 +65,26 @@ impl Metrics {
             ("busy_rejections", g(&self.busy_rejections)),
             ("drain_rejections", g(&self.drain_rejections)),
             ("deadline_expirations", g(&self.deadline_expirations)),
+            ("panics_caught", g(&self.panics_caught)),
+            ("workers_respawned", g(&self.workers_respawned)),
+            ("requests_quarantined", g(&self.requests_quarantined)),
+            ("degraded_replies", g(&self.degraded_replies)),
+            ("retries_attempted", g(&self.retries_attempted)),
+            ("shed_with_retry_after", g(&self.shed_with_retry_after)),
+            (
+                "panic_rate",
+                Json::from(rate(
+                    self.panics_caught.load(Ordering::Relaxed),
+                    self.requests.load(Ordering::Relaxed),
+                )),
+            ),
+            (
+                "degraded_rate",
+                Json::from(rate(
+                    self.degraded_replies.load(Ordering::Relaxed),
+                    self.responses.load(Ordering::Relaxed),
+                )),
+            ),
             (
                 "cache",
                 Json::obj(vec![
@@ -117,8 +160,41 @@ mod tests {
             "busy_rejections",
             "drain_rejections",
             "deadline_expirations",
+            "panics_caught",
+            "workers_respawned",
+            "requests_quarantined",
+            "degraded_replies",
+            "retries_attempted",
+            "shed_with_retry_after",
         ] {
             assert_eq!(snap.get(key).unwrap().as_u64(), Some(0), "{key}");
         }
+    }
+
+    #[test]
+    fn derived_rates_are_zero_not_nan_on_a_fresh_server() {
+        let snap = Metrics::default().snapshot(&CacheStats::default());
+        for key in ["panic_rate", "degraded_rate"] {
+            let v = snap.get(key).unwrap().as_f64().unwrap();
+            assert!(v == 0.0 && !v.is_nan(), "{key}={v}");
+        }
+    }
+
+    #[test]
+    fn derived_rates_divide_the_right_counters() {
+        let m = Metrics::default();
+        for _ in 0..8 {
+            Metrics::bump(&m.requests);
+        }
+        for _ in 0..4 {
+            Metrics::bump(&m.responses);
+        }
+        for _ in 0..2 {
+            Metrics::bump(&m.panics_caught);
+        }
+        Metrics::bump(&m.degraded_replies);
+        let snap = m.snapshot(&CacheStats::default());
+        assert_eq!(snap.get("panic_rate").unwrap().as_f64(), Some(0.25));
+        assert_eq!(snap.get("degraded_rate").unwrap().as_f64(), Some(0.25));
     }
 }

@@ -1,4 +1,5 @@
-//! A fixed pool of worker threads fed by a bounded queue.
+//! A fixed pool of worker threads fed by a bounded queue, with
+//! panic-isolated, supervised job execution.
 //!
 //! The daemon accepts connections on one thread and hands each one to a
 //! fixed set of workers over a [`std::sync::mpsc::sync_channel`]. The
@@ -8,10 +9,41 @@
 //! grow without bound. Each worker owns its state (for the scheduling
 //! service, a reusable `Scratch` arena) for its whole lifetime, so the
 //! per-request hot path stops allocating once warm.
+//!
+//! # Supervision
+//!
+//! A handler panic must not cost a worker: every job runs under
+//! [`std::panic::catch_unwind`], and a panicking job is *contained* —
+//! the worker discards its (possibly torn) state, rebuilds it with the
+//! pool's `make_state` factory, and keeps serving. This is logically a
+//! worker respawn without paying for a new OS thread; [`PoolHealth`]
+//! counts both the panics caught and the respawns so the metrics
+//! endpoint can expose them.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Supervision counters shared between a pool and its observers.
+#[derive(Debug, Default)]
+pub struct PoolHealth {
+    /// Job handler panics contained by the supervisor.
+    pub panics_caught: AtomicU64,
+    /// Worker states rebuilt after a contained panic.
+    pub workers_respawned: AtomicU64,
+}
+
+impl PoolHealth {
+    /// Relaxed snapshot of `(panics_caught, workers_respawned)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (
+            self.panics_caught.load(Ordering::Relaxed),
+            self.workers_respawned.load(Ordering::Relaxed),
+        )
+    }
+}
 
 /// Why a job could not be enqueued.
 #[derive(Debug, PartialEq, Eq)]
@@ -32,8 +64,47 @@ impl<T: Send + 'static> WorkerPool<T> {
     /// Spawn `workers` threads sharing a queue of capacity `queue`.
     ///
     /// `make_state` runs once per worker on its own thread; `handle`
-    /// is called for every job with that worker's state.
+    /// is called for every job with that worker's state. Panics in
+    /// `handle` are contained (the worker's state is rebuilt and the
+    /// worker keeps serving); use [`WorkerPool::new_supervised`] to
+    /// observe how often that happens.
     pub fn new<S, MS, H>(workers: usize, queue: usize, make_state: MS, handle: H) -> WorkerPool<T>
+    where
+        S: 'static,
+        MS: Fn(usize) -> S + Send + Sync + 'static,
+        H: Fn(usize, &mut S, T) + Send + Sync + 'static,
+    {
+        WorkerPool::new_supervised(
+            workers,
+            queue,
+            Arc::new(PoolHealth::default()),
+            make_state,
+            handle,
+        )
+    }
+
+    /// [`WorkerPool::new`] with supervision counters recorded into a
+    /// caller-shared [`PoolHealth`].
+    ///
+    /// Every job runs under `catch_unwind`. When `handle` panics:
+    ///
+    /// 1. the panic is contained (`health.panics_caught` increments),
+    /// 2. the worker's state — which the panic may have left torn — is
+    ///    discarded and rebuilt via `make_state`
+    ///    (`health.workers_respawned` increments),
+    /// 3. the worker resumes pulling jobs.
+    ///
+    /// If `make_state` itself panics during a respawn, the worker thread
+    /// exits (counted as a caught panic but not a respawn) — a state
+    /// factory that cannot run is unrecoverable by retrying on the same
+    /// thread.
+    pub fn new_supervised<S, MS, H>(
+        workers: usize,
+        queue: usize,
+        health: Arc<PoolHealth>,
+        make_state: MS,
+        handle: H,
+    ) -> WorkerPool<T>
     where
         S: 'static,
         MS: Fn(usize) -> S + Send + Sync + 'static,
@@ -49,6 +120,7 @@ impl<T: Send + 'static> WorkerPool<T> {
                 let rx = Arc::clone(&rx);
                 let make_state = Arc::clone(&make_state);
                 let handle = Arc::clone(&handle);
+                let health = Arc::clone(&health);
                 std::thread::Builder::new()
                     .name(format!("dagsched-worker-{w}"))
                     .spawn(move || {
@@ -59,7 +131,26 @@ impl<T: Send + 'static> WorkerPool<T> {
                                 Some(job) => job,
                                 None => break,
                             };
-                            handle(w, &mut state, job);
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                handle(w, &mut state, job);
+                            }));
+                            if run.is_err() {
+                                // Contain the panic: count it, discard
+                                // the possibly-torn state, and respawn
+                                // the worker in place.
+                                health.panics_caught.fetch_add(1, Ordering::Relaxed);
+                                match catch_unwind(AssertUnwindSafe(|| make_state(w))) {
+                                    Ok(fresh) => {
+                                        state = fresh;
+                                        health
+                                            .workers_respawned
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    // The factory itself is broken;
+                                    // this worker cannot recover.
+                                    Err(_) => break,
+                                }
+                            }
                         }
                     })
                     .expect("spawning a worker thread")
@@ -177,6 +268,88 @@ mod tests {
             other => panic!("expected Full, got {other:?}"),
         }
         drop(held);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_worker() {
+        static STATES_BUILT: AtomicUsize = AtomicUsize::new(0);
+        static SERVED: AtomicUsize = AtomicUsize::new(0);
+        let health = Arc::new(PoolHealth::default());
+        let mut pool = WorkerPool::new_supervised(
+            1,
+            8,
+            Arc::clone(&health),
+            |_| {
+                STATES_BUILT.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |_, state, job: i32| {
+                if job < 0 {
+                    panic!("injected: job {job}");
+                }
+                *state += 1;
+                SERVED.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        // Serve, panic, serve again: the single worker must survive.
+        for job in [1, -1, 2, -2, 3] {
+            let mut j = job;
+            loop {
+                match pool.try_submit(j) {
+                    Ok(()) => break,
+                    Err(SubmitError::Full(back)) => {
+                        j = back;
+                        std::thread::yield_now();
+                    }
+                    Err(SubmitError::Closed(_)) => panic!("pool closed early"),
+                }
+            }
+        }
+        pool.close_and_join();
+        assert_eq!(SERVED.load(Ordering::SeqCst), 3, "post-panic jobs lost");
+        let (panics, respawns) = health.counts();
+        assert_eq!(panics, 2);
+        assert_eq!(respawns, 2);
+        // One initial state plus one rebuild per contained panic.
+        assert_eq!(STATES_BUILT.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn every_worker_survives_a_panic_storm() {
+        static OK: AtomicUsize = AtomicUsize::new(0);
+        let health = Arc::new(PoolHealth::default());
+        let mut pool = WorkerPool::new_supervised(
+            4,
+            16,
+            Arc::clone(&health),
+            |_| (),
+            |_, (), job: u32| {
+                if job.is_multiple_of(3) {
+                    panic!("injected");
+                }
+                OK.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        let total = 60u32;
+        for i in 0..total {
+            let mut j = i;
+            loop {
+                match pool.try_submit(j) {
+                    Ok(()) => break,
+                    Err(SubmitError::Full(back)) => {
+                        j = back;
+                        std::thread::yield_now();
+                    }
+                    Err(SubmitError::Closed(_)) => panic!("pool closed early"),
+                }
+            }
+        }
+        pool.close_and_join();
+        let panicking = (0..total).filter(|j| j % 3 == 0).count();
+        assert_eq!(OK.load(Ordering::SeqCst), total as usize - panicking);
+        let (panics, respawns) = health.counts();
+        assert_eq!(panics as usize, panicking);
+        assert_eq!(respawns, panics, "every contained panic respawned");
     }
 
     #[test]

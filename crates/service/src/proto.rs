@@ -254,8 +254,14 @@ pub enum ErrorCode {
     Busy,
     /// The server is draining for shutdown and accepts no new work.
     Draining,
-    /// An unexpected server-side failure.
+    /// An unexpected server-side failure. For a panic contained by the
+    /// worker supervisor this is the reply the requesting client sees;
+    /// the worker itself is respawned and keeps serving.
     Internal,
+    /// The request previously crashed too many workers and is
+    /// quarantined: the server refuses to run it again. Unlike
+    /// [`ErrorCode::Internal`], this is terminal — retrying is useless.
+    Quarantined,
 }
 
 impl ErrorCode {
@@ -271,7 +277,20 @@ impl ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
+            ErrorCode::Quarantined => "quarantined",
         }
+    }
+
+    /// Whether a client may reasonably retry a request that failed with
+    /// this code. Transient conditions (`busy`, `draining`) and
+    /// contained worker crashes (`internal` — the worker was respawned)
+    /// are retryable; malformed or rejected requests will fail
+    /// identically every time and must not be retried.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Busy | ErrorCode::Draining | ErrorCode::Internal
+        )
     }
 
     /// Parse a wire string back into a code.
@@ -286,6 +305,7 @@ impl ErrorCode {
             "busy" => ErrorCode::Busy,
             "draining" => ErrorCode::Draining,
             "internal" => ErrorCode::Internal,
+            "quarantined" => ErrorCode::Quarantined,
             _ => return None,
         })
     }
@@ -304,6 +324,9 @@ pub struct ErrorReply {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// Server's suggested wait before retrying, when it sheds load.
+    /// Only meaningful on retryable codes; `None` everywhere else.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ErrorReply {
@@ -312,15 +335,26 @@ impl ErrorReply {
         ErrorReply {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attach a suggested retry delay (builder-style).
+    pub fn with_retry_after_ms(mut self, ms: u64) -> ErrorReply {
+        self.retry_after_ms = Some(ms);
+        self
     }
 
     /// Serialize to the wire payload.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("code", Json::from(self.code.as_str())),
             ("message", Json::from(self.message.as_str())),
-        ])
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            fields.push(("retry_after_ms", Json::from(ms)));
+        }
+        Json::obj(fields)
     }
 
     /// Deserialize from a wire payload.
@@ -328,6 +362,7 @@ impl ErrorReply {
         Some(ErrorReply {
             code: ErrorCode::from_wire(v.get("code")?.as_str()?)?,
             message: v.get("message")?.as_str()?.to_string(),
+            retry_after_ms: v.get("retry_after_ms").and_then(Json::as_u64),
         })
     }
 }
@@ -389,6 +424,20 @@ pub struct ScheduleRequest {
     /// scheduling (capped server-side). Lets tests fill the queue and
     /// exercise `busy` / drain paths deterministically.
     pub linger_ms: u64,
+    /// Allow deadline-aware degraded scheduling: when the remaining
+    /// budget runs low, the server may fall down the cost ladder
+    /// (cheaper DAG construction, then critical-path-only heuristics)
+    /// instead of expiring. Defaults to `true`; responses produced this
+    /// way carry `degraded: true`.
+    pub degrade: bool,
+    /// Retry attempt number (0 = first try). Purely informational —
+    /// the server logs it for quarantine bookkeeping; the content-
+    /// addressed cache key ignores it, so retries stay idempotent.
+    pub attempt: u64,
+    /// Debug knob: deliberately panic inside the worker while handling
+    /// this request. Exercises the panic-isolation and respawn path in
+    /// integration tests; never set by real clients.
+    pub debug_panic: bool,
 }
 
 impl ScheduleRequest {
@@ -406,6 +455,9 @@ impl ScheduleRequest {
             deadline_ms: None,
             sim: false,
             linger_ms: 0,
+            degrade: true,
+            attempt: 0,
+            debug_panic: false,
         }
     }
 
@@ -447,6 +499,15 @@ impl ScheduleRequest {
         fields.push(("sim", Json::from(self.sim)));
         if self.linger_ms > 0 {
             fields.push(("linger_ms", Json::from(self.linger_ms)));
+        }
+        if !self.degrade {
+            fields.push(("degrade", Json::from(false)));
+        }
+        if self.attempt > 0 {
+            fields.push(("attempt", Json::from(self.attempt)));
+        }
+        if self.debug_panic {
+            fields.push(("debug_panic", Json::from(true)));
         }
         Json::obj(fields)
     }
@@ -502,6 +563,12 @@ impl ScheduleRequest {
             deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
             sim: v.get("sim").and_then(Json::as_bool).unwrap_or(false),
             linger_ms: v.get("linger_ms").and_then(Json::as_u64).unwrap_or(0),
+            degrade: v.get("degrade").and_then(Json::as_bool).unwrap_or(true),
+            attempt: v.get("attempt").and_then(Json::as_u64).unwrap_or(0),
+            debug_panic: v
+                .get("debug_panic")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 }
@@ -531,6 +598,11 @@ pub struct ScheduleResponse {
     pub stats: PhaseStats,
     /// `(before, after)` simulated cycles, when the request asked.
     pub cycles: Option<(u64, u64)>,
+    /// Whether any block was compiled on a degraded rung of the cost
+    /// ladder. `false` responses are bit-identical to a full-fidelity
+    /// compile; `true` responses are still valid schedules, just
+    /// produced with cheaper construction and/or heuristics.
+    pub degraded: bool,
 }
 
 /// Serialize `stats` for the wire.
@@ -547,6 +619,7 @@ pub fn stats_to_json(stats: &PhaseStats) -> Json {
         ("sched_ns", Json::from(stats.sched_ns)),
         ("cache_hits", Json::from(stats.cache_hits)),
         ("cache_misses", Json::from(stats.cache_misses)),
+        ("degraded_blocks", Json::from(stats.degraded_blocks)),
     ])
 }
 
@@ -565,6 +638,7 @@ pub fn stats_from_json(v: &Json) -> PhaseStats {
         sched_ns: g("sched_ns"),
         cache_hits: g("cache_hits"),
         cache_misses: g("cache_misses"),
+        degraded_blocks: g("degraded_blocks"),
     }
 }
 
@@ -593,6 +667,7 @@ impl ScheduleResponse {
                 ),
             ),
             ("stats", stats_to_json(&self.stats)),
+            ("degraded", Json::from(self.degraded)),
         ];
         if let Some((before, after)) = self.cycles {
             fields.push((
@@ -638,6 +713,7 @@ impl ScheduleResponse {
             blocks,
             stats,
             cycles,
+            degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }
@@ -712,6 +788,7 @@ pub fn build_driver_config(
             scheduler,
             inherit_latencies: req.inherit,
             fill_delay_slots: req.fill_slots,
+            ..DriverConfig::default()
         },
         model,
     ))
@@ -858,6 +935,9 @@ mod tests {
         req.deadline_ms = Some(250);
         req.sim = true;
         req.jobs = 4;
+        req.degrade = false;
+        req.attempt = 2;
+        req.debug_panic = true;
         let back = ScheduleRequest::from_json(&Json::parse(&req.to_json().to_string()).unwrap())
             .unwrap();
         assert_eq!(req, back);
@@ -885,11 +965,38 @@ mod tests {
                 ..PhaseStats::default()
             },
             cycles: Some((10, 7)),
+            degraded: true,
         };
         let back =
             ScheduleResponse::from_json(&Json::parse(&resp.to_json().to_string()).unwrap())
                 .unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn new_wire_fields_have_backward_compatible_defaults() {
+        // A pre-chaos peer omits every new field; decode must pick the
+        // documented defaults rather than erroring.
+        let req =
+            ScheduleRequest::from_json(&Json::parse(r#"{"asm":"nop"}"#).unwrap()).unwrap();
+        assert!(req.degrade, "degrade defaults on");
+        assert_eq!(req.attempt, 0);
+        assert!(!req.debug_panic);
+        let resp = ScheduleResponse::from_json(
+            &Json::parse(r#"{"insns":[],"blocks":[],"stats":{}}"#).unwrap(),
+        )
+        .unwrap();
+        assert!(!resp.degraded, "degraded defaults off");
+        let err =
+            ErrorReply::from_json(&Json::parse(r#"{"code":"busy","message":"m"}"#).unwrap())
+                .unwrap();
+        assert_eq!(err.retry_after_ms, None);
+        // And the retry hint survives a round trip when present.
+        let shed = ErrorReply::new(ErrorCode::Busy, "queue full").with_retry_after_ms(25);
+        let back =
+            ErrorReply::from_json(&Json::parse(&shed.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, shed);
+        assert_eq!(back.retry_after_ms, Some(25));
     }
 
     #[test]
@@ -913,8 +1020,27 @@ mod tests {
             ErrorCode::Busy,
             ErrorCode::Draining,
             ErrorCode::Internal,
+            ErrorCode::Quarantined,
         ] {
             assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
+        }
+    }
+
+    #[test]
+    fn retryability_splits_transient_from_permanent_codes() {
+        for code in [ErrorCode::Busy, ErrorCode::Draining, ErrorCode::Internal] {
+            assert!(code.is_retryable(), "{code} should be retryable");
+        }
+        for code in [
+            ErrorCode::MalformedFrame,
+            ErrorCode::OversizedFrame,
+            ErrorCode::BadRequest,
+            ErrorCode::ParseError,
+            ErrorCode::BlockTooLarge,
+            ErrorCode::DeadlineExpired,
+            ErrorCode::Quarantined,
+        ] {
+            assert!(!code.is_retryable(), "{code} should not be retryable");
         }
     }
 }

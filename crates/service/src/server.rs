@@ -15,39 +15,127 @@
 //! worker; every failure maps to an [`ErrorReply`] (see
 //! [`crate::proto`]).
 //!
+//! # Panic isolation
+//!
+//! The per-request pipeline runs under `catch_unwind`: a panic anywhere
+//! inside request execution becomes a typed `internal` error reply, the
+//! worker's scratch arena is rebuilt from scratch (it may hold
+//! half-mutated state), and the connection keeps serving. The worker
+//! thread itself never dies — a crash costs one reply, not a quarter of
+//! the pool. Payloads that keep crashing workers are *quarantined*:
+//! after [`QUARANTINE_THRESHOLD`] contained panics, the same request
+//! (retries included — the key ignores the `attempt` counter) is
+//! refused up front with `quarantined` instead of being allowed to
+//! burn another worker.
+//!
 //! # Drain
 //!
 //! [`ServerHandle::begin_drain`], a `Shutdown` frame, or SIGTERM (when
 //! [`ServerConfig::handle_sigterm`] is set) all flip one flag. The
 //! accept thread stops accepting; connections already accepted get
 //! their in-flight request completed (a connection that has already
-//! been answered once is told `draining` instead); the worker pool
-//! drains its queue and joins; a Unix socket path is unlinked. A
-//! served request is therefore never dropped on shutdown.
+//! been answered once is told `draining` instead); connections still
+//! sitting in the kernel's accept backlog are swept up and answered
+//! `draining` (with a retry hint) rather than silently dropped; the
+//! worker pool drains its queue and joins; a Unix socket path is
+//! unlinked. A served request is therefore never dropped on shutdown,
+//! and no accepted connection is left hanging without a reply.
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dagsched_core::Scratch;
+
+#[cfg(feature = "fault-injection")]
+use crate::faultinject::{Fault, FaultConfig};
 
 use crate::cache::{CacheConfig, ScheduleCache};
 use crate::engine::{execute, EngineLimits};
 use crate::metrics::Metrics;
 use crate::proto::{
     read_frame_or_eof, write_frame, ErrorCode, ErrorReply, FrameKind, FrameReadError,
-    ScheduleRequest, DEFAULT_MAX_FRAME,
+    ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
 };
 use crate::{json::Json, pool::SubmitError, pool::WorkerPool};
 
 /// How often the accept loop re-checks the drain flag while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Contained panics from one payload before it is quarantined.
+pub const QUARANTINE_THRESHOLD: u32 = 2;
+
+/// Bound on distinct payloads the quarantine tracks (oldest evicted).
+const QUARANTINE_CAPACITY: usize = 64;
+
+/// Retry hint attached to `busy` rejections.
+const BUSY_RETRY_MS: u64 = 50;
+
+/// Retry hint attached to `draining` rejections (a replacement server
+/// is typically seconds away in a rolling restart).
+const DRAIN_RETRY_MS: u64 = 500;
+
+/// FNV-1a over a request payload: the quarantine's identity key.
+fn payload_hash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Crash bookkeeping for poison-payload detection. Bounded: a hostile
+/// client cannot grow it without also crashing workers, and even then
+/// the oldest entry is evicted past [`QUARANTINE_CAPACITY`].
+#[derive(Debug, Default)]
+struct Quarantine {
+    /// `(payload key, contained panics)` in insertion order.
+    entries: Mutex<VecDeque<(u64, u32)>>,
+}
+
+impl Quarantine {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(u64, u32)>> {
+        // A panic while holding this lock is impossible (the critical
+        // sections below are panic-free), but recover anyway: the data
+        // is monotone counters, always safe to read.
+        self.entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Contained panics recorded against `key`.
+    fn strikes(&self, key: u64) -> u32 {
+        self.lock()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Record one more contained panic against `key`; returns the new
+    /// strike count.
+    fn record_crash(&self, key: u64) -> u32 {
+        let mut entries = self.lock();
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = slot.1.saturating_add(1);
+            return slot.1;
+        }
+        if entries.len() >= QUARANTINE_CAPACITY {
+            entries.pop_front();
+        }
+        entries.push_back((key, 1));
+        1
+    }
+}
 
 /// Where to listen.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +186,9 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// Install a SIGTERM handler that triggers a graceful drain.
     pub handle_sigterm: bool,
+    /// Deterministic fault injection (chaos testing only).
+    #[cfg(feature = "fault-injection")]
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +203,8 @@ impl Default for ServerConfig {
             max_jobs: 8,
             read_timeout_ms: 10_000,
             handle_sigterm: false,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
     }
 }
@@ -123,6 +216,22 @@ struct Shared {
     drain: AtomicBool,
     limits: EngineLimits,
     max_frame: usize,
+    quarantine: Quarantine,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<FaultConfig>,
+    #[cfg(feature = "fault-injection")]
+    fault_seq: std::sync::atomic::AtomicU64,
+}
+
+#[cfg(feature = "fault-injection")]
+impl Shared {
+    /// Draw the next deterministic fault decision.
+    fn next_fault(&self) -> Fault {
+        match &self.faults {
+            Some(cfg) => cfg.decide(self.fault_seq.fetch_add(1, Ordering::Relaxed)),
+            None => Fault::None,
+        }
+    }
 }
 
 /// One accepted connection (either transport).
@@ -295,6 +404,11 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
             max_jobs: config.max_jobs,
         },
         max_frame: config.max_frame,
+        quarantine: Quarantine::default(),
+        #[cfg(feature = "fault-injection")]
+        faults: config.faults,
+        #[cfg(feature = "fault-injection")]
+        fault_seq: std::sync::atomic::AtomicU64::new(0),
     });
 
     let pool_shared = Arc::clone(&shared);
@@ -342,13 +456,15 @@ fn accept_loop(
                     Ok(()) => {}
                     Err(SubmitError::Full(mut conn)) => {
                         Metrics::bump(&shared.metrics.busy_rejections);
+                        Metrics::bump(&shared.metrics.shed_with_retry_after);
                         send_error(
                             &shared,
                             &mut conn,
                             &ErrorReply::new(
                                 ErrorCode::Busy,
                                 "all workers busy and the queue is full; retry later",
-                            ),
+                            )
+                            .with_retry_after_ms(BUSY_RETRY_MS),
                         );
                     }
                     Err(SubmitError::Closed(_)) => break,
@@ -364,6 +480,30 @@ fn accept_loop(
                 // queued work.
                 break;
             }
+        }
+    }
+    // Drain-race fix: connections that landed in the kernel's accept
+    // backlog before the flag flipped have already completed their TCP
+    // handshake — the client believes it is connected. Simply closing
+    // the listener would leave them waiting for a reply that never
+    // comes (until their own timeout). Sweep the backlog and answer
+    // each one with an explicit `draining` + retry hint instead.
+    loop {
+        match listener.accept() {
+            Ok(mut conn) => {
+                Metrics::bump(&shared.metrics.connections);
+                Metrics::bump(&shared.metrics.drain_rejections);
+                Metrics::bump(&shared.metrics.shed_with_retry_after);
+                send_error(
+                    &shared,
+                    &mut conn,
+                    &ErrorReply::new(ErrorCode::Draining, "server is draining")
+                        .with_retry_after_ms(DRAIN_RETRY_MS),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // WouldBlock: backlog empty. Anything else: listener gone.
+            Err(_) => break,
         }
     }
     // Graceful drain: stop accepting, finish queued + in-flight
@@ -451,17 +591,32 @@ fn serve_conn(shared: &Shared, scratch: &mut Scratch, mut conn: Conn) {
                     // connection that already got its answer is asked
                     // to go away.
                     Metrics::bump(&shared.metrics.drain_rejections);
+                    Metrics::bump(&shared.metrics.shed_with_retry_after);
                     send_error(
                         shared,
                         &mut conn,
-                        &ErrorReply::new(ErrorCode::Draining, "server is draining"),
+                        &ErrorReply::new(ErrorCode::Draining, "server is draining")
+                            .with_retry_after_ms(DRAIN_RETRY_MS),
                     );
                     return;
                 }
-                match handle_request(shared, scratch, &payload) {
+                #[cfg(feature = "fault-injection")]
+                let injected = shared.next_fault();
+                #[cfg(feature = "fault-injection")]
+                let outcome = run_request(shared, scratch, &payload, injected);
+                #[cfg(not(feature = "fault-injection"))]
+                let outcome = run_request(shared, scratch, &payload);
+                match outcome {
                     Ok(response) => {
                         Metrics::bump(&shared.metrics.responses);
-                        send_ok(&mut conn, FrameKind::Response, &response);
+                        let body = response.to_json();
+                        #[cfg(feature = "fault-injection")]
+                        if inject_response_fault(injected, &mut conn, &body) {
+                            // The response was deliberately mangled (or
+                            // withheld) and this connection is done.
+                            return;
+                        }
+                        send_ok(&mut conn, FrameKind::Response, &body);
                     }
                     Err(reply) => {
                         if reply.code == ErrorCode::DeadlineExpired {
@@ -487,14 +642,109 @@ fn serve_conn(shared: &Shared, scratch: &mut Scratch, mut conn: Conn) {
     }
 }
 
-fn handle_request(shared: &Shared, scratch: &mut Scratch, payload: &[u8]) -> Result<Json, ErrorReply> {
+/// Write a deliberately damaged response, or none at all. Returns
+/// `true` when the fault consumed the response (the connection must
+/// close); `false` when the caller should send normally.
+#[cfg(feature = "fault-injection")]
+fn inject_response_fault(fault: Fault, conn: &mut Conn, body: &Json) -> bool {
+    match fault {
+        Fault::ResetConnection => true, // close without a byte
+        Fault::TruncateFrame => {
+            // Encode the whole frame, then deliver only a prefix: the
+            // client sees a header promising more bytes than arrive.
+            let mut frame = Vec::new();
+            let _ = write_frame(&mut frame, FrameKind::Response, body.to_string().as_bytes());
+            let cut = frame.len() / 2;
+            let _ = conn.write_all(&frame[..cut.max(1)]);
+            let _ = conn.flush();
+            true
+        }
+        Fault::CorruptFrame => {
+            // Flip bits in the payload (frame header stays valid): the
+            // client reads a well-formed frame of undecodable JSON.
+            let mut payload = body.to_string().into_bytes();
+            for b in payload.iter_mut() {
+                *b ^= 0x55;
+            }
+            let _ = write_frame(conn, FrameKind::Response, &payload);
+            true
+        }
+        Fault::None | Fault::Panic | Fault::Slow(_) => false,
+    }
+}
+
+/// Parse, screen, and execute one request under panic containment.
+fn run_request(
+    shared: &Shared,
+    scratch: &mut Scratch,
+    payload: &[u8],
+    #[cfg(feature = "fault-injection")] injected: Fault,
+) -> Result<ScheduleResponse, ErrorReply> {
     let text = std::str::from_utf8(payload)
         .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "request payload is not UTF-8"))?;
     let value = Json::parse(text)
         .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("request is not JSON: {e}")))?;
     let request = ScheduleRequest::from_json(&value)?;
-    let response = execute(&request, &shared.limits, &shared.cache, scratch)?;
-    Ok(response.to_json())
+    if request.attempt > 0 {
+        Metrics::bump(&shared.metrics.retries_attempted);
+    }
+
+    // The quarantine key must be stable across retries, so it hashes a
+    // canonical re-serialization with the `attempt` counter zeroed —
+    // the same idempotency identity the schedule cache uses.
+    let key = {
+        let mut canonical = request.clone();
+        canonical.attempt = 0;
+        payload_hash(canonical.to_json().to_string().as_bytes())
+    };
+    if shared.quarantine.strikes(key) >= QUARANTINE_THRESHOLD {
+        Metrics::bump(&shared.metrics.requests_quarantined);
+        return Err(ErrorReply::new(
+            ErrorCode::Quarantined,
+            format!(
+                "this request has crashed {QUARANTINE_THRESHOLD} workers and is quarantined; \
+                 do not retry it"
+            ),
+        ));
+    }
+
+    // Panic containment: a crash anywhere in the pipeline becomes a
+    // typed reply. The scratch arena may hold half-mutated state after
+    // an unwind, so it is rebuilt — the logical equivalent of
+    // respawning the worker, without paying for a new OS thread.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Chaos faults that strike *inside* the worker are injected
+        // within the containment boundary, so an injected panic walks
+        // the same supervision path a real one would.
+        #[cfg(feature = "fault-injection")]
+        match injected {
+            Fault::Panic => panic!("injected fault: worker panic"),
+            Fault::Slow(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+        execute(&request, &shared.limits, &shared.cache, scratch)
+    }));
+    match outcome {
+        Ok(result) => {
+            if matches!(&result, Ok(resp) if resp.degraded) {
+                Metrics::bump(&shared.metrics.degraded_replies);
+            }
+            result
+        }
+        Err(_panic) => {
+            Metrics::bump(&shared.metrics.panics_caught);
+            *scratch = Scratch::new();
+            Metrics::bump(&shared.metrics.workers_respawned);
+            let strikes = shared.quarantine.record_crash(key);
+            Err(ErrorReply::new(
+                ErrorCode::Internal,
+                format!(
+                    "worker panicked while handling this request (strike {strikes}/{QUARANTINE_THRESHOLD}); \
+                     the worker was respawned with a fresh arena"
+                ),
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -517,5 +767,105 @@ mod tests {
         );
         assert!(parse_endpoint("nonsense").is_err());
         assert!(parse_endpoint("unix:").is_err());
+    }
+
+    fn test_shared() -> Shared {
+        Shared {
+            cache: ScheduleCache::default(),
+            metrics: Metrics::default(),
+            drain: AtomicBool::new(false),
+            limits: EngineLimits::default(),
+            max_frame: DEFAULT_MAX_FRAME,
+            quarantine: Quarantine::default(),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
+            #[cfg(feature = "fault-injection")]
+            fault_seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Feature-agnostic shim over `run_request` for these tests.
+    fn run(
+        shared: &Shared,
+        scratch: &mut Scratch,
+        payload: &[u8],
+    ) -> Result<ScheduleResponse, ErrorReply> {
+        #[cfg(feature = "fault-injection")]
+        return run_request(shared, scratch, payload, Fault::None);
+        #[cfg(not(feature = "fault-injection"))]
+        run_request(shared, scratch, payload)
+    }
+
+    #[test]
+    fn quarantine_counts_strikes_per_key_and_evicts_the_oldest() {
+        let q = Quarantine::default();
+        assert_eq!(q.strikes(7), 0);
+        assert_eq!(q.record_crash(7), 1);
+        assert_eq!(q.record_crash(7), 2);
+        assert_eq!(q.record_crash(9), 1);
+        assert_eq!(q.strikes(7), 2);
+        assert_eq!(q.strikes(9), 1);
+        // Flood with fresh keys: the bounded deque evicts key 7 first.
+        for k in 100..(100 + QUARANTINE_CAPACITY as u64) {
+            q.record_crash(k);
+        }
+        assert_eq!(q.strikes(7), 0, "oldest entry evicted");
+        assert!(q.lock().len() <= QUARANTINE_CAPACITY);
+    }
+
+    #[test]
+    fn payload_hash_is_stable_and_spreads() {
+        let a = payload_hash(b"{\"asm\":\"nop\"}");
+        assert_eq!(a, payload_hash(b"{\"asm\":\"nop\"}"));
+        assert_ne!(a, payload_hash(b"{\"asm\":\"sub %o0, %o1, %o2\"}"));
+    }
+
+    #[test]
+    fn a_panicking_request_is_contained_then_quarantined() {
+        let shared = test_shared();
+        let mut scratch = Scratch::new();
+        let poison = br#"{"asm":"nop","debug_panic":true}"#;
+
+        // Strikes 1 and 2: typed internal errors, worker respawned.
+        for strike in 1..=QUARANTINE_THRESHOLD {
+            let err = run(&shared, &mut scratch, poison).unwrap_err();
+            assert_eq!(err.code, ErrorCode::Internal, "strike {strike}");
+            assert!(err.code.is_retryable());
+        }
+        // Strike 3: refused up front without burning another worker.
+        let err = run(&shared, &mut scratch, poison).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Quarantined);
+        assert!(!err.code.is_retryable());
+
+        let m = &shared.metrics;
+        let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        assert_eq!(load(&m.panics_caught), u64::from(QUARANTINE_THRESHOLD));
+        assert_eq!(load(&m.workers_respawned), u64::from(QUARANTINE_THRESHOLD));
+        assert_eq!(load(&m.requests_quarantined), 1);
+
+        // A retry of the same payload with a bumped attempt counter
+        // maps to the same quarantine entry: no third crash.
+        let retry = br#"{"asm":"nop","debug_panic":true,"attempt":3}"#;
+        let err = run(&shared, &mut scratch, retry).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Quarantined);
+        assert_eq!(load(&m.retries_attempted), 1);
+        assert_eq!(load(&m.panics_caught), u64::from(QUARANTINE_THRESHOLD));
+
+        // The worker (and its rebuilt arena) still serves healthy work.
+        let resp = run(&shared, &mut scratch, br#"{"asm":"nop"}"#).unwrap();
+        assert_eq!(resp.insns.len(), 1);
+        assert!(!resp.degraded);
+    }
+
+    #[test]
+    fn shedding_replies_carry_retry_hints() {
+        // The constants the accept loop attaches must be nonzero, or
+        // clients would busy-spin.
+        const {
+            assert!(BUSY_RETRY_MS > 0);
+            assert!(DRAIN_RETRY_MS >= BUSY_RETRY_MS);
+        }
+        let reply = ErrorReply::new(ErrorCode::Busy, "x").with_retry_after_ms(BUSY_RETRY_MS);
+        assert_eq!(reply.retry_after_ms, Some(BUSY_RETRY_MS));
     }
 }

@@ -26,8 +26,7 @@ fn serial_reference(profile: &str, seed: u64) -> Vec<String> {
     let model = MachineModel::sparc2();
     let config = DriverConfig {
         scheduler: Scheduler::new(SchedulerKind::Warren),
-        inherit_latencies: false,
-        fill_delay_slots: false,
+        ..DriverConfig::default()
     };
     let (result, _) = schedule_program_batch(
         &bench.program,
@@ -270,6 +269,267 @@ fn shutdown_frame_drains_the_server() {
     // The shutdown frame flips the drain flag; the accept loop then
     // exits on its own and `join` returns.
     handle.join();
+}
+
+fn metric(handle: &dagsched_service::ServerHandle, key: &str) -> u64 {
+    handle
+        .metrics()
+        .get(key)
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("metrics snapshot has no `{key}`"))
+}
+
+/// Tentpole acceptance (panic isolation): a request that panics
+/// mid-pipeline yields a typed `internal` reply on the same
+/// connection, the worker's arena is rebuilt, and the *next* request —
+/// same connection, same worker pool — is served normally.
+#[test]
+fn a_panicking_request_is_answered_typed_and_the_worker_survives() {
+    let handle = tcp_server(ServerConfig {
+        workers: 1, // the panicking worker is the only worker
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+
+    let mut poison = ScheduleRequest::asm("add %o0, %o1, %o2");
+    poison.debug_panic = true;
+    match client.request(&poison) {
+        Err(ClientError::Server(reply)) => {
+            assert_eq!(reply.code, ErrorCode::Internal);
+            assert!(
+                reply.message.contains("strike"),
+                "internal reply names the quarantine strike: {}",
+                reply.message
+            );
+        }
+        other => panic!("expected a typed internal error, got {other:?}"),
+    }
+    assert_eq!(metric(&handle, "panics_caught"), 1);
+    assert_eq!(metric(&handle, "workers_respawned"), 1);
+
+    // The sole worker survived: a healthy request on the *same*
+    // connection is served with a fresh arena.
+    let resp = client
+        .request(&ScheduleRequest::asm("add %o0, %o1, %o2"))
+        .expect("healthy request after a contained panic");
+    assert_eq!(resp.insns.len(), 1);
+    assert!(!resp.degraded);
+
+    handle.begin_drain();
+    handle.join();
+}
+
+/// Tentpole acceptance (quarantine): a payload that keeps killing
+/// workers is cut off with a typed `quarantined` reply instead of
+/// being allowed a third strike.
+#[test]
+fn a_repeat_offender_payload_is_quarantined_over_the_wire() {
+    let handle = tcp_server(ServerConfig::default());
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+
+    let mut poison = ScheduleRequest::asm("sub %o0, %o1, %o2");
+    poison.debug_panic = true;
+    let mut codes = Vec::new();
+    for attempt in 0..3u64 {
+        // Retries arrive with a bumped `attempt`; the quarantine must
+        // key on the payload identity, not the attempt counter.
+        poison.attempt = attempt;
+        match client.request(&poison) {
+            Err(ClientError::Server(reply)) => codes.push(reply.code),
+            other => panic!("expected an error, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        codes,
+        vec![ErrorCode::Internal, ErrorCode::Internal, ErrorCode::Quarantined]
+    );
+    assert_eq!(metric(&handle, "panics_caught"), 2);
+    assert_eq!(metric(&handle, "requests_quarantined"), 1);
+    assert_eq!(metric(&handle, "retries_attempted"), 2);
+
+    handle.begin_drain();
+    handle.join();
+}
+
+/// The retrying client drives a poison payload to a terminal outcome:
+/// internal (retryable) twice, then quarantined (not retryable), with
+/// no hanging and no unbounded retry loop.
+#[test]
+fn the_retrying_client_reaches_a_terminal_outcome_under_panics() {
+    let handle = tcp_server(ServerConfig::default());
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+    let policy = dagsched_service::RetryPolicy {
+        max_retries: 5,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(4),
+        ..dagsched_service::RetryPolicy::default()
+    };
+
+    let mut poison = ScheduleRequest::asm("xor %o3, %o4, %o5");
+    poison.debug_panic = true;
+    match client.request_with_retry(&poison, &policy) {
+        Err(ClientError::Server(reply)) => assert_eq!(
+            reply.code,
+            ErrorCode::Quarantined,
+            "two strikes then quarantine, well inside the retry budget"
+        ),
+        other => panic!("expected terminal quarantine, got {other:?}"),
+    }
+    // Strike accounting: two contained panics, then the cut-off.
+    assert_eq!(metric(&handle, "panics_caught"), 2);
+    assert_eq!(metric(&handle, "requests_quarantined"), 1);
+
+    // A healthy request through the same retry path: first try, no
+    // retries spent.
+    let (resp, stats) = client
+        .request_with_retry(&ScheduleRequest::asm("add %o0, %o1, %o2"), &policy)
+        .expect("healthy request");
+    assert_eq!(resp.insns.len(), 1);
+    assert_eq!(stats.attempts, 1);
+    assert_eq!(stats.retries, 0);
+
+    handle.begin_drain();
+    handle.join();
+}
+
+/// Satellite (retry properties): with an always-resetting peer, the
+/// retry loop obeys `overall_timeout` — it gives up within the budget
+/// instead of burning the whole `max_retries` allowance.
+#[test]
+fn the_overall_retry_deadline_is_respected() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // A peer that accepts the handshake and immediately hangs up:
+    // every attempt fails with a retryable transport error.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind resetter");
+    let addr = listener.local_addr().unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_l = Arc::clone(&stop);
+    let resetter = std::thread::spawn(move || {
+        while !stop_l.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((s, _)) => drop(s),
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    });
+
+    let policy = dagsched_service::RetryPolicy {
+        // Generous enough that without the overall deadline the loop
+        // would sleep for multiple seconds...
+        max_retries: 1000,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(20),
+        per_attempt_timeout: Some(Duration::from_millis(200)),
+        // ...but the overall budget cuts it off fast.
+        overall_timeout: Some(Duration::from_millis(100)),
+        ..dagsched_service::RetryPolicy::default()
+    };
+    let mut client = Client::connect(&format!("tcp:{addr}")).expect("connect");
+    let started = std::time::Instant::now();
+    let result = client.request_with_retry(&ScheduleRequest::asm("add %o0, %o1, %o2"), &policy);
+    let elapsed = started.elapsed();
+    assert!(result.is_err(), "a resetting peer cannot yield a response");
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "gave up near the 100 ms overall budget, not after 1000 retries ({elapsed:?})"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    resetter.join().expect("resetter thread");
+}
+
+/// Drain-race satellite, part 1: a connection that was accepted and
+/// *queued* (not yet picked up by a worker) when the drain began is
+/// still served to completion, not dropped.
+#[test]
+fn queued_connections_are_served_through_a_drain() {
+    let handle = tcp_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let endpoint = handle.endpoint();
+
+    // Occupy the only worker.
+    let endpoint_a = endpoint.clone();
+    let hog = std::thread::spawn(move || {
+        let mut client = Client::connect(&endpoint_a).expect("connect A");
+        let mut req = ScheduleRequest::asm("add %o0, %o1, %o2");
+        req.linger_ms = 400;
+        client.request(&req).expect("lingering request")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // B is accepted and sits in the pool queue behind the hog. Its
+    // request bytes are already on the wire when the drain begins.
+    let endpoint_b = endpoint.clone();
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(&endpoint_b).expect("connect B");
+        client.request(&ScheduleRequest::asm("sub %o0, %o1, %o2"))
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    handle.begin_drain();
+    assert_eq!(hog.join().expect("hog thread").insns.len(), 1);
+    let queued_resp = queued
+        .join()
+        .expect("queued thread")
+        .expect("queued connection must be served through the drain, not dropped");
+    assert_eq!(queued_resp.insns.len(), 1);
+    handle.join();
+}
+
+/// Drain-race satellite, part 2: connections sitting in the kernel's
+/// accept backlog when the drain begins are swept up and told
+/// `draining` (with a retry hint) instead of waiting forever for a
+/// reply. The interleaving has a microscopic benign race (the accept
+/// loop may break and sweep an empty backlog before the sockets
+/// land), so the scenario retries on fresh servers; one `draining`
+/// reply proves the sweep.
+#[test]
+fn backlog_connections_get_a_draining_reply_not_silence() {
+    let mut drained = 0u32;
+    for _ in 0..3 {
+        let handle = tcp_server(ServerConfig::default());
+        let addr = handle.local_addr().expect("tcp addr");
+        // Let the accept loop settle into its idle poll sleep.
+        std::thread::sleep(Duration::from_millis(40));
+        handle.begin_drain();
+        // These handshakes complete against the kernel backlog; the
+        // accept loop is already committed to breaking out.
+        let socks: Vec<TcpStream> = (0..4)
+            .filter_map(|_| TcpStream::connect(addr).ok())
+            .collect();
+        for mut s in socks {
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            // A ping distinguishes the two legitimate outcomes: a
+            // normally-accepted connection answers `pong`; a swept
+            // backlog connection answers `draining` without reading.
+            let _ = write_frame(&mut s, FrameKind::Ping, b"");
+            if let Ok((FrameKind::Error, payload)) = read_frame(&mut s, 1 << 20) {
+                let text = std::str::from_utf8(&payload).expect("UTF-8 error payload");
+                let value =
+                    dagsched_service::json::Json::parse(text).expect("JSON error payload");
+                let reply = ErrorReply::from_json(&value).expect("decodable error reply");
+                assert_eq!(reply.code, ErrorCode::Draining);
+                assert!(
+                    reply.retry_after_ms.is_some(),
+                    "draining rejection carries a retry hint"
+                );
+                drained += 1;
+            }
+        }
+        handle.join();
+        if drained > 0 {
+            break;
+        }
+    }
+    assert!(
+        drained > 0,
+        "no backlog connection received a draining reply across 3 attempts"
+    );
 }
 
 #[cfg(unix)]

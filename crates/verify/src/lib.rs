@@ -34,12 +34,14 @@ pub mod fuzz;
 pub mod gen;
 pub mod matrix;
 pub mod shrink;
+pub mod validity;
 
 pub use corpus::{replay_dir, write_reproducer, ReplayFailure};
 pub use fuzz::{run_fuzz, FuzzConfig, FuzzOutcome};
 pub use gen::{generate_program, mutate_program, Shape};
 pub use matrix::{check_text, CheckKind, CheckSummary, Disagreement, MatrixConfig};
 pub use shrink::shrink_text;
+pub use validity::{check_reordering, check_reordering_text};
 
 /// SplitMix64: the stream splitter used to derive per-iteration seeds
 /// from the master fuzz seed (same finalizer as `SeedableRng::seed_from_u64`).

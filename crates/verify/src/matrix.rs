@@ -488,8 +488,7 @@ fn check_pipelines(
     for &kind in SchedulerKind::ALL {
         let config = DriverConfig {
             scheduler: Scheduler::new(kind),
-            inherit_latencies: false,
-            fill_delay_slots: false,
+            ..DriverConfig::default()
         };
         let serial = schedule_program_batch(program, model, &config, 1, &Limits::none(), &NoCache)
             .map_err(|e| {

@@ -77,6 +77,12 @@ struct Options {
     seed: u64,
     /// `request`: ask the server for before/after cycle counts.
     sim: bool,
+    /// `request`: retry budget for transient failures (`None` = one
+    /// attempt, fail fast).
+    retries: Option<u32>,
+    /// `request`: forbid degraded (cheap-rung) scheduling under
+    /// deadline pressure — expire instead.
+    no_degrade: bool,
     /// `fuzz`: wall-clock budget in minutes.
     minutes: f64,
     /// `fuzz`: iteration bound (`None` = time budget only).
@@ -131,6 +137,7 @@ fn driver_config(opts: &Options) -> DriverConfig {
             .with_policy(opts.policy),
         inherit_latencies: opts.inherit,
         fill_delay_slots: opts.fill_slots,
+        ..DriverConfig::default()
     }
 }
 
@@ -309,13 +316,43 @@ fn cmd_request(opts: &Options) {
     req.jobs = opts.jobs;
     req.deadline_ms = opts.timeout_ms;
     req.sim = opts.sim;
+    req.degrade = !opts.no_degrade;
     let mut client =
         Client::connect(&opts.endpoint).unwrap_or_else(|e| die(&format!("connect: {e}")));
-    let resp = client
-        .request(&req)
-        .unwrap_or_else(|e| die(&format!("request: {e}")));
+    let resp = match opts.retries {
+        // A retry budget: transient failures (busy, draining, caught
+        // panics, dropped connections) are retried with jittered
+        // backoff; typed permanent errors still fail fast.
+        Some(budget) => {
+            let policy = dagsched::service::RetryPolicy {
+                max_retries: budget,
+                ..dagsched::service::RetryPolicy::default()
+            };
+            let (resp, stats) = client
+                .request_with_retry(&req, &policy)
+                .unwrap_or_else(|e| die(&format!("request: {e}")));
+            if opts.stats && stats.retries > 0 {
+                eprintln!(
+                    "! retried {} time(s) ({} redials, {:.0} ms backing off)",
+                    stats.retries,
+                    stats.redials,
+                    stats.backoff_total.as_secs_f64() * 1e3
+                );
+            }
+            resp
+        }
+        None => client
+            .request(&req)
+            .unwrap_or_else(|e| die(&format!("request: {e}"))),
+    };
     for insn in &resp.insns {
         println!("    {insn}");
+    }
+    if resp.degraded {
+        eprintln!(
+            "! degraded: {} block(s) compiled on a cheaper rung to meet the deadline",
+            resp.stats.degraded_blocks
+        );
     }
     let (before, after): (u64, u64) = resp
         .blocks
@@ -483,6 +520,8 @@ fn parse_args() -> Result<Options, String> {
         profile: None,
         seed: dagsched::workloads::PAPER_SEED,
         sim: false,
+        retries: None,
+        no_degrade: false,
         minutes: 2.0,
         iters: None,
         corpus: None,
@@ -589,6 +628,14 @@ fn parse_args() -> Result<Options, String> {
             "--corpus" => {
                 opts.corpus = Some(args.next().ok_or("--corpus needs a directory")?);
             }
+            "--retries" => {
+                opts.retries = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--retries needs a count")?,
+                );
+            }
+            "--no-degrade" => opts.no_degrade = true,
             "--no-shrink" => opts.no_shrink = true,
             "--sim" => opts.sim = true,
             "--stats" => opts.stats = true,
@@ -651,6 +698,8 @@ fn usage(err: &str) -> ! {
          \x20 --profile P  schedule a generated workload instead of a file\n\
          \x20 --seed N     workload generator seed\n\
          \x20 --sim        ask the server for before/after cycle counts\n\
+         \x20 --retries N  retry transient failures up to N times with jittered backoff\n\
+         \x20 --no-degrade fail on deadline pressure instead of degrading heuristics\n\
          \n\
          fuzz / diff options:\n\
          \x20 --seed N     master fuzz seed, decimal or 0x hex (default 0xDA65C4ED)\n\
