@@ -41,6 +41,28 @@
 //!
 //! The same `--seed` replays the same fault stream bit-for-bit, so a
 //! chaos run that found a bug is a reproducer, not an anecdote.
+//!
+//! # Crash-loop mode
+//!
+//! Also behind `--features chaos`, `--crash-loop N` audits the *other*
+//! failure axis: process death. The harness spawns the daemon as a
+//! child process (this same binary, re-executed in a hidden serve-only
+//! mode) with a persistent `--state-dir`, then runs N kill cycles:
+//! pump requests, `SIGKILL` the daemon mid-load, corrupt the surviving
+//! store files with the seeded storage-fault injector (torn final
+//! record, WAL bit flip, truncated snapshot, duplicated WAL tail),
+//! restart, repeat. The run *fails* unless:
+//!
+//! 1. no corrupt reply is ever served — every successful response is
+//!    bit-identical to a fresh serial compile of the same program;
+//! 2. the final restart recovers a warm cache — post-restart hit rate
+//!    is at least half the pre-crash hit rate, and the server reports
+//!    `recovered_entries > 0`;
+//! 3. after a graceful final drain, `fsck` finds the store clean.
+//!
+//! ```text
+//! loadgen --crash-loop 5 --seed 7 --out service-crash-loop.json
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -88,6 +110,13 @@ struct Options {
     retries: u32,
     /// Per-request deadline tagged on every request, if any.
     deadline_ms: Option<u64>,
+    /// Crash-loop mode: SIGKILL the daemon this many times.
+    crash_loop: Option<u32>,
+    /// Crash-loop: where the daemon persists its state (default: a
+    /// fresh temp directory).
+    state_dir: Option<String>,
+    /// Hidden: run as the crash-loop's serve-only child process.
+    serve_child: bool,
 }
 
 impl Default for Options {
@@ -113,6 +142,9 @@ impl Default for Options {
             slow_ms: 20,
             retries: 4,
             deadline_ms: None,
+            crash_loop: None,
+            state_dir: None,
+            serve_child: false,
         }
     }
 }
@@ -207,13 +239,26 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--deadline-ms needs a millisecond count")?,
                 );
             }
+            "--crash-loop" => {
+                opts.crash_loop = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u32| n > 0)
+                        .ok_or("--crash-loop needs a positive kill count")?,
+                );
+            }
+            "--state-dir" => {
+                opts.state_dir = Some(args.next().ok_or("--state-dir needs a directory")?);
+            }
+            "--serve-child" => opts.serve_child = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--connect EP | --unix PATH] [--qps N] [--requests N] [--clients N]\n\
                      \x20              [--profiles a,b,c] [--seeds N] [--workers N]\n\
                      \x20              [--cache-entries N] [--deadline-ms N] [--out FILE]\n\
                      \x20              [--chaos] [--seed N] [--faults PERMILLE] [--slow-ms N]\n\
-                     \x20              [--retries N]"
+                     \x20              [--retries N]\n\
+                     \x20              [--crash-loop N] [--state-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -227,6 +272,17 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.unix.is_some() && opts.connect.is_some() {
         return Err("--unix binds the in-process server; it conflicts with --connect".to_string());
+    }
+    if opts.crash_loop.is_some() && opts.connect.is_some() {
+        return Err("--crash-loop spawns its own child daemon; it cannot target a \
+                    remote one (omit --connect)"
+            .to_string());
+    }
+    if opts.crash_loop.is_some() && opts.chaos {
+        return Err("--crash-loop and --chaos are separate audits; run them separately".to_string());
+    }
+    if opts.serve_child && opts.unix.is_none() {
+        return Err("--serve-child needs --unix".to_string());
     }
     Ok(opts)
 }
@@ -330,10 +386,10 @@ mod chaos {
     /// Ground truth for one `(profile, seed)` in the working set.
     pub struct Reference {
         /// The generated program, rendered one instruction per line.
-        original: String,
+        pub original: String,
         /// The serial, uncached driver's schedule under the server's
         /// default configuration.
-        scheduled: Vec<String>,
+        pub scheduled: Vec<String>,
     }
 
     /// Serially compile every program the run will request, before any
@@ -494,11 +550,212 @@ mod chaos {
     }
 }
 
+/// The crash-loop audit. Gated behind the `chaos` feature because the
+/// storage-fault injector only exists when `dagsched-store` is built
+/// with `fault-injection`.
+#[cfg(feature = "chaos")]
+mod crash_loop {
+    use super::*;
+    use std::collections::HashMap;
+    use std::io;
+    use std::path::Path;
+    use std::process::{Child, Command, Stdio};
+    use std::sync::Mutex;
+
+    use dagsched_service::{RetryPolicy, ScheduleResponse};
+
+    pub fn endpoint(sock: &Path) -> String {
+        format!("unix:{}", sock.display())
+    }
+
+    /// Dial policy that rides out the restart window: the child was
+    /// just spawned (or just respawned over recovered state), so the
+    /// socket appears some milliseconds from now.
+    pub fn connect_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2000,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(40),
+            per_attempt_timeout: Some(Duration::from_secs(10)),
+            overall_timeout: Some(Duration::from_secs(30)),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Re-execute this binary as a serve-only child the parent can
+    /// `SIGKILL`.
+    pub fn spawn_daemon(sock: &Path, state: &Path, opts: &Options) -> io::Result<Child> {
+        Command::new(std::env::current_exe()?)
+            .arg("--serve-child")
+            .arg("--unix")
+            .arg(sock)
+            .arg("--state-dir")
+            .arg(state)
+            .arg("--workers")
+            .arg(opts.workers.to_string())
+            .arg("--cache-entries")
+            .arg(opts.cache_entries.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+    }
+
+    /// Invariant: every successful reply is bit-identical to the
+    /// serial, uncached compile. Crash-loop requests never carry a
+    /// deadline, so a degraded reply is also a violation.
+    fn verify_reply(
+        k: usize,
+        key: &(String, u64),
+        resp: &ScheduleResponse,
+        refs: &HashMap<(String, u64), chaos::Reference>,
+    ) -> Option<String> {
+        let reference = refs.get(key).expect("precomputed reference");
+        if resp.degraded {
+            return Some(format!(
+                "request {k} ({}/{}): unexpected degraded reply (no deadline was set)",
+                key.0, key.1
+            ));
+        }
+        if resp.insns != reference.scheduled {
+            return Some(format!(
+                "request {k} ({}/{}): reply differs from the serial compile \
+                 (corrupt recovered entry?)",
+                key.0, key.1
+            ));
+        }
+        None
+    }
+
+    #[derive(Default)]
+    pub struct SessionTally {
+        /// Successful (and verified) responses.
+        pub ok: u64,
+        /// Requests that died with the daemon (expected once the kill
+        /// fires; a violation otherwise).
+        pub failed: u64,
+        pub hits: u64,
+        pub misses: u64,
+        pub violations: Vec<String>,
+    }
+
+    impl SessionTally {
+        pub fn hit_rate(&self) -> f64 {
+            if self.hits + self.misses == 0 {
+                0.0
+            } else {
+                self.hits as f64 / (self.hits + self.misses) as f64
+            }
+        }
+    }
+
+    /// Pump `budget` requests from the deterministic working-set mix.
+    /// With `kill_at = Some(n)`, a side thread SIGKILLs the daemon once
+    /// `n` requests have completed — while the pump is still
+    /// mid-request, so the WAL is cut off at an arbitrary byte, not at
+    /// a polite boundary.
+    pub fn pump_session(
+        child: &Mutex<Child>,
+        sock: &Path,
+        opts: &Options,
+        refs: &HashMap<(String, u64), chaos::Reference>,
+        budget: usize,
+        kill_at: Option<usize>,
+    ) -> Result<SessionTally, String> {
+        let (mut client, _) = Client::connect_with_retry(&endpoint(sock), &connect_policy())
+            .map_err(|e| format!("daemon did not come up: {e}"))?;
+        let progress = AtomicUsize::new(0);
+        let mut tally = SessionTally::default();
+        std::thread::scope(|scope| {
+            let progress = &progress;
+            if let Some(at) = kill_at {
+                scope.spawn(move || {
+                    while progress.load(Ordering::Relaxed) < at {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let _ = child.lock().unwrap().kill();
+                });
+            }
+            for k in 0..budget {
+                let req = request_for(opts, k);
+                let key = mix_key(opts, k);
+                match client.request(&req) {
+                    Ok(resp) => {
+                        tally.ok += 1;
+                        tally.hits += resp.stats.cache_hits;
+                        tally.misses += resp.stats.cache_misses;
+                        if let Some(v) = verify_reply(k, &key, &resp, refs) {
+                            tally.violations.push(v);
+                        }
+                    }
+                    Err(e) => {
+                        tally.failed += 1;
+                        if kill_at.is_none() {
+                            tally
+                                .violations
+                                .push(format!("request {k}: failed with no kill pending: {e}"));
+                        }
+                    }
+                }
+                // Count *completed* requests so the kill lands while
+                // request `at` (or a later one) is on the wire.
+                progress.store(k + 1, Ordering::Relaxed);
+            }
+        });
+        Ok(tally)
+    }
+}
+
+/// The hidden serve-only child mode backing `--crash-loop`: a real
+/// daemon process the parent can `SIGKILL`, persisting to
+/// `--state-dir`. Compiled unconditionally (it needs nothing from the
+/// chaos feature) so the flag always behaves the same.
+fn serve_child_main(opts: &Options) -> ! {
+    let sock = opts.unix.as_ref().expect("checked in parse_args");
+    let config = ServerConfig {
+        workers: opts.workers,
+        cache: dagsched_service::CacheConfig {
+            max_entries: opts.cache_entries,
+            ..dagsched_service::CacheConfig::default()
+        },
+        state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
+        // Snapshot early and often: crash-loop runs are small, and a
+        // low threshold exercises compaction + snapshot recovery too.
+        wal_snapshot_threshold: 256 << 10,
+        fsync_every: 4,
+        ..ServerConfig::default()
+    };
+    let handle = serve(Listen::Unix(std::path::PathBuf::from(sock)), config)
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen[child]: serve: {e}");
+            std::process::exit(1);
+        });
+    handle.join(); // until SIGKILL, or a client-driven drain
+    std::process::exit(0);
+}
+
 fn main() {
     let opts = parse_args().unwrap_or_else(|e| {
         eprintln!("loadgen: {e}");
         std::process::exit(2);
     });
+    if opts.serve_child {
+        serve_child_main(&opts);
+    }
+    if opts.crash_loop.is_some() {
+        #[cfg(feature = "chaos")]
+        {
+            crash_loop_main(opts);
+            return;
+        }
+        #[cfg(not(feature = "chaos"))]
+        {
+            eprintln!(
+                "loadgen: --crash-loop requires the storage-fault injector; rebuild with \
+                 `cargo build -p dagsched-bench --features chaos`"
+            );
+            std::process::exit(2);
+        }
+    }
     if opts.chaos {
         #[cfg(feature = "chaos")]
         {
@@ -864,4 +1121,247 @@ fn chaos_main(opts: Options) {
         std::process::exit(1);
     }
     eprintln!("loadgen: chaos audit passed: daemon alive, all requests terminal, all replies verified");
+}
+
+#[cfg(feature = "chaos")]
+fn crash_loop_main(opts: Options) {
+    use crash_loop::{connect_policy, endpoint, pump_session, spawn_daemon};
+    use std::path::PathBuf;
+    use std::sync::Mutex;
+
+    let fatal = |msg: String| -> ! {
+        eprintln!("loadgen: {msg}");
+        std::process::exit(1);
+    };
+    let kills_wanted = opts.crash_loop.expect("dispatched on crash_loop");
+    let root = opts
+        .state_dir
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("dagsched-crash-loop-{}", std::process::id()))
+        });
+    let state = root.join("state");
+    std::fs::create_dir_all(&state)
+        .unwrap_or_else(|e| fatal(format!("creating {}: {e}", state.display())));
+    let sock = root.join("daemon.sock");
+    let fingerprint = dagsched_service::store_fingerprint();
+    let working = opts.profiles.len() * opts.seeds as usize;
+
+    eprintln!(
+        "loadgen: crash-loop audit: {kills_wanted} SIGKILLs, seed {}, working set {} programs, \
+         state {}",
+        opts.chaos_seed,
+        working,
+        state.display()
+    );
+    let refs = chaos::references(&opts)
+        .unwrap_or_else(|e| fatal(format!("serial references: {e}")));
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut injected = Vec::new();
+    let mut cycles_json = Vec::new();
+    let mut pre_crash_hit_rate = 0.0;
+    let mut kills = 0u32;
+    let started = Instant::now();
+
+    for cycle in 0..kills_wanted {
+        let child = Mutex::new(
+            spawn_daemon(&sock, &state, &opts)
+                .unwrap_or_else(|e| fatal(format!("spawning the daemon: {e}"))),
+        );
+        // First session: two clean passes — fill the cache cold, then
+        // measure the warm (pre-crash) hit rate recovery must defend.
+        if cycle == 0 {
+            match pump_session(&child, &sock, &opts, &refs, working, None) {
+                Ok(fill) => violations.extend(fill.violations),
+                Err(e) => {
+                    violations.push(format!("cycle 0 fill pass: {e}"));
+                    break;
+                }
+            }
+            match pump_session(&child, &sock, &opts, &refs, working, None) {
+                Ok(warm) => {
+                    pre_crash_hit_rate = warm.hit_rate();
+                    violations.extend(warm.violations);
+                }
+                Err(e) => {
+                    violations.push(format!("cycle 0 warm pass: {e}"));
+                    break;
+                }
+            }
+        }
+        // Kill at ~3/4 of a pass: genuinely mid-load (the WAL is cut at
+        // an arbitrary byte), while re-touching enough of the working
+        // set that entries lost to the previous cycle's injected
+        // corruption get recompiled and re-persisted.
+        let kill_at = (working * 3 / 4).max(1);
+        let tally = match pump_session(&child, &sock, &opts, &refs, working, Some(kill_at)) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(format!("cycle {cycle}: daemon did not recover: {e}"));
+                let _ = child.lock().unwrap().kill();
+                let _ = child.lock().unwrap().wait();
+                break;
+            }
+        };
+        kills += 1;
+        let _ = child.lock().unwrap().wait();
+        violations.extend(tally.violations.iter().cloned());
+        cycles_json.push(Json::Obj(vec![
+            ("cycle".to_string(), Json::from(u64::from(cycle))),
+            ("ok".to_string(), Json::from(tally.ok)),
+            ("failed_after_kill".to_string(), Json::from(tally.failed)),
+            ("hit_rate".to_string(), Json::from(tally.hit_rate())),
+        ]));
+        // Corrupt the survivor between cycles — but never after the
+        // last kill: the final measurement grades recovery of the
+        // crashed state itself, and the next session's pump is what
+        // heals injected losses.
+        if cycle + 1 < kills_wanted {
+            match dagsched_store::faultinject::inject(&state, opts.chaos_seed, u64::from(cycle)) {
+                Ok(Some(f)) => {
+                    eprintln!(
+                        "loadgen: cycle {cycle}: injected {} into {} (detail {})",
+                        f.fault, f.file, f.detail
+                    );
+                    injected.push(Json::Obj(vec![
+                        ("cycle".to_string(), Json::from(u64::from(cycle))),
+                        ("fault".to_string(), Json::from(f.fault.to_string().as_str())),
+                        ("file".to_string(), Json::from(f.file.as_str())),
+                        ("detail".to_string(), Json::from(f.detail)),
+                    ]));
+                }
+                Ok(None) => {}
+                Err(e) => violations.push(format!("cycle {cycle}: storage injection: {e}")),
+            }
+        }
+        eprintln!(
+            "loadgen: cycle {cycle}: {} ok, {} failed after SIGKILL, hit rate {:.1}%",
+            tally.ok,
+            tally.failed,
+            100.0 * tally.hit_rate()
+        );
+    }
+
+    // Final restart over the kill -9 survivor: the cache must come back
+    // warm, the replies must still be bit-identical, and the server
+    // must report what it recovered.
+    let mut post_restart_hit_rate = 0.0;
+    let mut recovered_entries = 0u64;
+    let mut recovery_truncated = 0u64;
+    let mut server_metrics = None;
+    let mut fsck_issues: Vec<String> = Vec::new();
+    if violations.is_empty() {
+        let child = Mutex::new(
+            spawn_daemon(&sock, &state, &opts)
+                .unwrap_or_else(|e| fatal(format!("spawning the final daemon: {e}"))),
+        );
+        match pump_session(&child, &sock, &opts, &refs, working, None) {
+            Ok(post) => {
+                post_restart_hit_rate = post.hit_rate();
+                violations.extend(post.violations);
+            }
+            Err(e) => violations.push(format!("final restart: {e}")),
+        }
+        match Client::connect_with_retry(&endpoint(&sock), &connect_policy()) {
+            Ok((mut client, _)) => {
+                if let Ok(m) = client.metrics() {
+                    recovered_entries = m
+                        .get("recovered_entries")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    recovery_truncated = m
+                        .get("recovery_truncated_records")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    server_metrics = Some(m);
+                }
+                // Graceful drain: the server snapshots on the way out,
+                // so the surviving store should check completely clean.
+                if let Err(e) = client.shutdown_server() {
+                    violations.push(format!("graceful shutdown: {e}"));
+                }
+            }
+            Err(e) => violations.push(format!("final metrics connection: {e}")),
+        }
+        let _ = child.lock().unwrap().wait();
+
+        if recovered_entries == 0 {
+            violations.push(
+                "final restart recovered zero cache entries from the survivor".to_string(),
+            );
+        }
+        if pre_crash_hit_rate > 0.0 && post_restart_hit_rate < 0.5 * pre_crash_hit_rate {
+            violations.push(format!(
+                "post-restart hit rate {:.1}% is below half the pre-crash {:.1}%",
+                100.0 * post_restart_hit_rate,
+                100.0 * pre_crash_hit_rate
+            ));
+        }
+        match dagsched_store::fsck::check(&state, Some(fingerprint)) {
+            Ok(report) if report.clean() => {}
+            Ok(report) => {
+                fsck_issues = report.issues.clone();
+                for issue in &report.issues {
+                    violations.push(format!("fsck after graceful drain: {issue}"));
+                }
+            }
+            Err(e) => violations.push(format!("fsck after graceful drain: {e}")),
+        }
+    }
+
+    let elapsed = started.elapsed();
+    let mut report = vec![
+        ("mode", Json::from("crash-loop")),
+        ("seed", Json::from(opts.chaos_seed)),
+        ("kills_requested", Json::from(u64::from(kills_wanted))),
+        ("kills_delivered", Json::from(u64::from(kills))),
+        ("working_set", Json::from(working)),
+        ("state_dir", Json::from(state.display().to_string().as_str())),
+        ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
+        ("pre_crash_hit_rate", Json::from(pre_crash_hit_rate)),
+        ("post_restart_hit_rate", Json::from(post_restart_hit_rate)),
+        ("recovered_entries", Json::from(recovered_entries)),
+        ("recovery_truncated_records", Json::from(recovery_truncated)),
+        ("injected_faults", Json::Arr(injected)),
+        ("cycles", Json::Arr(cycles_json)),
+        (
+            "fsck_issues",
+            Json::Arr(fsck_issues.iter().map(|i| Json::from(i.as_str())).collect()),
+        ),
+        ("violations", Json::from(violations.len() as u64)),
+    ];
+    if let Some(m) = server_metrics {
+        report.push(("server", m));
+    }
+    let artifact = Json::Obj(
+        report
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "service-crash-loop.json".to_string());
+    std::fs::write(&out, format!("{artifact}\n"))
+        .unwrap_or_else(|e| fatal(format!("writing {out}: {e}")));
+
+    eprintln!(
+        "loadgen: crash-loop: {kills} SIGKILLs; hit rate {:.1}% pre-crash -> {:.1}% after the \
+         final restart; {} entries recovered -> {out}",
+        100.0 * pre_crash_hit_rate,
+        100.0 * post_restart_hit_rate,
+        recovered_entries
+    );
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("loadgen: VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "loadgen: crash-loop audit passed: no corrupt replies, warm recovery, store fsck-clean"
+    );
 }

@@ -47,6 +47,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
+use dagsched_core::NodeId;
 use dagsched_driver::{BlockCache, BlockOutcome, BlockReport, DriverConfig};
 use dagsched_isa::{Fnv64, Instruction, MachineModel};
 use dagsched_sched::{CarryOut, SlotFill};
@@ -67,6 +68,14 @@ const ENTRY_OVERHEAD: usize = 96;
 /// the cache property test.
 pub const MIN_ENTRY_COST: usize =
     2 * std::mem::size_of::<Key>() + std::mem::size_of::<usize>() + ENTRY_OVERHEAD;
+
+/// Approximate footprint of an entry with `order_len` emitted slots
+/// (used both when capturing a fresh compile and when rehydrating a
+/// persisted entry, so the byte budget means the same thing in both
+/// directions).
+fn entry_cost(order_len: usize) -> usize {
+    order_len * std::mem::size_of::<Instruction>() + MIN_ENTRY_COST
+}
 
 /// Configuration for [`ScheduleCache`].
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +101,18 @@ impl Default for CacheConfig {
 pub struct Key {
     a: u64,
     b: u64,
+}
+
+impl Key {
+    /// The two 64-bit halves (for persistence).
+    pub fn to_parts(self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// Rebuild from the two halves.
+    pub fn from_parts(a: u64, b: u64) -> Key {
+        Key { a, b }
+    }
 }
 
 /// Compute the cache key for (`insns`, `model`, `config`).
@@ -180,10 +201,7 @@ impl CachedBlock {
         // Omitting the key/index share under-counted every entry by
         // ~40 bytes, so a cache full of tiny blocks blew its byte
         // budget by an unbounded margin.
-        let cost_bytes = order.len() * std::mem::size_of::<Instruction>()
-            + 2 * std::mem::size_of::<Key>()
-            + std::mem::size_of::<usize>()
-            + ENTRY_OVERHEAD;
+        let cost_bytes = entry_cost(order.len());
         CachedBlock {
             order,
             len: outcome.report.len,
@@ -218,6 +236,103 @@ impl CachedBlock {
             // which bypasses the cache entirely.
             carry: CarryOut::default(),
         })
+    }
+}
+
+/// Sentinel order-slot value marking a literal delay-slot `nop` in the
+/// persisted encoding (block indices are capped far below this).
+const PERSIST_NOP_SLOT: u32 = u32::MAX;
+
+impl CachedBlock {
+    /// Serialize this entry (with its `key`) for the durability layer.
+    ///
+    /// Returns `None` when the entry cannot be persisted faithfully:
+    /// the only literal instruction delay-slot filling ever emits is
+    /// the canonical `nop`, which round-trips as a tag; any other
+    /// literal (impossible today, conceivable after a scheduler change)
+    /// keeps the entry RAM-only rather than risking a lossy encoding.
+    fn encode(&self, key: Key) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(64 + 4 * self.order.len());
+        let (a, b) = key.to_parts();
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        out.extend_from_slice(&self.original_makespan.to_le_bytes());
+        out.extend_from_slice(&self.scheduled_makespan.to_le_bytes());
+        let (slot_tag, slot_val): (u8, u32) = match &self.slot {
+            None => (0, 0),
+            Some(SlotFill::Moved(nid)) => (1, nid.index() as u32),
+            Some(SlotFill::Nop) => (2, 0),
+            Some(SlotFill::NoSlot) => (3, 0),
+        };
+        out.push(slot_tag);
+        out.extend_from_slice(&slot_val.to_le_bytes());
+        out.extend_from_slice(&(self.order.len() as u32).to_le_bytes());
+        for slot in &self.order {
+            match slot {
+                EmitSlot::FromBlock(i) => {
+                    debug_assert!(*i < PERSIST_NOP_SLOT);
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                EmitSlot::Literal(insn) if *insn == Instruction::nop() => {
+                    out.extend_from_slice(&PERSIST_NOP_SLOT.to_le_bytes());
+                }
+                EmitSlot::Literal(_) => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Decode a persisted entry. `None` on any structural mismatch —
+    /// the record is simply skipped during recovery (per-record
+    /// checksums make this unreachable short of a format bug, but a
+    /// corrupt record must never panic recovery).
+    fn decode(bytes: &[u8]) -> Option<(Key, CachedBlock)> {
+        let u64_at = |o: usize| -> Option<u64> {
+            bytes.get(o..o + 8)?.try_into().ok().map(u64::from_le_bytes)
+        };
+        let u32_at = |o: usize| -> Option<u32> {
+            bytes.get(o..o + 4)?.try_into().ok().map(u32::from_le_bytes)
+        };
+        let key = Key::from_parts(u64_at(0)?, u64_at(8)?);
+        let len = usize::try_from(u64_at(16)?).ok()?;
+        let original_makespan = u64_at(24)?;
+        let scheduled_makespan = u64_at(32)?;
+        let slot_tag = *bytes.get(40)?;
+        let slot_val = u32_at(41)?;
+        let slot = match slot_tag {
+            0 => None,
+            1 => Some(SlotFill::Moved(NodeId::new(slot_val as usize))),
+            2 => Some(SlotFill::Nop),
+            3 => Some(SlotFill::NoSlot),
+            _ => return None,
+        };
+        let count = usize::try_from(u32_at(45)?).ok()?;
+        let body = bytes.get(49..)?;
+        if body.len() != 4 * count {
+            return None;
+        }
+        let mut order = Vec::with_capacity(count);
+        for i in 0..count {
+            let raw = u32::from_le_bytes(body[4 * i..4 * i + 4].try_into().ok()?);
+            order.push(if raw == PERSIST_NOP_SLOT {
+                EmitSlot::Literal(Instruction::nop())
+            } else {
+                EmitSlot::FromBlock(raw)
+            });
+        }
+        let cost_bytes = entry_cost(order.len());
+        Some((
+            key,
+            CachedBlock {
+                order,
+                len,
+                original_makespan,
+                scheduled_makespan,
+                slot,
+                cost_bytes,
+            },
+        ))
     }
 }
 
@@ -336,14 +451,18 @@ impl Lru {
         self.evictions += 1;
     }
 
-    fn insert(&mut self, key: Key, value: CachedBlock, config: &CacheConfig) {
+    /// Insert-if-absent; returns whether the entry was admitted. The
+    /// if-absent semantics are what make recovery replay idempotent:
+    /// double-replay, or a snapshot overlapping the WAL tail, converges
+    /// to the same cache.
+    fn insert(&mut self, key: Key, value: CachedBlock, config: &CacheConfig) -> bool {
         if self.map.contains_key(&key) {
-            return;
+            return false;
         }
         if value.cost_bytes > config.max_bytes || config.max_entries == 0 {
             // A single over-budget entry would evict the whole cache and
             // still not fit; never admit it.
-            return;
+            return false;
         }
         self.bytes += value.cost_bytes;
         let entry = Entry {
@@ -368,14 +487,23 @@ impl Lru {
         while self.map.len() > config.max_entries || self.bytes > config.max_bytes {
             self.evict_tail();
         }
+        true
     }
 }
+
+/// Write-through sink invoked (outside the cache lock) with the encoded
+/// bytes of every freshly admitted entry.
+pub type PersistWriter = Box<dyn Fn(&[u8]) + Send + Sync>;
 
 /// A bounded, thread-safe, content-addressed schedule cache implementing
 /// the driver's [`BlockCache`] interposition point.
 pub struct ScheduleCache {
     config: CacheConfig,
     inner: Mutex<Lru>,
+    /// Optional durability hook: called with the encoded bytes of every
+    /// admitted entry, *after* the cache lock is released (so the sink
+    /// may freely re-enter the cache, e.g. to export for a snapshot).
+    writer: Mutex<Option<PersistWriter>>,
 }
 
 impl ScheduleCache {
@@ -384,6 +512,42 @@ impl ScheduleCache {
         ScheduleCache {
             config,
             inner: Mutex::new(Lru::new()),
+            writer: Mutex::new(None),
+        }
+    }
+
+    /// Install (or replace) the write-through persistence sink. Import
+    /// recovered entries *before* installing the writer, or recovery
+    /// would re-log everything it just read.
+    pub fn set_writer(&self, writer: PersistWriter) {
+        *self.writer.lock().unwrap() = Some(writer);
+    }
+
+    /// Serialize every cached entry, least recently used first (so
+    /// re-importing in order reproduces the recency order). Entries
+    /// that cannot be encoded faithfully are skipped.
+    pub fn export_entries(&self) -> Vec<Vec<u8>> {
+        let inner = self.inner.lock().unwrap();
+        let mut out = Vec::with_capacity(inner.map.len());
+        let mut ix = inner.tail;
+        while ix != NONE {
+            let entry = &inner.slab[ix];
+            if let Some(bytes) = entry.value.encode(entry.key) {
+                out.push(bytes);
+            }
+            ix = entry.prev;
+        }
+        out
+    }
+
+    /// Rehydrate one persisted entry (insert-if-absent, budgets
+    /// enforced). Returns `true` when the entry was admitted; `false`
+    /// for duplicates, over-budget entries, or undecodable bytes. Never
+    /// triggers the write-through sink.
+    pub fn import_entry(&self, bytes: &[u8]) -> bool {
+        match CachedBlock::decode(bytes) {
+            Some((key, value)) => self.inner.lock().unwrap().insert(key, value, &self.config),
+            None => false,
         }
     }
 
@@ -467,7 +631,17 @@ impl BlockCache for ScheduleCache {
     ) {
         let key = block_key(insns, model, config);
         let value = CachedBlock::capture(insns, outcome);
-        self.inner.lock().unwrap().insert(key, value, &self.config);
+        // Encode before inserting (insert moves the value), but only
+        // touch the sink when the entry was actually admitted — and do
+        // so *after* the cache lock is dropped, so the sink can safely
+        // re-enter the cache.
+        let encoded = value.encode(key);
+        let admitted = self.inner.lock().unwrap().insert(key, value, &self.config);
+        if admitted {
+            if let (Some(bytes), Some(writer)) = (encoded, self.writer.lock().unwrap().as_ref()) {
+                writer(&bytes);
+            }
+        }
     }
 }
 

@@ -260,6 +260,67 @@ impl Client {
         })
     }
 
+    /// Connect to an endpoint string, retrying the *dial itself* under
+    /// `policy`. This is how a client rides out a server restart
+    /// window: `connection refused` (the old process is gone, the new
+    /// one has not bound yet) and `not found` (a Unix socket path that
+    /// is about to be re-created) are transport errors, and transport
+    /// errors are always retryable. Backoff is the same jittered
+    /// exponential envelope as [`Client::request_with_retry`], and the
+    /// `overall_timeout` budget is honoured.
+    pub fn connect_with_retry(
+        endpoint: &str,
+        policy: &RetryPolicy,
+    ) -> Result<(Client, RetryStats), ClientError> {
+        let listen = parse_endpoint(endpoint).map_err(ClientError::Protocol)?;
+        let started = Instant::now();
+        let mut rng = policy.jitter_seed;
+        let mut stats = RetryStats::default();
+        let mut last_err: Option<ClientError> = None;
+        for attempt in 0..=policy.max_retries {
+            if let Some(overall) = policy.overall_timeout {
+                if attempt > 0 && started.elapsed() >= overall {
+                    return Err(last_err.expect("attempt > 0 implies a recorded error"));
+                }
+            }
+            stats.attempts += 1;
+            if attempt > 0 {
+                stats.retries += 1;
+                stats.redials += 1;
+            }
+            match Client::dial(&listen) {
+                Ok(stream) => {
+                    let client = Client {
+                        stream,
+                        max_frame: DEFAULT_MAX_FRAME,
+                        endpoint: Some(listen),
+                        broken: false,
+                    };
+                    return Ok((client, stats));
+                }
+                Err(err) => {
+                    if attempt == policy.max_retries {
+                        return Err(err);
+                    }
+                    let mut delay = policy.backoff_delay(attempt, &mut rng);
+                    if let Some(overall) = policy.overall_timeout {
+                        if started.elapsed() + delay >= overall {
+                            return Err(err);
+                        }
+                        // Never sleep past the budget.
+                        delay = delay.min(overall.saturating_sub(started.elapsed()));
+                    }
+                    last_err = Some(err);
+                    std::thread::sleep(delay);
+                    stats.backoff_total += delay;
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            ClientError::Protocol("connect loop ended without an attempt".to_string())
+        }))
+    }
+
     fn dial(listen: &Listen) -> Result<Stream, ClientError> {
         match listen {
             Listen::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr)?)),
@@ -570,6 +631,62 @@ mod tests {
         let io_err = ClientError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "rst"));
         assert!(io_err.is_retryable());
         assert!(io_err.poisons_connection());
+    }
+
+    /// A dial that keeps failing gives up after `max_retries` with the
+    /// last transport error, quickly (the delays are tiny).
+    #[test]
+    fn connect_with_retry_gives_up_on_a_dead_endpoint() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            overall_timeout: Some(Duration::from_secs(5)),
+            ..RetryPolicy::default()
+        };
+        let err = Client::connect_with_retry("unix:/nonexistent/dagsched-nowhere.sock", &policy)
+            .err()
+            .expect("no listener can ever appear at that path");
+        assert!(matches!(err, ClientError::Io(_)), "{err}");
+    }
+
+    /// The restart-window scenario in miniature: nothing is listening
+    /// when the client first dials (connection refused / not found),
+    /// a listener appears shortly after, and `connect_with_retry`
+    /// rides the gap instead of failing fast.
+    #[cfg(unix)]
+    #[test]
+    fn connect_with_retry_survives_a_late_binding_listener() {
+        use std::os::unix::net::UnixListener;
+        let path = std::env::temp_dir().join(format!(
+            "dagsched-late-bind-{}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let bind_path = path.clone();
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let listener = UnixListener::bind(&bind_path).expect("bind");
+            // Hold the accepted connection long enough for connect to
+            // return on the client side.
+            let (_conn, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(40));
+        });
+        let policy = RetryPolicy {
+            max_retries: 50,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            overall_timeout: Some(Duration::from_secs(10)),
+            ..RetryPolicy::default()
+        };
+        let endpoint = format!("unix:{}", path.display());
+        let (client, stats) =
+            Client::connect_with_retry(&endpoint, &policy).expect("listener appears eventually");
+        assert!(stats.retries > 0, "first dial must have failed: {stats:?}");
+        assert_eq!(stats.redials, stats.retries);
+        assert!(client.endpoint.is_some(), "redial target is remembered");
+        binder.join().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -48,11 +48,13 @@ pub mod client;
 pub mod engine;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use cache::{CacheConfig, CacheStats, ScheduleCache, MIN_ENTRY_COST};
+pub use persist::{store_fingerprint, Persistence};
 pub use client::{Client, ClientError, RetryPolicy, RetryStats};
 pub use engine::{execute, EngineLimits};
 pub use pool::PoolHealth;

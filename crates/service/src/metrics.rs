@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use dagsched_store::StoreHealth;
+
 use crate::cache::CacheStats;
 use crate::json::Json;
 
@@ -37,6 +39,12 @@ pub struct Metrics {
     pub retries_attempted: AtomicU64,
     /// Load-shedding rejections that carried a `retry_after_ms` hint.
     pub shed_with_retry_after: AtomicU64,
+    /// Cache entries rehydrated from the store at startup (set once
+    /// during recovery).
+    pub recovered_entries: AtomicU64,
+    /// Torn/corrupt WAL records truncated plus snapshot files rejected
+    /// during the startup recovery (set once).
+    pub recovery_truncated_records: AtomicU64,
 }
 
 /// NaN-safe ratio: `0.0` when the denominator is zero.
@@ -54,9 +62,22 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot every counter (plus the cache's) as a JSON object.
-    pub fn snapshot(&self, cache: &CacheStats) -> Json {
+    /// Snapshot every counter (plus the cache's, plus — when the
+    /// daemon is persistent — the store's health) as a JSON object.
+    /// `store` of `None` reports `"store": null`, distinguishing "not
+    /// persistent" from "persistent but idle".
+    pub fn snapshot(&self, cache: &CacheStats, store: Option<&StoreHealth>) -> Json {
         let g = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        let store_json = match store {
+            None => Json::Null,
+            Some(h) => Json::obj(vec![
+                ("wal_bytes", Json::from(h.wal_bytes)),
+                ("snapshot_generation", Json::from(h.snapshot_generation)),
+                ("fsync_count", Json::from(h.fsync_count)),
+                ("appends", Json::from(h.appends)),
+                ("compactions", Json::from(h.compactions)),
+            ]),
+        };
         Json::obj(vec![
             ("connections", g(&self.connections)),
             ("requests", g(&self.requests)),
@@ -71,6 +92,12 @@ impl Metrics {
             ("degraded_replies", g(&self.degraded_replies)),
             ("retries_attempted", g(&self.retries_attempted)),
             ("shed_with_retry_after", g(&self.shed_with_retry_after)),
+            ("recovered_entries", g(&self.recovered_entries)),
+            (
+                "recovery_truncated_records",
+                g(&self.recovery_truncated_records),
+            ),
+            ("store", store_json),
             (
                 "panic_rate",
                 Json::from(rate(
@@ -111,15 +138,46 @@ mod tests {
         Metrics::bump(&m.requests);
         Metrics::bump(&m.requests);
         Metrics::bump(&m.responses);
-        let snap = m.snapshot(&CacheStats {
-            hits: 7,
-            ..CacheStats::default()
-        });
+        let snap = m.snapshot(
+            &CacheStats {
+                hits: 7,
+                ..CacheStats::default()
+            },
+            None,
+        );
         assert_eq!(snap.get("requests").unwrap().as_u64(), Some(2));
         assert_eq!(snap.get("responses").unwrap().as_u64(), Some(1));
         assert_eq!(
             snap.get("cache").unwrap().get("hits").unwrap().as_u64(),
             Some(7)
+        );
+    }
+
+    #[test]
+    fn store_health_is_null_without_persistence_and_full_with() {
+        let m = Metrics::default();
+        let snap = m.snapshot(&CacheStats::default(), None);
+        assert!(matches!(snap.get("store"), Some(Json::Null)));
+
+        let health = StoreHealth {
+            wal_bytes: 4096,
+            snapshot_generation: 3,
+            fsync_count: 17,
+            appends: 120,
+            compactions: 2,
+        };
+        m.recovered_entries.store(55, Ordering::Relaxed);
+        m.recovery_truncated_records.store(1, Ordering::Relaxed);
+        let snap = m.snapshot(&CacheStats::default(), Some(&health));
+        let store = snap.get("store").unwrap();
+        assert_eq!(store.get("wal_bytes").unwrap().as_u64(), Some(4096));
+        assert_eq!(store.get("snapshot_generation").unwrap().as_u64(), Some(3));
+        assert_eq!(store.get("fsync_count").unwrap().as_u64(), Some(17));
+        assert_eq!(store.get("compactions").unwrap().as_u64(), Some(2));
+        assert_eq!(snap.get("recovered_entries").unwrap().as_u64(), Some(55));
+        assert_eq!(
+            snap.get("recovery_truncated_records").unwrap().as_u64(),
+            Some(1)
         );
     }
 
@@ -132,7 +190,7 @@ mod tests {
 
         // The snapshot serializes the same guarded value: a fresh
         // server's metrics frame must carry 0, never `null`/NaN.
-        let snap = Metrics::default().snapshot(&fresh);
+        let snap = Metrics::default().snapshot(&fresh, None);
         assert_eq!(
             snap.get("cache").unwrap().get("hit_rate").unwrap().as_f64(),
             Some(0.0)
@@ -151,7 +209,7 @@ mod tests {
 
     #[test]
     fn untouched_counters_snapshot_as_zero() {
-        let snap = Metrics::default().snapshot(&CacheStats::default());
+        let snap = Metrics::default().snapshot(&CacheStats::default(), None);
         for key in [
             "connections",
             "requests",
@@ -173,7 +231,7 @@ mod tests {
 
     #[test]
     fn derived_rates_are_zero_not_nan_on_a_fresh_server() {
-        let snap = Metrics::default().snapshot(&CacheStats::default());
+        let snap = Metrics::default().snapshot(&CacheStats::default(), None);
         for key in ["panic_rate", "degraded_rate"] {
             let v = snap.get(key).unwrap().as_f64().unwrap();
             assert!(v == 0.0 && !v.is_nan(), "{key}={v}");
@@ -193,7 +251,7 @@ mod tests {
             Metrics::bump(&m.panics_caught);
         }
         Metrics::bump(&m.degraded_replies);
-        let snap = m.snapshot(&CacheStats::default());
+        let snap = m.snapshot(&CacheStats::default(), None);
         assert_eq!(snap.get("panic_rate").unwrap().as_f64(), Some(0.25));
         assert_eq!(snap.get("degraded_rate").unwrap().as_f64(), Some(0.25));
     }

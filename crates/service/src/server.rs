@@ -61,6 +61,7 @@ use crate::faultinject::{Fault, FaultConfig};
 use crate::cache::{CacheConfig, ScheduleCache};
 use crate::engine::{execute, EngineLimits};
 use crate::metrics::Metrics;
+use crate::persist::{Persistence, DEFAULT_FSYNC_EVERY, DEFAULT_WAL_SNAPSHOT_THRESHOLD};
 use crate::proto::{
     read_frame_or_eof, write_frame, ErrorCode, ErrorReply, FrameKind, FrameReadError,
     ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
@@ -119,6 +120,30 @@ impl Quarantine {
             .find(|(k, _)| *k == key)
             .map(|(_, n)| *n)
             .unwrap_or(0)
+    }
+
+    /// Snapshot every `(key, strikes)` fact, insertion order (for
+    /// persistence).
+    fn export(&self) -> Vec<(u64, u32)> {
+        self.lock().iter().copied().collect()
+    }
+
+    /// Restore persisted facts, keeping the max strike count per key
+    /// and respecting the capacity bound. A payload that earned its
+    /// quarantine before a crash is refused by the restarted process
+    /// without burning another worker.
+    fn restore(&self, facts: &[(u64, u32)]) {
+        let mut entries = self.lock();
+        for &(key, strikes) in facts {
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = slot.1.max(strikes);
+                continue;
+            }
+            if entries.len() >= QUARANTINE_CAPACITY {
+                entries.pop_front();
+            }
+            entries.push_back((key, strikes));
+        }
     }
 
     /// Record one more contained panic against `key`; returns the new
@@ -186,6 +211,14 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// Install a SIGTERM handler that triggers a graceful drain.
     pub handle_sigterm: bool,
+    /// Directory for the crash-safe snapshot+WAL store (`None` = the
+    /// cache and quarantine are RAM-only and die with the process).
+    pub state_dir: Option<PathBuf>,
+    /// WAL size (bytes) past which the server compacts into a snapshot.
+    pub wal_snapshot_threshold: u64,
+    /// Fsync batching for the WAL: one fsync per this many appends
+    /// (`0` = only on quarantine facts, compaction and drain).
+    pub fsync_every: u64,
     /// Deterministic fault injection (chaos testing only).
     #[cfg(feature = "fault-injection")]
     pub faults: Option<FaultConfig>,
@@ -203,6 +236,9 @@ impl Default for ServerConfig {
             max_jobs: 8,
             read_timeout_ms: 10_000,
             handle_sigterm: false,
+            state_dir: None,
+            wal_snapshot_threshold: DEFAULT_WAL_SNAPSHOT_THRESHOLD,
+            fsync_every: DEFAULT_FSYNC_EVERY,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -217,6 +253,8 @@ struct Shared {
     limits: EngineLimits,
     max_frame: usize,
     quarantine: Quarantine,
+    /// The crash-safe store (present when `state_dir` was configured).
+    persist: Option<Arc<Persistence>>,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultConfig>,
     #[cfg(feature = "fault-injection")]
@@ -230,6 +268,32 @@ impl Shared {
         match &self.faults {
             Some(cfg) => cfg.decide(self.fault_seq.fetch_add(1, Ordering::Relaxed)),
             None => Fault::None,
+        }
+    }
+}
+
+impl Shared {
+    /// Metrics snapshot including (when persistent) store health.
+    fn metrics_snapshot(&self) -> Json {
+        self.metrics.snapshot(
+            &self.cache.stats(),
+            self.persist.as_ref().map(|p| p.health()).as_ref(),
+        )
+    }
+
+    /// Compact the store if the WAL has outgrown its threshold.
+    fn maybe_compact(&self) {
+        if let Some(persist) = &self.persist {
+            let _ = persist
+                .maybe_compact_with(|| (self.cache.export_entries(), self.quarantine.export()));
+        }
+    }
+
+    /// Final snapshot on drain: fold everything into a fresh
+    /// generation so a clean restart replays the snapshot alone.
+    fn final_snapshot(&self) {
+        if let Some(persist) = &self.persist {
+            let _ = persist.compact(self.cache.export_entries(), &self.quarantine.export());
         }
     }
 }
@@ -326,9 +390,7 @@ impl ServerHandle {
 
     /// Snapshot the server counters.
     pub fn metrics(&self) -> Json {
-        self.shared
-            .metrics
-            .snapshot(&self.shared.cache.stats())
+        self.shared.metrics_snapshot()
     }
 
     /// Wait for the accept thread and worker pool to finish (after a
@@ -394,9 +456,42 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
         install_sigterm_handler();
     }
 
+    // Recover persisted state *before* the first connection: the cache
+    // starts warm, the quarantine remembers its poison payloads, and
+    // only then is the write-through hook installed (so recovery never
+    // re-logs what it just read).
+    let cache = ScheduleCache::new(config.cache);
+    let quarantine = Quarantine::default();
+    let metrics = Metrics::default();
+    let persist = match &config.state_dir {
+        Some(dir) => {
+            let (persistence, recovered) =
+                Persistence::open(dir, config.wal_snapshot_threshold, config.fsync_every)?;
+            let mut admitted = 0u64;
+            for bytes in &recovered.cache_entries {
+                if cache.import_entry(bytes) {
+                    admitted += 1;
+                }
+            }
+            quarantine.restore(&recovered.quarantine);
+            metrics
+                .recovered_entries
+                .store(admitted, std::sync::atomic::Ordering::Relaxed);
+            metrics.recovery_truncated_records.store(
+                recovered.report.truncated_records + recovered.report.snapshots_rejected,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            let persistence = Arc::new(persistence);
+            let sink = Arc::clone(&persistence);
+            cache.set_writer(Box::new(move |bytes| sink.append_cache_entry(bytes)));
+            Some(persistence)
+        }
+        None => None,
+    };
+
     let shared = Arc::new(Shared {
-        cache: ScheduleCache::new(config.cache),
-        metrics: Metrics::default(),
+        cache,
+        metrics,
         drain: AtomicBool::new(false),
         limits: EngineLimits {
             max_block: config.max_block,
@@ -404,7 +499,8 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
             max_jobs: config.max_jobs,
         },
         max_frame: config.max_frame,
-        quarantine: Quarantine::default(),
+        quarantine,
+        persist,
         #[cfg(feature = "fault-injection")]
         faults: config.faults,
         #[cfg(feature = "fault-injection")]
@@ -509,6 +605,9 @@ fn accept_loop(
     // Graceful drain: stop accepting, finish queued + in-flight
     // connections, then tear down.
     pool.close_and_join();
+    // Every worker is quiesced: snapshot the final state so the next
+    // process starts warm from the snapshot alone.
+    shared.final_snapshot();
     #[cfg(unix)]
     if let ListenerImpl::Unix(_, path) = &listener {
         let _ = std::fs::remove_file(path);
@@ -576,7 +675,7 @@ fn serve_conn(shared: &Shared, scratch: &mut Scratch, mut conn: Conn) {
         match frame {
             (FrameKind::Ping, _) => send_ok(&mut conn, FrameKind::Pong, &Json::Null),
             (FrameKind::Metrics, _) => {
-                let snap = shared.metrics.snapshot(&shared.cache.stats());
+                let snap = shared.metrics_snapshot();
                 send_ok(&mut conn, FrameKind::Metrics, &snap);
             }
             (FrameKind::Shutdown, _) => {
@@ -626,6 +725,9 @@ fn serve_conn(shared: &Shared, scratch: &mut Scratch, mut conn: Conn) {
                     }
                 }
                 served += 1;
+                // The reply is already on the wire; folding the WAL
+                // into a snapshot here never adds request latency.
+                shared.maybe_compact();
             }
             (other, _) => {
                 send_error(
@@ -736,6 +838,12 @@ fn run_request(
             *scratch = Scratch::new();
             Metrics::bump(&shared.metrics.workers_respawned);
             let strikes = shared.quarantine.record_crash(key);
+            // Persist the strike immediately (fsynced): a poison
+            // payload must not get a fresh set of workers to kill just
+            // because the process it crashed was itself restarted.
+            if let Some(persist) = &shared.persist {
+                persist.append_quarantine(key, strikes);
+            }
             Err(ErrorReply::new(
                 ErrorCode::Internal,
                 format!(
@@ -777,6 +885,7 @@ mod tests {
             limits: EngineLimits::default(),
             max_frame: DEFAULT_MAX_FRAME,
             quarantine: Quarantine::default(),
+            persist: None,
             #[cfg(feature = "fault-injection")]
             faults: None,
             #[cfg(feature = "fault-injection")]

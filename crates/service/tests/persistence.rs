@@ -1,0 +1,248 @@
+//! Restart-survival tests for the daemon's crash-safe store: a drained
+//! server leaves a state directory behind, and the next server on the
+//! same directory starts with a warm cache, a remembered quarantine,
+//! and bit-identical replies — while the retrying client rides across
+//! the restart window without surfacing an error.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dagsched_driver::{schedule_program_batch, DriverConfig, Limits, NoCache};
+use dagsched_isa::MachineModel;
+use dagsched_sched::{Scheduler, SchedulerKind};
+use dagsched_service::server::{serve, Listen, ServerConfig};
+use dagsched_service::{Client, ClientError, ErrorCode, RetryPolicy, ScheduleRequest};
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+/// Fresh scratch directory per test.
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dagsched-service-persist-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn persistent_config(state: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        state_dir: Some(state.to_path_buf()),
+        // Small threshold so these tests also exercise compaction.
+        wal_snapshot_threshold: 64 << 10,
+        fsync_every: 4,
+        ..ServerConfig::default()
+    }
+}
+
+fn tcp_server(config: ServerConfig) -> dagsched_service::ServerHandle {
+    serve(Listen::Tcp("127.0.0.1:0".to_string()), config).expect("bind ephemeral TCP port")
+}
+
+fn metric(handle: &dagsched_service::ServerHandle, key: &str) -> u64 {
+    handle
+        .metrics()
+        .get(key)
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("metrics snapshot has no `{key}`"))
+}
+
+/// What the serial, uncached, in-process driver emits for a profile
+/// under the server's default configuration.
+fn serial_reference(profile: &str, seed: u64) -> Vec<String> {
+    let bench = generate(BenchmarkProfile::by_name(profile).unwrap(), seed);
+    let model = MachineModel::sparc2();
+    let config = DriverConfig {
+        scheduler: Scheduler::new(SchedulerKind::Warren),
+        ..DriverConfig::default()
+    };
+    let (result, _) = schedule_program_batch(
+        &bench.program,
+        &model,
+        &config,
+        1,
+        &Limits::none(),
+        &NoCache,
+    )
+    .expect("serial reference");
+    result.insns.iter().map(|i| i.to_string()).collect()
+}
+
+/// Tentpole acceptance: a restarted daemon on the same state directory
+/// recovers its cache from disk, serves the recovered entries as hits,
+/// and the recovered replies are bit-identical to a fresh serial
+/// compile.
+#[test]
+fn a_restarted_server_recovers_a_warm_cache_with_identical_replies() {
+    let state = tmp("warm-restart");
+    let profiles = ["grep", "cccp"];
+    let references: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| serial_reference(p, PAPER_SEED))
+        .collect();
+
+    // Generation one: populate the cache, then drain (which compacts
+    // the live cache into a snapshot).
+    let first = tcp_server(persistent_config(&state));
+    {
+        let mut client = Client::connect(&first.endpoint()).expect("connect");
+        for p in profiles {
+            let resp = client
+                .request(&ScheduleRequest::profile(p, PAPER_SEED))
+                .expect("first-generation request");
+            assert!(!resp.degraded);
+        }
+        assert_eq!(metric(&first, "recovered_entries"), 0, "fresh directory");
+    }
+    first.begin_drain();
+    first.join();
+
+    // Generation two: same directory, new process (well, new server).
+    let second = tcp_server(persistent_config(&state));
+    let recovered = metric(&second, "recovered_entries");
+    assert!(recovered > 0, "restart recovered nothing from {state:?}");
+    assert_eq!(metric(&second, "recovery_truncated_records"), 0);
+
+    let mut client = Client::connect(&second.endpoint()).expect("connect");
+    for (p, reference) in profiles.iter().zip(&references) {
+        let resp = client
+            .request(&ScheduleRequest::profile(*p, PAPER_SEED))
+            .expect("post-restart request");
+        assert_eq!(
+            &resp.insns, reference,
+            "recovered reply for `{p}` differs from a fresh serial compile"
+        );
+        assert!(
+            resp.stats.cache_hits > 0,
+            "post-restart request for `{p}` missed a recovered cache"
+        );
+        assert_eq!(resp.stats.cache_misses, 0, "`{p}` should be fully warm");
+    }
+
+    second.begin_drain();
+    second.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Satellite acceptance: quarantine facts are durable. A payload that
+/// earned its quarantine before a restart is refused up front by the
+/// restarted server — no worker dies proving it again.
+#[test]
+fn a_quarantined_payload_stays_quarantined_across_a_restart() {
+    let state = tmp("quarantine-restart");
+
+    let mut poison = ScheduleRequest::asm("sub %o0, %o1, %o2");
+    poison.debug_panic = true;
+
+    // Generation one: three strikes earn the quarantine.
+    let first = tcp_server(persistent_config(&state));
+    {
+        let mut client = Client::connect(&first.endpoint()).expect("connect");
+        let mut codes = Vec::new();
+        for attempt in 0..3u64 {
+            poison.attempt = attempt;
+            match client.request(&poison) {
+                Err(ClientError::Server(reply)) => codes.push(reply.code),
+                other => panic!("expected an error, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            codes,
+            vec![ErrorCode::Internal, ErrorCode::Internal, ErrorCode::Quarantined]
+        );
+        assert_eq!(metric(&first, "panics_caught"), 2);
+    }
+    first.begin_drain();
+    first.join();
+
+    // Generation two: the same payload is refused immediately, and no
+    // worker has to crash to rediscover that.
+    let second = tcp_server(persistent_config(&state));
+    let mut client = Client::connect(&second.endpoint()).expect("connect");
+    poison.attempt = 99; // quarantine keys the payload, not the attempt
+    match client.request(&poison) {
+        Err(ClientError::Server(reply)) => assert_eq!(
+            reply.code,
+            ErrorCode::Quarantined,
+            "restarted server forgot the quarantine"
+        ),
+        other => panic!("expected quarantined, got {other:?}"),
+    }
+    assert_eq!(
+        metric(&second, "panics_caught"),
+        0,
+        "a remembered quarantine must not cost another worker"
+    );
+    assert_eq!(metric(&second, "requests_quarantined"), 1);
+
+    // Healthy requests still flow.
+    let resp = client
+        .request(&ScheduleRequest::asm("add %o0, %o1, %o2"))
+        .expect("healthy request on the restarted server");
+    assert_eq!(resp.insns.len(), 1);
+
+    second.begin_drain();
+    second.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Satellite acceptance (client retry): a client that dials while the
+/// daemon is down and comes up moments later — the restart window —
+/// connects and is served, instead of dying on `connection refused`.
+#[test]
+fn a_client_request_spans_the_restart_window() {
+    let state = tmp("restart-window");
+    let sock = state.join("daemon.sock");
+
+    // Generation one populates the store, then exits.
+    let first = serve(Listen::Unix(sock.clone()), persistent_config(&state))
+        .expect("bind unix socket");
+    {
+        let mut client = Client::connect(&first.endpoint()).expect("connect");
+        client
+            .request(&ScheduleRequest::profile("grep", PAPER_SEED))
+            .expect("first-generation request");
+    }
+    first.begin_drain();
+    first.join();
+
+    // The daemon is now down. Start generation two only after a delay,
+    // so the client's first dials land in the outage.
+    let state2 = state.clone();
+    let sock2 = sock.clone();
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(80));
+        serve(Listen::Unix(sock2), persistent_config(&state2)).expect("restart daemon")
+    });
+
+    let policy = RetryPolicy {
+        max_retries: 500,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(10),
+        ..RetryPolicy::default()
+    };
+    let endpoint = format!("unix:{}", sock.display());
+    let (mut client, stats) =
+        Client::connect_with_retry(&endpoint, &policy).expect("connect across the outage");
+    assert!(
+        stats.retries > 0,
+        "the dial should have been refused at least once during the outage"
+    );
+
+    let reference = serial_reference("grep", PAPER_SEED);
+    let (resp, _) = client
+        .request_with_retry(&ScheduleRequest::profile("grep", PAPER_SEED), &policy)
+        .expect("request across the restart");
+    assert_eq!(resp.insns, reference, "post-restart reply diverged");
+    assert!(
+        resp.stats.cache_hits > 0,
+        "the restarted daemon should have recovered the entry"
+    );
+
+    let second = starter.join().expect("starter thread");
+    assert!(metric(&second, "recovered_entries") > 0);
+    second.begin_drain();
+    second.join();
+    let _ = std::fs::remove_dir_all(&state);
+}

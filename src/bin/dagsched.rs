@@ -6,8 +6,9 @@
 //! dagsched heur     block.s            # heuristic annotation tables
 //! dagsched schedule block.s --scheduler warren --fill-slots
 //! dagsched sim      block.s            # pipeline cycles before/after
-//! dagsched serve    --listen unix:/tmp/dagsched.sock
+//! dagsched serve    --listen unix:/tmp/dagsched.sock --state-dir /var/lib/dagsched
 //! dagsched request  block.s --connect unix:/tmp/dagsched.sock
+//! dagsched fsck     /var/lib/dagsched           # validate the store; --repair fixes it
 //! dagsched fuzz     --seed 0xDA65C4ED --minutes 2
 //! dagsched diff     block.s            # run the full cross-check matrix
 //! dagsched diff     --corpus tests/corpus
@@ -71,6 +72,15 @@ struct Options {
     queue: usize,
     /// `serve`: schedule-cache byte budget in MiB.
     cache_mb: usize,
+    /// `serve`: persist the schedule cache and quarantine ring here
+    /// (snapshot + WAL); recover from it on startup.
+    state_dir: Option<String>,
+    /// `serve`: snapshot the cache once the WAL exceeds this many MiB.
+    wal_threshold_mb: Option<u64>,
+    /// `serve`: fsync the WAL every N appended cache entries.
+    fsync_every: Option<u64>,
+    /// `fsck`: repair the store instead of only reporting.
+    repair: bool,
     /// `request`: generated workload instead of an input file.
     profile: Option<String>,
     /// `request`: workload generator seed.
@@ -100,6 +110,7 @@ fn main() {
         "request" => return cmd_request(&opts),
         "fuzz" => return cmd_fuzz(&opts),
         "diff" => return cmd_diff(&opts),
+        "fsck" => return cmd_fsck(&opts),
         _ => {}
     }
     let text = read_input(&opts.file).unwrap_or_else(|e| die(&format!("reading input: {e}")));
@@ -271,6 +282,7 @@ fn cmd_serve(opts: &Options) {
         Ok(l) => l,
         Err(e) => die(&format!("--listen: {e}")),
     };
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         workers: opts.workers,
         queue: opts.queue,
@@ -281,15 +293,24 @@ fn cmd_serve(opts: &Options) {
         max_block: opts.max_block,
         default_deadline_ms: opts.timeout_ms,
         handle_sigterm: true,
-        ..ServerConfig::default()
+        state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
+        wal_snapshot_threshold: opts
+            .wal_threshold_mb
+            .map_or(defaults.wal_snapshot_threshold, |mb| mb << 20),
+        fsync_every: opts.fsync_every.unwrap_or(defaults.fsync_every),
+        ..defaults
     };
     let handle = serve(listen, config).unwrap_or_else(|e| die(&format!("serve: {e}")));
     eprintln!(
-        "dagsched: serving on {} ({} workers, queue {}, cache {} MiB)",
+        "dagsched: serving on {} ({} workers, queue {}, cache {} MiB{})",
         handle.endpoint(),
         opts.workers,
         opts.queue,
-        opts.cache_mb
+        opts.cache_mb,
+        match &opts.state_dir {
+            Some(dir) => format!(", state {dir}"),
+            None => String::new(),
+        }
     );
     handle.join();
     eprintln!("dagsched: drained, exiting");
@@ -479,6 +500,51 @@ fn cmd_diff(opts: &Options) {
     }
 }
 
+fn cmd_fsck(opts: &Options) {
+    let dir = opts
+        .file
+        .as_ref()
+        .unwrap_or_else(|| usage("fsck needs a store directory"));
+    let dir = std::path::Path::new(dir);
+    let fingerprint = dagsched::service::store_fingerprint();
+    let report = if opts.repair {
+        dagsched::store::fsck::repair(dir, fingerprint)
+            .unwrap_or_else(|e| die(&format!("fsck --repair {}: {e}", dir.display())))
+    } else {
+        dagsched::store::fsck::check(dir, Some(fingerprint))
+            .unwrap_or_else(|e| die(&format!("fsck {}: {e}", dir.display())))
+    };
+    println!(
+        "{}: {} live record(s) ({} from the newest snapshot, {} from the WAL tail)",
+        dir.display(),
+        report.live_records,
+        report.snapshot_records,
+        report.wal_records,
+    );
+    for issue in &report.issues {
+        println!("  issue: {issue}");
+    }
+    if report.clean() {
+        println!("{}: clean", dir.display());
+        return;
+    }
+    if opts.repair {
+        // repair() re-checks after mutating; surviving issues mean the
+        // store is beyond what recovery-equivalent repair can fix.
+        die(&format!(
+            "{}: {} issue(s) remain after repair",
+            dir.display(),
+            report.issues.len()
+        ));
+    }
+    die(&format!(
+        "{}: {} issue(s); run `dagsched fsck {} --repair` to fix",
+        dir.display(),
+        report.issues.len(),
+        dir.display()
+    ));
+}
+
 /// Parse a `u64` accepting both decimal and `0x` hexadecimal.
 fn parse_u64(v: &str) -> Option<u64> {
     if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
@@ -522,6 +588,10 @@ fn parse_args() -> Result<Options, String> {
         sim: false,
         retries: None,
         no_degrade: false,
+        state_dir: None,
+        wal_threshold_mb: None,
+        fsync_every: None,
+        repair: false,
         minutes: 2.0,
         iters: None,
         corpus: None,
@@ -635,6 +705,25 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--retries needs a count")?,
                 );
             }
+            "--state-dir" => {
+                opts.state_dir = Some(args.next().ok_or("--state-dir needs a directory")?);
+            }
+            "--wal-threshold-mb" => {
+                opts.wal_threshold_mb = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--wal-threshold-mb needs a positive MiB count")?,
+                );
+            }
+            "--fsync-every" => {
+                opts.fsync_every = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--fsync-every needs an append count (0 = only at snapshots)")?,
+                );
+            }
+            "--repair" => opts.repair = true,
             "--no-degrade" => opts.no_degrade = true,
             "--no-shrink" => opts.no_shrink = true,
             "--sim" => opts.sim = true,
@@ -671,7 +760,7 @@ fn usage(err: &str) -> ! {
         eprintln!("dagsched: {err}\n");
     }
     eprintln!(
-        "usage: dagsched <dag|dot|heur|schedule|sim|serve|request|fuzz|diff> [file|-]\n\
+        "usage: dagsched <dag|dot|heur|schedule|sim|serve|request|fuzz|diff|fsck> [file|-]\n\
          \n\
          options:\n\
          \x20 --algo       n2 | n2-backward | landskov | table-forward | table-backward | bitmap\n\
@@ -692,6 +781,12 @@ fn usage(err: &str) -> ! {
          \x20 --workers N  worker threads (default 4)\n\
          \x20 --queue N    connection-queue depth before `busy` (default 64)\n\
          \x20 --cache-mb N schedule-cache byte budget in MiB (default 64)\n\
+         \x20 --state-dir DIR    persist the cache + quarantine (snapshot + WAL) in DIR\n\
+         \x20 --wal-threshold-mb N  snapshot once the WAL exceeds N MiB (default 4)\n\
+         \x20 --fsync-every N    fsync the WAL every N cache entries (default 8)\n\
+         \n\
+         fsck options (dagsched fsck DIR):\n\
+         \x20 --repair     truncate torn WAL tails and delete corrupt snapshots\n\
          \n\
          request options:\n\
          \x20 --connect EP server endpoint (default tcp:127.0.0.1:4591)\n\

@@ -26,6 +26,9 @@
 //!   protocol over TCP / Unix sockets, a fixed worker pool, and a
 //!   content-addressed schedule cache (`dagsched serve` /
 //!   `dagsched request`).
+//! * [`store`] — crash-safe persistence: a checksummed append-only WAL
+//!   compacted into atomic snapshot files, with torn-write truncation,
+//!   idempotent replay, and an offline `fsck` (`dagsched fsck`).
 //! * [`verify`] — the differential correctness harness: structure-diverse
 //!   block fuzzing, an N-way cross-check matrix against the simulator
 //!   oracle, ddmin shrinking, and the committed reproducer corpus
@@ -62,6 +65,7 @@ pub use dagsched_pipesim as pipesim;
 pub use dagsched_sched as sched;
 pub use dagsched_service as service;
 pub use dagsched_stats as stats;
+pub use dagsched_store as store;
 pub use dagsched_verify as verify;
 pub use dagsched_workloads as workloads;
 
