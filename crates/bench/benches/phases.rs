@@ -1,0 +1,196 @@
+//! Per-phase hot-path cost on the fpppp profiles: DAG construction in
+//! isolation (per constructor × block-size bucket), then each heuristic
+//! pass (forward, backward, backward + descendant bitmaps) on the
+//! table-backward DAGs. These are the rows behind the before/after
+//! tables in EXPERIMENTS.md ("SoA/bitset core"); `DAGSCHED_BENCH_QUICK=1`
+//! shrinks the sample count so CI can smoke the suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_core::{
+    annotate_backward, annotate_construction, annotate_forward, BackwardOrder,
+    ConstructionAlgorithm, Dag, HeuristicSet, MemDepPolicy, PreparedBlock,
+};
+use dagsched_isa::{Instruction, MachineModel};
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+
+fn sample_size() -> usize {
+    if std::env::var_os("DAGSCHED_BENCH_QUICK").is_some() {
+        2
+    } else {
+        10
+    }
+}
+
+/// Block-size buckets: the fpppp profile's natural mix plus one windowed
+/// giant block, so per-size scaling is visible per constructor.
+struct Bucket {
+    label: &'static str,
+    blocks: Vec<Vec<Instruction>>,
+}
+
+fn buckets() -> Vec<Bucket> {
+    let fpppp = generate(BenchmarkProfile::by_name("fpppp").unwrap(), PAPER_SEED);
+    let mut small = Vec::new();
+    let mut medium = Vec::new();
+    let mut large = Vec::new();
+    for b in &fpppp.blocks {
+        let insns = fpppp.program.block_insns(b).to_vec();
+        match insns.len() {
+            0 => {}
+            1..=32 => small.push(insns),
+            33..=128 => medium.push(insns),
+            _ => large.push(insns),
+        }
+    }
+    let window = generate(
+        BenchmarkProfile::by_name("fpppp-1000").unwrap(),
+        PAPER_SEED,
+    );
+    let giant: Vec<Vec<Instruction>> = window
+        .blocks
+        .iter()
+        .map(|b| window.program.block_insns(b).to_vec())
+        .filter(|insns| !insns.is_empty())
+        .collect();
+    vec![
+        Bucket {
+            label: "le32",
+            blocks: small,
+        },
+        Bucket {
+            label: "le128",
+            blocks: medium,
+        },
+        Bucket {
+            label: "gt128",
+            blocks: large,
+        },
+        Bucket {
+            label: "window1000",
+            blocks: giant,
+        },
+    ]
+}
+
+fn bench_construction_phase(c: &mut Criterion) {
+    let model = MachineModel::sparc2();
+    let buckets = buckets();
+    let mut group = c.benchmark_group("phase-construct");
+    group.sample_size(sample_size());
+    for &algo in ConstructionAlgorithm::ALL {
+        for bucket in &buckets {
+            if bucket.blocks.is_empty() {
+                continue;
+            }
+            let prepared: Vec<PreparedBlock> =
+                bucket.blocks.iter().map(|b| PreparedBlock::new(b)).collect();
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), bucket.label),
+                &prepared,
+                |b, blocks| {
+                    b.iter(|| {
+                        let mut arcs = 0usize;
+                        for block in blocks {
+                            arcs += algo
+                                .run(block, &model, MemDepPolicy::SymbolicExpr)
+                                .arc_count();
+                        }
+                        arcs
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_heuristic_phases(c: &mut Criterion) {
+    let model = MachineModel::sparc2();
+    let buckets = buckets();
+    // The paper's recommended constructor feeds the pass benches; the
+    // passes themselves are constructor-independent given a DAG.
+    let mut per_bucket: Vec<(&'static str, Vec<(Vec<Instruction>, Dag)>)> = Vec::new();
+    for bucket in buckets {
+        let dags: Vec<(Vec<Instruction>, Dag)> = bucket
+            .blocks
+            .into_iter()
+            .map(|insns| {
+                let dag = ConstructionAlgorithm::TableBackward.run(
+                    &PreparedBlock::new(&insns),
+                    &model,
+                    MemDepPolicy::SymbolicExpr,
+                );
+                (insns, dag)
+            })
+            .collect();
+        per_bucket.push((bucket.label, dags));
+    }
+
+    let mut group = c.benchmark_group("phase-heur");
+    group.sample_size(sample_size());
+    for (label, dags) in &per_bucket {
+        if dags.is_empty() {
+            continue;
+        }
+        // One pre-annotated set per DAG: the forward bench overwrites the
+        // forward fields in place, the backward benches additionally need
+        // exec_time and EST to be present.
+        let mut sets: Vec<HeuristicSet> = dags
+            .iter()
+            .map(|(insns, dag)| {
+                let mut h = HeuristicSet::default();
+                annotate_construction(&mut h, dag, insns, &model);
+                annotate_forward(&mut h, dag);
+                h
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("forward", label),
+            dags,
+            |b, dags| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for ((_, dag), h) in dags.iter().zip(sets.iter_mut()) {
+                        annotate_forward(h, dag);
+                        acc += h.est.last().copied().unwrap_or(0);
+                    }
+                    acc
+                });
+            },
+        );
+        let mut sets_b: Vec<HeuristicSet> = sets.to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("backward", label),
+            dags,
+            |b, dags| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for ((_, dag), h) in dags.iter().zip(sets_b.iter_mut()) {
+                        annotate_backward(h, dag, BackwardOrder::ReverseWalk, false);
+                        acc += h.lst.first().copied().unwrap_or(0);
+                    }
+                    acc
+                });
+            },
+        );
+        let mut sets_d: Vec<HeuristicSet> = sets.to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("backward-desc", label),
+            dags,
+            |b, dags| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for ((_, dag), h) in dags.iter().zip(sets_d.iter_mut()) {
+                        annotate_backward(h, dag, BackwardOrder::ReverseWalk, true);
+                        acc += h.num_descendants.first().copied().unwrap_or(0) as u64;
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction_phase, bench_heuristic_phases);
+criterion_main!(benches);

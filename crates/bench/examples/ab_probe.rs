@@ -1,0 +1,78 @@
+use dagsched_core::{
+    annotate_backward, annotate_construction, annotate_forward, BackwardOrder,
+    ConstructionAlgorithm, HeuristicSet, MemDepPolicy, PreparedBlock,
+};
+use dagsched_isa::{Instruction, MachineModel};
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+use std::time::Instant;
+
+fn blocks_of(name: &str, min: usize, max: usize) -> Vec<Vec<Instruction>> {
+    let w = generate(BenchmarkProfile::by_name(name).unwrap(), PAPER_SEED);
+    w.blocks
+        .iter()
+        .map(|b| w.program.block_insns(b).to_vec())
+        .filter(|i| i.len() >= min && i.len() <= max)
+        .collect()
+}
+
+fn main() {
+    let model = MachineModel::sparc2();
+    let gt128 = blocks_of("fpppp", 129, usize::MAX);
+    let win = blocks_of("fpppp-1000", 1, usize::MAX);
+    for (label, blocks, reps) in [("gt128", &gt128, 40usize), ("window1000", &win, 20)] {
+        let prepared: Vec<PreparedBlock> = blocks.iter().map(|b| PreparedBlock::new(b)).collect();
+        for algo in [
+            ConstructionAlgorithm::TableForward,
+            ConstructionAlgorithm::TableBackward,
+        ] {
+            let t = Instant::now();
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                for p in &prepared {
+                    acc += algo.run(p, &model, MemDepPolicy::SymbolicExpr).arc_count();
+                }
+            }
+            let per = t.elapsed().as_secs_f64() / reps as f64 * 1e3;
+            println!("{label:>10} {algo:?}: {per:.3} ms/pass (acc {acc})");
+        }
+        let dags: Vec<_> = blocks
+            .iter()
+            .map(|insns| {
+                let d = ConstructionAlgorithm::TableBackward.run(
+                    &PreparedBlock::new(insns),
+                    &model,
+                    MemDepPolicy::SymbolicExpr,
+                );
+                (insns.clone(), d)
+            })
+            .collect();
+        let mut sets: Vec<HeuristicSet> = dags
+            .iter()
+            .map(|(insns, dag)| {
+                let mut h = HeuristicSet::default();
+                annotate_construction(&mut h, dag, insns, &model);
+                annotate_forward(&mut h, dag);
+                h
+            })
+            .collect();
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..reps * 10 {
+            for ((_, dag), h) in dags.iter().zip(sets.iter_mut()) {
+                annotate_forward(h, dag);
+                acc += h.est.last().copied().unwrap_or(0);
+            }
+        }
+        let per = t.elapsed().as_secs_f64() / (reps * 10) as f64 * 1e6;
+        println!("{label:>10} heur-forward: {per:.1} us/pass (acc {acc})");
+        let t = Instant::now();
+        for _ in 0..reps * 10 {
+            for ((_, dag), h) in dags.iter().zip(sets.iter_mut()) {
+                annotate_backward(h, dag, BackwardOrder::ReverseWalk, false);
+                acc += h.lst.first().copied().unwrap_or(0);
+            }
+        }
+        let per = t.elapsed().as_secs_f64() / (reps * 10) as f64 * 1e6;
+        println!("{label:>10} heur-backward: {per:.1} us/pass (acc {acc})");
+    }
+}

@@ -1,0 +1,39 @@
+use dagsched_core::{BitMatrix, ConstructionAlgorithm, MemDepPolicy, PreparedBlock};
+use dagsched_isa::MachineModel;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+use std::time::Instant;
+
+fn main() {
+    let model = MachineModel::sparc2();
+    let w = generate(BenchmarkProfile::by_name("fpppp-1000").unwrap(), PAPER_SEED);
+    let blocks: Vec<Vec<_>> = w
+        .blocks
+        .iter()
+        .map(|b| w.program.block_insns(b).to_vec())
+        .filter(|i| !i.is_empty())
+        .collect();
+    let prepared: Vec<PreparedBlock> = blocks.iter().map(|b| PreparedBlock::new(b)).collect();
+    let sizes: Vec<usize> = prepared.iter().map(|p| p.len()).collect();
+    println!("blocks: {} sizes: {:?}", prepared.len(), sizes);
+
+    let t = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..50 {
+        for p in &prepared {
+            acc += ConstructionAlgorithm::TableBackward
+                .run(p, &model, MemDepPolicy::SymbolicExpr)
+                .arc_count();
+        }
+    }
+    println!("table backward x50: {:?} (acc {acc})", t.elapsed());
+
+    let t = Instant::now();
+    let mut acc2 = 0usize;
+    for _ in 0..50 {
+        for &n in &sizes {
+            let m = BitMatrix::new(n, n);
+            acc2 += m.rows();
+        }
+    }
+    println!("succ matrix alloc x50: {:?} (acc {acc2})", t.elapsed());
+}

@@ -1,0 +1,245 @@
+use dagsched_core::{strongest_dep, BitMatrix, BitSet, MemDepPolicy, PreparedBlock};
+use dagsched_isa::MachineModel;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
+use std::time::Instant;
+
+// Landskov pruning loop, BitMatrix::contains per probe (current core).
+fn v_contains(p: &PreparedBlock, model: &MachineModel, m: &mut BitMatrix) -> usize {
+    let n = p.len();
+    m.reset(n, n);
+    let mut arcs = 0;
+    for i in 0..n {
+        for j in (0..i).rev() {
+            if m.contains(i, j) {
+                continue;
+            }
+            if strongest_dep(p, model, MemDepPolicy::SymbolicExpr, j, i).is_some() {
+                arcs += 1;
+                m.or_row_into(j, i);
+                m.set(i, j);
+            }
+        }
+    }
+    arcs
+}
+
+// Landskov pruning loop, register-cached row word (the attempted fix).
+fn v_wordcache(p: &PreparedBlock, model: &MachineModel, m: &mut BitMatrix) -> usize {
+    let n = p.len();
+    m.reset(n, n);
+    let mut arcs = 0;
+    for i in 0..n {
+        let mut wi = usize::MAX;
+        let mut word = 0u64;
+        for j in (0..i).rev() {
+            if j / 64 != wi {
+                wi = j / 64;
+                word = m.row_word(i, wi);
+            }
+            if word & (1 << (j % 64)) != 0 {
+                continue;
+            }
+            if strongest_dep(p, model, MemDepPolicy::SymbolicExpr, j, i).is_some() {
+                arcs += 1;
+                m.or_row_into(j, i);
+                m.set(i, j);
+                word = m.row_word(i, wi);
+            }
+        }
+    }
+    arcs
+}
+
+// Baseline shape: one BitSet per node (per-row allocations).
+fn v_bitsets(p: &PreparedBlock, model: &MachineModel, pool: &mut Vec<BitSet>) -> usize {
+    let n = p.len();
+    if pool.len() < n {
+        pool.resize_with(n, || BitSet::new(0));
+    }
+    for s in pool[..n].iter_mut() {
+        s.reset(n);
+    }
+    let anc = &mut pool[..n];
+    let mut arcs = 0;
+    for i in 0..n {
+        for j in (0..i).rev() {
+            if anc[i].contains(j) {
+                continue;
+            }
+            if strongest_dep(p, model, MemDepPolicy::SymbolicExpr, j, i).is_some() {
+                arcs += 1;
+                let (lo, hi) = anc.split_at_mut(i);
+                hi[0].union_with(&lo[j]);
+                hi[0].insert(j);
+            }
+        }
+    }
+    arcs
+}
+
+// Exact mirror of the crate's loop: counters + out-of-line kernel.
+fn v_mirror(p: &PreparedBlock, model: &MachineModel, m: &mut BitMatrix) -> usize {
+    #[inline(never)]
+    fn dep_kernel(
+        p: &PreparedBlock,
+        model: &MachineModel,
+        j: usize,
+        i: usize,
+    ) -> Option<(dagsched_isa::DepKind, u32)> {
+        strongest_dep(p, model, MemDepPolicy::SymbolicExpr, j, i)
+    }
+    let n = p.len();
+    m.reset(n, n);
+    let mut arcs = 0;
+    let mut comparisons = 0u64;
+    let mut pruned = 0u64;
+    for i in 0..n {
+        for j in (0..i).rev() {
+            if m.contains(i, j) {
+                pruned += 1;
+                continue;
+            }
+            comparisons += 1;
+            if dep_kernel(p, model, j, i).is_some() {
+                arcs += 1;
+                m.or_row_into(j, i);
+                m.set(i, j);
+            }
+        }
+    }
+    arcs + ((comparisons + pruned) as usize & 0)
+}
+
+// Word-parallel candidate scan: iterate zero bits of row i descending,
+// skipping pruned pairs a word at a time.
+fn v_word(p: &PreparedBlock, model: &MachineModel, m: &mut BitMatrix) -> usize {
+    #[inline(never)]
+    fn dep_kernel(
+        p: &PreparedBlock,
+        model: &MachineModel,
+        j: usize,
+        i: usize,
+    ) -> Option<(dagsched_isa::DepKind, u32)> {
+        strongest_dep(p, model, MemDepPolicy::SymbolicExpr, j, i)
+    }
+    let n = p.len();
+    m.reset(n, n);
+    let mut arcs = 0;
+    let mut comparisons = 0u64;
+    for i in 0..n {
+        let row_words = i.div_ceil(64);
+        for wi in (0..row_words).rev() {
+            let mut zeros = !m.row_word(i, wi);
+            if wi == row_words - 1 {
+                let top = i - wi * 64;
+                if top < 64 {
+                    zeros &= (1u64 << top) - 1;
+                }
+            }
+            while zeros != 0 {
+                let b = 63 - zeros.leading_zeros() as usize;
+                zeros &= !(1u64 << b);
+                let j = wi * 64 + b;
+                comparisons += 1;
+                if dep_kernel(p, model, j, i).is_some() {
+                    arcs += 1;
+                    m.or_row_into(j, i);
+                    m.set(i, j);
+                    zeros &= !m.row_word(i, wi);
+                }
+            }
+        }
+    }
+    arcs + (comparisons as usize & 0)
+}
+
+// Probe-only loop: no strongest_dep, measures the pure scan cost.
+fn v_scan_only(p: &PreparedBlock, m: &mut BitMatrix) -> usize {
+    let n = p.len();
+    m.reset(n, n);
+    let mut probes = 0;
+    for i in 0..n {
+        for j in (0..i).rev() {
+            if m.contains(i, j) {
+                continue;
+            }
+            probes += 1;
+        }
+    }
+    probes
+}
+
+fn main() {
+    let model = MachineModel::sparc2();
+    let w = generate(BenchmarkProfile::by_name("fpppp").unwrap(), PAPER_SEED);
+    let blocks: Vec<Vec<_>> = w
+        .blocks
+        .iter()
+        .map(|b| w.program.block_insns(b).to_vec())
+        .filter(|i| i.len() >= 129)
+        .collect();
+    let prepared: Vec<PreparedBlock> = blocks.iter().map(|b| PreparedBlock::new(b)).collect();
+    let mut m = BitMatrix::new(0, 0);
+    let mut pool: Vec<BitSet> = Vec::new();
+    for round in 0..3 {
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for p in &prepared {
+            acc += v_contains(p, &model, &mut m);
+        }
+        println!("r{round} contains : {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for p in &prepared {
+            acc += v_wordcache(p, &model, &mut m);
+        }
+        println!("r{round} wordcache: {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for p in &prepared {
+            acc += v_bitsets(p, &model, &mut pool);
+        }
+        println!("r{round} bitsets  : {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for p in &prepared {
+            acc += v_mirror(p, &model, &mut m);
+        }
+        println!("r{round} mirror   : {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for p in &prepared {
+            acc += v_word(p, &model, &mut m);
+        }
+        println!("r{round} wordscan : {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for p in &prepared {
+            acc += v_scan_only(p, &mut m);
+        }
+        println!("r{round} scan-only: {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for p in &prepared {
+            let mut fresh = BitMatrix::new(0, 0);
+            acc += v_contains(p, &model, &mut fresh);
+        }
+        println!("r{round} fresh-mtx: {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for p in &prepared {
+            acc += dagsched_core::n2_forward_landskov(p, &model, MemDepPolicy::SymbolicExpr)
+                .arc_count();
+        }
+        println!("r{round} real-fn  : {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        let mut scratch = dagsched_core::Scratch::new();
+        for p in &prepared {
+            acc += dagsched_core::ConstructionAlgorithm::N2ForwardLandskov
+                .run_with_scratch(p, &model, MemDepPolicy::SymbolicExpr, &mut scratch)
+                .arc_count();
+        }
+        println!("r{round} real-ws  : {:7.2} ms (acc {acc})", t.elapsed().as_secs_f64() * 1e3);
+    }
+}

@@ -351,7 +351,6 @@ pub fn figure1() -> String {
         dagsched_core::annotate_forward(&mut h, &dag);
         let arcs: Vec<String> = dag
             .arcs()
-            .iter()
             .map(|a| {
                 format!(
                     "{}->{} {} d={}",

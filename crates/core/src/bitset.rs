@@ -67,11 +67,27 @@ impl BitSet {
 
     /// In-place union (`self |= other`).
     ///
-    /// # Panics
-    ///
-    /// Panics if capacities differ.
+    /// Equal capacities are a contract, checked in debug builds: with a
+    /// larger `other` the word-zip would silently drop the high bits, and
+    /// with a smaller one the result would be capacity-dependent. Use
+    /// [`BitSet::union_with_resize`] where growth is intended. The check
+    /// is a `debug_assert` because this is the hot inner loop of the
+    /// paper's reachability-map machinery, and every in-tree caller
+    /// unions maps drawn from one same-capacity pool.
     pub fn union_with(&mut self, other: &BitSet) {
-        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        debug_assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Union that grows `self` to `other`'s capacity first when needed,
+    /// so no bit of `other` can be dropped.
+    pub fn union_with_resize(&mut self, other: &BitSet) {
+        if other.capacity > self.capacity {
+            self.capacity = other.capacity;
+            self.words.resize(other.capacity.div_ceil(64), 0);
+        }
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
@@ -117,6 +133,155 @@ impl BitSet {
         self.capacity = capacity;
         self.words.clear();
         self.words.resize(capacity.div_ceil(64), 0);
+    }
+
+    /// Build a set directly from backing words (used to hand out rows of
+    /// a [`BitMatrix`] as standalone sets).
+    pub(crate) fn from_words(words: Vec<u64>, capacity: usize) -> BitSet {
+        debug_assert_eq!(words.len(), capacity.div_ceil(64));
+        BitSet { words, capacity }
+    }
+}
+
+/// A dense `rows × cols` bit matrix in one flat `u64` allocation — the
+/// paper's "one bit position per node" reachability maps laid out so a
+/// whole map is one contiguous word run.
+///
+/// Compared to a `Vec<BitSet>` this removes the per-row allocation and
+/// lets row-into-row unions ([`BitMatrix::or_row_into`]) and population
+/// counts compile to straight word loops, which is what the SoA DAG core
+/// uses for successor rows, transitive-arc suppression and the
+/// `#descendants` heuristic.
+///
+/// ```
+/// use dagsched_core::BitMatrix;
+/// let mut m = BitMatrix::new(3, 100);
+/// m.set(0, 99);
+/// m.set(1, 7);
+/// m.or_row_into(1, 0); // row 0 |= row 1
+/// assert!(m.contains(0, 99) && m.contains(0, 7));
+/// assert_eq!(m.row_count_ones(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    rows: usize,
+    cols: usize,
+    row_words: usize,
+}
+
+impl BitMatrix {
+    /// An all-zero `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> BitMatrix {
+        let row_words = cols.div_ceil(64);
+        BitMatrix {
+            words: vec![0; rows * row_words],
+            rows,
+            cols,
+            row_words,
+        }
+    }
+
+    /// Zero the matrix and change its shape in place, keeping the backing
+    /// allocation when possible (the [`crate::Scratch`] arena reuses one
+    /// matrix across blocks of different sizes).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.row_words = cols.div_ceil(64);
+        self.words.clear();
+        self.words.resize(rows * self.row_words, 0);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Set bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn set(&mut self, r: usize, c: usize) {
+        assert!(r < self.rows && c < self.cols, "bit ({r},{c}) out of {}x{}", self.rows, self.cols);
+        self.words[r * self.row_words + c / 64] |= 1 << (c % 64);
+    }
+
+    /// Whether bit `(r, c)` is set (out-of-range is `false`).
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        r < self.rows
+            && c < self.cols
+            && self.words[r * self.row_words + c / 64] & (1 << (c % 64)) != 0
+    }
+
+    /// Row `r` as a word slice.
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.row_words..(r + 1) * self.row_words]
+    }
+
+    /// Word `w` of row `r`. Lets callers scan a row's bits 64 at a time
+    /// (the Landskov variant walks the *complement* of an ancestor row
+    /// this way to enumerate unpruned candidate pairs) where per-bit
+    /// [`BitMatrix::contains`] probes would re-derive the flat index
+    /// and re-check both bounds on every pair.
+    #[inline]
+    pub fn row_word(&self, r: usize, w: usize) -> u64 {
+        self.words[r * self.row_words + w]
+    }
+
+    /// Whole-word union of row `src` into row `dst` (`dst |= src`).
+    /// A self-union is a no-op.
+    pub fn or_row_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.rows && dst < self.rows, "row out of range");
+        let rw = self.row_words;
+        if src == dst || rw == 0 {
+            return;
+        }
+        let (s, d) = (src * rw, dst * rw);
+        // Split the flat buffer so both rows can be borrowed at once.
+        if s < d {
+            let (lo, hi) = self.words.split_at_mut(d);
+            for (a, b) in hi[..rw].iter_mut().zip(&lo[s..s + rw]) {
+                *a |= b;
+            }
+        } else {
+            let (lo, hi) = self.words.split_at_mut(s);
+            for (a, b) in lo[d..d + rw].iter_mut().zip(&hi[..rw]) {
+                *a |= b;
+            }
+        }
+    }
+
+    /// Population count of row `r`.
+    pub fn row_count_ones(&self, r: usize) -> usize {
+        self.row(r).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the set column indices of row `r` in ascending order.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(r).iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Copy row `r` out as a standalone [`BitSet`] of capacity `cols`.
+    pub fn row_to_bitset(&self, r: usize) -> BitSet {
+        BitSet::from_words(self.row(r).to_vec(), self.cols)
     }
 }
 
@@ -191,11 +356,95 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![199]);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "capacity mismatch")]
-    fn union_capacity_mismatch_panics() {
+    fn union_capacity_mismatch_panics_in_debug() {
         let mut a = BitSet::new(10);
         let b = BitSet::new(20);
         a.union_with(&b);
+    }
+
+    #[test]
+    fn union_with_resize_keeps_high_bits_at_word_boundaries() {
+        // The silent-truncation hazard lives exactly at the u64 word
+        // seams: a high bit at 63 shares self's single word, 64 and 65
+        // live in a word self doesn't have yet.
+        for &hi in &[63usize, 64, 65] {
+            let mut a = BitSet::new(10);
+            a.insert(3);
+            let mut b = BitSet::new(hi + 1);
+            b.insert(hi);
+            a.union_with_resize(&b);
+            assert_eq!(a.capacity(), hi + 1, "grew to other's capacity");
+            assert!(a.contains(3) && a.contains(hi), "hi={hi}");
+            assert_eq!(a.count(), 2, "hi={hi}");
+        }
+    }
+
+    #[test]
+    fn union_with_resize_with_smaller_other_is_plain_union() {
+        for &cap in &[63usize, 64, 65] {
+            let mut a = BitSet::new(cap + 64);
+            a.insert(cap + 1);
+            let mut b = BitSet::new(cap);
+            b.insert(cap - 1);
+            a.union_with_resize(&b);
+            assert_eq!(a.capacity(), cap + 64);
+            assert!(a.contains(cap - 1) && a.contains(cap + 1));
+        }
+    }
+
+    #[test]
+    fn matrix_set_contains_rows() {
+        let mut m = BitMatrix::new(3, 130);
+        m.set(0, 0);
+        m.set(0, 129);
+        m.set(2, 64);
+        assert!(m.contains(0, 0) && m.contains(0, 129) && m.contains(2, 64));
+        assert!(!m.contains(1, 0));
+        assert!(!m.contains(0, 1000) && !m.contains(9, 0), "out of range is false");
+        assert_eq!(m.row_count_ones(0), 2);
+        assert_eq!(m.row_iter(0).collect::<Vec<_>>(), vec![0, 129]);
+        assert_eq!(m.row_iter(1).count(), 0);
+    }
+
+    #[test]
+    fn matrix_or_row_into_both_directions() {
+        for &cols in &[63usize, 64, 65, 200] {
+            let mut m = BitMatrix::new(4, cols);
+            m.set(1, cols - 1);
+            m.set(3, 5);
+            m.or_row_into(1, 0); // upward (src below dst)
+            m.or_row_into(3, 0); // downward
+            m.or_row_into(0, 0); // self-union no-op
+            assert!(m.contains(0, cols - 1) && m.contains(0, 5), "cols={cols}");
+            assert_eq!(m.row_count_ones(0), 2, "cols={cols}");
+            // Source rows are untouched.
+            assert_eq!(m.row_count_ones(1), 1);
+            assert_eq!(m.row_count_ones(3), 1);
+        }
+    }
+
+    #[test]
+    fn matrix_reset_is_equivalent_to_new() {
+        let mut m = BitMatrix::new(5, 100);
+        m.set(4, 99);
+        m.reset(2, 65);
+        assert_eq!(m, BitMatrix::new(2, 65));
+        m.set(1, 64);
+        assert!(m.contains(1, 64));
+        m.reset(8, 300);
+        assert_eq!(m, BitMatrix::new(8, 300));
+    }
+
+    #[test]
+    fn matrix_row_to_bitset_round_trips() {
+        let mut m = BitMatrix::new(2, 130);
+        m.set(1, 0);
+        m.set(1, 129);
+        let s = m.row_to_bitset(1);
+        assert_eq!(s.capacity(), 130);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
     }
 }

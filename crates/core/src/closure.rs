@@ -6,11 +6,12 @@
 //! whose *transitive closure* equals the closure of the full pairwise
 //! dependence relation — table building may only omit redundant arcs.
 
-use dagsched_isa::MachineModel;
+use dagsched_isa::{Instruction, MachineModel, Reg, RegClass, Resource};
 
 use crate::bitset::BitSet;
 use crate::construct::strongest_dep;
 use crate::dag::{Dag, NodeId};
+use crate::heur::HeuristicSet;
 use crate::memdep::MemDepPolicy;
 use crate::prepare::PreparedBlock;
 
@@ -37,6 +38,147 @@ pub fn ground_truth_deps(
 /// Descendant-closure bitmaps of a DAG (node reaches itself).
 pub fn reachability(dag: &Dag) -> Vec<BitSet> {
     dag.descendant_maps()
+}
+
+/// Closure-based reference computation of every static heuristic.
+///
+/// Deliberately naive: per-node walks over `in_arcs` / `out_arcs` in
+/// plain node order, and the per-node [`reachability`] bitmaps for the
+/// descendant counts — no arc-column sweeps, no sortedness flags, no
+/// shared scratch. The verification matrix compares this field-by-field
+/// against [`HeuristicSet::compute`]'s word-parallel sweeps, so a bug in
+/// the sweep ordering proofs (or in a constructor's sortedness claim)
+/// shows up as a concrete per-node disagreement rather than a silently
+/// skewed schedule.
+pub fn reference_heuristics(
+    dag: &Dag,
+    insns: &[Instruction],
+    model: &MachineModel,
+    with_descendants: bool,
+) -> HeuristicSet {
+    let n = dag.node_count();
+    assert_eq!(n, insns.len(), "DAG/block size mismatch");
+    let mut h = HeuristicSet {
+        exec_time: insns.iter().map(|i| model.exec_latency(i)).collect(),
+        original_order: (0..n as u32).collect(),
+        interlock_with_child: vec![false; n],
+        num_children: vec![0; n],
+        num_parents: vec![0; n],
+        sum_delays_to_children: vec![0; n],
+        max_delay_to_child: vec![0; n],
+        sum_delays_from_parents: vec![0; n],
+        max_delay_from_parent: vec![0; n],
+        max_path_from_root: vec![0; n],
+        max_delay_from_root: vec![0; n],
+        est: vec![0; n],
+        max_path_to_leaf: vec![0; n],
+        max_delay_to_leaf: vec![0; n],
+        lst: vec![0; n],
+        slack: vec![0; n],
+        ..HeuristicSet::default()
+    };
+    // Construction-time (`a`) annotations, via per-node adjacency views.
+    for i in 0..n {
+        let node = NodeId::new(i);
+        for arc in dag.out_arcs(node) {
+            h.num_children[i] += 1;
+            h.sum_delays_to_children[i] += arc.latency as u64;
+            h.max_delay_to_child[i] = h.max_delay_to_child[i].max(arc.latency);
+            if arc.latency > 1 {
+                h.interlock_with_child[i] = true;
+            }
+        }
+        for arc in dag.in_arcs(node) {
+            h.num_parents[i] += 1;
+            h.sum_delays_from_parents[i] += arc.latency as u64;
+            h.max_delay_from_parent[i] = h.max_delay_from_parent[i].max(arc.latency);
+        }
+    }
+    reference_registers(&mut h, insns);
+    // Forward (`f`) pass: arcs point program-forward, so ascending node
+    // order is a topological order and every in-arc source is final.
+    for i in 0..n {
+        for arc in dag.in_arcs(NodeId::new(i)) {
+            let f = arc.from.index();
+            h.max_path_from_root[i] = h.max_path_from_root[i].max(h.max_path_from_root[f] + 1);
+            h.max_delay_from_root[i] =
+                h.max_delay_from_root[i].max(h.max_delay_from_root[f] + arc.latency as u64);
+            h.est[i] = h.est[i].max(h.est[f] + arc.latency as u64);
+        }
+    }
+    let total: u64 = (0..n)
+        .filter(|&i| dag.num_children(NodeId::new(i)) == 0)
+        .map(|i| h.est[i] + h.exec_time[i] as u64)
+        .max()
+        .unwrap_or(0);
+    // Backward (`b`) pass: descending node order, every out-arc target final.
+    for i in (0..n).rev() {
+        let node = NodeId::new(i);
+        if dag.num_children(node) == 0 {
+            h.lst[i] = total - h.exec_time[i] as u64;
+            continue;
+        }
+        let mut lst = u64::MAX;
+        for arc in dag.out_arcs(node) {
+            let t = arc.to.index();
+            h.max_path_to_leaf[i] = h.max_path_to_leaf[i].max(h.max_path_to_leaf[t] + 1);
+            h.max_delay_to_leaf[i] =
+                h.max_delay_to_leaf[i].max(h.max_delay_to_leaf[t] + arc.latency as u64);
+            lst = lst.min(h.lst[t].saturating_sub(arc.latency as u64));
+        }
+        h.lst[i] = lst;
+    }
+    for i in 0..n {
+        h.slack[i] = h.lst[i].saturating_sub(h.est[i]);
+    }
+    if with_descendants {
+        let maps = reachability(dag);
+        h.num_descendants = maps.iter().map(|m| (m.count() - 1) as u32).collect();
+        h.sum_exec_descendants = maps
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                m.iter()
+                    .filter(|&d| d != i)
+                    .map(|d| h.exec_time[d] as u64)
+                    .sum()
+            })
+            .collect();
+    }
+    h
+}
+
+/// Register-pressure heuristics, recomputed independently of the heur
+/// crate module: last-use indices first, then per-instruction born /
+/// killed counts over distinct integer and FP registers.
+fn reference_registers(h: &mut HeuristicSet, insns: &[Instruction]) {
+    let n = insns.len();
+    h.regs_born = vec![0; n];
+    h.regs_killed = vec![0; n];
+    h.liveness = vec![0; n];
+    let pressure_reg = |res: Resource| -> Option<Reg> {
+        match res {
+            Resource::Reg(r) if matches!(r.class(), RegClass::Int | RegClass::Fp) => Some(r),
+            _ => None,
+        }
+    };
+    let mut last_use: std::collections::HashMap<Reg, usize> = std::collections::HashMap::new();
+    for (i, insn) in insns.iter().enumerate() {
+        for r in insn.uses().into_iter().filter_map(pressure_reg) {
+            last_use.insert(r, i);
+        }
+    }
+    for (i, insn) in insns.iter().enumerate() {
+        h.regs_born[i] = insn.defs().into_iter().filter_map(pressure_reg).count() as u32;
+        let mut killed: Vec<Reg> = Vec::new();
+        for r in insn.uses().into_iter().filter_map(pressure_reg) {
+            if last_use.get(&r) == Some(&i) && !killed.contains(&r) {
+                killed.push(r);
+            }
+        }
+        h.regs_killed[i] = killed.len() as u32;
+        h.liveness[i] = h.regs_born[i] as i32 - h.regs_killed[i] as i32;
+    }
 }
 
 /// Check that `dag`'s transitive closure equals the closure of the ground
@@ -106,8 +248,7 @@ pub fn live_raw_deps(block: &PreparedBlock<'_>, model: &MachineModel) -> Vec<(us
                 out.push((j, i, block.raw_reg_latency(model, j, i, r)));
             }
         }
-        if block.is_load(i) {
-            let key = block.mem_ops[i].unwrap().key;
+        if let Some(key) = block.load_key(i) {
             if let Some(&j) = last_store.get(&key.expr) {
                 out.push((j, i, block.raw_mem_latency(model, j, i)));
             }
@@ -115,8 +256,8 @@ pub fn live_raw_deps(block: &PreparedBlock<'_>, model: &MachineModel) -> Vec<(us
         for &r in &block.reg_defs[i] {
             last_reg_def.insert(r, i);
         }
-        if block.is_store(i) {
-            last_store.insert(block.mem_ops[i].unwrap().key.expr, i);
+        if let Some(key) = block.store_key(i) {
+            last_store.insert(key.expr, i);
         }
     }
     out
@@ -201,6 +342,19 @@ mod tests {
             preserves_dependence_latencies(&pruned, &block, &model, policy).is_err(),
             "Landskov pruning must lose the Figure 1 timing arc"
         );
+    }
+
+    #[test]
+    fn reference_heuristics_equal_the_sweeps_on_every_constructor() {
+        let insns = fig1();
+        let model = MachineModel::sparc2();
+        let block = PreparedBlock::new(&insns);
+        for &algo in ConstructionAlgorithm::ALL {
+            let dag = algo.run(&block, &model, MemDepPolicy::SymbolicExpr);
+            let sweep = HeuristicSet::compute(&dag, &insns, &model, true);
+            let reference = reference_heuristics(&dag, &insns, &model, true);
+            assert_eq!(sweep, reference, "{algo}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::construct::n2::strongest_dep;
 use crate::dag::{Dag, NodeId};
 use crate::memdep::MemDepPolicy;
 use crate::prepare::PreparedBlock;
-use crate::scratch::{reset_bitmaps, Scratch};
+use crate::scratch::{reset_matrix, Scratch};
 
 /// Forward `n**2` construction with the Landskov et al. modification:
 /// "examines leaves first and prunes away any ancestors whenever a
@@ -32,7 +32,7 @@ pub fn n2_forward_landskov(
 }
 
 /// [`n2_forward_landskov`] against a reusable [`Scratch`] arena: the
-/// ancestor bitmaps come from the arena's bitmap pool;
+/// ancestor bitmaps are rows of the arena's bit matrix;
 /// `stats.comparisons` counts the pairwise comparisons actually made and
 /// `stats.arcs_suppressed` the pair comparisons pruned away (an upper
 /// bound on suppressed arcs — a pruned pair is never examined, so whether
@@ -45,26 +45,62 @@ pub(crate) fn n2_forward_landskov_in(
 ) -> Dag {
     let n = block.len();
     let mut dag = Dag::new(n);
-    let ancestors = reset_bitmaps(&mut scratch.bitmaps, n, false);
+    let ancestors = reset_matrix(&mut scratch.matrix, n, false);
     let mut comparisons = 0u64;
-    let mut pruned = 0u64;
+    // Keeping the pairwise kernel out-of-line keeps the candidate scan
+    // below a tight word loop; inlining it there measurably pessimizes
+    // the scan for a call that only runs on the unpruned minority of
+    // pairs.
+    #[inline(never)]
+    fn dep_kernel(
+        block: &PreparedBlock<'_>,
+        model: &MachineModel,
+        policy: MemDepPolicy,
+        j: usize,
+        i: usize,
+    ) -> Option<(dagsched_isa::DepKind, u32)> {
+        strongest_dep(block, model, policy, j, i)
+    }
     for i in 0..n {
-        for j in (0..i).rev() {
-            if ancestors[i].contains(j) {
-                pruned += 1;
-                continue; // already ordered transitively: prune
+        // Walk the *zero* bits of ancestor row `i` — the candidate
+        // pairs — one word at a time, highest j first. Pruned pairs are
+        // skipped 64 per word load instead of one probe each, which is
+        // what keeps the scan sub-quadratic in practice: on the
+        // 11 750-instruction fpppp block ~96% of the 69M ordered pairs
+        // are pruned and never individually touched. A found dependence
+        // updates row `i` (union of j's ancestors plus j itself), so
+        // the remaining candidates of the current word are re-masked
+        // against the refreshed word before the scan continues.
+        let row_words = i.div_ceil(64);
+        for wi in (0..row_words).rev() {
+            let mut zeros = !ancestors.row_word(i, wi);
+            if wi == row_words - 1 {
+                let top = i - wi * 64;
+                if top < 64 {
+                    zeros &= (1u64 << top) - 1; // mask off bits >= i
+                }
             }
-            comparisons += 1;
-            if let Some((kind, lat)) = strongest_dep(block, model, policy, j, i) {
-                dag.add_arc(NodeId::new(j), NodeId::new(i), kind, lat);
-                let (lo, hi) = ancestors.split_at_mut(i);
-                hi[0].union_with(&lo[j]);
-                hi[0].insert(j);
+            while zeros != 0 {
+                let b = 63 - zeros.leading_zeros() as usize;
+                zeros &= !(1u64 << b);
+                let j = wi * 64 + b;
+                comparisons += 1;
+                if let Some((kind, lat)) = dep_kernel(block, model, policy, j, i) {
+                    // Each (j, i) pair is examined at most once per block.
+                    dag.push_arc_distinct(NodeId::new(j), NodeId::new(i), kind, lat);
+                    ancestors.or_row_into(j, i);
+                    ancestors.set(i, j);
+                    zeros &= !ancestors.row_word(i, wi);
+                }
             }
         }
     }
+    dag.build_adjacency();
+    // A pair is either examined (a comparison) or pruned; counting only
+    // the examined ones keeps the hot scan free of a second counter.
+    let pairs = (n as u64) * (n.saturating_sub(1) as u64) / 2;
     scratch.stats.comparisons += comparisons;
-    scratch.stats.arcs_suppressed += pruned;
+    scratch.stats.arcs_suppressed += pairs - comparisons;
     dag
 }
 

@@ -117,10 +117,13 @@ pub(crate) fn n2_forward_in(
         for j in 0..i {
             comparisons += 1;
             if let Some((kind, lat)) = strongest_dep(block, model, policy, j, i) {
-                dag.add_arc(NodeId::new(j), NodeId::new(i), kind, lat);
+                // Each ordered pair is compared exactly once, so the arc
+                // cannot duplicate an existing one.
+                dag.push_arc_distinct(NodeId::new(j), NodeId::new(i), kind, lat);
             }
         }
     }
+    dag.build_adjacency();
     stats.comparisons += comparisons;
     dag
 }
@@ -148,10 +151,11 @@ pub(crate) fn n2_backward_in(
         for j in i + 1..n {
             comparisons += 1;
             if let Some((kind, lat)) = strongest_dep(block, model, policy, i, j) {
-                dag.add_arc(NodeId::new(i), NodeId::new(j), kind, lat);
+                dag.push_arc_distinct(NodeId::new(i), NodeId::new(j), kind, lat);
             }
         }
     }
+    dag.build_adjacency();
     stats.comparisons += comparisons;
     dag
 }

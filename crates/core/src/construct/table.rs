@@ -12,11 +12,11 @@
 
 use dagsched_isa::{DepKind, MachineModel, Resource};
 
-use crate::bitset::BitSet;
+use crate::bitset::BitMatrix;
 use crate::dag::{Dag, NodeId};
 use crate::memdep::{MemDepPolicy, MemKey};
 use crate::prepare::{reg_resource_id, PreparedBlock, REG_RESOURCE_COUNT};
-use crate::scratch::{reset_bitmaps, PhaseStats, Scratch};
+use crate::scratch::{reset_matrix, PhaseStats, Scratch};
 
 #[derive(Debug, Clone, Default)]
 struct RegEntry {
@@ -62,9 +62,13 @@ impl DepTables {
     }
 }
 
-/// An arc sink lets the bitmap variant intercept `add_arc` to suppress
-/// transitive arcs; the plain variants insert unconditionally.
-type ArcSink<'s> = dyn FnMut(&mut Dag, NodeId, NodeId, DepKind, u32) + 's;
+/// An arc sink lets the bitmap variant intercept arc insertion to
+/// suppress transitive arcs; the plain variants insert unconditionally.
+/// `batch_start` is the arc count when the current instruction's
+/// processing began — all arcs of one instruction are emitted
+/// consecutively, so a duplicate pair can only sit in that column tail
+/// (see [`Dag::merge_or_push_batch`]).
+type ArcSink<'s> = dyn FnMut(&mut Dag, usize, NodeId, NodeId, DepKind, u32) + 's;
 
 /// Backward-pass table building (the paper's §2 pseudocode, after
 /// Hunnicutt): instructions are processed last-to-first; for each resource
@@ -91,10 +95,11 @@ pub(crate) fn table_backward_in(
 ) -> Dag {
     let mut dag = Dag::new(block.len());
     let Scratch { tables, stats, .. } = scratch;
-    let mut add = |dag: &mut Dag, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
-        dag.add_arc(from, to, kind, lat);
+    let mut add = |dag: &mut Dag, batch: usize, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
+        dag.merge_or_push_batch(batch, from, to, kind, lat);
     };
     backward_core(block, model, policy, tables, stats, &mut dag, &mut add);
+    dag.build_adjacency();
     dag
 }
 
@@ -127,13 +132,13 @@ pub(crate) fn table_backward_bitmap_in(
     let mut dag = Dag::new(n);
     let Scratch {
         tables,
-        bitmaps,
+        matrix,
         stats,
     } = scratch;
     // "each node's map is initialized to indicate that a node can reach itself"
-    let desc = reset_bitmaps(bitmaps, n, true);
+    let desc = reset_matrix(matrix, n, true);
     let mut suppressed = 0u64;
-    let mut add = |dag: &mut Dag, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
+    let mut add = |dag: &mut Dag, _batch: usize, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
         let (f, t) = (from.index(), to.index());
         // `backward_core` walks last-to-first and only ever emits arcs
         // toward already-visited (later) nodes.
@@ -142,36 +147,34 @@ pub(crate) fn table_backward_bitmap_in(
             "backward table building must emit forward arcs only ({f} -> {t})"
         );
         if bitmap_absorb(desc, f, t) {
-            dag.add_arc(from, to, kind, lat);
+            // A pair that already carries an arc is a descendant pair, so
+            // `bitmap_absorb` suppresses it — the insert path never sees
+            // a duplicate and needs no merge scan.
+            dag.push_arc_distinct(from, to, kind, lat);
         } else {
             suppressed += 1;
         }
     };
     backward_core(block, model, policy, tables, stats, &mut dag, &mut add);
+    dag.build_adjacency();
     stats.arcs_suppressed += suppressed;
     dag
 }
 
-/// Fold node `t`'s descendant map into node `f`'s and report whether the
+/// Fold node `t`'s descendant row into node `f`'s and report whether the
 /// arc `f -> t` must be materialized; it is suppressed when `t` is already
 /// reachable from `f`.
 ///
 /// Robust to degenerate inputs: a self arc (`f == t`) is never
-/// materialized, and either orientation of `f` vs `t` borrow-splits on
-/// the larger index — the historical sink did `split_at_mut(t)` + `lo[f]`
+/// materialized, and either orientation of `f` vs `t` is handled by the
+/// matrix row union — the historical sink did `split_at_mut(t)` + `lo[f]`
 /// unconditionally, which panics (or, one element off, silently merges
 /// the wrong map) whenever `f >= t`.
-fn bitmap_absorb(desc: &mut [BitSet], f: usize, t: usize) -> bool {
-    if f == t || desc[f].contains(t) {
+fn bitmap_absorb(desc: &mut BitMatrix, f: usize, t: usize) -> bool {
+    if f == t || desc.contains(f, t) {
         return false;
     }
-    if f < t {
-        let (lo, hi) = desc.split_at_mut(t);
-        lo[f].union_with(&hi[0]);
-    } else {
-        let (lo, hi) = desc.split_at_mut(f);
-        hi[0].union_with(&lo[t]);
-    }
+    desc.or_row_into(t, f);
     true
 }
 
@@ -189,6 +192,10 @@ fn backward_core(
     let mut probes = 0u64;
     for i in (0..n).rev() {
         let node = NodeId::new(i);
+        // All arcs of this instruction lead out of `node`; they start at
+        // this column index, and no later instruction adds to the pair
+        // set again.
+        let batch = dag.arc_count();
         // --- process resources defined (before uses: paper order) ---
         for &r in &block.reg_defs[i] {
             probes += 1;
@@ -196,7 +203,7 @@ fn backward_core(
             if e.uses.is_empty() {
                 if let Some(d) = e.last_def {
                     let lat = block.waw_latency(model, i, d as usize, Resource::Reg(r));
-                    add(dag, node, NodeId::new(d as usize), DepKind::Waw, lat);
+                    add(dag, batch, node, NodeId::new(d as usize), DepKind::Waw, lat);
                 }
             } else {
                 // "in ascending order" (paper §2): uses were recorded in
@@ -206,14 +213,13 @@ fn backward_core(
                 // inserted first.
                 for &u in e.uses.iter().rev() {
                     let lat = block.raw_reg_latency(model, i, u as usize, r);
-                    add(dag, node, NodeId::new(u as usize), DepKind::Raw, lat);
+                    add(dag, batch, node, NodeId::new(u as usize), DepKind::Raw, lat);
                 }
                 e.uses.clear();
             }
             e.last_def = Some(i as u32);
         }
-        if block.is_store(i) {
-            let key = block.mem_ops[i].unwrap().key;
+        if let Some(key) = block.store_key(i) {
             let mut found_same = false;
             for entry in &mut t.mem {
                 probes += 1;
@@ -225,12 +231,12 @@ fn backward_core(
                     if let Some(d) = entry.last_def {
                         let lat =
                             block.waw_latency(model, i, d as usize, Resource::Mem(entry.key.expr));
-                        add(dag, node, NodeId::new(d as usize), DepKind::Waw, lat);
+                        add(dag, batch, node, NodeId::new(d as usize), DepKind::Waw, lat);
                     }
                 } else {
                     for &u in entry.uses.iter().rev() {
                         let lat = block.raw_mem_latency(model, i, u as usize);
-                        add(dag, node, NodeId::new(u as usize), DepKind::Raw, lat);
+                        add(dag, batch, node, NodeId::new(u as usize), DepKind::Raw, lat);
                     }
                     if same {
                         entry.uses.clear();
@@ -256,13 +262,12 @@ fn backward_core(
             if let Some(d) = e.last_def {
                 if d as usize != i {
                     let lat = block.war_latency(model, i, d as usize, Resource::Reg(r));
-                    add(dag, node, NodeId::new(d as usize), DepKind::War, lat);
+                    add(dag, batch, node, NodeId::new(d as usize), DepKind::War, lat);
                 }
             }
             e.uses.push(i as u32);
         }
-        if block.is_load(i) {
-            let key = block.mem_ops[i].unwrap().key;
+        if let Some(key) = block.load_key(i) {
             let mut found_same = false;
             for entry in &mut t.mem {
                 probes += 1;
@@ -273,7 +278,7 @@ fn backward_core(
                     if d as usize != i {
                         let lat =
                             block.war_latency(model, i, d as usize, Resource::Mem(entry.key.expr));
-                        add(dag, node, NodeId::new(d as usize), DepKind::War, lat);
+                        add(dag, batch, node, NodeId::new(d as usize), DepKind::War, lat);
                     }
                 }
                 if policy.same_location(&key, &entry.key) {
@@ -317,18 +322,21 @@ pub(crate) fn table_forward_in(
     let mut probes = 0u64;
     for i in 0..n {
         let node = NodeId::new(i);
+        // All arcs of this instruction point at `node`; they start at
+        // this column index, and no later instruction adds to the pair
+        // set again.
+        let batch = dag.arc_count();
         // --- process resources used (before definitions: paper order) ---
         for &r in &block.reg_uses[i] {
             probes += 1;
             let e = &mut t.regs[reg_resource_id(r)];
             if let Some(d) = e.last_def {
                 let lat = block.raw_reg_latency(model, d as usize, i, r);
-                dag.add_arc(NodeId::new(d as usize), node, DepKind::Raw, lat);
+                dag.merge_or_push_batch(batch, NodeId::new(d as usize), node, DepKind::Raw, lat);
             }
             e.uses.push(i as u32);
         }
-        if block.is_load(i) {
-            let key = block.mem_ops[i].unwrap().key;
+        if let Some(key) = block.load_key(i) {
             let mut found_same = false;
             for entry in &mut t.mem {
                 probes += 1;
@@ -337,7 +345,7 @@ pub(crate) fn table_forward_in(
                 }
                 if let Some(d) = entry.last_def {
                     let lat = block.raw_mem_latency(model, d as usize, i);
-                    dag.add_arc(NodeId::new(d as usize), node, DepKind::Raw, lat);
+                    dag.merge_or_push_batch(batch, NodeId::new(d as usize), node, DepKind::Raw, lat);
                 }
                 if policy.same_location(&key, &entry.key) {
                     entry.uses.push(i as u32);
@@ -360,22 +368,21 @@ pub(crate) fn table_forward_in(
                 if let Some(d) = e.last_def {
                     if d as usize != i {
                         let lat = block.waw_latency(model, d as usize, i, Resource::Reg(r));
-                        dag.add_arc(NodeId::new(d as usize), node, DepKind::Waw, lat);
+                        dag.merge_or_push_batch(batch, NodeId::new(d as usize), node, DepKind::Waw, lat);
                     }
                 }
             } else {
                 for &u in &e.uses {
                     if u as usize != i {
                         let lat = block.war_latency(model, u as usize, i, Resource::Reg(r));
-                        dag.add_arc(NodeId::new(u as usize), node, DepKind::War, lat);
+                        dag.merge_or_push_batch(batch, NodeId::new(u as usize), node, DepKind::War, lat);
                     }
                 }
             }
             e.uses.clear();
             e.last_def = Some(i as u32);
         }
-        if block.is_store(i) {
-            let key = block.mem_ops[i].unwrap().key;
+        if let Some(key) = block.store_key(i) {
             let mut found_same = false;
             for entry in &mut t.mem {
                 probes += 1;
@@ -392,7 +399,7 @@ pub(crate) fn table_forward_in(
                                 i,
                                 Resource::Mem(entry.key.expr),
                             );
-                            dag.add_arc(NodeId::new(d as usize), node, DepKind::Waw, lat);
+                            dag.merge_or_push_batch(batch, NodeId::new(d as usize), node, DepKind::Waw, lat);
                         }
                     }
                 } else {
@@ -404,7 +411,7 @@ pub(crate) fn table_forward_in(
                                 i,
                                 Resource::Mem(entry.key.expr),
                             );
-                            dag.add_arc(NodeId::new(u as usize), node, DepKind::War, lat);
+                            dag.merge_or_push_batch(batch, NodeId::new(u as usize), node, DepKind::War, lat);
                         }
                     }
                 }
@@ -423,6 +430,7 @@ pub(crate) fn table_forward_in(
             }
         }
     }
+    dag.build_adjacency();
     scratch.stats.table_probes += probes;
     dag
 }
@@ -638,26 +646,24 @@ mod tests {
     /// call. The factored helper must tolerate both orientations.
     #[test]
     fn bitmap_absorb_handles_degenerate_and_reversed_arcs() {
-        let mk = |n: usize| -> Vec<BitSet> {
-            (0..n)
-                .map(|i| {
-                    let mut b = BitSet::new(n);
-                    b.insert(i);
-                    b
-                })
-                .collect()
+        let mk = |n: usize| -> BitMatrix {
+            let mut m = BitMatrix::new(n, n);
+            for i in 0..n {
+                m.set(i, i);
+            }
+            m
         };
 
         // Self arc: suppressed, no panic, map untouched.
         let mut desc = mk(3);
         assert!(!bitmap_absorb(&mut desc, 1, 1));
-        assert_eq!(desc[1].count(), 1);
+        assert_eq!(desc.row_count_ones(1), 1);
 
-        // Reversed orientation (f > t): folds t's map into f's.
+        // Reversed orientation (f > t): folds t's row into f's.
         let mut desc = mk(3);
-        desc[0].insert(2); // 0 reaches 2
+        desc.set(0, 2); // 0 reaches 2
         assert!(bitmap_absorb(&mut desc, 1, 0));
-        assert!(desc[1].contains(0) && desc[1].contains(2));
+        assert!(desc.contains(1, 0) && desc.contains(1, 2));
 
         // Second insertion of a now-covered arc is suppressed.
         assert!(!bitmap_absorb(&mut desc, 1, 2));
@@ -665,7 +671,7 @@ mod tests {
         // Forward orientation still works as before.
         let mut desc = mk(3);
         assert!(bitmap_absorb(&mut desc, 0, 2));
-        assert!(desc[0].contains(2));
+        assert!(desc.contains(0, 2));
         assert!(!bitmap_absorb(&mut desc, 0, 2));
     }
 
@@ -722,7 +728,6 @@ mod tests {
         ];
         let arcs = |d: &Dag| -> Vec<(usize, usize, DepKind, u32)> {
             d.arcs()
-                .iter()
                 .map(|a| (a.from.index(), a.to.index(), a.kind, a.latency))
                 .collect()
         };

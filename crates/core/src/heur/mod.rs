@@ -36,7 +36,7 @@ use crate::dag::Dag;
 /// passes ([`annotate_construction`], [`annotate_forward`],
 /// [`annotate_backward`]) for fine-grained timing — the paper's Tables 4
 /// and 5 time exactly those passes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeuristicSet {
     // ---- determined at DAG construction time (`a`) ----
     /// Operation latency of the node ("execution time").

@@ -28,15 +28,18 @@ pub fn annotate_construction(
     h.max_delay_to_child = vec![0; n];
     h.sum_delays_from_parents = vec![0; n];
     h.max_delay_from_parent = vec![0; n];
-    for arc in dag.arcs() {
-        let (f, t) = (arc.from.index(), arc.to.index());
+    // One linear sweep over the arc columns: order does not matter here,
+    // so no sortedness gate is needed.
+    let (froms, tos, lats) = (dag.arc_froms(), dag.arc_tos(), dag.arc_latencies());
+    for ((&from, &to), &lat) in froms.iter().zip(tos).zip(lats) {
+        let (f, t) = (from.index(), to.index());
         h.num_children[f] += 1;
         h.num_parents[t] += 1;
-        h.sum_delays_to_children[f] += arc.latency as u64;
-        h.max_delay_to_child[f] = h.max_delay_to_child[f].max(arc.latency);
-        h.sum_delays_from_parents[t] += arc.latency as u64;
-        h.max_delay_from_parent[t] = h.max_delay_from_parent[t].max(arc.latency);
-        if arc.latency > 1 {
+        h.sum_delays_to_children[f] += lat as u64;
+        h.max_delay_to_child[f] = h.max_delay_to_child[f].max(lat);
+        h.sum_delays_from_parents[t] += lat as u64;
+        h.max_delay_from_parent[t] = h.max_delay_from_parent[t].max(lat);
+        if lat > 1 {
             h.interlock_with_child[f] = true;
         }
     }
@@ -91,19 +94,44 @@ fn annotate_registers(h: &mut HeuristicSet, insns: &[Instruction]) {
 /// length / total delay from a root, and earliest start time.
 ///
 /// Because arcs always point program-forward, original order is a
-/// topological order and one ascending sweep suffices.
+/// topological order and one ascending sweep suffices. When the DAG's arc
+/// columns are sorted (every in-tree constructor appends in one of the
+/// two sorted orders) the sweep runs straight down the columns with no
+/// per-node adjacency indirection; otherwise it falls back to the
+/// node-order walk over in-arcs.
+///
+/// Column-sweep correctness: an update for arc `f -> t` needs the values
+/// at `f` to be final, i.e. every arc *into* `f` already processed. All
+/// arcs point forward (`from < to`), so visiting arcs in ascending `to`
+/// order — or ascending `from` order — guarantees exactly that: any arc
+/// into `f` has `to = f < t` (resp. `from < f`), so it precedes `f -> t`.
 pub fn annotate_forward(h: &mut HeuristicSet, dag: &Dag) {
     let n = dag.node_count();
     h.max_path_from_root = vec![0; n];
     h.max_delay_from_root = vec![0; n];
     h.est = vec![0; n];
-    for i in 0..n {
-        for arc in dag.in_arcs(NodeId::new(i)) {
-            let p = arc.from.index();
-            h.max_path_from_root[i] = h.max_path_from_root[i].max(h.max_path_from_root[p] + 1);
-            h.max_delay_from_root[i] =
-                h.max_delay_from_root[i].max(h.max_delay_from_root[p] + arc.latency as u64);
-            h.est[i] = h.est[i].max(h.est[p] + arc.latency as u64);
+    let step = |h: &mut HeuristicSet, f: usize, t: usize, lat: u32| {
+        h.max_path_from_root[t] = h.max_path_from_root[t].max(h.max_path_from_root[f] + 1);
+        h.max_delay_from_root[t] =
+            h.max_delay_from_root[t].max(h.max_delay_from_root[f] + lat as u64);
+        h.est[t] = h.est[t].max(h.est[f] + lat as u64);
+    };
+    let (froms, tos, lats) = (dag.arc_froms(), dag.arc_tos(), dag.arc_latencies());
+    if dag.arcs_to_sorted() {
+        for k in 0..froms.len() {
+            step(h, froms[k].index(), tos[k].index(), lats[k]);
+        }
+    } else if dag.arcs_from_rev_sorted() {
+        // `from` is nonincreasing, so the reverse of the columns is
+        // ascending-`from` order.
+        for k in (0..froms.len()).rev() {
+            step(h, froms[k].index(), tos[k].index(), lats[k]);
+        }
+    } else {
+        for i in 0..n {
+            for arc in dag.in_arcs(NodeId::new(i)) {
+                step(h, arc.from.index(), i, arc.latency);
+            }
         }
     }
 }
@@ -148,7 +176,59 @@ pub fn annotate_backward_cp(h: &mut HeuristicSet, dag: &Dag, order: BackwardOrde
     let n = dag.node_count();
     h.max_path_to_leaf = vec![0; n];
     h.max_delay_to_leaf = vec![0; n];
-    let visit_order: Vec<usize> = match order {
+    let step = |h: &mut HeuristicSet, f: usize, t: usize, lat: u32| {
+        h.max_path_to_leaf[f] = h.max_path_to_leaf[f].max(h.max_path_to_leaf[t] + 1);
+        h.max_delay_to_leaf[f] =
+            h.max_delay_to_leaf[f].max(h.max_delay_to_leaf[t] + lat as u64);
+    };
+    let (froms, tos, lats) = (dag.arc_froms(), dag.arc_tos(), dag.arc_latencies());
+    match backward_sweep_dir(dag, order) {
+        Some(SweepDir::Stored) => {
+            for k in 0..froms.len() {
+                step(h, froms[k].index(), tos[k].index(), lats[k]);
+            }
+        }
+        Some(SweepDir::Reversed) => {
+            for k in (0..froms.len()).rev() {
+                step(h, froms[k].index(), tos[k].index(), lats[k]);
+            }
+        }
+        None => {
+            for i in backward_visit_order(dag, order) {
+                for arc in dag.out_arcs(NodeId::new(i)) {
+                    step(h, i, arc.to.index(), arc.latency);
+                }
+            }
+        }
+    }
+}
+
+/// Which direction (if any) the arc columns can be swept for a backward
+/// pass. An update for arc `f -> t` needs the values at `t` final, i.e.
+/// every arc *out of* `t` already processed. Arcs point forward
+/// (`from < to`), so descending-`from` order works (arcs out of `t` have
+/// `from = t > f`), as does descending-`to` order (arcs out of `t` have
+/// `to > t`). The level-list ablation deliberately keeps the node walk.
+fn backward_sweep_dir(dag: &Dag, order: BackwardOrder) -> Option<SweepDir> {
+    match order {
+        BackwardOrder::ReverseWalk if dag.arcs_from_rev_sorted() => Some(SweepDir::Stored),
+        BackwardOrder::ReverseWalk if dag.arcs_to_sorted() => Some(SweepDir::Reversed),
+        _ => None,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum SweepDir {
+    /// The stored column order is already the sweep order.
+    Stored,
+    /// Sweep the columns back-to-front.
+    Reversed,
+}
+
+/// Node visit order for the backward fallback paths.
+fn backward_visit_order(dag: &Dag, order: BackwardOrder) -> Vec<usize> {
+    let n = dag.node_count();
+    match order {
         BackwardOrder::ReverseWalk => (0..n).rev().collect(),
         BackwardOrder::LevelLists => {
             let levels = compute_levels(dag);
@@ -158,14 +238,6 @@ pub fn annotate_backward_cp(h: &mut HeuristicSet, dag: &Dag, order: BackwardOrde
                 buckets[l as usize].push(i);
             }
             buckets.into_iter().flatten().collect()
-        }
-    };
-    for &i in &visit_order {
-        for arc in dag.out_arcs(NodeId::new(i)) {
-            let c = arc.to.index();
-            h.max_path_to_leaf[i] = h.max_path_to_leaf[i].max(h.max_path_to_leaf[c] + 1);
-            h.max_delay_to_leaf[i] =
-                h.max_delay_to_leaf[i].max(h.max_delay_to_leaf[c] + arc.latency as u64);
         }
     }
 }
@@ -206,49 +278,77 @@ pub fn annotate_backward(
 
     h.max_path_to_leaf = vec![0; n];
     h.max_delay_to_leaf = vec![0; n];
-    h.lst = vec![0; n];
     h.slack = vec![0; n];
 
-    let visit_order: Vec<usize> = match order {
-        BackwardOrder::ReverseWalk => (0..n).rev().collect(),
-        BackwardOrder::LevelLists => {
-            let levels = compute_levels(dag);
-            let max_level = levels.iter().copied().max().unwrap_or(0);
-            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_level as usize + 1];
-            for (i, &l) in levels.iter().enumerate() {
-                buckets[l as usize].push(i);
+    match backward_sweep_dir(dag, order) {
+        Some(dir) => {
+            // Column sweep: leaves get their final LST up front; every
+            // non-leaf starts at `u64::MAX` and is min'd down by its out
+            // arcs (a non-leaf has at least one, so the sentinel never
+            // survives). The sweep order guarantees `lst[t]` is final
+            // before any arc `f -> t` reads it.
+            h.lst = (0..n)
+                .map(|i| {
+                    if dag.num_children(NodeId::new(i)) == 0 {
+                        total - h.exec_time[i] as u64
+                    } else {
+                        u64::MAX
+                    }
+                })
+                .collect();
+            let step = |h: &mut HeuristicSet, f: usize, t: usize, lat: u32| {
+                h.max_path_to_leaf[f] = h.max_path_to_leaf[f].max(h.max_path_to_leaf[t] + 1);
+                h.max_delay_to_leaf[f] =
+                    h.max_delay_to_leaf[f].max(h.max_delay_to_leaf[t] + lat as u64);
+                h.lst[f] = h.lst[f].min(h.lst[t].saturating_sub(lat as u64));
+            };
+            let (froms, tos, lats) = (dag.arc_froms(), dag.arc_tos(), dag.arc_latencies());
+            match dir {
+                SweepDir::Stored => {
+                    for k in 0..froms.len() {
+                        step(h, froms[k].index(), tos[k].index(), lats[k]);
+                    }
+                }
+                SweepDir::Reversed => {
+                    for k in (0..froms.len()).rev() {
+                        step(h, froms[k].index(), tos[k].index(), lats[k]);
+                    }
+                }
             }
-            buckets.into_iter().flatten().collect()
         }
-    };
-
-    for &i in &visit_order {
-        let node = NodeId::new(i);
-        if dag.num_children(node) == 0 {
-            h.lst[i] = total - h.exec_time[i] as u64;
-            continue;
+        None => {
+            h.lst = vec![0; n];
+            for i in backward_visit_order(dag, order) {
+                let node = NodeId::new(i);
+                if dag.num_children(node) == 0 {
+                    h.lst[i] = total - h.exec_time[i] as u64;
+                    continue;
+                }
+                let mut lst = u64::MAX;
+                for arc in dag.out_arcs(node) {
+                    let c = arc.to.index();
+                    h.max_path_to_leaf[i] = h.max_path_to_leaf[i].max(h.max_path_to_leaf[c] + 1);
+                    h.max_delay_to_leaf[i] =
+                        h.max_delay_to_leaf[i].max(h.max_delay_to_leaf[c] + arc.latency as u64);
+                    lst = lst.min(h.lst[c].saturating_sub(arc.latency as u64));
+                }
+                h.lst[i] = lst;
+            }
         }
-        let mut lst = u64::MAX;
-        for arc in dag.out_arcs(node) {
-            let c = arc.to.index();
-            h.max_path_to_leaf[i] = h.max_path_to_leaf[i].max(h.max_path_to_leaf[c] + 1);
-            h.max_delay_to_leaf[i] =
-                h.max_delay_to_leaf[i].max(h.max_delay_to_leaf[c] + arc.latency as u64);
-            lst = lst.min(h.lst[c].saturating_sub(arc.latency as u64));
-        }
-        h.lst[i] = lst;
     }
     for i in 0..n {
         h.slack[i] = h.lst[i].saturating_sub(h.est[i]);
     }
 
     if with_descendants {
-        let maps = dag.descendant_maps();
-        h.num_descendants = maps.iter().map(|m| (m.count() - 1) as u32).collect();
+        // "#descendants ... can be found by counting the bits set in the
+        // node's reachability map" (§3): one row popcount per node over
+        // the flat descendant matrix.
+        let maps = dag.descendants();
+        h.num_descendants = (0..n).map(|i| (maps.row_count_ones(i) - 1) as u32).collect();
         h.sum_exec_descendants = (0..n)
             .map(|i| {
-                maps[i]
-                    .iter()
+                maps.row_iter(i)
                     .filter(|&d| d != i)
                     .map(|d| h.exec_time[d] as u64)
                     .sum()

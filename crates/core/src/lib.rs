@@ -53,12 +53,12 @@ mod prepare;
 mod scratch;
 mod viz;
 
-pub use bitset::BitSet;
+pub use bitset::{BitMatrix, BitSet};
 pub use construct::{
     build_dag, n2_backward, n2_forward, n2_forward_landskov, strongest_dep, table_backward,
     table_backward_bitmap, table_forward, ConstructionAlgorithm, PassDirection,
 };
-pub use dag::{ArcId, Dag, DagArc, DagNode, NodeId};
+pub use dag::{ArcId, ConstructError, Dag, DagArc, NodeId, MAX_NODES};
 pub use heur::{
     annotate_backward, annotate_backward_cp, annotate_construction, annotate_forward,
     compute_levels, heuristic_catalog, BackwardOrder, Basis, Category, DynState, HeuristicId,

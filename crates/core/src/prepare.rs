@@ -2,6 +2,7 @@
 
 use dagsched_isa::{Instruction, MachineModel, MemAccessKind, Reg, Resource};
 
+use crate::dag::{ConstructError, MAX_NODES};
 use crate::memdep::{MemKey, MemOp};
 
 /// Dense index of a register resource (`0..REG_RESOURCE_COUNT`), used by
@@ -39,11 +40,35 @@ pub struct PreparedBlock<'a> {
 
 impl<'a> PreparedBlock<'a> {
     /// Preprocess a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input [`PreparedBlock::try_new`] rejects: a block above
+    /// [`MAX_NODES`] instructions, or a memory-class opcode without a
+    /// parsed memory operand. Use `try_new` on untrusted input (the
+    /// driver does); this constructor is for blocks that came out of the
+    /// parser or a generator and are well-formed by construction.
     pub fn new(insns: &'a [Instruction]) -> PreparedBlock<'a> {
+        match PreparedBlock::try_new(insns) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Preprocess a block, returning a typed [`ConstructError`] instead
+    /// of panicking on malformed input. This is the checked front door
+    /// for everything reachable from a service request: an oversized
+    /// block or a memory opcode missing its operand becomes a
+    /// `bad-request` reply rather than a worker panic masked as
+    /// `internal`.
+    pub fn try_new(insns: &'a [Instruction]) -> Result<PreparedBlock<'a>, ConstructError> {
+        if insns.len() > MAX_NODES {
+            return Err(ConstructError::TooManyNodes { nodes: insns.len() });
+        }
         let mut reg_defs = Vec::with_capacity(insns.len());
         let mut reg_uses = Vec::with_capacity(insns.len());
         let mut mem_ops = Vec::with_capacity(insns.len());
-        for insn in insns {
+        for (i, insn) in insns.iter().enumerate() {
             let mut defs: Vec<Reg> = Vec::new();
             for res in insn.defs() {
                 if let Resource::Reg(r) = res {
@@ -62,16 +87,65 @@ impl<'a> PreparedBlock<'a> {
             }
             reg_defs.push(defs);
             reg_uses.push(uses);
-            mem_ops.push(insn.opcode.mem_access().map(|kind| MemOp {
-                kind,
-                key: MemKey::of(insn.mem.as_ref().expect("memory opcode without operand")),
-            }));
+            mem_ops.push(match insn.opcode.mem_access() {
+                Some(kind) => {
+                    let mem = insn.mem.as_ref().ok_or(ConstructError::MissingMemOperand {
+                        index: i,
+                        opcode: insn.opcode,
+                    })?;
+                    Some(MemOp {
+                        kind,
+                        key: MemKey::of(mem),
+                    })
+                }
+                None => None,
+            });
         }
-        PreparedBlock {
+        Ok(PreparedBlock {
             insns,
             reg_defs,
             reg_uses,
             mem_ops,
+        })
+    }
+
+    /// The memory operation of instruction `i`, if it is one. The single
+    /// checked accessor the construction algorithms and closure checks
+    /// go through instead of indexing `mem_ops[i].unwrap()` — callers
+    /// pattern-match and skip, so a hole can never panic a worker even
+    /// if a `PreparedBlock` is assembled by hand.
+    pub fn mem_op(&self, i: usize) -> Option<MemOp> {
+        self.mem_ops.get(i).copied().flatten()
+    }
+
+    /// The memory dependence key of instruction `i`, if it is a memory
+    /// operation (see [`PreparedBlock::mem_op`]).
+    pub fn mem_key(&self, i: usize) -> Option<MemKey> {
+        self.mem_op(i).map(|op| op.key)
+    }
+
+    /// The memory key of instruction `i` if it is a store, fusing the
+    /// [`PreparedBlock::is_store`] guard with the checked key lookup so
+    /// callers cannot pair the guard with an unchecked `unwrap`.
+    pub fn store_key(&self, i: usize) -> Option<MemKey> {
+        match self.mem_op(i) {
+            Some(MemOp {
+                kind: MemAccessKind::Store,
+                key,
+            }) => Some(key),
+            _ => None,
+        }
+    }
+
+    /// The memory key of instruction `i` if it is a load (see
+    /// [`PreparedBlock::store_key`]).
+    pub fn load_key(&self, i: usize) -> Option<MemKey> {
+        match self.mem_op(i) {
+            Some(MemOp {
+                kind: MemAccessKind::Load,
+                key,
+            }) => Some(key),
+            _ => None,
         }
     }
 
@@ -99,7 +173,8 @@ impl<'a> PreparedBlock<'a> {
 
     /// RAW arc latency for a memory (store→load) dependence.
     pub fn raw_mem_latency(&self, model: &MachineModel, parent: usize, child: usize) -> u32 {
-        let expr = self.mem_ops[parent]
+        let expr = self
+            .mem_op(parent)
             .expect("parent is not a memory op")
             .key
             .expr;
@@ -130,24 +205,12 @@ impl<'a> PreparedBlock<'a> {
 
     /// Whether instruction `i` is a store.
     pub fn is_store(&self, i: usize) -> bool {
-        matches!(
-            self.mem_ops[i],
-            Some(MemOp {
-                kind: MemAccessKind::Store,
-                ..
-            })
-        )
+        self.store_key(i).is_some()
     }
 
     /// Whether instruction `i` is a load.
     pub fn is_load(&self, i: usize) -> bool {
-        matches!(
-            self.mem_ops[i],
-            Some(MemOp {
-                kind: MemAccessKind::Load,
-                ..
-            })
-        )
+        self.load_key(i).is_some()
     }
 }
 
@@ -195,6 +258,55 @@ mod tests {
         assert!(p.is_load(0));
         assert!(p.is_store(1));
         assert_eq!(p.mem_ops[0].unwrap().key.expr, e);
+    }
+
+    #[test]
+    fn missing_mem_operand_is_a_typed_error() {
+        // `Instruction::new` leaves `mem` empty; a mem-class opcode built
+        // that way is exactly the malformed shape that used to panic
+        // inside construction.
+        let insns = [
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2)),
+            Instruction::new(Opcode::Ld),
+        ];
+        let err = PreparedBlock::try_new(&insns).unwrap_err();
+        assert_eq!(
+            err,
+            crate::dag::ConstructError::MissingMemOperand {
+                index: 1,
+                opcode: Opcode::Ld,
+            }
+        );
+        assert!(err.to_string().contains("memory operand"), "{err}");
+    }
+
+    #[test]
+    fn oversized_block_is_a_typed_error() {
+        let insns = vec![
+            Instruction::int3(Opcode::Add, Reg::o(0), Reg::o(1), Reg::o(2));
+            crate::dag::MAX_NODES + 1
+        ];
+        let err = PreparedBlock::try_new(&insns).unwrap_err();
+        assert_eq!(
+            err,
+            crate::dag::ConstructError::TooManyNodes {
+                nodes: crate::dag::MAX_NODES + 1
+            }
+        );
+    }
+
+    #[test]
+    fn mem_accessor_is_none_for_non_memory_and_out_of_range() {
+        let insns = [Instruction::int3(
+            Opcode::Add,
+            Reg::o(0),
+            Reg::o(1),
+            Reg::o(2),
+        )];
+        let p = PreparedBlock::new(&insns);
+        assert!(p.mem_op(0).is_none());
+        assert!(p.mem_key(0).is_none());
+        assert!(p.mem_op(99).is_none());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! serial loop — `Scratch` reuse is observationally identical to fresh
 //! allocation — results are bit-identical for every `jobs` value.
 
-use crate::bitset::BitSet;
+use crate::bitset::BitMatrix;
 use crate::construct::table::DepTables;
 
 /// Per-phase work counters and timings for a batch-compilation run.
@@ -155,8 +155,9 @@ impl std::fmt::Display for PhaseStats {
 pub struct Scratch {
     /// Definition/use tables reused by the table-building algorithms.
     pub(crate) tables: DepTables,
-    /// Bitmap pool reused by the transitive-arc-avoidance variants.
-    pub(crate) bitmaps: Vec<BitSet>,
+    /// Reachability bit-matrix reused by the transitive-arc-avoidance
+    /// variants (one flat allocation; rows are per-node maps).
+    pub(crate) matrix: BitMatrix,
     /// Accumulated per-phase counters.
     pub stats: PhaseStats,
 }
@@ -166,7 +167,7 @@ impl Scratch {
     pub fn new() -> Scratch {
         Scratch {
             tables: DepTables::new(),
-            bitmaps: Vec::new(),
+            matrix: BitMatrix::new(0, 0),
             stats: PhaseStats::default(),
         }
     }
@@ -178,21 +179,18 @@ impl Default for Scratch {
     }
 }
 
-/// Reset the first `n` bitmaps of `pool` to empty sets of capacity `n`,
-/// growing the pool if needed, and return them. With `self_init` each
-/// bitmap `i` starts containing `i` (the paper's "each node's map is
-/// initialized to indicate that a node can reach itself").
-pub(crate) fn reset_bitmaps(pool: &mut Vec<BitSet>, n: usize, self_init: bool) -> &mut [BitSet] {
-    if pool.len() < n {
-        pool.resize_with(n, || BitSet::new(0));
-    }
-    for (i, b) in pool[..n].iter_mut().enumerate() {
-        b.reset(n);
-        if self_init {
-            b.insert(i);
+/// Reset `matrix` to an empty `n × n` reachability map (reusing its
+/// allocation). With `self_init` each row `i` starts containing `i` (the
+/// paper's "each node's map is initialized to indicate that a node can
+/// reach itself").
+pub(crate) fn reset_matrix(matrix: &mut BitMatrix, n: usize, self_init: bool) -> &mut BitMatrix {
+    matrix.reset(n, n);
+    if self_init {
+        for i in 0..n {
+            matrix.set(i, i);
         }
     }
-    &mut pool[..n]
+    matrix
 }
 
 /// The default worker count: the machine's available parallelism, or 1
@@ -359,19 +357,19 @@ mod tests {
     }
 
     #[test]
-    fn reset_bitmaps_reuses_and_reinitializes() {
-        let mut pool = Vec::new();
-        let maps = reset_bitmaps(&mut pool, 4, true);
-        assert_eq!(maps.len(), 4);
-        for (i, m) in maps.iter().enumerate() {
-            assert_eq!(m.iter().collect::<Vec<_>>(), vec![i]);
+    fn reset_matrix_reuses_and_reinitializes() {
+        let mut m = BitMatrix::new(0, 0);
+        reset_matrix(&mut m, 4, true);
+        assert_eq!(m.rows(), 4);
+        for i in 0..4 {
+            assert_eq!(m.row_iter(i).collect::<Vec<_>>(), vec![i]);
         }
-        maps[0].insert(3);
+        m.set(0, 3);
         // Shrink without self-init: stale contents must be gone.
-        let maps = reset_bitmaps(&mut pool, 2, false);
-        assert_eq!(maps.len(), 2);
-        assert!(maps[0].is_empty() && maps[1].is_empty());
-        assert_eq!(maps[0].capacity(), 2);
+        reset_matrix(&mut m, 2, false);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row_count_ones(0) + m.row_count_ones(1), 0);
+        assert_eq!(m.cols(), 2);
     }
 
     #[test]

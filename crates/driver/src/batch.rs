@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use dagsched_core::{default_jobs, map_blocks_with_scratch, PhaseStats, Scratch};
 use dagsched_isa::{Instruction, MachineModel, Program};
-use dagsched_core::ConstructionAlgorithm;
+use dagsched_core::{ConstructError, ConstructionAlgorithm};
 use dagsched_sched::{CarryOut, Scheduler};
 
 use crate::driver::{
@@ -189,6 +189,16 @@ pub enum LimitError {
     },
     /// The request deadline passed before the batch completed.
     DeadlineExpired,
+    /// A block was rejected by DAG construction: malformed input (a
+    /// memory opcode without an operand) or a block above the hard
+    /// [`dagsched_core::MAX_NODES`] cap. A bad *request*, not a server
+    /// fault — the service answers `bad-request`, never `internal`.
+    Construct {
+        /// Offending block index.
+        block: usize,
+        /// The underlying construction error.
+        error: ConstructError,
+    },
 }
 
 impl std::fmt::Display for LimitError {
@@ -199,6 +209,7 @@ impl std::fmt::Display for LimitError {
                 "block {block} has {len} instructions, exceeding the limit of {max}"
             ),
             LimitError::DeadlineExpired => write!(f, "deadline expired before scheduling finished"),
+            LimitError::Construct { block, error } => write!(f, "block {block}: {error}"),
         }
     }
 }
@@ -337,20 +348,21 @@ fn compile_one(
     carry_in: Option<&CarryOut>,
     scratch: &mut Scratch,
     cache: &dyn BlockCache,
-) -> BlockOutcome {
+) -> Result<BlockOutcome, LimitError> {
     let use_cache = cache.enabled() && carry_in.is_none();
     if use_cache {
         if let Some(outcome) = cache.lookup(bi, insns, model, config) {
             scratch.stats.cache_hits += 1;
-            return outcome;
+            return Ok(outcome);
         }
     }
-    let outcome = compile_block(bi, insns, model, config, carry_in, scratch);
+    let outcome = compile_block(bi, insns, model, config, carry_in, scratch)
+        .map_err(|error| LimitError::Construct { block: bi, error })?;
     if use_cache {
         scratch.stats.cache_misses += 1;
         cache.store(insns, model, config, &outcome);
     }
-    outcome
+    Ok(outcome)
 }
 
 /// The serial batch loop over pre-partitioned `items`, drawing working
@@ -388,7 +400,7 @@ fn serial_batch(
             }
             None => config,
         };
-        let outcome = compile_one(bi, insns, model, effective, carry_in, scratch, cache);
+        let outcome = compile_one(bi, insns, model, effective, carry_in, scratch, cache)?;
         carry = outcome.carry;
         out.extend(outcome.emitted);
         reports.push(outcome.report);
@@ -479,7 +491,7 @@ pub fn schedule_program_batch(
 
     let ladder = limits.degrade.map(|_| Ladder::derive(config));
     let (results, stats) = map_blocks_with_scratch(&items, jobs, |_, &(bi, insns), scratch| {
-        limits.check_deadline().map(|()| {
+        limits.check_deadline().and_then(|()| {
             let effective = match ladder
                 .as_ref()
                 .and_then(|l| l.config_at(limits.degrade_level()))
@@ -558,6 +570,75 @@ mod tests {
                 .unwrap()
                 .insert(text_key(insns), outcome.clone());
         }
+    }
+
+    /// Regression: a memory-class opcode with no memory operand used to
+    /// panic inside `PreparedBlock` (`.unwrap()` on `mem_ops`), killing
+    /// the worker. It must now surface as a typed construct error that
+    /// the service can answer with `bad-request`.
+    #[test]
+    fn malformed_memory_instruction_is_a_typed_construct_error() {
+        use dagsched_core::ConstructError;
+        use dagsched_isa::{Instruction, Opcode, Reg};
+        let mut program = Program::new();
+        program.push(Instruction::int_imm(Opcode::Add, Reg::o(0), 1, Reg::o(1)));
+        // `Instruction::new` leaves the memory operand empty.
+        program.push(Instruction::new(Opcode::Ld));
+        let model = MachineModel::sparc2();
+        for jobs in [1, 4] {
+            let err = schedule_program_batch(
+                &program,
+                &model,
+                &DriverConfig::default(),
+                jobs,
+                &Limits::none(),
+                &NoCache,
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                LimitError::Construct {
+                    block: 0,
+                    error: ConstructError::MissingMemOperand {
+                        index: 1,
+                        opcode: Opcode::Ld,
+                    },
+                },
+                "jobs={jobs}"
+            );
+            assert!(err.to_string().contains("memory operand"), "{err}");
+        }
+    }
+
+    /// A block above the hard DAG node cap is rejected with a typed
+    /// error even when the caller set no `max_block` limit of its own.
+    #[test]
+    fn oversized_block_is_a_typed_construct_error() {
+        use dagsched_core::{ConstructError, MAX_NODES};
+        use dagsched_isa::{Instruction, Opcode, Reg};
+        let mut program = Program::new();
+        for _ in 0..MAX_NODES + 1 {
+            program.push(Instruction::int_imm(Opcode::Add, Reg::o(0), 1, Reg::o(1)));
+        }
+        let model = MachineModel::sparc2();
+        let err = schedule_program_batch(
+            &program,
+            &model,
+            &DriverConfig::default(),
+            1,
+            &Limits::none(),
+            &NoCache,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            LimitError::Construct {
+                block: 0,
+                error: ConstructError::TooManyNodes {
+                    nodes: MAX_NODES + 1
+                },
+            }
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Whole-program scheduling driver: the paper's per-block machinery
 //! composed into the pass a compiler backend would actually run.
 
-use dagsched_core::{HeuristicSet, PhaseStats, PreparedBlock, Scratch};
+use dagsched_core::{ConstructError, HeuristicSet, PhaseStats, PreparedBlock, Scratch};
 use dagsched_isa::{Instruction, MachineModel, Program};
 use dagsched_pipesim::{simulate, SimOptions};
 use dagsched_sched::{
@@ -120,6 +120,11 @@ pub struct BlockOutcome {
 /// Working storage is drawn from `scratch`, and the per-phase counters
 /// (`construct_ns`, `heur_ns`, `sched_ns`, arc/probe/comparison counts)
 /// are accumulated into `scratch.stats`.
+///
+/// Malformed input — an oversized block or a memory-class opcode with no
+/// memory operand — surfaces as a typed [`ConstructError`] instead of a
+/// worker panic; the batch loop wraps it into a `LimitError` and the
+/// service answers `bad-request`.
 pub fn compile_block(
     bi: usize,
     insns: &[Instruction],
@@ -127,8 +132,8 @@ pub fn compile_block(
     config: &DriverConfig,
     carry_in: Option<&CarryOut>,
     scratch: &mut Scratch,
-) -> BlockOutcome {
-    let prepared = PreparedBlock::new(insns);
+) -> Result<BlockOutcome, ConstructError> {
+    let prepared = PreparedBlock::try_new(insns)?;
     let dag = config.scheduler.construction.run_with_scratch(
         &prepared,
         model,
@@ -183,7 +188,7 @@ pub fn compile_block(
             .map(|n| insns[n.index()].clone())
             .collect()
     };
-    BlockOutcome {
+    Ok(BlockOutcome {
         emitted,
         report: BlockReport {
             block: bi,
@@ -193,7 +198,7 @@ pub fn compile_block(
             slot,
         },
         carry,
-    }
+    })
 }
 
 /// Whether `config` requires block `i + 1` to observe block `i`'s carried
@@ -227,8 +232,11 @@ pub fn schedule_program_stats(
 ) -> (ScheduledProgram, PhaseStats) {
     match schedule_program_batch(program, model, config, 1, &Limits::none(), &NoCache) {
         Ok(r) => r,
-        // `Limits::none()` can produce no limit errors.
-        Err(e) => unreachable!("unlimited batch reported a limit error: {e}"),
+        // `Limits::none()` has no deadline or size cap, so only malformed
+        // input can error here; this trusted-input entry point is
+        // documented to panic on it (use `schedule_program_batch` where
+        // a typed error is required).
+        Err(e) => panic!("{e}"),
     }
 }
 

@@ -658,7 +658,7 @@ mod tests {
 
     fn compile(insns: &[Instruction], model: &MachineModel, config: &DriverConfig) -> BlockOutcome {
         let mut scratch = Scratch::new();
-        compile_block(0, insns, model, config, None, &mut scratch)
+        compile_block(0, insns, model, config, None, &mut scratch).expect("well-formed block")
     }
 
     #[test]

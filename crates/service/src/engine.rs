@@ -196,6 +196,21 @@ mod tests {
         }
     }
 
+    /// Regression: a single block above the DAG core's hard node cap
+    /// must come back over the request path as `bad-request` (the DAG
+    /// core's typed `TooManyNodes` rejection), not as a worker panic
+    /// masquerading as `internal`.
+    #[test]
+    fn block_above_the_dag_node_cap_is_bad_request() {
+        let line = "add %o0, 1, %o1\n";
+        let asm = line.repeat(dagsched_core::MAX_NODES + 1);
+        let cache = ScheduleCache::default();
+        let err = run(&ScheduleRequest::asm(&asm), &cache).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest, "{err}");
+        assert!(err.message.contains("16384"), "{err}");
+        assert!(!err.code.is_retryable(), "client fault must not be retried");
+    }
+
     #[test]
     fn undegraded_requests_report_degraded_false() {
         let mut req = ScheduleRequest::profile("grep", 7);

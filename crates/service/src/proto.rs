@@ -372,6 +372,9 @@ impl From<LimitError> for ErrorReply {
         let code = match e {
             LimitError::BlockTooLarge { .. } => ErrorCode::BlockTooLarge,
             LimitError::DeadlineExpired => ErrorCode::DeadlineExpired,
+            // Malformed input the DAG core rejected: the client's fault,
+            // not a server fault, and not retryable.
+            LimitError::Construct { .. } => ErrorCode::BadRequest,
         };
         ErrorReply::new(code, e.to_string())
     }

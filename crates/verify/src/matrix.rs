@@ -10,6 +10,7 @@
 //! | [`CheckKind::Parse`] | printer/parser round-trip: a reproducer file is the program the matrix saw |
 //! | [`CheckKind::Closure`] | §2/§6: every constructor (×  every memory policy) has the same transitive closure as the brute-force dependence relation |
 //! | [`CheckKind::Timing`] | Figure 1: the non-pruning constructors preserve every live RAW latency as a path weight |
+//! | [`CheckKind::Heur`] | §3–4: the word-parallel heuristic sweeps equal a closure-based per-node reference, field for field, and produce bit-identical schedules; construction work counters are exact and scratch-reuse-invariant |
 //! | [`CheckKind::Validity`] | each published scheduler emits a permutation respecting its own DAG |
 //! | [`CheckKind::Interp`] | scheduling preserves semantics: the reordered block leaves the `pipesim` interpreter in a bit-identical machine state |
 //! | [`CheckKind::Pipeline`] | serial driver ≡ `--jobs N` driver ≡ cached service path, bit-identical, cold and warm |
@@ -18,9 +19,11 @@
 
 use std::fmt;
 
-use dagsched_core::closure::{closure_equals_ground_truth, preserves_dependence_latencies};
+use dagsched_core::closure::{
+    closure_equals_ground_truth, preserves_dependence_latencies, reference_heuristics,
+};
 use dagsched_core::{
-    ConstructionAlgorithm, HeuristicSet, MemDepPolicy, PreparedBlock, Scratch,
+    ConstructionAlgorithm, HeuristicSet, MemDepPolicy, PhaseStats, PreparedBlock, Scratch,
 };
 use dagsched_driver::batch::{schedule_program_batch, Limits, NoCache};
 use dagsched_driver::driver::DriverConfig;
@@ -43,6 +46,8 @@ pub enum CheckKind {
     Closure,
     /// Live RAW latency preservation.
     Timing,
+    /// Heuristic sweeps vs the closure-based reference path.
+    Heur,
     /// Schedule dependence validity.
     Validity,
     /// Interpreter machine-state equivalence.
@@ -62,6 +67,7 @@ impl CheckKind {
             CheckKind::Parse => "parse",
             CheckKind::Closure => "closure",
             CheckKind::Timing => "timing",
+            CheckKind::Heur => "heur",
             CheckKind::Validity => "validity",
             CheckKind::Interp => "interp",
             CheckKind::Pipeline => "pipeline",
@@ -76,6 +82,7 @@ impl CheckKind {
             "parse" => CheckKind::Parse,
             "closure" => CheckKind::Closure,
             "timing" => CheckKind::Timing,
+            "heur" => CheckKind::Heur,
             "validity" => CheckKind::Validity,
             "interp" => CheckKind::Interp,
             "pipeline" => CheckKind::Pipeline,
@@ -353,6 +360,57 @@ fn check_block(
             })?;
     }
 
+    // ── Heuristic sweeps vs the closure-based reference path ─────────
+    // The SoA core computes heuristics with word-parallel arc-column
+    // sweeps gated on sortedness flags; the reference path recomputes
+    // everything with naive per-node adjacency walks and per-node
+    // reachability bitmaps. Every field must match exactly, and the
+    // construction work counters must be exact (arcs_added == the DAG's
+    // arc count) and invariant under scratch reuse.
+    for &algo in ConstructionAlgorithm::ALL {
+        let mut scratch = Scratch::new();
+        let dag = algo.run_with_scratch(&prepared, model, MemDepPolicy::SymbolicExpr, &mut scratch);
+        let cold = scratch.stats;
+        if cold.arcs_added != dag.arc_count() as u64 {
+            return Err(Disagreement::new(
+                CheckKind::Heur,
+                format!("{algo:?} PhaseStats vs DAG"),
+                format!(
+                    "construction recorded {} arcs, DAG holds {}",
+                    cold.arcs_added,
+                    dag.arc_count()
+                ),
+            ));
+        }
+        let _ = algo.run_with_scratch(&prepared, model, MemDepPolicy::SymbolicExpr, &mut scratch);
+        let warm = scratch.stats;
+        let delta = PhaseStats {
+            blocks: warm.blocks - cold.blocks,
+            nodes: warm.nodes - cold.nodes,
+            arcs_added: warm.arcs_added - cold.arcs_added,
+            arcs_suppressed: warm.arcs_suppressed - cold.arcs_suppressed,
+            table_probes: warm.table_probes - cold.table_probes,
+            comparisons: warm.comparisons - cold.comparisons,
+            ..PhaseStats::default()
+        };
+        if !delta.same_counts(&cold) {
+            return Err(Disagreement::new(
+                CheckKind::Heur,
+                format!("{algo:?} cold scratch vs warm scratch"),
+                format!("work counters drifted across reuse: cold {cold:?}, warm delta {delta:?}"),
+            ));
+        }
+        let sweep = HeuristicSet::compute(&dag, insns, model, true);
+        let reference = reference_heuristics(&dag, insns, model, true);
+        if let Some(diff) = heur_field_diff(&sweep, &reference) {
+            return Err(Disagreement::new(
+                CheckKind::Heur,
+                format!("{algo:?} sweep vs reference heuristics"),
+                diff,
+            ));
+        }
+    }
+
     // Reference DAG for uniform re-timing: compare-against-all keeps
     // every dependence arc with its full latency.
     let ref_dag = ConstructionAlgorithm::N2Forward.run(&prepared, model, MemDepPolicy::SymbolicExpr);
@@ -386,6 +444,28 @@ fn check_block(
         s.verify(&dag).map_err(|e| {
             Disagreement::new(CheckKind::Validity, format!("{kind} vs its DAG"), e)
         })?;
+
+        // Schedule bit-identity across heuristic paths: the scheduler
+        // must emit the same order whether its priorities came from the
+        // word-parallel sweeps or the closure-based reference walks.
+        let ref_heur = reference_heuristics(&dag, insns, model, false);
+        let s_ref = sched.schedule_dag(&dag, insns, model, &ref_heur);
+        if s_ref.order != s.order {
+            let at = s
+                .order
+                .iter()
+                .zip(&s_ref.order)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return Err(Disagreement::new(
+                CheckKind::Heur,
+                format!("{kind}: sweep vs reference heuristics"),
+                format!(
+                    "schedules diverge at slot {at}: sweep picks {:?}, reference picks {:?}",
+                    s.order[at], s_ref.order[at]
+                ),
+            ));
+        }
 
         let emitted: Vec<Instruction> =
             s.order.iter().map(|n| insns[n.index()].clone()).collect();
@@ -439,6 +519,58 @@ fn check_block(
         }
     }
     Ok(())
+}
+
+/// First differing field (and node) between the sweep-computed and the
+/// reference-computed heuristic sets, or `None` when they agree.
+fn heur_field_diff(sweep: &HeuristicSet, reference: &HeuristicSet) -> Option<String> {
+    macro_rules! field {
+        ($name:ident) => {
+            if sweep.$name != reference.$name {
+                return Some(match sweep
+                    .$name
+                    .iter()
+                    .zip(reference.$name.iter())
+                    .position(|(a, b)| a != b)
+                {
+                    Some(k) => format!(
+                        "field `{}` differs at node {k}: sweep {:?}, reference {:?}",
+                        stringify!($name),
+                        sweep.$name[k],
+                        reference.$name[k]
+                    ),
+                    None => format!(
+                        "field `{}` lengths differ: sweep {}, reference {}",
+                        stringify!($name),
+                        sweep.$name.len(),
+                        reference.$name.len()
+                    ),
+                });
+            }
+        };
+    }
+    field!(exec_time);
+    field!(interlock_with_child);
+    field!(num_children);
+    field!(num_parents);
+    field!(sum_delays_to_children);
+    field!(max_delay_to_child);
+    field!(sum_delays_from_parents);
+    field!(max_delay_from_parent);
+    field!(regs_born);
+    field!(regs_killed);
+    field!(liveness);
+    field!(original_order);
+    field!(max_path_from_root);
+    field!(max_delay_from_root);
+    field!(est);
+    field!(max_path_to_leaf);
+    field!(max_delay_to_leaf);
+    field!(lst);
+    field!(slack);
+    field!(num_descendants);
+    field!(sum_exec_descendants);
+    None
 }
 
 /// First differing component of two machine states.

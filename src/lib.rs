@@ -72,7 +72,8 @@ pub use dagsched_workloads as workloads;
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use dagsched_core::{
-        build_dag, ConstructionAlgorithm, Dag, DagArc, DagNode, HeuristicSet, MemDepPolicy, NodeId,
+        build_dag, ConstructionAlgorithm, ConstructError, Dag, DagArc, HeuristicSet, MemDepPolicy,
+        NodeId,
     };
     pub use dagsched_isa::{
         BasicBlock, DepKind, FuncUnit, Instruction, MachineModel, MemRef, Opcode, Program, Reg,
