@@ -63,16 +63,47 @@
 //! ```text
 //! loadgen --crash-loop 5 --seed 7 --out service-crash-loop.json
 //! ```
+//!
+//! # Cluster mode
+//!
+//! `--cluster N` audits the router tier: the harness spawns N shard
+//! daemons as child processes (this binary re-executed in the hidden
+//! serve-only mode), stands up an in-process `dagsched-router` over
+//! them, and drives the whole load through the router. Every reply is
+//! verified bit-identical to a fresh serial compile — routed and
+//! direct answers must be the same bytes. With `--kill-shard`, one
+//! shard is `SIGKILL`ed mid-run; the run *fails* unless:
+//!
+//! 1. zero invariant violations — every reply (before, during, and
+//!    after the kill) matches the serial compile, and no request ends
+//!    in an error despite the retry budget;
+//! 2. the post-failover hit rate is at least half the pre-kill rate
+//!    (the ring's stable placement plus replication keeps the
+//!    surviving caches useful).
+//!
+//! ```text
+//! loadgen --cluster 3 --kill-shard --requests 300 --out service-cluster.json
+//! ```
 
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+#[cfg(feature = "chaos")]
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dagsched_driver::{schedule_program_batch, DriverConfig, Limits, NoCache};
+use dagsched_isa::MachineModel;
+use dagsched_router::{serve_router, RouterConfig};
+use dagsched_sched::{Scheduler, SchedulerKind};
 use dagsched_service::json::Json;
 use dagsched_service::server::{serve, Listen, ServerConfig};
-use dagsched_service::{Client, ScheduleRequest};
+use dagsched_service::{Client, RetryPolicy, ScheduleRequest};
 use dagsched_stats::percentile;
-use dagsched_workloads::PAPER_SEED;
+use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
 
 struct Options {
     /// Endpoint to dial; `None` starts an in-process server.
@@ -117,6 +148,10 @@ struct Options {
     state_dir: Option<String>,
     /// Hidden: run as the crash-loop's serve-only child process.
     serve_child: bool,
+    /// Cluster mode: spawn this many shard daemons behind a router.
+    cluster: Option<usize>,
+    /// Cluster mode: SIGKILL shard 0 once a third of the load is in.
+    kill_shard: bool,
 }
 
 impl Default for Options {
@@ -145,6 +180,8 @@ impl Default for Options {
             crash_loop: None,
             state_dir: None,
             serve_child: false,
+            cluster: None,
+            kill_shard: false,
         }
     }
 }
@@ -251,6 +288,15 @@ fn parse_args() -> Result<Options, String> {
                 opts.state_dir = Some(args.next().ok_or("--state-dir needs a directory")?);
             }
             "--serve-child" => opts.serve_child = true,
+            "--cluster" => {
+                opts.cluster = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or("--cluster needs a positive shard count")?,
+                );
+            }
+            "--kill-shard" => opts.kill_shard = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--connect EP | --unix PATH] [--qps N] [--requests N] [--clients N]\n\
@@ -258,7 +304,8 @@ fn parse_args() -> Result<Options, String> {
                      \x20              [--cache-entries N] [--deadline-ms N] [--out FILE]\n\
                      \x20              [--chaos] [--seed N] [--faults PERMILLE] [--slow-ms N]\n\
                      \x20              [--retries N]\n\
-                     \x20              [--crash-loop N] [--state-dir DIR]"
+                     \x20              [--crash-loop N] [--state-dir DIR]\n\
+                     \x20              [--cluster N] [--kill-shard]"
                 );
                 std::process::exit(0);
             }
@@ -283,6 +330,26 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.serve_child && opts.unix.is_none() {
         return Err("--serve-child needs --unix".to_string());
+    }
+    if opts.cluster.is_some() {
+        if opts.connect.is_some() || opts.unix.is_some() {
+            return Err("--cluster spawns its own shards and router; it conflicts with \
+                        --connect / --unix"
+                .to_string());
+        }
+        if opts.chaos || opts.crash_loop.is_some() {
+            return Err("--cluster, --chaos and --crash-loop are separate audits; run \
+                        them separately"
+                .to_string());
+        }
+        if opts.deadline_ms.is_some() {
+            return Err("--cluster verifies replies against undegraded serial compiles; \
+                        it runs without --deadline-ms"
+                .to_string());
+        }
+    }
+    if opts.kill_shard && opts.cluster.map_or(true, |n| n < 2) {
+        return Err("--kill-shard needs --cluster with at least 2 shards".to_string());
     }
     Ok(opts)
 }
@@ -368,64 +435,61 @@ fn run_client(
     }
 }
 
+/// Ground truth for one `(profile, seed)` in the working set.
+struct Reference {
+    /// The generated program, rendered one instruction per line.
+    /// Consumed by the chaos audit's validity oracle.
+    #[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+    original: String,
+    /// The serial, uncached driver's schedule under the server's
+    /// default configuration.
+    scheduled: Vec<String>,
+}
+
+/// Serially compile every program the run will request, before any
+/// daemon (or fault) is involved, so the audits compare against ground
+/// truth produced outside the blast radius.
+fn references(opts: &Options) -> Result<HashMap<(String, u64), Reference>, String> {
+    let model = MachineModel::sparc2();
+    let config = DriverConfig {
+        scheduler: Scheduler::new(SchedulerKind::Warren),
+        ..DriverConfig::default()
+    };
+    let mut refs = HashMap::new();
+    let keys = opts.profiles.len() * opts.seeds as usize;
+    for k in 0..keys.min(opts.requests) {
+        let (profile, seed) = mix_key(opts, k);
+        if refs.contains_key(&(profile.clone(), seed)) {
+            continue;
+        }
+        let bp = BenchmarkProfile::by_name(&profile)
+            .ok_or_else(|| format!("unknown profile `{profile}`"))?;
+        let bench = generate(bp, seed);
+        let (result, _) =
+            schedule_program_batch(&bench.program, &model, &config, 1, &Limits::none(), &NoCache)
+                .map_err(|e| format!("serial reference for {profile}/{seed}: {e:?}"))?;
+        let original = bench
+            .program
+            .insns
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let scheduled = result.insns.iter().map(|i| i.to_string()).collect();
+        refs.insert((profile, seed), Reference { original, scheduled });
+    }
+    Ok(refs)
+}
+
 /// The chaos audit. Gated behind the `chaos` feature because it
 /// installs [`dagsched_service::FaultConfig`] on the in-process server,
 /// which only exists when the service is built with `fault-injection`.
 #[cfg(feature = "chaos")]
 mod chaos {
     use super::*;
-    use std::collections::HashMap;
 
-    use dagsched_driver::{schedule_program_batch, DriverConfig, Limits, NoCache};
-    use dagsched_isa::MachineModel;
-    use dagsched_sched::{Scheduler, SchedulerKind};
-    use dagsched_service::{ClientError, FaultConfig, RetryPolicy};
+    use dagsched_service::{ClientError, FaultConfig};
     use dagsched_verify::check_reordering_text;
-    use dagsched_workloads::{generate, BenchmarkProfile};
-
-    /// Ground truth for one `(profile, seed)` in the working set.
-    pub struct Reference {
-        /// The generated program, rendered one instruction per line.
-        pub original: String,
-        /// The serial, uncached driver's schedule under the server's
-        /// default configuration.
-        pub scheduled: Vec<String>,
-    }
-
-    /// Serially compile every program the run will request, before any
-    /// fault is injected, so the audit compares against ground truth
-    /// produced outside the chaos blast radius.
-    pub fn references(opts: &Options) -> Result<HashMap<(String, u64), Reference>, String> {
-        let model = MachineModel::sparc2();
-        let config = DriverConfig {
-            scheduler: Scheduler::new(SchedulerKind::Warren),
-            ..DriverConfig::default()
-        };
-        let mut refs = HashMap::new();
-        let keys = opts.profiles.len() * opts.seeds as usize;
-        for k in 0..keys.min(opts.requests) {
-            let (profile, seed) = mix_key(opts, k);
-            if refs.contains_key(&(profile.clone(), seed)) {
-                continue;
-            }
-            let bp = BenchmarkProfile::by_name(&profile)
-                .ok_or_else(|| format!("unknown profile `{profile}`"))?;
-            let bench = generate(bp, seed);
-            let (result, _) =
-                schedule_program_batch(&bench.program, &model, &config, 1, &Limits::none(), &NoCache)
-                    .map_err(|e| format!("serial reference for {profile}/{seed}: {e:?}"))?;
-            let original = bench
-                .program
-                .insns
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("\n");
-            let scheduled = result.insns.iter().map(|i| i.to_string()).collect();
-            refs.insert((profile, seed), Reference { original, scheduled });
-        }
-        Ok(refs)
-    }
 
     /// The injected mix at the default `--faults 100`: 10% panics, 10%
     /// slow replies, and 4% each of truncated / corrupted / reset
@@ -556,11 +620,6 @@ mod chaos {
 #[cfg(feature = "chaos")]
 mod crash_loop {
     use super::*;
-    use std::collections::HashMap;
-    use std::io;
-    use std::path::Path;
-    use std::process::{Child, Command, Stdio};
-    use std::sync::Mutex;
 
     use dagsched_service::{RetryPolicy, ScheduleResponse};
 
@@ -607,7 +666,7 @@ mod crash_loop {
         k: usize,
         key: &(String, u64),
         resp: &ScheduleResponse,
-        refs: &HashMap<(String, u64), chaos::Reference>,
+        refs: &HashMap<(String, u64), Reference>,
     ) -> Option<String> {
         let reference = refs.get(key).expect("precomputed reference");
         if resp.degraded {
@@ -657,7 +716,7 @@ mod crash_loop {
         child: &Mutex<Child>,
         sock: &Path,
         opts: &Options,
-        refs: &HashMap<(String, u64), chaos::Reference>,
+        refs: &HashMap<(String, u64), Reference>,
         budget: usize,
         kill_at: Option<usize>,
     ) -> Result<SessionTally, String> {
@@ -733,6 +792,381 @@ fn serve_child_main(opts: &Options) -> ! {
     std::process::exit(0);
 }
 
+/// Re-execute this binary as a RAM-only shard child for `--cluster`.
+/// No `--state-dir`: the cluster audit grades the *ring* (placement,
+/// replication, failover), so a killed shard's cache is genuinely
+/// gone — surviving it is the router's job, not the store's.
+fn spawn_shard_child(sock: &Path, opts: &Options) -> io::Result<Child> {
+    Command::new(std::env::current_exe()?)
+        .arg("--serve-child")
+        .arg("--unix")
+        .arg(sock)
+        .arg("--workers")
+        .arg(opts.workers.to_string())
+        .arg("--cache-entries")
+        .arg(opts.cache_entries.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+}
+
+/// Retry policy for requests routed through the cluster front-end.
+/// Generous on purpose: the audit's invariant is that the *client*
+/// never sees an error, so the budget must ride out a shard death plus
+/// the router's down-marking window.
+fn cluster_retry_policy(opts: &Options, client_idx: usize) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: opts.retries.max(8),
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(250),
+        per_attempt_timeout: Some(Duration::from_secs(10)),
+        overall_timeout: Some(Duration::from_secs(30)),
+        jitter_seed: 0x0C1A_57E2 ^ (client_idx as u64).wrapping_mul(0x9E37_79B9),
+        ..RetryPolicy::default()
+    }
+}
+
+#[derive(Default)]
+struct ClusterTally {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    hits: u64,
+    misses: u64,
+    retries: u64,
+    redials: u64,
+    violations: Vec<String>,
+}
+
+fn run_cluster_client(
+    endpoint: &str,
+    opts: &Options,
+    refs: &HashMap<(String, u64), Reference>,
+    next: &AtomicUsize,
+    start: Instant,
+    client_idx: usize,
+) -> Result<ClusterTally, String> {
+    let policy = cluster_retry_policy(opts, client_idx);
+    let (mut client, _) =
+        Client::connect_with_retry(endpoint, &policy).map_err(|e| format!("connect: {e}"))?;
+    let mut tally = ClusterTally::default();
+    loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        if k >= opts.requests {
+            return Ok(tally);
+        }
+        let due = start + Duration::from_secs_f64(k as f64 / opts.qps);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let req = request_for(opts, k);
+        let key = mix_key(opts, k);
+        let t = Instant::now();
+        match client.request_with_retry(&req, &policy) {
+            Ok((resp, stats)) => {
+                tally.latencies_ns.push(t.elapsed().as_nanos() as u64);
+                tally.ok += 1;
+                tally.hits += resp.stats.cache_hits;
+                tally.misses += resp.stats.cache_misses;
+                tally.retries += u64::from(stats.retries);
+                tally.redials += u64::from(stats.redials);
+                let reference = refs.get(&key).expect("precomputed reference");
+                if resp.degraded {
+                    tally.violations.push(format!(
+                        "request {k} ({}/{}): degraded reply with no deadline set",
+                        key.0, key.1
+                    ));
+                } else if resp.insns != reference.scheduled {
+                    tally.violations.push(format!(
+                        "request {k} ({}/{}): routed reply differs from the serial compile",
+                        key.0, key.1
+                    ));
+                }
+            }
+            Err(e) => {
+                // Invariant: failover + retries absorb a shard death.
+                // Anything terminal here is client-visible, so it fails
+                // the audit. Redial for the next request.
+                tally.violations.push(format!(
+                    "request {k} ({}/{}): client-visible error despite failover: {e}",
+                    key.0, key.1
+                ));
+                if let Ok((c, _)) = Client::connect_with_retry(endpoint, &policy) {
+                    client = c;
+                }
+            }
+        }
+    }
+}
+
+/// One sequential pass over the whole working set through the router,
+/// verifying every reply and returning `(hits, misses)` — used to fill
+/// the shard caches and to measure hit rates before/after the kill.
+fn cluster_pass(
+    endpoint: &str,
+    opts: &Options,
+    refs: &HashMap<(String, u64), Reference>,
+    working: usize,
+    label: &str,
+    violations: &mut Vec<String>,
+) -> Result<(u64, u64), String> {
+    let policy = cluster_retry_policy(opts, 97);
+    let (mut client, _) =
+        Client::connect_with_retry(endpoint, &policy).map_err(|e| format!("{label}: {e}"))?;
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for k in 0..working {
+        let req = request_for(opts, k);
+        let key = mix_key(opts, k);
+        match client.request_with_retry(&req, &policy) {
+            Ok((resp, _)) => {
+                hits += resp.stats.cache_hits;
+                misses += resp.stats.cache_misses;
+                let reference = refs.get(&key).expect("precomputed reference");
+                if resp.degraded || resp.insns != reference.scheduled {
+                    violations.push(format!(
+                        "{label}, request {k} ({}/{}): reply differs from the serial compile",
+                        key.0, key.1
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("{label}, request {k}: {e}")),
+        }
+    }
+    Ok((hits, misses))
+}
+
+fn cluster_main(opts: Options) {
+    let fatal = |msg: String| -> ! {
+        eprintln!("loadgen: {msg}");
+        std::process::exit(1);
+    };
+    let shards_wanted = opts.cluster.expect("dispatched on cluster");
+    let root = std::env::temp_dir().join(format!("dagsched-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&root)
+        .unwrap_or_else(|e| fatal(format!("creating {}: {e}", root.display())));
+    let working = opts.profiles.len() * opts.seeds as usize;
+    eprintln!(
+        "loadgen: cluster audit: {shards_wanted} shards, {} requests at {} qps over {} clients, \
+         working set {working} programs, kill-shard {}",
+        opts.requests, opts.qps, opts.clients, opts.kill_shard
+    );
+    let refs = references(&opts).unwrap_or_else(|e| fatal(format!("serial references: {e}")));
+
+    // Spawn the shard children and wait until each one answers a dial.
+    let mut children = Vec::new();
+    let mut shard_eps = Vec::new();
+    let dial = RetryPolicy {
+        max_retries: 2000,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(40),
+        per_attempt_timeout: Some(Duration::from_secs(10)),
+        overall_timeout: Some(Duration::from_secs(30)),
+        ..RetryPolicy::default()
+    };
+    for i in 0..shards_wanted {
+        let sock = root.join(format!("shard-{i}.sock"));
+        children.push(Mutex::new(
+            spawn_shard_child(&sock, &opts)
+                .unwrap_or_else(|e| fatal(format!("spawning shard {i}: {e}"))),
+        ));
+        shard_eps.push(format!("unix:{}", sock.display()));
+    }
+    for (i, ep) in shard_eps.iter().enumerate() {
+        Client::connect_with_retry(ep, &dial)
+            .unwrap_or_else(|e| fatal(format!("shard {i} did not come up: {e}")));
+    }
+
+    // The router runs in-process so the harness can read its metrics
+    // directly; the shards are real killable processes.
+    let router = serve_router(
+        Listen::Unix(root.join("router.sock")),
+        RouterConfig {
+            shards: shard_eps.clone(),
+            health_check_ms: 100,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fatal(format!("router: {e}")));
+    let endpoint = router.endpoint();
+
+    // Two warm passes: fill the shard caches cold, then measure the
+    // steady-state hit rate the post-kill measurement must defend.
+    let mut violations: Vec<String> = Vec::new();
+    cluster_pass(&endpoint, &opts, &refs, working, "fill pass", &mut violations)
+        .unwrap_or_else(|e| fatal(e));
+    let (warm_hits, warm_misses) =
+        cluster_pass(&endpoint, &opts, &refs, working, "warm pass", &mut violations)
+            .unwrap_or_else(|e| fatal(e));
+    let rate = |h: u64, m: u64| {
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    };
+    let pre_kill_hit_rate = rate(warm_hits, warm_misses);
+
+    // The main paced pass. With --kill-shard, a side thread SIGKILLs
+    // shard 0 once a third of the load is in flight.
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut merged = ClusterTally::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for idx in 0..opts.clients {
+            let endpoint = &endpoint;
+            let opts = &opts;
+            let refs = &refs;
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                run_cluster_client(endpoint, opts, refs, next, start, idx)
+            }));
+        }
+        if opts.kill_shard {
+            let next = &next;
+            let children = &children;
+            let at = (opts.requests / 3).max(1);
+            scope.spawn(move || {
+                while next.load(Ordering::Relaxed) < at {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let _ = children[0].lock().unwrap().kill();
+                eprintln!("loadgen: SIGKILLed shard 0 after ~{at} requests");
+            });
+        }
+        for h in handles {
+            match h.join().expect("cluster client panicked") {
+                Ok(tally) => {
+                    merged.latencies_ns.extend(tally.latencies_ns);
+                    merged.ok += tally.ok;
+                    merged.hits += tally.hits;
+                    merged.misses += tally.misses;
+                    merged.retries += tally.retries;
+                    merged.redials += tally.redials;
+                    merged.violations.extend(tally.violations);
+                }
+                Err(e) => merged.violations.push(format!("cluster client aborted: {e}")),
+            }
+        }
+    });
+    let elapsed = start.elapsed();
+    violations.extend(merged.violations.drain(..));
+    if opts.kill_shard {
+        let _ = children[0].lock().unwrap().wait();
+    }
+
+    // Post-failover pass: the surviving replicas must keep the working
+    // set at least half as warm as before the kill.
+    let (post_hits, post_misses) = cluster_pass(
+        &endpoint,
+        &opts,
+        &refs,
+        working,
+        "post-failover pass",
+        &mut violations,
+    )
+    .unwrap_or_else(|e| fatal(e));
+    let post_kill_hit_rate = rate(post_hits, post_misses);
+    if opts.kill_shard
+        && pre_kill_hit_rate > 0.0
+        && post_kill_hit_rate < 0.5 * pre_kill_hit_rate
+    {
+        violations.push(format!(
+            "post-failover hit rate {:.1}% is below half the pre-kill {:.1}%",
+            100.0 * post_kill_hit_rate,
+            100.0 * pre_kill_hit_rate
+        ));
+    }
+
+    let router_metrics = router.metrics();
+
+    // Clean teardown: drain the router first (it drops its shard
+    // connections), then gracefully shut down the surviving shards.
+    router.begin_drain();
+    router.join();
+    for (i, ep) in shard_eps.iter().enumerate() {
+        if opts.kill_shard && i == 0 {
+            continue; // already SIGKILLed and reaped
+        }
+        match Client::connect(ep) {
+            Ok(mut client) => {
+                if let Err(e) = client.shutdown_server() {
+                    violations.push(format!("shard {i} graceful shutdown: {e}"));
+                }
+            }
+            Err(e) => violations.push(format!("shard {i} unreachable at teardown: {e}")),
+        }
+        let _ = children[i].lock().unwrap().wait();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    merged.latencies_ns.sort_unstable();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let p50 = percentile(&merged.latencies_ns, 50.0);
+    let p95 = percentile(&merged.latencies_ns, 95.0);
+    let p99 = percentile(&merged.latencies_ns, 99.0);
+
+    let report = vec![
+        ("mode", Json::from("cluster")),
+        ("shards", Json::from(shards_wanted)),
+        ("kill_shard", Json::from(opts.kill_shard)),
+        ("requests", Json::from(opts.requests)),
+        ("clients", Json::from(opts.clients)),
+        ("target_qps", Json::from(opts.qps)),
+        ("working_set", Json::from(working)),
+        ("completed", Json::from(merged.ok)),
+        ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
+        (
+            "achieved_qps",
+            Json::from(merged.ok as f64 / elapsed.as_secs_f64().max(1e-9)),
+        ),
+        ("latency_ms_p50", Json::from(ms(p50))),
+        ("latency_ms_p95", Json::from(ms(p95))),
+        ("latency_ms_p99", Json::from(ms(p99))),
+        ("cache_hits", Json::from(merged.hits)),
+        ("cache_misses", Json::from(merged.misses)),
+        ("cache_hit_rate", Json::from(rate(merged.hits, merged.misses))),
+        ("pre_kill_hit_rate", Json::from(pre_kill_hit_rate)),
+        ("post_failover_hit_rate", Json::from(post_kill_hit_rate)),
+        ("client_retries", Json::from(merged.retries)),
+        ("client_redials", Json::from(merged.redials)),
+        ("router", router_metrics),
+        ("violations", Json::from(violations.len() as u64)),
+    ];
+    let artifact = Json::Obj(
+        report
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "service-cluster.json".to_string());
+    std::fs::write(&out, format!("{artifact}\n"))
+        .unwrap_or_else(|e| fatal(format!("writing {out}: {e}")));
+
+    eprintln!(
+        "loadgen: cluster: {} ok over {shards_wanted} shards; p50 {:.2} ms, p99 {:.2} ms; \
+         hit rate {:.1}% pre-kill -> {:.1}% post-failover -> {out}",
+        merged.ok,
+        ms(p50),
+        ms(p99),
+        100.0 * pre_kill_hit_rate,
+        100.0 * post_kill_hit_rate
+    );
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("loadgen: VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "loadgen: cluster audit passed: every routed reply bit-identical, zero client-visible \
+         errors, failover kept the caches warm"
+    );
+}
+
 fn main() {
     let opts = parse_args().unwrap_or_else(|e| {
         eprintln!("loadgen: {e}");
@@ -740,6 +1174,10 @@ fn main() {
     });
     if opts.serve_child {
         serve_child_main(&opts);
+    }
+    if opts.cluster.is_some() {
+        cluster_main(opts);
+        return;
     }
     if opts.crash_loop.is_some() {
         #[cfg(feature = "chaos")]
@@ -938,7 +1376,7 @@ fn chaos_main(opts: Options) {
          retries {}, deadline {:?} ms",
         opts.chaos_seed, opts.requests, opts.qps, opts.clients, opts.retries, opts.deadline_ms
     );
-    let refs = chaos::references(&opts).unwrap_or_else(|e| {
+    let refs = references(&opts).unwrap_or_else(|e| {
         eprintln!("loadgen: serial references: {e}");
         std::process::exit(1);
     });
@@ -1126,8 +1564,6 @@ fn chaos_main(opts: Options) {
 #[cfg(feature = "chaos")]
 fn crash_loop_main(opts: Options) {
     use crash_loop::{connect_policy, endpoint, pump_session, spawn_daemon};
-    use std::path::PathBuf;
-    use std::sync::Mutex;
 
     let fatal = |msg: String| -> ! {
         eprintln!("loadgen: {msg}");
@@ -1155,7 +1591,7 @@ fn crash_loop_main(opts: Options) {
         working,
         state.display()
     );
-    let refs = chaos::references(&opts)
+    let refs = references(&opts)
         .unwrap_or_else(|e| fatal(format!("serial references: {e}")));
 
     let mut violations: Vec<String> = Vec::new();

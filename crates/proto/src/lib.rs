@@ -1,4 +1,6 @@
-//! The `dagsched-service` wire protocol.
+//! The dagsched wire protocol, shared by the daemon
+//! (`dagsched-service`), its client, and the cluster router
+//! (`dagsched-router`): one framing implementation, no copies.
 //!
 //! Every message is one *frame*: an 8-byte header followed by a JSON
 //! payload.
@@ -32,6 +34,8 @@ use dagsched_driver::{DriverConfig, LimitError};
 use dagsched_isa::MachineModel;
 use dagsched_sched::{Scheduler, SchedulerKind};
 
+pub mod json;
+
 use crate::json::Json;
 
 /// Protocol magic: the first two bytes of every frame.
@@ -63,6 +67,14 @@ pub enum FrameKind {
     Shutdown = 6,
     /// Both directions: request for / snapshot of server counters.
     Metrics = 7,
+    /// Client → server: a JSON admin command ([`AdminCommand`]). The
+    /// daemon answers `snapshot-export` / `snapshot-install` (warm-spare
+    /// cache shipping); the router additionally answers cluster
+    /// membership commands (`add-shard`, `remove-shard`, `status`).
+    Admin = 8,
+    /// Server → client: the JSON result of an [`FrameKind::Admin`]
+    /// command.
+    AdminReply = 9,
 }
 
 impl FrameKind {
@@ -75,6 +87,8 @@ impl FrameKind {
             5 => FrameKind::Pong,
             6 => FrameKind::Shutdown,
             7 => FrameKind::Metrics,
+            8 => FrameKind::Admin,
+            9 => FrameKind::AdminReply,
             _ => return None,
         })
     }
@@ -721,6 +735,131 @@ impl ScheduleResponse {
     }
 }
 
+/// Encode bytes as lowercase hex (for binary payloads carried inside
+/// JSON frames, e.g. shipped snapshots).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decode a hex string produced by [`hex_encode`]. `None` on odd length
+/// or non-hex characters.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// A JSON command carried by an [`FrameKind::Admin`] frame.
+///
+/// The daemon understands the snapshot-shipping pair; the router
+/// additionally understands cluster membership commands. Either peer
+/// answers a command it does not implement with a typed `bad-request`
+/// error, so a command sent to the wrong tier fails loudly instead of
+/// silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminCommand {
+    /// Daemon: export the schedule cache (plus the store's generation
+    /// and fingerprint) as an opaque shipment for a joining warm spare.
+    SnapshotExport,
+    /// Daemon: install a shipment previously produced by
+    /// [`AdminCommand::SnapshotExport`] on another shard.
+    SnapshotInstall {
+        /// Encoded `dagsched_store::Shipment` bytes.
+        shipment: Vec<u8>,
+    },
+    /// Router: add a shard endpoint to the ring (after warm-spare
+    /// promotion).
+    AddShard {
+        /// `unix:/path` or `host:port`.
+        endpoint: String,
+    },
+    /// Router: remove a shard endpoint from the ring.
+    RemoveShard {
+        /// The endpoint string the shard was added with.
+        endpoint: String,
+    },
+    /// Router: report ring membership and per-shard health.
+    Status,
+}
+
+impl AdminCommand {
+    /// Serialize to the wire payload.
+    pub fn to_json(&self) -> Json {
+        match self {
+            AdminCommand::SnapshotExport => {
+                Json::obj(vec![("cmd", Json::from("snapshot-export"))])
+            }
+            AdminCommand::SnapshotInstall { shipment } => Json::obj(vec![
+                ("cmd", Json::from("snapshot-install")),
+                ("shipment", Json::from(hex_encode(shipment).as_str())),
+            ]),
+            AdminCommand::AddShard { endpoint } => Json::obj(vec![
+                ("cmd", Json::from("add-shard")),
+                ("endpoint", Json::from(endpoint.as_str())),
+            ]),
+            AdminCommand::RemoveShard { endpoint } => Json::obj(vec![
+                ("cmd", Json::from("remove-shard")),
+                ("endpoint", Json::from(endpoint.as_str())),
+            ]),
+            AdminCommand::Status => Json::obj(vec![("cmd", Json::from("status"))]),
+        }
+    }
+
+    /// Deserialize from a wire payload, with a typed error for unknown
+    /// or malformed commands.
+    pub fn from_json(v: &Json) -> Result<AdminCommand, ErrorReply> {
+        let bad = |m: &str| ErrorReply::new(ErrorCode::BadRequest, m);
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("admin command needs a `cmd` field"))?;
+        Ok(match cmd {
+            "snapshot-export" => AdminCommand::SnapshotExport,
+            "snapshot-install" => AdminCommand::SnapshotInstall {
+                shipment: v
+                    .get("shipment")
+                    .and_then(Json::as_str)
+                    .and_then(hex_decode)
+                    .ok_or_else(|| bad("snapshot-install needs a hex `shipment` field"))?,
+            },
+            "add-shard" => AdminCommand::AddShard {
+                endpoint: v
+                    .get("endpoint")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("add-shard needs an `endpoint` field"))?
+                    .to_string(),
+            },
+            "remove-shard" => AdminCommand::RemoveShard {
+                endpoint: v
+                    .get("endpoint")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("remove-shard needs an `endpoint` field"))?
+                    .to_string(),
+            },
+            "status" => AdminCommand::Status,
+            other => {
+                return Err(ErrorReply::new(
+                    ErrorCode::BadRequest,
+                    format!("unknown admin command `{other}`"),
+                ))
+            }
+        })
+    }
+}
+
 /// Parse a construction-algorithm name (shared with the CLI's `--algo`).
 pub fn parse_algo(v: &str) -> Result<dagsched_core::ConstructionAlgorithm, String> {
     use dagsched_core::ConstructionAlgorithm as A;
@@ -1026,6 +1165,52 @@ mod tests {
             ErrorCode::Quarantined,
         ] {
             assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_junk() {
+        for bytes in [vec![], vec![0u8], vec![0xDE, 0xAD, 0xBE, 0xEF], (0..=255).collect()] {
+            let hex = hex_encode(&bytes);
+            assert_eq!(hex_decode(&hex), Some(bytes));
+        }
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode("zz"), None, "non-hex digit");
+    }
+
+    #[test]
+    fn admin_commands_round_trip() {
+        for cmd in [
+            AdminCommand::SnapshotExport,
+            AdminCommand::SnapshotInstall {
+                shipment: vec![1, 2, 3, 255],
+            },
+            AdminCommand::AddShard {
+                endpoint: "unix:/tmp/shard-3.sock".to_string(),
+            },
+            AdminCommand::RemoveShard {
+                endpoint: "127.0.0.1:7070".to_string(),
+            },
+            AdminCommand::Status,
+        ] {
+            let back =
+                AdminCommand::from_json(&Json::parse(&cmd.to_json().to_string()).unwrap())
+                    .unwrap();
+            assert_eq!(back, cmd);
+        }
+        let err = AdminCommand::from_json(&Json::parse(r#"{"cmd":"nope"}"#).unwrap())
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn admin_frame_kinds_survive_the_header() {
+        for kind in [FrameKind::Admin, FrameKind::AdminReply] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, kind, b"{}").unwrap();
+            let (back, payload) = read_frame(&mut &buf[..], 1024).unwrap();
+            assert_eq!(back, kind);
+            assert_eq!(payload, b"{}");
         }
     }
 

@@ -1,0 +1,979 @@
+//! The router daemon: accept loop, request forwarding with the
+//! failover ladder, background replication, health probing, and
+//! membership administration.
+//!
+//! # Failover ladder
+//!
+//! A request's key is the FNV-1a hash of its canonical JSON (the
+//! `attempt` counter zeroed — the same idempotency identity the
+//! shards' cache and quarantine use), so the same request always lands
+//! on the same shard and its schedule cache stays hot. The ladder:
+//!
+//! 1. **Primary**: the first ring replica, with bounded retry
+//!    ([`Client::request_with_retry`]) and automatic redial.
+//! 2. **Ring successors**: the remaining R−1 replicas, in ring order.
+//!    Each hop counts as a `failover`.
+//! 3. **Any live shard**: when the whole replica set is down the
+//!    request is still served — as a cache miss on a foreign shard,
+//!    counted `rerouted`, never an error.
+//! 4. **No live shard at all**: a retryable `busy` error with a retry
+//!    hint; clients ride it out with their own backoff.
+//!
+//! Requests the shard *rejected* (bad request, parse error,
+//! quarantined, deadline expired) are relayed as-is without failover —
+//! they would fail identically everywhere, and the rejection proves
+//! the shard is healthy.
+//!
+//! # Replication
+//!
+//! A fresh compile on the primary (`cache_misses > 0` in the reply)
+//! enqueues the same canonical request for the key's second ring
+//! replica. A background replicator drains the queue and re-issues the
+//! request there, warming the successor's cache so the primary's death
+//! does not cold-start its working set. The queue is bounded; when
+//! replication cannot keep up, jobs are dropped and counted
+//! (`replication_dropped`) rather than backpressuring the serving path.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dagsched_proto::json::Json;
+use dagsched_proto::{
+    hex_decode, read_frame_or_eof, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind,
+    FrameReadError, ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
+};
+use dagsched_service::client::{Client, ClientError, RetryPolicy};
+use dagsched_service::server::Listen;
+
+use crate::ring::{fnv64, Ring};
+use crate::shard::{RouterMetrics, ShardState};
+
+/// How often the accept loop re-checks the drain flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Retry hint attached to `busy` rejections when no shard is live.
+const NO_SHARD_RETRY_MS: u64 = 200;
+
+/// Retry hint attached to `draining` rejections.
+const DRAIN_RETRY_MS: u64 = 500;
+
+/// Socket timeout for health probes (a hung shard must not wedge the
+/// prober).
+const PROBE_TIMEOUT: Duration = Duration::from_millis(2000);
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Initial shard endpoints (`unix:/path` or `host:port`).
+    pub shards: Vec<String>,
+    /// Replica-set size R: a key's primary plus R−1 ring successors.
+    pub replicas: usize,
+    /// Consecutive failures (probe or forward) before a shard is
+    /// marked down.
+    pub fail_threshold: u32,
+    /// Milliseconds between health-probe sweeps.
+    pub health_check_ms: u64,
+    /// Largest accepted frame payload (client side and shard side).
+    pub max_frame: usize,
+    /// Per-connection read timeout for idle clients.
+    pub read_timeout_ms: u64,
+    /// Install a SIGTERM handler that triggers a graceful drain.
+    pub handle_sigterm: bool,
+    /// Retry policy for shard dials and forwarded requests.
+    pub shard_retry: RetryPolicy,
+    /// Bounded replication-queue depth.
+    pub replication_queue: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            shards: Vec::new(),
+            replicas: 2,
+            fail_threshold: 3,
+            health_check_ms: 500,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout_ms: 10_000,
+            handle_sigterm: false,
+            shard_retry: RetryPolicy {
+                max_retries: 2,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(200),
+                per_attempt_timeout: Some(Duration::from_secs(10)),
+                overall_timeout: Some(Duration::from_secs(30)),
+                jitter_seed: 0x0C1A_57E2,
+            },
+            replication_queue: 256,
+        }
+    }
+}
+
+/// Ring membership plus per-shard state, guarded as one unit so a
+/// membership change can never leave them disagreeing.
+struct Cluster {
+    ring: Ring,
+    shards: Vec<Arc<ShardState>>,
+}
+
+impl Cluster {
+    fn state_of(&self, endpoint: &str) -> Option<Arc<ShardState>> {
+        self.shards
+            .iter()
+            .find(|s| s.endpoint == endpoint)
+            .cloned()
+    }
+
+    fn add(&mut self, endpoint: &str) -> bool {
+        if !self.ring.add(endpoint) {
+            return false;
+        }
+        self.shards.push(Arc::new(ShardState::new(endpoint)));
+        true
+    }
+
+    fn remove(&mut self, endpoint: &str) -> bool {
+        if !self.ring.remove(endpoint) {
+            return false;
+        }
+        self.shards.retain(|s| s.endpoint != endpoint);
+        true
+    }
+}
+
+/// One replication job: warm `target` with the canonical request.
+struct ReplJob {
+    target: String,
+    request: ScheduleRequest,
+}
+
+/// State shared by every router thread.
+struct Shared {
+    cluster: Mutex<Cluster>,
+    metrics: RouterMetrics,
+    drain: AtomicBool,
+    replicas: usize,
+    fail_threshold: u32,
+    health_check_ms: u64,
+    max_frame: usize,
+    shard_retry: RetryPolicy,
+}
+
+impl Shared {
+    fn lock_cluster(&self) -> std::sync::MutexGuard<'_, Cluster> {
+        self.cluster
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn metrics_snapshot(&self) -> Json {
+        let shards = self.lock_cluster().shards.clone();
+        self.metrics.snapshot(&shards)
+    }
+}
+
+/// Keep-alive connections to shards, one map per router thread (no
+/// cross-thread sharing: a poisoned stream only affects its owner).
+#[derive(Default)]
+struct ShardConns {
+    conns: HashMap<String, Client>,
+}
+
+impl ShardConns {
+    /// Forward `req` to `endpoint`, dialing (with retry) on first use
+    /// and dropping the cached connection on any failure.
+    fn request(
+        &mut self,
+        endpoint: &str,
+        req: &ScheduleRequest,
+        policy: &RetryPolicy,
+    ) -> Result<ScheduleResponse, ClientError> {
+        if !self.conns.contains_key(endpoint) {
+            let (client, _) = Client::connect_with_retry(endpoint, policy)?;
+            self.conns.insert(endpoint.to_string(), client);
+        }
+        let client = self.conns.get_mut(endpoint).expect("inserted above");
+        match client.request_with_retry(req, policy) {
+            Ok((resp, _)) => Ok(resp),
+            Err(e) => {
+                // `request_with_retry` already redialed what it could;
+                // whatever is left is not worth keeping.
+                self.conns.remove(endpoint);
+                Err(e)
+            }
+        }
+    }
+
+    /// Send one admin command to `endpoint` on a fresh or cached
+    /// connection.
+    fn admin(
+        &mut self,
+        endpoint: &str,
+        cmd: &AdminCommand,
+        policy: &RetryPolicy,
+    ) -> Result<Json, ClientError> {
+        if !self.conns.contains_key(endpoint) {
+            let (client, _) = Client::connect_with_retry(endpoint, policy)?;
+            client.set_io_timeout(policy.per_attempt_timeout);
+            self.conns.insert(endpoint.to_string(), client);
+        }
+        let client = self.conns.get_mut(endpoint).expect("inserted above");
+        match client.admin(cmd) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.conns.remove(endpoint);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// One accepted client connection (either transport).
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    fn set_read_timeout(&self, timeout: Duration) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.set_read_timeout(Some(timeout));
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.set_read_timeout(Some(timeout));
+            }
+        }
+    }
+}
+
+enum ListenerImpl {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl ListenerImpl {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            ListenerImpl::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            ListenerImpl::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// A running router. Dropping the handle does *not* stop it; call
+/// [`RouterHandle::begin_drain`] then [`RouterHandle::join`].
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+    local_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl RouterHandle {
+    /// The bound TCP address (useful with port 0).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// An endpoint string a client can connect to.
+    pub fn endpoint(&self) -> String {
+        match (&self.local_addr, &self.unix_path) {
+            (Some(addr), _) => format!("tcp:{addr}"),
+            (None, Some(path)) => format!("unix:{}", path.display()),
+            (None, None) => unreachable!("router listens somewhere"),
+        }
+    }
+
+    /// Stop accepting connections and begin a graceful drain.
+    pub fn begin_drain(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot the router counters (including per-shard gauges).
+    pub fn metrics(&self) -> Json {
+        self.shared.metrics_snapshot()
+    }
+
+    /// Wait for the accept thread, connection threads, replicator and
+    /// prober to finish (after a drain was triggered).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// SIGTERM flag (written from the signal handler: lock-free only).
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" fn on_term(_sig: i32) {
+        SIGTERM_SEEN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// Bind `listen` and start routing under `config`.
+pub fn serve_router(listen: Listen, config: RouterConfig) -> io::Result<RouterHandle> {
+    let (listener, local_addr, unix_path) = match listen {
+        Listen::Tcp(addr) => {
+            let l = TcpListener::bind(&addr)?;
+            l.set_nonblocking(true)?;
+            let bound = l.local_addr()?;
+            (ListenerImpl::Tcp(l), Some(bound), None)
+        }
+        #[cfg(unix)]
+        Listen::Unix(path) => {
+            if path.exists() && UnixStream::connect(&path).is_err() {
+                let _ = std::fs::remove_file(&path);
+            }
+            let l = UnixListener::bind(&path)?;
+            l.set_nonblocking(true)?;
+            (ListenerImpl::Unix(l, path.clone()), None, Some(path))
+        }
+        #[cfg(not(unix))]
+        Listen::Unix(_) => {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ))
+        }
+    };
+
+    if config.handle_sigterm {
+        install_sigterm_handler();
+    }
+
+    let mut cluster = Cluster {
+        ring: Ring::new(),
+        shards: Vec::new(),
+    };
+    for endpoint in &config.shards {
+        cluster.add(endpoint);
+    }
+
+    let shared = Arc::new(Shared {
+        cluster: Mutex::new(cluster),
+        metrics: RouterMetrics::default(),
+        drain: AtomicBool::new(false),
+        replicas: config.replicas.max(1),
+        fail_threshold: config.fail_threshold.max(1),
+        health_check_ms: config.health_check_ms.max(50),
+        max_frame: config.max_frame,
+        shard_retry: config.shard_retry.clone(),
+    });
+
+    let (repl_tx, repl_rx) = sync_channel::<ReplJob>(config.replication_queue.max(1));
+    let repl_shared = Arc::clone(&shared);
+    let replicator = std::thread::Builder::new()
+        .name("dagsched-replicator".to_string())
+        .spawn(move || replicate_loop(repl_shared, repl_rx))?;
+
+    let probe_shared = Arc::clone(&shared);
+    let prober = std::thread::Builder::new()
+        .name("dagsched-prober".to_string())
+        .spawn(move || probe_loop(probe_shared))?;
+
+    let accept_shared = Arc::clone(&shared);
+    let read_timeout = Duration::from_millis(config.read_timeout_ms.max(1));
+    let thread = std::thread::Builder::new()
+        .name("dagsched-router-accept".to_string())
+        .spawn(move || {
+            accept_loop(listener, accept_shared, repl_tx, read_timeout);
+            let _ = replicator.join();
+            let _ = prober.join();
+        })?;
+
+    Ok(RouterHandle {
+        shared,
+        thread: Some(thread),
+        local_addr,
+        unix_path,
+    })
+}
+
+fn accept_loop(
+    listener: ListenerImpl,
+    shared: Arc<Shared>,
+    repl_tx: SyncSender<ReplJob>,
+    read_timeout: Duration,
+) {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if SIGTERM_SEEN.load(Ordering::SeqCst) {
+            shared.drain.store(true, Ordering::SeqCst);
+        }
+        if shared.drain.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                RouterMetrics::bump(&shared.metrics.connections);
+                conn.set_read_timeout(read_timeout);
+                let conn_shared = Arc::clone(&shared);
+                let conn_tx = repl_tx.clone();
+                match std::thread::Builder::new()
+                    .name("dagsched-router-conn".to_string())
+                    .spawn(move || serve_conn(&conn_shared, conn, conn_tx))
+                {
+                    Ok(handle) => conn_threads.push(handle),
+                    Err(_) => { /* thread limit: drop the connection */ }
+                }
+                conn_threads.retain(|t| !t.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                conn_threads.retain(|t| !t.is_finished());
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // Sweep the kernel's accept backlog with explicit `draining`
+    // replies (same contract as the daemon: no accepted connection is
+    // left hanging without an answer).
+    loop {
+        match listener.accept() {
+            Ok(mut conn) => {
+                RouterMetrics::bump(&shared.metrics.connections);
+                RouterMetrics::bump(&shared.metrics.errors);
+                let reply = ErrorReply::new(ErrorCode::Draining, "router is draining")
+                    .with_retry_after_ms(DRAIN_RETRY_MS);
+                let _ = write_frame(
+                    &mut conn,
+                    FrameKind::Error,
+                    reply.to_json().to_string().as_bytes(),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // In-flight connections finish their work (their loops observe the
+    // drain flag after the current request).
+    drop(repl_tx);
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    #[cfg(unix)]
+    if let ListenerImpl::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn send_error(shared: &Shared, conn: &mut Conn, reply: &ErrorReply) {
+    RouterMetrics::bump(&shared.metrics.errors);
+    let _ = write_frame(
+        conn,
+        FrameKind::Error,
+        reply.to_json().to_string().as_bytes(),
+    );
+}
+
+fn send_ok(conn: &mut Conn, kind: FrameKind, payload: &Json) {
+    let _ = write_frame(conn, kind, payload.to_string().as_bytes());
+}
+
+/// Serve one keep-alive client connection until EOF, error, or drain.
+fn serve_conn(shared: &Shared, mut conn: Conn, repl_tx: SyncSender<ReplJob>) {
+    let mut conns = ShardConns::default();
+    let mut served = 0usize;
+    loop {
+        let frame = match read_frame_or_eof(&mut conn, shared.max_frame) {
+            Ok(None) => return,
+            Ok(Some(frame)) => frame,
+            Err(FrameReadError::Oversized { len, max }) => {
+                send_error(
+                    shared,
+                    &mut conn,
+                    &ErrorReply::new(
+                        ErrorCode::OversizedFrame,
+                        format!("frame payload of {len} bytes exceeds the {max}-byte cap"),
+                    ),
+                );
+                return;
+            }
+            Err(FrameReadError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return;
+            }
+            Err(e) => {
+                send_error(
+                    shared,
+                    &mut conn,
+                    &ErrorReply::new(ErrorCode::MalformedFrame, e.to_string()),
+                );
+                return;
+            }
+        };
+        match frame {
+            (FrameKind::Ping, _) => send_ok(&mut conn, FrameKind::Pong, &Json::Null),
+            (FrameKind::Metrics, _) => {
+                let snap = shared.metrics_snapshot();
+                send_ok(&mut conn, FrameKind::Metrics, &snap);
+            }
+            (FrameKind::Shutdown, _) => {
+                shared.drain.store(true, Ordering::SeqCst);
+                send_ok(&mut conn, FrameKind::Pong, &Json::Null);
+                return;
+            }
+            (FrameKind::Admin, payload) => {
+                match handle_admin(shared, &mut conns, &payload) {
+                    Ok(reply) => send_ok(&mut conn, FrameKind::AdminReply, &reply),
+                    Err(reply) => send_error(shared, &mut conn, &reply),
+                }
+            }
+            (FrameKind::Request, payload) => {
+                RouterMetrics::bump(&shared.metrics.requests);
+                if shared.drain.load(Ordering::SeqCst) && served > 0 {
+                    send_error(
+                        shared,
+                        &mut conn,
+                        &ErrorReply::new(ErrorCode::Draining, "router is draining")
+                            .with_retry_after_ms(DRAIN_RETRY_MS),
+                    );
+                    return;
+                }
+                match forward_request(shared, &mut conns, &repl_tx, &payload) {
+                    Ok(body) => {
+                        RouterMetrics::bump(&shared.metrics.responses);
+                        send_ok(&mut conn, FrameKind::Response, &body);
+                    }
+                    Err(reply) => send_error(shared, &mut conn, &reply),
+                }
+                served += 1;
+            }
+            (other, _) => {
+                send_error(
+                    shared,
+                    &mut conn,
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!("unexpected client frame kind {other:?}"),
+                    ),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// The routing key: FNV-1a of the canonical request JSON with the
+/// `attempt` counter zeroed — the same idempotency identity the
+/// shards' cache and quarantine key on, so retries and repeats land on
+/// the same shard.
+fn routing_key(req: &ScheduleRequest) -> (ScheduleRequest, u64) {
+    let mut canonical = req.clone();
+    canonical.attempt = 0;
+    let key = fnv64(canonical.to_json().to_string().as_bytes());
+    (canonical, key)
+}
+
+/// Walk the failover ladder for one request; returns the response body
+/// to relay.
+fn forward_request(
+    shared: &Shared,
+    conns: &mut ShardConns,
+    repl_tx: &SyncSender<ReplJob>,
+    payload: &[u8],
+) -> Result<Json, ErrorReply> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "request payload is not UTF-8"))?;
+    let value = Json::parse(text)
+        .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("request is not JSON: {e}")))?;
+    let req = ScheduleRequest::from_json(&value)?;
+    let (canonical, key) = routing_key(&req);
+
+    // Snapshot the ladder under the lock, then forward without it.
+    let (replicas, others): (Vec<Arc<ShardState>>, Vec<Arc<ShardState>>) = {
+        let cluster = shared.lock_cluster();
+        let replica_eps: Vec<String> = cluster
+            .ring
+            .replicas(key, shared.replicas)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let replicas = replica_eps
+            .iter()
+            .filter_map(|e| cluster.state_of(e))
+            .collect();
+        let others = cluster
+            .shards
+            .iter()
+            .filter(|s| !replica_eps.contains(&s.endpoint))
+            .cloned()
+            .collect();
+        (replicas, others)
+    };
+    if replicas.is_empty() {
+        RouterMetrics::bump(&shared.metrics.no_live_shard);
+        return Err(
+            ErrorReply::new(ErrorCode::Busy, "router has no shards configured")
+                .with_retry_after_ms(NO_SHARD_RETRY_MS),
+        );
+    }
+
+    let primary = Arc::clone(&replicas[0]);
+    let mut last_err: Option<ErrorReply> = None;
+    // Rungs 1–2: the replica set in ring order; rung 3: everything
+    // else that is live (`rerouted`). Down shards are skipped without
+    // burning a dial, but when *nothing* is believed up we still try
+    // the replica set once — the belief may be stale, and the prober
+    // only revives shards every `health_check_ms`.
+    let any_up = replicas.iter().chain(others.iter()).any(|s| s.is_up());
+    for (tier, shard) in replicas
+        .iter()
+        .map(|s| (0usize, s))
+        .chain(others.iter().filter(|s| s.is_up()).map(|s| (1usize, s)))
+    {
+        if tier == 0 && !shard.is_up() && any_up {
+            RouterMetrics::bump(&shard.failovers);
+            continue;
+        }
+        RouterMetrics::bump(&shard.requests);
+        shard.inflight.fetch_add(1, Ordering::Relaxed);
+        let outcome = conns.request(&shard.endpoint, &req, &shared.shard_retry);
+        shard.inflight.fetch_sub(1, Ordering::Relaxed);
+        match outcome {
+            Ok(resp) => {
+                if shard.record_success() {
+                    // Flipped back up: the prober will confirm.
+                }
+                if !Arc::ptr_eq(shard, &primary) {
+                    RouterMetrics::bump(if tier == 0 {
+                        &shared.metrics.failovers
+                    } else {
+                        &shared.metrics.rerouted
+                    });
+                }
+                // Replicate fresh compiles from the primary to its
+                // first ring successor (R ≥ 2 and a successor exists).
+                if Arc::ptr_eq(shard, &primary) && resp.stats.cache_misses > 0 {
+                    if let Some(successor) = replicas.get(1) {
+                        let mut repl_req = canonical.clone();
+                        repl_req.sim = false;
+                        repl_req.linger_ms = 0;
+                        repl_req.debug_panic = false;
+                        match repl_tx.try_send(ReplJob {
+                            target: successor.endpoint.clone(),
+                            request: repl_req,
+                        }) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                                RouterMetrics::bump(&shared.metrics.replication_dropped);
+                            }
+                        }
+                    }
+                }
+                return Ok(resp.to_json());
+            }
+            Err(ClientError::Server(reply)) if !reply.code.is_retryable() => {
+                // The shard answered: it is healthy, the request is
+                // not. Failing over would reproduce the same rejection.
+                shard.record_success();
+                return Err(reply);
+            }
+            Err(err) => {
+                let transport = !matches!(err, ClientError::Server(_));
+                if transport && shard.record_failure(shared.fail_threshold) {
+                    RouterMetrics::bump(&shared.metrics.shards_marked_down);
+                }
+                RouterMetrics::bump(&shard.failovers);
+                last_err = Some(match err {
+                    ClientError::Server(reply) => reply,
+                    other => ErrorReply::new(
+                        ErrorCode::Internal,
+                        format!("shard {} unreachable: {other}", shard.endpoint),
+                    ),
+                });
+            }
+        }
+    }
+    RouterMetrics::bump(&shared.metrics.no_live_shard);
+    Err(last_err
+        .unwrap_or_else(|| ErrorReply::new(ErrorCode::Busy, "no live shard"))
+        // Every rung failed: whatever the last error was, the client
+        // should treat the condition as transient and back off.
+        .with_retry_after_ms(NO_SHARD_RETRY_MS))
+}
+
+/// Answer one router admin command (cluster membership; shard-level
+/// snapshot commands are refused with a pointer to the right tier).
+fn handle_admin(
+    shared: &Shared,
+    conns: &mut ShardConns,
+    payload: &[u8],
+) -> Result<Json, ErrorReply> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "admin payload is not UTF-8"))?;
+    let value = Json::parse(text)
+        .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("admin payload is not JSON: {e}")))?;
+    match AdminCommand::from_json(&value)? {
+        AdminCommand::AddShard { endpoint } => {
+            if shared.lock_cluster().ring.contains(&endpoint) {
+                return Err(ErrorReply::new(
+                    ErrorCode::BadRequest,
+                    format!("shard {endpoint} is already a ring member"),
+                ));
+            }
+            // Warm-spare promotion: ship a snapshot from a live donor
+            // *before* the joiner takes ring ownership, so its first
+            // owned requests hit a warm cache.
+            let donor = {
+                let cluster = shared.lock_cluster();
+                cluster
+                    .shards
+                    .iter()
+                    .find(|s| s.is_up() && s.endpoint != endpoint)
+                    .map(|s| s.endpoint.clone())
+            };
+            let mut installed = 0u64;
+            let mut donor_generation = 0u64;
+            if let Some(donor_ep) = &donor {
+                let exported = conns
+                    .admin(donor_ep, &AdminCommand::SnapshotExport, &shared.shard_retry)
+                    .map_err(|e| {
+                        ErrorReply::new(
+                            ErrorCode::Internal,
+                            format!("snapshot export from donor {donor_ep} failed: {e}"),
+                        )
+                    })?;
+                let shipment = exported
+                    .get("shipment")
+                    .and_then(Json::as_str)
+                    .and_then(hex_decode)
+                    .ok_or_else(|| {
+                        ErrorReply::new(
+                            ErrorCode::Internal,
+                            format!("donor {donor_ep} returned an undecodable shipment"),
+                        )
+                    })?;
+                donor_generation = exported
+                    .get("generation")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                let installed_reply = conns
+                    .admin(
+                        &endpoint,
+                        &AdminCommand::SnapshotInstall { shipment },
+                        &shared.shard_retry,
+                    )
+                    .map_err(|e| {
+                        ErrorReply::new(
+                            ErrorCode::Internal,
+                            format!("snapshot install on joining shard {endpoint} failed: {e}"),
+                        )
+                    })?;
+                installed = installed_reply
+                    .get("installed")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+            }
+            // Only now does the joiner take ring ownership.
+            shared.lock_cluster().add(&endpoint);
+            RouterMetrics::bump(&shared.metrics.shards_added);
+            shared
+                .metrics
+                .warm_spare_entries_shipped
+                .fetch_add(installed, Ordering::Relaxed);
+            Ok(Json::obj(vec![
+                ("ok", Json::from(true)),
+                ("endpoint", Json::from(endpoint.as_str())),
+                (
+                    "donor",
+                    donor.map(|d| Json::from(d.as_str())).unwrap_or(Json::Null),
+                ),
+                ("installed", Json::from(installed)),
+                ("donor_generation", Json::from(donor_generation)),
+            ]))
+        }
+        AdminCommand::RemoveShard { endpoint } => {
+            if !shared.lock_cluster().remove(&endpoint) {
+                return Err(ErrorReply::new(
+                    ErrorCode::BadRequest,
+                    format!("shard {endpoint} is not a ring member"),
+                ));
+            }
+            RouterMetrics::bump(&shared.metrics.shards_removed);
+            Ok(Json::obj(vec![
+                ("ok", Json::from(true)),
+                ("endpoint", Json::from(endpoint.as_str())),
+            ]))
+        }
+        AdminCommand::Status => {
+            let cluster = shared.lock_cluster();
+            Ok(Json::obj(vec![
+                ("ok", Json::from(true)),
+                (
+                    "members",
+                    Json::Arr(
+                        cluster
+                            .ring
+                            .members()
+                            .into_iter()
+                            .map(Json::from)
+                            .collect(),
+                    ),
+                ),
+                (
+                    "shards",
+                    Json::Arr(cluster.shards.iter().map(|s| s.to_json()).collect()),
+                ),
+            ]))
+        }
+        AdminCommand::SnapshotExport | AdminCommand::SnapshotInstall { .. } => {
+            Err(ErrorReply::new(
+                ErrorCode::BadRequest,
+                "snapshot commands target a shard daemon directly, not the router",
+            ))
+        }
+    }
+}
+
+/// Drain the replication queue: re-issue each fresh compile on the
+/// key's ring successor so a primary death finds a warm replica.
+fn replicate_loop(shared: Arc<Shared>, rx: Receiver<ReplJob>) {
+    let mut conns = ShardConns::default();
+    while let Ok(job) = rx.recv() {
+        let Some(shard) = shared.lock_cluster().state_of(&job.target) else {
+            continue; // target left the ring while queued
+        };
+        if !shard.is_up() {
+            RouterMetrics::bump(&shared.metrics.replication_dropped);
+            continue;
+        }
+        match conns.request(&job.target, &job.request, &shared.shard_retry) {
+            Ok(_) => {
+                shard.record_success();
+                RouterMetrics::bump(&shard.replication_writes);
+                RouterMetrics::bump(&shared.metrics.replication_writes);
+            }
+            Err(ClientError::Server(_)) => {
+                // The shard is alive but refused (e.g. draining):
+                // replication is best-effort, drop the job.
+                RouterMetrics::bump(&shared.metrics.replication_dropped);
+            }
+            Err(_) => {
+                if shard.record_failure(shared.fail_threshold) {
+                    RouterMetrics::bump(&shared.metrics.shards_marked_down);
+                }
+                RouterMetrics::bump(&shared.metrics.replication_dropped);
+            }
+        }
+    }
+}
+
+/// Periodically ping every shard: successes revive down shards,
+/// failure streaks mark them down without waiting for a request to
+/// stumble over them.
+fn probe_loop(shared: Arc<Shared>) {
+    while !shared.drain.load(Ordering::SeqCst) {
+        let shards = shared.lock_cluster().shards.clone();
+        for shard in shards {
+            RouterMetrics::bump(&shared.metrics.health_probes);
+            if probe(&shard.endpoint) {
+                shard.record_success();
+            } else if shard.record_failure(shared.fail_threshold) {
+                RouterMetrics::bump(&shared.metrics.shards_marked_down);
+            }
+        }
+        // Sleep in small steps so a drain is honoured promptly.
+        let mut slept = 0u64;
+        while slept < shared.health_check_ms && !shared.drain.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(25));
+            slept += 25;
+        }
+    }
+}
+
+/// One liveness probe: dial + ping with a bounded socket timeout.
+fn probe(endpoint: &str) -> bool {
+    match Client::connect(endpoint) {
+        Ok(mut client) => {
+            client.set_io_timeout(Some(PROBE_TIMEOUT));
+            client.ping().is_ok()
+        }
+        Err(_) => false,
+    }
+}
+
+/// Re-export for binaries that parse endpoint strings.
+pub use dagsched_service::server::parse_endpoint as parse_router_endpoint;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_key_ignores_the_attempt_counter() {
+        let mut a = ScheduleRequest::asm("add %o0, %o1, %o2");
+        let mut b = a.clone();
+        a.attempt = 0;
+        b.attempt = 5;
+        assert_eq!(routing_key(&a).1, routing_key(&b).1);
+        let c = ScheduleRequest::asm("sub %o0, %o1, %o2");
+        assert_ne!(routing_key(&a).1, routing_key(&c).1);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = RouterConfig::default();
+        assert_eq!(cfg.replicas, 2);
+        assert!(cfg.fail_threshold >= 1);
+        assert!(cfg.shard_retry.max_retries >= 1);
+        assert!(cfg.replication_queue > 0);
+    }
+}

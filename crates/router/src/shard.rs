@@ -1,0 +1,211 @@
+//! Per-shard health state and the router's own counters.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use dagsched_proto::json::Json;
+
+/// Health and traffic counters for one shard.
+#[derive(Debug)]
+pub struct ShardState {
+    /// The endpoint this shard was added with (`unix:/path` or
+    /// `host:port`); also its ring identity.
+    pub endpoint: String,
+    /// Marked down after [`crate::RouterConfig::fail_threshold`]
+    /// consecutive failures; any success marks it back up.
+    down: AtomicBool,
+    /// Failures since the last success.
+    consecutive_failures: AtomicU32,
+    /// Requests currently being forwarded to this shard.
+    pub inflight: AtomicU64,
+    /// Requests forwarded (any outcome).
+    pub requests: AtomicU64,
+    /// Forwarding failures (transport or exhausted retries).
+    pub failures: AtomicU64,
+    /// Requests that failed over *away* from this shard while it was
+    /// in the key's replica set.
+    pub failovers: AtomicU64,
+    /// Replication writes delivered to this shard (as a ring
+    /// successor).
+    pub replication_writes: AtomicU64,
+}
+
+impl ShardState {
+    /// Fresh state for `endpoint`, assumed up until proven otherwise.
+    pub fn new(endpoint: impl Into<String>) -> ShardState {
+        ShardState {
+            endpoint: endpoint.into(),
+            down: AtomicBool::new(false),
+            consecutive_failures: AtomicU32::new(0),
+            inflight: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            replication_writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the health tracker currently believes the shard is up.
+    pub fn is_up(&self) -> bool {
+        !self.down.load(Ordering::Relaxed)
+    }
+
+    /// Record a successful interaction: failures reset, shard is up.
+    /// Returns `true` when this flipped the shard from down to up.
+    pub fn record_success(&self) -> bool {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.down.swap(false, Ordering::Relaxed)
+    }
+
+    /// Record a failed interaction; past `threshold` consecutive
+    /// failures the shard is marked down. Returns `true` when this
+    /// call flipped it down.
+    pub fn record_failure(&self, threshold: u32) -> bool {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= threshold {
+            return !self.down.swap(true, Ordering::Relaxed);
+        }
+        false
+    }
+
+    /// This shard's gauge object in the metrics snapshot.
+    pub fn to_json(&self) -> Json {
+        let g = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        Json::obj(vec![
+            ("endpoint", Json::from(self.endpoint.as_str())),
+            ("up", Json::from(self.is_up())),
+            (
+                "consecutive_failures",
+                Json::from(u64::from(self.consecutive_failures.load(Ordering::Relaxed))),
+            ),
+            ("inflight", g(&self.inflight)),
+            ("requests", g(&self.requests)),
+            ("failures", g(&self.failures)),
+            ("failovers", g(&self.failovers)),
+            ("replication_writes", g(&self.replication_writes)),
+        ])
+    }
+}
+
+/// Router-level counters, exported over the `Metrics` frame in the
+/// same shape as the daemon's (flat counters plus nested detail).
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Client connections accepted.
+    pub connections: AtomicU64,
+    /// Schedule requests received from clients.
+    pub requests: AtomicU64,
+    /// Successful responses relayed back.
+    pub responses: AtomicU64,
+    /// Error replies sent (any code, any origin).
+    pub errors: AtomicU64,
+    /// Requests served by a non-primary ring replica after the primary
+    /// failed.
+    pub failovers: AtomicU64,
+    /// Requests routed *outside* the key's replica set because the
+    /// whole set was down (served as a cache miss, not an error).
+    pub rerouted: AtomicU64,
+    /// Replication writes delivered to ring successors.
+    pub replication_writes: AtomicU64,
+    /// Replication jobs dropped because the queue was full.
+    pub replication_dropped: AtomicU64,
+    /// Health probes performed.
+    pub health_probes: AtomicU64,
+    /// Times a shard was marked down (by probe or forwarding failure).
+    pub shards_marked_down: AtomicU64,
+    /// Shards added via admin (warm-spare promotions included).
+    pub shards_added: AtomicU64,
+    /// Shards removed via admin.
+    pub shards_removed: AtomicU64,
+    /// Cache entries installed on joining shards via snapshot shipping.
+    pub warm_spare_entries_shipped: AtomicU64,
+    /// Requests rejected because no live shard existed.
+    pub no_live_shard: AtomicU64,
+}
+
+impl RouterMetrics {
+    /// Increment a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every router counter plus the per-shard gauges.
+    pub fn snapshot(&self, shards: &[std::sync::Arc<ShardState>]) -> Json {
+        let g = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        let up = shards.iter().filter(|s| s.is_up()).count() as u64;
+        Json::obj(vec![
+            ("connections", g(&self.connections)),
+            ("requests", g(&self.requests)),
+            ("responses", g(&self.responses)),
+            ("errors", g(&self.errors)),
+            ("failovers", g(&self.failovers)),
+            ("rerouted", g(&self.rerouted)),
+            ("replication_writes", g(&self.replication_writes)),
+            ("replication_dropped", g(&self.replication_dropped)),
+            ("health_probes", g(&self.health_probes)),
+            ("shards_marked_down", g(&self.shards_marked_down)),
+            ("shards_added", g(&self.shards_added)),
+            ("shards_removed", g(&self.shards_removed)),
+            (
+                "warm_spare_entries_shipped",
+                g(&self.warm_spare_entries_shipped),
+            ),
+            ("no_live_shard", g(&self.no_live_shard)),
+            ("shards_up", Json::from(up)),
+            ("shards_down", Json::from(shards.len() as u64 - up)),
+            (
+                "shards",
+                Json::Arr(shards.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn failure_streaks_mark_down_and_success_marks_up() {
+        let s = ShardState::new("unix:/tmp/a.sock");
+        assert!(s.is_up());
+        assert!(!s.record_failure(3));
+        assert!(!s.record_failure(3));
+        assert!(s.record_failure(3), "third consecutive failure flips it");
+        assert!(!s.is_up());
+        assert!(!s.record_failure(3), "already down: no second flip");
+        assert!(s.record_success(), "success flips it back up");
+        assert!(s.is_up());
+        assert!(!s.record_success(), "already up: no flip");
+        // The streak was reset: two more failures do not mark it down.
+        assert!(!s.record_failure(3));
+        assert!(!s.record_failure(3));
+        assert!(s.is_up());
+    }
+
+    #[test]
+    fn snapshot_reports_per_shard_gauges_and_up_down_counts() {
+        let a = Arc::new(ShardState::new("a"));
+        let b = Arc::new(ShardState::new("b"));
+        b.record_failure(1);
+        a.requests.store(7, Ordering::Relaxed);
+        a.replication_writes.store(2, Ordering::Relaxed);
+        let m = RouterMetrics::default();
+        RouterMetrics::bump(&m.requests);
+        let snap = m.snapshot(&[a, b]);
+        assert_eq!(snap.get("requests").unwrap().as_u64(), Some(1));
+        assert_eq!(snap.get("shards_up").unwrap().as_u64(), Some(1));
+        assert_eq!(snap.get("shards_down").unwrap().as_u64(), Some(1));
+        let shards = snap.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].get("endpoint").unwrap().as_str(), Some("a"));
+        assert_eq!(shards[0].get("up").unwrap().as_bool(), Some(true));
+        assert_eq!(shards[0].get("requests").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            shards[0].get("replication_writes").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(shards[1].get("up").unwrap().as_bool(), Some(false));
+    }
+}

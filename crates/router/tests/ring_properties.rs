@@ -1,0 +1,170 @@
+//! Property tests pinning the two guarantees the cluster design leans
+//! on: the ring spreads real request keys evenly, and membership
+//! changes move only the minimal slice of the key space.
+//!
+//! Keys are not synthetic uniform randoms — they are the router's
+//! actual routing keys (FNV-1a of the canonical request JSON) over
+//! blocks from the verify generator's structural families, so the
+//! distribution under test is the one production traffic produces.
+
+use std::collections::HashMap;
+
+use dagsched_proto::ScheduleRequest;
+use dagsched_router::ring::{fnv64, Ring};
+use dagsched_verify::{generate_program, Shape};
+
+/// The router's routing key for a generated block.
+fn routing_key(program: &str) -> u64 {
+    let req = ScheduleRequest::asm(program);
+    fnv64(req.to_json().to_string().as_bytes())
+}
+
+/// A corpus of routing keys over every generator shape.
+fn key_corpus(count: usize) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(count);
+    let mut seed = 0x5EEDu64;
+    while keys.len() < count {
+        for &shape in Shape::ALL {
+            if keys.len() == count {
+                break;
+            }
+            keys.push(routing_key(&generate_program(shape, seed)));
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+    }
+    keys
+}
+
+fn shard_endpoints(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("unix:/tmp/shard-{i}.sock")).collect()
+}
+
+/// ISSUE satellite: per-shard load within ±20% of the fair share for
+/// every cluster size from 3 to 16, on the verify generator's key
+/// distribution.
+#[test]
+fn load_is_balanced_within_20_percent_across_3_to_16_shards() {
+    let keys = key_corpus(4000);
+    for n in 3..=16usize {
+        let endpoints = shard_endpoints(n);
+        let ring = Ring::with_members(endpoints.iter().cloned());
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for &key in &keys {
+            *counts.entry(ring.primary(key).expect("non-empty ring")).or_default() += 1;
+        }
+        let fair = keys.len() as f64 / n as f64;
+        for endpoint in &endpoints {
+            let got = *counts.get(endpoint.as_str()).unwrap_or(&0) as f64;
+            let skew = (got - fair).abs() / fair;
+            assert!(
+                skew <= 0.20,
+                "{n} shards: {endpoint} owns {got} keys vs fair share {fair:.0} \
+                 ({:.1}% skew, cap 20%)",
+                skew * 100.0
+            );
+        }
+    }
+}
+
+/// ISSUE satellite, join half: adding one shard to an N-shard ring
+/// moves ≈ 1/(N+1) of the keys — and every moved key moves *to* the
+/// joiner, never between survivors.
+#[test]
+fn a_single_join_remaps_only_the_joiners_share() {
+    let keys = key_corpus(3000);
+    for n in [3usize, 5, 8, 12, 15] {
+        let endpoints = shard_endpoints(n);
+        let mut ring = Ring::with_members(endpoints.iter().cloned());
+        let before: Vec<&str> = keys.iter().map(|&k| ring.primary(k).unwrap()).collect();
+        let before: Vec<String> = before.into_iter().map(str::to_string).collect();
+
+        let joiner = format!("unix:/tmp/shard-{n}.sock");
+        assert!(ring.add(joiner.clone()));
+        let mut moved = 0usize;
+        for (i, &key) in keys.iter().enumerate() {
+            let now = ring.primary(key).unwrap();
+            if now != before[i] {
+                assert_eq!(
+                    now, joiner,
+                    "a join may only move keys to the joiner, but key {key:#x} \
+                     moved {} -> {now}",
+                    before[i]
+                );
+                moved += 1;
+            }
+        }
+        let fair = keys.len() as f64 / (n + 1) as f64;
+        assert!(moved > 0, "{n} shards: the joiner took no keys at all");
+        assert!(
+            (moved as f64) <= fair * 1.5,
+            "{n} shards: join moved {moved} keys, expected ≈ {fair:.0} (cap 1.5×)"
+        );
+    }
+}
+
+/// ISSUE satellite, leave half: removing one shard moves exactly the
+/// keys it owned — survivors' placements are untouched (this is what
+/// keeps their content-addressed caches hot through a failover).
+#[test]
+fn a_single_leave_moves_only_the_leavers_keys() {
+    let keys = key_corpus(3000);
+    for n in [3usize, 5, 8, 12, 15] {
+        let endpoints = shard_endpoints(n);
+        let mut ring = Ring::with_members(endpoints.iter().cloned());
+        let leaver = endpoints[n / 2].clone();
+        let before: Vec<String> = keys
+            .iter()
+            .map(|&k| ring.primary(k).unwrap().to_string())
+            .collect();
+        assert!(ring.remove(&leaver));
+        let mut moved = 0usize;
+        for (i, &key) in keys.iter().enumerate() {
+            let now = ring.primary(key).unwrap();
+            if before[i] == leaver {
+                assert_ne!(now, leaver);
+                moved += 1;
+            } else {
+                assert_eq!(
+                    now, before[i],
+                    "key {key:#x} was not owned by the leaver but still moved"
+                );
+            }
+        }
+        let fair = keys.len() as f64 / n as f64;
+        assert!(
+            (moved as f64) <= fair * 1.5,
+            "{n} shards: leave moved {moved} keys, expected ≈ {fair:.0} (cap 1.5×)"
+        );
+    }
+}
+
+/// The replica set (R = 2) degrades gracefully through membership
+/// churn: it always holds min(R, members) distinct shards and the
+/// primary is always its first element.
+#[test]
+fn replica_sets_stay_distinct_through_churn() {
+    let keys = key_corpus(500);
+    let mut ring = Ring::with_members(shard_endpoints(4).iter().cloned());
+    let churn: &[(&str, bool)] = &[
+        ("unix:/tmp/shard-4.sock", true),
+        ("unix:/tmp/shard-1.sock", false),
+        ("unix:/tmp/shard-5.sock", true),
+        ("unix:/tmp/shard-0.sock", false),
+        ("unix:/tmp/shard-2.sock", false),
+    ];
+    for &(endpoint, join) in churn {
+        if join {
+            assert!(ring.add(endpoint));
+        } else {
+            assert!(ring.remove(endpoint));
+        }
+        for &key in &keys {
+            let reps = ring.replicas(key, 2);
+            assert_eq!(reps.len(), 2.min(ring.len()));
+            if reps.len() == 2 {
+                assert_ne!(reps[0], reps[1]);
+            }
+            assert_eq!(ring.primary(key), reps.first().copied());
+        }
+    }
+}

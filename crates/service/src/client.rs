@@ -30,8 +30,8 @@ use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::proto::{
-    read_frame, write_frame, ErrorReply, FrameKind, FrameReadError, ScheduleRequest,
-    ScheduleResponse, DEFAULT_MAX_FRAME,
+    read_frame, write_frame, AdminCommand, ErrorReply, FrameKind, FrameReadError,
+    ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
 };
 use crate::server::{parse_endpoint, Listen};
 
@@ -493,6 +493,14 @@ impl Client {
         true
     }
 
+    /// Apply a read/write timeout to the underlying socket. Calls that
+    /// go through [`Client::request_with_retry`] get their timeout from
+    /// the policy; one-shot calls (`ping`, `metrics`, `admin`) use
+    /// whatever was last set here (default: none).
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) {
+        self.stream.set_timeouts(timeout);
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         let (kind, _) = self.roundtrip(FrameKind::Ping, b"")?;
@@ -502,6 +510,19 @@ impl Client {
                 "expected pong, got {other:?}"
             ))),
         }
+    }
+
+    /// Send an admin command (snapshot export/install on a daemon,
+    /// membership changes on a router) and return the JSON result.
+    pub fn admin(&mut self, cmd: &AdminCommand) -> Result<Json, ClientError> {
+        let payload = cmd.to_json().to_string();
+        let (kind, payload) = self.roundtrip(FrameKind::Admin, payload.as_bytes())?;
+        if kind != FrameKind::AdminReply {
+            return Err(ClientError::Protocol(format!(
+                "expected an admin reply, got {kind:?}"
+            )));
+        }
+        decode_json(&payload)
     }
 
     /// Fetch the server's metrics snapshot.

@@ -11,9 +11,11 @@
 //! Entirely `std`: no async runtime, no serde, no external crates —
 //! the workspace builds offline.
 //!
-//! * [`proto`] — frames, request/response payloads, typed error codes.
+//! * [`proto`] — frames, request/response payloads, typed error codes
+//!   (re-exported from the shared `dagsched-proto` crate, which the
+//!   cluster router consumes too).
 //! * [`json`] — the minimal JSON value/parser/writer behind the
-//!   payloads.
+//!   payloads (also re-exported from `dagsched-proto`).
 //! * [`cache`] — the content-addressed schedule cache
 //!   ([`cache::ScheduleCache`]) plugged into the driver's `BlockCache`
 //!   interposition point.
@@ -46,12 +48,18 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
-pub mod json;
 pub mod metrics;
 pub mod persist;
 pub mod pool;
-pub mod proto;
 pub mod server;
+
+// The wire protocol and its JSON codec live in the shared
+// `dagsched-proto` crate (one framing implementation for daemon,
+// client, and router); re-export them under the historical paths so
+// `dagsched_service::proto::…` / `dagsched_service::json::…` keep
+// working.
+pub use dagsched_proto as proto;
+pub use dagsched_proto::json;
 
 pub use cache::{CacheConfig, CacheStats, ScheduleCache, MIN_ENTRY_COST};
 pub use persist::{store_fingerprint, Persistence};

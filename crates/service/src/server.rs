@@ -61,11 +61,15 @@ use crate::faultinject::{Fault, FaultConfig};
 use crate::cache::{CacheConfig, ScheduleCache};
 use crate::engine::{execute, EngineLimits};
 use crate::metrics::Metrics;
-use crate::persist::{Persistence, DEFAULT_FSYNC_EVERY, DEFAULT_WAL_SNAPSHOT_THRESHOLD};
-use crate::proto::{
-    read_frame_or_eof, write_frame, ErrorCode, ErrorReply, FrameKind, FrameReadError,
-    ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
+use crate::persist::{
+    decode_quarantine, encode_quarantine, store_fingerprint, Persistence, DEFAULT_FSYNC_EVERY,
+    DEFAULT_WAL_SNAPSHOT_THRESHOLD, KIND_CACHE_ENTRY, KIND_QUARANTINE,
 };
+use crate::proto::{
+    hex_encode, read_frame_or_eof, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind,
+    FrameReadError, ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
+};
+use dagsched_store::Shipment;
 use crate::{json::Json, pool::SubmitError, pool::WorkerPool};
 
 /// How often the accept loop re-checks the drain flag while idle.
@@ -674,6 +678,10 @@ fn serve_conn(shared: &Shared, scratch: &mut Scratch, mut conn: Conn) {
         };
         match frame {
             (FrameKind::Ping, _) => send_ok(&mut conn, FrameKind::Pong, &Json::Null),
+            (FrameKind::Admin, payload) => match handle_admin(shared, &payload) {
+                Ok(reply) => send_ok(&mut conn, FrameKind::AdminReply, &reply),
+                Err(reply) => send_error(shared, &mut conn, &reply),
+            },
             (FrameKind::Metrics, _) => {
                 let snap = shared.metrics_snapshot();
                 send_ok(&mut conn, FrameKind::Metrics, &snap);
@@ -740,6 +748,101 @@ fn serve_conn(shared: &Shared, scratch: &mut Scratch, mut conn: Conn) {
                 );
                 return;
             }
+        }
+    }
+}
+
+/// Answer one admin command. The daemon implements the snapshot
+/// shipping pair (warm-spare promotion); cluster membership commands
+/// belong to the router and are refused with a typed error.
+fn handle_admin(shared: &Shared, payload: &[u8]) -> Result<Json, ErrorReply> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "admin payload is not UTF-8"))?;
+    let value = Json::parse(text)
+        .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("admin payload is not JSON: {e}")))?;
+    match AdminCommand::from_json(&value)? {
+        AdminCommand::SnapshotExport => {
+            // Export the *live* state, not the on-disk snapshot: the
+            // cache holds everything recovery plus fresh compiles
+            // produced, which is a superset of any snapshot generation.
+            let mut records: Vec<(u8, Vec<u8>)> = shared
+                .cache
+                .export_entries()
+                .into_iter()
+                .map(|bytes| (KIND_CACHE_ENTRY, bytes))
+                .collect();
+            let entries = records.len() as u64;
+            for (key, strikes) in shared.quarantine.export() {
+                records.push((KIND_QUARANTINE, encode_quarantine(key, strikes).to_vec()));
+            }
+            let generation = shared
+                .persist
+                .as_ref()
+                .map(|p| p.health().snapshot_generation)
+                .unwrap_or(0);
+            let shipment = Shipment::new(store_fingerprint(), generation, records);
+            Ok(Json::obj(vec![
+                ("ok", Json::from(true)),
+                ("entries", Json::from(entries)),
+                ("generation", Json::from(generation)),
+                ("shipment", Json::from(hex_encode(&shipment.encode()).as_str())),
+            ]))
+        }
+        AdminCommand::SnapshotInstall { shipment } => {
+            let ship = Shipment::decode(&shipment).map_err(|e| {
+                ErrorReply::new(ErrorCode::BadRequest, format!("undecodable shipment: {e}"))
+            })?;
+            if ship.fingerprint != store_fingerprint() {
+                return Err(ErrorReply::new(
+                    ErrorCode::BadRequest,
+                    "shipment fingerprint does not match this server's configuration",
+                ));
+            }
+            let mut installed = 0u64;
+            let mut skipped = 0u64;
+            for (kind, payload) in &ship.records {
+                match *kind {
+                    KIND_CACHE_ENTRY => {
+                        if shared.cache.import_entry(payload) {
+                            installed += 1;
+                            // Imports bypass the cache's write-through
+                            // hook (recovery must not re-log reads), so
+                            // land them in the WAL explicitly: a warm
+                            // spare stays warm across its own restarts.
+                            if let Some(persist) = &shared.persist {
+                                persist.append_cache_entry(payload);
+                            }
+                        } else {
+                            skipped += 1;
+                        }
+                    }
+                    KIND_QUARANTINE => match decode_quarantine(payload) {
+                        Some(fact) => {
+                            shared.quarantine.restore(&[fact]);
+                            if let Some(persist) = &shared.persist {
+                                persist.append_quarantine(fact.0, fact.1);
+                            }
+                        }
+                        None => skipped += 1,
+                    },
+                    _ => skipped += 1,
+                }
+            }
+            if let Some(persist) = &shared.persist {
+                let _ = persist.sync();
+            }
+            Ok(Json::obj(vec![
+                ("ok", Json::from(true)),
+                ("installed", Json::from(installed)),
+                ("skipped", Json::from(skipped)),
+                ("donor_generation", Json::from(ship.generation)),
+            ]))
+        }
+        AdminCommand::AddShard { .. } | AdminCommand::RemoveShard { .. } | AdminCommand::Status => {
+            Err(ErrorReply::new(
+                ErrorCode::BadRequest,
+                "cluster membership commands are answered by the router, not a shard",
+            ))
         }
     }
 }

@@ -35,6 +35,7 @@
 
 pub mod fsck;
 pub mod record;
+pub mod ship;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -43,5 +44,6 @@ pub mod wal;
 pub mod faultinject;
 
 pub use record::{CorruptKind, Decoded, Record};
+pub use ship::{ShipDecodeError, Shipment};
 pub use store::{RecoveryReport, Store, StoreHealth};
 pub use wal::{Wal, WalReplay};

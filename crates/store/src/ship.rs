@@ -1,0 +1,246 @@
+//! Portable snapshot *shipments*: the over-the-wire form of a store's
+//! state, used to warm a joining spare shard before it takes ring
+//! ownership.
+//!
+//! A shipment is self-contained and self-validating:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "DSSH"
+//!      4     1  shipment format version (currently 1)
+//!      5     8  configuration fingerprint, little-endian u64
+//!     13     8  donor snapshot generation, little-endian u64
+//!     21     4  record count, little-endian u32
+//!     25     8  FNV-1a checksum over bytes [0, 25)
+//!     33     …  `count` records in the WAL record framing
+//!               (see [`crate::record`]), seq = record index
+//! ```
+//!
+//! The header checksum catches corruption of the envelope; each record
+//! carries the WAL framing's own per-record checksum, so a bit flip
+//! anywhere in a shipment is detected before a single byte is
+//! installed. The fingerprint lets the *receiver* refuse a shipment
+//! produced under a different configuration (latency tables, cache
+//! encoding) instead of installing entries it would compute
+//! differently — the same self-invalidation rule recovery applies to
+//! its own snapshot and WAL headers.
+//!
+//! Like the rest of this crate, shipments move `(kind, payload)` facts
+//! and know nothing about what a cache entry looks like.
+
+use std::fmt;
+
+use crate::record::{self, CorruptKind, Decoded};
+
+/// First four bytes of every shipment.
+pub const SHIP_MAGIC: [u8; 4] = *b"DSSH";
+/// Shipment format version.
+pub const SHIP_VERSION: u8 = 1;
+/// Envelope bytes before the records: magic (4) + version (1) +
+/// fingerprint (8) + generation (8) + count (4) + checksum (8).
+pub const SHIP_HEADER: usize = 33;
+
+/// A decoded shipment: the donor's identity plus its records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shipment {
+    /// The donor store's configuration fingerprint. A receiver whose
+    /// own fingerprint differs must refuse to install.
+    pub fingerprint: u64,
+    /// The donor's snapshot generation at export time (0 when the
+    /// donor had no persistent store).
+    pub generation: u64,
+    /// `(kind, payload)` facts, in donor export order.
+    pub records: Vec<(u8, Vec<u8>)>,
+}
+
+/// Why a shipment could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipDecodeError {
+    /// Fewer bytes than the envelope needs.
+    Truncated,
+    /// The first four bytes were not `"DSSH"`.
+    BadMagic,
+    /// Unknown shipment format version.
+    BadVersion(u8),
+    /// The envelope checksum did not match.
+    BadHeaderChecksum,
+    /// A record failed the WAL framing's validation.
+    BadRecord(CorruptKind),
+    /// The stream held a different number of records than the envelope
+    /// promised (or trailing garbage followed the last record).
+    CountMismatch,
+}
+
+impl fmt::Display for ShipDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShipDecodeError::Truncated => f.write_str("shipment truncated before the envelope"),
+            ShipDecodeError::BadMagic => f.write_str("bad shipment magic"),
+            ShipDecodeError::BadVersion(v) => write!(f, "unknown shipment version {v}"),
+            ShipDecodeError::BadHeaderChecksum => f.write_str("shipment envelope checksum mismatch"),
+            ShipDecodeError::BadRecord(k) => write!(f, "corrupt shipped record: {k}"),
+            ShipDecodeError::CountMismatch => {
+                f.write_str("shipment record count does not match its envelope")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShipDecodeError {}
+
+impl Shipment {
+    /// Build a shipment from an export.
+    pub fn new(fingerprint: u64, generation: u64, records: Vec<(u8, Vec<u8>)>) -> Shipment {
+        Shipment {
+            fingerprint,
+            generation,
+            records,
+        }
+    }
+
+    /// Encode for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let body: usize = self
+            .records
+            .iter()
+            .map(|(_, p)| record::RECORD_HEADER + p.len() + record::RECORD_TRAILER)
+            .sum();
+        let mut out = Vec::with_capacity(SHIP_HEADER + body);
+        out.extend_from_slice(&SHIP_MAGIC);
+        out.push(SHIP_VERSION);
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        let sum = record::checksum(&out[..SHIP_HEADER - 8]);
+        out.extend_from_slice(&sum.to_le_bytes());
+        for (i, (kind, payload)) in self.records.iter().enumerate() {
+            record::encode_record(&mut out, i as u64, *kind, payload);
+        }
+        out
+    }
+
+    /// Decode and fully validate a shipment.
+    pub fn decode(bytes: &[u8]) -> Result<Shipment, ShipDecodeError> {
+        if bytes.len() < SHIP_HEADER {
+            return Err(ShipDecodeError::Truncated);
+        }
+        if bytes[..4] != SHIP_MAGIC {
+            return Err(ShipDecodeError::BadMagic);
+        }
+        if bytes[4] != SHIP_VERSION {
+            return Err(ShipDecodeError::BadVersion(bytes[4]));
+        }
+        let want = u64::from_le_bytes(
+            bytes[SHIP_HEADER - 8..SHIP_HEADER]
+                .try_into()
+                .expect("checksum is 8 bytes"),
+        );
+        if record::checksum(&bytes[..SHIP_HEADER - 8]) != want {
+            return Err(ShipDecodeError::BadHeaderChecksum);
+        }
+        let fingerprint = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"));
+        let generation = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(bytes[21..25].try_into().expect("4 bytes")) as usize;
+        let mut records = Vec::with_capacity(count.min(1 << 16));
+        let mut rest = &bytes[SHIP_HEADER..];
+        loop {
+            match record::decode_record(rest) {
+                Decoded::End => break,
+                Decoded::Record(r, used) => {
+                    records.push((r.kind, r.payload));
+                    rest = &rest[used..];
+                }
+                Decoded::Corrupt(k) => return Err(ShipDecodeError::BadRecord(k)),
+            }
+        }
+        if records.len() != count {
+            return Err(ShipDecodeError::CountMismatch);
+        }
+        Ok(Shipment {
+            fingerprint,
+            generation,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Shipment {
+        Shipment::new(
+            0xDEAD_BEEF_CAFE_F00D,
+            7,
+            vec![
+                (1, b"entry one".to_vec()),
+                (1, b"".to_vec()),
+                (2, vec![0u8; 300]),
+            ],
+        )
+    }
+
+    #[test]
+    fn shipments_round_trip() {
+        let ship = sample();
+        let bytes = ship.encode();
+        assert_eq!(Shipment::decode(&bytes).unwrap(), ship);
+
+        let empty = Shipment::new(1, 0, vec![]);
+        assert_eq!(Shipment::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let clean = sample().encode();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut dirty = clean.clone();
+                dirty[byte] ^= 1 << bit;
+                if let Ok(ship) = Shipment::decode(&dirty) {
+                    panic!("flip at byte {byte} bit {bit} went undetected: {ship:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let clean = sample().encode();
+        for cut in 0..clean.len() {
+            assert!(Shipment::decode(&clean[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_and_count_lies_are_rejected() {
+        // Extra record appended beyond the declared count.
+        let mut extra = sample().encode();
+        record::encode_record(&mut extra, 3, 1, b"stowaway");
+        assert_eq!(
+            Shipment::decode(&extra).unwrap_err(),
+            ShipDecodeError::CountMismatch
+        );
+        // Raw garbage after the last record reads as a corrupt record.
+        let mut garbage = sample().encode();
+        garbage.extend_from_slice(b"junk");
+        assert!(matches!(
+            Shipment::decode(&garbage).unwrap_err(),
+            ShipDecodeError::BadRecord(_) | ShipDecodeError::CountMismatch
+        ));
+    }
+
+    #[test]
+    fn decode_errors_are_typed() {
+        assert_eq!(
+            Shipment::decode(b"DSSH"),
+            Err(ShipDecodeError::Truncated)
+        );
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert_eq!(Shipment::decode(&bytes), Err(ShipDecodeError::BadMagic));
+        let mut bytes = sample().encode();
+        bytes[4] = 9;
+        assert_eq!(Shipment::decode(&bytes), Err(ShipDecodeError::BadVersion(9)));
+    }
+}

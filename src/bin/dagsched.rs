@@ -7,6 +7,9 @@
 //! dagsched schedule block.s --scheduler warren --fill-slots
 //! dagsched sim      block.s            # pipeline cycles before/after
 //! dagsched serve    --listen unix:/tmp/dagsched.sock --state-dir /var/lib/dagsched
+//! dagsched route    --listen tcp:0.0.0.0:4590 --shard unix:/run/shard-0.sock --shard unix:/run/shard-1.sock
+//! dagsched cluster  status --connect tcp:127.0.0.1:4590
+//! dagsched cluster  add-shard --connect tcp:127.0.0.1:4590 --shard unix:/run/shard-2.sock
 //! dagsched request  block.s --connect unix:/tmp/dagsched.sock
 //! dagsched fsck     /var/lib/dagsched           # validate the store; --repair fixes it
 //! dagsched fuzz     --seed 0xDA65C4ED --minutes 2
@@ -34,6 +37,8 @@ use dagsched::driver::DriverConfig;
 use dagsched::isa::{MachineModel, Program};
 use dagsched::pipesim::{render_timeline, simulate, SimOptions};
 use dagsched::sched::{Scheduler, SchedulerKind};
+use dagsched::proto::AdminCommand;
+use dagsched::router::{serve_router, RouterConfig};
 use dagsched::service::proto::{parse_algo, parse_model, parse_policy, parse_scheduler_kind};
 use dagsched::service::server::{serve, ServerConfig};
 use dagsched::service::{CacheConfig, Client, ScheduleRequest};
@@ -81,6 +86,11 @@ struct Options {
     fsync_every: Option<u64>,
     /// `fsck`: repair the store instead of only reporting.
     repair: bool,
+    /// `route`: shard endpoints (repeatable `--shard`); `cluster`: the
+    /// shard an `add-shard`/`remove-shard` targets.
+    shards: Vec<String>,
+    /// `route`: replica-set size R (primary + R−1 ring successors).
+    replicas: usize,
     /// `request`: generated workload instead of an input file.
     profile: Option<String>,
     /// `request`: workload generator seed.
@@ -107,6 +117,8 @@ fn main() {
     let opts = parse_args().unwrap_or_else(|e| usage(&e));
     match opts.command.as_str() {
         "serve" => return cmd_serve(&opts),
+        "route" => return cmd_route(&opts),
+        "cluster" => return cmd_cluster(&opts),
         "request" => return cmd_request(&opts),
         "fuzz" => return cmd_fuzz(&opts),
         "diff" => return cmd_diff(&opts),
@@ -314,6 +326,63 @@ fn cmd_serve(opts: &Options) {
     );
     handle.join();
     eprintln!("dagsched: drained, exiting");
+}
+
+fn cmd_route(opts: &Options) {
+    if opts.shards.is_empty() {
+        die("route needs at least one --shard endpoint");
+    }
+    let listen = match dagsched::service::parse_endpoint(&opts.endpoint) {
+        Ok(l) => l,
+        Err(e) => die(&format!("--listen: {e}")),
+    };
+    let config = RouterConfig {
+        shards: opts.shards.clone(),
+        replicas: opts.replicas,
+        handle_sigterm: true,
+        ..RouterConfig::default()
+    };
+    let handle =
+        serve_router(listen, config).unwrap_or_else(|e| die(&format!("route: {e}")));
+    eprintln!(
+        "dagsched: routing on {} over {} shard(s), R={}",
+        handle.endpoint(),
+        opts.shards.len(),
+        opts.replicas
+    );
+    for shard in &opts.shards {
+        eprintln!("dagsched:   shard {shard}");
+    }
+    handle.join();
+    eprintln!("dagsched: router drained, exiting");
+}
+
+fn cmd_cluster(opts: &Options) {
+    let action = opts
+        .file
+        .as_deref()
+        .unwrap_or_else(|| usage("cluster needs an action: status | add-shard | remove-shard"));
+    let target = || -> String {
+        match opts.shards.as_slice() {
+            [one] => one.clone(),
+            [] => usage(&format!("cluster {action} needs a --shard endpoint")),
+            _ => usage(&format!("cluster {action} takes exactly one --shard")),
+        }
+    };
+    let cmd = match action {
+        "status" => AdminCommand::Status,
+        "add-shard" => AdminCommand::AddShard { endpoint: target() },
+        "remove-shard" => AdminCommand::RemoveShard { endpoint: target() },
+        other => usage(&format!(
+            "unknown cluster action `{other}` (status | add-shard | remove-shard)"
+        )),
+    };
+    let mut client =
+        Client::connect(&opts.endpoint).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let reply = client
+        .admin(&cmd)
+        .unwrap_or_else(|e| die(&format!("cluster {action}: {e}")));
+    println!("{reply}");
 }
 
 fn cmd_request(opts: &Options) {
@@ -592,6 +661,8 @@ fn parse_args() -> Result<Options, String> {
         wal_threshold_mb: None,
         fsync_every: None,
         repair: false,
+        shards: Vec::new(),
+        replicas: 2,
         minutes: 2.0,
         iters: None,
         corpus: None,
@@ -723,6 +794,17 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--fsync-every needs an append count (0 = only at snapshots)")?,
                 );
             }
+            "--shard" => {
+                opts.shards
+                    .push(args.next().ok_or("--shard needs an endpoint")?);
+            }
+            "--replicas" => {
+                opts.replicas = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--replicas needs a positive count")?;
+            }
             "--repair" => opts.repair = true,
             "--no-degrade" => opts.no_degrade = true,
             "--no-shrink" => opts.no_shrink = true,
@@ -760,7 +842,7 @@ fn usage(err: &str) -> ! {
         eprintln!("dagsched: {err}\n");
     }
     eprintln!(
-        "usage: dagsched <dag|dot|heur|schedule|sim|serve|request|fuzz|diff|fsck> [file|-]\n\
+        "usage: dagsched <dag|dot|heur|schedule|sim|serve|route|cluster|request|fuzz|diff|fsck> [file|-]\n\
          \n\
          options:\n\
          \x20 --algo       n2 | n2-backward | landskov | table-forward | table-backward | bitmap\n\
@@ -784,6 +866,15 @@ fn usage(err: &str) -> ! {
          \x20 --state-dir DIR    persist the cache + quarantine (snapshot + WAL) in DIR\n\
          \x20 --wal-threshold-mb N  snapshot once the WAL exceeds N MiB (default 4)\n\
          \x20 --fsync-every N    fsync the WAL every N cache entries (default 8)\n\
+         \n\
+         route options (a cluster front-end speaking the same protocol):\n\
+         \x20 --listen EP  endpoint to listen on (default tcp:127.0.0.1:4591)\n\
+         \x20 --shard EP   shard daemon endpoint; repeat for every shard\n\
+         \x20 --replicas N replica-set size per key (default 2)\n\
+         \n\
+         cluster options (dagsched cluster <status|add-shard|remove-shard>):\n\
+         \x20 --connect EP router endpoint\n\
+         \x20 --shard EP   the shard to add or remove (warm-spare join ships a snapshot)\n\
          \n\
          fsck options (dagsched fsck DIR):\n\
          \x20 --repair     truncate torn WAL tails and delete corrupt snapshots\n\

@@ -62,6 +62,8 @@ pub use dagsched_driver::{batch, driver, parallel};
 pub use dagsched_core as core;
 pub use dagsched_isa as isa;
 pub use dagsched_pipesim as pipesim;
+pub use dagsched_proto as proto;
+pub use dagsched_router as router;
 pub use dagsched_sched as sched;
 pub use dagsched_service as service;
 pub use dagsched_stats as stats;
