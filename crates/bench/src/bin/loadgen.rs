@@ -152,6 +152,12 @@ struct Options {
     cluster: Option<usize>,
     /// Cluster mode: SIGKILL shard 0 once a third of the load is in.
     kill_shard: bool,
+    /// Exit nonzero unless the achieved QPS reaches this floor
+    /// (standard mode only: a self-asserting soak gate for CI).
+    min_qps: Option<f64>,
+    /// Exit nonzero unless the server coalesced at least one request
+    /// (standard mode only; requires reaching the server's metrics).
+    expect_coalesced: bool,
 }
 
 impl Default for Options {
@@ -182,6 +188,8 @@ impl Default for Options {
             serve_child: false,
             cluster: None,
             kill_shard: false,
+            min_qps: None,
+            expect_coalesced: false,
         }
     }
 }
@@ -297,6 +305,15 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--kill-shard" => opts.kill_shard = true,
+            "--min-qps" => {
+                opts.min_qps = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|q| *q > 0.0)
+                        .ok_or("--min-qps needs a positive rate")?,
+                );
+            }
+            "--expect-coalesced" => opts.expect_coalesced = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--connect EP | --unix PATH] [--qps N] [--requests N] [--clients N]\n\
@@ -305,7 +322,8 @@ fn parse_args() -> Result<Options, String> {
                      \x20              [--chaos] [--seed N] [--faults PERMILLE] [--slow-ms N]\n\
                      \x20              [--retries N]\n\
                      \x20              [--crash-loop N] [--state-dir DIR]\n\
-                     \x20              [--cluster N] [--kill-shard]"
+                     \x20              [--cluster N] [--kill-shard]\n\
+                     \x20              [--min-qps N] [--expect-coalesced]"
                 );
                 std::process::exit(0);
             }
@@ -350,6 +368,13 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.kill_shard && opts.cluster.map_or(true, |n| n < 2) {
         return Err("--kill-shard needs --cluster with at least 2 shards".to_string());
+    }
+    if (opts.min_qps.is_some() || opts.expect_coalesced)
+        && (opts.chaos || opts.crash_loop.is_some() || opts.cluster.is_some())
+    {
+        return Err("--min-qps / --expect-coalesced are standard-mode gates; the chaos, \
+                    crash-loop and cluster audits assert their own invariants"
+            .to_string());
     }
     Ok(opts)
 }
@@ -1294,6 +1319,11 @@ fn main() {
     let p50 = percentile(&latencies, 50.0);
     let p95 = percentile(&latencies, 95.0);
     let p99 = percentile(&latencies, 99.0);
+    let achieved_qps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    let coalesced = server_metrics
+        .as_ref()
+        .and_then(|m| m.get("coalesced_requests"))
+        .and_then(|v| v.as_u64());
 
     let mut report = vec![
         ("endpoint", Json::from(endpoint.as_str())),
@@ -1308,10 +1338,7 @@ fn main() {
         ("completed", Json::from(total)),
         ("errors", Json::from(errors)),
         ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
-        (
-            "achieved_qps",
-            Json::from(total as f64 / elapsed.as_secs_f64().max(1e-9)),
-        ),
+        ("achieved_qps", Json::from(achieved_qps)),
         ("latency_ms_p50", Json::from(ms(p50))),
         ("latency_ms_p95", Json::from(ms(p95))),
         ("latency_ms_p99", Json::from(ms(p99))),
@@ -1347,7 +1374,30 @@ fn main() {
         100.0 * hit_rate,
         out
     );
-    if errors > 0 {
+    // Self-asserting gates for CI soaks.
+    let mut gate_failures = Vec::new();
+    if let Some(floor) = opts.min_qps {
+        if achieved_qps < floor {
+            gate_failures.push(format!(
+                "achieved {achieved_qps:.1} qps is below the --min-qps floor {floor:.1}"
+            ));
+        }
+    }
+    if opts.expect_coalesced {
+        match coalesced {
+            Some(n) if n > 0 => {}
+            Some(_) => gate_failures
+                .push("server coalesced zero requests (--expect-coalesced)".to_string()),
+            None => gate_failures.push(
+                "server metrics carry no coalesced_requests; cannot verify --expect-coalesced"
+                    .to_string(),
+            ),
+        }
+    }
+    for g in &gate_failures {
+        eprintln!("loadgen: GATE FAILED: {g}");
+    }
+    if errors > 0 || !gate_failures.is_empty() {
         std::process::exit(1);
     }
 }

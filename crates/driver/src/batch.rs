@@ -138,6 +138,16 @@ impl Limits {
         self
     }
 
+    /// Set the deadline at an explicit instant. A pipelined server
+    /// anchors a request's deadline at its *arrival*, not at the moment
+    /// a worker finally picks it up — time spent queued must count
+    /// against the budget, or a saturated server would happily compile
+    /// work whose client gave up long ago.
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Limits {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Enable deadline-aware graceful degradation under `policy`.
     pub fn with_degrade(mut self, policy: DegradePolicy) -> Limits {
         self.degrade = Some(policy);

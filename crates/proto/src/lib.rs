@@ -248,6 +248,125 @@ pub fn read_frame_or_eof(
     Ok(Some((kind, payload)))
 }
 
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// The blocking readers above own the socket until a whole frame
+/// arrives; a readiness-driven server cannot afford that, so the
+/// reactor feeds whatever bytes `read(2)` returned into an assembler
+/// and pumps out zero or more complete frames per wakeup. The header
+/// is validated as soon as its 8 bytes are buffered — bad magic,
+/// unknown kinds, and oversized declarations are rejected *before* any
+/// payload accumulates, so a hostile peer cannot make the server buffer
+/// an arbitrary payload any more than the blocking path would.
+///
+/// All offset arithmetic is checked (`usize::try_from` on the wire
+/// length, `checked_add` on buffer offsets): a malformed length maps to
+/// a typed [`FrameReadError`], never a panic or a wrapped index.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    max_payload: usize,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily.
+    pos: usize,
+}
+
+/// Compact the consumed prefix once it crosses this many bytes, so the
+/// buffer does not grow without bound on a long-lived connection.
+const ASSEMBLER_COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameAssembler {
+    /// An empty assembler enforcing `max_payload` per frame.
+    pub fn new(max_payload: usize) -> FrameAssembler {
+        FrameAssembler {
+            max_payload,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Feed bytes received from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= ASSEMBLER_COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered (a partial frame, or frames
+    /// not yet pumped out).
+    pub fn buffered(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Whether a frame has started arriving but is not yet complete —
+    /// after EOF this distinguishes a truncated frame from an orderly
+    /// hangup, and after a timeout a stalled writer from an idle one.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// The error an EOF in the current position maps to, mirroring the
+    /// blocking reader's messages ("truncated frame header" when the
+    /// stream died inside a header, payload truncation otherwise).
+    pub fn eof_error(&self) -> FrameReadError {
+        let msg = if self.buffered() < FRAME_HEADER_LEN {
+            "truncated frame header"
+        } else {
+            "truncated frame payload"
+        };
+        FrameReadError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, msg))
+    }
+
+    /// Pump out the next complete frame, `Ok(None)` when more bytes are
+    /// needed. Errors are sticky in practice: the caller replies with a
+    /// typed error and closes the connection, because the stream can no
+    /// longer be trusted to be frame-aligned.
+    pub fn next_frame(&mut self) -> Result<Option<(FrameKind, Vec<u8>)>, FrameReadError> {
+        if self.buffered() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let header = &self.buf[self.pos..self.pos + FRAME_HEADER_LEN];
+        if header[..2] != MAGIC {
+            return Err(FrameReadError::BadMagic([header[0], header[1]]));
+        }
+        if header[2] != VERSION {
+            return Err(FrameReadError::BadVersion(header[2]));
+        }
+        let kind = FrameKind::from_u8(header[3]).ok_or(FrameReadError::UnknownKind(header[3]))?;
+        let wire_len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        let len = usize::try_from(wire_len).map_err(|_| FrameReadError::Oversized {
+            len: self.max_payload.saturating_add(1),
+            max: self.max_payload,
+        })?;
+        if len > self.max_payload {
+            return Err(FrameReadError::Oversized {
+                len,
+                max: self.max_payload,
+            });
+        }
+        let total = FRAME_HEADER_LEN
+            .checked_add(len)
+            .ok_or(FrameReadError::Oversized {
+                len,
+                max: self.max_payload,
+            })?;
+        if self.buffered() < total {
+            return Ok(None);
+        }
+        let start = self.pos + FRAME_HEADER_LEN;
+        let payload = self.buf[start..start + len].to_vec();
+        self.pos += total;
+        Ok(Some((kind, payload)))
+    }
+}
+
+/// Bytes in a frame header.
+pub const FRAME_HEADER_LEN: usize = 8;
+
 /// Machine-readable error category carried by an `Error` frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -276,6 +395,12 @@ pub enum ErrorCode {
     /// quarantined: the server refuses to run it again. Unlike
     /// [`ErrorCode::Internal`], this is terminal — retrying is useless.
     Quarantined,
+    /// The connection sat idle without completing a frame (slow-loris):
+    /// the server timed out the read and closed it. Not retryable as a
+    /// *request* error — the client never sent a complete request, so
+    /// there is nothing to retry; a well-behaved client reconnects and
+    /// writes its frame promptly.
+    IdleTimeout,
 }
 
 impl ErrorCode {
@@ -292,6 +417,7 @@ impl ErrorCode {
             ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
             ErrorCode::Quarantined => "quarantined",
+            ErrorCode::IdleTimeout => "idle-timeout",
         }
     }
 
@@ -320,6 +446,7 @@ impl ErrorCode {
             "draining" => ErrorCode::Draining,
             "internal" => ErrorCode::Internal,
             "quarantined" => ErrorCode::Quarantined,
+            "idle-timeout" => ErrorCode::IdleTimeout,
             _ => return None,
         })
     }
@@ -992,6 +1119,115 @@ mod tests {
             }
             other => panic!("expected truncation error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_split_at_every_byte_boundary() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Request, b"{\"asm\":\"nop\"}").unwrap();
+        write_frame(&mut wire, FrameKind::Ping, b"").unwrap();
+        for split in 0..=wire.len() {
+            let mut asm = FrameAssembler::new(1024);
+            asm.extend(&wire[..split]);
+            let mut got = Vec::new();
+            while let Some(f) = asm.next_frame().unwrap() {
+                got.push(f);
+            }
+            asm.extend(&wire[split..]);
+            while let Some(f) = asm.next_frame().unwrap() {
+                got.push(f);
+            }
+            assert_eq!(got.len(), 2, "split at {split}");
+            assert_eq!(got[0].0, FrameKind::Request);
+            assert_eq!(got[0].1, b"{\"asm\":\"nop\"}");
+            assert_eq!(got[1].0, FrameKind::Ping);
+            assert!(!asm.mid_frame());
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_bad_headers_before_buffering_payloads() {
+        let mut good = Vec::new();
+        write_frame(&mut good, FrameKind::Ping, b"").unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        let mut asm = FrameAssembler::new(1024);
+        asm.extend(&bad_magic);
+        assert!(matches!(asm.next_frame(), Err(FrameReadError::BadMagic(_))));
+
+        let mut bad_version = good.clone();
+        bad_version[2] = 9;
+        let mut asm = FrameAssembler::new(1024);
+        asm.extend(&bad_version);
+        assert!(matches!(
+            asm.next_frame(),
+            Err(FrameReadError::BadVersion(9))
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[3] = 200;
+        let mut asm = FrameAssembler::new(1024);
+        asm.extend(&bad_kind);
+        assert!(matches!(
+            asm.next_frame(),
+            Err(FrameReadError::UnknownKind(200))
+        ));
+
+        // An oversized declaration is rejected from the header alone,
+        // before any payload byte arrives.
+        let mut oversized = good.clone();
+        oversized[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut asm = FrameAssembler::new(1024);
+        asm.extend(&oversized[..FRAME_HEADER_LEN]);
+        assert!(matches!(
+            asm.next_frame(),
+            Err(FrameReadError::Oversized { max: 1024, .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_eof_errors_match_the_blocking_reader() {
+        // Mid-header: same "truncated frame header" the blocking path
+        // reports.
+        let mut asm = FrameAssembler::new(1024);
+        asm.extend(b"DS\x01\x01");
+        assert!(asm.mid_frame());
+        assert!(asm.eof_error().to_string().contains("truncated frame header"));
+
+        // Mid-payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Request, b"{}").unwrap();
+        let mut asm = FrameAssembler::new(1024);
+        asm.extend(&wire[..wire.len() - 1]);
+        assert_eq!(asm.next_frame().unwrap(), None);
+        assert!(asm.mid_frame());
+        assert!(asm.eof_error().to_string().contains("truncated frame payload"));
+    }
+
+    #[test]
+    fn assembler_compacts_its_consumed_prefix() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Ping, b"").unwrap();
+        let mut asm = FrameAssembler::new(1024);
+        for _ in 0..50_000 {
+            asm.extend(&wire);
+            asm.next_frame().unwrap().unwrap();
+        }
+        // 50k pings at 8 bytes each would be 400 KB unbounded; the
+        // compaction keeps the buffer far below that.
+        assert!(asm.buf.capacity() < 2 * ASSEMBLER_COMPACT_THRESHOLD);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn idle_timeout_code_round_trips_and_is_terminal() {
+        assert_eq!(ErrorCode::IdleTimeout.as_str(), "idle-timeout");
+        assert_eq!(
+            ErrorCode::from_wire("idle-timeout"),
+            Some(ErrorCode::IdleTimeout)
+        );
+        assert!(!ErrorCode::IdleTimeout.is_retryable());
     }
 
     #[test]

@@ -1,6 +1,18 @@
-//! The router daemon: accept loop, request forwarding with the
+//! The router daemon: a readiness-driven front end (the same
+//! [`Reactor`] the shard daemon runs on), request forwarding with the
 //! failover ladder, background replication, health probing, and
 //! membership administration.
+//!
+//! # Front end
+//!
+//! One reactor thread owns every client socket: nonblocking accepts,
+//! incremental frame decode, buffered writes, idle and slow-loris
+//! timeouts. `Ping`/`Metrics`/`Shutdown` are answered inline; `Request`
+//! and `Admin` frames are pushed onto a bounded job queue served by a
+//! small pool of forwarding workers (each owning its keep-alive shard
+//! connections), so one slow shard dial no longer stalls every other
+//! client on the same connection thread. When the queue is full the
+//! client gets a retryable `busy` with a hint instead of silence.
 //!
 //! # Failover ladder
 //!
@@ -35,12 +47,10 @@
 //! (`replication_dropped`) rather than backpressuring the serving path.
 
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-#[cfg(unix)]
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::io;
+use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -48,20 +58,26 @@ use std::time::Duration;
 
 use dagsched_proto::json::Json;
 use dagsched_proto::{
-    hex_decode, read_frame_or_eof, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind,
-    FrameReadError, ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
+    hex_decode, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind, ScheduleRequest,
+    ScheduleResponse, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN,
 };
 use dagsched_service::client::{Client, ClientError, RetryPolicy};
+use dagsched_service::pipeline::{PushError, StageQueue};
+use dagsched_service::reactor::{
+    install_sigterm_handler, Completion, Completions, ConnId, Ctx, Handler, Listener, Reactor,
+    ReactorConfig,
+};
 use dagsched_service::server::Listen;
 
 use crate::ring::{fnv64, Ring};
 use crate::shard::{RouterMetrics, ShardState};
 
-/// How often the accept loop re-checks the drain flag while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
-
 /// Retry hint attached to `busy` rejections when no shard is live.
 const NO_SHARD_RETRY_MS: u64 = 200;
+
+/// Retry hint attached to `busy` rejections when the forwarding queue
+/// is full.
+const BUSY_RETRY_MS: u64 = 50;
 
 /// Retry hint attached to `draining` rejections.
 const DRAIN_RETRY_MS: u64 = 500;
@@ -84,14 +100,22 @@ pub struct RouterConfig {
     pub health_check_ms: u64,
     /// Largest accepted frame payload (client side and shard side).
     pub max_frame: usize,
-    /// Per-connection read timeout for idle clients.
+    /// Per-connection read timeout for idle clients (silent close
+    /// between frames).
     pub read_timeout_ms: u64,
+    /// Slow-loris bound: a connection stalled inside a frame (or that
+    /// never completed one) gets a typed `idle-timeout` error.
+    pub first_frame_timeout_ms: u64,
     /// Install a SIGTERM handler that triggers a graceful drain.
     pub handle_sigterm: bool,
     /// Retry policy for shard dials and forwarded requests.
     pub shard_retry: RetryPolicy,
     /// Bounded replication-queue depth.
     pub replication_queue: usize,
+    /// Forwarding worker threads (each owns its shard connections).
+    pub workers: usize,
+    /// Bounded forwarding-queue depth; beyond it clients get `busy`.
+    pub queue: usize,
 }
 
 impl Default for RouterConfig {
@@ -103,6 +127,7 @@ impl Default for RouterConfig {
             health_check_ms: 500,
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout_ms: 10_000,
+            first_frame_timeout_ms: 2_000,
             handle_sigterm: false,
             shard_retry: RetryPolicy {
                 max_retries: 2,
@@ -113,6 +138,8 @@ impl Default for RouterConfig {
                 jitter_seed: 0x0C1A_57E2,
             },
             replication_queue: 256,
+            workers: 4,
+            queue: 256,
         }
     }
 }
@@ -159,11 +186,11 @@ struct ReplJob {
 struct Shared {
     cluster: Mutex<Cluster>,
     metrics: RouterMetrics,
-    drain: AtomicBool,
+    /// Shared with the reactor (which also flips it on SIGTERM).
+    drain: Arc<AtomicBool>,
     replicas: usize,
     fail_threshold: u32,
     health_check_ms: u64,
-    max_frame: usize,
     shard_retry: RetryPolicy,
 }
 
@@ -180,7 +207,7 @@ impl Shared {
     }
 }
 
-/// Keep-alive connections to shards, one map per router thread (no
+/// Keep-alive connections to shards, one map per forwarding worker (no
 /// cross-thread sharing: a poisoned stream only affects its owner).
 #[derive(Default)]
 struct ShardConns {
@@ -236,75 +263,11 @@ impl ShardConns {
     }
 }
 
-/// One accepted client connection (either transport).
-enum Conn {
-    Tcp(TcpStream),
-    #[cfg(unix)]
-    Unix(UnixStream),
-}
-
-impl Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.flush(),
-        }
-    }
-}
-
-impl Conn {
-    fn set_read_timeout(&self, timeout: Duration) {
-        match self {
-            Conn::Tcp(s) => {
-                let _ = s.set_read_timeout(Some(timeout));
-            }
-            #[cfg(unix)]
-            Conn::Unix(s) => {
-                let _ = s.set_read_timeout(Some(timeout));
-            }
-        }
-    }
-}
-
-enum ListenerImpl {
-    Tcp(TcpListener),
-    #[cfg(unix)]
-    Unix(UnixListener, PathBuf),
-}
-
-impl ListenerImpl {
-    fn accept(&self) -> io::Result<Conn> {
-        match self {
-            ListenerImpl::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
-            #[cfg(unix)]
-            ListenerImpl::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
-        }
-    }
-}
-
 /// A running router. Dropping the handle does *not* stop it; call
 /// [`RouterHandle::begin_drain`] then [`RouterHandle::join`].
 pub struct RouterHandle {
     shared: Arc<Shared>,
+    completions: Arc<Completions>,
     thread: Option<JoinHandle<()>>,
     local_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
@@ -328,6 +291,9 @@ impl RouterHandle {
     /// Stop accepting connections and begin a graceful drain.
     pub fn begin_drain(&self) {
         self.shared.drain.store(true, Ordering::SeqCst);
+        // Interrupt the poll so the drain starts on this tick, not the
+        // next timeout.
+        self.completions.wake();
     }
 
     /// Snapshot the router counters (including per-shard gauges).
@@ -335,8 +301,8 @@ impl RouterHandle {
         self.shared.metrics_snapshot()
     }
 
-    /// Wait for the accept thread, connection threads, replicator and
-    /// prober to finish (after a drain was triggered).
+    /// Wait for the reactor, forwarding workers, replicator and prober
+    /// to finish (after a drain was triggered).
     pub fn join(mut self) {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -344,52 +310,189 @@ impl RouterHandle {
     }
 }
 
-/// SIGTERM flag (written from the signal handler: lock-free only).
-static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+/// One offloaded frame: answered later via a [`Completion`].
+struct RouterJob {
+    conn: ConnId,
+    work: Work,
+}
 
-#[cfg(unix)]
-fn install_sigterm_handler() {
-    extern "C" fn on_term(_sig: i32) {
-        SIGTERM_SEEN.store(true, Ordering::SeqCst);
-    }
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-    const SIGTERM: i32 = 15;
-    unsafe {
-        signal(SIGTERM, on_term);
+enum Work {
+    Request(Vec<u8>),
+    Admin(Vec<u8>),
+}
+
+/// Encode one complete wire frame (the worker threads build replies
+/// off the reactor thread).
+fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len().saturating_add(FRAME_HEADER_LEN));
+    let _ = write_frame(&mut frame, kind, payload);
+    frame
+}
+
+/// Forwarding worker: pops job batches, walks the failover ladder (or
+/// runs the admin command) with its own keep-alive shard connections,
+/// and pushes the encoded reply back to the reactor.
+fn worker_loop(
+    shared: Arc<Shared>,
+    queue: Arc<StageQueue<RouterJob>>,
+    completions: Arc<Completions>,
+    inflight: Arc<AtomicU64>,
+    repl_tx: SyncSender<ReplJob>,
+) {
+    let mut conns = ShardConns::default();
+    let mut batch = Vec::new();
+    while queue.pop_batch(&mut batch) {
+        for job in batch.drain(..) {
+            let bytes = match job.work {
+                Work::Request(payload) => {
+                    match forward_request(&shared, &mut conns, &repl_tx, &payload) {
+                        Ok(body) => {
+                            RouterMetrics::bump(&shared.metrics.responses);
+                            encode_frame(FrameKind::Response, body.to_string().as_bytes())
+                        }
+                        Err(reply) => {
+                            RouterMetrics::bump(&shared.metrics.errors);
+                            encode_frame(FrameKind::Error, reply.to_json().to_string().as_bytes())
+                        }
+                    }
+                }
+                Work::Admin(payload) => match handle_admin(&shared, &mut conns, &payload) {
+                    Ok(reply) => encode_frame(FrameKind::AdminReply, reply.to_string().as_bytes()),
+                    Err(reply) => {
+                        RouterMetrics::bump(&shared.metrics.errors);
+                        encode_frame(FrameKind::Error, reply.to_json().to_string().as_bytes())
+                    }
+                },
+            };
+            // Push the completion *before* the inflight decrement: the
+            // drain must never observe `idle` while a reply exists only
+            // on this stack frame.
+            completions.push(Completion {
+                conn: job.conn,
+                bytes,
+                close: false,
+            });
+            inflight.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
-#[cfg(not(unix))]
-fn install_sigterm_handler() {}
+/// Protocol logic the router plugs into the [`Reactor`].
+struct RouterHandler {
+    shared: Arc<Shared>,
+    queue: Arc<StageQueue<RouterJob>>,
+    completions: Arc<Completions>,
+    inflight: Arc<AtomicU64>,
+}
+
+impl RouterHandler {
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, work: Work) {
+        match self.queue.try_push(RouterJob { conn, work }) {
+            Ok(()) => {
+                // Exactly one completion will come back for this job.
+                self.inflight.fetch_add(1, Ordering::SeqCst);
+                ctx.expect_reply(conn);
+            }
+            Err(PushError::Full(_)) => {
+                RouterMetrics::bump(&self.shared.metrics.errors);
+                ctx.send_error(
+                    conn,
+                    &ErrorReply::new(
+                        ErrorCode::Busy,
+                        "router workers busy and the queue is full; retry later",
+                    )
+                    .with_retry_after_ms(BUSY_RETRY_MS),
+                );
+            }
+            Err(PushError::Closed(_)) => {
+                RouterMetrics::bump(&self.shared.metrics.errors);
+                ctx.send_error(
+                    conn,
+                    &ErrorReply::new(ErrorCode::Draining, "router is draining")
+                        .with_retry_after_ms(DRAIN_RETRY_MS),
+                );
+                ctx.close_after_flush(conn);
+            }
+        }
+    }
+}
+
+impl Handler for RouterHandler {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, kind: FrameKind, payload: Vec<u8>) {
+        match kind {
+            FrameKind::Ping => {
+                ctx.send(conn, FrameKind::Pong, Json::Null.to_string().as_bytes());
+            }
+            FrameKind::Metrics => {
+                let snap = self.shared.metrics_snapshot().to_string();
+                ctx.send(conn, FrameKind::Metrics, snap.as_bytes());
+            }
+            FrameKind::Shutdown => {
+                ctx.begin_drain();
+                self.completions.wake();
+                ctx.send(conn, FrameKind::Pong, Json::Null.to_string().as_bytes());
+                ctx.close_after_flush(conn);
+            }
+            FrameKind::Admin => self.enqueue(ctx, conn, Work::Admin(payload)),
+            FrameKind::Request => {
+                RouterMetrics::bump(&self.shared.metrics.requests);
+                if ctx.draining() && ctx.requests_seen(conn) > 0 {
+                    // In-flight work is completed during a drain, but a
+                    // connection that already got its answer is asked
+                    // to go away.
+                    RouterMetrics::bump(&self.shared.metrics.errors);
+                    ctx.send_error(
+                        conn,
+                        &ErrorReply::new(ErrorCode::Draining, "router is draining")
+                            .with_retry_after_ms(DRAIN_RETRY_MS),
+                    );
+                    if !ctx.has_pending(conn) {
+                        ctx.close_after_flush(conn);
+                    }
+                    return;
+                }
+                ctx.note_request(conn);
+                self.enqueue(ctx, conn, Work::Request(payload));
+            }
+            other => {
+                RouterMetrics::bump(&self.shared.metrics.errors);
+                ctx.send_error(
+                    conn,
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!("unexpected client frame kind {other:?}"),
+                    ),
+                );
+                ctx.close_after_flush(conn);
+            }
+        }
+    }
+
+    fn on_accept(&mut self) {
+        RouterMetrics::bump(&self.shared.metrics.connections);
+    }
+
+    fn on_drain_reject(&mut self) {
+        // `on_accept` already counted the connection.
+        RouterMetrics::bump(&self.shared.metrics.errors);
+    }
+
+    fn on_frame_error(&mut self, _reply: &ErrorReply) {
+        RouterMetrics::bump(&self.shared.metrics.errors);
+    }
+
+    fn on_idle_timeout(&mut self) {
+        RouterMetrics::bump(&self.shared.metrics.errors);
+    }
+
+    fn idle(&self) -> bool {
+        self.inflight.load(Ordering::SeqCst) == 0
+    }
+}
 
 /// Bind `listen` and start routing under `config`.
 pub fn serve_router(listen: Listen, config: RouterConfig) -> io::Result<RouterHandle> {
-    let (listener, local_addr, unix_path) = match listen {
-        Listen::Tcp(addr) => {
-            let l = TcpListener::bind(&addr)?;
-            l.set_nonblocking(true)?;
-            let bound = l.local_addr()?;
-            (ListenerImpl::Tcp(l), Some(bound), None)
-        }
-        #[cfg(unix)]
-        Listen::Unix(path) => {
-            if path.exists() && UnixStream::connect(&path).is_err() {
-                let _ = std::fs::remove_file(&path);
-            }
-            let l = UnixListener::bind(&path)?;
-            l.set_nonblocking(true)?;
-            (ListenerImpl::Unix(l, path.clone()), None, Some(path))
-        }
-        #[cfg(not(unix))]
-        Listen::Unix(_) => {
-            return Err(io::Error::new(
-                io::ErrorKind::Unsupported,
-                "unix sockets are not available on this platform",
-            ))
-        }
-    };
+    let (listener, local_addr, unix_path) = Listener::bind(listen)?;
 
     if config.handle_sigterm {
         install_sigterm_handler();
@@ -403,16 +506,29 @@ pub fn serve_router(listen: Listen, config: RouterConfig) -> io::Result<RouterHa
         cluster.add(endpoint);
     }
 
+    let drain = Arc::new(AtomicBool::new(false));
     let shared = Arc::new(Shared {
         cluster: Mutex::new(cluster),
         metrics: RouterMetrics::default(),
-        drain: AtomicBool::new(false),
+        drain: Arc::clone(&drain),
         replicas: config.replicas.max(1),
         fail_threshold: config.fail_threshold.max(1),
         health_check_ms: config.health_check_ms.max(50),
-        max_frame: config.max_frame,
         shard_retry: config.shard_retry.clone(),
     });
+
+    let reactor = Reactor::new(
+        listener,
+        ReactorConfig {
+            max_frame: config.max_frame,
+            idle_timeout: Duration::from_millis(config.read_timeout_ms.max(1)),
+            first_frame_timeout: Duration::from_millis(config.first_frame_timeout_ms.max(1)),
+            drain_message: "router is draining",
+            drain_retry_ms: DRAIN_RETRY_MS,
+        },
+        Arc::clone(&drain),
+    )?;
+    let completions = reactor.completions();
 
     let (repl_tx, repl_rx) = sync_channel::<ReplJob>(config.replication_queue.max(1));
     let repl_shared = Arc::clone(&shared);
@@ -425,190 +541,90 @@ pub fn serve_router(listen: Listen, config: RouterConfig) -> io::Result<RouterHa
         .name("dagsched-prober".to_string())
         .spawn(move || probe_loop(probe_shared))?;
 
-    let accept_shared = Arc::clone(&shared);
-    let read_timeout = Duration::from_millis(config.read_timeout_ms.max(1));
-    let thread = std::thread::Builder::new()
-        .name("dagsched-router-accept".to_string())
+    let worker_count = config.workers.max(1);
+    let queue = Arc::new(StageQueue::<RouterJob>::new(
+        config.queue.max(1),
+        worker_count,
+    ));
+    let inflight = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    let mut spawn_all = || -> io::Result<()> {
+        for i in 0..worker_count {
+            let s = Arc::clone(&shared);
+            let q = Arc::clone(&queue);
+            let c = Arc::clone(&completions);
+            let inf = Arc::clone(&inflight);
+            let tx = repl_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dagsched-router-{i}"))
+                    .spawn(move || worker_loop(s, q, c, inf, tx))?,
+            );
+        }
+        Ok(())
+    };
+    // The workers hold the only long-lived senders: once they are
+    // joined the replicator's receiver disconnects and it exits after
+    // draining its queue.
+    let spawned = spawn_all();
+    drop(repl_tx);
+    if let Err(e) = spawned {
+        drain.store(true, Ordering::SeqCst);
+        queue.close();
+        for h in workers {
+            let _ = h.join();
+        }
+        let _ = replicator.join();
+        let _ = prober.join();
+        return Err(e);
+    }
+
+    let handler_shared = Arc::clone(&shared);
+    let handler_queue = Arc::clone(&queue);
+    let handler_completions = Arc::clone(&completions);
+    let handler_inflight = Arc::clone(&inflight);
+    let cleanup_path = reactor.unix_path();
+    let thread = match std::thread::Builder::new()
+        .name("dagsched-router".to_string())
         .spawn(move || {
-            accept_loop(listener, accept_shared, repl_tx, read_timeout);
+            let mut handler = RouterHandler {
+                shared: handler_shared,
+                queue: handler_queue,
+                completions: handler_completions,
+                inflight: handler_inflight,
+            };
+            reactor.run(&mut handler);
+            // Drain finished: no new jobs can arrive. Close the queue
+            // so the workers exit, then let the replicator finish its
+            // backlog and the prober notice the drain flag.
+            handler.queue.close();
+            for h in workers {
+                let _ = h.join();
+            }
             let _ = replicator.join();
             let _ = prober.join();
-        })?;
+            #[cfg(unix)]
+            if let Some(path) = &cleanup_path {
+                let _ = std::fs::remove_file(path);
+            }
+            #[cfg(not(unix))]
+            let _ = cleanup_path;
+        }) {
+        Ok(t) => t,
+        Err(e) => {
+            drain.store(true, Ordering::SeqCst);
+            queue.close();
+            return Err(e);
+        }
+    };
 
     Ok(RouterHandle {
         shared,
+        completions,
         thread: Some(thread),
         local_addr,
         unix_path,
     })
-}
-
-fn accept_loop(
-    listener: ListenerImpl,
-    shared: Arc<Shared>,
-    repl_tx: SyncSender<ReplJob>,
-    read_timeout: Duration,
-) {
-    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        if SIGTERM_SEEN.load(Ordering::SeqCst) {
-            shared.drain.store(true, Ordering::SeqCst);
-        }
-        if shared.drain.load(Ordering::SeqCst) {
-            break;
-        }
-        match listener.accept() {
-            Ok(conn) => {
-                RouterMetrics::bump(&shared.metrics.connections);
-                conn.set_read_timeout(read_timeout);
-                let conn_shared = Arc::clone(&shared);
-                let conn_tx = repl_tx.clone();
-                match std::thread::Builder::new()
-                    .name("dagsched-router-conn".to_string())
-                    .spawn(move || serve_conn(&conn_shared, conn, conn_tx))
-                {
-                    Ok(handle) => conn_threads.push(handle),
-                    Err(_) => { /* thread limit: drop the connection */ }
-                }
-                conn_threads.retain(|t| !t.is_finished());
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                conn_threads.retain(|t| !t.is_finished());
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => break,
-        }
-    }
-    // Sweep the kernel's accept backlog with explicit `draining`
-    // replies (same contract as the daemon: no accepted connection is
-    // left hanging without an answer).
-    loop {
-        match listener.accept() {
-            Ok(mut conn) => {
-                RouterMetrics::bump(&shared.metrics.connections);
-                RouterMetrics::bump(&shared.metrics.errors);
-                let reply = ErrorReply::new(ErrorCode::Draining, "router is draining")
-                    .with_retry_after_ms(DRAIN_RETRY_MS);
-                let _ = write_frame(
-                    &mut conn,
-                    FrameKind::Error,
-                    reply.to_json().to_string().as_bytes(),
-                );
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => break,
-        }
-    }
-    // In-flight connections finish their work (their loops observe the
-    // drain flag after the current request).
-    drop(repl_tx);
-    for t in conn_threads {
-        let _ = t.join();
-    }
-    #[cfg(unix)]
-    if let ListenerImpl::Unix(_, path) = &listener {
-        let _ = std::fs::remove_file(path);
-    }
-}
-
-fn send_error(shared: &Shared, conn: &mut Conn, reply: &ErrorReply) {
-    RouterMetrics::bump(&shared.metrics.errors);
-    let _ = write_frame(
-        conn,
-        FrameKind::Error,
-        reply.to_json().to_string().as_bytes(),
-    );
-}
-
-fn send_ok(conn: &mut Conn, kind: FrameKind, payload: &Json) {
-    let _ = write_frame(conn, kind, payload.to_string().as_bytes());
-}
-
-/// Serve one keep-alive client connection until EOF, error, or drain.
-fn serve_conn(shared: &Shared, mut conn: Conn, repl_tx: SyncSender<ReplJob>) {
-    let mut conns = ShardConns::default();
-    let mut served = 0usize;
-    loop {
-        let frame = match read_frame_or_eof(&mut conn, shared.max_frame) {
-            Ok(None) => return,
-            Ok(Some(frame)) => frame,
-            Err(FrameReadError::Oversized { len, max }) => {
-                send_error(
-                    shared,
-                    &mut conn,
-                    &ErrorReply::new(
-                        ErrorCode::OversizedFrame,
-                        format!("frame payload of {len} bytes exceeds the {max}-byte cap"),
-                    ),
-                );
-                return;
-            }
-            Err(FrameReadError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                return;
-            }
-            Err(e) => {
-                send_error(
-                    shared,
-                    &mut conn,
-                    &ErrorReply::new(ErrorCode::MalformedFrame, e.to_string()),
-                );
-                return;
-            }
-        };
-        match frame {
-            (FrameKind::Ping, _) => send_ok(&mut conn, FrameKind::Pong, &Json::Null),
-            (FrameKind::Metrics, _) => {
-                let snap = shared.metrics_snapshot();
-                send_ok(&mut conn, FrameKind::Metrics, &snap);
-            }
-            (FrameKind::Shutdown, _) => {
-                shared.drain.store(true, Ordering::SeqCst);
-                send_ok(&mut conn, FrameKind::Pong, &Json::Null);
-                return;
-            }
-            (FrameKind::Admin, payload) => {
-                match handle_admin(shared, &mut conns, &payload) {
-                    Ok(reply) => send_ok(&mut conn, FrameKind::AdminReply, &reply),
-                    Err(reply) => send_error(shared, &mut conn, &reply),
-                }
-            }
-            (FrameKind::Request, payload) => {
-                RouterMetrics::bump(&shared.metrics.requests);
-                if shared.drain.load(Ordering::SeqCst) && served > 0 {
-                    send_error(
-                        shared,
-                        &mut conn,
-                        &ErrorReply::new(ErrorCode::Draining, "router is draining")
-                            .with_retry_after_ms(DRAIN_RETRY_MS),
-                    );
-                    return;
-                }
-                match forward_request(shared, &mut conns, &repl_tx, &payload) {
-                    Ok(body) => {
-                        RouterMetrics::bump(&shared.metrics.responses);
-                        send_ok(&mut conn, FrameKind::Response, &body);
-                    }
-                    Err(reply) => send_error(shared, &mut conn, &reply),
-                }
-                served += 1;
-            }
-            (other, _) => {
-                send_error(
-                    shared,
-                    &mut conn,
-                    &ErrorReply::new(
-                        ErrorCode::BadRequest,
-                        format!("unexpected client frame kind {other:?}"),
-                    ),
-                );
-                return;
-            }
-        }
-    }
 }
 
 /// The routing key: FNV-1a of the canonical request JSON with the
@@ -975,5 +991,7 @@ mod tests {
         assert!(cfg.fail_threshold >= 1);
         assert!(cfg.shard_retry.max_retries >= 1);
         assert!(cfg.replication_queue > 0);
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue >= 1);
     }
 }

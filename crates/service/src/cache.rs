@@ -516,18 +516,39 @@ impl ScheduleCache {
         }
     }
 
+    /// Lock the LRU, recovering from poisoning. This lock is shared by
+    /// every worker; under `catch_unwind` supervision a worker that
+    /// panics while holding it (an injected fault, or a bug in the
+    /// replay path) would otherwise poison it and turn *every*
+    /// subsequent request into an `internal` error — one contained
+    /// crash must cost one reply, not the whole cache. The LRU's
+    /// intrusive lists are written with index assignments that either
+    /// fully happen or don't (no temporarily-dangling states across a
+    /// panic point), so the recovered data is structurally sound.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Lru> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, Option<PersistWriter>> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Install (or replace) the write-through persistence sink. Import
     /// recovered entries *before* installing the writer, or recovery
     /// would re-log everything it just read.
     pub fn set_writer(&self, writer: PersistWriter) {
-        *self.writer.lock().unwrap() = Some(writer);
+        *self.lock_writer() = Some(writer);
     }
 
     /// Serialize every cached entry, least recently used first (so
     /// re-importing in order reproduces the recency order). Entries
     /// that cannot be encoded faithfully are skipped.
     pub fn export_entries(&self) -> Vec<Vec<u8>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         let mut out = Vec::with_capacity(inner.map.len());
         let mut ix = inner.tail;
         while ix != NONE {
@@ -546,14 +567,14 @@ impl ScheduleCache {
     /// triggers the write-through sink.
     pub fn import_entry(&self, bytes: &[u8]) -> bool {
         match CachedBlock::decode(bytes) {
-            Some((key, value)) => self.inner.lock().unwrap().insert(key, value, &self.config),
+            Some((key, value)) => self.lock_inner().insert(key, value, &self.config),
             None => false,
         }
     }
 
     /// Snapshot the hit/miss/size counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -566,7 +587,7 @@ impl ScheduleCache {
 
     /// Current entry count.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.lock_inner().map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -577,7 +598,7 @@ impl ScheduleCache {
     /// Cached keys from most to least recently used (test/diagnostic
     /// helper).
     pub fn keys_by_recency(&self) -> Vec<Key> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         let mut out = Vec::with_capacity(inner.map.len());
         let mut ix = inner.head;
         while ix != NONE {
@@ -603,7 +624,7 @@ impl BlockCache for ScheduleCache {
         config: &DriverConfig,
     ) -> Option<BlockOutcome> {
         let key = block_key(insns, model, config);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         match inner.map.get(&key).copied() {
             Some(ix) => {
                 inner.touch(ix);
@@ -636,9 +657,9 @@ impl BlockCache for ScheduleCache {
         // so *after* the cache lock is dropped, so the sink can safely
         // re-enter the cache.
         let encoded = value.encode(key);
-        let admitted = self.inner.lock().unwrap().insert(key, value, &self.config);
+        let admitted = self.lock_inner().insert(key, value, &self.config);
         if admitted {
-            if let (Some(bytes), Some(writer)) = (encoded, self.writer.lock().unwrap().as_ref()) {
+            if let (Some(bytes), Some(writer)) = (encoded, self.lock_writer().as_ref()) {
                 writer(&bytes);
             }
         }
@@ -659,6 +680,36 @@ mod tests {
     fn compile(insns: &[Instruction], model: &MachineModel, config: &DriverConfig) -> BlockOutcome {
         let mut scratch = Scratch::new();
         compile_block(0, insns, model, config, None, &mut scratch).expect("well-formed block")
+    }
+
+    /// Regression: a worker that panics while holding the cache lock
+    /// (injected fault mid-insert, or a bug in the replay path)
+    /// poisons a plain `Mutex`. Every lock site recovers the guard, so
+    /// one contained panic costs one reply — not `internal` errors for
+    /// every request thereafter.
+    #[test]
+    fn the_cache_survives_a_poisoned_lock() {
+        use std::sync::Arc;
+        let cache = Arc::new(ScheduleCache::default());
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("injected fault: panic while holding the cache lock");
+        })
+        .join();
+        assert!(cache.inner.is_poisoned(), "setup must actually poison");
+
+        // Every public surface still works after the poisoning.
+        let insns = block("ld [%o0], %l0\n add %l0, %o1, %o2");
+        let model = MachineModel::sparc2();
+        let config = DriverConfig::default();
+        let outcome = compile(&insns, &model, &config);
+        cache.store(&insns, &model, &config, &outcome);
+        let hit = cache.lookup(0, &insns, &model, &config).unwrap();
+        assert_eq!(hit.emitted, outcome.emitted);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(!cache.export_entries().is_empty());
     }
 
     #[test]

@@ -640,6 +640,7 @@ mod tests {
             ErrorCode::MalformedFrame,
             ErrorCode::OversizedFrame,
             ErrorCode::Quarantined,
+            ErrorCode::IdleTimeout,
         ] {
             let err = ClientError::Server(ErrorReply::new(code, "x"));
             assert!(!err.is_retryable(), "{code} must not retry");

@@ -7,7 +7,7 @@
 //! no-network ceiling) behave identically. Every failure path returns
 //! an [`ErrorReply`]; nothing here panics on user input.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dagsched_core::Scratch;
 use dagsched_driver::{
@@ -60,12 +60,28 @@ fn build_program(input: &RequestInput) -> Result<Program, ErrorReply> {
 }
 
 /// Execute one request against `cache`, drawing working storage from
-/// the caller's `scratch` for the serial path.
+/// the caller's `scratch` for the serial path. The deadline is
+/// anchored at the moment of the call — use [`execute_at`] when the
+/// request spent time queued first.
 pub fn execute(
     req: &ScheduleRequest,
     limits: &EngineLimits,
     cache: &ScheduleCache,
     scratch: &mut Scratch,
+) -> Result<ScheduleResponse, ErrorReply> {
+    execute_at(req, limits, cache, scratch, Instant::now())
+}
+
+/// [`execute`] with the deadline anchored at `arrival` instead of now:
+/// a pipelined server counts queue wait against the request's budget,
+/// so a reply never arrives later than `arrival + deadline_ms` just
+/// because the compile stage was backed up.
+pub fn execute_at(
+    req: &ScheduleRequest,
+    limits: &EngineLimits,
+    cache: &ScheduleCache,
+    scratch: &mut Scratch,
+    arrival: Instant,
 ) -> Result<ScheduleResponse, ErrorReply> {
     if req.debug_panic {
         // Test-only chaos knob: blow up inside the worker so integration
@@ -83,7 +99,7 @@ pub fn execute(
     }
     let deadline_ms = req.deadline_ms.or(limits.default_deadline_ms);
     if let Some(ms) = deadline_ms {
-        batch_limits = batch_limits.with_deadline_in(Duration::from_millis(ms));
+        batch_limits = batch_limits.with_deadline_at(arrival + Duration::from_millis(ms));
         if req.degrade {
             // Deadline-aware degradation: as the remaining budget
             // shrinks below policy thresholds, later blocks fall down
@@ -263,6 +279,24 @@ mod tests {
             let _ = execute(&req, &EngineLimits::default(), &cache, &mut scratch);
         }));
         assert!(res.is_err(), "debug_panic must actually panic");
+    }
+
+    /// Queue wait counts against the budget: a request that *arrived*
+    /// longer ago than its deadline expires even though the worker
+    /// only just picked it up.
+    #[test]
+    fn queue_time_counts_against_the_deadline() {
+        let mut req = ScheduleRequest::profile("grep", 7);
+        req.deadline_ms = Some(50);
+        req.degrade = false;
+        let cache = ScheduleCache::default();
+        let mut scratch = Scratch::new();
+        let Some(arrival) = Instant::now().checked_sub(Duration::from_millis(200)) else {
+            return; // clock too young to back-date; nothing to assert
+        };
+        let err = execute_at(&req, &EngineLimits::default(), &cache, &mut scratch, arrival)
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExpired, "{err}");
     }
 
     #[test]

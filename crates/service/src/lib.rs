@@ -2,11 +2,14 @@
 //!
 //! A long-running scheduling daemon for the `dagsched` workspace: the
 //! paper's per-block pipeline behind a length-prefixed binary+JSON wire
-//! protocol over TCP or Unix sockets, with a fixed worker pool
-//! (one reusable `Scratch` arena per worker), a content-addressed
-//! schedule cache with LRU eviction and a byte budget, per-request
-//! deadlines and block-size limits, explicit `busy` backpressure, and a
-//! SIGTERM-triggered graceful drain.
+//! protocol over TCP or Unix sockets. A single readiness-driven
+//! reactor thread owns every socket; requests flow through bounded
+//! decode and compile stage queues (one reusable `Scratch` arena per
+//! compile worker) with single-flight coalescing of identical
+//! in-flight requests, a content-addressed schedule cache with LRU
+//! eviction and a byte budget, per-request deadlines anchored at
+//! arrival, explicit `busy` backpressure, and a SIGTERM-triggered
+//! graceful drain.
 //!
 //! Entirely `std`: no async runtime, no serde, no external crates —
 //! the workspace builds offline.
@@ -21,8 +24,14 @@
 //!   interposition point.
 //! * [`engine`] — request execution (shared by the server and the load
 //!   generator).
-//! * [`pool`] — the bounded worker pool.
-//! * [`server`] — listeners, accept loop, drain.
+//! * [`reactor`] — the readiness-driven (nonblocking `poll(2)`) front
+//!   end shared by the daemon and the cluster router.
+//! * [`pipeline`] — bounded stage queues with adaptive batching, plus
+//!   single-flight compile coalescing.
+//! * [`pool`] — the bounded worker pool (kept for embedders; the
+//!   daemon itself now runs on the reactor + stage queues).
+//! * [`server`] — the daemon: reactor handler, decode/compile stages,
+//!   drain.
 //! * [`client`] — a small blocking client.
 //! * [`metrics`] — server counters.
 //!
@@ -50,7 +59,9 @@ pub mod client;
 pub mod engine;
 pub mod metrics;
 pub mod persist;
+pub mod pipeline;
 pub mod pool;
+pub mod reactor;
 pub mod server;
 
 // The wire protocol and its JSON codec live in the shared

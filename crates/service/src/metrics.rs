@@ -45,6 +45,18 @@ pub struct Metrics {
     /// Torn/corrupt WAL records truncated plus snapshot files rejected
     /// during the startup recovery (set once).
     pub recovery_truncated_records: AtomicU64,
+    /// Requests answered from another request's in-flight compile
+    /// (single-flight coalescing): attached as followers, never
+    /// compiled, bit-identical reply.
+    pub coalesced_requests: AtomicU64,
+    /// Connections closed with a typed `idle-timeout` error for
+    /// stalling without a complete frame (slow-loris defence).
+    pub idle_timeouts: AtomicU64,
+    /// Batches popped by pipeline stage workers.
+    pub batches_dispatched: AtomicU64,
+    /// Requests carried by those batches (`batched_requests /
+    /// batches_dispatched` = realized mean batch size).
+    pub batched_requests: AtomicU64,
 }
 
 /// NaN-safe ratio: `0.0` when the denominator is zero.
@@ -97,6 +109,10 @@ impl Metrics {
                 "recovery_truncated_records",
                 g(&self.recovery_truncated_records),
             ),
+            ("coalesced_requests", g(&self.coalesced_requests)),
+            ("idle_timeouts", g(&self.idle_timeouts)),
+            ("batches_dispatched", g(&self.batches_dispatched)),
+            ("batched_requests", g(&self.batched_requests)),
             ("store", store_json),
             (
                 "panic_rate",
@@ -224,6 +240,10 @@ mod tests {
             "degraded_replies",
             "retries_attempted",
             "shed_with_retry_after",
+            "coalesced_requests",
+            "idle_timeouts",
+            "batches_dispatched",
+            "batched_requests",
         ] {
             assert_eq!(snap.get(key).unwrap().as_u64(), Some(0), "{key}");
         }

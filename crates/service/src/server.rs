@@ -1,57 +1,66 @@
-//! The daemon: listeners, accept loop, connection handling, drain.
+//! The daemon: a readiness-driven front end feeding a staged compile
+//! pipeline.
 //!
-//! One accept thread per server polls a non-blocking listener (TCP or
-//! Unix) and hands each accepted connection to a fixed
-//! [`WorkerPool`](crate::pool::WorkerPool). The pool's bounded queue is
-//! the backpressure mechanism: when it is full the accept thread writes
-//! a `busy` error frame and closes the connection immediately, so
-//! overload shows up as an explicit, machine-readable rejection rather
-//! than unbounded queueing.
+//! One [`Reactor`] thread owns every socket: it accepts, assembles
+//! frames incrementally, answers cheap frames (ping, metrics, admin,
+//! shutdown) inline, and hands each `Request` to the *decode* stage.
+//! Decode workers parse and screen the payload (UTF-8 → JSON →
+//! [`ScheduleRequest`] → quarantine check), then either attach the
+//! request to an identical in-flight compile (single-flight
+//! coalescing) or enqueue a new [`CompileJob`]. Compile workers pop
+//! *batches* — sized adaptively from queue depth — execute under panic
+//! containment with the deadline anchored at arrival time, encode the
+//! reply once, and fan it out to the leader plus every coalesced
+//! follower through the reactor's completion queue.
 //!
-//! Connections are served keep-alive: a worker reads frames until the
-//! client hangs up, answering each `Request` with a `Response` or a
-//! typed `Error`. No input — malformed header, oversized frame,
-//! truncated payload, junk JSON, unknown scheduler — can panic a
-//! worker; every failure maps to an [`ErrorReply`] (see
-//! [`crate::proto`]).
+//! Backpressure is request-shaped: when the bounded compile queue is
+//! full the *request* gets a `busy` + retry hint and the connection
+//! stays open — under the old thread-per-connection core a full
+//! *connection* queue burned the whole connection. A stalled client no
+//! longer pins a worker either way: connections are reactor state, not
+//! threads, and a peer that never completes a frame is closed with a
+//! typed `idle-timeout` error (the slow-loris bound).
+//!
+//! # Single-flight coalescing
+//!
+//! Identical concurrent requests (same content-addressed key the cache
+//! and quarantine use: the canonical JSON with `attempt` zeroed) are
+//! compiled once. The first becomes the flight's leader; the rest
+//! attach as followers and receive a bit-identical copy of the
+//! leader's reply (`coalesced_requests` counts them). A request that
+//! arrives after the flight finished opens a new one and is served
+//! from the now-warm cache.
 //!
 //! # Panic isolation
 //!
-//! The per-request pipeline runs under `catch_unwind`: a panic anywhere
-//! inside request execution becomes a typed `internal` error reply, the
-//! worker's scratch arena is rebuilt from scratch (it may hold
-//! half-mutated state), and the connection keeps serving. The worker
-//! thread itself never dies — a crash costs one reply, not a quarter of
-//! the pool. Payloads that keep crashing workers are *quarantined*:
-//! after [`QUARANTINE_THRESHOLD`] contained panics, the same request
-//! (retries included — the key ignores the `attempt` counter) is
-//! refused up front with `quarantined` instead of being allowed to
-//! burn another worker.
+//! Unchanged from the blocking core: the compile runs under
+//! `catch_unwind`, a panic becomes a typed `internal` reply, the
+//! worker's scratch arena is rebuilt, and after
+//! [`QUARANTINE_THRESHOLD`] contained panics the payload is refused
+//! with `quarantined` up front. One contained crash costs one reply,
+//! never the server — shared locks (cache, quarantine, completions,
+//! stage queues) all recover from poisoning.
 //!
 //! # Drain
 //!
 //! [`ServerHandle::begin_drain`], a `Shutdown` frame, or SIGTERM (when
-//! [`ServerConfig::handle_sigterm`] is set) all flip one flag. The
-//! accept thread stops accepting; connections already accepted get
-//! their in-flight request completed (a connection that has already
-//! been answered once is told `draining` instead); connections still
-//! sitting in the kernel's accept backlog are swept up and answered
-//! `draining` (with a retry hint) rather than silently dropped; the
-//! worker pool drains its queue and joins; a Unix socket path is
-//! unlinked. A served request is therefore never dropped on shutdown,
-//! and no accepted connection is left hanging without a reply.
+//! [`ServerConfig::handle_sigterm`] is set) flip one flag. The reactor
+//! answers backlog and freshly accepted connections with `draining` +
+//! retry hint, lets every in-flight request finish and flush, then
+//! exits; the stage queues close, workers join, and a final snapshot
+//! folds the WAL before a Unix socket path is unlinked. A served
+//! request is never dropped on shutdown, and no accepted connection is
+//! left hanging without a reply.
 
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-#[cfg(unix)]
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::io;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dagsched_core::Scratch;
 
@@ -59,21 +68,23 @@ use dagsched_core::Scratch;
 use crate::faultinject::{Fault, FaultConfig};
 
 use crate::cache::{CacheConfig, ScheduleCache};
-use crate::engine::{execute, EngineLimits};
+use crate::engine::{execute_at, EngineLimits};
+use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::persist::{
     decode_quarantine, encode_quarantine, store_fingerprint, Persistence, DEFAULT_FSYNC_EVERY,
     DEFAULT_WAL_SNAPSHOT_THRESHOLD, KIND_CACHE_ENTRY, KIND_QUARANTINE,
 };
+use crate::pipeline::{FlightOutcome, PushError, SingleFlight, StageQueue};
 use crate::proto::{
-    hex_encode, read_frame_or_eof, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind,
-    FrameReadError, ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
+    hex_encode, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind, ScheduleRequest,
+    ScheduleResponse, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN,
+};
+use crate::reactor::{
+    install_sigterm_handler, Completion, Completions, ConnId, Ctx, Handler, Listener, Reactor,
+    ReactorConfig,
 };
 use dagsched_store::Shipment;
-use crate::{json::Json, pool::SubmitError, pool::WorkerPool};
-
-/// How often the accept loop re-checks the drain flag while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Contained panics from one payload before it is quarantined.
 pub const QUARANTINE_THRESHOLD: u32 = 2;
@@ -197,9 +208,10 @@ pub fn parse_endpoint(s: &str) -> Result<Listen, String> {
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads serving connections.
+    /// Compile-stage worker threads (the decode stage gets half as
+    /// many, at least one).
     pub workers: usize,
-    /// Bounded connection-queue depth; beyond this, `busy`.
+    /// Bounded request-queue depth per stage; beyond this, `busy`.
     pub queue: usize,
     /// Schedule-cache bounds.
     pub cache: CacheConfig,
@@ -211,8 +223,13 @@ pub struct ServerConfig {
     pub default_deadline_ms: Option<u64>,
     /// Cap on per-request `jobs`.
     pub max_jobs: usize,
-    /// Per-connection read timeout (an idle client is disconnected).
+    /// Idle timeout between frames (an idle keep-alive client is
+    /// disconnected silently, as under the old blocking read timeout).
     pub read_timeout_ms: u64,
+    /// Slow-loris bound: a connection that has never completed a frame
+    /// (or stalls mid-frame) is answered with a typed `idle-timeout`
+    /// error and closed after this long.
+    pub first_frame_timeout_ms: u64,
     /// Install a SIGTERM handler that triggers a graceful drain.
     pub handle_sigterm: bool,
     /// Directory for the crash-safe snapshot+WAL store (`None` = the
@@ -239,6 +256,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             max_jobs: 8,
             read_timeout_ms: 10_000,
+            first_frame_timeout_ms: 2_000,
             handle_sigterm: false,
             state_dir: None,
             wal_snapshot_threshold: DEFAULT_WAL_SNAPSHOT_THRESHOLD,
@@ -249,11 +267,11 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by the accept thread and every worker.
+/// State shared by the reactor and every stage worker.
 struct Shared {
     cache: ScheduleCache,
     metrics: Metrics,
-    drain: AtomicBool,
+    drain: Arc<AtomicBool>,
     limits: EngineLimits,
     max_frame: usize,
     quarantine: Quarantine,
@@ -262,7 +280,7 @@ struct Shared {
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultConfig>,
     #[cfg(feature = "fault-injection")]
-    fault_seq: std::sync::atomic::AtomicU64,
+    fault_seq: AtomicU64,
 }
 
 #[cfg(feature = "fault-injection")]
@@ -302,61 +320,542 @@ impl Shared {
     }
 }
 
-/// One accepted connection (either transport).
-enum Conn {
-    Tcp(TcpStream),
-    #[cfg(unix)]
-    Unix(UnixStream),
+// ---------------------------------------------------------------------
+// Pipeline stages
+// ---------------------------------------------------------------------
+
+/// A raw `Request` payload headed for the decode stage.
+struct DecodeJob {
+    conn: ConnId,
+    payload: Vec<u8>,
+    /// When the frame completed on the wire; the deadline anchors here.
+    arrival: Instant,
+    #[cfg(feature = "fault-injection")]
+    fault: Fault,
 }
 
-impl Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.read(buf),
+/// A screened request headed for the compile stage (the flight leader).
+struct CompileJob {
+    conn: ConnId,
+    request: ScheduleRequest,
+    /// Canonical request JSON with `attempt` zeroed: the single-flight,
+    /// cache, and quarantine identity.
+    key: String,
+    key_hash: u64,
+    arrival: Instant,
+    #[cfg(feature = "fault-injection")]
+    fault: Fault,
+}
+
+/// A coalesced follower awaiting the leader's reply.
+struct Recipient {
+    conn: ConnId,
+    /// Followers still draw their own *frame* fault (reset / truncate /
+    /// corrupt applies per recipient); a follower's panic/slow draw is
+    /// intentionally unused — the leader's compile is the only compile.
+    #[cfg(feature = "fault-injection")]
+    fault: Fault,
+}
+
+/// Everything a stage worker needs, cheap to clone (all `Arc`s).
+#[derive(Clone)]
+struct Pipeline {
+    shared: Arc<Shared>,
+    decode_q: Arc<StageQueue<DecodeJob>>,
+    compile_q: Arc<StageQueue<CompileJob>>,
+    flights: Arc<SingleFlight<Recipient>>,
+    completions: Arc<Completions>,
+    /// Requests accepted into the pipeline whose reply has not yet been
+    /// pushed as a completion; the drain waits for zero.
+    inflight: Arc<AtomicU64>,
+}
+
+/// Encode one frame into a byte vector (for completions).
+fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len().saturating_add(FRAME_HEADER_LEN));
+    let _ = write_frame(&mut frame, kind, payload);
+    frame
+}
+
+/// Finish one pipeline request with an error reply.
+fn finish_error(pipe: &Pipeline, conn: ConnId, reply: &ErrorReply) {
+    Metrics::bump(&pipe.shared.metrics.errors);
+    if reply.code == ErrorCode::DeadlineExpired {
+        Metrics::bump(&pipe.shared.metrics.deadline_expirations);
+    }
+    let payload = reply.to_json().to_string();
+    pipe.completions.push(Completion {
+        conn,
+        bytes: encode_frame(FrameKind::Error, payload.as_bytes()),
+        close: false,
+    });
+    // Decrement only after the completion is queued: the drain may not
+    // observe "idle" while a reply exists nowhere but this stack frame.
+    pipe.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Finish one pipeline request with (a copy of) a successful response
+/// body, applying any injected frame fault for this recipient.
+fn finish_response(
+    pipe: &Pipeline,
+    conn: ConnId,
+    body: &str,
+    degraded: bool,
+    #[cfg(feature = "fault-injection")] fault: Fault,
+) {
+    Metrics::bump(&pipe.shared.metrics.responses);
+    if degraded {
+        Metrics::bump(&pipe.shared.metrics.degraded_replies);
+    }
+    #[cfg(feature = "fault-injection")]
+    let (bytes, close) = apply_response_fault(fault, body);
+    #[cfg(not(feature = "fault-injection"))]
+    let (bytes, close) = (encode_frame(FrameKind::Response, body.as_bytes()), false);
+    pipe.completions.push(Completion { conn, bytes, close });
+    pipe.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Decode-stage worker: parse, screen, coalesce or enqueue.
+fn decode_loop(pipe: Pipeline) {
+    let mut batch: Vec<DecodeJob> = Vec::new();
+    while pipe.decode_q.pop_batch(&mut batch) {
+        Metrics::bump(&pipe.shared.metrics.batches_dispatched);
+        pipe.shared
+            .metrics
+            .batched_requests
+            .fetch_add(u64::try_from(batch.len()).unwrap_or(u64::MAX), Ordering::Relaxed);
+        for job in batch.drain(..) {
+            decode_one(&pipe, job);
         }
     }
 }
 
-impl Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.write(buf),
-        }
+fn decode_one(pipe: &Pipeline, job: DecodeJob) {
+    let shared = &pipe.shared;
+    let request = match parse_request(shared, &job.payload) {
+        Ok(request) => request,
+        Err(reply) => return finish_error(pipe, job.conn, &reply),
+    };
+    let key = canonical_key(&request);
+    let key_hash = payload_hash(key.as_bytes());
+    if shared.quarantine.strikes(key_hash) >= QUARANTINE_THRESHOLD {
+        Metrics::bump(&shared.metrics.requests_quarantined);
+        return finish_error(pipe, job.conn, &quarantined_reply());
     }
 
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.flush(),
+    // Single-flight: attach to an identical in-flight compile, or open
+    // a new flight by enqueueing the leader. The enqueue runs under the
+    // flight-table lock, so the leader cannot finish (and remove the
+    // flight) before the table knows the flight exists.
+    let follower = Recipient {
+        conn: job.conn,
+        #[cfg(feature = "fault-injection")]
+        fault: job.fault,
+    };
+    let compile_q = &pipe.compile_q;
+    let leader_conn = job.conn;
+    // The refusal path hands the whole `CompileJob` back so nothing is
+    // lost on a full queue; that makes the closure's `Err` as big as a
+    // job, which is the point, not a problem.
+    #[allow(clippy::result_large_err)]
+    let outcome = pipe.flights.join_or_open(&key, follower, || {
+        compile_q.try_push(CompileJob {
+            conn: leader_conn,
+            request,
+            key: key.clone(),
+            key_hash,
+            arrival: job.arrival,
+            #[cfg(feature = "fault-injection")]
+            fault: job.fault,
+        })
+    });
+    match outcome {
+        FlightOutcome::Attached => {
+            Metrics::bump(&shared.metrics.coalesced_requests);
+        }
+        FlightOutcome::Opened => {}
+        FlightOutcome::Refused(PushError::Full(_)) => {
+            Metrics::bump(&shared.metrics.busy_rejections);
+            Metrics::bump(&shared.metrics.shed_with_retry_after);
+            finish_error(
+                pipe,
+                job.conn,
+                &ErrorReply::new(
+                    ErrorCode::Busy,
+                    "all workers busy and the queue is full; retry later",
+                )
+                .with_retry_after_ms(BUSY_RETRY_MS),
+            );
+        }
+        FlightOutcome::Refused(PushError::Closed(_)) => {
+            Metrics::bump(&shared.metrics.drain_rejections);
+            Metrics::bump(&shared.metrics.shed_with_retry_after);
+            finish_error(
+                pipe,
+                job.conn,
+                &ErrorReply::new(ErrorCode::Draining, "server is draining")
+                    .with_retry_after_ms(DRAIN_RETRY_MS),
+            );
         }
     }
 }
 
-enum ListenerImpl {
-    Tcp(TcpListener),
-    #[cfg(unix)]
-    Unix(UnixListener, PathBuf),
+/// Compile-stage worker: pop adaptively sized batches, execute each
+/// leader under containment, fan the reply out to the whole flight.
+fn compile_loop(pipe: Pipeline) {
+    let mut scratch = Scratch::new();
+    let mut batch: Vec<CompileJob> = Vec::new();
+    while pipe.compile_q.pop_batch(&mut batch) {
+        Metrics::bump(&pipe.shared.metrics.batches_dispatched);
+        pipe.shared
+            .metrics
+            .batched_requests
+            .fetch_add(u64::try_from(batch.len()).unwrap_or(u64::MAX), Ordering::Relaxed);
+        for job in batch.drain(..) {
+            compile_one(&pipe, &mut scratch, job);
+        }
+        // Replies are already queued; folding the WAL into a snapshot
+        // here never adds request latency.
+        pipe.shared.maybe_compact();
+    }
 }
 
-impl ListenerImpl {
-    fn accept(&self) -> io::Result<Conn> {
-        match self {
-            ListenerImpl::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
-            #[cfg(unix)]
-            ListenerImpl::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+fn compile_one(pipe: &Pipeline, scratch: &mut Scratch, job: CompileJob) {
+    let outcome = run_compile(
+        &pipe.shared,
+        scratch,
+        &job.request,
+        job.key_hash,
+        job.arrival,
+        #[cfg(feature = "fault-injection")]
+        job.fault,
+    );
+    // Close the flight only now: followers that attached during the
+    // compile are collected here; later arrivals open a fresh flight
+    // and hit the now-warm cache.
+    let followers = pipe.flights.finish(&job.key);
+    match outcome {
+        Ok(response) => {
+            let degraded = response.degraded;
+            let body = response.to_json().to_string();
+            finish_response(
+                pipe,
+                job.conn,
+                &body,
+                degraded,
+                #[cfg(feature = "fault-injection")]
+                job.fault,
+            );
+            for f in followers {
+                finish_response(
+                    pipe,
+                    f.conn,
+                    &body,
+                    degraded,
+                    #[cfg(feature = "fault-injection")]
+                    f.fault,
+                );
+            }
+        }
+        Err(reply) => {
+            finish_error(pipe, job.conn, &reply);
+            for f in followers {
+                finish_error(pipe, f.conn, &reply);
+            }
         }
     }
 }
+
+/// Parse and screen a raw request payload (decode-stage half of the
+/// old `run_request`).
+fn parse_request(shared: &Shared, payload: &[u8]) -> Result<ScheduleRequest, ErrorReply> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "request payload is not UTF-8"))?;
+    let value = Json::parse(text)
+        .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("request is not JSON: {e}")))?;
+    let request = ScheduleRequest::from_json(&value)?;
+    if request.attempt > 0 {
+        Metrics::bump(&shared.metrics.retries_attempted);
+    }
+    Ok(request)
+}
+
+/// The canonical request identity: a re-serialization with the
+/// `attempt` counter zeroed, so retries coalesce with (and are
+/// quarantined alongside) their original.
+fn canonical_key(request: &ScheduleRequest) -> String {
+    let mut canonical = request.clone();
+    canonical.attempt = 0;
+    canonical.to_json().to_string()
+}
+
+fn quarantined_reply() -> ErrorReply {
+    ErrorReply::new(
+        ErrorCode::Quarantined,
+        format!(
+            "this request has crashed {QUARANTINE_THRESHOLD} workers and is quarantined; \
+             do not retry it"
+        ),
+    )
+}
+
+/// Execute one screened request under panic containment (compile-stage
+/// half of the old `run_request`).
+fn run_compile(
+    shared: &Shared,
+    scratch: &mut Scratch,
+    request: &ScheduleRequest,
+    key_hash: u64,
+    arrival: Instant,
+    #[cfg(feature = "fault-injection")] injected: Fault,
+) -> Result<ScheduleResponse, ErrorReply> {
+    // Panic containment: a crash anywhere in the pipeline becomes a
+    // typed reply. The scratch arena may hold half-mutated state after
+    // an unwind, so it is rebuilt — the logical equivalent of
+    // respawning the worker, without paying for a new OS thread.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Chaos faults that strike *inside* the worker are injected
+        // within the containment boundary, so an injected panic walks
+        // the same supervision path a real one would.
+        #[cfg(feature = "fault-injection")]
+        match injected {
+            Fault::Panic => panic!("injected fault: worker panic"),
+            Fault::Slow(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+        execute_at(request, &shared.limits, &shared.cache, scratch, arrival)
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(_panic) => {
+            Metrics::bump(&shared.metrics.panics_caught);
+            *scratch = Scratch::new();
+            Metrics::bump(&shared.metrics.workers_respawned);
+            let strikes = shared.quarantine.record_crash(key_hash);
+            // Persist the strike immediately (fsynced): a poison
+            // payload must not get a fresh set of workers to kill just
+            // because the process it crashed was itself restarted.
+            if let Some(persist) = &shared.persist {
+                persist.append_quarantine(key_hash, strikes);
+            }
+            Err(ErrorReply::new(
+                ErrorCode::Internal,
+                format!(
+                    "worker panicked while handling this request (strike {strikes}/{QUARANTINE_THRESHOLD}); \
+                     the worker was respawned with a fresh arena"
+                ),
+            ))
+        }
+    }
+}
+
+/// The old single-thread request path: parse, screen, and execute one
+/// payload end to end. Kept as the unit-test seam for the decode +
+/// compile halves.
+#[cfg(test)]
+fn run_request(
+    shared: &Shared,
+    scratch: &mut Scratch,
+    payload: &[u8],
+    #[cfg(feature = "fault-injection")] injected: Fault,
+) -> Result<ScheduleResponse, ErrorReply> {
+    let request = parse_request(shared, payload)?;
+    let key = canonical_key(&request);
+    let key_hash = payload_hash(key.as_bytes());
+    if shared.quarantine.strikes(key_hash) >= QUARANTINE_THRESHOLD {
+        Metrics::bump(&shared.metrics.requests_quarantined);
+        return Err(quarantined_reply());
+    }
+    let result = run_compile(
+        shared,
+        scratch,
+        &request,
+        key_hash,
+        Instant::now(),
+        #[cfg(feature = "fault-injection")]
+        injected,
+    );
+    if matches!(&result, Ok(resp) if resp.degraded) {
+        Metrics::bump(&shared.metrics.degraded_replies);
+    }
+    result
+}
+
+/// Build a deliberately damaged response frame, or none at all.
+/// Returns the bytes to deliver plus whether the connection must close
+/// once they flush.
+#[cfg(feature = "fault-injection")]
+fn apply_response_fault(fault: Fault, body: &str) -> (Vec<u8>, bool) {
+    match fault {
+        Fault::ResetConnection => (Vec::new(), true), // close without a byte
+        Fault::TruncateFrame => {
+            // Encode the whole frame, then deliver only a prefix: the
+            // client sees a header promising more bytes than arrive.
+            let frame = encode_frame(FrameKind::Response, body.as_bytes());
+            let cut = (frame.len() / 2).clamp(1, frame.len());
+            (frame[..cut].to_vec(), true)
+        }
+        Fault::CorruptFrame => {
+            // Flip bits in the payload (frame header stays valid): the
+            // client reads a well-formed frame of undecodable JSON.
+            let mut payload = body.as_bytes().to_vec();
+            for b in payload.iter_mut() {
+                *b ^= 0x55;
+            }
+            (encode_frame(FrameKind::Response, &payload), true)
+        }
+        Fault::None | Fault::Panic | Fault::Slow(_) => {
+            (encode_frame(FrameKind::Response, body.as_bytes()), false)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reactor handler
+// ---------------------------------------------------------------------
+
+/// Protocol logic the daemon plugs into the [`Reactor`].
+struct ServeHandler {
+    pipe: Pipeline,
+}
+
+impl ServeHandler {
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, payload: Vec<u8>) {
+        let shared = Arc::clone(&self.pipe.shared);
+        Metrics::bump(&shared.metrics.requests);
+        if ctx.draining() && ctx.requests_seen(conn) > 0 {
+            // In-flight work is completed during a drain, but a
+            // connection that already got its answer is asked to go
+            // away.
+            Metrics::bump(&shared.metrics.drain_rejections);
+            Metrics::bump(&shared.metrics.shed_with_retry_after);
+            Metrics::bump(&shared.metrics.errors);
+            ctx.send_error(
+                conn,
+                &ErrorReply::new(ErrorCode::Draining, "server is draining")
+                    .with_retry_after_ms(DRAIN_RETRY_MS),
+            );
+            if !ctx.has_pending(conn) {
+                ctx.close_after_flush(conn);
+            }
+            return;
+        }
+        ctx.note_request(conn);
+        let job = DecodeJob {
+            conn,
+            payload,
+            arrival: Instant::now(),
+            #[cfg(feature = "fault-injection")]
+            fault: shared.next_fault(),
+        };
+        match self.pipe.decode_q.try_push(job) {
+            Ok(()) => {
+                // Exactly one completion will come back for this job
+                // (reply, coalesced reply, or typed rejection).
+                self.pipe.inflight.fetch_add(1, Ordering::SeqCst);
+                ctx.expect_reply(conn);
+            }
+            Err(PushError::Full(_)) => {
+                Metrics::bump(&shared.metrics.busy_rejections);
+                Metrics::bump(&shared.metrics.shed_with_retry_after);
+                Metrics::bump(&shared.metrics.errors);
+                ctx.send_error(
+                    conn,
+                    &ErrorReply::new(
+                        ErrorCode::Busy,
+                        "all workers busy and the queue is full; retry later",
+                    )
+                    .with_retry_after_ms(BUSY_RETRY_MS),
+                );
+            }
+            Err(PushError::Closed(_)) => {
+                Metrics::bump(&shared.metrics.drain_rejections);
+                Metrics::bump(&shared.metrics.shed_with_retry_after);
+                Metrics::bump(&shared.metrics.errors);
+                ctx.send_error(
+                    conn,
+                    &ErrorReply::new(ErrorCode::Draining, "server is draining")
+                        .with_retry_after_ms(DRAIN_RETRY_MS),
+                );
+                ctx.close_after_flush(conn);
+            }
+        }
+    }
+}
+
+impl Handler for ServeHandler {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, kind: FrameKind, payload: Vec<u8>) {
+        match kind {
+            FrameKind::Ping => {
+                ctx.send(conn, FrameKind::Pong, Json::Null.to_string().as_bytes());
+            }
+            FrameKind::Metrics => {
+                let snap = self.pipe.shared.metrics_snapshot().to_string();
+                ctx.send(conn, FrameKind::Metrics, snap.as_bytes());
+            }
+            FrameKind::Admin => match handle_admin(&self.pipe.shared, &payload) {
+                Ok(reply) => {
+                    ctx.send(conn, FrameKind::AdminReply, reply.to_string().as_bytes());
+                }
+                Err(reply) => {
+                    Metrics::bump(&self.pipe.shared.metrics.errors);
+                    ctx.send_error(conn, &reply);
+                }
+            },
+            FrameKind::Shutdown => {
+                ctx.begin_drain();
+                self.pipe.completions.wake();
+                ctx.send(conn, FrameKind::Pong, Json::Null.to_string().as_bytes());
+                ctx.close_after_flush(conn);
+            }
+            FrameKind::Request => self.on_request(ctx, conn, payload),
+            other => {
+                Metrics::bump(&self.pipe.shared.metrics.errors);
+                ctx.send_error(
+                    conn,
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!("unexpected client frame kind {other:?}"),
+                    ),
+                );
+                ctx.close_after_flush(conn);
+            }
+        }
+    }
+
+    fn on_accept(&mut self) {
+        Metrics::bump(&self.pipe.shared.metrics.connections);
+    }
+
+    fn on_drain_reject(&mut self) {
+        Metrics::bump(&self.pipe.shared.metrics.drain_rejections);
+        Metrics::bump(&self.pipe.shared.metrics.shed_with_retry_after);
+        Metrics::bump(&self.pipe.shared.metrics.errors);
+    }
+
+    fn on_frame_error(&mut self, _reply: &ErrorReply) {
+        Metrics::bump(&self.pipe.shared.metrics.errors);
+    }
+
+    fn on_idle_timeout(&mut self) {
+        Metrics::bump(&self.pipe.shared.metrics.idle_timeouts);
+        Metrics::bump(&self.pipe.shared.metrics.errors);
+    }
+
+    fn idle(&self) -> bool {
+        self.pipe.inflight.load(Ordering::SeqCst) == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handle + serve
+// ---------------------------------------------------------------------
 
 /// A running server. Dropping the handle does *not* stop the server;
 /// call [`ServerHandle::begin_drain`] then [`ServerHandle::join`].
 pub struct ServerHandle {
     shared: Arc<Shared>,
+    completions: Arc<Completions>,
     thread: Option<JoinHandle<()>>,
     local_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
@@ -382,9 +881,12 @@ impl ServerHandle {
         }
     }
 
-    /// Stop accepting connections and begin a graceful drain.
+    /// Stop accepting new work and begin a graceful drain.
     pub fn begin_drain(&self) {
         self.shared.drain.store(true, Ordering::SeqCst);
+        // Interrupt the poll so the drain starts on this tick, not the
+        // next timeout.
+        self.completions.wake();
     }
 
     /// Whether a drain has been requested (by any trigger).
@@ -397,8 +899,8 @@ impl ServerHandle {
         self.shared.metrics_snapshot()
     }
 
-    /// Wait for the accept thread and worker pool to finish (after a
-    /// drain has been triggered).
+    /// Wait for the reactor and stage workers to finish (after a drain
+    /// has been triggered).
     pub fn join(mut self) {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -406,55 +908,46 @@ impl ServerHandle {
     }
 }
 
-/// SIGTERM flag. Written from the signal handler, so it must be a
-/// lock-free atomic and nothing else.
-static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
-
-#[cfg(unix)]
-fn install_sigterm_handler() {
-    extern "C" fn on_term(_sig: i32) {
-        SIGTERM_SEEN.store(true, Ordering::SeqCst);
-    }
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-    const SIGTERM: i32 = 15;
-    unsafe {
-        signal(SIGTERM, on_term);
+/// Spawn the decode and compile stage workers; on any spawn failure the
+/// queues are closed and already-started workers joined.
+fn spawn_stage_workers(compile_workers: usize, pipe: &Pipeline) -> io::Result<Vec<JoinHandle<()>>> {
+    let mut workers = Vec::new();
+    let decode_workers = (compile_workers / 2).clamp(1, 4);
+    let mut spawn_all = || -> io::Result<()> {
+        for i in 0..decode_workers {
+            let p = pipe.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dagsched-decode-{i}"))
+                    .spawn(move || decode_loop(p))?,
+            );
+        }
+        for i in 0..compile_workers {
+            let p = pipe.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dagsched-compile-{i}"))
+                    .spawn(move || compile_loop(p))?,
+            );
+        }
+        Ok(())
+    };
+    match spawn_all() {
+        Ok(()) => Ok(workers),
+        Err(e) => {
+            pipe.decode_q.close();
+            pipe.compile_q.close();
+            for h in workers {
+                let _ = h.join();
+            }
+            Err(e)
+        }
     }
 }
 
-#[cfg(not(unix))]
-fn install_sigterm_handler() {}
-
 /// Bind `listen` and start serving under `config`.
 pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
-    let (listener, local_addr, unix_path) = match listen {
-        Listen::Tcp(addr) => {
-            let l = TcpListener::bind(&addr)?;
-            l.set_nonblocking(true)?;
-            let bound = l.local_addr()?;
-            (ListenerImpl::Tcp(l), Some(bound), None)
-        }
-        #[cfg(unix)]
-        Listen::Unix(path) => {
-            // A stale socket file from a crashed predecessor would make
-            // bind fail; remove it only if it is a socket nobody serves.
-            if path.exists() && UnixStream::connect(&path).is_err() {
-                let _ = std::fs::remove_file(&path);
-            }
-            let l = UnixListener::bind(&path)?;
-            l.set_nonblocking(true)?;
-            (ListenerImpl::Unix(l, path.clone()), None, Some(path))
-        }
-        #[cfg(not(unix))]
-        Listen::Unix(_) => {
-            return Err(io::Error::new(
-                io::ErrorKind::Unsupported,
-                "unix sockets are not available on this platform",
-            ))
-        }
-    };
+    let (listener, local_addr, unix_path) = Listener::bind(listen)?;
 
     if config.handle_sigterm {
         install_sigterm_handler();
@@ -478,12 +971,10 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
                 }
             }
             quarantine.restore(&recovered.quarantine);
-            metrics
-                .recovered_entries
-                .store(admitted, std::sync::atomic::Ordering::Relaxed);
+            metrics.recovered_entries.store(admitted, Ordering::Relaxed);
             metrics.recovery_truncated_records.store(
                 recovered.report.truncated_records + recovered.report.snapshots_rejected,
-                std::sync::atomic::Ordering::Relaxed,
+                Ordering::Relaxed,
             );
             let persistence = Arc::new(persistence);
             let sink = Arc::clone(&persistence);
@@ -493,10 +984,11 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
         None => None,
     };
 
+    let drain = Arc::new(AtomicBool::new(false));
     let shared = Arc::new(Shared {
         cache,
         metrics,
-        drain: AtomicBool::new(false),
+        drain: Arc::clone(&drain),
         limits: EngineLimits {
             max_block: config.max_block,
             default_deadline_ms: config.default_deadline_ms,
@@ -508,248 +1000,71 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
         #[cfg(feature = "fault-injection")]
         faults: config.faults,
         #[cfg(feature = "fault-injection")]
-        fault_seq: std::sync::atomic::AtomicU64::new(0),
+        fault_seq: AtomicU64::new(0),
     });
 
-    let pool_shared = Arc::clone(&shared);
-    let pool: WorkerPool<Conn> = WorkerPool::new(
-        config.workers,
-        config.queue,
-        |_| Scratch::new(),
-        move |_, scratch, conn| serve_conn(&pool_shared, scratch, conn),
-    );
+    let compile_workers = config.workers.max(1);
+    let queue_cap = config.queue.max(1);
+    let reactor = Reactor::new(
+        listener,
+        ReactorConfig {
+            max_frame: shared.max_frame,
+            idle_timeout: Duration::from_millis(config.read_timeout_ms.max(1)),
+            first_frame_timeout: Duration::from_millis(config.first_frame_timeout_ms.max(1)),
+            drain_message: "server is draining",
+            drain_retry_ms: DRAIN_RETRY_MS,
+        },
+        Arc::clone(&drain),
+    )?;
+    let completions = reactor.completions();
+    let pipe = Pipeline {
+        shared: Arc::clone(&shared),
+        decode_q: Arc::new(StageQueue::new(queue_cap, (compile_workers / 2).clamp(1, 4))),
+        compile_q: Arc::new(StageQueue::new(queue_cap, compile_workers)),
+        flights: Arc::new(SingleFlight::default()),
+        completions: Arc::clone(&completions),
+        inflight: Arc::new(AtomicU64::new(0)),
+    };
+    let workers = spawn_stage_workers(compile_workers, &pipe)?;
 
-    let accept_shared = Arc::clone(&shared);
-    let read_timeout = Duration::from_millis(config.read_timeout_ms.max(1));
-    let thread = std::thread::Builder::new()
-        .name("dagsched-accept".to_string())
+    let reactor_pipe = pipe.clone();
+    let cleanup_path = reactor.unix_path();
+    let thread = match std::thread::Builder::new()
+        .name("dagsched-reactor".to_string())
         .spawn(move || {
-            accept_loop(listener, accept_shared, pool, read_timeout);
-        })?;
+            let mut handler = ServeHandler { pipe: reactor_pipe };
+            reactor.run(&mut handler);
+            // Drain finished: no new work can arrive. Close the stage
+            // queues so workers exit, join them, then fold the final
+            // snapshot and unlink a unix socket path.
+            handler.pipe.decode_q.close();
+            handler.pipe.compile_q.close();
+            for h in workers {
+                let _ = h.join();
+            }
+            handler.pipe.shared.final_snapshot();
+            #[cfg(unix)]
+            if let Some(path) = &cleanup_path {
+                let _ = std::fs::remove_file(path);
+            }
+            #[cfg(not(unix))]
+            let _ = cleanup_path;
+        }) {
+        Ok(t) => t,
+        Err(e) => {
+            pipe.decode_q.close();
+            pipe.compile_q.close();
+            return Err(e);
+        }
+    };
 
     Ok(ServerHandle {
         shared,
+        completions,
         thread: Some(thread),
         local_addr,
         unix_path,
     })
-}
-
-fn accept_loop(
-    listener: ListenerImpl,
-    shared: Arc<Shared>,
-    mut pool: WorkerPool<Conn>,
-    read_timeout: Duration,
-) {
-    loop {
-        if SIGTERM_SEEN.load(Ordering::SeqCst) {
-            shared.drain.store(true, Ordering::SeqCst);
-        }
-        if shared.drain.load(Ordering::SeqCst) {
-            break;
-        }
-        match listener.accept() {
-            Ok(conn) => {
-                Metrics::bump(&shared.metrics.connections);
-                set_read_timeout(&conn, read_timeout);
-                match pool.try_submit(conn) {
-                    Ok(()) => {}
-                    Err(SubmitError::Full(mut conn)) => {
-                        Metrics::bump(&shared.metrics.busy_rejections);
-                        Metrics::bump(&shared.metrics.shed_with_retry_after);
-                        send_error(
-                            &shared,
-                            &mut conn,
-                            &ErrorReply::new(
-                                ErrorCode::Busy,
-                                "all workers busy and the queue is full; retry later",
-                            )
-                            .with_retry_after_ms(BUSY_RETRY_MS),
-                        );
-                    }
-                    Err(SubmitError::Closed(_)) => break,
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                // Listener failure (fd limit, socket unlinked, …): stop
-                // accepting; the drain path below still completes
-                // queued work.
-                break;
-            }
-        }
-    }
-    // Drain-race fix: connections that landed in the kernel's accept
-    // backlog before the flag flipped have already completed their TCP
-    // handshake — the client believes it is connected. Simply closing
-    // the listener would leave them waiting for a reply that never
-    // comes (until their own timeout). Sweep the backlog and answer
-    // each one with an explicit `draining` + retry hint instead.
-    loop {
-        match listener.accept() {
-            Ok(mut conn) => {
-                Metrics::bump(&shared.metrics.connections);
-                Metrics::bump(&shared.metrics.drain_rejections);
-                Metrics::bump(&shared.metrics.shed_with_retry_after);
-                send_error(
-                    &shared,
-                    &mut conn,
-                    &ErrorReply::new(ErrorCode::Draining, "server is draining")
-                        .with_retry_after_ms(DRAIN_RETRY_MS),
-                );
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            // WouldBlock: backlog empty. Anything else: listener gone.
-            Err(_) => break,
-        }
-    }
-    // Graceful drain: stop accepting, finish queued + in-flight
-    // connections, then tear down.
-    pool.close_and_join();
-    // Every worker is quiesced: snapshot the final state so the next
-    // process starts warm from the snapshot alone.
-    shared.final_snapshot();
-    #[cfg(unix)]
-    if let ListenerImpl::Unix(_, path) = &listener {
-        let _ = std::fs::remove_file(path);
-    }
-}
-
-fn set_read_timeout(conn: &Conn, timeout: Duration) {
-    match conn {
-        Conn::Tcp(s) => {
-            let _ = s.set_read_timeout(Some(timeout));
-        }
-        #[cfg(unix)]
-        Conn::Unix(s) => {
-            let _ = s.set_read_timeout(Some(timeout));
-        }
-    }
-}
-
-/// Serialize-and-send helpers. Write failures are ignored: the peer is
-/// gone and the connection is about to be dropped anyway.
-fn send_error(shared: &Shared, conn: &mut Conn, reply: &ErrorReply) {
-    Metrics::bump(&shared.metrics.errors);
-    let payload = reply.to_json().to_string();
-    let _ = write_frame(conn, FrameKind::Error, payload.as_bytes());
-}
-
-fn send_ok(conn: &mut Conn, kind: FrameKind, payload: &Json) {
-    let _ = write_frame(conn, kind, payload.to_string().as_bytes());
-}
-
-/// Serve one keep-alive connection until EOF, error, or drain.
-fn serve_conn(shared: &Shared, scratch: &mut Scratch, mut conn: Conn) {
-    let mut served = 0usize;
-    loop {
-        let frame = match read_frame_or_eof(&mut conn, shared.max_frame) {
-            Ok(None) => return, // orderly hangup
-            Ok(Some(frame)) => frame,
-            Err(FrameReadError::Oversized { len, max }) => {
-                send_error(
-                    shared,
-                    &mut conn,
-                    &ErrorReply::new(
-                        ErrorCode::OversizedFrame,
-                        format!("frame payload of {len} bytes exceeds the {max}-byte cap"),
-                    ),
-                );
-                return;
-            }
-            Err(FrameReadError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // Idle past the read timeout; hang up quietly.
-                return;
-            }
-            Err(e) => {
-                send_error(
-                    shared,
-                    &mut conn,
-                    &ErrorReply::new(ErrorCode::MalformedFrame, e.to_string()),
-                );
-                return;
-            }
-        };
-        match frame {
-            (FrameKind::Ping, _) => send_ok(&mut conn, FrameKind::Pong, &Json::Null),
-            (FrameKind::Admin, payload) => match handle_admin(shared, &payload) {
-                Ok(reply) => send_ok(&mut conn, FrameKind::AdminReply, &reply),
-                Err(reply) => send_error(shared, &mut conn, &reply),
-            },
-            (FrameKind::Metrics, _) => {
-                let snap = shared.metrics_snapshot();
-                send_ok(&mut conn, FrameKind::Metrics, &snap);
-            }
-            (FrameKind::Shutdown, _) => {
-                shared.drain.store(true, Ordering::SeqCst);
-                send_ok(&mut conn, FrameKind::Pong, &Json::Null);
-                return;
-            }
-            (FrameKind::Request, payload) => {
-                Metrics::bump(&shared.metrics.requests);
-                if shared.drain.load(Ordering::SeqCst) && served > 0 {
-                    // In-flight work is completed during a drain, but a
-                    // connection that already got its answer is asked
-                    // to go away.
-                    Metrics::bump(&shared.metrics.drain_rejections);
-                    Metrics::bump(&shared.metrics.shed_with_retry_after);
-                    send_error(
-                        shared,
-                        &mut conn,
-                        &ErrorReply::new(ErrorCode::Draining, "server is draining")
-                            .with_retry_after_ms(DRAIN_RETRY_MS),
-                    );
-                    return;
-                }
-                #[cfg(feature = "fault-injection")]
-                let injected = shared.next_fault();
-                #[cfg(feature = "fault-injection")]
-                let outcome = run_request(shared, scratch, &payload, injected);
-                #[cfg(not(feature = "fault-injection"))]
-                let outcome = run_request(shared, scratch, &payload);
-                match outcome {
-                    Ok(response) => {
-                        Metrics::bump(&shared.metrics.responses);
-                        let body = response.to_json();
-                        #[cfg(feature = "fault-injection")]
-                        if inject_response_fault(injected, &mut conn, &body) {
-                            // The response was deliberately mangled (or
-                            // withheld) and this connection is done.
-                            return;
-                        }
-                        send_ok(&mut conn, FrameKind::Response, &body);
-                    }
-                    Err(reply) => {
-                        if reply.code == ErrorCode::DeadlineExpired {
-                            Metrics::bump(&shared.metrics.deadline_expirations);
-                        }
-                        send_error(shared, &mut conn, &reply);
-                    }
-                }
-                served += 1;
-                // The reply is already on the wire; folding the WAL
-                // into a snapshot here never adds request latency.
-                shared.maybe_compact();
-            }
-            (other, _) => {
-                send_error(
-                    shared,
-                    &mut conn,
-                    &ErrorReply::new(
-                        ErrorCode::BadRequest,
-                        format!("unexpected client frame kind {other:?}"),
-                    ),
-                );
-                return;
-            }
-        }
-    }
 }
 
 /// Answer one admin command. The daemon implements the snapshot
@@ -847,117 +1162,6 @@ fn handle_admin(shared: &Shared, payload: &[u8]) -> Result<Json, ErrorReply> {
     }
 }
 
-/// Write a deliberately damaged response, or none at all. Returns
-/// `true` when the fault consumed the response (the connection must
-/// close); `false` when the caller should send normally.
-#[cfg(feature = "fault-injection")]
-fn inject_response_fault(fault: Fault, conn: &mut Conn, body: &Json) -> bool {
-    match fault {
-        Fault::ResetConnection => true, // close without a byte
-        Fault::TruncateFrame => {
-            // Encode the whole frame, then deliver only a prefix: the
-            // client sees a header promising more bytes than arrive.
-            let mut frame = Vec::new();
-            let _ = write_frame(&mut frame, FrameKind::Response, body.to_string().as_bytes());
-            let cut = frame.len() / 2;
-            let _ = conn.write_all(&frame[..cut.max(1)]);
-            let _ = conn.flush();
-            true
-        }
-        Fault::CorruptFrame => {
-            // Flip bits in the payload (frame header stays valid): the
-            // client reads a well-formed frame of undecodable JSON.
-            let mut payload = body.to_string().into_bytes();
-            for b in payload.iter_mut() {
-                *b ^= 0x55;
-            }
-            let _ = write_frame(conn, FrameKind::Response, &payload);
-            true
-        }
-        Fault::None | Fault::Panic | Fault::Slow(_) => false,
-    }
-}
-
-/// Parse, screen, and execute one request under panic containment.
-fn run_request(
-    shared: &Shared,
-    scratch: &mut Scratch,
-    payload: &[u8],
-    #[cfg(feature = "fault-injection")] injected: Fault,
-) -> Result<ScheduleResponse, ErrorReply> {
-    let text = std::str::from_utf8(payload)
-        .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "request payload is not UTF-8"))?;
-    let value = Json::parse(text)
-        .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("request is not JSON: {e}")))?;
-    let request = ScheduleRequest::from_json(&value)?;
-    if request.attempt > 0 {
-        Metrics::bump(&shared.metrics.retries_attempted);
-    }
-
-    // The quarantine key must be stable across retries, so it hashes a
-    // canonical re-serialization with the `attempt` counter zeroed —
-    // the same idempotency identity the schedule cache uses.
-    let key = {
-        let mut canonical = request.clone();
-        canonical.attempt = 0;
-        payload_hash(canonical.to_json().to_string().as_bytes())
-    };
-    if shared.quarantine.strikes(key) >= QUARANTINE_THRESHOLD {
-        Metrics::bump(&shared.metrics.requests_quarantined);
-        return Err(ErrorReply::new(
-            ErrorCode::Quarantined,
-            format!(
-                "this request has crashed {QUARANTINE_THRESHOLD} workers and is quarantined; \
-                 do not retry it"
-            ),
-        ));
-    }
-
-    // Panic containment: a crash anywhere in the pipeline becomes a
-    // typed reply. The scratch arena may hold half-mutated state after
-    // an unwind, so it is rebuilt — the logical equivalent of
-    // respawning the worker, without paying for a new OS thread.
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        // Chaos faults that strike *inside* the worker are injected
-        // within the containment boundary, so an injected panic walks
-        // the same supervision path a real one would.
-        #[cfg(feature = "fault-injection")]
-        match injected {
-            Fault::Panic => panic!("injected fault: worker panic"),
-            Fault::Slow(ms) => std::thread::sleep(Duration::from_millis(ms)),
-            _ => {}
-        }
-        execute(&request, &shared.limits, &shared.cache, scratch)
-    }));
-    match outcome {
-        Ok(result) => {
-            if matches!(&result, Ok(resp) if resp.degraded) {
-                Metrics::bump(&shared.metrics.degraded_replies);
-            }
-            result
-        }
-        Err(_panic) => {
-            Metrics::bump(&shared.metrics.panics_caught);
-            *scratch = Scratch::new();
-            Metrics::bump(&shared.metrics.workers_respawned);
-            let strikes = shared.quarantine.record_crash(key);
-            // Persist the strike immediately (fsynced): a poison
-            // payload must not get a fresh set of workers to kill just
-            // because the process it crashed was itself restarted.
-            if let Some(persist) = &shared.persist {
-                persist.append_quarantine(key, strikes);
-            }
-            Err(ErrorReply::new(
-                ErrorCode::Internal,
-                format!(
-                    "worker panicked while handling this request (strike {strikes}/{QUARANTINE_THRESHOLD}); \
-                     the worker was respawned with a fresh arena"
-                ),
-            ))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -984,7 +1188,7 @@ mod tests {
         Shared {
             cache: ScheduleCache::default(),
             metrics: Metrics::default(),
-            drain: AtomicBool::new(false),
+            drain: Arc::new(AtomicBool::new(false)),
             limits: EngineLimits::default(),
             max_frame: DEFAULT_MAX_FRAME,
             quarantine: Quarantine::default(),
@@ -992,7 +1196,7 @@ mod tests {
             #[cfg(feature = "fault-injection")]
             faults: None,
             #[cfg(feature = "fault-injection")]
-            fault_seq: std::sync::atomic::AtomicU64::new(0),
+            fault_seq: AtomicU64::new(0),
         }
     }
 
@@ -1033,6 +1237,23 @@ mod tests {
     }
 
     #[test]
+    fn canonical_keys_ignore_the_attempt_counter() {
+        let first = ScheduleRequest::from_json(
+            &Json::parse(r#"{"asm":"nop","attempt":0}"#).unwrap(),
+        )
+        .unwrap();
+        let retry = ScheduleRequest::from_json(
+            &Json::parse(r#"{"asm":"nop","attempt":3}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(canonical_key(&first), canonical_key(&retry));
+        let other =
+            ScheduleRequest::from_json(&Json::parse(r#"{"asm":"sethi 42, %g1"}"#).unwrap())
+                .unwrap();
+        assert_ne!(canonical_key(&first), canonical_key(&other));
+    }
+
+    #[test]
     fn a_panicking_request_is_contained_then_quarantined() {
         let shared = test_shared();
         let mut scratch = Scratch::new();
@@ -1050,7 +1271,7 @@ mod tests {
         assert!(!err.code.is_retryable());
 
         let m = &shared.metrics;
-        let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         assert_eq!(load(&m.panics_caught), u64::from(QUARANTINE_THRESHOLD));
         assert_eq!(load(&m.workers_respawned), u64::from(QUARANTINE_THRESHOLD));
         assert_eq!(load(&m.requests_quarantined), 1);
@@ -1071,7 +1292,7 @@ mod tests {
 
     #[test]
     fn shedding_replies_carry_retry_hints() {
-        // The constants the accept loop attaches must be nonzero, or
+        // The constants the rejection paths attach must be nonzero, or
         // clients would busy-spin.
         const {
             assert!(BUSY_RETRY_MS > 0);

@@ -192,6 +192,10 @@ fn bad_requests_and_expired_deadlines_are_typed_errors() {
     handle.join();
 }
 
+/// Backpressure is request-shaped under the pipelined core: when the
+/// bounded compile queue is full, the overflowing *request* is told
+/// `busy` (with a retry hint) while its connection stays open and
+/// usable — the old core burned the whole connection instead.
 #[test]
 fn full_queue_answers_busy() {
     let handle = tcp_server(ServerConfig {
@@ -202,7 +206,7 @@ fn full_queue_answers_busy() {
     });
     let endpoint = handle.endpoint();
 
-    // Occupy the only worker with a lingering request.
+    // Occupy the only compile worker with a lingering request.
     let endpoint_a = endpoint.clone();
     let worker_hog = std::thread::spawn(move || {
         let mut client = Client::connect(&endpoint_a).expect("connect A");
@@ -212,17 +216,35 @@ fn full_queue_answers_busy() {
     });
     std::thread::sleep(Duration::from_millis(200));
 
-    // Fill the one queue slot with a second connection.
-    let _parked = raw_tcp(&handle);
+    // Fill the one queue slot with a second, distinct request (distinct
+    // payloads everywhere here — identical ones would coalesce into one
+    // flight instead of queueing).
+    let req_b = ScheduleRequest::asm("sub %o0, %o1, %o2");
+    let mut b = raw_tcp(&handle);
+    write_frame(&mut b, FrameKind::Request, req_b.to_json().to_string().as_bytes()).unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
-    // The third connection must be told `busy` immediately.
-    let mut s = raw_tcp(&handle);
-    let reply = expect_error_frame(&mut s);
+    // The third request must be told `busy` with a retry hint.
+    let req_c = ScheduleRequest::asm("xor %o3, %o4, %o5");
+    let mut c = raw_tcp(&handle);
+    write_frame(&mut c, FrameKind::Request, req_c.to_json().to_string().as_bytes()).unwrap();
+    let reply = expect_error_frame(&mut c);
     assert_eq!(reply.code, ErrorCode::Busy);
+    assert!(reply.retry_after_ms.is_some(), "busy carries a retry hint");
 
+    // The hog finishes, the queued request is served...
     let resp = worker_hog.join().expect("hog thread");
     assert_eq!(resp.insns.len(), 1, "lingering request still completes");
+    let (kind, _) = read_frame(&mut b, 1 << 20).expect("queued request's reply");
+    assert_eq!(kind, FrameKind::Response, "queued request is served, not dropped");
+
+    // ...and the busy-rejected *connection* survived: a retry on the
+    // very same socket now succeeds.
+    write_frame(&mut c, FrameKind::Request, req_c.to_json().to_string().as_bytes()).unwrap();
+    let (kind, _) = read_frame(&mut c, 1 << 20).expect("retry after busy");
+    assert_eq!(kind, FrameKind::Response, "connection stays usable after busy");
+
+    assert!(metric(&handle, "busy_rejections") >= 1);
     handle.begin_drain();
     handle.join();
 }

@@ -1,0 +1,74 @@
+//! Slow-loris regression: connections that never complete a frame are
+//! bounded by the first-frame timeout — answered with a typed
+//! `idle-timeout` error, not held open — and while they stall they do
+//! not starve well-behaved clients, because the readiness loop owns
+//! every socket and no worker thread ever blocks on a read.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dagsched_service::proto::{read_frame, ErrorReply, FrameKind};
+use dagsched_service::server::{serve, Listen, ServerConfig};
+use dagsched_service::{Client, ErrorCode, ScheduleRequest};
+use dagsched_workloads::PAPER_SEED;
+
+fn metric(handle: &dagsched_service::ServerHandle, key: &str) -> u64 {
+    handle
+        .metrics()
+        .get(key)
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("metrics snapshot has no `{key}`"))
+}
+
+#[test]
+fn slow_loris_connections_get_typed_timeouts_and_do_not_starve_service() {
+    let handle = serve(
+        Listen::Tcp("127.0.0.1:0".to_string()),
+        ServerConfig {
+            workers: 2,
+            first_frame_timeout_ms: 300,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral TCP port");
+    let addr = handle.local_addr().expect("tcp address");
+
+    // Four stalled connections: two perfectly silent, two that dribble
+    // a partial frame header and stop (the classic slow loris).
+    let mut lorises = Vec::new();
+    for i in 0..4 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        if i % 2 == 1 {
+            s.write_all(b"DS\x01").expect("partial header");
+        }
+        lorises.push(s);
+    }
+
+    // While they stall, a well-behaved client is served promptly — the
+    // old blocking core would have parked worker threads on the stalled
+    // reads instead.
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+    for _ in 0..3 {
+        client
+            .request(&ScheduleRequest::profile("grep", PAPER_SEED))
+            .expect("live client served while lorises stall");
+    }
+
+    // Each stalled connection is answered with the typed error, then
+    // closed.
+    for (i, s) in lorises.iter_mut().enumerate() {
+        let (kind, payload) = read_frame(s, 1 << 20)
+            .unwrap_or_else(|e| panic!("loris {i} got no reply before close: {e}"));
+        assert_eq!(kind, FrameKind::Error, "loris {i} expected an error frame");
+        let text = std::str::from_utf8(&payload).expect("error payload is UTF-8");
+        let value = dagsched_service::json::Json::parse(text).expect("error payload is JSON");
+        let reply = ErrorReply::from_json(&value).expect("decodable error reply");
+        assert_eq!(reply.code, ErrorCode::IdleTimeout, "loris {i}");
+    }
+    assert_eq!(metric(&handle, "idle_timeouts"), 4);
+
+    handle.begin_drain();
+    handle.join();
+}

@@ -75,6 +75,9 @@ struct Options {
     workers: usize,
     /// `serve`: bounded connection-queue depth.
     queue: usize,
+    /// `serve`: slow-loris bound — typed `idle-timeout` close for a
+    /// connection that never completes a frame within this window.
+    first_frame_timeout_ms: Option<u64>,
     /// `serve`: schedule-cache byte budget in MiB.
     cache_mb: usize,
     /// `serve`: persist the schedule cache and quarantine ring here
@@ -310,6 +313,9 @@ fn cmd_serve(opts: &Options) {
             .wal_threshold_mb
             .map_or(defaults.wal_snapshot_threshold, |mb| mb << 20),
         fsync_every: opts.fsync_every.unwrap_or(defaults.fsync_every),
+        first_frame_timeout_ms: opts
+            .first_frame_timeout_ms
+            .unwrap_or(defaults.first_frame_timeout_ms),
         ..defaults
     };
     let handle = serve(listen, config).unwrap_or_else(|e| die(&format!("serve: {e}")));
@@ -651,6 +657,7 @@ fn parse_args() -> Result<Options, String> {
         endpoint: "tcp:127.0.0.1:4591".to_string(),
         workers: 4,
         queue: 64,
+        first_frame_timeout_ms: None,
         cache_mb: 64,
         profile: None,
         seed: dagsched::workloads::PAPER_SEED,
@@ -742,6 +749,14 @@ fn parse_args() -> Result<Options, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--cache-mb needs a byte budget in MiB")?;
+            }
+            "--first-frame-timeout-ms" => {
+                opts.first_frame_timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--first-frame-timeout-ms needs a positive millisecond count")?,
+                );
             }
             "--profile" => {
                 opts.profile = Some(args.next().ok_or("--profile needs a workload name")?);
@@ -861,8 +876,10 @@ fn usage(err: &str) -> ! {
          serve options:\n\
          \x20 --listen EP  tcp:HOST:PORT or unix:/path (default tcp:127.0.0.1:4591)\n\
          \x20 --workers N  worker threads (default 4)\n\
-         \x20 --queue N    connection-queue depth before `busy` (default 64)\n\
+         \x20 --queue N    stage-queue depth before `busy` (default 64)\n\
          \x20 --cache-mb N schedule-cache byte budget in MiB (default 64)\n\
+         \x20 --first-frame-timeout-ms N  typed idle-timeout close for connections\n\
+         \x20                    that never complete a frame (default 2000)\n\
          \x20 --state-dir DIR    persist the cache + quarantine (snapshot + WAL) in DIR\n\
          \x20 --wal-threshold-mb N  snapshot once the WAL exceeds N MiB (default 4)\n\
          \x20 --fsync-every N    fsync the WAL every N cache entries (default 8)\n\
