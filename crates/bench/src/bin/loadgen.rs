@@ -84,6 +84,35 @@
 //! ```text
 //! loadgen --cluster 3 --kill-shard --requests 300 --out service-cluster.json
 //! ```
+//!
+//! # Netchaos mode
+//!
+//! `--netchaos` (composes with `--cluster N`) audits the *gray*-failure
+//! axis: instead of killing a shard, every router→shard link runs
+//! through a seeded `dagsched-netchaos` wire proxy injecting latency,
+//! bandwidth caps, mid-frame stalls, one-way partitions, resets, and
+//! byte corruption on at least 10% of connections (`--faults`, in ‰).
+//! On top of the seeded background faults, one scripted episode fires
+//! mid-run: link 0's request direction is blackholed (the nastiest
+//! gray failure — replies flow, requests vanish), held until the
+//! victim's circuit breaker opens on probe evidence, exercised with an
+//! open-breaker pass, then healed so the breaker must walk back
+//! through half-open trials. The run *fails* unless:
+//!
+//! 1. zero crashes — the router still answers a ping and every shard
+//!    drains gracefully after the run;
+//! 2. every request reaches a terminal outcome — a verified response
+//!    or a typed error — rather than hanging;
+//! 3. every reply is bit-identical to a fresh serial compile (the
+//!    frame checksum turns in-flight corruption into retries, never
+//!    silently-wrong schedules);
+//! 4. the gray-failure machinery demonstrably engaged: at least one
+//!    failover, one breaker-open, one hedged request, and one hedge
+//!    win.
+//!
+//! ```text
+//! loadgen --cluster 3 --netchaos --seed 1991 --out service-netchaos.json
+//! ```
 
 use std::collections::HashMap;
 use std::io;
@@ -97,6 +126,7 @@ use std::time::{Duration, Instant};
 
 use dagsched_driver::{schedule_program_batch, DriverConfig, Limits, NoCache};
 use dagsched_isa::MachineModel;
+use dagsched_netchaos::{serve_proxy, ChaosConfig, Direction, ProxyHandle};
 use dagsched_router::{serve_router, RouterConfig};
 use dagsched_sched::{Scheduler, SchedulerKind};
 use dagsched_service::json::Json;
@@ -152,6 +182,9 @@ struct Options {
     cluster: Option<usize>,
     /// Cluster mode: SIGKILL shard 0 once a third of the load is in.
     kill_shard: bool,
+    /// Netchaos mode: run every router→shard link through a seeded
+    /// fault-injecting wire proxy and audit gray-failure tolerance.
+    netchaos: bool,
     /// Exit nonzero unless the achieved QPS reaches this floor
     /// (standard mode only: a self-asserting soak gate for CI).
     min_qps: Option<f64>,
@@ -188,6 +221,7 @@ impl Default for Options {
             serve_child: false,
             cluster: None,
             kill_shard: false,
+            netchaos: false,
             min_qps: None,
             expect_coalesced: false,
         }
@@ -305,6 +339,7 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--kill-shard" => opts.kill_shard = true,
+            "--netchaos" => opts.netchaos = true,
             "--min-qps" => {
                 opts.min_qps = Some(
                     args.next()
@@ -322,7 +357,7 @@ fn parse_args() -> Result<Options, String> {
                      \x20              [--chaos] [--seed N] [--faults PERMILLE] [--slow-ms N]\n\
                      \x20              [--retries N]\n\
                      \x20              [--crash-loop N] [--state-dir DIR]\n\
-                     \x20              [--cluster N] [--kill-shard]\n\
+                     \x20              [--cluster N] [--kill-shard | --netchaos]\n\
                      \x20              [--min-qps N] [--expect-coalesced]"
                 );
                 std::process::exit(0);
@@ -368,6 +403,21 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.kill_shard && opts.cluster.map_or(true, |n| n < 2) {
         return Err("--kill-shard needs --cluster with at least 2 shards".to_string());
+    }
+    if opts.netchaos {
+        if opts.cluster.map_or(true, |n| n < 2) {
+            return Err("--netchaos needs --cluster with at least 2 shards".to_string());
+        }
+        if opts.kill_shard {
+            return Err("--netchaos and --kill-shard are separate audits; a SIGKILLed \
+                        shard would hide which machinery absorbed the fault"
+                .to_string());
+        }
+        if opts.fault_per_mille < 100 {
+            return Err("--netchaos audits gray-failure tolerance at >=10% link faults; \
+                        --faults must be at least 100"
+                .to_string());
+        }
     }
     if (opts.min_qps.is_some() || opts.expect_coalesced)
         && (opts.chaos || opts.crash_loop.is_some() || opts.cluster.is_some())
@@ -840,12 +890,16 @@ fn spawn_shard_child(sock: &Path, opts: &Options) -> io::Result<Child> {
 /// never sees an error, so the budget must ride out a shard death plus
 /// the router's down-marking window.
 fn cluster_retry_policy(opts: &Options, client_idx: usize) -> RetryPolicy {
+    // Netchaos rungs can each burn a couple of seconds against a
+    // blackholed link before the router's ladder moves on, so the
+    // client's patience per attempt is doubled there.
+    let (per_attempt, overall) = if opts.netchaos { (20, 60) } else { (10, 30) };
     RetryPolicy {
         max_retries: opts.retries.max(8),
         base_delay: Duration::from_millis(10),
         max_delay: Duration::from_millis(250),
-        per_attempt_timeout: Some(Duration::from_secs(10)),
-        overall_timeout: Some(Duration::from_secs(30)),
+        per_attempt_timeout: Some(Duration::from_secs(per_attempt)),
+        overall_timeout: Some(Duration::from_secs(overall)),
         jitter_seed: 0x0C1A_57E2 ^ (client_idx as u64).wrapping_mul(0x9E37_79B9),
         ..RetryPolicy::default()
     }
@@ -859,6 +913,11 @@ struct ClusterTally {
     misses: u64,
     retries: u64,
     redials: u64,
+    /// Terminal typed server errors by wire code. Only populated under
+    /// `--netchaos`, where a typed error after the retry budget is a
+    /// legal end state; the plain cluster audit treats any error as a
+    /// violation.
+    typed_errors: HashMap<String, u64>,
     violations: Vec<String>,
 }
 
@@ -908,10 +967,24 @@ fn run_cluster_client(
                     ));
                 }
             }
+            Err(dagsched_service::ClientError::Server(reply)) if opts.netchaos => {
+                // Netchaos tolerates a typed error as a terminal
+                // outcome: the invariant is terminality and
+                // bit-identity, not zero errors under a 10%+ fault
+                // rate. Still counted, so a pathological run is
+                // visible in the artifact.
+                tally.latencies_ns.push(t.elapsed().as_nanos() as u64);
+                *tally
+                    .typed_errors
+                    .entry(format!("{:?}", reply.code))
+                    .or_insert(0) += 1;
+            }
             Err(e) => {
                 // Invariant: failover + retries absorb a shard death.
                 // Anything terminal here is client-visible, so it fails
-                // the audit. Redial for the next request.
+                // the audit. (Under netchaos the client↔router link is
+                // clean, so a transport error still means the router
+                // itself misbehaved.) Redial for the next request.
                 tally.violations.push(format!(
                     "request {k} ({}/{}): client-visible error despite failover: {e}",
                     key.0, key.1
@@ -954,6 +1027,14 @@ fn cluster_pass(
                     ));
                 }
             }
+            Err(dagsched_service::ClientError::Server(reply)) if opts.netchaos => {
+                // Terminal typed error: tolerated under netchaos (see
+                // the paced clients), logged so the pass stays honest.
+                eprintln!(
+                    "loadgen: {label}, request {k}: typed error {:?} (terminal)",
+                    reply.code
+                );
+            }
             Err(e) => violations.push(format!("{label}, request {k}: {e}")),
         }
     }
@@ -971,9 +1052,13 @@ fn cluster_main(opts: Options) {
         .unwrap_or_else(|e| fatal(format!("creating {}: {e}", root.display())));
     let working = opts.profiles.len() * opts.seeds as usize;
     eprintln!(
-        "loadgen: cluster audit: {shards_wanted} shards, {} requests at {} qps over {} clients, \
+        "loadgen: {} audit: {shards_wanted} shards, {} requests at {} qps over {} clients, \
          working set {working} programs, kill-shard {}",
-        opts.requests, opts.qps, opts.clients, opts.kill_shard
+        if opts.netchaos { "netchaos" } else { "cluster" },
+        opts.requests,
+        opts.qps,
+        opts.clients,
+        opts.kill_shard
     );
     let refs = references(&opts).unwrap_or_else(|e| fatal(format!("serial references: {e}")));
 
@@ -1001,17 +1086,59 @@ fn cluster_main(opts: Options) {
             .unwrap_or_else(|e| fatal(format!("shard {i} did not come up: {e}")));
     }
 
+    // Netchaos: interpose a seeded fault-injecting wire proxy on every
+    // router→shard link. The router only ever sees the proxy
+    // endpoints; the real shard sockets stay clean for teardown.
+    let mut proxies: Vec<ProxyHandle> = Vec::new();
+    let router_shards: Vec<String> = if opts.netchaos {
+        eprintln!(
+            "loadgen: netchaos: seed {}, {}‰ of link connections faulted \
+             (latency/bandwidth/stall/partition/reset/corrupt)",
+            opts.chaos_seed, opts.fault_per_mille
+        );
+        shard_eps
+            .iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                let listen = format!("unix:{}", root.join(format!("link-{i}.sock")).display());
+                let chaos = ChaosConfig::standard(
+                    opts.chaos_seed.wrapping_add(i as u64),
+                    opts.fault_per_mille,
+                );
+                let proxy = serve_proxy(&listen, ep, chaos)
+                    .unwrap_or_else(|e| fatal(format!("netchaos proxy {i}: {e}")));
+                let endpoint = proxy.endpoint().to_string();
+                proxies.push(proxy);
+                endpoint
+            })
+            .collect()
+    } else {
+        shard_eps.clone()
+    };
+
     // The router runs in-process so the harness can read its metrics
     // directly; the shards are real killable processes.
-    let router = serve_router(
-        Listen::Unix(root.join("router.sock")),
-        RouterConfig {
-            shards: shard_eps.clone(),
-            health_check_ms: 100,
-            ..RouterConfig::default()
-        },
-    )
-    .unwrap_or_else(|e| fatal(format!("router: {e}")));
+    let mut router_config = RouterConfig {
+        shards: router_shards.clone(),
+        health_check_ms: 100,
+        ..RouterConfig::default()
+    };
+    if opts.netchaos {
+        // Snappy forwards: a blackholed write must be abandoned fast
+        // enough that the hedge race and the failover ladder both fit
+        // inside the paced clients' patience.
+        router_config.shard_retry = RetryPolicy {
+            max_retries: 1,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(50),
+            per_attempt_timeout: Some(Duration::from_secs(2)),
+            overall_timeout: Some(Duration::from_secs(8)),
+            jitter_seed: opts.chaos_seed,
+            ..RetryPolicy::default()
+        };
+    }
+    let router = serve_router(Listen::Unix(root.join("router.sock")), router_config)
+        .unwrap_or_else(|e| fatal(format!("router: {e}")));
     let endpoint = router.endpoint();
 
     // Two warm passes: fill the shard caches cold, then measure the
@@ -1059,6 +1186,26 @@ fn cluster_main(opts: Options) {
                 eprintln!("loadgen: SIGKILLed shard 0 after ~{at} requests");
             });
         }
+        if opts.netchaos {
+            // The scripted gray-failure episode, on top of the seeded
+            // background faults: blackhole link 0's request direction
+            // once a third of the load is in. Replies still flow, so
+            // the link "looks" half alive — the case binary health
+            // checks cannot see. Healed only after the breaker walk
+            // below.
+            let next = &next;
+            let proxies = &proxies;
+            let at = (opts.requests / 3).max(1);
+            scope.spawn(move || {
+                while next.load(Ordering::Relaxed) < at {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                proxies[0].set_partition(Direction::ClientToUpstream, true);
+                eprintln!(
+                    "loadgen: netchaos: partitioned link 0 router→shard after ~{at} requests"
+                );
+            });
+        }
         for h in handles {
             match h.join().expect("cluster client panicked") {
                 Ok(tally) => {
@@ -1068,6 +1215,9 @@ fn cluster_main(opts: Options) {
                     merged.misses += tally.misses;
                     merged.retries += tally.retries;
                     merged.redials += tally.redials;
+                    for (code, n) in tally.typed_errors {
+                        *merged.typed_errors.entry(code).or_insert(0) += n;
+                    }
                     merged.violations.extend(tally.violations);
                 }
                 Err(e) => merged.violations.push(format!("cluster client aborted: {e}")),
@@ -1078,6 +1228,64 @@ fn cluster_main(opts: Options) {
     violations.extend(merged.violations.drain(..));
     if opts.kill_shard {
         let _ = children[0].lock().unwrap().wait();
+    }
+
+    if opts.netchaos {
+        // Walk the breaker state machine end to end: the partition
+        // stays up until probe evidence opens the victim's breaker, a
+        // sequential pass then exercises the open-breaker ladder (the
+        // failover rung — the primary is skipped outright), and only
+        // then does the link heal, forcing revival through half-open
+        // trial probes.
+        let breaker_of = |ep: &str| -> String {
+            router
+                .metrics()
+                .get("shards")
+                .and_then(Json::as_arr)
+                .and_then(|arr| {
+                    arr.iter()
+                        .find(|s| s.get("endpoint").and_then(Json::as_str) == Some(ep))
+                        .and_then(|s| s.get("breaker"))
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                })
+                .unwrap_or_default()
+        };
+        let wait_for = |cond: &dyn Fn() -> bool, what: &str, violations: &mut Vec<String>| {
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while !cond() {
+                if Instant::now() >= deadline {
+                    violations.push(format!("netchaos: timed out waiting for {what}"));
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            true
+        };
+        let victim = router_shards[0].as_str();
+        if wait_for(
+            &|| breaker_of(victim) == "open",
+            "the partitioned link's breaker to open",
+            &mut violations,
+        ) {
+            eprintln!("loadgen: netchaos: breaker open on link 0; driving the failover ladder");
+            cluster_pass(
+                &endpoint,
+                &opts,
+                &refs,
+                working,
+                "breaker-open pass",
+                &mut violations,
+            )
+            .unwrap_or_else(|e| fatal(e));
+        }
+        proxies[0].set_partition(Direction::ClientToUpstream, false);
+        eprintln!("loadgen: netchaos: healed link 0; waiting for half-open revival");
+        wait_for(
+            &|| breaker_of(victim) == "closed",
+            "the healed link's breaker to close through half-open trials",
+            &mut violations,
+        );
     }
 
     // Post-failover pass: the surviving replicas must keep the working
@@ -1105,10 +1313,56 @@ fn cluster_main(opts: Options) {
 
     let router_metrics = router.metrics();
 
+    if opts.netchaos {
+        // Gate 1: zero crashes — the router must still answer through
+        // the front door after everything above.
+        match Client::connect(&endpoint) {
+            Ok(mut c) => {
+                if let Err(e) = c.ping() {
+                    violations.push(format!("router did not answer a ping after the run: {e}"));
+                }
+            }
+            Err(e) => violations.push(format!("router unreachable after the run: {e}")),
+        }
+        // Gate 2: every request terminal. Each request index draws
+        // exactly one outcome per client (verified response, typed
+        // error, or a violation-recording failure), so with no
+        // violations the arithmetic must close; a shortfall means the
+        // harness silently dropped requests.
+        let typed_total: u64 = merged.typed_errors.values().sum();
+        if violations.is_empty() && merged.ok + typed_total < opts.requests as u64 {
+            violations.push(format!(
+                "{} terminal outcomes for {} requests",
+                merged.ok + typed_total,
+                opts.requests
+            ));
+        }
+        // Gate 4: the gray-failure machinery demonstrably engaged.
+        let counter = |name: &str| router_metrics.get(name).and_then(Json::as_u64).unwrap_or(0);
+        for (name, what) in [
+            ("failovers", "failover (open-breaker ladder)"),
+            ("shards_marked_down", "breaker-open event"),
+            ("hedged_requests", "hedged request"),
+            ("hedge_wins", "hedge win"),
+        ] {
+            if counter(name) == 0 {
+                violations.push(format!("netchaos gate: no {what} recorded ({name} = 0)"));
+            }
+        }
+    }
+
     // Clean teardown: drain the router first (it drops its shard
-    // connections), then gracefully shut down the surviving shards.
+    // connections), then the netchaos proxies, then gracefully shut
+    // down the surviving shards over their real (clean) sockets.
     router.begin_drain();
     router.join();
+    let proxy_snapshots: Vec<(String, dagsched_netchaos::ProxySnapshot)> = proxies
+        .iter()
+        .map(|p| (p.endpoint().to_string(), p.metrics()))
+        .collect();
+    for p in proxies {
+        p.shutdown();
+    }
     for (i, ep) in shard_eps.iter().enumerate() {
         if opts.kill_shard && i == 0 {
             continue; // already SIGKILLed and reaped
@@ -1131,8 +1385,11 @@ fn cluster_main(opts: Options) {
     let p95 = percentile(&merged.latencies_ns, 95.0);
     let p99 = percentile(&merged.latencies_ns, 99.0);
 
-    let report = vec![
-        ("mode", Json::from("cluster")),
+    let mut report = vec![
+        (
+            "mode",
+            Json::from(if opts.netchaos { "netchaos" } else { "cluster" }),
+        ),
         ("shards", Json::from(shards_wanted)),
         ("kill_shard", Json::from(opts.kill_shard)),
         ("requests", Json::from(opts.requests)),
@@ -1158,22 +1415,80 @@ fn cluster_main(opts: Options) {
         ("router", router_metrics),
         ("violations", Json::from(violations.len() as u64)),
     ];
+    if opts.netchaos {
+        let typed_total: u64 = merged.typed_errors.values().sum();
+        report.push(("typed_errors", Json::from(typed_total)));
+        report.push((
+            "typed_errors_by_code",
+            Json::Obj(
+                merged
+                    .typed_errors
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        ));
+        report.push((
+            "netchaos",
+            Json::Obj(vec![
+                ("seed".to_string(), Json::from(opts.chaos_seed)),
+                (
+                    "fault_per_mille".to_string(),
+                    Json::from(u64::from(opts.fault_per_mille)),
+                ),
+                (
+                    "links".to_string(),
+                    Json::Arr(
+                        proxy_snapshots
+                            .iter()
+                            .map(|(ep, s)| {
+                                Json::Obj(vec![
+                                    ("endpoint".to_string(), Json::from(ep.as_str())),
+                                    ("connections".to_string(), Json::from(s.connections)),
+                                    ("latency_conns".to_string(), Json::from(s.latency_conns)),
+                                    (
+                                        "bandwidth_conns".to_string(),
+                                        Json::from(s.bandwidth_conns),
+                                    ),
+                                    ("stalls".to_string(), Json::from(s.stalls)),
+                                    ("partitions".to_string(), Json::from(s.partitions)),
+                                    ("resets".to_string(), Json::from(s.resets)),
+                                    (
+                                        "corrupted_bytes".to_string(),
+                                        Json::from(s.corrupted_bytes),
+                                    ),
+                                    (
+                                        "blackholed_bytes".to_string(),
+                                        Json::from(s.blackholed_bytes),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
     let artifact = Json::Obj(
         report
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
     );
-    let out = opts
-        .out
-        .clone()
-        .unwrap_or_else(|| "service-cluster.json".to_string());
+    let out = opts.out.clone().unwrap_or_else(|| {
+        if opts.netchaos {
+            "service-netchaos.json".to_string()
+        } else {
+            "service-cluster.json".to_string()
+        }
+    });
     std::fs::write(&out, format!("{artifact}\n"))
         .unwrap_or_else(|e| fatal(format!("writing {out}: {e}")));
 
     eprintln!(
-        "loadgen: cluster: {} ok over {shards_wanted} shards; p50 {:.2} ms, p99 {:.2} ms; \
+        "loadgen: {}: {} ok over {shards_wanted} shards; p50 {:.2} ms, p99 {:.2} ms; \
          hit rate {:.1}% pre-kill -> {:.1}% post-failover -> {out}",
+        if opts.netchaos { "netchaos" } else { "cluster" },
         merged.ok,
         ms(p50),
         ms(p99),
@@ -1186,10 +1501,17 @@ fn cluster_main(opts: Options) {
         }
         std::process::exit(1);
     }
-    eprintln!(
-        "loadgen: cluster audit passed: every routed reply bit-identical, zero client-visible \
-         errors, failover kept the caches warm"
-    );
+    if opts.netchaos {
+        eprintln!(
+            "loadgen: netchaos audit passed: zero crashes, every request terminal, every \
+             reply bit-identical; failover, breaker-open, and hedge-win all recorded"
+        );
+    } else {
+        eprintln!(
+            "loadgen: cluster audit passed: every routed reply bit-identical, zero \
+             client-visible errors, failover kept the caches warm"
+        );
+    }
 }
 
 fn main() {

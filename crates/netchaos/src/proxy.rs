@@ -1,0 +1,889 @@
+//! The proxy itself: accept loop, per-connection pump threads, fault
+//! application, runtime toxics, and counters.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::plan::{ChaosConfig, ConnFault, Direction};
+
+/// Read timeout on both pump sockets: the granularity at which a pump
+/// notices the stop flag and toxic changes.
+const PUMP_TICK: Duration = Duration::from_millis(50);
+
+/// Write timeout: a peer that stops reading for this long is treated
+/// as dead rather than wedging the pump.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Sleep granularity for injected delays (stop-flag aware).
+const SLEEP_STEP: Duration = Duration::from_millis(20);
+
+/// One bound listener, TCP or Unix.
+enum Acceptor {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// One accepted or dialed stream, TCP or Unix.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.set_read_timeout(t);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.set_read_timeout(t);
+            }
+        }
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.set_write_timeout(t);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.set_write_timeout(t);
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Half-close the write side (EOF propagation on clean upstream
+    /// close without tearing down the opposite direction).
+    fn shutdown_write(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Write);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Write);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Parsed endpoint (`tcp:HOST:PORT`, `HOST:PORT`, or `unix:/path`).
+enum Endpoint {
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+fn parse_endpoint(s: &str) -> io::Result<Endpoint> {
+    let invalid = |m: String| io::Error::new(io::ErrorKind::InvalidInput, m);
+    if let Some(path) = s.strip_prefix("unix:") {
+        #[cfg(unix)]
+        return Ok(Endpoint::Unix(PathBuf::from(path)));
+        #[cfg(not(unix))]
+        return Err(invalid(format!(
+            "unix endpoint {path} unsupported on this platform"
+        )));
+    }
+    let addr = s.strip_prefix("tcp:").unwrap_or(s);
+    if addr.is_empty() {
+        return Err(invalid(format!("empty endpoint in {s:?}")));
+    }
+    Ok(Endpoint::Tcp(addr.to_string()))
+}
+
+/// Runtime fault switches, toggled while the proxy runs (the scripted
+/// counterpart to the seeded plan — what integration tests use to
+/// stage a failure at an exact moment).
+#[derive(Debug, Default)]
+pub struct Toxics {
+    /// Blackhole client→upstream bytes (requests vanish).
+    partition_c2u: AtomicBool,
+    /// Blackhole upstream→client bytes (responses vanish).
+    partition_u2c: AtomicBool,
+    /// Added per-chunk latency, milliseconds, both directions.
+    extra_latency_ms: AtomicU64,
+}
+
+impl Toxics {
+    fn partitioned(&self, dir: Direction) -> bool {
+        match dir {
+            Direction::ClientToUpstream => self.partition_c2u.load(Ordering::Relaxed),
+            Direction::UpstreamToClient => self.partition_u2c.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Proxy counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct ProxyMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Accepted connections whose upstream dial failed (client closed).
+    pub dial_failures: AtomicU64,
+    /// Bytes forwarded client→upstream.
+    pub bytes_c2u: AtomicU64,
+    /// Bytes forwarded upstream→client.
+    pub bytes_u2c: AtomicU64,
+    /// Connections assigned a latency fault.
+    pub latency_conns: AtomicU64,
+    /// Connections assigned a bandwidth cap.
+    pub bandwidth_conns: AtomicU64,
+    /// Mid-stream stalls injected.
+    pub stalls: AtomicU64,
+    /// One-way partitions activated (seeded plan only).
+    pub partitions: AtomicU64,
+    /// Connections hard-closed by an injected reset.
+    pub resets: AtomicU64,
+    /// Bytes corrupted in flight.
+    pub corrupted_bytes: AtomicU64,
+    /// Bytes read and discarded by an active partition (plan or toxic).
+    pub blackholed_bytes: AtomicU64,
+    /// Live connections torn down by [`ProxyHandle::reset_all`].
+    pub toxic_resets: AtomicU64,
+}
+
+/// A plain-value copy of [`ProxyMetrics`], for assertions and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxySnapshot {
+    pub connections: u64,
+    pub dial_failures: u64,
+    pub bytes_c2u: u64,
+    pub bytes_u2c: u64,
+    pub latency_conns: u64,
+    pub bandwidth_conns: u64,
+    pub stalls: u64,
+    pub partitions: u64,
+    pub resets: u64,
+    pub corrupted_bytes: u64,
+    pub blackholed_bytes: u64,
+    pub toxic_resets: u64,
+}
+
+impl ProxyMetrics {
+    fn snapshot(&self) -> ProxySnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ProxySnapshot {
+            connections: g(&self.connections),
+            dial_failures: g(&self.dial_failures),
+            bytes_c2u: g(&self.bytes_c2u),
+            bytes_u2c: g(&self.bytes_u2c),
+            latency_conns: g(&self.latency_conns),
+            bandwidth_conns: g(&self.bandwidth_conns),
+            stalls: g(&self.stalls),
+            partitions: g(&self.partitions),
+            resets: g(&self.resets),
+            corrupted_bytes: g(&self.corrupted_bytes),
+            blackholed_bytes: g(&self.blackholed_bytes),
+            toxic_resets: g(&self.toxic_resets),
+        }
+    }
+
+    /// The number of injected fault events across every class —
+    /// "did the chaos actually bite" in smoke-test assertions.
+    fn faults_injected(&self) -> u64 {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        g(&self.latency_conns)
+            + g(&self.bandwidth_conns)
+            + g(&self.stalls)
+            + g(&self.partitions)
+            + g(&self.resets)
+            + g(&self.corrupted_bytes)
+    }
+}
+
+impl ProxySnapshot {
+    /// Total injected fault events (all classes).
+    pub fn faults_injected(&self) -> u64 {
+        self.latency_conns
+            + self.bandwidth_conns
+            + self.stalls
+            + self.partitions
+            + self.resets
+            + self.corrupted_bytes
+    }
+}
+
+/// Shared state every proxy thread sees.
+struct Inner {
+    config: ChaosConfig,
+    upstream: String,
+    metrics: ProxyMetrics,
+    toxics: Toxics,
+    stop: AtomicBool,
+    /// Clones of every live socket pair, so `reset_all`/`shutdown` can
+    /// interrupt blocked pumps.
+    live: Mutex<Vec<(Conn, Conn)>>,
+    /// Pump threads (joined at shutdown).
+    pumps: Mutex<Vec<JoinHandle<()>>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A running proxy. Call [`ProxyHandle::shutdown`] to stop it; merely
+/// dropping the handle leaves it running (detached).
+pub struct ProxyHandle {
+    inner: Arc<Inner>,
+    endpoint: String,
+    accept_thread: Option<JoinHandle<()>>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl ProxyHandle {
+    /// The endpoint clients should dial (`tcp:ADDR` with the real port,
+    /// or `unix:/path`).
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> ProxySnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Total injected fault events so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.inner.metrics.faults_injected()
+    }
+
+    /// Toggle a scripted one-way partition: while on, bytes in `dir`
+    /// are read and discarded on every connection (old and new).
+    pub fn set_partition(&self, dir: Direction, on: bool) {
+        let flag = match dir {
+            Direction::ClientToUpstream => &self.inner.toxics.partition_c2u,
+            Direction::UpstreamToClient => &self.inner.toxics.partition_u2c,
+        };
+        flag.store(on, Ordering::Relaxed);
+    }
+
+    /// Add fixed latency (milliseconds) to every forwarded chunk in
+    /// both directions, on top of whatever the seeded plan injects.
+    /// Zero turns the toxic off.
+    pub fn set_extra_latency_ms(&self, ms: u64) {
+        self.inner.toxics.extra_latency_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Hard-close every live connection (both sides). New connections
+    /// are still accepted — this is a scripted reset storm, not a stop.
+    pub fn reset_all(&self) {
+        let mut live = lock(&self.inner.live);
+        for (a, b) in live.drain(..) {
+            a.shutdown();
+            b.shutdown();
+            self.inner.metrics.toxic_resets.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stop accepting, tear down every connection, and join all proxy
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        {
+            let mut live = lock(&self.inner.live);
+            for (a, b) in live.drain(..) {
+                a.shutdown();
+                b.shutdown();
+            }
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let pumps: Vec<JoinHandle<()>> = lock(&self.inner.pumps).drain(..).collect();
+        for t in pumps {
+            let _ = t.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Bind `listen` and proxy every accepted connection to `upstream`
+/// under `config`'s seeded fault plan.
+pub fn serve_proxy(listen: &str, upstream: &str, config: ChaosConfig) -> io::Result<ProxyHandle> {
+    // Validate the upstream endpoint now, not on first accept.
+    parse_endpoint(upstream)?;
+    let (acceptor, endpoint) = match parse_endpoint(listen)? {
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(&addr)?;
+            let local: SocketAddr = listener.local_addr()?;
+            (Acceptor::Tcp(listener), format!("tcp:{local}"))
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            // Stale socket files from a previous run refuse rebinding.
+            let _ = std::fs::remove_file(&path);
+            let listener = UnixListener::bind(&path)?;
+            (Acceptor::Unix(listener), format!("unix:{}", path.display()))
+        }
+    };
+    match &acceptor {
+        Acceptor::Tcp(l) => l.set_nonblocking(true)?,
+        #[cfg(unix)]
+        Acceptor::Unix(l) => l.set_nonblocking(true)?,
+    }
+
+    let inner = Arc::new(Inner {
+        config,
+        upstream: upstream.to_string(),
+        metrics: ProxyMetrics::default(),
+        toxics: Toxics::default(),
+        stop: AtomicBool::new(false),
+        live: Mutex::new(Vec::new()),
+        pumps: Mutex::new(Vec::new()),
+    });
+
+    #[cfg(unix)]
+    let unix_path = match parse_endpoint(listen)? {
+        Endpoint::Unix(p) => Some(p),
+        Endpoint::Tcp(_) => None,
+    };
+
+    let accept_inner = Arc::clone(&inner);
+    let accept_thread = std::thread::Builder::new()
+        .name("netchaos-accept".to_string())
+        .spawn(move || accept_loop(accept_inner, acceptor))?;
+
+    Ok(ProxyHandle {
+        inner,
+        endpoint,
+        accept_thread: Some(accept_thread),
+        #[cfg(unix)]
+        unix_path,
+    })
+}
+
+fn accept_loop(inner: Arc<Inner>, acceptor: Acceptor) {
+    let mut conn_id = 0u64;
+    while !inner.stop.load(Ordering::SeqCst) {
+        let accepted = match &acceptor {
+            Acceptor::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Acceptor::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        };
+        let client = match accepted {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let id = conn_id;
+        conn_id += 1;
+
+        let upstream = match dial(&inner.upstream) {
+            Ok(u) => u,
+            Err(_) => {
+                // Connection refused propagates to the client as an
+                // immediate close — the realistic failure shape.
+                inner.metrics.dial_failures.fetch_add(1, Ordering::Relaxed);
+                client.shutdown();
+                continue;
+            }
+        };
+
+        spawn_pumps(&inner, id, client, upstream);
+    }
+}
+
+fn dial(endpoint: &str) -> io::Result<Conn> {
+    match parse_endpoint(endpoint)? {
+        Endpoint::Tcp(addr) => Ok(Conn::Tcp(TcpStream::connect(addr)?)),
+        #[cfg(unix)]
+        Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+    }
+}
+
+/// Set up both pump threads for one accepted connection.
+fn spawn_pumps(inner: &Arc<Inner>, id: u64, client: Conn, upstream: Conn) {
+    let fault = inner.config.decide(id);
+    match fault {
+        ConnFault::Latency { .. } => {
+            inner.metrics.latency_conns.fetch_add(1, Ordering::Relaxed);
+        }
+        ConnFault::Bandwidth { .. } => {
+            inner.metrics.bandwidth_conns.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+
+    // Clones: each pump reads one socket and writes the other; the
+    // registry keeps a pair for scripted resets and shutdown.
+    let (c_read, c_write, c_reg) = match (client.try_clone(), client.try_clone()) {
+        (Ok(a), Ok(b)) => (client, a, b),
+        _ => {
+            client.shutdown();
+            upstream.shutdown();
+            return;
+        }
+    };
+    let (u_read, u_write, u_reg) = match (upstream.try_clone(), upstream.try_clone()) {
+        (Ok(a), Ok(b)) => (upstream, a, b),
+        _ => {
+            c_read.shutdown();
+            return;
+        }
+    };
+    lock(&inner.live).push((c_reg, u_reg));
+
+    let fwd = PumpSide {
+        inner: Arc::clone(inner),
+        conn: id,
+        dir: Direction::ClientToUpstream,
+        fault,
+    };
+    let rev = PumpSide {
+        inner: Arc::clone(inner),
+        conn: id,
+        dir: Direction::UpstreamToClient,
+        fault,
+    };
+    let mut pumps = lock(&inner.pumps);
+    if let Ok(t) = std::thread::Builder::new()
+        .name(format!("netchaos-c2u-{id}"))
+        .spawn(move || pump(fwd, c_read, u_write))
+    {
+        pumps.push(t);
+    }
+    if let Ok(t) = std::thread::Builder::new()
+        .name(format!("netchaos-u2c-{id}"))
+        .spawn(move || pump(rev, u_read, c_write))
+    {
+        pumps.push(t);
+    }
+}
+
+/// Everything one pump direction needs.
+struct PumpSide {
+    inner: Arc<Inner>,
+    conn: u64,
+    dir: Direction,
+    fault: ConnFault,
+}
+
+/// Sleep `ms`, waking early if the proxy is stopping.
+fn chaos_sleep(inner: &Inner, ms: u64) {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < deadline && !inner.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(SLEEP_STEP.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+/// Forward bytes `src` → `dst`, applying this direction's share of the
+/// connection's fault plan plus any active toxics.
+fn pump(side: PumpSide, mut src: Conn, mut dst: Conn) {
+    let inner = &side.inner;
+    let cfg = &inner.config;
+    src.set_read_timeout(Some(PUMP_TICK));
+    dst.set_write_timeout(Some(WRITE_TIMEOUT));
+
+    let bytes_counter = match side.dir {
+        Direction::ClientToUpstream => &inner.metrics.bytes_c2u,
+        Direction::UpstreamToClient => &inner.metrics.bytes_u2c,
+    };
+
+    let mut buf = [0u8; 4096];
+    let mut offset = 0u64; // bytes read in this direction
+    let mut chunk = 0u64;
+    let mut stalled = false;
+    let mut plan_partition_counted = false;
+    let started = Instant::now();
+
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Clean EOF: propagate the half-close, keep the other
+                // direction alive.
+                dst.shutdown_write();
+                break;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                src.shutdown();
+                dst.shutdown();
+                break;
+            }
+        };
+        let chunk_start = offset;
+        offset += n as u64;
+        chunk += 1;
+
+        // Reset: hard-close everything the moment the offset crosses.
+        if let ConnFault::Reset { dir, at } = side.fault {
+            if dir == side.dir && offset > at {
+                inner.metrics.resets.fetch_add(1, Ordering::Relaxed);
+                src.shutdown();
+                dst.shutdown();
+                break;
+            }
+        }
+
+        // Stall: one pause, then business as usual.
+        if let ConnFault::Stall { dir, at, ms } = side.fault {
+            if dir == side.dir && !stalled && offset > at {
+                stalled = true;
+                inner.metrics.stalls.fetch_add(1, Ordering::Relaxed);
+                chaos_sleep(inner, ms);
+            }
+        }
+
+        // Partition (seeded plan): blackhole from `at` on.
+        let plan_partitioned = matches!(
+            side.fault,
+            ConnFault::Partition { dir, at } if dir == side.dir && offset > at
+        );
+        if plan_partitioned && !plan_partition_counted {
+            plan_partition_counted = true;
+            inner.metrics.partitions.fetch_add(1, Ordering::Relaxed);
+        }
+        if plan_partitioned || inner.toxics.partitioned(side.dir) {
+            inner
+                .metrics
+                .blackholed_bytes
+                .fetch_add(n as u64, Ordering::Relaxed);
+            continue;
+        }
+
+        // Corruption: flip the drawn byte if it lives in this chunk.
+        if let ConnFault::Corrupt { dir, at } = side.fault {
+            if dir == side.dir && at >= chunk_start && at < offset {
+                let i = (at - chunk_start) as usize;
+                buf[i] ^= cfg.corrupt_mask(side.conn, side.dir, at);
+                inner.metrics.corrupted_bytes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Latency: plan base + per-chunk jitter, plus the toxic.
+        let mut delay_ms = inner.toxics.extra_latency_ms.load(Ordering::Relaxed);
+        if let ConnFault::Latency { base_ms, jitter_ms } = side.fault {
+            delay_ms += base_ms + cfg.jitter(side.conn, chunk, jitter_ms);
+        }
+        if delay_ms > 0 {
+            chaos_sleep(inner, delay_ms);
+        }
+
+        if dst.write_all(&buf[..n]).is_err() {
+            src.shutdown();
+            dst.shutdown();
+            break;
+        }
+        bytes_counter.fetch_add(n as u64, Ordering::Relaxed);
+
+        // Bandwidth cap: pace to the configured rate.
+        if let ConnFault::Bandwidth { bytes_per_sec } = side.fault {
+            let expected_ms = offset.saturating_mul(1000) / bytes_per_sec.max(1);
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            if expected_ms > elapsed_ms {
+                chaos_sleep(inner, expected_ms - elapsed_ms);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChaosConfig;
+
+    /// A TCP echo upstream: accepts forever, echoes until EOF.
+    fn echo_upstream() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { continue };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 4096];
+                    loop {
+                        match conn.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if conn.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        format!("tcp:{addr}")
+    }
+
+    fn dial_proxy(handle: &ProxyHandle) -> TcpStream {
+        let addr = handle
+            .endpoint()
+            .strip_prefix("tcp:")
+            .expect("tcp endpoint")
+            .to_string();
+        let s = TcpStream::connect(addr).expect("dial proxy");
+        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        s
+    }
+
+    fn pattern(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    /// Counters are bumped by the pump threads just after the bytes
+    /// land; wait out that sliver of a race before asserting on them.
+    fn wait_until(mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !cond() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(cond(), "condition not reached within 2s");
+    }
+
+    #[test]
+    fn quiet_proxy_is_byte_faithful() {
+        let upstream = echo_upstream();
+        let handle =
+            serve_proxy("tcp:127.0.0.1:0", &upstream, ChaosConfig::quiet(7)).expect("proxy");
+        let mut s = dial_proxy(&handle);
+        let sent = pattern(10_000);
+        s.write_all(&sent).expect("write");
+        let mut got = vec![0u8; sent.len()];
+        s.read_exact(&mut got).expect("echo back");
+        assert_eq!(got, sent, "quiet proxy must not alter a single byte");
+        let want = sent.len() as u64;
+        wait_until(|| {
+            let m = handle.metrics();
+            m.bytes_c2u >= want && m.bytes_u2c >= want
+        });
+        let m = handle.metrics();
+        assert_eq!(m.connections, 1);
+        assert_eq!(m.faults_injected(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn corruption_flips_exactly_the_drawn_byte() {
+        let cfg = ChaosConfig {
+            corrupt_per_mille: 1000,
+            ..ChaosConfig::quiet(0xC0DE)
+        };
+        let ConnFault::Corrupt { at, .. } = cfg.decide(0) else {
+            panic!("rate 1000 must assign corruption to conn 0");
+        };
+        let upstream = echo_upstream();
+        let handle = serve_proxy("tcp:127.0.0.1:0", &upstream, cfg).expect("proxy");
+        let mut s = dial_proxy(&handle);
+        // Cover the whole offset window so the fault is guaranteed hit.
+        let sent = pattern((at as usize + 1).max(4096));
+        s.write_all(&sent).expect("write");
+        let mut got = vec![0u8; sent.len()];
+        s.read_exact(&mut got).expect("echo back");
+        let diffs: Vec<usize> = (0..sent.len()).filter(|&i| got[i] != sent[i]).collect();
+        assert_eq!(diffs, vec![at as usize], "exactly the drawn byte differs");
+        assert_eq!(handle.metrics().corrupted_bytes, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn toxic_partition_blackholes_one_direction_then_heals() {
+        let upstream = echo_upstream();
+        let handle =
+            serve_proxy("tcp:127.0.0.1:0", &upstream, ChaosConfig::quiet(1)).expect("proxy");
+        let mut s = dial_proxy(&handle);
+        s.set_read_timeout(Some(Duration::from_millis(300))).expect("timeout");
+
+        handle.set_partition(Direction::ClientToUpstream, true);
+        // Give the pump a beat to observe the toxic before bytes move.
+        std::thread::sleep(Duration::from_millis(100));
+        s.write_all(b"lost").expect("write into the void");
+        let mut buf = [0u8; 16];
+        let err = s.read(&mut buf).expect_err("no echo through a partition");
+        assert!(
+            matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            "read should time out, got {err:?}"
+        );
+
+        // Heal: subsequent bytes flow again (the blackholed ones are
+        // gone for good, as on a real one-way link).
+        handle.set_partition(Direction::ClientToUpstream, false);
+        std::thread::sleep(Duration::from_millis(100));
+        s.write_all(b"alive").expect("write after heal");
+        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut got = [0u8; 5];
+        s.read_exact(&mut got).expect("echo after heal");
+        assert_eq!(&got, b"alive");
+        assert!(handle.metrics().blackholed_bytes >= 4);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn reset_all_tears_down_live_connections() {
+        let upstream = echo_upstream();
+        let handle =
+            serve_proxy("tcp:127.0.0.1:0", &upstream, ChaosConfig::quiet(2)).expect("proxy");
+        let mut s = dial_proxy(&handle);
+        s.write_all(b"ping").expect("write");
+        let mut got = [0u8; 4];
+        s.read_exact(&mut got).expect("echo");
+        handle.reset_all();
+        // The connection is dead: reads return EOF or a reset error.
+        let mut buf = [0u8; 4];
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("expected a dead connection, read {n} bytes"),
+        }
+        assert!(handle.metrics().toxic_resets >= 1);
+        // New connections still work.
+        let mut s2 = dial_proxy(&handle);
+        s2.write_all(b"pong").expect("write on a fresh conn");
+        let mut got2 = [0u8; 4];
+        s2.read_exact(&mut got2).expect("echo on a fresh conn");
+        assert_eq!(&got2, b"pong");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn seeded_latency_delays_but_preserves_bytes() {
+        let cfg = ChaosConfig {
+            latency_per_mille: 1000,
+            latency_ms: 120,
+            jitter_ms: 0,
+            ..ChaosConfig::quiet(3)
+        };
+        let upstream = echo_upstream();
+        let handle = serve_proxy("tcp:127.0.0.1:0", &upstream, cfg).expect("proxy");
+        let mut s = dial_proxy(&handle);
+        let started = Instant::now();
+        s.write_all(b"slow").expect("write");
+        let mut got = [0u8; 4];
+        s.read_exact(&mut got).expect("echo");
+        assert_eq!(&got, b"slow");
+        // Both directions add ≥120ms each.
+        assert!(
+            started.elapsed() >= Duration::from_millis(200),
+            "latency fault must actually delay: {:?}",
+            started.elapsed()
+        );
+        assert!(handle.metrics().latency_conns >= 1);
+        handle.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_proxying_works_end_to_end() {
+        // Unix upstream echo.
+        let dir = std::env::temp_dir().join(format!("netchaos-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let up_path = dir.join("up.sock");
+        let _ = std::fs::remove_file(&up_path);
+        let listener = UnixListener::bind(&up_path).expect("bind unix echo");
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { continue };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    loop {
+                        match conn.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if conn.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let px_path = dir.join("px.sock");
+        let handle = serve_proxy(
+            &format!("unix:{}", px_path.display()),
+            &format!("unix:{}", up_path.display()),
+            ChaosConfig::quiet(4),
+        )
+        .expect("unix proxy");
+        assert_eq!(handle.endpoint(), format!("unix:{}", px_path.display()));
+        let mut s = UnixStream::connect(&px_path).expect("dial unix proxy");
+        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        s.write_all(b"unix").expect("write");
+        let mut got = [0u8; 4];
+        s.read_exact(&mut got).expect("echo");
+        assert_eq!(&got, b"unix");
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

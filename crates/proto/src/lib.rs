@@ -2,16 +2,17 @@
 //! (`dagsched-service`), its client, and the cluster router
 //! (`dagsched-router`): one framing implementation, no copies.
 //!
-//! Every message is one *frame*: an 8-byte header followed by a JSON
+//! Every message is one *frame*: a 16-byte header followed by a JSON
 //! payload.
 //!
 //! ```text
 //! offset  size  field
 //!      0     2  magic  "DS"
-//!      2     1  protocol version (currently 1)
+//!      2     1  protocol version (currently 2)
 //!      3     1  frame kind (see FrameKind)
 //!      4     4  payload length, little-endian u32
-//!      8     n  payload (UTF-8 JSON)
+//!      8     8  FNV-1a 64 checksum of the payload, little-endian u64
+//!     16     n  payload (UTF-8 JSON)
 //! ```
 //!
 //! The header is validated *before* the payload is read, and the length
@@ -21,6 +22,14 @@
 //! maps to a typed error ([`FrameReadError`] / [`ErrorReply`]), never a
 //! panic: the daemon answers garbage with an `Error` frame and closes
 //! the connection.
+//!
+//! The payload checksum (version 2) exists for the link-fault case the
+//! header alone cannot catch: a byte corrupted *inside* the JSON
+//! payload. A flipped byte in string content still parses — without the
+//! checksum a router would dutifully relay a silently-wrong schedule.
+//! With it, in-flight corruption anywhere in the payload surfaces as a
+//! typed [`FrameReadError::ChecksumMismatch`], which clients treat as
+//! retryable transport breakage and the router treats as link evidence.
 //!
 //! Request/response payloads are plain JSON objects (see
 //! [`ScheduleRequest`] / [`ScheduleResponse`]); unknown fields are
@@ -40,8 +49,9 @@ use crate::json::Json;
 
 /// Protocol magic: the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"DS";
-/// Protocol version carried in byte 2.
-pub const VERSION: u8 = 1;
+/// Protocol version carried in byte 2. Version 2 added the payload
+/// checksum at header bytes 8..16.
+pub const VERSION: u8 = 2;
 /// Default cap on a frame payload (16 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
 /// Sanity cap on a request's `jobs` field: more worker threads than
@@ -113,6 +123,14 @@ pub enum FrameReadError {
         /// The configured cap.
         max: usize,
     },
+    /// The payload did not hash to the header's checksum: bytes were
+    /// corrupted in flight.
+    ChecksumMismatch {
+        /// The checksum the sender stamped in the header.
+        expected: u64,
+        /// The checksum of the payload as received.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for FrameReadError {
@@ -125,6 +143,11 @@ impl fmt::Display for FrameReadError {
             FrameReadError::Oversized { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
             }
+            FrameReadError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch (header {expected:#018x}, payload {actual:#018x}): \
+                 bytes corrupted in flight"
+            ),
         }
     }
 }
@@ -181,14 +204,29 @@ pub fn encode_payload_len(len: usize) -> Result<u32, PayloadTooLarge> {
 pub fn write_frame(w: &mut dyn Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
     let len = encode_payload_len(payload.len())
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
-    let mut header = [0u8; 8];
+    let mut header = [0u8; FRAME_HEADER_LEN];
     header[..2].copy_from_slice(&MAGIC);
     header[2] = VERSION;
     header[3] = kind as u8;
-    header[4..].copy_from_slice(&len.to_le_bytes());
+    header[4..8].copy_from_slice(&len.to_le_bytes());
+    header[8..].copy_from_slice(&frame_checksum(payload).to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// The payload checksum stamped in header bytes 8..16: FNV-1a 64.
+///
+/// Not cryptographic — it defends against *accidental* in-flight
+/// corruption (a flipped bit on a faulty link), where any single-byte
+/// change is guaranteed to alter the hash.
+pub fn frame_checksum(payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Read one frame, validating the header before allocating the payload
@@ -213,7 +251,7 @@ pub fn read_frame_or_eof(
     r: &mut dyn Read,
     max_payload: usize,
 ) -> Result<Option<(FrameKind, Vec<u8>)>, FrameReadError> {
-    let mut header = [0u8; 8];
+    let mut header = [0u8; FRAME_HEADER_LEN];
     let mut filled = 0usize;
     while filled < header.len() {
         match r.read(&mut header[filled..]) {
@@ -243,8 +281,13 @@ pub fn read_frame_or_eof(
             max: max_payload,
         });
     }
+    let expected = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    let actual = frame_checksum(&payload);
+    if actual != expected {
+        return Err(FrameReadError::ChecksumMismatch { expected, actual });
+    }
     Ok(Some((kind, payload)))
 }
 
@@ -359,13 +402,18 @@ impl FrameAssembler {
         }
         let start = self.pos + FRAME_HEADER_LEN;
         let payload = self.buf[start..start + len].to_vec();
+        let expected = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+        let actual = frame_checksum(&payload);
+        if actual != expected {
+            return Err(FrameReadError::ChecksumMismatch { expected, actual });
+        }
         self.pos += total;
         Ok(Some((kind, payload)))
     }
 }
 
 /// Bytes in a frame header.
-pub const FRAME_HEADER_LEN: usize = 8;
+pub const FRAME_HEADER_LEN: usize = 16;
 
 /// Machine-readable error category carried by an `Error` frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1119,6 +1167,42 @@ mod tests {
             }
             other => panic!("expected truncation error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_the_checksum() {
+        let mut good = Vec::new();
+        write_frame(&mut good, FrameKind::Request, b"{\"asm\":\"nop\"}").unwrap();
+
+        // Flip each payload byte in turn: every single-byte corruption
+        // must surface as a checksum mismatch, not a silently-wrong
+        // payload. (Corrupting `"` or `{` would also fail JSON parsing
+        // downstream, but bytes inside string content would not — the
+        // checksum is the only line of defense there.)
+        for i in FRAME_HEADER_LEN..good.len() {
+            let mut corrupt = good.clone();
+            corrupt[i] ^= 0x20;
+            match read_frame(&mut &corrupt[..], 1024) {
+                Err(FrameReadError::ChecksumMismatch { expected, actual }) => {
+                    assert_ne!(expected, actual, "byte {i}")
+                }
+                other => panic!("byte {i}: expected checksum mismatch, got {other:?}"),
+            }
+            let mut asm = FrameAssembler::new(1024);
+            asm.extend(&corrupt);
+            assert!(
+                matches!(asm.next_frame(), Err(FrameReadError::ChecksumMismatch { .. })),
+                "assembler must also catch the corrupt byte {i}"
+            );
+        }
+
+        // A corrupted checksum field itself is equally fatal.
+        let mut corrupt = good.clone();
+        corrupt[8] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut &corrupt[..], 1024),
+            Err(FrameReadError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

@@ -8,12 +8,16 @@
 //!   nodes over the request's content-addressed cache key, so the same
 //!   request always lands on the same shard (hot caches) and
 //!   membership changes move only ≈ 1/N of the key space.
-//! - **Health** ([`shard`]): per-shard up/down tracking fed by both a
-//!   background ping prober and forwarding outcomes; a shard is marked
-//!   down after a configurable streak of consecutive transport
-//!   failures and revived by any success.
-//! - **Failover** ([`server`]): replica set in ring order → any other
-//!   live shard (`rerouted`, a cache miss rather than an error) →
+//! - **Health** ([`shard`]): a per-shard circuit breaker
+//!   (closed → open on a failure streak, open → half-open → closed
+//!   through trial probes) plus a latency EWMA fed by probes and
+//!   forwards, so gray failures — slow shards, flapping links — are
+//!   scored, not just binary up/down.
+//! - **Failover** ([`server`]): hedged primary (a forward that
+//!   outlives the shard's recent latency quantile is raced against the
+//!   next replica; first answer wins, the loser is cancelled) →
+//!   replica set in ring order → any other live shard ordered by
+//!   health score (`rerouted`, a cache miss rather than an error) →
 //!   retryable `busy` only when nothing at all is live.
 //! - **Replication**: fresh compiles on a key's primary are re-issued
 //!   asynchronously on its first ring successor (R = 2 by default), so
@@ -34,5 +38,5 @@ pub mod server;
 pub mod shard;
 
 pub use ring::{fnv64, Ring, VNODES_PER_SHARD};
-pub use server::{serve_router, RouterConfig, RouterHandle};
-pub use shard::{RouterMetrics, ShardState};
+pub use server::{routing_key, serve_router, RouterConfig, RouterHandle};
+pub use shard::{BreakerState, RouterMetrics, ShardState, Transition};

@@ -1,7 +1,7 @@
 //! The router daemon: a readiness-driven front end (the same
 //! [`Reactor`] the shard daemon runs on), request forwarding with the
-//! failover ladder, background replication, health probing, and
-//! membership administration.
+//! failover ladder, hedged requests, background replication, health
+//! probing, and membership administration.
 //!
 //! # Front end
 //!
@@ -21,20 +21,46 @@
 //! shards' cache and quarantine use), so the same request always lands
 //! on the same shard and its schedule cache stays hot. The ladder:
 //!
-//! 1. **Primary**: the first ring replica, with bounded retry
-//!    ([`Client::request_with_retry`]) and automatic redial.
+//! 1. **Hedged primary**: the first ring replica; once the forward
+//!    outlives the shard's recent latency quantile, the same request
+//!    is raced against the next replica and the first answer wins (see
+//!    below).
 //! 2. **Ring successors**: the remaining R−1 replicas, in ring order.
 //!    Each hop counts as a `failover`.
-//! 3. **Any live shard**: when the whole replica set is down the
-//!    request is still served — as a cache miss on a foreign shard,
-//!    counted `rerouted`, never an error.
+//! 3. **Any live shard**, ordered by [`ShardState::health_score`]:
+//!    when the whole replica set is down the request is still served —
+//!    as a cache miss on a foreign shard, counted `rerouted`, never an
+//!    error.
 //! 4. **No live shard at all**: a retryable `busy` error with a retry
 //!    hint; clients ride it out with their own backoff.
 //!
-//! Requests the shard *rejected* (bad request, parse error,
-//! quarantined, deadline expired) are relayed as-is without failover —
-//! they would fail identically everywhere, and the rejection proves
-//! the shard is healthy.
+//! Requests the shard *rejected* (bad request, quarantined, deadline
+//! expired) are relayed as-is without failover — they would fail
+//! identically everywhere, and the rejection proves the shard is
+//! healthy. Frame-level complaints (`malformed-frame`,
+//! `oversized-frame`, `parse-error`) are the exception: the router
+//! always emits well-formed frames, so a shard claiming otherwise read
+//! corrupted bytes — those count as link evidence and the ladder moves
+//! on.
+//!
+//! # Gray failures: breakers and hedges
+//!
+//! Binary health cannot express a shard that is *slow* — wedged disk,
+//! half-dead link, asymmetric partition — so liveness is a per-shard
+//! circuit breaker (see [`crate::shard`]) plus a latency EWMA. Only
+//! `Closed` shards take live traffic; a tripped breaker is revived by
+//! the prober through half-open trial pings and must string together
+//! `revive_threshold` successes before re-entering the ring.
+//!
+//! Hedging bounds tail latency the breaker cannot see: when a forward
+//! to the primary outlives that shard's observed `hedge_quantile`
+//! latency (clamped to `[hedge_min_ms, hedge_max_ms]`), the router
+//! launches the same request at the next replica and relays whichever
+//! answer lands first, cancelling the loser (`hedged_requests`,
+//! `hedge_wins`). Racing a compile is safe: requests are
+//! content-addressed and idempotent, and replies are deterministic —
+//! both racers return bit-identical bytes, so the client cannot
+//! observe which one won.
 //!
 //! # Replication
 //!
@@ -46,31 +72,32 @@
 //! replication cannot keep up, jobs are dropped and counted
 //! (`replication_dropped`) rather than backpressuring the serving path.
 
-use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dagsched_proto::json::Json;
 use dagsched_proto::{
     hex_decode, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind, ScheduleRequest,
     ScheduleResponse, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN,
 };
-use dagsched_service::client::{Client, ClientError, RetryPolicy};
+use dagsched_service::client::{CancelHandle, Client, ClientError, RetryPolicy};
 use dagsched_service::pipeline::{PushError, StageQueue};
 use dagsched_service::reactor::{
-    install_sigterm_handler, Completion, Completions, ConnId, Ctx, Handler, Listener, Reactor,
-    ReactorConfig,
+    install_sigterm_handler, lock_recover, Completion, Completions, ConnId, Ctx, Handler,
+    Listener, Reactor, ReactorConfig,
 };
 use dagsched_service::server::Listen;
 
 use crate::ring::{fnv64, Ring};
-use crate::shard::{RouterMetrics, ShardState};
+use crate::shard::{RouterMetrics, ShardConns, ShardState, Transition};
 
 /// Retry hint attached to `busy` rejections when no shard is live.
 const NO_SHARD_RETRY_MS: u64 = 200;
@@ -86,6 +113,10 @@ const DRAIN_RETRY_MS: u64 = 500;
 /// prober).
 const PROBE_TIMEOUT: Duration = Duration::from_millis(2000);
 
+/// Slack past the per-attempt socket timeout before a hedged race is
+/// abandoned outright (both racers cancelled).
+const HEDGE_RACE_SLACK: Duration = Duration::from_secs(5);
+
 /// Router configuration.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
@@ -93,11 +124,24 @@ pub struct RouterConfig {
     pub shards: Vec<String>,
     /// Replica-set size R: a key's primary plus R−1 ring successors.
     pub replicas: usize,
-    /// Consecutive failures (probe or forward) before a shard is
-    /// marked down.
+    /// Consecutive failures (probe or forward) before a shard's
+    /// breaker opens.
     pub fail_threshold: u32,
+    /// Consecutive successes an open breaker must string together
+    /// (half-open trials) before the shard rejoins the ring.
+    pub revive_threshold: u32,
     /// Milliseconds between health-probe sweeps.
     pub health_check_ms: u64,
+    /// Race a stuck primary forward against the next replica.
+    pub hedge: bool,
+    /// The latency quantile (per shard, over recent forwards) a
+    /// forward must outlive before the hedge launches.
+    pub hedge_quantile: f64,
+    /// Lower clamp on the hedge delay, milliseconds.
+    pub hedge_min_ms: u64,
+    /// Upper clamp on the hedge delay (also the delay while a shard
+    /// has too few samples), milliseconds.
+    pub hedge_max_ms: u64,
     /// Largest accepted frame payload (client side and shard side).
     pub max_frame: usize,
     /// Per-connection read timeout for idle clients (silent close
@@ -124,7 +168,12 @@ impl Default for RouterConfig {
             shards: Vec::new(),
             replicas: 2,
             fail_threshold: 3,
+            revive_threshold: 3,
             health_check_ms: 500,
+            hedge: true,
+            hedge_quantile: 0.95,
+            hedge_min_ms: 10,
+            hedge_max_ms: 400,
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout_ms: 10_000,
             first_frame_timeout_ms: 2_000,
@@ -182,6 +231,14 @@ struct ReplJob {
     request: ScheduleRequest,
 }
 
+/// Hedging knobs, resolved once at startup.
+struct HedgeConfig {
+    enabled: bool,
+    quantile: f64,
+    min: Duration,
+    max: Duration,
+}
+
 /// State shared by every router thread.
 struct Shared {
     cluster: Mutex<Cluster>,
@@ -190,15 +247,15 @@ struct Shared {
     drain: Arc<AtomicBool>,
     replicas: usize,
     fail_threshold: u32,
+    revive_threshold: u32,
     health_check_ms: u64,
+    hedge: HedgeConfig,
     shard_retry: RetryPolicy,
 }
 
 impl Shared {
     fn lock_cluster(&self) -> std::sync::MutexGuard<'_, Cluster> {
-        self.cluster
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        lock_recover(&self.cluster)
     }
 
     fn metrics_snapshot(&self) -> Json {
@@ -207,59 +264,57 @@ impl Shared {
     }
 }
 
-/// Keep-alive connections to shards, one map per forwarding worker (no
-/// cross-thread sharing: a poisoned stream only affects its owner).
-#[derive(Default)]
-struct ShardConns {
-    conns: HashMap<String, Client>,
+/// Record a success on `shard` and surface any breaker transition in
+/// the router counters.
+fn note_success(shared: &Shared, shard: &ShardState) {
+    match shard.record_success(shared.revive_threshold) {
+        Transition::HalfOpened => RouterMetrics::bump(&shared.metrics.breaker_half_open),
+        Transition::Closed => RouterMetrics::bump(&shared.metrics.breaker_closed),
+        Transition::Opened | Transition::None => {}
+    }
 }
 
-impl ShardConns {
-    /// Forward `req` to `endpoint`, dialing (with retry) on first use
-    /// and dropping the cached connection on any failure.
-    fn request(
-        &mut self,
-        endpoint: &str,
-        req: &ScheduleRequest,
-        policy: &RetryPolicy,
-    ) -> Result<ScheduleResponse, ClientError> {
-        if !self.conns.contains_key(endpoint) {
-            let (client, _) = Client::connect_with_retry(endpoint, policy)?;
-            self.conns.insert(endpoint.to_string(), client);
-        }
-        let client = self.conns.get_mut(endpoint).expect("inserted above");
-        match client.request_with_retry(req, policy) {
-            Ok((resp, _)) => Ok(resp),
-            Err(e) => {
-                // `request_with_retry` already redialed what it could;
-                // whatever is left is not worth keeping.
-                self.conns.remove(endpoint);
-                Err(e)
-            }
-        }
+/// Record a failed interaction on `shard` *iff* the error is health
+/// evidence, surfacing a breaker trip in the router counters.
+fn note_failure(shared: &Shared, shard: &ShardState, err: &ClientError) {
+    if error_is_health_evidence(err)
+        && shard.record_failure(shared.fail_threshold) == Transition::Opened
+    {
+        RouterMetrics::bump(&shared.metrics.shards_marked_down);
     }
+}
 
-    /// Send one admin command to `endpoint` on a fresh or cached
-    /// connection.
-    fn admin(
-        &mut self,
-        endpoint: &str,
-        cmd: &AdminCommand,
-        policy: &RetryPolicy,
-    ) -> Result<Json, ClientError> {
-        if !self.conns.contains_key(endpoint) {
-            let (client, _) = Client::connect_with_retry(endpoint, policy)?;
-            client.set_io_timeout(policy.per_attempt_timeout);
-            self.conns.insert(endpoint.to_string(), client);
-        }
-        let client = self.conns.get_mut(endpoint).expect("inserted above");
-        match client.admin(cmd) {
-            Ok(v) => Ok(v),
-            Err(e) => {
-                self.conns.remove(endpoint);
-                Err(e)
-            }
-        }
+/// Frame-level rejections from a *shard* are link evidence: the router
+/// always emits well-formed frames and re-serialises the request
+/// itself, so a shard claiming otherwise read corrupted bytes.
+fn reply_is_link_evidence(reply: &ErrorReply) -> bool {
+    matches!(
+        reply.code,
+        ErrorCode::MalformedFrame | ErrorCode::OversizedFrame | ErrorCode::ParseError
+    )
+}
+
+/// Whether a forwarding error says something about the *shard or link*
+/// (as opposed to the request): transport breakage always does, server
+/// replies only when they are link evidence.
+fn error_is_health_evidence(err: &ClientError) -> bool {
+    match err {
+        ClientError::Server(reply) => reply_is_link_evidence(reply),
+        _ => true,
+    }
+}
+
+/// The error to remember for the client when a rung fails. Link-level
+/// server complaints are rewritten to a retryable `internal` — relaying
+/// a corrupted link's `malformed-frame` verbatim would tell the client
+/// *its* request was bad.
+fn rung_error(shard: &ShardState, err: ClientError) -> ErrorReply {
+    match err {
+        ClientError::Server(reply) if !reply_is_link_evidence(&reply) => reply,
+        other => ErrorReply::new(
+            ErrorCode::Internal,
+            format!("shard {} unreachable: {other}", shard.endpoint),
+        ),
     }
 }
 
@@ -284,7 +339,13 @@ impl RouterHandle {
         match (&self.local_addr, &self.unix_path) {
             (Some(addr), _) => format!("tcp:{addr}"),
             (None, Some(path)) => format!("unix:{}", path.display()),
-            (None, None) => unreachable!("router listens somewhere"),
+            (None, None) => {
+                // `Listener::bind` always records one of the two; an
+                // empty endpoint only means the handle was built by
+                // hand without either.
+                debug_assert!(false, "router handle has no bound endpoint");
+                String::new()
+            }
         }
     }
 
@@ -507,13 +568,21 @@ pub fn serve_router(listen: Listen, config: RouterConfig) -> io::Result<RouterHa
     }
 
     let drain = Arc::new(AtomicBool::new(false));
+    let hedge_min = Duration::from_millis(config.hedge_min_ms);
     let shared = Arc::new(Shared {
         cluster: Mutex::new(cluster),
         metrics: RouterMetrics::default(),
         drain: Arc::clone(&drain),
         replicas: config.replicas.max(1),
         fail_threshold: config.fail_threshold.max(1),
+        revive_threshold: config.revive_threshold.max(1),
         health_check_ms: config.health_check_ms.max(50),
+        hedge: HedgeConfig {
+            enabled: config.hedge,
+            quantile: config.hedge_quantile.clamp(0.5, 0.999),
+            min: hedge_min,
+            max: Duration::from_millis(config.hedge_max_ms).max(hedge_min),
+        },
         shard_retry: config.shard_retry.clone(),
     });
 
@@ -631,11 +700,62 @@ pub fn serve_router(listen: Listen, config: RouterConfig) -> io::Result<RouterHa
 /// `attempt` counter zeroed — the same idempotency identity the
 /// shards' cache and quarantine key on, so retries and repeats land on
 /// the same shard.
-fn routing_key(req: &ScheduleRequest) -> (ScheduleRequest, u64) {
+pub fn routing_key(req: &ScheduleRequest) -> (ScheduleRequest, u64) {
     let mut canonical = req.clone();
     canonical.attempt = 0;
     let key = fnv64(canonical.to_json().to_string().as_bytes());
     (canonical, key)
+}
+
+/// Which rung of the ladder produced a successful answer.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Rung {
+    /// The key's primary replica (hedged or not).
+    Primary,
+    /// A ring successor after the primary failed.
+    Failover,
+    /// A shard outside the replica set (whole set down).
+    Rerouted,
+    /// The hedge secondary beat a slow-but-alive primary. Not a
+    /// failover: the primary never failed, it was merely outraced.
+    HedgeWin,
+}
+
+/// Success bookkeeping shared by the hedge fast path and the ladder:
+/// failover/reroute counters and the replication enqueue.
+fn finish_success(
+    shared: &Shared,
+    repl_tx: &SyncSender<ReplJob>,
+    replicas: &[Arc<ShardState>],
+    rung: Rung,
+    canonical: &ScheduleRequest,
+    resp: ScheduleResponse,
+) -> Json {
+    match rung {
+        Rung::Primary | Rung::HedgeWin => {}
+        Rung::Failover => RouterMetrics::bump(&shared.metrics.failovers),
+        Rung::Rerouted => RouterMetrics::bump(&shared.metrics.rerouted),
+    }
+    // Replicate fresh compiles from the primary to its first ring
+    // successor (R ≥ 2 and a successor exists).
+    if rung == Rung::Primary && resp.stats.cache_misses > 0 {
+        if let Some(successor) = replicas.get(1) {
+            let mut repl_req = canonical.clone();
+            repl_req.sim = false;
+            repl_req.linger_ms = 0;
+            repl_req.debug_panic = false;
+            match repl_tx.try_send(ReplJob {
+                target: successor.endpoint.clone(),
+                request: repl_req,
+            }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    RouterMetrics::bump(&shared.metrics.replication_dropped);
+                }
+            }
+        }
+    }
+    resp.to_json()
 }
 
 /// Walk the failover ladder for one request; returns the response body
@@ -684,17 +804,57 @@ fn forward_request(
 
     let primary = Arc::clone(&replicas[0]);
     let mut last_err: Option<ErrorReply> = None;
-    // Rungs 1–2: the replica set in ring order; rung 3: everything
-    // else that is live (`rerouted`). Down shards are skipped without
-    // burning a dial, but when *nothing* is believed up we still try
-    // the replica set once — the belief may be stale, and the prober
-    // only revives shards every `health_check_ms`.
+    let mut skip_primary = false;
+
+    // Hedged fast path: the primary is believed healthy and a live
+    // replica exists to race against.
+    if shared.hedge.enabled && primary.is_up() {
+        if let Some(secondary) = replicas.get(1).filter(|s| s.is_up()) {
+            match hedged_request(shared, conns, &primary, secondary, &req) {
+                HedgeOutcome::Answer {
+                    shard,
+                    resp,
+                    latency,
+                } => {
+                    shard.observe_latency(latency, true);
+                    note_success(shared, &shard);
+                    let rung = if Arc::ptr_eq(&shard, &primary) {
+                        Rung::Primary
+                    } else {
+                        Rung::HedgeWin
+                    };
+                    return Ok(finish_success(
+                        shared, repl_tx, &replicas, rung, &canonical, resp,
+                    ));
+                }
+                HedgeOutcome::Reject(reply) => return Err(reply),
+                HedgeOutcome::Failed(reply) => {
+                    // Health evidence was already recorded inside the
+                    // race; the ladder resumes past the primary.
+                    RouterMetrics::bump(&primary.failovers);
+                    last_err = Some(reply);
+                    skip_primary = true;
+                }
+            }
+        }
+    }
+
+    // Rungs 1–2: the replica set in ring order; rung 3: every other
+    // live shard, cheapest health score first. Down shards are skipped
+    // without burning a dial, but when *nothing* is believed up we
+    // still try the replica set once — the belief may be stale, and the
+    // prober only revives shards every `health_check_ms`.
     let any_up = replicas.iter().chain(others.iter()).any(|s| s.is_up());
+    let mut reroute: Vec<&Arc<ShardState>> = others.iter().filter(|s| s.is_up()).collect();
+    reroute.sort_by_key(|s| s.health_score());
     for (tier, shard) in replicas
         .iter()
         .map(|s| (0usize, s))
-        .chain(others.iter().filter(|s| s.is_up()).map(|s| (1usize, s)))
+        .chain(reroute.into_iter().map(|s| (1usize, s)))
     {
+        if tier == 0 && skip_primary && Arc::ptr_eq(shard, &primary) {
+            continue; // the hedged race already spent this rung
+        }
         if tier == 0 && !shard.is_up() && any_up {
             RouterMetrics::bump(&shard.failovers);
             continue;
@@ -704,57 +864,32 @@ fn forward_request(
         let outcome = conns.request(&shard.endpoint, &req, &shared.shard_retry);
         shard.inflight.fetch_sub(1, Ordering::Relaxed);
         match outcome {
-            Ok(resp) => {
-                if shard.record_success() {
-                    // Flipped back up: the prober will confirm.
-                }
-                if !Arc::ptr_eq(shard, &primary) {
-                    RouterMetrics::bump(if tier == 0 {
-                        &shared.metrics.failovers
-                    } else {
-                        &shared.metrics.rerouted
-                    });
-                }
-                // Replicate fresh compiles from the primary to its
-                // first ring successor (R ≥ 2 and a successor exists).
-                if Arc::ptr_eq(shard, &primary) && resp.stats.cache_misses > 0 {
-                    if let Some(successor) = replicas.get(1) {
-                        let mut repl_req = canonical.clone();
-                        repl_req.sim = false;
-                        repl_req.linger_ms = 0;
-                        repl_req.debug_panic = false;
-                        match repl_tx.try_send(ReplJob {
-                            target: successor.endpoint.clone(),
-                            request: repl_req,
-                        }) {
-                            Ok(()) => {}
-                            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                                RouterMetrics::bump(&shared.metrics.replication_dropped);
-                            }
-                        }
-                    }
-                }
-                return Ok(resp.to_json());
+            Ok((resp, latency)) => {
+                shard.observe_latency(latency, true);
+                note_success(shared, shard);
+                let rung = if Arc::ptr_eq(shard, &primary) {
+                    Rung::Primary
+                } else if tier == 0 {
+                    Rung::Failover
+                } else {
+                    Rung::Rerouted
+                };
+                return Ok(finish_success(
+                    shared, repl_tx, &replicas, rung, &canonical, resp,
+                ));
             }
-            Err(ClientError::Server(reply)) if !reply.code.is_retryable() => {
+            Err(ClientError::Server(reply))
+                if !reply.code.is_retryable() && !reply_is_link_evidence(&reply) =>
+            {
                 // The shard answered: it is healthy, the request is
                 // not. Failing over would reproduce the same rejection.
-                shard.record_success();
+                note_success(shared, shard);
                 return Err(reply);
             }
             Err(err) => {
-                let transport = !matches!(err, ClientError::Server(_));
-                if transport && shard.record_failure(shared.fail_threshold) {
-                    RouterMetrics::bump(&shared.metrics.shards_marked_down);
-                }
+                note_failure(shared, shard, &err);
                 RouterMetrics::bump(&shard.failovers);
-                last_err = Some(match err {
-                    ClientError::Server(reply) => reply,
-                    other => ErrorReply::new(
-                        ErrorCode::Internal,
-                        format!("shard {} unreachable: {other}", shard.endpoint),
-                    ),
-                });
+                last_err = Some(rung_error(shard, err));
             }
         }
     }
@@ -764,6 +899,253 @@ fn forward_request(
         // Every rung failed: whatever the last error was, the client
         // should treat the condition as transient and back off.
         .with_retry_after_ms(NO_SHARD_RETRY_MS))
+}
+
+/// One racer's report back to the coordinating worker.
+struct HedgeMsg {
+    from_secondary: bool,
+    result: Result<ScheduleResponse, ClientError>,
+    /// The racer's connection, riding along so a winner's socket goes
+    /// back into the keep-alive map (`None` if the thread never ran).
+    client: Option<Client>,
+    latency: Duration,
+}
+
+/// How a (possibly hedged) primary forward ended.
+enum HedgeOutcome {
+    /// A racer answered; relay its response.
+    Answer {
+        shard: Arc<ShardState>,
+        resp: ScheduleResponse,
+        latency: Duration,
+    },
+    /// A healthy shard rejected the request itself — terminal, relay
+    /// the rejection without failover.
+    Reject(ErrorReply),
+    /// Every racer failed (health evidence already recorded); the
+    /// ladder continues past the primary.
+    Failed(ErrorReply),
+}
+
+/// Launch one single-attempt forward on its own thread. The per-shard
+/// request/inflight counters are kept here so both racers are
+/// accounted exactly like ladder forwards.
+fn spawn_racer(
+    shard: &Arc<ShardState>,
+    mut client: Client,
+    req: &ScheduleRequest,
+    from_secondary: bool,
+    tx: &Sender<HedgeMsg>,
+) {
+    RouterMetrics::bump(&shard.requests);
+    shard.inflight.fetch_add(1, Ordering::Relaxed);
+    let thread_shard = Arc::clone(shard);
+    let req = req.clone();
+    let thread_tx = tx.clone();
+    let spawned = std::thread::Builder::new()
+        .name("dagsched-hedge".to_string())
+        .spawn(move || {
+            let started = Instant::now();
+            let result = client.request(&req);
+            thread_shard.inflight.fetch_sub(1, Ordering::Relaxed);
+            // The coordinator may already have returned with the other
+            // racer's answer; a closed channel is fine.
+            let _ = thread_tx.send(HedgeMsg {
+                from_secondary,
+                result,
+                client: Some(client),
+                latency: started.elapsed(),
+            });
+        });
+    if let Err(e) = spawned {
+        // The closure (and its client) never ran: undo the inflight
+        // and report the spawn failure as this racer's result.
+        shard.inflight.fetch_sub(1, Ordering::Relaxed);
+        let _ = tx.send(HedgeMsg {
+            from_secondary,
+            result: Err(ClientError::Io(e)),
+            client: None,
+            latency: Duration::ZERO,
+        });
+    }
+}
+
+/// Settle a race that ended with the primary answering before the
+/// hedge delay elapsed (the common case: no hedge was launched).
+fn settle_primary(
+    shared: &Shared,
+    conns: &mut ShardConns,
+    primary: &Arc<ShardState>,
+    msg: HedgeMsg,
+) -> HedgeOutcome {
+    match msg.result {
+        Ok(resp) => {
+            if let Some(client) = msg.client {
+                conns.put(&primary.endpoint, client);
+            }
+            HedgeOutcome::Answer {
+                shard: Arc::clone(primary),
+                resp,
+                latency: msg.latency,
+            }
+        }
+        Err(ClientError::Server(reply))
+            if !reply.code.is_retryable() && !reply_is_link_evidence(&reply) =>
+        {
+            note_success(shared, primary);
+            HedgeOutcome::Reject(reply)
+        }
+        Err(err) => {
+            note_failure(shared, primary, &err);
+            HedgeOutcome::Failed(rung_error(primary, err))
+        }
+    }
+}
+
+/// Forward to the primary with a hedge: if the answer outlives the
+/// primary's recent latency quantile, the same request is raced
+/// against `secondary` and the first answer wins. The loser is
+/// cancelled via its [`CancelHandle`] — a shutdown unblocks its read
+/// immediately instead of letting it wait out the socket timeout.
+///
+/// Racing is safe because requests are content-addressed and
+/// idempotent and replies deterministic: both racers produce
+/// bit-identical bytes, so relaying either is correct, and a
+/// duplicated compile only warms a cache.
+fn hedged_request(
+    shared: &Shared,
+    conns: &mut ShardConns,
+    primary: &Arc<ShardState>,
+    secondary: &Arc<ShardState>,
+    req: &ScheduleRequest,
+) -> HedgeOutcome {
+    let policy = &shared.shard_retry;
+    let delay = primary.hedge_delay(shared.hedge.quantile, shared.hedge.min, shared.hedge.max);
+
+    let pclient = match conns.take_or_dial(&primary.endpoint, policy) {
+        Ok(c) => c,
+        Err(err) => {
+            note_failure(shared, primary, &err);
+            return HedgeOutcome::Failed(rung_error(primary, err));
+        }
+    };
+    pclient.set_io_timeout(policy.per_attempt_timeout);
+    let pcancel = pclient.cancel_handle();
+
+    let (tx, rx) = channel::<HedgeMsg>();
+    spawn_racer(primary, pclient, req, false, &tx);
+
+    // Give the primary its quantile head start.
+    match rx.recv_timeout(delay) {
+        Ok(msg) => return settle_primary(shared, conns, primary, msg),
+        Err(RecvTimeoutError::Timeout) => {}
+        Err(RecvTimeoutError::Disconnected) => {
+            return HedgeOutcome::Failed(ErrorReply::new(
+                ErrorCode::Internal,
+                format!("hedge racer for shard {} vanished", primary.endpoint),
+            ));
+        }
+    }
+
+    // The primary is past its quantile: launch the hedge.
+    RouterMetrics::bump(&shared.metrics.hedged_requests);
+    RouterMetrics::bump(&primary.hedges);
+    let mut outstanding = 1usize;
+    let scancel: Option<CancelHandle> = match conns.take_or_dial(&secondary.endpoint, policy) {
+        Ok(sclient) => {
+            sclient.set_io_timeout(policy.per_attempt_timeout);
+            let handle = sclient.cancel_handle();
+            spawn_racer(secondary, sclient, req, true, &tx);
+            outstanding += 1;
+            handle
+        }
+        Err(err) => {
+            // The hedge could not even dial: record the evidence and
+            // fall back to waiting out the primary alone.
+            note_failure(shared, secondary, &err);
+            None
+        }
+    };
+    drop(tx);
+
+    let cancel_all = || {
+        if let Some(c) = &pcancel {
+            c.cancel();
+        }
+        if let Some(c) = &scancel {
+            c.cancel();
+        }
+    };
+
+    // First terminal answer wins. Each racer is bounded by its
+    // per-attempt socket timeout; the slack bounds the race itself.
+    let deadline = Instant::now()
+        + policy
+            .per_attempt_timeout
+            .unwrap_or(Duration::from_secs(30))
+        + HEDGE_RACE_SLACK;
+    let mut race_err: Option<ErrorReply> = None;
+    while outstanding > 0 {
+        let left = deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        let msg = match rx.recv_timeout(left) {
+            Ok(m) => m,
+            // Timeout (both racers wedged past their socket timeouts)
+            // or every sender gone without a message: give up.
+            Err(_) => break,
+        };
+        outstanding -= 1;
+        let (shard, other_cancel) = if msg.from_secondary {
+            (secondary, &pcancel)
+        } else {
+            (primary, &scancel)
+        };
+        match msg.result {
+            Ok(resp) => {
+                if let Some(c) = other_cancel {
+                    c.cancel();
+                }
+                if msg.from_secondary {
+                    RouterMetrics::bump(&shared.metrics.hedge_wins);
+                    RouterMetrics::bump(&secondary.hedge_wins);
+                }
+                if let Some(client) = msg.client {
+                    conns.put(&shard.endpoint, client);
+                }
+                return HedgeOutcome::Answer {
+                    shard: Arc::clone(shard),
+                    resp,
+                    latency: msg.latency,
+                };
+            }
+            Err(ClientError::Server(reply))
+                if !reply.code.is_retryable() && !reply_is_link_evidence(&reply) =>
+            {
+                // A healthy shard rejected the request itself: that is
+                // the answer, the race cannot change it.
+                note_success(shared, shard);
+                cancel_all();
+                return HedgeOutcome::Reject(reply);
+            }
+            Err(err) => {
+                // The cancelled-loser path never reaches here: a loser
+                // is only cancelled after this function returns with
+                // the winner, so any failure seen in this loop is a
+                // genuine one.
+                note_failure(shared, shard, &err);
+                race_err = Some(rung_error(shard, err));
+            }
+        }
+    }
+    cancel_all();
+    HedgeOutcome::Failed(race_err.unwrap_or_else(|| {
+        ErrorReply::new(
+            ErrorCode::Internal,
+            format!("hedged forward to shard {} timed out", primary.endpoint),
+        )
+        .with_retry_after_ms(NO_SHARD_RETRY_MS)
+    }))
 }
 
 /// Answer one router admin command (cluster membership; shard-level
@@ -912,37 +1294,39 @@ fn replicate_loop(shared: Arc<Shared>, rx: Receiver<ReplJob>) {
             continue;
         }
         match conns.request(&job.target, &job.request, &shared.shard_retry) {
-            Ok(_) => {
-                shard.record_success();
+            Ok((_, latency)) => {
+                // Background writes feed the EWMA but not the hedge
+                // window — the quantile must reflect client forwards.
+                shard.observe_latency(latency, false);
+                note_success(&shared, &shard);
                 RouterMetrics::bump(&shard.replication_writes);
                 RouterMetrics::bump(&shared.metrics.replication_writes);
             }
-            Err(ClientError::Server(_)) => {
-                // The shard is alive but refused (e.g. draining):
-                // replication is best-effort, drop the job.
-                RouterMetrics::bump(&shared.metrics.replication_dropped);
-            }
-            Err(_) => {
-                if shard.record_failure(shared.fail_threshold) {
-                    RouterMetrics::bump(&shared.metrics.shards_marked_down);
-                }
+            Err(err) => {
+                // Link evidence (including frame-level complaints)
+                // feeds the breaker; a plain rejection — e.g. draining
+                // — does not: replication is best-effort either way.
+                note_failure(&shared, &shard, &err);
                 RouterMetrics::bump(&shared.metrics.replication_dropped);
             }
         }
     }
 }
 
-/// Periodically ping every shard: successes revive down shards,
-/// failure streaks mark them down without waiting for a request to
-/// stumble over them.
+/// Periodically ping every shard: successes walk open breakers through
+/// half-open trials back to closed, failure streaks trip them without
+/// waiting for a request to stumble over them, and the measured
+/// round-trip feeds the latency EWMA.
 fn probe_loop(shared: Arc<Shared>) {
     while !shared.drain.load(Ordering::SeqCst) {
         let shards = shared.lock_cluster().shards.clone();
         for shard in shards {
             RouterMetrics::bump(&shared.metrics.health_probes);
+            let started = Instant::now();
             if probe(&shard.endpoint) {
-                shard.record_success();
-            } else if shard.record_failure(shared.fail_threshold) {
+                shard.observe_latency(started.elapsed(), false);
+                note_success(&shared, &shard);
+            } else if shard.record_failure(shared.fail_threshold) == Transition::Opened {
                 RouterMetrics::bump(&shared.metrics.shards_marked_down);
             }
         }
@@ -989,9 +1373,51 @@ mod tests {
         let cfg = RouterConfig::default();
         assert_eq!(cfg.replicas, 2);
         assert!(cfg.fail_threshold >= 1);
+        assert!(cfg.revive_threshold >= 1, "half-open revive by default");
+        assert!(cfg.hedge, "hedging is on by default");
+        assert!(cfg.hedge_quantile > 0.5 && cfg.hedge_quantile < 1.0);
+        assert!(cfg.hedge_min_ms <= cfg.hedge_max_ms);
         assert!(cfg.shard_retry.max_retries >= 1);
         assert!(cfg.replication_queue > 0);
         assert!(cfg.workers >= 1);
         assert!(cfg.queue >= 1);
+    }
+
+    #[test]
+    fn link_level_shard_replies_are_health_evidence_not_relays() {
+        for code in [
+            ErrorCode::MalformedFrame,
+            ErrorCode::OversizedFrame,
+            ErrorCode::ParseError,
+        ] {
+            let err = ClientError::Server(ErrorReply::new(code, "x"));
+            assert!(
+                error_is_health_evidence(&err),
+                "{code:?} from a shard means the link corrupted our frame"
+            );
+        }
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::Quarantined,
+            ErrorCode::DeadlineExpired,
+        ] {
+            let err = ClientError::Server(ErrorReply::new(code, "x"));
+            assert!(
+                !error_is_health_evidence(&err),
+                "{code:?} is a verdict on the request, not the shard"
+            );
+        }
+        let io = ClientError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x"));
+        assert!(error_is_health_evidence(&io));
+    }
+
+    #[test]
+    fn rung_errors_rewrite_link_complaints_as_retryable() {
+        let shard = ShardState::new("unix:/tmp/s.sock");
+        let frame = ClientError::Server(ErrorReply::new(ErrorCode::MalformedFrame, "x"));
+        let rewritten = rung_error(&shard, frame);
+        assert_eq!(rewritten.code, ErrorCode::Internal);
+        let verdict = ClientError::Server(ErrorReply::new(ErrorCode::BadRequest, "x"));
+        assert_eq!(rung_error(&shard, verdict).code, ErrorCode::BadRequest);
     }
 }

@@ -1,8 +1,136 @@
-//! Per-shard health state and the router's own counters.
+//! Per-shard health state (latency-aware score + circuit breaker),
+//! keep-alive shard connections, and the router's own counters.
+//!
+//! # Breaker state machine
+//!
+//! Binary up/down health cannot see gray failures — a shard that
+//! answers slowly, or a link that flaps — so each shard carries a
+//! three-state circuit breaker:
+//!
+//! ```text
+//!            fail_threshold consecutive failures
+//!   CLOSED ──────────────────────────────────────▶ OPEN
+//!     ▲                                             │ first probe/forward success
+//!     │ revive_threshold consecutive successes      ▼
+//!     └───────────────────────────────────────── HALF-OPEN
+//!                     (any failure reopens)
+//! ```
+//!
+//! Only `Closed` shards receive live traffic (the forwarding ladder
+//! treats everything else as down, with a last-resort exception when
+//! *no* shard is closed). `Open` and `HalfOpen` shards are exercised by
+//! the prober's trial pings; a flapping shard therefore has to prove
+//! itself `revive_threshold` times in a row before it absorbs client
+//! requests again — the old single-success instant revive let one lucky
+//! probe route real traffic onto a dying shard.
+//!
+//! # Latency score
+//!
+//! Every successful probe and forward feeds an EWMA of observed latency
+//! (`α = 1/5`); forwards additionally feed a small sliding window from
+//! which the hedging delay quantile is drawn. [`ShardState::health_score`]
+//! combines the EWMA with current failure evidence and orders the
+//! reroute tier, so overflow traffic prefers fast, unblemished shards.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 use dagsched_proto::json::Json;
+use dagsched_proto::{AdminCommand, ScheduleRequest, ScheduleResponse};
+use dagsched_service::client::{Client, ClientError, RetryPolicy};
+use dagsched_service::reactor::lock_recover;
+
+/// Circuit-breaker state for one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: receives live traffic.
+    Closed,
+    /// Tripped: no live traffic, probes only.
+    Open,
+    /// Reviving: at least one trial success, not yet enough to close.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// What a recorded success or failure did to the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// Tripped: `Closed`/`HalfOpen` → `Open`.
+    Opened,
+    /// First trial success: `Open` → `HalfOpen`.
+    HalfOpened,
+    /// Fully revived: `HalfOpen` → `Closed`.
+    Closed,
+}
+
+/// Breaker state plus the evidence counters it transitions on, guarded
+/// as one unit so concurrent probes and forwards cannot tear a
+/// transition.
+#[derive(Debug)]
+struct Health {
+    state: BreakerState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+}
+
+/// Sliding window of recent *forward* latencies, the sample set the
+/// hedge-trigger quantile is computed from. Probe latencies are
+/// excluded: a sub-millisecond ping would drag the quantile far below
+/// real compile latency and make every forward hedge.
+#[derive(Debug)]
+struct LatencyWindow {
+    samples: [u64; LatencyWindow::CAP],
+    len: usize,
+    next: usize,
+}
+
+impl LatencyWindow {
+    const CAP: usize = 64;
+    /// Below this many samples the quantile is considered unknown and
+    /// the hedge delay falls back to its configured maximum.
+    const MIN_SAMPLES: usize = 8;
+
+    fn new() -> LatencyWindow {
+        LatencyWindow {
+            samples: [0; LatencyWindow::CAP],
+            len: 0,
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, micros: u64) {
+        self.samples[self.next] = micros;
+        self.next = (self.next + 1) % LatencyWindow::CAP;
+        self.len = (self.len + 1).min(LatencyWindow::CAP);
+    }
+
+    /// The `q`-quantile of the window in microseconds, `None` with too
+    /// few samples.
+    fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.len < LatencyWindow::MIN_SAMPLES {
+            return None;
+        }
+        let mut sorted: Vec<u64> = self.samples[..self.len].to_vec();
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * (self.len - 1) as f64).round() as usize;
+        Some(sorted[rank.min(self.len - 1)])
+    }
+}
 
 /// Health and traffic counters for one shard.
 #[derive(Debug)]
@@ -10,11 +138,13 @@ pub struct ShardState {
     /// The endpoint this shard was added with (`unix:/path` or
     /// `host:port`); also its ring identity.
     pub endpoint: String,
-    /// Marked down after [`crate::RouterConfig::fail_threshold`]
-    /// consecutive failures; any success marks it back up.
-    down: AtomicBool,
-    /// Failures since the last success.
-    consecutive_failures: AtomicU32,
+    /// Breaker state machine (see the module docs).
+    health: Mutex<Health>,
+    /// EWMA of successful probe + forward latency, microseconds
+    /// (`0` = no observation yet).
+    ewma_us: AtomicU64,
+    /// Recent forward latencies, for the hedge quantile.
+    window: Mutex<LatencyWindow>,
     /// Requests currently being forwarded to this shard.
     pub inflight: AtomicU64,
     /// Requests forwarded (any outcome).
@@ -27,6 +157,10 @@ pub struct ShardState {
     /// Replication writes delivered to this shard (as a ring
     /// successor).
     pub replication_writes: AtomicU64,
+    /// Hedged forwards launched while this shard was the primary.
+    pub hedges: AtomicU64,
+    /// Hedge races this shard won as the secondary.
+    pub hedge_wins: AtomicU64,
 }
 
 impl ShardState {
@@ -34,38 +168,156 @@ impl ShardState {
     pub fn new(endpoint: impl Into<String>) -> ShardState {
         ShardState {
             endpoint: endpoint.into(),
-            down: AtomicBool::new(false),
-            consecutive_failures: AtomicU32::new(0),
+            health: Mutex::new(Health {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                consecutive_successes: 0,
+            }),
+            ewma_us: AtomicU64::new(0),
+            window: Mutex::new(LatencyWindow::new()),
             inflight: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             replication_writes: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
         }
     }
 
-    /// Whether the health tracker currently believes the shard is up.
+    /// Whether the shard is routable (breaker closed).
     pub fn is_up(&self) -> bool {
-        !self.down.load(Ordering::Relaxed)
+        self.breaker() == BreakerState::Closed
     }
 
-    /// Record a successful interaction: failures reset, shard is up.
-    /// Returns `true` when this flipped the shard from down to up.
-    pub fn record_success(&self) -> bool {
-        self.consecutive_failures.store(0, Ordering::Relaxed);
-        self.down.swap(false, Ordering::Relaxed)
+    /// Current breaker state.
+    pub fn breaker(&self) -> BreakerState {
+        lock_recover(&self.health).state
+    }
+
+    /// Current consecutive-failure streak.
+    pub fn failure_streak(&self) -> u32 {
+        lock_recover(&self.health).consecutive_failures
+    }
+
+    /// Current consecutive-success streak (meaningful while reviving).
+    pub fn success_streak(&self) -> u32 {
+        lock_recover(&self.health).consecutive_successes
+    }
+
+    /// Record a successful interaction (probe or forward). A closed
+    /// breaker just resets the failure streak; an open one moves to
+    /// half-open; a half-open one closes after `revive_threshold`
+    /// consecutive successes — one lucky probe no longer revives a
+    /// shard instantly.
+    pub fn record_success(&self, revive_threshold: u32) -> Transition {
+        let mut h = lock_recover(&self.health);
+        h.consecutive_failures = 0;
+        match h.state {
+            BreakerState::Closed => {
+                h.consecutive_successes = 0;
+                Transition::None
+            }
+            BreakerState::Open => {
+                h.consecutive_successes = 1;
+                if h.consecutive_successes >= revive_threshold.max(1) {
+                    h.state = BreakerState::Closed;
+                    Transition::Closed
+                } else {
+                    h.state = BreakerState::HalfOpen;
+                    Transition::HalfOpened
+                }
+            }
+            BreakerState::HalfOpen => {
+                h.consecutive_successes += 1;
+                if h.consecutive_successes >= revive_threshold.max(1) {
+                    h.state = BreakerState::Closed;
+                    h.consecutive_successes = 0;
+                    Transition::Closed
+                } else {
+                    Transition::None
+                }
+            }
+        }
     }
 
     /// Record a failed interaction; past `threshold` consecutive
-    /// failures the shard is marked down. Returns `true` when this
-    /// call flipped it down.
-    pub fn record_failure(&self, threshold: u32) -> bool {
+    /// failures the breaker trips. A failure while half-open reopens
+    /// immediately (the trial failed).
+    pub fn record_failure(&self, threshold: u32) -> Transition {
         self.failures.fetch_add(1, Ordering::Relaxed);
-        let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
-        if streak >= threshold {
-            return !self.down.swap(true, Ordering::Relaxed);
+        let mut h = lock_recover(&self.health);
+        h.consecutive_successes = 0;
+        h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+        match h.state {
+            BreakerState::Open => Transition::None,
+            BreakerState::HalfOpen => {
+                h.state = BreakerState::Open;
+                Transition::Opened
+            }
+            BreakerState::Closed => {
+                if h.consecutive_failures >= threshold.max(1) {
+                    h.state = BreakerState::Open;
+                    Transition::Opened
+                } else {
+                    Transition::None
+                }
+            }
         }
-        false
+    }
+
+    /// Feed one successful-interaction latency into the health score.
+    /// Forward latencies additionally feed the hedge-quantile window;
+    /// probe latencies only move the EWMA.
+    pub fn observe_latency(&self, latency: Duration, forward: bool) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX).max(1);
+        // α = 1/5: new = old + (x − old)/5, in integer microseconds.
+        let mut old = self.ewma_us.load(Ordering::Relaxed);
+        loop {
+            let new = if old == 0 {
+                us
+            } else {
+                (old.saturating_mul(4).saturating_add(us)) / 5
+            };
+            match self.ewma_us.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => old = seen,
+            }
+        }
+        if forward {
+            lock_recover(&self.window).push(us);
+        }
+    }
+
+    /// EWMA latency in microseconds (`0` = no observation yet).
+    pub fn ewma_us(&self) -> u64 {
+        self.ewma_us.load(Ordering::Relaxed)
+    }
+
+    /// Latency-aware health score (lower is better): the EWMA latency
+    /// scaled up by current failure evidence. Shards with no
+    /// observations score as slow-but-clean rather than perfect.
+    pub fn health_score(&self) -> u64 {
+        let base = match self.ewma_us() {
+            0 => 1_000_000, // unknown ≈ one second
+            us => us,
+        };
+        base.saturating_mul(u64::from(self.failure_streak()) + 1)
+    }
+
+    /// The hedge-trigger delay for forwards to this shard: the
+    /// `quantile` of its recent forward latencies, clamped to
+    /// `[min, max]`; `max` until enough samples exist.
+    pub fn hedge_delay(&self, quantile: f64, min: Duration, max: Duration) -> Duration {
+        match lock_recover(&self.window).quantile_us(quantile) {
+            Some(us) => Duration::from_micros(us).clamp(min, max),
+            None => max,
+        }
     }
 
     /// This shard's gauge object in the metrics snapshot.
@@ -74,16 +326,107 @@ impl ShardState {
         Json::obj(vec![
             ("endpoint", Json::from(self.endpoint.as_str())),
             ("up", Json::from(self.is_up())),
+            ("breaker", Json::from(self.breaker().name())),
             (
                 "consecutive_failures",
-                Json::from(u64::from(self.consecutive_failures.load(Ordering::Relaxed))),
+                Json::from(u64::from(self.failure_streak())),
             ),
+            (
+                "consecutive_successes",
+                Json::from(u64::from(self.success_streak())),
+            ),
+            ("ewma_us", Json::from(self.ewma_us())),
             ("inflight", g(&self.inflight)),
             ("requests", g(&self.requests)),
             ("failures", g(&self.failures)),
             ("failovers", g(&self.failovers)),
             ("replication_writes", g(&self.replication_writes)),
+            ("hedges", g(&self.hedges)),
+            ("hedge_wins", g(&self.hedge_wins)),
         ])
+    }
+}
+
+/// Keep-alive connections to shards, one map per forwarding worker (no
+/// cross-thread sharing: a poisoned stream only affects its owner).
+#[derive(Default)]
+pub struct ShardConns {
+    conns: HashMap<String, Client>,
+}
+
+impl ShardConns {
+    /// Forward `req` to `endpoint`, dialing (with retry) on first use
+    /// and dropping the cached connection on any failure. On success
+    /// the measured round-trip latency rides along for health scoring.
+    pub fn request(
+        &mut self,
+        endpoint: &str,
+        req: &ScheduleRequest,
+        policy: &RetryPolicy,
+    ) -> Result<(ScheduleResponse, Duration), ClientError> {
+        let client = match self.conns.entry(endpoint.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                let (client, _) = Client::connect_with_retry(endpoint, policy)?;
+                v.insert(client)
+            }
+        };
+        let started = std::time::Instant::now();
+        match client.request_with_retry(req, policy) {
+            Ok((resp, _)) => Ok((resp, started.elapsed())),
+            Err(e) => {
+                // `request_with_retry` already redialed what it could;
+                // whatever is left is not worth keeping.
+                self.conns.remove(endpoint);
+                Err(e)
+            }
+        }
+    }
+
+    /// Send one admin command to `endpoint` on a fresh or cached
+    /// connection.
+    pub fn admin(
+        &mut self,
+        endpoint: &str,
+        cmd: &AdminCommand,
+        policy: &RetryPolicy,
+    ) -> Result<Json, ClientError> {
+        let client = match self.conns.entry(endpoint.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                let (client, _) = Client::connect_with_retry(endpoint, policy)?;
+                client.set_io_timeout(policy.per_attempt_timeout);
+                v.insert(client)
+            }
+        };
+        match client.admin(cmd) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.conns.remove(endpoint);
+                Err(e)
+            }
+        }
+    }
+
+    /// Take the cached connection to `endpoint` out of the map (or
+    /// dial a fresh one). Hedged forwards move the connection onto a
+    /// racing thread; the winner's connection is given back via
+    /// [`ShardConns::put`], the cancelled loser's is dropped.
+    pub fn take_or_dial(
+        &mut self,
+        endpoint: &str,
+        policy: &RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        if let Some(client) = self.conns.remove(endpoint) {
+            return Ok(client);
+        }
+        let (client, _) = Client::connect_with_retry(endpoint, policy)?;
+        Ok(client)
+    }
+
+    /// Return a healthy connection to the keep-alive map.
+    pub fn put(&mut self, endpoint: &str, client: Client) {
+        self.conns.insert(endpoint.to_string(), client);
     }
 }
 
@@ -111,8 +454,16 @@ pub struct RouterMetrics {
     pub replication_dropped: AtomicU64,
     /// Health probes performed.
     pub health_probes: AtomicU64,
-    /// Times a shard was marked down (by probe or forwarding failure).
+    /// Breaker trips: times a shard went `Closed`/`HalfOpen` → `Open`.
     pub shards_marked_down: AtomicU64,
+    /// Times an open breaker saw its first trial success (`HalfOpen`).
+    pub breaker_half_open: AtomicU64,
+    /// Times a breaker fully closed again (shard returned to the ring).
+    pub breaker_closed: AtomicU64,
+    /// Forwards that launched a hedge after the quantile delay.
+    pub hedged_requests: AtomicU64,
+    /// Hedge races the secondary won.
+    pub hedge_wins: AtomicU64,
     /// Shards added via admin (warm-spare promotions included).
     pub shards_added: AtomicU64,
     /// Shards removed via admin.
@@ -144,6 +495,10 @@ impl RouterMetrics {
             ("replication_dropped", g(&self.replication_dropped)),
             ("health_probes", g(&self.health_probes)),
             ("shards_marked_down", g(&self.shards_marked_down)),
+            ("breaker_half_open", g(&self.breaker_half_open)),
+            ("breaker_closed", g(&self.breaker_closed)),
+            ("hedged_requests", g(&self.hedged_requests)),
+            ("hedge_wins", g(&self.hedge_wins)),
             ("shards_added", g(&self.shards_added)),
             ("shards_removed", g(&self.shards_removed)),
             (
@@ -166,46 +521,171 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    /// Fetch a counter from a snapshot without `unwrap` chains.
+    fn field(snap: &Json, name: &str) -> u64 {
+        match snap.get(name).and_then(Json::as_u64) {
+            Some(v) => v,
+            None => panic!("snapshot is missing numeric field {name:?}: {snap}"),
+        }
+    }
+
+    fn field_str(snap: &Json, name: &str) -> String {
+        match snap.get(name).and_then(Json::as_str) {
+            Some(v) => v.to_string(),
+            None => panic!("snapshot is missing string field {name:?}: {snap}"),
+        }
+    }
+
     #[test]
-    fn failure_streaks_mark_down_and_success_marks_up() {
+    fn breaker_trips_on_a_failure_streak_and_revives_on_a_success_streak() {
         let s = ShardState::new("unix:/tmp/a.sock");
         assert!(s.is_up());
-        assert!(!s.record_failure(3));
-        assert!(!s.record_failure(3));
-        assert!(s.record_failure(3), "third consecutive failure flips it");
+        assert_eq!(s.record_failure(3), Transition::None);
+        assert_eq!(s.record_failure(3), Transition::None);
+        assert_eq!(
+            s.record_failure(3),
+            Transition::Opened,
+            "third consecutive failure trips the breaker"
+        );
         assert!(!s.is_up());
-        assert!(!s.record_failure(3), "already down: no second flip");
-        assert!(s.record_success(), "success flips it back up");
-        assert!(s.is_up());
-        assert!(!s.record_success(), "already up: no flip");
-        // The streak was reset: two more failures do not mark it down.
-        assert!(!s.record_failure(3));
-        assert!(!s.record_failure(3));
+        assert_eq!(s.record_failure(3), Transition::None, "already open");
+
+        // The revive asymmetry fix: one success no longer flips it up.
+        assert_eq!(s.record_success(3), Transition::HalfOpened);
+        assert!(!s.is_up(), "half-open still takes no live traffic");
+        assert_eq!(s.record_success(3), Transition::None);
+        assert!(!s.is_up(), "two successes are still not enough");
+        assert_eq!(s.record_success(3), Transition::Closed);
+        assert!(s.is_up(), "threshold successes close the breaker");
+
+        // The streak was reset: two more failures do not trip it.
+        assert_eq!(s.record_failure(3), Transition::None);
+        assert_eq!(s.record_failure(3), Transition::None);
         assert!(s.is_up());
     }
 
     #[test]
-    fn snapshot_reports_per_shard_gauges_and_up_down_counts() {
+    fn a_failure_during_half_open_reopens_immediately() {
+        let s = ShardState::new("a");
+        for _ in 0..3 {
+            s.record_failure(3);
+        }
+        assert_eq!(s.breaker(), BreakerState::Open);
+        assert_eq!(s.record_success(3), Transition::HalfOpened);
+        assert_eq!(s.breaker(), BreakerState::HalfOpen);
+        assert_eq!(
+            s.record_failure(3),
+            Transition::Opened,
+            "a failed trial reopens without waiting for a fresh streak"
+        );
+        assert_eq!(s.breaker(), BreakerState::Open);
+        assert_eq!(s.success_streak(), 0, "the revival streak restarts");
+    }
+
+    #[test]
+    fn revive_threshold_one_restores_the_old_instant_revive() {
+        let s = ShardState::new("a");
+        for _ in 0..3 {
+            s.record_failure(3);
+        }
+        assert_eq!(s.record_success(1), Transition::Closed);
+        assert!(s.is_up());
+    }
+
+    #[test]
+    fn ewma_tracks_latency_and_the_window_feeds_the_hedge_quantile() {
+        let s = ShardState::new("a");
+        let min = Duration::from_millis(10);
+        let max = Duration::from_millis(400);
+        assert_eq!(s.ewma_us(), 0);
+        assert_eq!(
+            s.hedge_delay(0.95, min, max),
+            max,
+            "no samples: hedge waits the maximum"
+        );
+        for _ in 0..32 {
+            s.observe_latency(Duration::from_millis(20), true);
+        }
+        let ewma = s.ewma_us();
+        assert!(
+            (15_000..=25_000).contains(&ewma),
+            "EWMA converges to ~20ms, got {ewma}µs"
+        );
+        let d = s.hedge_delay(0.95, min, max);
+        assert!(
+            d >= min && d <= Duration::from_millis(30),
+            "p95 of a steady 20ms stream clamps near 20ms, got {d:?}"
+        );
+        // One slow outlier barely moves the p50 but lifts the p95 tail.
+        s.observe_latency(Duration::from_millis(500), true);
+        let p50 = s.hedge_delay(0.5, min, max);
+        assert!(p50 <= Duration::from_millis(30), "median stays low: {p50:?}");
+    }
+
+    #[test]
+    fn probe_latency_moves_the_ewma_but_not_the_hedge_window() {
+        let s = ShardState::new("a");
+        for _ in 0..LatencyWindow::MIN_SAMPLES + 4 {
+            s.observe_latency(Duration::from_millis(1), false);
+        }
+        assert!(s.ewma_us() > 0, "probes feed the EWMA");
+        let max = Duration::from_millis(400);
+        assert_eq!(
+            s.hedge_delay(0.95, Duration::from_millis(10), max),
+            max,
+            "probe-only samples must not arm the hedge quantile"
+        );
+    }
+
+    #[test]
+    fn health_score_prefers_fast_unblemished_shards() {
+        let fast = ShardState::new("fast");
+        let slow = ShardState::new("slow");
+        let blemished = ShardState::new("blemished");
+        fast.observe_latency(Duration::from_millis(5), true);
+        slow.observe_latency(Duration::from_millis(50), true);
+        blemished.observe_latency(Duration::from_millis(5), true);
+        blemished.record_failure(10); // streak of 1, breaker still closed
+        assert!(fast.health_score() < slow.health_score());
+        assert!(fast.health_score() < blemished.health_score());
+        let unknown = ShardState::new("unknown");
+        assert!(
+            unknown.health_score() > slow.health_score(),
+            "no observations score as slow-but-clean, not perfect"
+        );
+    }
+
+    #[test]
+    fn snapshot_reports_breaker_and_hedge_gauges() {
         let a = Arc::new(ShardState::new("a"));
         let b = Arc::new(ShardState::new("b"));
         b.record_failure(1);
         a.requests.store(7, Ordering::Relaxed);
-        a.replication_writes.store(2, Ordering::Relaxed);
+        a.hedges.store(3, Ordering::Relaxed);
+        a.hedge_wins.store(2, Ordering::Relaxed);
+        a.observe_latency(Duration::from_millis(10), true);
         let m = RouterMetrics::default();
         RouterMetrics::bump(&m.requests);
-        let snap = m.snapshot(&[a, b]);
-        assert_eq!(snap.get("requests").unwrap().as_u64(), Some(1));
-        assert_eq!(snap.get("shards_up").unwrap().as_u64(), Some(1));
-        assert_eq!(snap.get("shards_down").unwrap().as_u64(), Some(1));
-        let shards = snap.get("shards").unwrap().as_arr().unwrap();
+        RouterMetrics::bump(&m.hedged_requests);
+        RouterMetrics::bump(&m.shards_marked_down);
+        let snap = m.snapshot(&[Arc::clone(&a), Arc::clone(&b)]);
+        assert_eq!(field(&snap, "requests"), 1);
+        assert_eq!(field(&snap, "hedged_requests"), 1);
+        assert_eq!(field(&snap, "shards_marked_down"), 1);
+        assert_eq!(field(&snap, "shards_up"), 1);
+        assert_eq!(field(&snap, "shards_down"), 1);
+        let shards = match snap.get("shards").and_then(Json::as_arr) {
+            Some(arr) => arr,
+            None => panic!("snapshot is missing the shards array: {snap}"),
+        };
         assert_eq!(shards.len(), 2);
-        assert_eq!(shards[0].get("endpoint").unwrap().as_str(), Some("a"));
-        assert_eq!(shards[0].get("up").unwrap().as_bool(), Some(true));
-        assert_eq!(shards[0].get("requests").unwrap().as_u64(), Some(7));
-        assert_eq!(
-            shards[0].get("replication_writes").unwrap().as_u64(),
-            Some(2)
-        );
-        assert_eq!(shards[1].get("up").unwrap().as_bool(), Some(false));
+        assert_eq!(field_str(&shards[0], "endpoint"), "a");
+        assert_eq!(field_str(&shards[0], "breaker"), "closed");
+        assert_eq!(field(&shards[0], "requests"), 7);
+        assert_eq!(field(&shards[0], "hedges"), 3);
+        assert_eq!(field(&shards[0], "hedge_wins"), 2);
+        assert!(field(&shards[0], "ewma_us") > 0);
+        assert_eq!(field_str(&shards[1], "breaker"), "open");
+        assert_eq!(field(&shards[1], "consecutive_failures"), 1);
     }
 }

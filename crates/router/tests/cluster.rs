@@ -2,7 +2,7 @@
 //! direct daemon, a shard death mid-load is invisible to clients, and
 //! warm-spare promotion ships a snapshot before ring ownership.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use dagsched_proto::{hex_decode, AdminCommand};
@@ -22,9 +22,9 @@ fn test_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn spawn_shard(sock: &PathBuf) -> ServerHandle {
+fn spawn_shard(sock: &Path) -> ServerHandle {
     serve(
-        Listen::Unix(sock.clone()),
+        Listen::Unix(sock.to_path_buf()),
         ServerConfig {
             workers: 2,
             ..ServerConfig::default()
@@ -33,9 +33,9 @@ fn spawn_shard(sock: &PathBuf) -> ServerHandle {
     .expect("bind shard")
 }
 
-fn spawn_router(sock: &PathBuf, shards: Vec<String>) -> RouterHandle {
+fn spawn_router(sock: &Path, shards: Vec<String>) -> RouterHandle {
     serve_router(
-        Listen::Unix(sock.clone()),
+        Listen::Unix(sock.to_path_buf()),
         RouterConfig {
             shards,
             health_check_ms: 100,
@@ -72,7 +72,7 @@ fn request_mix() -> Vec<ScheduleRequest> {
 fn routed_replies_are_bit_identical_to_a_direct_daemon() {
     let dir = test_dir("identity");
     let shard_socks: Vec<PathBuf> = (0..3).map(|i| dir.join(format!("shard-{i}.sock"))).collect();
-    let shards: Vec<ServerHandle> = shard_socks.iter().map(spawn_shard).collect();
+    let shards: Vec<ServerHandle> = shard_socks.iter().map(|p| spawn_shard(p)).collect();
     let direct_sock = dir.join("direct.sock");
     let direct = spawn_shard(&direct_sock);
     let router = spawn_router(
@@ -252,7 +252,7 @@ fn a_snapshot_round_trip_warms_a_cold_daemon() {
 fn add_shard_promotes_a_warm_spare_via_snapshot_shipping() {
     let dir = test_dir("promotion");
     let shard_socks: Vec<PathBuf> = (0..2).map(|i| dir.join(format!("shard-{i}.sock"))).collect();
-    let shards: Vec<ServerHandle> = shard_socks.iter().map(spawn_shard).collect();
+    let shards: Vec<ServerHandle> = shard_socks.iter().map(|p| spawn_shard(p)).collect();
     // Only shard 0 starts in the ring; shard 1 is the warm spare.
     let router = spawn_router(
         &dir.join("router.sock"),
@@ -343,8 +343,8 @@ fn total_replica_loss_degrades_to_reroute_not_error() {
     // Kill two of three shards: whatever this key's R=2 replica set
     // was, at most one of its members survives — and for many keys
     // none does, exercising the reroute rung.
-    for i in 0..2 {
-        let victim = shards[i].take().unwrap();
+    for slot in shards.iter_mut().take(2) {
+        let victim = slot.take().unwrap();
         victim.begin_drain();
         victim.join();
     }

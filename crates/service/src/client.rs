@@ -235,6 +235,38 @@ impl Write for Stream {
     }
 }
 
+/// A cancellation handle for one in-flight [`Client`] call, cloned off
+/// the live connection with [`Client::cancel_handle`].
+///
+/// [`CancelHandle::cancel`] shuts the socket down from *another*
+/// thread, which makes the blocked read or write on the owning thread
+/// return an error immediately — the std-only equivalent of aborting a
+/// future. The router's hedged forwards use this to cancel the losing
+/// side of a request race: the cancelled `Client` surfaces a transport
+/// error and must be discarded (its stream is dead), which is exactly
+/// the discipline callers already apply to broken connections.
+pub struct CancelHandle {
+    stream: Stream,
+}
+
+impl CancelHandle {
+    /// Abort whatever call is in flight on the owning connection by
+    /// shutting the socket down in both directions. Idempotent; a
+    /// handle whose connection already finished cleanly just breaks
+    /// the (now unused) stream.
+    pub fn cancel(&self) {
+        match &self.stream {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
 /// A blocking connection to a `dagsched-service` daemon.
 pub struct Client {
     stream: Stream,
@@ -493,6 +525,18 @@ impl Client {
         true
     }
 
+    /// A [`CancelHandle`] for the current connection, or `None` when
+    /// the socket cannot be cloned. Cancellation only covers *this*
+    /// stream: a later redial needs a fresh handle.
+    pub fn cancel_handle(&self) -> Option<CancelHandle> {
+        let stream = match &self.stream {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone().ok()?),
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone().ok()?),
+        };
+        Some(CancelHandle { stream })
+    }
+
     /// Apply a read/write timeout to the underlying socket. Calls that
     /// go through [`Client::request_with_retry`] get their timeout from
     /// the policy; one-shot calls (`ping`, `metrics`, `admin`) use
@@ -708,6 +752,50 @@ mod tests {
         assert_eq!(stats.redials, stats.retries);
         assert!(client.endpoint.is_some(), "redial target is remembered");
         binder.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A cancel handle aborts a request stuck on a server that accepts
+    /// but never answers — the hedged-forward scenario: the loser of
+    /// the race must return promptly instead of waiting out its socket
+    /// timeout.
+    #[cfg(unix)]
+    #[test]
+    fn cancel_handle_unblocks_a_stuck_request() {
+        use std::os::unix::net::UnixListener;
+        let path = std::env::temp_dir().join(format!(
+            "dagsched-cancel-{}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind");
+        let hold = std::thread::spawn(move || {
+            // Accept, read the request, answer nothing.
+            let (mut conn, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 4096];
+            let _ = conn.read(&mut buf);
+            std::thread::sleep(Duration::from_secs(5));
+        });
+        let mut client = Client::connect_unix(&path).expect("connect");
+        let cancel = client.cancel_handle().expect("clonable socket");
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            cancel.cancel();
+        });
+        let started = Instant::now();
+        let err = client
+            .request(&ScheduleRequest::asm("add %o0, %o1, %o2"))
+            .expect_err("a cancelled request must not succeed");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "cancel must interrupt the blocked read, not wait out a timeout"
+        );
+        assert!(
+            matches!(err, ClientError::Io(_) | ClientError::Frame(_)),
+            "cancellation surfaces as transport breakage: {err}"
+        );
+        canceller.join().unwrap();
+        hold.join().unwrap();
         let _ = std::fs::remove_file(&path);
     }
 

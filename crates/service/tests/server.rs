@@ -116,9 +116,10 @@ fn oversized_frames_are_rejected_without_allocation() {
     // A well-formed header declaring a payload far beyond the cap.
     let mut header = Vec::new();
     header.extend_from_slice(b"DS");
-    header.push(1); // version
+    header.push(dagsched_service::proto::VERSION);
     header.push(FrameKind::Request as u8);
     header.extend_from_slice(&(64u32 << 20).to_le_bytes());
+    header.extend_from_slice(&0u64.to_le_bytes()); // checksum (unchecked before the cap)
     s.write_all(&header).unwrap();
     let reply = expect_error_frame(&mut s);
     assert_eq!(reply.code, ErrorCode::OversizedFrame);

@@ -8,6 +8,7 @@
 //! dagsched sim      block.s            # pipeline cycles before/after
 //! dagsched serve    --listen unix:/tmp/dagsched.sock --state-dir /var/lib/dagsched
 //! dagsched route    --listen tcp:0.0.0.0:4590 --shard unix:/run/shard-0.sock --shard unix:/run/shard-1.sock
+//! dagsched netchaos --listen unix:/tmp/link.sock --upstream unix:/run/shard-0.sock --seed 7 --fault-rate 100
 //! dagsched cluster  status --connect tcp:127.0.0.1:4590
 //! dagsched cluster  add-shard --connect tcp:127.0.0.1:4590 --shard unix:/run/shard-2.sock
 //! dagsched request  block.s --connect unix:/tmp/dagsched.sock
@@ -35,6 +36,7 @@ use dagsched::core::{
 };
 use dagsched::driver::DriverConfig;
 use dagsched::isa::{MachineModel, Program};
+use dagsched::netchaos::{serve_proxy, ChaosConfig};
 use dagsched::pipesim::{render_timeline, simulate, SimOptions};
 use dagsched::sched::{Scheduler, SchedulerKind};
 use dagsched::proto::AdminCommand;
@@ -94,6 +96,24 @@ struct Options {
     shards: Vec<String>,
     /// `route`: replica-set size R (primary + R−1 ring successors).
     replicas: usize,
+    /// `route`: consecutive failures before a shard's breaker opens.
+    fail_threshold: Option<u32>,
+    /// `route`: consecutive half-open probe successes before an open
+    /// breaker closes and the shard rejoins the ring.
+    revive_threshold: Option<u32>,
+    /// `route`: disable hedged requests (race a stuck primary against
+    /// the next replica).
+    no_hedge: bool,
+    /// `route`: per-shard forward-latency quantile a request must
+    /// outlive before the hedge launches.
+    hedge_quantile: Option<f64>,
+    /// `route`: clamps on the hedge delay, milliseconds.
+    hedge_min_ms: Option<u64>,
+    hedge_max_ms: Option<u64>,
+    /// `netchaos`: the endpoint the proxy relays to.
+    upstream: Option<String>,
+    /// `netchaos`: per-mille fraction of connections drawing a fault.
+    fault_rate: u16,
     /// `request`: generated workload instead of an input file.
     profile: Option<String>,
     /// `request`: workload generator seed.
@@ -121,6 +141,7 @@ fn main() {
     match opts.command.as_str() {
         "serve" => return cmd_serve(&opts),
         "route" => return cmd_route(&opts),
+        "netchaos" => return cmd_netchaos(&opts),
         "cluster" => return cmd_cluster(&opts),
         "request" => return cmd_request(&opts),
         "fuzz" => return cmd_fuzz(&opts),
@@ -342,25 +363,64 @@ fn cmd_route(opts: &Options) {
         Ok(l) => l,
         Err(e) => die(&format!("--listen: {e}")),
     };
+    let defaults = RouterConfig::default();
     let config = RouterConfig {
         shards: opts.shards.clone(),
         replicas: opts.replicas,
         handle_sigterm: true,
-        ..RouterConfig::default()
+        fail_threshold: opts.fail_threshold.unwrap_or(defaults.fail_threshold),
+        revive_threshold: opts.revive_threshold.unwrap_or(defaults.revive_threshold),
+        hedge: !opts.no_hedge,
+        hedge_quantile: opts.hedge_quantile.unwrap_or(defaults.hedge_quantile),
+        hedge_min_ms: opts.hedge_min_ms.unwrap_or(defaults.hedge_min_ms),
+        hedge_max_ms: opts.hedge_max_ms.unwrap_or(defaults.hedge_max_ms),
+        ..defaults
     };
+    let hedging = config.hedge;
     let handle =
         serve_router(listen, config).unwrap_or_else(|e| die(&format!("route: {e}")));
     eprintln!(
-        "dagsched: routing on {} over {} shard(s), R={}",
+        "dagsched: routing on {} over {} shard(s), R={}, hedging {}",
         handle.endpoint(),
         opts.shards.len(),
-        opts.replicas
+        opts.replicas,
+        if hedging { "on" } else { "off" }
     );
     for shard in &opts.shards {
         eprintln!("dagsched:   shard {shard}");
     }
     handle.join();
     eprintln!("dagsched: router drained, exiting");
+}
+
+fn cmd_netchaos(opts: &Options) {
+    let upstream = opts
+        .upstream
+        .as_deref()
+        .unwrap_or_else(|| die("netchaos needs an --upstream endpoint to relay to"));
+    // Rate 0 is a transparent relay — handy for measuring the proxy's
+    // own overhead before turning faults on.
+    let config = if opts.fault_rate == 0 {
+        ChaosConfig::quiet(opts.seed)
+    } else {
+        ChaosConfig::standard(opts.seed, opts.fault_rate)
+    };
+    let total = config.total_per_mille();
+    let proxy = serve_proxy(&opts.endpoint, upstream, config)
+        .unwrap_or_else(|e| die(&format!("netchaos: {e}")));
+    eprintln!(
+        "dagsched: netchaos proxy on {} -> {} (seed {:#x}, {}\u{2030} of connections faulted)",
+        proxy.endpoint(),
+        upstream,
+        opts.seed,
+        total
+    );
+    eprintln!("dagsched: faults are deterministic in (seed, connection, byte offset)");
+    // The proxy serves until the process is killed; there is no drain
+    // protocol for a fault injector — dropping connections *is* its job.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_cluster(opts: &Options) {
@@ -670,6 +730,14 @@ fn parse_args() -> Result<Options, String> {
         repair: false,
         shards: Vec::new(),
         replicas: 2,
+        fail_threshold: None,
+        revive_threshold: None,
+        no_hedge: false,
+        hedge_quantile: None,
+        hedge_min_ms: None,
+        hedge_max_ms: None,
+        upstream: None,
+        fault_rate: 100,
         minutes: 2.0,
         iters: None,
         corpus: None,
@@ -820,6 +888,56 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|&n: &usize| n > 0)
                     .ok_or("--replicas needs a positive count")?;
             }
+            "--fail-threshold" => {
+                opts.fail_threshold = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u32| n > 0)
+                        .ok_or("--fail-threshold needs a positive failure count")?,
+                );
+            }
+            "--revive-threshold" => {
+                opts.revive_threshold = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u32| n > 0)
+                        .ok_or("--revive-threshold needs a positive success count")?,
+                );
+            }
+            "--no-hedge" => opts.no_hedge = true,
+            "--hedge-quantile" => {
+                opts.hedge_quantile = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&q: &f64| q > 0.0 && q < 1.0)
+                        .ok_or("--hedge-quantile needs a fraction in (0, 1)")?,
+                );
+            }
+            "--hedge-min-ms" => {
+                opts.hedge_min_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--hedge-min-ms needs a millisecond count")?,
+                );
+            }
+            "--hedge-max-ms" => {
+                opts.hedge_max_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--hedge-max-ms needs a positive millisecond count")?,
+                );
+            }
+            "--upstream" => {
+                opts.upstream = Some(args.next().ok_or("--upstream needs an endpoint")?);
+            }
+            "--fault-rate" => {
+                opts.fault_rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u16| n <= 1000)
+                    .ok_or("--fault-rate needs a per-mille rate (0..=1000)")?;
+            }
             "--repair" => opts.repair = true,
             "--no-degrade" => opts.no_degrade = true,
             "--no-shrink" => opts.no_shrink = true,
@@ -857,7 +975,7 @@ fn usage(err: &str) -> ! {
         eprintln!("dagsched: {err}\n");
     }
     eprintln!(
-        "usage: dagsched <dag|dot|heur|schedule|sim|serve|route|cluster|request|fuzz|diff|fsck> [file|-]\n\
+        "usage: dagsched <dag|dot|heur|schedule|sim|serve|route|netchaos|cluster|request|fuzz|diff|fsck> [file|-]\n\
          \n\
          options:\n\
          \x20 --algo       n2 | n2-backward | landskov | table-forward | table-backward | bitmap\n\
@@ -888,6 +1006,17 @@ fn usage(err: &str) -> ! {
          \x20 --listen EP  endpoint to listen on (default tcp:127.0.0.1:4591)\n\
          \x20 --shard EP   shard daemon endpoint; repeat for every shard\n\
          \x20 --replicas N replica-set size per key (default 2)\n\
+         \x20 --fail-threshold N    consecutive failures before a shard's breaker opens (default 3)\n\
+         \x20 --revive-threshold N  consecutive half-open probe successes before it closes (default 3)\n\
+         \x20 --no-hedge   never race a stuck primary against the next replica\n\
+         \x20 --hedge-quantile Q    launch the hedge past this forward-latency quantile (default 0.95)\n\
+         \x20 --hedge-min-ms N / --hedge-max-ms N  clamps on the hedge delay (default 10 / 400)\n\
+         \n\
+         netchaos options (a fault-injecting wire proxy for drills):\n\
+         \x20 --listen EP    endpoint to listen on\n\
+         \x20 --upstream EP  endpoint to relay to (required)\n\
+         \x20 --seed N       fault-plan seed; same seed, same faults (decimal or 0x hex)\n\
+         \x20 --fault-rate N per-mille of connections drawing a fault (default 100; 0 = clean relay)\n\
          \n\
          cluster options (dagsched cluster <status|add-shard|remove-shard>):\n\
          \x20 --connect EP router endpoint\n\

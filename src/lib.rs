@@ -61,6 +61,7 @@ pub use dagsched_driver::{batch, driver, parallel};
 
 pub use dagsched_core as core;
 pub use dagsched_isa as isa;
+pub use dagsched_netchaos as netchaos;
 pub use dagsched_pipesim as pipesim;
 pub use dagsched_proto as proto;
 pub use dagsched_router as router;
