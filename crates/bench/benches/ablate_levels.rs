@@ -28,7 +28,8 @@ fn bench_levels(c: &mut Criterion) {
                         MemDepPolicy::SymbolicExpr,
                         order,
                         false,
-                    ).expect("pipeline")
+                    )
+                    .expect("pipeline")
                 });
             });
         }

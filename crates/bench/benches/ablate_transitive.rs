@@ -34,7 +34,8 @@ fn bench_transitive(c: &mut Criterion) {
                         MemDepPolicy::SymbolicExpr,
                         BackwardOrder::ReverseWalk,
                         false,
-                    ).expect("pipeline")
+                    )
+                    .expect("pipeline")
                 });
             },
         );

@@ -42,10 +42,7 @@ fn buckets() -> Vec<Bucket> {
             _ => large.push(insns),
         }
     }
-    let window = generate(
-        BenchmarkProfile::by_name("fpppp-1000").unwrap(),
-        PAPER_SEED,
-    );
+    let window = generate(BenchmarkProfile::by_name("fpppp-1000").unwrap(), PAPER_SEED);
     let giant: Vec<Vec<Instruction>> = window
         .blocks
         .iter()
@@ -82,8 +79,11 @@ fn bench_construction_phase(c: &mut Criterion) {
             if bucket.blocks.is_empty() {
                 continue;
             }
-            let prepared: Vec<PreparedBlock> =
-                bucket.blocks.iter().map(|b| PreparedBlock::new(b)).collect();
+            let prepared: Vec<PreparedBlock> = bucket
+                .blocks
+                .iter()
+                .map(|b| PreparedBlock::new(b))
+                .collect();
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), bucket.label),
                 &prepared,
@@ -109,7 +109,8 @@ fn bench_heuristic_phases(c: &mut Criterion) {
     let buckets = buckets();
     // The paper's recommended constructor feeds the pass benches; the
     // passes themselves are constructor-independent given a DAG.
-    let mut per_bucket: Vec<(&'static str, Vec<(Vec<Instruction>, Dag)>)> = Vec::new();
+    type BlockDags = Vec<(Vec<Instruction>, Dag)>;
+    let mut per_bucket: Vec<(&'static str, BlockDags)> = Vec::new();
     for bucket in buckets {
         let dags: Vec<(Vec<Instruction>, Dag)> = bucket
             .blocks
@@ -144,50 +145,38 @@ fn bench_heuristic_phases(c: &mut Criterion) {
                 h
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("forward", label),
-            dags,
-            |b, dags| {
-                b.iter(|| {
-                    let mut acc = 0u64;
-                    for ((_, dag), h) in dags.iter().zip(sets.iter_mut()) {
-                        annotate_forward(h, dag);
-                        acc += h.est.last().copied().unwrap_or(0);
-                    }
-                    acc
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("forward", label), dags, |b, dags| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for ((_, dag), h) in dags.iter().zip(sets.iter_mut()) {
+                    annotate_forward(h, dag);
+                    acc += h.est.last().copied().unwrap_or(0);
+                }
+                acc
+            });
+        });
         let mut sets_b: Vec<HeuristicSet> = sets.to_vec();
-        group.bench_with_input(
-            BenchmarkId::new("backward", label),
-            dags,
-            |b, dags| {
-                b.iter(|| {
-                    let mut acc = 0u64;
-                    for ((_, dag), h) in dags.iter().zip(sets_b.iter_mut()) {
-                        annotate_backward(h, dag, BackwardOrder::ReverseWalk, false);
-                        acc += h.lst.first().copied().unwrap_or(0);
-                    }
-                    acc
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("backward", label), dags, |b, dags| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for ((_, dag), h) in dags.iter().zip(sets_b.iter_mut()) {
+                    annotate_backward(h, dag, BackwardOrder::ReverseWalk, false);
+                    acc += h.lst.first().copied().unwrap_or(0);
+                }
+                acc
+            });
+        });
         let mut sets_d: Vec<HeuristicSet> = sets.to_vec();
-        group.bench_with_input(
-            BenchmarkId::new("backward-desc", label),
-            dags,
-            |b, dags| {
-                b.iter(|| {
-                    let mut acc = 0u64;
-                    for ((_, dag), h) in dags.iter().zip(sets_d.iter_mut()) {
-                        annotate_backward(h, dag, BackwardOrder::ReverseWalk, true);
-                        acc += h.num_descendants.first().copied().unwrap_or(0) as u64;
-                    }
-                    acc
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("backward-desc", label), dags, |b, dags| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for ((_, dag), h) in dags.iter().zip(sets_d.iter_mut()) {
+                    annotate_backward(h, dag, BackwardOrder::ReverseWalk, true);
+                    acc += h.num_descendants.first().copied().unwrap_or(0) as u64;
+                }
+                acc
+            });
+        });
     }
     group.finish();
 }

@@ -28,7 +28,8 @@ fn bench_table4(c: &mut Criterion) {
                     MemDepPolicy::SymbolicExpr,
                     BackwardOrder::ReverseWalk,
                     false,
-                ).expect("pipeline")
+                )
+                .expect("pipeline")
             });
         });
     }

@@ -29,7 +29,8 @@ fn bench_table5(c: &mut Criterion) {
                         MemDepPolicy::SymbolicExpr,
                         BackwardOrder::ReverseWalk,
                         false,
-                    ).expect("pipeline")
+                    )
+                    .expect("pipeline")
                 });
             });
         }

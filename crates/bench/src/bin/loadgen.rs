@@ -113,6 +113,32 @@
 //! ```text
 //! loadgen --cluster 3 --netchaos --seed 1991 --out service-netchaos.json
 //! ```
+//!
+//! # Overload mode
+//!
+//! `--overload` audits the *load* axis: metastable failure under a
+//! demand spike. The harness first measures the in-process daemon's
+//! capacity closed-loop, then steps offered load 1× → 3× → 1× of that
+//! capacity over a Canon-style heavy DAG-shape mix (`canon-*`
+//! profiles: G(n,p), layered, fan-in, fan-out at varied sizes), with
+//! every request carrying a deadline and every client retrying through
+//! one shared token-bucket [`RetryBudget`]. The run *fails* unless:
+//!
+//! 1. goodput during the 3× spike stays at ≥70% of measured capacity —
+//!    the daemon sheds excess instead of collapsing;
+//! 2. p99 latency of *admitted* requests stays bounded by the deadline
+//!    plus a fixed slack — queueing is controlled, not unbounded;
+//! 3. retry amplification (wire requests ÷ logical requests) stays
+//!    under 1.3× — the budget prevents a retry storm;
+//! 4. goodput recovers to ≥95% of baseline within 10 s of the spike
+//!    ending — no metastable sustained collapse;
+//! 5. the daemon sheds some work by deadline (`shed_expired > 0`),
+//!    answers a ping afterwards, and every request reaches a terminal
+//!    outcome.
+//!
+//! ```text
+//! loadgen --overload --out service-overload.json
+//! ```
 
 use std::collections::HashMap;
 use std::io;
@@ -131,7 +157,7 @@ use dagsched_router::{serve_router, RouterConfig};
 use dagsched_sched::{Scheduler, SchedulerKind};
 use dagsched_service::json::Json;
 use dagsched_service::server::{serve, Listen, ServerConfig};
-use dagsched_service::{Client, RetryPolicy, ScheduleRequest};
+use dagsched_service::{Client, RetryBudget, RetryPolicy, ScheduleRequest};
 use dagsched_stats::percentile;
 use dagsched_workloads::{generate, BenchmarkProfile, PAPER_SEED};
 
@@ -191,6 +217,17 @@ struct Options {
     /// Exit nonzero unless the server coalesced at least one request
     /// (standard mode only; requires reaching the server's metrics).
     expect_coalesced: bool,
+    /// Overload mode: measure capacity, then step offered load
+    /// 1x -> 3x -> 1x of it and audit the overload-control machinery.
+    overload: bool,
+    /// Byte-accounted admission budget for the in-process server
+    /// (`ServerConfig::mem_budget`).
+    mem_budget: Option<u64>,
+    /// Whether `--profiles` / `--clients` / `--workers` were given
+    /// explicitly: overload mode picks heavier defaults otherwise.
+    profiles_explicit: bool,
+    clients_explicit: bool,
+    workers_explicit: bool,
 }
 
 impl Default for Options {
@@ -224,6 +261,11 @@ impl Default for Options {
             netchaos: false,
             min_qps: None,
             expect_coalesced: false,
+            overload: false,
+            mem_budget: None,
+            profiles_explicit: false,
+            clients_explicit: false,
+            workers_explicit: false,
         }
     }
 }
@@ -255,13 +297,17 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n: &usize| n > 0)
                     .ok_or("--clients needs a positive count")?;
+                opts.clients_explicit = true;
             }
             "--profiles" => {
-                let v = args.next().ok_or("--profiles needs a comma-separated list")?;
+                let v = args
+                    .next()
+                    .ok_or("--profiles needs a comma-separated list")?;
                 opts.profiles = v.split(',').map(|s| s.trim().to_string()).collect();
                 if opts.profiles.iter().any(|p| p.is_empty()) {
                     return Err("--profiles has an empty entry".to_string());
                 }
+                opts.profiles_explicit = true;
             }
             "--seeds" => {
                 opts.seeds = args
@@ -276,6 +322,7 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n: &usize| n > 0)
                     .ok_or("--workers needs a positive count")?;
+                opts.workers_explicit = true;
             }
             "--cache-entries" => {
                 opts.cache_entries = args
@@ -349,6 +396,15 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--expect-coalesced" => opts.expect_coalesced = true,
+            "--overload" => opts.overload = true,
+            "--mem-budget" => {
+                opts.mem_budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--mem-budget needs a positive byte count")?,
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--connect EP | --unix PATH] [--qps N] [--requests N] [--clients N]\n\
@@ -358,7 +414,8 @@ fn parse_args() -> Result<Options, String> {
                      \x20              [--retries N]\n\
                      \x20              [--crash-loop N] [--state-dir DIR]\n\
                      \x20              [--cluster N] [--kill-shard | --netchaos]\n\
-                     \x20              [--min-qps N] [--expect-coalesced]"
+                     \x20              [--min-qps N] [--expect-coalesced]\n\
+                     \x20              [--overload] [--mem-budget BYTES]"
                 );
                 std::process::exit(0);
             }
@@ -366,65 +423,106 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     if opts.chaos && opts.connect.is_some() {
-        return Err("--chaos installs fault injection on the in-process server; \
+        return Err(
+            "--chaos installs fault injection on the in-process server; \
                     it cannot target a remote daemon (omit --connect)"
-            .to_string());
+                .to_string(),
+        );
     }
     if opts.unix.is_some() && opts.connect.is_some() {
         return Err("--unix binds the in-process server; it conflicts with --connect".to_string());
     }
     if opts.crash_loop.is_some() && opts.connect.is_some() {
-        return Err("--crash-loop spawns its own child daemon; it cannot target a \
+        return Err(
+            "--crash-loop spawns its own child daemon; it cannot target a \
                     remote one (omit --connect)"
-            .to_string());
+                .to_string(),
+        );
     }
     if opts.crash_loop.is_some() && opts.chaos {
-        return Err("--crash-loop and --chaos are separate audits; run them separately".to_string());
+        return Err(
+            "--crash-loop and --chaos are separate audits; run them separately".to_string(),
+        );
     }
     if opts.serve_child && opts.unix.is_none() {
         return Err("--serve-child needs --unix".to_string());
     }
     if opts.cluster.is_some() {
         if opts.connect.is_some() || opts.unix.is_some() {
-            return Err("--cluster spawns its own shards and router; it conflicts with \
+            return Err(
+                "--cluster spawns its own shards and router; it conflicts with \
                         --connect / --unix"
-                .to_string());
+                    .to_string(),
+            );
         }
         if opts.chaos || opts.crash_loop.is_some() {
-            return Err("--cluster, --chaos and --crash-loop are separate audits; run \
+            return Err(
+                "--cluster, --chaos and --crash-loop are separate audits; run \
                         them separately"
-                .to_string());
+                    .to_string(),
+            );
         }
         if opts.deadline_ms.is_some() {
-            return Err("--cluster verifies replies against undegraded serial compiles; \
+            return Err(
+                "--cluster verifies replies against undegraded serial compiles; \
                         it runs without --deadline-ms"
-                .to_string());
+                    .to_string(),
+            );
         }
     }
-    if opts.kill_shard && opts.cluster.map_or(true, |n| n < 2) {
+    if opts.kill_shard && opts.cluster.is_none_or(|n| n < 2) {
         return Err("--kill-shard needs --cluster with at least 2 shards".to_string());
     }
     if opts.netchaos {
-        if opts.cluster.map_or(true, |n| n < 2) {
+        if opts.cluster.is_none_or(|n| n < 2) {
             return Err("--netchaos needs --cluster with at least 2 shards".to_string());
         }
         if opts.kill_shard {
-            return Err("--netchaos and --kill-shard are separate audits; a SIGKILLed \
+            return Err(
+                "--netchaos and --kill-shard are separate audits; a SIGKILLed \
                         shard would hide which machinery absorbed the fault"
-                .to_string());
+                    .to_string(),
+            );
         }
         if opts.fault_per_mille < 100 {
-            return Err("--netchaos audits gray-failure tolerance at >=10% link faults; \
+            return Err(
+                "--netchaos audits gray-failure tolerance at >=10% link faults; \
                         --faults must be at least 100"
-                .to_string());
+                    .to_string(),
+            );
         }
     }
     if (opts.min_qps.is_some() || opts.expect_coalesced)
-        && (opts.chaos || opts.crash_loop.is_some() || opts.cluster.is_some())
+        && (opts.chaos || opts.crash_loop.is_some() || opts.cluster.is_some() || opts.overload)
     {
-        return Err("--min-qps / --expect-coalesced are standard-mode gates; the chaos, \
-                    crash-loop and cluster audits assert their own invariants"
-            .to_string());
+        return Err(
+            "--min-qps / --expect-coalesced are standard-mode gates; the chaos, \
+                    crash-loop, cluster and overload audits assert their own invariants"
+                .to_string(),
+        );
+    }
+    if opts.overload {
+        if opts.connect.is_some() {
+            return Err(
+                "--overload calibrates against the in-process server's measured \
+                        capacity; it cannot target a remote daemon (omit --connect)"
+                    .to_string(),
+            );
+        }
+        if opts.chaos || opts.crash_loop.is_some() || opts.cluster.is_some() {
+            return Err(
+                "--overload, --chaos, --crash-loop and --cluster are separate \
+                        audits; run them separately"
+                    .to_string(),
+            );
+        }
+    }
+    if opts.mem_budget.is_some() && opts.connect.is_some() {
+        return Err(
+            "--mem-budget configures the in-process server; it conflicts with \
+                    --connect"
+                .to_string(),
+        );
     }
     Ok(opts)
 }
@@ -540,9 +638,15 @@ fn references(opts: &Options) -> Result<HashMap<(String, u64), Reference>, Strin
         let bp = BenchmarkProfile::by_name(&profile)
             .ok_or_else(|| format!("unknown profile `{profile}`"))?;
         let bench = generate(bp, seed);
-        let (result, _) =
-            schedule_program_batch(&bench.program, &model, &config, 1, &Limits::none(), &NoCache)
-                .map_err(|e| format!("serial reference for {profile}/{seed}: {e:?}"))?;
+        let (result, _) = schedule_program_batch(
+            &bench.program,
+            &model,
+            &config,
+            1,
+            &Limits::none(),
+            &NoCache,
+        )
+        .map_err(|e| format!("serial reference for {profile}/{seed}: {e:?}"))?;
         let original = bench
             .program
             .insns
@@ -551,7 +655,13 @@ fn references(opts: &Options) -> Result<HashMap<(String, u64), Reference>, Strin
             .collect::<Vec<_>>()
             .join("\n");
         let scheduled = result.insns.iter().map(|i| i.to_string()).collect();
-        refs.insert((profile, seed), Reference { original, scheduled });
+        refs.insert(
+            (profile, seed),
+            Reference {
+                original,
+                scheduled,
+            },
+        );
     }
     Ok(refs)
 }
@@ -858,11 +968,10 @@ fn serve_child_main(opts: &Options) -> ! {
         fsync_every: 4,
         ..ServerConfig::default()
     };
-    let handle = serve(Listen::Unix(std::path::PathBuf::from(sock)), config)
-        .unwrap_or_else(|e| {
-            eprintln!("loadgen[child]: serve: {e}");
-            std::process::exit(1);
-        });
+    let handle = serve(Listen::Unix(std::path::PathBuf::from(sock)), config).unwrap_or_else(|e| {
+        eprintln!("loadgen[child]: serve: {e}");
+        std::process::exit(1);
+    });
     handle.join(); // until SIGKILL, or a client-driven drain
     std::process::exit(0);
 }
@@ -901,7 +1010,6 @@ fn cluster_retry_policy(opts: &Options, client_idx: usize) -> RetryPolicy {
         per_attempt_timeout: Some(Duration::from_secs(per_attempt)),
         overall_timeout: Some(Duration::from_secs(overall)),
         jitter_seed: 0x0C1A_57E2 ^ (client_idx as u64).wrapping_mul(0x9E37_79B9),
-        ..RetryPolicy::default()
     }
 }
 
@@ -1075,10 +1183,10 @@ fn cluster_main(opts: Options) {
     };
     for i in 0..shards_wanted {
         let sock = root.join(format!("shard-{i}.sock"));
-        children.push(Mutex::new(
-            spawn_shard_child(&sock, &opts)
-                .unwrap_or_else(|e| fatal(format!("spawning shard {i}: {e}"))),
-        ));
+        children
+            .push(Mutex::new(spawn_shard_child(&sock, &opts).unwrap_or_else(
+                |e| fatal(format!("spawning shard {i}: {e}")),
+            )));
         shard_eps.push(format!("unix:{}", sock.display()));
     }
     for (i, ep) in shard_eps.iter().enumerate() {
@@ -1134,7 +1242,6 @@ fn cluster_main(opts: Options) {
             per_attempt_timeout: Some(Duration::from_secs(2)),
             overall_timeout: Some(Duration::from_secs(8)),
             jitter_seed: opts.chaos_seed,
-            ..RetryPolicy::default()
         };
     }
     let router = serve_router(Listen::Unix(root.join("router.sock")), router_config)
@@ -1144,11 +1251,24 @@ fn cluster_main(opts: Options) {
     // Two warm passes: fill the shard caches cold, then measure the
     // steady-state hit rate the post-kill measurement must defend.
     let mut violations: Vec<String> = Vec::new();
-    cluster_pass(&endpoint, &opts, &refs, working, "fill pass", &mut violations)
-        .unwrap_or_else(|e| fatal(e));
-    let (warm_hits, warm_misses) =
-        cluster_pass(&endpoint, &opts, &refs, working, "warm pass", &mut violations)
-            .unwrap_or_else(|e| fatal(e));
+    cluster_pass(
+        &endpoint,
+        &opts,
+        &refs,
+        working,
+        "fill pass",
+        &mut violations,
+    )
+    .unwrap_or_else(|e| fatal(e));
+    let (warm_hits, warm_misses) = cluster_pass(
+        &endpoint,
+        &opts,
+        &refs,
+        working,
+        "warm pass",
+        &mut violations,
+    )
+    .unwrap_or_else(|e| fatal(e));
     let rate = |h: u64, m: u64| {
         if h + m == 0 {
             0.0
@@ -1170,9 +1290,9 @@ fn cluster_main(opts: Options) {
             let opts = &opts;
             let refs = &refs;
             let next = &next;
-            handles.push(scope.spawn(move || {
-                run_cluster_client(endpoint, opts, refs, next, start, idx)
-            }));
+            handles.push(
+                scope.spawn(move || run_cluster_client(endpoint, opts, refs, next, start, idx)),
+            );
         }
         if opts.kill_shard {
             let next = &next;
@@ -1220,12 +1340,14 @@ fn cluster_main(opts: Options) {
                     }
                     merged.violations.extend(tally.violations);
                 }
-                Err(e) => merged.violations.push(format!("cluster client aborted: {e}")),
+                Err(e) => merged
+                    .violations
+                    .push(format!("cluster client aborted: {e}")),
             }
         }
     });
     let elapsed = start.elapsed();
-    violations.extend(merged.violations.drain(..));
+    violations.append(&mut merged.violations);
     if opts.kill_shard {
         let _ = children[0].lock().unwrap().wait();
     }
@@ -1300,10 +1422,7 @@ fn cluster_main(opts: Options) {
     )
     .unwrap_or_else(|e| fatal(e));
     let post_kill_hit_rate = rate(post_hits, post_misses);
-    if opts.kill_shard
-        && pre_kill_hit_rate > 0.0
-        && post_kill_hit_rate < 0.5 * pre_kill_hit_rate
-    {
+    if opts.kill_shard && pre_kill_hit_rate > 0.0 && post_kill_hit_rate < 0.5 * pre_kill_hit_rate {
         violations.push(format!(
             "post-failover hit rate {:.1}% is below half the pre-kill {:.1}%",
             100.0 * post_kill_hit_rate,
@@ -1407,7 +1526,10 @@ fn cluster_main(opts: Options) {
         ("latency_ms_p99", Json::from(ms(p99))),
         ("cache_hits", Json::from(merged.hits)),
         ("cache_misses", Json::from(merged.misses)),
-        ("cache_hit_rate", Json::from(rate(merged.hits, merged.misses))),
+        (
+            "cache_hit_rate",
+            Json::from(rate(merged.hits, merged.misses)),
+        ),
         ("pre_kill_hit_rate", Json::from(pre_kill_hit_rate)),
         ("post_failover_hit_rate", Json::from(post_kill_hit_rate)),
         ("client_retries", Json::from(merged.retries)),
@@ -1446,17 +1568,11 @@ fn cluster_main(opts: Options) {
                                     ("endpoint".to_string(), Json::from(ep.as_str())),
                                     ("connections".to_string(), Json::from(s.connections)),
                                     ("latency_conns".to_string(), Json::from(s.latency_conns)),
-                                    (
-                                        "bandwidth_conns".to_string(),
-                                        Json::from(s.bandwidth_conns),
-                                    ),
+                                    ("bandwidth_conns".to_string(), Json::from(s.bandwidth_conns)),
                                     ("stalls".to_string(), Json::from(s.stalls)),
                                     ("partitions".to_string(), Json::from(s.partitions)),
                                     ("resets".to_string(), Json::from(s.resets)),
-                                    (
-                                        "corrupted_bytes".to_string(),
-                                        Json::from(s.corrupted_bytes),
-                                    ),
+                                    ("corrupted_bytes".to_string(), Json::from(s.corrupted_bytes)),
                                     (
                                         "blackholed_bytes".to_string(),
                                         Json::from(s.blackholed_bytes),
@@ -1522,6 +1638,10 @@ fn main() {
     if opts.serve_child {
         serve_child_main(&opts);
     }
+    if opts.overload {
+        overload_main(opts);
+        return;
+    }
     if opts.cluster.is_some() {
         cluster_main(opts);
         return;
@@ -1567,6 +1687,7 @@ fn main() {
                     max_entries: opts.cache_entries,
                     ..dagsched_service::CacheConfig::default()
                 },
+                mem_budget: opts.mem_budget,
                 ..ServerConfig::default()
             };
             let handle = serve(listen_for(&opts), config).unwrap_or_else(|e| {
@@ -1651,7 +1772,12 @@ fn main() {
         ("endpoint", Json::from(endpoint.as_str())),
         (
             "profiles",
-            Json::Arr(opts.profiles.iter().map(|p| Json::from(p.as_str())).collect()),
+            Json::Arr(
+                opts.profiles
+                    .iter()
+                    .map(|p| Json::from(p.as_str()))
+                    .collect(),
+            ),
         ),
         ("seeds", Json::from(opts.seeds)),
         ("clients", Json::from(opts.clients)),
@@ -1682,7 +1808,10 @@ fn main() {
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
     );
-    let out = opts.out.clone().unwrap_or_else(|| "service-load.json".to_string());
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "service-load.json".to_string());
     std::fs::write(&out, format!("{artifact}\n")).unwrap_or_else(|e| {
         eprintln!("loadgen: writing {out}: {e}");
         std::process::exit(1);
@@ -1799,9 +1928,7 @@ fn chaos_main(opts: Options) {
                 }
                 merged.violations.extend(tally.violations);
             }
-            Err(e) => merged
-                .violations
-                .push(format!("chaos client aborted: {e}")),
+            Err(e) => merged.violations.push(format!("chaos client aborted: {e}")),
         }
     }
     let elapsed = start.elapsed();
@@ -1849,8 +1976,14 @@ fn chaos_main(opts: Options) {
         (
             "fault_per_mille",
             Json::Obj(vec![
-                ("panic".to_string(), Json::from(u64::from(faults.panic_per_mille))),
-                ("slow".to_string(), Json::from(u64::from(faults.slow_per_mille))),
+                (
+                    "panic".to_string(),
+                    Json::from(u64::from(faults.panic_per_mille)),
+                ),
+                (
+                    "slow".to_string(),
+                    Json::from(u64::from(faults.slow_per_mille)),
+                ),
                 (
                     "truncate".to_string(),
                     Json::from(u64::from(faults.truncate_per_mille)),
@@ -1859,14 +1992,20 @@ fn chaos_main(opts: Options) {
                     "corrupt".to_string(),
                     Json::from(u64::from(faults.corrupt_per_mille)),
                 ),
-                ("reset".to_string(), Json::from(u64::from(faults.reset_per_mille))),
+                (
+                    "reset".to_string(),
+                    Json::from(u64::from(faults.reset_per_mille)),
+                ),
             ]),
         ),
         ("slow_ms", Json::from(opts.slow_ms)),
-        ("deadline_ms", match opts.deadline_ms {
-            Some(ms) => Json::from(ms),
-            None => Json::Null,
-        }),
+        (
+            "deadline_ms",
+            match opts.deadline_ms {
+                Some(ms) => Json::from(ms),
+                None => Json::Null,
+            },
+        ),
         ("retries_budget", Json::from(u64::from(opts.retries))),
         ("requests", Json::from(opts.requests)),
         ("clients", Json::from(opts.clients)),
@@ -1888,7 +2027,10 @@ fn chaos_main(opts: Options) {
         ("transport_failures", Json::from(merged.transport_failures)),
         ("retries", Json::from(merged.retries)),
         ("redials", Json::from(merged.redials)),
-        ("server_hints_honoured", Json::from(merged.server_hints_honoured)),
+        (
+            "server_hints_honoured",
+            Json::from(merged.server_hints_honoured),
+        ),
         ("latency_ms_p50", Json::from(ms(p50))),
         ("latency_ms_p95", Json::from(ms(p95))),
         ("latency_ms_p99", Json::from(ms(p99))),
@@ -1904,7 +2046,10 @@ fn chaos_main(opts: Options) {
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
     );
-    let out = opts.out.clone().unwrap_or_else(|| "service-chaos.json".to_string());
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "service-chaos.json".to_string());
     std::fs::write(&out, format!("{artifact}\n")).unwrap_or_else(|e| {
         eprintln!("loadgen: writing {out}: {e}");
         std::process::exit(1);
@@ -1930,7 +2075,9 @@ fn chaos_main(opts: Options) {
         }
         std::process::exit(1);
     }
-    eprintln!("loadgen: chaos audit passed: daemon alive, all requests terminal, all replies verified");
+    eprintln!(
+        "loadgen: chaos audit passed: daemon alive, all requests terminal, all replies verified"
+    );
 }
 
 #[cfg(feature = "chaos")]
@@ -1963,8 +2110,7 @@ fn crash_loop_main(opts: Options) {
         working,
         state.display()
     );
-    let refs = references(&opts)
-        .unwrap_or_else(|e| fatal(format!("serial references: {e}")));
+    let refs = references(&opts).unwrap_or_else(|e| fatal(format!("serial references: {e}")));
 
     let mut violations: Vec<String> = Vec::new();
     let mut injected = Vec::new();
@@ -2035,7 +2181,10 @@ fn crash_loop_main(opts: Options) {
                     );
                     injected.push(Json::Obj(vec![
                         ("cycle".to_string(), Json::from(u64::from(cycle))),
-                        ("fault".to_string(), Json::from(f.fault.to_string().as_str())),
+                        (
+                            "fault".to_string(),
+                            Json::from(f.fault.to_string().as_str()),
+                        ),
                         ("file".to_string(), Json::from(f.file.as_str())),
                         ("detail".to_string(), Json::from(f.detail)),
                     ]));
@@ -2096,9 +2245,8 @@ fn crash_loop_main(opts: Options) {
         let _ = child.lock().unwrap().wait();
 
         if recovered_entries == 0 {
-            violations.push(
-                "final restart recovered zero cache entries from the survivor".to_string(),
-            );
+            violations
+                .push("final restart recovered zero cache entries from the survivor".to_string());
         }
         if pre_crash_hit_rate > 0.0 && post_restart_hit_rate < 0.5 * pre_crash_hit_rate {
             violations.push(format!(
@@ -2126,7 +2274,10 @@ fn crash_loop_main(opts: Options) {
         ("kills_requested", Json::from(u64::from(kills_wanted))),
         ("kills_delivered", Json::from(u64::from(kills))),
         ("working_set", Json::from(working)),
-        ("state_dir", Json::from(state.display().to_string().as_str())),
+        (
+            "state_dir",
+            Json::from(state.display().to_string().as_str()),
+        ),
         ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
         ("pre_crash_hit_rate", Json::from(pre_crash_hit_rate)),
         ("post_restart_hit_rate", Json::from(post_restart_hit_rate)),
@@ -2171,5 +2322,626 @@ fn crash_loop_main(opts: Options) {
     }
     eprintln!(
         "loadgen: crash-loop audit passed: no corrupt replies, warm recovery, store fsck-clean"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Overload mode
+// ---------------------------------------------------------------------------
+
+/// Helpers for the `--overload` audit: capacity probing, the stepped
+/// 1× → 3× → 1× open-loop schedule, and the budgeted-retry client.
+mod overload {
+    use super::*;
+    use dagsched_service::ClientError;
+
+    /// Bounded queue depth for the overload server: deep enough that an
+    /// unshedded spike would buffer-bloat far past any plausible
+    /// deadline, so the deadline/CoDel machinery — not the queue bound
+    /// alone — has to do the shedding.
+    pub const QUEUE: usize = 1024;
+    /// Closed-loop capacity probe duration.
+    pub const PROBE_MS: u64 = 1500;
+    /// Phase durations: 1× baseline, 3× spike, 1× recovery.
+    pub const BASELINE_SECS: u64 = 4;
+    pub const SPIKE_SECS: u64 = 4;
+    pub const RECOVERY_SECS: u64 = 10;
+    /// Spike multiplier over measured capacity.
+    pub const SPIKE_FACTOR: f64 = 3.0;
+    /// Gate: spike goodput must stay at this fraction of capacity.
+    pub const SPIKE_GOODPUT_FLOOR: f64 = 0.70;
+    /// Gate: wire ÷ logical requests must stay under this.
+    pub const AMPLIFICATION_CEILING: f64 = 1.3;
+    /// Gate: post-spike goodput must return to this fraction of the
+    /// baseline rate…
+    pub const RECOVERY_FRACTION: f64 = 0.95;
+    /// …within this many seconds of the spike ending.
+    pub const RECOVERY_WITHIN_SECS: u64 = 10;
+    /// Gate: p99 of admitted requests is bounded by deadline + slack
+    /// (transport, scheduling jitter, and the final compile slot).
+    pub const P99_SLACK_MS: u64 = 250;
+    /// Seed space for the capacity probe, disjoint from the run's
+    /// `PAPER_SEED + k` space so the probe cannot warm the run's cache.
+    pub const PROBE_SEED_BASE: u64 = PAPER_SEED + 1_000_000;
+    /// Concurrency cap for the capacity probe: enough to saturate the
+    /// workers, small enough that the probe's own standing queue stays
+    /// under the deadline (a probe that sheds itself under-measures).
+    pub const PROBE_CLIENTS_MAX: usize = 32;
+
+    pub const PHASES: [&str; 3] = ["baseline", "spike", "recovery"];
+
+    /// Precomputed open-loop schedule for the stepped-load run.
+    pub struct Plan {
+        pub mix: Vec<String>,
+        /// Due time of request `k`, relative to the run start.
+        pub due: Vec<Duration>,
+        /// Phase index of request `k` (0 baseline, 1 spike, 2 recovery).
+        pub phase: Vec<u8>,
+        /// Client deadline tagged on every request.
+        pub deadline_ms: u64,
+        /// Offered rate per phase (requests/second).
+        pub offered_qps: [f64; 3],
+    }
+
+    impl Plan {
+        pub fn build(capacity: f64, mix: Vec<String>, deadline_ms: u64) -> Plan {
+            let rates = [capacity, SPIKE_FACTOR * capacity, capacity];
+            let secs = [BASELINE_SECS, SPIKE_SECS, RECOVERY_SECS];
+            let mut due = Vec::new();
+            let mut phase = Vec::new();
+            let mut t0 = 0.0f64;
+            for (p, (&rate, &len)) in rates.iter().zip(secs.iter()).enumerate() {
+                let n = ((rate * len as f64).round() as usize).max(1);
+                for i in 0..n {
+                    due.push(Duration::from_secs_f64(t0 + i as f64 / rate));
+                    phase.push(p as u8);
+                }
+                t0 += len as f64;
+            }
+            Plan {
+                mix,
+                due,
+                phase,
+                deadline_ms,
+                offered_qps: rates,
+            }
+        }
+
+        /// `(profile, seed)` for request `k`: the mix cycles; the seed
+        /// is unique per request, so every compile is a genuine miss
+        /// and goodput measures compute capacity, not hit-rate luck.
+        pub fn key(&self, k: usize) -> (String, u64) {
+            (self.mix[k % self.mix.len()].clone(), PAPER_SEED + k as u64)
+        }
+    }
+
+    /// One logical request's terminal outcome.
+    pub struct Record {
+        pub phase: u8,
+        /// Completion time relative to the run start, in ms.
+        pub done_ms: u64,
+        pub latency_ns: u64,
+        pub ok: bool,
+    }
+
+    #[derive(Default)]
+    pub struct Tally {
+        pub records: Vec<Record>,
+        pub wire_requests: u64,
+        pub retries: u64,
+        pub budget_denied: u64,
+        pub redials: u64,
+        pub transport_failures: u64,
+        pub server_errors: HashMap<String, u64>,
+    }
+
+    /// Closed-loop capacity probe: `clients` threads hammer the daemon
+    /// with unique-seed requests (no pacing) for [`PROBE_MS`];
+    /// capacity is completions per second, and the saturated p50
+    /// request latency rides along. Probe requests carry a deadline —
+    /// deadline pressure changes how hard the engine degrades, so
+    /// capacity must be measured under run conditions or the "3×"
+    /// spike may not actually overload.
+    pub fn probe_capacity(
+        endpoint: &str,
+        mix: &[String],
+        clients: usize,
+        deadline_ms: u64,
+    ) -> Result<(f64, u64), String> {
+        let next = Arc::new(AtomicUsize::new(0));
+        let start = Instant::now();
+        let end = start + Duration::from_millis(PROBE_MS);
+        let mut threads = Vec::new();
+        for _ in 0..clients {
+            let endpoint = endpoint.to_string();
+            let mix = mix.to_vec();
+            let next = Arc::clone(&next);
+            threads.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client =
+                    Client::connect(&endpoint).map_err(|e| format!("probe connect: {e}"))?;
+                let mut lat_us = Vec::new();
+                while Instant::now() < end {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let mut req = ScheduleRequest::profile(
+                        mix[k % mix.len()].clone(),
+                        PROBE_SEED_BASE + k as u64,
+                    );
+                    req.deadline_ms = Some(deadline_ms);
+                    let issued = Instant::now();
+                    match client.request(&req) {
+                        Ok(_) => {
+                            lat_us.push(
+                                u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX),
+                            );
+                        }
+                        // A typed shed during the probe still measures
+                        // capacity honestly: it just isn't goodput.
+                        Err(ClientError::Server(_)) => {}
+                        Err(e) => return Err(format!("probe request: {e}")),
+                    }
+                }
+                Ok(lat_us)
+            }));
+        }
+        let mut lat_us: Vec<u64> = Vec::new();
+        for t in threads {
+            lat_us.extend(t.join().expect("probe thread panicked")?);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if lat_us.is_empty() {
+            return Err("capacity probe completed zero requests".to_string());
+        }
+        lat_us.sort_unstable();
+        let p50_ms = (lat_us[lat_us.len() / 2] / 1_000).max(1);
+        Ok((lat_us.len() as f64 / elapsed, p50_ms))
+    }
+
+    /// One stepped-load client: grabs globally-ordered slots, paces
+    /// open-loop to each slot's due time, and drives every logical
+    /// request to a terminal outcome — retries spend tokens from the
+    /// shared [`RetryBudget`] and give up when denied one.
+    pub fn run_client(
+        endpoint: &str,
+        plan: &Plan,
+        budget: &RetryBudget,
+        next: &AtomicUsize,
+        start: Instant,
+    ) -> Tally {
+        let mut tally = Tally::default();
+        let mut client = Client::connect(endpoint).ok();
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= plan.due.len() {
+                return tally;
+            }
+            let due = start + plan.due[k];
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            let (profile, seed) = plan.key(k);
+            let mut req = ScheduleRequest::profile(profile, seed);
+            req.deadline_ms = Some(plan.deadline_ms);
+            let issued = Instant::now();
+            let mut attempt: u64 = 0;
+            let ok = loop {
+                if client.is_none() {
+                    match Client::connect(endpoint) {
+                        Ok(c) => {
+                            tally.redials += 1;
+                            client = Some(c);
+                        }
+                        Err(_) => {
+                            tally.transport_failures += 1;
+                            break false;
+                        }
+                    }
+                }
+                let conn = client.as_mut().expect("connected above");
+                req.attempt = attempt;
+                attempt += 1;
+                tally.wire_requests += 1;
+                match conn.request(&req) {
+                    Ok(_) => {
+                        budget.record_success();
+                        break true;
+                    }
+                    Err(e) => {
+                        let (retryable, hint_ms) = match &e {
+                            ClientError::Server(err) => {
+                                (err.code.is_retryable(), err.retry_after_ms)
+                            }
+                            // Transport breakage: the bytes may have been
+                            // lost in flight; redial before retrying.
+                            _ => {
+                                client = None;
+                                (true, None)
+                            }
+                        };
+                        let spent = issued.elapsed().as_millis() as u64;
+                        let remaining = plan.deadline_ms.saturating_sub(spent);
+                        if !retryable || remaining < 2 {
+                            terminal_error(&mut tally, &e);
+                            break false;
+                        }
+                        if !budget.try_spend() {
+                            tally.budget_denied += 1;
+                            terminal_error(&mut tally, &e);
+                            break false;
+                        }
+                        tally.retries += 1;
+                        std::thread::sleep(Duration::from_millis(
+                            hint_ms.unwrap_or(2).clamp(1, remaining),
+                        ));
+                    }
+                }
+            };
+            tally.records.push(Record {
+                phase: plan.phase[k],
+                done_ms: start.elapsed().as_millis() as u64,
+                latency_ns: issued.elapsed().as_nanos() as u64,
+                ok,
+            });
+        }
+    }
+
+    fn terminal_error(tally: &mut Tally, e: &ClientError) {
+        match e {
+            ClientError::Server(err) => {
+                *tally
+                    .server_errors
+                    .entry(err.code.as_str().to_string())
+                    .or_insert(0) += 1;
+            }
+            _ => tally.transport_failures += 1,
+        }
+    }
+}
+
+/// The overload audit: measure capacity closed-loop, then step offered
+/// load 1× → 3× → 1× of it with budgeted-retry clients and gate on the
+/// overload-control invariants (goodput floor, bounded p99, retry
+/// amplification, prompt recovery, deadline shedding).
+fn overload_main(opts: Options) {
+    // Heavier defaults than the steady-state soak: a Canon-style DAG
+    // shape mix, fewer workers (so the spike saturates compile
+    // capacity, not the client machine), and enough client threads
+    // that the 3× phase is genuinely open-loop — with too few clients,
+    // their own blocking throttles the offered load back down to
+    // capacity and the daemon is never actually overloaded.
+    let mix = if opts.profiles_explicit {
+        opts.profiles.clone()
+    } else {
+        dagsched_workloads::canon_mix()
+    };
+    let workers = if opts.workers_explicit {
+        opts.workers
+    } else {
+        2
+    };
+    let clients = if opts.clients_explicit {
+        opts.clients
+    } else {
+        256
+    };
+
+    let config = ServerConfig {
+        workers,
+        queue: overload::QUEUE,
+        cache: dagsched_service::CacheConfig {
+            max_entries: opts.cache_entries,
+            ..dagsched_service::CacheConfig::default()
+        },
+        mem_budget: opts.mem_budget,
+        ..ServerConfig::default()
+    };
+    let handle = serve(listen_for(&opts), config).unwrap_or_else(|e| {
+        eprintln!("loadgen: in-process server: {e}");
+        std::process::exit(1);
+    });
+    let endpoint = handle.endpoint();
+
+    eprintln!(
+        "loadgen: overload: probing capacity ({clients} clients, {workers} workers, {} profiles)",
+        mix.len()
+    );
+    let probe_deadline_ms = opts.deadline_ms.unwrap_or(250);
+    let probe_clients = clients.min(overload::PROBE_CLIENTS_MAX);
+    let (capacity, probe_p50_ms) =
+        overload::probe_capacity(&endpoint, &mix, probe_clients, probe_deadline_ms).unwrap_or_else(
+            |e| {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            },
+        );
+
+    // Client deadline: pinned to a small multiple of the *saturated*
+    // p50 the probe just measured. That places it inside the regime
+    // the admission controller actually defends — the sojourn ceiling
+    // the controller clamps to is a few saturated service times, so a
+    // deadline far above it would be absorbed by queueing alone and
+    // the audit would prove nothing about deadline shedding. An
+    // explicit --deadline-ms still caps it from above.
+    let deadline_ms = probe_deadline_ms
+        .min(probe_p50_ms.saturating_mul(2))
+        .max(25);
+
+    let plan = Arc::new(overload::Plan::build(capacity, mix, deadline_ms));
+    eprintln!(
+        "loadgen: overload: capacity {capacity:.0} qps (saturated p50 {probe_p50_ms} ms); \
+         deadline {deadline_ms} ms; phases \
+         {}s@1x / {}s@3x / {}s@1x ({} requests)",
+        overload::BASELINE_SECS,
+        overload::SPIKE_SECS,
+        overload::RECOVERY_SECS,
+        plan.due.len()
+    );
+
+    let budget = Arc::new(RetryBudget::default());
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..clients {
+        let endpoint = endpoint.clone();
+        let plan = Arc::clone(&plan);
+        let budget = Arc::clone(&budget);
+        let next = Arc::clone(&next);
+        threads.push(std::thread::spawn(move || {
+            overload::run_client(&endpoint, &plan, &budget, &next, start)
+        }));
+    }
+    let mut merged = overload::Tally::default();
+    for t in threads {
+        let tally = t.join().expect("overload client thread panicked");
+        merged.records.extend(tally.records);
+        merged.wire_requests += tally.wire_requests;
+        merged.retries += tally.retries;
+        merged.budget_denied += tally.budget_denied;
+        merged.redials += tally.redials;
+        merged.transport_failures += tally.transport_failures;
+        for (code, n) in tally.server_errors {
+            *merged.server_errors.entry(code).or_insert(0) += n;
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // Crash gate: the daemon answers a ping after the storm.
+    let alive = Client::connect(&endpoint)
+        .and_then(|mut c| c.ping())
+        .is_ok();
+    let server_metrics = Client::connect(&endpoint)
+        .ok()
+        .and_then(|mut c| c.metrics().ok());
+    handle.begin_drain();
+    handle.join();
+
+    let logical = plan.due.len() as u64;
+    let phase_secs = [
+        overload::BASELINE_SECS,
+        overload::SPIKE_SECS,
+        overload::RECOVERY_SECS,
+    ];
+    let mut phase_issued = [0u64; 3];
+    let mut phase_ok = [0u64; 3];
+    // Goodput is measured over *wall-clock completion windows*, not
+    // over which phase a request was scheduled in: if the clients fall
+    // behind the schedule, labelling late completions with their
+    // intended phase would overstate goodput by exactly the slip.
+    let mut window_ok = [0u64; 3];
+    let window_end_ms = {
+        let b = overload::BASELINE_SECS * 1000;
+        let s = b + overload::SPIKE_SECS * 1000;
+        [b, s, s + overload::RECOVERY_SECS * 1000]
+    };
+    let mut admitted_ns: Vec<u64> = Vec::new();
+    let horizon_s =
+        (overload::BASELINE_SECS + overload::SPIKE_SECS + overload::RECOVERY_SECS) as usize + 30;
+    let mut ok_per_sec = vec![0u64; horizon_s + 1];
+    for r in &merged.records {
+        phase_issued[r.phase as usize] += 1;
+        if r.ok {
+            phase_ok[r.phase as usize] += 1;
+            admitted_ns.push(r.latency_ns);
+            if let Some(w) = window_end_ms.iter().position(|&end| r.done_ms < end) {
+                window_ok[w] += 1;
+            }
+            let s = (r.done_ms / 1000) as usize;
+            if s < ok_per_sec.len() {
+                ok_per_sec[s] += 1;
+            }
+        }
+    }
+    admitted_ns.sort_unstable();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let p50 = percentile(&admitted_ns, 50.0);
+    let p95 = percentile(&admitted_ns, 95.0);
+    let p99 = percentile(&admitted_ns, 99.0);
+
+    let goodput = |p: usize| window_ok[p] as f64 / phase_secs[p] as f64;
+    let baseline_goodput = goodput(0);
+    let spike_goodput = goodput(1);
+    let recovery_goodput = goodput(2);
+
+    // Recovery time: the first whole second after the spike ends whose
+    // goodput is back to the required fraction of baseline.
+    let spike_end_s = (overload::BASELINE_SECS + overload::SPIKE_SECS) as usize;
+    let bar = overload::RECOVERY_FRACTION * baseline_goodput;
+    let recovered_after_s = (spike_end_s..ok_per_sec.len())
+        .find(|&s| ok_per_sec[s] as f64 >= bar)
+        .map(|s| (s - spike_end_s + 1) as u64);
+
+    let amplification = merged.wire_requests as f64 / logical.max(1) as f64;
+    let typed_errors: u64 = merged.server_errors.values().sum();
+    let ok_total: u64 = phase_ok.iter().sum();
+    let terminal = ok_total + typed_errors + merged.transport_failures;
+
+    let metric = |key: &str| {
+        server_metrics
+            .as_ref()
+            .and_then(|m| m.get(key))
+            .and_then(Json::as_u64)
+    };
+    let shed_expired = metric("shed_expired").unwrap_or(0);
+    let shed_mem_budget = metric("shed_mem_budget").unwrap_or(0);
+    let codel_activations = metric("codel_activations").unwrap_or(0);
+
+    let mut gate_failures = Vec::new();
+    if spike_goodput < overload::SPIKE_GOODPUT_FLOOR * capacity {
+        gate_failures.push(format!(
+            "spike goodput {spike_goodput:.1} qps is below {:.0}% of the {capacity:.1} qps capacity",
+            100.0 * overload::SPIKE_GOODPUT_FLOOR
+        ));
+    }
+    let p99_bound_ms = deadline_ms + overload::P99_SLACK_MS;
+    if ms(p99) > p99_bound_ms as f64 {
+        gate_failures.push(format!(
+            "p99 of admitted requests {:.1} ms exceeds the {p99_bound_ms} ms bound \
+             (deadline + slack)",
+            ms(p99)
+        ));
+    }
+    if amplification >= overload::AMPLIFICATION_CEILING {
+        gate_failures.push(format!(
+            "retry amplification {amplification:.3}x (wire {} / logical {logical}) reached \
+             the {:.1}x ceiling",
+            merged.wire_requests,
+            overload::AMPLIFICATION_CEILING
+        ));
+    }
+    match recovered_after_s {
+        Some(s) if s <= overload::RECOVERY_WITHIN_SECS => {}
+        Some(s) => gate_failures.push(format!(
+            "goodput took {s} s after the spike to recover to 95% of baseline (allowed {} s)",
+            overload::RECOVERY_WITHIN_SECS
+        )),
+        None => gate_failures
+            .push("goodput never recovered to 95% of baseline after the spike".to_string()),
+    }
+    if shed_expired == 0 {
+        gate_failures.push(
+            "server shed nothing by deadline (shed_expired == 0); the overload never engaged \
+             the control layer"
+                .to_string(),
+        );
+    }
+    if terminal != logical {
+        gate_failures.push(format!(
+            "{terminal} terminal outcomes for {logical} requests"
+        ));
+    }
+    if !alive {
+        gate_failures.push("daemon did not answer a ping after the run".to_string());
+    }
+
+    let phase_json = |p: usize| {
+        Json::Obj(vec![
+            ("offered_qps".to_string(), Json::from(plan.offered_qps[p])),
+            ("duration_s".to_string(), Json::from(phase_secs[p])),
+            ("requests".to_string(), Json::from(phase_issued[p])),
+            ("ok".to_string(), Json::from(phase_ok[p])),
+            ("ok_in_window".to_string(), Json::from(window_ok[p])),
+            ("goodput_qps".to_string(), Json::from(goodput(p))),
+        ])
+    };
+    let mut report = vec![
+        ("mode", Json::from("overload")),
+        ("capacity_qps", Json::from(capacity)),
+        ("deadline_ms", Json::from(deadline_ms)),
+        ("queue", Json::from(overload::QUEUE as u64)),
+        ("workers", Json::from(workers as u64)),
+        ("clients", Json::from(clients as u64)),
+        (
+            "profiles",
+            Json::Arr(plan.mix.iter().map(|p| Json::from(p.as_str())).collect()),
+        ),
+        ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
+        (
+            "phases",
+            Json::Obj(
+                overload::PHASES
+                    .iter()
+                    .enumerate()
+                    .map(|(i, name)| ((*name).to_string(), phase_json(i)))
+                    .collect(),
+            ),
+        ),
+        ("logical_requests", Json::from(logical)),
+        ("wire_requests", Json::from(merged.wire_requests)),
+        ("amplification", Json::from(amplification)),
+        ("retries", Json::from(merged.retries)),
+        ("budget_denied", Json::from(merged.budget_denied)),
+        ("redials", Json::from(merged.redials)),
+        ("ok", Json::from(ok_total)),
+        ("typed_errors", Json::from(typed_errors)),
+        (
+            "typed_errors_by_code",
+            Json::Obj(
+                merged
+                    .server_errors
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        ),
+        ("transport_failures", Json::from(merged.transport_failures)),
+        ("latency_ms_p50_admitted", Json::from(ms(p50))),
+        ("latency_ms_p95_admitted", Json::from(ms(p95))),
+        ("latency_ms_p99_admitted", Json::from(ms(p99))),
+        ("p99_bound_ms", Json::from(p99_bound_ms)),
+        (
+            "recovered_after_s",
+            match recovered_after_s {
+                Some(s) => Json::from(s),
+                None => Json::Null,
+            },
+        ),
+        ("shed_expired", Json::from(shed_expired)),
+        ("shed_mem_budget", Json::from(shed_mem_budget)),
+        ("codel_activations", Json::from(codel_activations)),
+        ("daemon_alive_after_run", Json::from(alive)),
+        (
+            "gate_failures",
+            Json::Arr(
+                gate_failures
+                    .iter()
+                    .map(|g| Json::from(g.as_str()))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(m) = server_metrics {
+        report.push(("server", m));
+    }
+    let artifact = Json::Obj(
+        report
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "service-overload.json".to_string());
+    std::fs::write(&out, format!("{artifact}\n")).unwrap_or_else(|e| {
+        eprintln!("loadgen: writing {out}: {e}");
+        std::process::exit(1);
+    });
+
+    eprintln!(
+        "loadgen: overload: goodput {baseline_goodput:.0}/{spike_goodput:.0}/{recovery_goodput:.0} \
+         qps (baseline/spike/recovery) vs {capacity:.0} qps capacity; p99 admitted {:.1} ms; \
+         amplification {amplification:.3}x; shed_expired {shed_expired}; recovered in {} -> {out}",
+        ms(p99),
+        recovered_after_s.map_or("never".to_string(), |s| format!("{s} s")),
+    );
+    for g in &gate_failures {
+        eprintln!("loadgen: GATE FAILED: {g}");
+    }
+    if !gate_failures.is_empty() {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "loadgen: overload audit passed: goodput held, deadlines bounded, retries budgeted, \
+         recovery prompt"
     );
 }

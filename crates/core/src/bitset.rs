@@ -209,7 +209,12 @@ impl BitMatrix {
     ///
     /// Panics if `r` or `c` is out of range.
     pub fn set(&mut self, r: usize, c: usize) {
-        assert!(r < self.rows && c < self.cols, "bit ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "bit ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.words[r * self.row_words + c / 64] |= 1 << (c % 64);
     }
 
@@ -403,7 +408,10 @@ mod tests {
         m.set(2, 64);
         assert!(m.contains(0, 0) && m.contains(0, 129) && m.contains(2, 64));
         assert!(!m.contains(1, 0));
-        assert!(!m.contains(0, 1000) && !m.contains(9, 0), "out of range is false");
+        assert!(
+            !m.contains(0, 1000) && !m.contains(9, 0),
+            "out of range is false"
+        );
         assert_eq!(m.row_count_ones(0), 2);
         assert_eq!(m.row_iter(0).collect::<Vec<_>>(), vec![0, 129]);
         assert_eq!(m.row_iter(1).count(), 0);

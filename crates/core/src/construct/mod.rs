@@ -248,7 +248,11 @@ mod tests {
                     let other = warm
                         .arc_between(arc.from, arc.to)
                         .unwrap_or_else(|| panic!("{algo} round {round}: missing arc"));
-                    assert_eq!((other.kind, other.latency), (arc.kind, arc.latency), "{algo}");
+                    assert_eq!(
+                        (other.kind, other.latency),
+                        (arc.kind, arc.latency),
+                        "{algo}"
+                    );
                 }
             }
         }

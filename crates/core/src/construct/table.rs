@@ -95,9 +95,10 @@ pub(crate) fn table_backward_in(
 ) -> Dag {
     let mut dag = Dag::new(block.len());
     let Scratch { tables, stats, .. } = scratch;
-    let mut add = |dag: &mut Dag, batch: usize, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
-        dag.merge_or_push_batch(batch, from, to, kind, lat);
-    };
+    let mut add =
+        |dag: &mut Dag, batch: usize, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
+            dag.merge_or_push_batch(batch, from, to, kind, lat);
+        };
     backward_core(block, model, policy, tables, stats, &mut dag, &mut add);
     dag.build_adjacency();
     dag
@@ -138,23 +139,24 @@ pub(crate) fn table_backward_bitmap_in(
     // "each node's map is initialized to indicate that a node can reach itself"
     let desc = reset_matrix(matrix, n, true);
     let mut suppressed = 0u64;
-    let mut add = |dag: &mut Dag, _batch: usize, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
-        let (f, t) = (from.index(), to.index());
-        // `backward_core` walks last-to-first and only ever emits arcs
-        // toward already-visited (later) nodes.
-        debug_assert!(
-            f < t,
-            "backward table building must emit forward arcs only ({f} -> {t})"
-        );
-        if bitmap_absorb(desc, f, t) {
-            // A pair that already carries an arc is a descendant pair, so
-            // `bitmap_absorb` suppresses it — the insert path never sees
-            // a duplicate and needs no merge scan.
-            dag.push_arc_distinct(from, to, kind, lat);
-        } else {
-            suppressed += 1;
-        }
-    };
+    let mut add =
+        |dag: &mut Dag, _batch: usize, from: NodeId, to: NodeId, kind: DepKind, lat: u32| {
+            let (f, t) = (from.index(), to.index());
+            // `backward_core` walks last-to-first and only ever emits arcs
+            // toward already-visited (later) nodes.
+            debug_assert!(
+                f < t,
+                "backward table building must emit forward arcs only ({f} -> {t})"
+            );
+            if bitmap_absorb(desc, f, t) {
+                // A pair that already carries an arc is a descendant pair, so
+                // `bitmap_absorb` suppresses it — the insert path never sees
+                // a duplicate and needs no merge scan.
+                dag.push_arc_distinct(from, to, kind, lat);
+            } else {
+                suppressed += 1;
+            }
+        };
     backward_core(block, model, policy, tables, stats, &mut dag, &mut add);
     dag.build_adjacency();
     stats.arcs_suppressed += suppressed;
@@ -345,7 +347,13 @@ pub(crate) fn table_forward_in(
                 }
                 if let Some(d) = entry.last_def {
                     let lat = block.raw_mem_latency(model, d as usize, i);
-                    dag.merge_or_push_batch(batch, NodeId::new(d as usize), node, DepKind::Raw, lat);
+                    dag.merge_or_push_batch(
+                        batch,
+                        NodeId::new(d as usize),
+                        node,
+                        DepKind::Raw,
+                        lat,
+                    );
                 }
                 if policy.same_location(&key, &entry.key) {
                     entry.uses.push(i as u32);
@@ -368,14 +376,26 @@ pub(crate) fn table_forward_in(
                 if let Some(d) = e.last_def {
                     if d as usize != i {
                         let lat = block.waw_latency(model, d as usize, i, Resource::Reg(r));
-                        dag.merge_or_push_batch(batch, NodeId::new(d as usize), node, DepKind::Waw, lat);
+                        dag.merge_or_push_batch(
+                            batch,
+                            NodeId::new(d as usize),
+                            node,
+                            DepKind::Waw,
+                            lat,
+                        );
                     }
                 }
             } else {
                 for &u in &e.uses {
                     if u as usize != i {
                         let lat = block.war_latency(model, u as usize, i, Resource::Reg(r));
-                        dag.merge_or_push_batch(batch, NodeId::new(u as usize), node, DepKind::War, lat);
+                        dag.merge_or_push_batch(
+                            batch,
+                            NodeId::new(u as usize),
+                            node,
+                            DepKind::War,
+                            lat,
+                        );
                     }
                 }
             }
@@ -399,7 +419,13 @@ pub(crate) fn table_forward_in(
                                 i,
                                 Resource::Mem(entry.key.expr),
                             );
-                            dag.merge_or_push_batch(batch, NodeId::new(d as usize), node, DepKind::Waw, lat);
+                            dag.merge_or_push_batch(
+                                batch,
+                                NodeId::new(d as usize),
+                                node,
+                                DepKind::Waw,
+                                lat,
+                            );
                         }
                     }
                 } else {
@@ -411,7 +437,13 @@ pub(crate) fn table_forward_in(
                                 i,
                                 Resource::Mem(entry.key.expr),
                             );
-                            dag.merge_or_push_batch(batch, NodeId::new(u as usize), node, DepKind::War, lat);
+                            dag.merge_or_push_batch(
+                                batch,
+                                NodeId::new(u as usize),
+                                node,
+                                DepKind::War,
+                                lat,
+                            );
                         }
                     }
                 }
@@ -685,8 +717,16 @@ mod tests {
         let e = pool.intern("[%fp-8]");
         let insns = vec![
             Instruction::fp3(Opcode::FMulD, Reg::f(0), Reg::f(0), Reg::f(0)),
-            Instruction::load(Opcode::LdDf, MemRef::base_offset(Reg::fp(), -8, e), Reg::f(0)),
-            Instruction::store(Opcode::StDf, Reg::f(0), MemRef::base_offset(Reg::fp(), -8, e)),
+            Instruction::load(
+                Opcode::LdDf,
+                MemRef::base_offset(Reg::fp(), -8, e),
+                Reg::f(0),
+            ),
+            Instruction::store(
+                Opcode::StDf,
+                Reg::f(0),
+                MemRef::base_offset(Reg::fp(), -8, e),
+            ),
         ];
         let block = PreparedBlock::new(&insns);
         for policy in MemDepPolicy::ALL {

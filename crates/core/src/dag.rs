@@ -316,7 +316,13 @@ impl Dag {
     ///
     /// Leaves the adjacency stale; the caller must finish with
     /// [`Dag::build_adjacency`] before the DAG escapes the crate.
-    pub(crate) fn push_arc_distinct(&mut self, from: NodeId, to: NodeId, kind: DepKind, latency: u32) {
+    pub(crate) fn push_arc_distinct(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: DepKind,
+        latency: u32,
+    ) {
         assert_ne!(from, to, "self-arc on {from}");
         let t = to.index();
         assert!(t < self.node_count(), "arc target {to} out of range");
@@ -717,11 +723,11 @@ mod tests {
         let d = diamond();
         let m = d.descendants();
         let maps = d.descendant_maps();
-        for i in 0..d.node_count() {
-            assert_eq!(m.row_count_ones(i), maps[i].count());
+        for (i, map) in maps.iter().enumerate().take(d.node_count()) {
+            assert_eq!(m.row_count_ones(i), map.count());
             assert_eq!(
                 m.row_iter(i).collect::<Vec<_>>(),
-                maps[i].iter().collect::<Vec<_>>()
+                map.iter().collect::<Vec<_>>()
             );
         }
     }

@@ -178,8 +178,7 @@ pub fn annotate_backward_cp(h: &mut HeuristicSet, dag: &Dag, order: BackwardOrde
     h.max_delay_to_leaf = vec![0; n];
     let step = |h: &mut HeuristicSet, f: usize, t: usize, lat: u32| {
         h.max_path_to_leaf[f] = h.max_path_to_leaf[f].max(h.max_path_to_leaf[t] + 1);
-        h.max_delay_to_leaf[f] =
-            h.max_delay_to_leaf[f].max(h.max_delay_to_leaf[t] + lat as u64);
+        h.max_delay_to_leaf[f] = h.max_delay_to_leaf[f].max(h.max_delay_to_leaf[t] + lat as u64);
     };
     let (froms, tos, lats) = (dag.arc_froms(), dag.arc_tos(), dag.arc_latencies());
     match backward_sweep_dir(dag, order) {
@@ -345,7 +344,9 @@ pub fn annotate_backward(
         // node's reachability map" (§3): one row popcount per node over
         // the flat descendant matrix.
         let maps = dag.descendants();
-        h.num_descendants = (0..n).map(|i| (maps.row_count_ones(i) - 1) as u32).collect();
+        h.num_descendants = (0..n)
+            .map(|i| (maps.row_count_ones(i) - 1) as u32)
+            .collect();
         h.sum_exec_descendants = (0..n)
             .map(|i| {
                 maps.row_iter(i)

@@ -283,7 +283,11 @@ mod tests {
                 scratch.stats.blocks += 1;
                 item * 2
             });
-            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * 2).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
             assert_eq!(stats.blocks, 37, "jobs={jobs}");
         }
     }
@@ -311,7 +315,10 @@ mod tests {
         let serial = run(1);
         for jobs in [2, 4, 8] {
             let par = run(jobs);
-            assert!(serial.same_counts(&par), "jobs={jobs}: {serial:?} vs {par:?}");
+            assert!(
+                serial.same_counts(&par),
+                "jobs={jobs}: {serial:?} vs {par:?}"
+            );
         }
     }
 

@@ -30,8 +30,8 @@
 use std::time::{Duration, Instant};
 
 use dagsched_core::{default_jobs, map_blocks_with_scratch, PhaseStats, Scratch};
-use dagsched_isa::{Instruction, MachineModel, Program};
 use dagsched_core::{ConstructError, ConstructionAlgorithm};
+use dagsched_isa::{Instruction, MachineModel, Program};
 use dagsched_sched::{CarryOut, Scheduler};
 
 use crate::driver::{
@@ -495,7 +495,15 @@ pub fn schedule_program_batch(
     let sequential = needs_sequential_carry(config);
     if jobs <= 1 || sequential {
         let mut scratch = Scratch::new();
-        let result = serial_batch(&items, program.len(), model, config, limits, cache, &mut scratch)?;
+        let result = serial_batch(
+            &items,
+            program.len(),
+            model,
+            config,
+            limits,
+            cache,
+            &mut scratch,
+        )?;
         return Ok((result, scratch.stats));
     }
 
@@ -665,7 +673,10 @@ mod tests {
             &NoCache,
         )
         .unwrap_err();
-        assert!(matches!(err, LimitError::BlockTooLarge { max: 4, .. }), "{err}");
+        assert!(
+            matches!(err, LimitError::BlockTooLarge { max: 4, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -818,9 +829,15 @@ mod tests {
         // Warren's default construction is n**2 forward.
         let config = DriverConfig::default();
         // soft = 2h > remaining (1h) > hard = 0: every block on rung 1.
-        let (out, stats) =
-            schedule_program_batch(&bench.program, &model, &config, 1, &pinned(7200, 0), &NoCache)
-                .unwrap();
+        let (out, stats) = schedule_program_batch(
+            &bench.program,
+            &model,
+            &config,
+            1,
+            &pinned(7200, 0),
+            &NoCache,
+        )
+        .unwrap();
         assert_eq!(out.insns.len(), bench.program.len());
         assert_eq!(stats.degraded_blocks, stats.blocks);
         assert!(stats.degraded_blocks > 0);
@@ -856,7 +873,10 @@ mod tests {
         // tie-breaking refinements), but in aggregate it must still win.
         let orig: u64 = out.blocks.iter().map(|r| r.original_makespan).sum();
         let sched: u64 = out.blocks.iter().map(|r| r.scheduled_makespan).sum();
-        assert!(sched <= orig, "floor aggregate {sched} worse than original {orig}");
+        assert!(
+            sched <= orig,
+            "floor aggregate {sched} worse than original {orig}"
+        );
         for r in &out.blocks {
             assert!(
                 r.scheduled_makespan <= r.original_makespan + 8,
@@ -877,9 +897,15 @@ mod tests {
             scheduler: dagsched_sched::Scheduler::new(dagsched_sched::SchedulerKind::Krishnamurthy),
             ..DriverConfig::default()
         };
-        let (cheap, stats) =
-            schedule_program_batch(&bench.program, &model, &config, 1, &pinned(7200, 0), &NoCache)
-                .unwrap();
+        let (cheap, stats) = schedule_program_batch(
+            &bench.program,
+            &model,
+            &config,
+            1,
+            &pinned(7200, 0),
+            &NoCache,
+        )
+        .unwrap();
         assert_eq!(stats.degraded_blocks, 0);
         let (baseline, _) = schedule_program_batch(
             &bench.program,

@@ -143,9 +143,7 @@ pub fn compile_block(
     let t_heur = std::time::Instant::now();
     let heur = match config.heuristics {
         HeuristicMode::Full => HeuristicSet::compute(&dag, insns, model, false),
-        HeuristicMode::CriticalPathOnly => {
-            HeuristicSet::compute_critical_path(&dag, insns, model)
-        }
+        HeuristicMode::CriticalPathOnly => HeuristicSet::compute_critical_path(&dag, insns, model),
     };
     scratch.stats.heur_ns += t_heur.elapsed().as_nanos() as u64;
 

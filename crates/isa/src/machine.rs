@@ -538,7 +538,9 @@ mod tests {
         // Any builder tweak changes the fingerprint.
         assert_ne!(
             a.fingerprint(),
-            MachineModel::sparc2().with_latency(Opcode::Add, 9).fingerprint()
+            MachineModel::sparc2()
+                .with_latency(Opcode::Add, 9)
+                .fingerprint()
         );
         assert_ne!(
             a.fingerprint(),

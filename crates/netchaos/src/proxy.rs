@@ -321,7 +321,10 @@ impl ProxyHandle {
     /// both directions, on top of whatever the seeded plan injects.
     /// Zero turns the toxic off.
     pub fn set_extra_latency_ms(&self, ms: u64) {
-        self.inner.toxics.extra_latency_ms.store(ms, Ordering::Relaxed);
+        self.inner
+            .toxics
+            .extra_latency_ms
+            .store(ms, Ordering::Relaxed);
     }
 
     /// Hard-close every live connection (both sides). New connections
@@ -331,7 +334,10 @@ impl ProxyHandle {
         for (a, b) in live.drain(..) {
             a.shutdown();
             b.shutdown();
-            self.inner.metrics.toxic_resets.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .metrics
+                .toxic_resets
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -419,7 +425,12 @@ fn accept_loop(inner: Arc<Inner>, acceptor: Acceptor) {
     let mut conn_id = 0u64;
     while !inner.stop.load(Ordering::SeqCst) {
         let accepted = match &acceptor {
-            Acceptor::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Acceptor::Tcp(l) => l.accept().map(|(s, _)| {
+                // The proxied protocol is request/response; Nagle would
+                // add a ~40 ms stall per relayed frame.
+                let _ = s.set_nodelay(true);
+                Conn::Tcp(s)
+            }),
             #[cfg(unix)]
             Acceptor::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
         };
@@ -456,7 +467,11 @@ fn accept_loop(inner: Arc<Inner>, acceptor: Acceptor) {
 
 fn dial(endpoint: &str) -> io::Result<Conn> {
     match parse_endpoint(endpoint)? {
-        Endpoint::Tcp(addr) => Ok(Conn::Tcp(TcpStream::connect(addr)?)),
+        Endpoint::Tcp(addr) => {
+            let s = TcpStream::connect(addr)?;
+            let _ = s.set_nodelay(true);
+            Ok(Conn::Tcp(s))
+        }
         #[cfg(unix)]
         Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
     }
@@ -470,7 +485,10 @@ fn spawn_pumps(inner: &Arc<Inner>, id: u64, client: Conn, upstream: Conn) {
             inner.metrics.latency_conns.fetch_add(1, Ordering::Relaxed);
         }
         ConnFault::Bandwidth { .. } => {
-            inner.metrics.bandwidth_conns.fetch_add(1, Ordering::Relaxed);
+            inner
+                .metrics
+                .bandwidth_conns
+                .fetch_add(1, Ordering::Relaxed);
         }
         _ => {}
     }
@@ -570,8 +588,7 @@ fn pump(side: PumpSide, mut src: Conn, mut dst: Conn) {
             }
             Ok(n) => n,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue;
             }
@@ -627,7 +644,10 @@ fn pump(side: PumpSide, mut src: Conn, mut dst: Conn) {
             if dir == side.dir && at >= chunk_start && at < offset {
                 let i = (at - chunk_start) as usize;
                 buf[i] ^= cfg.corrupt_mask(side.conn, side.dir, at);
-                inner.metrics.corrupted_bytes.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .corrupted_bytes
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
 
@@ -695,7 +715,8 @@ mod tests {
             .expect("tcp endpoint")
             .to_string();
         let s = TcpStream::connect(addr).expect("dial proxy");
-        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
         s
     }
 
@@ -764,7 +785,8 @@ mod tests {
         let handle =
             serve_proxy("tcp:127.0.0.1:0", &upstream, ChaosConfig::quiet(1)).expect("proxy");
         let mut s = dial_proxy(&handle);
-        s.set_read_timeout(Some(Duration::from_millis(300))).expect("timeout");
+        s.set_read_timeout(Some(Duration::from_millis(300)))
+            .expect("timeout");
 
         handle.set_partition(Direction::ClientToUpstream, true);
         // Give the pump a beat to observe the toxic before bytes move.
@@ -773,7 +795,10 @@ mod tests {
         let mut buf = [0u8; 16];
         let err = s.read(&mut buf).expect_err("no echo through a partition");
         assert!(
-            matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
             "read should time out, got {err:?}"
         );
 
@@ -782,7 +807,8 @@ mod tests {
         handle.set_partition(Direction::ClientToUpstream, false);
         std::thread::sleep(Duration::from_millis(100));
         s.write_all(b"alive").expect("write after heal");
-        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
         let mut got = [0u8; 5];
         s.read_exact(&mut got).expect("echo after heal");
         assert_eq!(&got, b"alive");
@@ -878,7 +904,8 @@ mod tests {
         .expect("unix proxy");
         assert_eq!(handle.endpoint(), format!("unix:{}", px_path.display()));
         let mut s = UnixStream::connect(&px_path).expect("dial unix proxy");
-        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
         s.write_all(b"unix").expect("write");
         let mut got = [0u8; 4];
         s.read_exact(&mut got).expect("echo");

@@ -111,7 +111,12 @@ impl Json {
 
     /// Build an object from `(key, value)` pairs.
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 }
 
@@ -466,8 +471,15 @@ mod tests {
     #[test]
     fn rejects_malformed_input_without_panicking() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "tru", "\"unterminated", "1 2",
-            "{\"a\":00x}", "\u{1}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":00x}",
+            "\u{1}",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?}");
         }

@@ -575,6 +575,22 @@ impl fmt::Display for ErrorReply {
     }
 }
 
+/// Smallest remaining deadline worth forwarding to another hop, in
+/// milliseconds. Below this, a forwarder fails fast with
+/// `deadline-expired` instead of shipping work the downstream cannot
+/// possibly finish in time.
+pub const MIN_FORWARD_DEADLINE_MS: u64 = 5;
+
+/// Deadline propagation: the budget left after `elapsed_ms` has been
+/// spent queueing and forwarding. Returns `None` when the remainder is
+/// below [`MIN_FORWARD_DEADLINE_MS`] — the caller should reply
+/// `deadline-expired` rather than forward. Saturating: an elapsed time
+/// past the deadline yields `None`, never wraps.
+pub fn remaining_deadline_ms(deadline_ms: u64, elapsed_ms: u64) -> Option<u64> {
+    let remaining = deadline_ms.saturating_sub(elapsed_ms);
+    (remaining >= MIN_FORWARD_DEADLINE_MS).then_some(remaining)
+}
+
 /// What a request schedules: literal assembly or a generated workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestInput {
@@ -974,9 +990,7 @@ impl AdminCommand {
     /// Serialize to the wire payload.
     pub fn to_json(&self) -> Json {
         match self {
-            AdminCommand::SnapshotExport => {
-                Json::obj(vec![("cmd", Json::from("snapshot-export"))])
-            }
+            AdminCommand::SnapshotExport => Json::obj(vec![("cmd", Json::from("snapshot-export"))]),
             AdminCommand::SnapshotInstall { shipment } => Json::obj(vec![
                 ("cmd", Json::from("snapshot-install")),
                 ("shipment", Json::from(hex_encode(shipment).as_str())),
@@ -1116,6 +1130,21 @@ mod tests {
     use super::*;
 
     #[test]
+    fn remaining_deadline_subtracts_elapsed_and_floors() {
+        // Plenty of budget left: pass the remainder downstream.
+        assert_eq!(remaining_deadline_ms(1000, 250), Some(750));
+        // Exactly at the floor is still forwardable.
+        assert_eq!(
+            remaining_deadline_ms(100, 100 - MIN_FORWARD_DEADLINE_MS),
+            Some(MIN_FORWARD_DEADLINE_MS)
+        );
+        // Below the floor, expired, or saturating past it: fail fast.
+        assert_eq!(remaining_deadline_ms(100, 97), None);
+        assert_eq!(remaining_deadline_ms(100, 100), None);
+        assert_eq!(remaining_deadline_ms(100, u64::MAX), None);
+    }
+
+    #[test]
     fn frames_round_trip() {
         let mut buf = Vec::new();
         write_frame(&mut buf, FrameKind::Request, b"{\"asm\":\"nop\"}").unwrap();
@@ -1191,7 +1220,10 @@ mod tests {
             let mut asm = FrameAssembler::new(1024);
             asm.extend(&corrupt);
             assert!(
-                matches!(asm.next_frame(), Err(FrameReadError::ChecksumMismatch { .. })),
+                matches!(
+                    asm.next_frame(),
+                    Err(FrameReadError::ChecksumMismatch { .. })
+                ),
                 "assembler must also catch the corrupt byte {i}"
             );
         }
@@ -1277,7 +1309,10 @@ mod tests {
         let mut asm = FrameAssembler::new(1024);
         asm.extend(b"DS\x01\x01");
         assert!(asm.mid_frame());
-        assert!(asm.eof_error().to_string().contains("truncated frame header"));
+        assert!(asm
+            .eof_error()
+            .to_string()
+            .contains("truncated frame header"));
 
         // Mid-payload.
         let mut wire = Vec::new();
@@ -1286,7 +1321,10 @@ mod tests {
         asm.extend(&wire[..wire.len() - 1]);
         assert_eq!(asm.next_frame().unwrap(), None);
         assert!(asm.mid_frame());
-        assert!(asm.eof_error().to_string().contains("truncated frame payload"));
+        assert!(asm
+            .eof_error()
+            .to_string()
+            .contains("truncated frame payload"));
     }
 
     #[test]
@@ -1367,7 +1405,9 @@ mod tests {
             let mut bytes = Vec::with_capacity(len);
             let mut y = x;
             for _ in 0..len {
-                y = y.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                y = y
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 bytes.push((y >> 56) as u8);
             }
             let _ = read_frame(&mut &bytes[..], 1024);
@@ -1400,13 +1440,13 @@ mod tests {
         req.degrade = false;
         req.attempt = 2;
         req.debug_panic = true;
-        let back = ScheduleRequest::from_json(&Json::parse(&req.to_json().to_string()).unwrap())
-            .unwrap();
+        let back =
+            ScheduleRequest::from_json(&Json::parse(&req.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(req, back);
 
         let prof = ScheduleRequest::profile("grep", 7);
-        let back = ScheduleRequest::from_json(&Json::parse(&prof.to_json().to_string()).unwrap())
-            .unwrap();
+        let back =
+            ScheduleRequest::from_json(&Json::parse(&prof.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(prof, back);
     }
 
@@ -1429,9 +1469,8 @@ mod tests {
             cycles: Some((10, 7)),
             degraded: true,
         };
-        let back =
-            ScheduleResponse::from_json(&Json::parse(&resp.to_json().to_string()).unwrap())
-                .unwrap();
+        let back = ScheduleResponse::from_json(&Json::parse(&resp.to_json().to_string()).unwrap())
+            .unwrap();
         assert_eq!(resp, back);
     }
 
@@ -1439,8 +1478,7 @@ mod tests {
     fn new_wire_fields_have_backward_compatible_defaults() {
         // A pre-chaos peer omits every new field; decode must pick the
         // documented defaults rather than erroring.
-        let req =
-            ScheduleRequest::from_json(&Json::parse(r#"{"asm":"nop"}"#).unwrap()).unwrap();
+        let req = ScheduleRequest::from_json(&Json::parse(r#"{"asm":"nop"}"#).unwrap()).unwrap();
         assert!(req.degrade, "degrade defaults on");
         assert_eq!(req.attempt, 0);
         assert!(!req.debug_panic);
@@ -1449,9 +1487,8 @@ mod tests {
         )
         .unwrap();
         assert!(!resp.degraded, "degraded defaults off");
-        let err =
-            ErrorReply::from_json(&Json::parse(r#"{"code":"busy","message":"m"}"#).unwrap())
-                .unwrap();
+        let err = ErrorReply::from_json(&Json::parse(r#"{"code":"busy","message":"m"}"#).unwrap())
+            .unwrap();
         assert_eq!(err.retry_after_ms, None);
         // And the retry hint survives a round trip when present.
         let shed = ErrorReply::new(ErrorCode::Busy, "queue full").with_retry_after_ms(25);
@@ -1490,7 +1527,12 @@ mod tests {
 
     #[test]
     fn hex_round_trips_and_rejects_junk() {
-        for bytes in [vec![], vec![0u8], vec![0xDE, 0xAD, 0xBE, 0xEF], (0..=255).collect()] {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xDE, 0xAD, 0xBE, 0xEF],
+            (0..=255).collect(),
+        ] {
             let hex = hex_encode(&bytes);
             assert_eq!(hex_decode(&hex), Some(bytes));
         }
@@ -1514,12 +1556,10 @@ mod tests {
             AdminCommand::Status,
         ] {
             let back =
-                AdminCommand::from_json(&Json::parse(&cmd.to_json().to_string()).unwrap())
-                    .unwrap();
+                AdminCommand::from_json(&Json::parse(&cmd.to_json().to_string()).unwrap()).unwrap();
             assert_eq!(back, cmd);
         }
-        let err = AdminCommand::from_json(&Json::parse(r#"{"cmd":"nope"}"#).unwrap())
-            .unwrap_err();
+        let err = AdminCommand::from_json(&Json::parse(r#"{"cmd":"nope"}"#).unwrap()).unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
     }
 

@@ -62,6 +62,30 @@
 //! both racers return bit-identical bytes, so the client cannot
 //! observe which one won.
 //!
+//! # Overload: deadline propagation and retry budgets
+//!
+//! A request that carried `deadline_ms` has its remaining budget
+//! re-derived at every forward site: the time it spent queued in the
+//! router (and burned on earlier rungs) is subtracted before the
+//! deadline is re-encoded for the shard hop, so a shard never works a
+//! budget the client has already given up on. When less than
+//! [`dagsched_proto::MIN_FORWARD_DEADLINE_MS`] remains the router
+//! fails fast with `deadline-expired` instead of forwarding
+//! (`deadline_expired_in_router`), and when the *primary's* estimated
+//! queue delay alone would blow the budget the ladder starts at the
+//! healthiest other replica instead (`deadline_reroutes`). Remaining
+//! budgets at forward time feed the `deadline_propagated_ms`
+//! histogram.
+//!
+//! Every retry the router originates — client-level redials, failover
+//! rungs past the first attempt, hedge launches — draws from one
+//! shared token-bucket [`RetryBudget`] refilled by successful
+//! forwards. Under a healthy cluster the bucket stays full and the
+//! ladder behaves as before; when shards wedge, the bucket drains and
+//! the router stops multiplying load (`retry_budget_exhausted`),
+//! which is the difference between a recoverable overload and a
+//! metastable retry storm.
+//!
 //! # Replication
 //!
 //! A fresh compile on the primary (`cache_misses > 0` in the reply)
@@ -85,14 +109,14 @@ use std::time::{Duration, Instant};
 
 use dagsched_proto::json::Json;
 use dagsched_proto::{
-    hex_decode, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind, ScheduleRequest,
-    ScheduleResponse, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN,
+    hex_decode, remaining_deadline_ms, write_frame, AdminCommand, ErrorCode, ErrorReply, FrameKind,
+    ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN,
 };
-use dagsched_service::client::{CancelHandle, Client, ClientError, RetryPolicy};
+use dagsched_service::client::{CancelHandle, Client, ClientError, RetryBudget, RetryPolicy};
 use dagsched_service::pipeline::{PushError, StageQueue};
 use dagsched_service::reactor::{
-    install_sigterm_handler, lock_recover, Completion, Completions, ConnId, Ctx, Handler,
-    Listener, Reactor, ReactorConfig,
+    install_sigterm_handler, lock_recover, Completion, Completions, ConnId, Ctx, Handler, Listener,
+    Reactor, ReactorConfig,
 };
 use dagsched_service::server::Listen;
 
@@ -202,10 +226,7 @@ struct Cluster {
 
 impl Cluster {
     fn state_of(&self, endpoint: &str) -> Option<Arc<ShardState>> {
-        self.shards
-            .iter()
-            .find(|s| s.endpoint == endpoint)
-            .cloned()
+        self.shards.iter().find(|s| s.endpoint == endpoint).cloned()
     }
 
     fn add(&mut self, endpoint: &str) -> bool {
@@ -251,6 +272,9 @@ struct Shared {
     health_check_ms: u64,
     hedge: HedgeConfig,
     shard_retry: RetryPolicy,
+    /// One shared token bucket for every retry the router originates
+    /// (redials, failover rungs, hedges); refilled by successes.
+    retry_budget: RetryBudget,
 }
 
 impl Shared {
@@ -375,6 +399,10 @@ impl RouterHandle {
 struct RouterJob {
     conn: ConnId,
     work: Work,
+    /// When the frame was accepted — the anchor the forwarding worker
+    /// subtracts from a request's `deadline_ms` so queue time in the
+    /// router is not silently billed to the shard.
+    arrival: Instant,
 }
 
 enum Work {
@@ -406,7 +434,7 @@ fn worker_loop(
         for job in batch.drain(..) {
             let bytes = match job.work {
                 Work::Request(payload) => {
-                    match forward_request(&shared, &mut conns, &repl_tx, &payload) {
+                    match forward_request(&shared, &mut conns, &repl_tx, &payload, job.arrival) {
                         Ok(body) => {
                             RouterMetrics::bump(&shared.metrics.responses);
                             encode_frame(FrameKind::Response, body.to_string().as_bytes())
@@ -448,7 +476,11 @@ struct RouterHandler {
 
 impl RouterHandler {
     fn enqueue(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, work: Work) {
-        match self.queue.try_push(RouterJob { conn, work }) {
+        match self.queue.try_push(RouterJob {
+            conn,
+            work,
+            arrival: Instant::now(),
+        }) {
             Ok(()) => {
                 // Exactly one completion will come back for this job.
                 self.inflight.fetch_add(1, Ordering::SeqCst);
@@ -584,6 +616,7 @@ pub fn serve_router(listen: Listen, config: RouterConfig) -> io::Result<RouterHa
             max: Duration::from_millis(config.hedge_max_ms).max(hedge_min),
         },
         shard_retry: config.shard_retry.clone(),
+        retry_budget: RetryBudget::default(),
     });
 
     let reactor = Reactor::new(
@@ -758,6 +791,49 @@ fn finish_success(
     resp.to_json()
 }
 
+/// Subtract the time since `arrival` from the request's original
+/// deadline and re-encode the remainder for the next shard hop, so
+/// queue time in the router is never silently billed to the shard.
+/// Returns the remaining budget (`None` when the request never had a
+/// deadline); fails fast with `deadline-expired` when less than
+/// [`dagsched_proto::MIN_FORWARD_DEADLINE_MS`] is left — compiling for
+/// a client that has already given up only deepens an overload.
+fn propagate_deadline(
+    shared: &Shared,
+    req: &mut ScheduleRequest,
+    orig_deadline: Option<u64>,
+    arrival: Instant,
+) -> Result<Option<u64>, ErrorReply> {
+    let Some(total) = orig_deadline else {
+        return Ok(None);
+    };
+    let elapsed = u64::try_from(arrival.elapsed().as_millis()).unwrap_or(u64::MAX);
+    match remaining_deadline_ms(total, elapsed) {
+        Some(rem) => {
+            shared.metrics.deadline_propagated_ms.observe(rem);
+            req.deadline_ms = Some(rem);
+            Ok(Some(rem))
+        }
+        None => {
+            RouterMetrics::bump(&shared.metrics.deadline_expired_in_router);
+            Err(ErrorReply::new(
+                ErrorCode::DeadlineExpired,
+                format!(
+                    "deadline of {total}ms expired in the router after {elapsed}ms; not forwarded"
+                ),
+            ))
+        }
+    }
+}
+
+/// A shard's estimated queue delay in milliseconds: its EWMA service
+/// latency times the forwards already in flight to it (plus the one
+/// being placed). Zero while the shard has no latency observations.
+fn estimated_queue_delay_ms(shard: &ShardState) -> u64 {
+    let depth = shard.inflight.load(Ordering::Relaxed).saturating_add(1);
+    shard.ewma_us().saturating_mul(depth) / 1000
+}
+
 /// Walk the failover ladder for one request; returns the response body
 /// to relay.
 fn forward_request(
@@ -765,16 +841,23 @@ fn forward_request(
     conns: &mut ShardConns,
     repl_tx: &SyncSender<ReplJob>,
     payload: &[u8],
+    arrival: Instant,
 ) -> Result<Json, ErrorReply> {
     let text = std::str::from_utf8(payload)
         .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "request payload is not UTF-8"))?;
     let value = Json::parse(text)
         .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("request is not JSON: {e}")))?;
-    let req = ScheduleRequest::from_json(&value)?;
+    let mut req = ScheduleRequest::from_json(&value)?;
     let (canonical, key) = routing_key(&req);
 
+    // Deadline propagation: bill the queue time this frame already
+    // spent in the router against the client's budget before any
+    // forward — a request that died waiting is shed, not compiled.
+    let orig_deadline = req.deadline_ms;
+    let budget = propagate_deadline(shared, &mut req, orig_deadline, arrival)?;
+
     // Snapshot the ladder under the lock, then forward without it.
-    let (replicas, others): (Vec<Arc<ShardState>>, Vec<Arc<ShardState>>) = {
+    let (mut replicas, others): (Vec<Arc<ShardState>>, Vec<Arc<ShardState>>) = {
         let cluster = shared.lock_cluster();
         let replica_eps: Vec<String> = cluster
             .ring
@@ -802,6 +885,23 @@ fn forward_request(
         );
     }
 
+    // Deadline-aware replica preference: when the primary's estimated
+    // queue delay alone would blow the remaining budget, start the
+    // ladder at the healthiest other live replica — it may still make
+    // the deadline; the primary almost certainly will not.
+    if let Some(rem) = budget {
+        let est = estimated_queue_delay_ms(&replicas[0]);
+        if est > rem {
+            let best = (1..replicas.len())
+                .filter(|&i| replicas[i].is_up())
+                .min_by_key(|&i| replicas[i].health_score());
+            if let Some(best) = best.filter(|&i| estimated_queue_delay_ms(&replicas[i]) < est) {
+                replicas.swap(0, best);
+                RouterMetrics::bump(&shared.metrics.deadline_reroutes);
+            }
+        }
+    }
+
     let primary = Arc::clone(&replicas[0]);
     let mut last_err: Option<ErrorReply> = None;
     let mut skip_primary = false;
@@ -818,6 +918,9 @@ fn forward_request(
                 } => {
                     shard.observe_latency(latency, true);
                     note_success(shared, &shard);
+                    // Racer forwards bypass the budgeted client path,
+                    // so their successes refill the bucket here.
+                    shared.retry_budget.record_success();
                     let rung = if Arc::ptr_eq(&shard, &primary) {
                         Rung::Primary
                     } else {
@@ -847,6 +950,7 @@ fn forward_request(
     let any_up = replicas.iter().chain(others.iter()).any(|s| s.is_up());
     let mut reroute: Vec<&Arc<ShardState>> = others.iter().filter(|s| s.is_up()).collect();
     reroute.sort_by_key(|s| s.health_score());
+    let mut attempted: u32 = u32::from(skip_primary);
     for (tier, shard) in replicas
         .iter()
         .map(|s| (0usize, s))
@@ -859,9 +963,26 @@ fn forward_request(
             RouterMetrics::bump(&shard.failovers);
             continue;
         }
+        // Every rung past the first attempt re-sends the same logical
+        // request: it spends from the shared retry budget, and when
+        // the bucket is dry the ladder stops rather than multiplying
+        // load onto an already-struggling cluster.
+        if attempted > 0 && !shared.retry_budget.try_spend() {
+            RouterMetrics::bump(&shared.metrics.retry_budget_exhausted);
+            break;
+        }
+        // Earlier rungs burned real time: re-derive the deadline for
+        // this hop (and shed if nothing usable is left).
+        propagate_deadline(shared, &mut req, orig_deadline, arrival)?;
+        attempted += 1;
         RouterMetrics::bump(&shard.requests);
         shard.inflight.fetch_add(1, Ordering::Relaxed);
-        let outcome = conns.request(&shard.endpoint, &req, &shared.shard_retry);
+        let outcome = conns.request_budgeted(
+            &shard.endpoint,
+            &req,
+            &shared.shard_retry,
+            Some(&shared.retry_budget),
+        );
         shard.inflight.fetch_sub(1, Ordering::Relaxed);
         match outcome {
             Ok((resp, latency)) => {
@@ -1047,23 +1168,32 @@ fn hedged_request(
         }
     }
 
-    // The primary is past its quantile: launch the hedge.
-    RouterMetrics::bump(&shared.metrics.hedged_requests);
-    RouterMetrics::bump(&primary.hedges);
+    // The primary is past its quantile: launch the hedge — unless the
+    // shared retry budget is dry, in which case the router waits out
+    // the primary alone instead of putting a second copy of the
+    // request on the wire (a hedge is a speculative retry, and retry
+    // amplification is exactly what a drained bucket forbids).
     let mut outstanding = 1usize;
-    let scancel: Option<CancelHandle> = match conns.take_or_dial(&secondary.endpoint, policy) {
-        Ok(sclient) => {
-            sclient.set_io_timeout(policy.per_attempt_timeout);
-            let handle = sclient.cancel_handle();
-            spawn_racer(secondary, sclient, req, true, &tx);
-            outstanding += 1;
-            handle
-        }
-        Err(err) => {
-            // The hedge could not even dial: record the evidence and
-            // fall back to waiting out the primary alone.
-            note_failure(shared, secondary, &err);
-            None
+    let scancel: Option<CancelHandle> = if !shared.retry_budget.try_spend() {
+        RouterMetrics::bump(&shared.metrics.retry_budget_exhausted);
+        None
+    } else {
+        RouterMetrics::bump(&shared.metrics.hedged_requests);
+        RouterMetrics::bump(&primary.hedges);
+        match conns.take_or_dial(&secondary.endpoint, policy) {
+            Ok(sclient) => {
+                sclient.set_io_timeout(policy.per_attempt_timeout);
+                let handle = sclient.cancel_handle();
+                spawn_racer(secondary, sclient, req, true, &tx);
+                outstanding += 1;
+                handle
+            }
+            Err(err) => {
+                // The hedge could not even dial: record the evidence
+                // and fall back to waiting out the primary alone.
+                note_failure(shared, secondary, &err);
+                None
+            }
         }
     };
     drop(tx);
@@ -1157,8 +1287,12 @@ fn handle_admin(
 ) -> Result<Json, ErrorReply> {
     let text = std::str::from_utf8(payload)
         .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "admin payload is not UTF-8"))?;
-    let value = Json::parse(text)
-        .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("admin payload is not JSON: {e}")))?;
+    let value = Json::parse(text).map_err(|e| {
+        ErrorReply::new(
+            ErrorCode::ParseError,
+            format!("admin payload is not JSON: {e}"),
+        )
+    })?;
     match AdminCommand::from_json(&value)? {
         AdminCommand::AddShard { endpoint } => {
             if shared.lock_cluster().ring.contains(&endpoint) {
@@ -1257,14 +1391,7 @@ fn handle_admin(
                 ("ok", Json::from(true)),
                 (
                     "members",
-                    Json::Arr(
-                        cluster
-                            .ring
-                            .members()
-                            .into_iter()
-                            .map(Json::from)
-                            .collect(),
-                    ),
+                    Json::Arr(cluster.ring.members().into_iter().map(Json::from).collect()),
                 ),
                 (
                     "shards",
@@ -1356,6 +1483,168 @@ pub use dagsched_service::server::parse_endpoint as parse_router_endpoint;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A [`Shared`] with the given shard endpoints and fast-failing
+    /// retry policy, for exercising `forward_request` directly.
+    fn test_shared(shards: &[&str]) -> Shared {
+        let mut cluster = Cluster {
+            ring: Ring::new(),
+            shards: Vec::new(),
+        };
+        for s in shards {
+            cluster.add(s);
+        }
+        Shared {
+            cluster: Mutex::new(cluster),
+            metrics: RouterMetrics::default(),
+            drain: Arc::new(AtomicBool::new(false)),
+            replicas: 2,
+            fail_threshold: 3,
+            revive_threshold: 3,
+            health_check_ms: 500,
+            hedge: HedgeConfig {
+                enabled: false,
+                quantile: 0.95,
+                min: Duration::from_millis(10),
+                max: Duration::from_millis(400),
+            },
+            shard_retry: RetryPolicy {
+                max_retries: 0,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+                per_attempt_timeout: Some(Duration::from_millis(200)),
+                overall_timeout: Some(Duration::from_secs(2)),
+                jitter_seed: 1,
+            },
+            retry_budget: RetryBudget::default(),
+        }
+    }
+
+    fn deadline_req(deadline_ms: u64) -> Vec<u8> {
+        let mut req = ScheduleRequest::asm("add %o0, %o1, %o2");
+        req.deadline_ms = Some(deadline_ms);
+        req.to_json().to_string().into_bytes()
+    }
+
+    #[test]
+    fn a_delayed_forward_subtracts_elapsed_time_and_fails_fast() {
+        let shared = test_shared(&[]);
+        let mut conns = ShardConns::default();
+        let (tx, _rx) = sync_channel::<ReplJob>(1);
+
+        // The frame sat queued for ~100ms against a 50ms deadline: the
+        // old behaviour forwarded the original deadline unmodified (or
+        // here, fell through to the no-shards busy); the fix sheds it
+        // before any shard sees it.
+        let arrival = Instant::now()
+            .checked_sub(Duration::from_millis(100))
+            .expect("monotonic clock is past 100ms");
+        let err = forward_request(&shared, &mut conns, &tx, &deadline_req(50), arrival)
+            .expect_err("the deadline expired while queued");
+        assert_eq!(err.code, ErrorCode::DeadlineExpired);
+        assert_eq!(
+            shared
+                .metrics
+                .deadline_expired_in_router
+                .load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            shared.metrics.deadline_propagated_ms.count(),
+            0,
+            "an expired request must not count as propagated"
+        );
+
+        // Under the forward floor but not yet past the deadline is
+        // shed too: ~2ms of budget cannot survive a shard hop.
+        let err = forward_request(&shared, &mut conns, &tx, &deadline_req(102), arrival)
+            .expect_err("less than the floor remains");
+        assert_eq!(err.code, ErrorCode::DeadlineExpired);
+
+        // With real budget left the deadline propagates and the next
+        // failure is the ordinary no-shards busy.
+        let err = forward_request(
+            &shared,
+            &mut conns,
+            &tx,
+            &deadline_req(5_000),
+            Instant::now(),
+        )
+        .expect_err("no shards are configured");
+        assert_eq!(err.code, ErrorCode::Busy);
+        assert_eq!(shared.metrics.deadline_propagated_ms.count(), 1);
+    }
+
+    #[test]
+    fn an_exhausted_retry_budget_stops_the_failover_ladder() {
+        let a = "unix:/tmp/dagsched-test-noshard-a.sock";
+        let b = "unix:/tmp/dagsched-test-noshard-b.sock";
+        let mut shared = test_shared(&[a, b]);
+        shared.retry_budget = RetryBudget::new(0, 8, 100);
+        let mut conns = ShardConns::default();
+        let (tx, _rx) = sync_channel::<ReplJob>(1);
+        let payload = ScheduleRequest::asm("add %o0, %o1, %o2")
+            .to_json()
+            .to_string()
+            .into_bytes();
+        let err = forward_request(&shared, &mut conns, &tx, &payload, Instant::now())
+            .expect_err("neither endpoint exists");
+        assert!(err.code.is_retryable(), "{err}");
+        assert_eq!(
+            shared
+                .metrics
+                .retry_budget_exhausted
+                .load(Ordering::Relaxed),
+            1,
+            "the second rung was denied"
+        );
+        let attempts: u64 = {
+            let cluster = shared.lock_cluster();
+            cluster
+                .shards
+                .iter()
+                .map(|s| s.requests.load(Ordering::Relaxed))
+                .sum()
+        };
+        assert_eq!(attempts, 1, "the first attempt is free, retries are not");
+    }
+
+    #[test]
+    fn a_blown_primary_budget_starts_the_ladder_at_a_healthier_replica() {
+        let a = "unix:/tmp/dagsched-test-slow-a.sock";
+        let b = "unix:/tmp/dagsched-test-slow-b.sock";
+        let shared = test_shared(&[a, b]);
+        let req = {
+            let mut r = ScheduleRequest::asm("add %o0, %o1, %o2");
+            r.deadline_ms = Some(500);
+            r
+        };
+        // Find the key's ring primary and make it look wedged: a 60s
+        // EWMA with queued forwards estimates far past the 500ms
+        // budget, while the secondary has no observations (estimate 0).
+        let key = routing_key(&req).1;
+        let primary_ep = {
+            let cluster = shared.lock_cluster();
+            cluster.ring.replicas(key, 2)[0].to_string()
+        };
+        let primary = shared
+            .lock_cluster()
+            .state_of(&primary_ep)
+            .expect("primary state");
+        primary.observe_latency(Duration::from_secs(60), false);
+        primary.inflight.fetch_add(5, Ordering::Relaxed);
+
+        let mut conns = ShardConns::default();
+        let (tx, _rx) = sync_channel::<ReplJob>(1);
+        let payload = req.to_json().to_string().into_bytes();
+        let _ = forward_request(&shared, &mut conns, &tx, &payload, Instant::now())
+            .expect_err("neither endpoint exists");
+        assert_eq!(
+            shared.metrics.deadline_reroutes.load(Ordering::Relaxed),
+            1,
+            "the ladder must not start at a primary that cannot make the deadline"
+        );
+    }
 
     #[test]
     fn routing_key_ignores_the_attempt_counter() {

@@ -40,7 +40,7 @@ use std::time::Duration;
 
 use dagsched_proto::json::Json;
 use dagsched_proto::{AdminCommand, ScheduleRequest, ScheduleResponse};
-use dagsched_service::client::{Client, ClientError, RetryPolicy};
+use dagsched_service::client::{Client, ClientError, RetryBudget, RetryPolicy};
 use dagsched_service::reactor::lock_recover;
 
 /// Circuit-breaker state for one shard.
@@ -270,7 +270,9 @@ impl ShardState {
     /// Forward latencies additionally feed the hedge-quantile window;
     /// probe latencies only move the EWMA.
     pub fn observe_latency(&self, latency: Duration, forward: bool) {
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX).max(1);
+        let us = u64::try_from(latency.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
         // α = 1/5: new = old + (x − old)/5, in integer microseconds.
         let mut old = self.ewma_us.load(Ordering::Relaxed);
         loop {
@@ -279,12 +281,10 @@ impl ShardState {
             } else {
                 (old.saturating_mul(4).saturating_add(us)) / 5
             };
-            match self.ewma_us.compare_exchange_weak(
-                old,
-                new,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .ewma_us
+                .compare_exchange_weak(old, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => break,
                 Err(seen) => old = seen,
             }
@@ -364,6 +364,20 @@ impl ShardConns {
         req: &ScheduleRequest,
         policy: &RetryPolicy,
     ) -> Result<(ScheduleResponse, Duration), ClientError> {
+        self.request_budgeted(endpoint, req, policy, None)
+    }
+
+    /// [`ShardConns::request`] with the client-level retries drawing
+    /// from a shared [`RetryBudget`]: each redial/retry spends a token
+    /// and each success refills one, so a wedged shard cannot make the
+    /// router's own retries amplify the overload.
+    pub fn request_budgeted(
+        &mut self,
+        endpoint: &str,
+        req: &ScheduleRequest,
+        policy: &RetryPolicy,
+        budget: Option<&RetryBudget>,
+    ) -> Result<(ScheduleResponse, Duration), ClientError> {
         let client = match self.conns.entry(endpoint.to_string()) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(v) => {
@@ -372,7 +386,7 @@ impl ShardConns {
             }
         };
         let started = std::time::Instant::now();
-        match client.request_with_retry(req, policy) {
+        match client.request_with_retry_budgeted(req, policy, budget) {
             Ok((resp, _)) => Ok((resp, started.elapsed())),
             Err(e) => {
                 // `request_with_retry` already redialed what it could;
@@ -430,6 +444,57 @@ impl ShardConns {
     }
 }
 
+/// Fixed-bucket histogram of the deadline budget (milliseconds) still
+/// remaining when a request was re-encoded for its shard hop. A mass
+/// shift toward the low buckets is the early-warning sign that router
+/// queueing is eating the clients' deadlines.
+#[derive(Debug, Default)]
+pub struct DeadlineHistogram {
+    /// One counter per bucket in [`DeadlineHistogram::BOUNDS`], plus a
+    /// trailing overflow bucket.
+    buckets: [AtomicU64; DeadlineHistogram::BOUNDS.len() + 1],
+}
+
+impl DeadlineHistogram {
+    /// Upper bounds (inclusive) of the finite buckets, milliseconds.
+    pub const BOUNDS: [u64; 7] = [1, 5, 10, 50, 100, 500, 1000];
+
+    /// Record one propagated remaining deadline.
+    pub fn observe(&self, ms: u64) {
+        let idx = Self::BOUNDS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(Self::BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations across every bucket.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The histogram as a JSON object: one `le_<bound>` field per
+    /// finite bucket, `gt_1000` for the overflow, and the total count.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Self::BOUNDS
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                (
+                    format!("le_{b}"),
+                    Json::from(self.buckets[i].load(Ordering::Relaxed)),
+                )
+            })
+            .collect();
+        fields.push((
+            format!("gt_{}", Self::BOUNDS[Self::BOUNDS.len() - 1]),
+            Json::from(self.buckets[Self::BOUNDS.len()].load(Ordering::Relaxed)),
+        ));
+        fields.push(("count".to_string(), Json::from(self.count())));
+        Json::Obj(fields)
+    }
+}
+
 /// Router-level counters, exported over the `Metrics` frame in the
 /// same shape as the daemon's (flat counters plus nested detail).
 #[derive(Debug, Default)]
@@ -472,6 +537,20 @@ pub struct RouterMetrics {
     pub warm_spare_entries_shipped: AtomicU64,
     /// Requests rejected because no live shard existed.
     pub no_live_shard: AtomicU64,
+    /// Hedges and failover rungs skipped because the shared retry
+    /// budget was exhausted (the router refused to amplify overload).
+    pub retry_budget_exhausted: AtomicU64,
+    /// Requests failed fast with `deadline-expired` because the time
+    /// already spent queued in the router left less than the forward
+    /// floor.
+    pub deadline_expired_in_router: AtomicU64,
+    /// Times the ladder started at a healthier replica because the
+    /// primary's estimated queue delay would have blown the remaining
+    /// deadline budget.
+    pub deadline_reroutes: AtomicU64,
+    /// Remaining deadline budget (ms) at the moment requests were
+    /// re-encoded for their shard hop.
+    pub deadline_propagated_ms: DeadlineHistogram,
 }
 
 impl RouterMetrics {
@@ -506,6 +585,16 @@ impl RouterMetrics {
                 g(&self.warm_spare_entries_shipped),
             ),
             ("no_live_shard", g(&self.no_live_shard)),
+            ("retry_budget_exhausted", g(&self.retry_budget_exhausted)),
+            (
+                "deadline_expired_in_router",
+                g(&self.deadline_expired_in_router),
+            ),
+            ("deadline_reroutes", g(&self.deadline_reroutes)),
+            (
+                "deadline_propagated_ms",
+                self.deadline_propagated_ms.to_json(),
+            ),
             ("shards_up", Json::from(up)),
             ("shards_down", Json::from(shards.len() as u64 - up)),
             (
@@ -619,7 +708,10 @@ mod tests {
         // One slow outlier barely moves the p50 but lifts the p95 tail.
         s.observe_latency(Duration::from_millis(500), true);
         let p50 = s.hedge_delay(0.5, min, max);
-        assert!(p50 <= Duration::from_millis(30), "median stays low: {p50:?}");
+        assert!(
+            p50 <= Duration::from_millis(30),
+            "median stays low: {p50:?}"
+        );
     }
 
     #[test]
@@ -652,6 +744,39 @@ mod tests {
         assert!(
             unknown.health_score() > slow.health_score(),
             "no observations score as slow-but-clean, not perfect"
+        );
+    }
+
+    #[test]
+    fn deadline_histogram_buckets_by_upper_bound_and_counts_overflow() {
+        let h = DeadlineHistogram::default();
+        h.observe(0); // le_1
+        h.observe(1); // le_1 (bounds are inclusive)
+        h.observe(2); // le_5
+        h.observe(75); // le_100
+        h.observe(1000); // le_1000
+        h.observe(30_000); // gt_1000
+        assert_eq!(h.count(), 6);
+        let j = h.to_json();
+        assert_eq!(j.get("le_1").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("le_5").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("le_10").and_then(Json::as_u64), Some(0));
+        assert_eq!(j.get("le_100").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("le_1000").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("gt_1000").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(6));
+
+        // The snapshot nests the histogram under its counter name.
+        let snap = RouterMetrics::default().snapshot(&[]);
+        assert_eq!(
+            snap.get("deadline_propagated_ms")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            snap.get("retry_budget_exhausted").and_then(Json::as_u64),
+            Some(0)
         );
     }
 

@@ -13,10 +13,7 @@ use dagsched_service::{ScheduleRequest, ServerHandle};
 use dagsched_workloads::PAPER_SEED;
 
 fn test_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "dagsched-cluster-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("dagsched-cluster-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create test dir");
     dir
@@ -71,7 +68,9 @@ fn request_mix() -> Vec<ScheduleRequest> {
 #[test]
 fn routed_replies_are_bit_identical_to_a_direct_daemon() {
     let dir = test_dir("identity");
-    let shard_socks: Vec<PathBuf> = (0..3).map(|i| dir.join(format!("shard-{i}.sock"))).collect();
+    let shard_socks: Vec<PathBuf> = (0..3)
+        .map(|i| dir.join(format!("shard-{i}.sock")))
+        .collect();
     let shards: Vec<ServerHandle> = shard_socks.iter().map(|p| spawn_shard(p)).collect();
     let direct_sock = dir.join("direct.sock");
     let direct = spawn_shard(&direct_sock);
@@ -125,7 +124,9 @@ fn routed_replies_are_bit_identical_to_a_direct_daemon() {
 #[test]
 fn a_shard_death_and_restart_is_invisible_to_clients() {
     let dir = test_dir("failover");
-    let shard_socks: Vec<PathBuf> = (0..3).map(|i| dir.join(format!("shard-{i}.sock"))).collect();
+    let shard_socks: Vec<PathBuf> = (0..3)
+        .map(|i| dir.join(format!("shard-{i}.sock")))
+        .collect();
     let mut shards: Vec<Option<ServerHandle>> =
         shard_socks.iter().map(|s| Some(spawn_shard(s))).collect();
     let router = spawn_router(
@@ -251,7 +252,9 @@ fn a_snapshot_round_trip_warms_a_cold_daemon() {
 #[test]
 fn add_shard_promotes_a_warm_spare_via_snapshot_shipping() {
     let dir = test_dir("promotion");
-    let shard_socks: Vec<PathBuf> = (0..2).map(|i| dir.join(format!("shard-{i}.sock"))).collect();
+    let shard_socks: Vec<PathBuf> = (0..2)
+        .map(|i| dir.join(format!("shard-{i}.sock")))
+        .collect();
     let shards: Vec<ServerHandle> = shard_socks.iter().map(|p| spawn_shard(p)).collect();
     // Only shard 0 starts in the ring; shard 1 is the warm spare.
     let router = spawn_router(
@@ -324,7 +327,9 @@ fn add_shard_promotes_a_warm_spare_via_snapshot_shipping() {
 #[test]
 fn total_replica_loss_degrades_to_reroute_not_error() {
     let dir = test_dir("degrade");
-    let shard_socks: Vec<PathBuf> = (0..3).map(|i| dir.join(format!("shard-{i}.sock"))).collect();
+    let shard_socks: Vec<PathBuf> = (0..3)
+        .map(|i| dir.join(format!("shard-{i}.sock")))
+        .collect();
     let mut shards: Vec<Option<ServerHandle>> =
         shard_socks.iter().map(|s| Some(spawn_shard(s))).collect();
     let router = spawn_router(

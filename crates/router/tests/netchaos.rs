@@ -29,7 +29,8 @@ struct ChaosCluster {
 
 impl ChaosCluster {
     fn start(tag: &str) -> ChaosCluster {
-        let dir = std::env::temp_dir().join(format!("dagsched-netchaos-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("dagsched-netchaos-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("create test dir");
 
@@ -201,7 +202,11 @@ fn an_asymmetric_partition_fails_over_and_the_breaker_half_opens_back() {
 
     // Exactly one reply per request made it back (a duplicated reply
     // would desync the stream and break the next roundtrip).
-    assert_eq!(cluster.counter("responses"), sent, "duplicated or lost replies");
+    assert_eq!(
+        cluster.counter("responses"),
+        sent,
+        "duplicated or lost replies"
+    );
     client.ping().expect("stream still framed correctly");
 
     // Heal the link. One probe success only half-opens the breaker;

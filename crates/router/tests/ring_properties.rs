@@ -36,7 +36,9 @@ fn key_corpus(count: usize) -> Vec<u64> {
 }
 
 fn shard_endpoints(n: usize) -> Vec<String> {
-    (0..n).map(|i| format!("unix:/tmp/shard-{i}.sock")).collect()
+    (0..n)
+        .map(|i| format!("unix:/tmp/shard-{i}.sock"))
+        .collect()
 }
 
 /// ISSUE satellite: per-shard load within ±20% of the fair share for
@@ -50,7 +52,9 @@ fn load_is_balanced_within_20_percent_across_3_to_16_shards() {
         let ring = Ring::with_members(endpoints.iter().cloned());
         let mut counts: HashMap<&str, usize> = HashMap::new();
         for &key in &keys {
-            *counts.entry(ring.primary(key).expect("non-empty ring")).or_default() += 1;
+            *counts
+                .entry(ring.primary(key).expect("non-empty ring"))
+                .or_default() += 1;
         }
         let fair = keys.len() as f64 / n as f64;
         for endpoint in &endpoints {

@@ -186,12 +186,12 @@ impl CachedBlock {
         let order: Vec<EmitSlot> = outcome
             .emitted
             .iter()
-            .map(|insn| {
-                match positions.get_mut(insn).and_then(VecDeque::pop_front) {
+            .map(
+                |insn| match positions.get_mut(insn).and_then(VecDeque::pop_front) {
                     Some(i) => EmitSlot::FromBlock(i as u32),
                     None => EmitSlot::Literal(insn.clone()),
-                }
-            })
+                },
+            )
             .collect();
         // Approximate footprint of the whole entry, not just the
         // payload: the emitted-order slots, plus the 128-bit content
@@ -669,8 +669,8 @@ impl BlockCache for ScheduleCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dagsched_driver::compile_block;
     use dagsched_core::Scratch;
+    use dagsched_driver::compile_block;
     use dagsched_workloads::parse_asm;
 
     fn block(text: &str) -> Vec<Instruction> {
@@ -723,7 +723,10 @@ mod tests {
         let hit = cache.lookup(3, &insns, &model, &config).unwrap();
         assert_eq!(hit.emitted, outcome.emitted);
         assert_eq!(hit.report.block, 3, "block index is the requester's");
-        assert_eq!(hit.report.scheduled_makespan, outcome.report.scheduled_makespan);
+        assert_eq!(
+            hit.report.scheduled_makespan,
+            outcome.report.scheduled_makespan
+        );
         assert_eq!(cache.stats().hits, 1);
     }
 
@@ -801,7 +804,10 @@ mod tests {
         let o3 = compile(&b3, &model, &config);
         cache.store(&b3, &model, &config, &o3);
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup(0, &b2, &model, &config).is_none(), "b2 evicted");
+        assert!(
+            cache.lookup(0, &b2, &model, &config).is_none(),
+            "b2 evicted"
+        );
         assert!(cache.lookup(0, &b1, &model, &config).is_some(), "b1 kept");
         assert!(cache.lookup(0, &b3, &model, &config).is_some(), "b3 kept");
         assert_eq!(cache.stats().evictions, 1);

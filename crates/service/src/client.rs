@@ -19,6 +19,18 @@
 //! `attempt` counter is excluded), so a retry can never produce a
 //! different schedule than the attempt it replaces — at most it
 //! produces a cache hit.
+//!
+//! # Retry budgets
+//!
+//! A [`RetryBudget`] is a token bucket shared by a fleet of callers:
+//! every *retry* spends one token, every *success* refills a fraction
+//! of one (10% by default), and first attempts are never gated. The
+//! effect is a hard cap on retry amplification — during a brownout,
+//! wire requests cannot exceed roughly `logical × (1 + ratio)` once
+//! the initial allowance drains, which is what breaks the retry-storm
+//! half of the metastable-failure loop (DESIGN.md §16).
+//! [`Client::request_with_retry_budgeted`] consults one; the router's
+//! hedges and failovers draw from the same mechanism.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -26,12 +38,13 @@ use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::proto::{
-    read_frame, write_frame, AdminCommand, ErrorReply, FrameKind, FrameReadError,
-    ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,
+    read_frame, write_frame, AdminCommand, ErrorReply, FrameKind, FrameReadError, ScheduleRequest,
+    ScheduleResponse, DEFAULT_MAX_FRAME,
 };
 use crate::server::{parse_endpoint, Listen};
 
@@ -181,6 +194,97 @@ pub struct RetryStats {
     pub server_hints_honoured: u32,
     /// Total time spent sleeping between attempts.
     pub backoff_total: Duration,
+}
+
+/// Default retry-budget allowance, in whole tokens.
+pub const RETRY_BUDGET_DEFAULT_TOKENS: u64 = 10;
+
+/// Default refill per success, in millitokens: 100‰ = one retry earned
+/// per ten successes, the ~10% amplification cap.
+pub const RETRY_BUDGET_REFILL_PER_MILLE: u64 = 100;
+
+/// A shared token bucket bounding retry amplification (see the module
+/// docs). Thread-safe and lock-free: the balance is millitokens in one
+/// atomic, CAS-updated, so a fleet of client threads can share one
+/// budget without coordination.
+///
+/// Invariant: total spends can never exceed the initial allowance plus
+/// `successes × refill/1000` tokens — the balance saturates at zero
+/// and refills are capped, so no interleaving of successes and spends
+/// escapes the ratio.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Current balance, in millitokens (1 token = 1 retry = 1000).
+    millitokens: AtomicU64,
+    /// Balance ceiling, in millitokens.
+    cap_milli: u64,
+    /// Credit per recorded success, in millitokens.
+    refill_milli: u64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> RetryBudget {
+        RetryBudget::new(
+            RETRY_BUDGET_DEFAULT_TOKENS,
+            RETRY_BUDGET_DEFAULT_TOKENS,
+            RETRY_BUDGET_REFILL_PER_MILLE,
+        )
+    }
+}
+
+impl RetryBudget {
+    /// A budget starting with `initial_tokens`, capped at `cap_tokens`,
+    /// earning `refill_per_mille` millitokens per success.
+    pub fn new(initial_tokens: u64, cap_tokens: u64, refill_per_mille: u64) -> RetryBudget {
+        let cap_milli = cap_tokens.saturating_mul(1000).max(1);
+        RetryBudget {
+            millitokens: AtomicU64::new(initial_tokens.saturating_mul(1000).min(cap_milli)),
+            cap_milli,
+            refill_milli: refill_per_mille,
+        }
+    }
+
+    /// Credit the budget for one successful request.
+    pub fn record_success(&self) {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(self.refill_milli).min(self.cap_milli);
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Take one token for a retry/hedge/failover. `false` means the
+    /// budget is exhausted and the extra attempt must be skipped.
+    pub fn try_spend(&self) -> bool {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur < 1000 {
+                return false;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                cur - 1000,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn tokens(&self) -> u64 {
+        self.millitokens.load(Ordering::Relaxed) / 1000
+    }
 }
 
 /// The concrete connection (kept as an enum so per-attempt socket
@@ -355,7 +459,15 @@ impl Client {
 
     fn dial(listen: &Listen) -> Result<Stream, ClientError> {
         match listen {
-            Listen::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr)?)),
+            Listen::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                // Frames are written header-then-payload; with Nagle on,
+                // that interacts with delayed ACKs into a ~40 ms stall
+                // per request-sized write. This is a request/response
+                // protocol: always flush segments immediately.
+                stream.set_nodelay(true)?;
+                Ok(Stream::Tcp(stream))
+            }
             #[cfg(unix)]
             Listen::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
             #[cfg(not(unix))]
@@ -368,6 +480,7 @@ impl Client {
     /// Wrap an already connected TCP stream. Such a client cannot
     /// redial: transport failures during a retried call are final.
     pub fn from_tcp(stream: TcpStream) -> Client {
+        let _ = stream.set_nodelay(true);
         Client {
             stream: Stream::Tcp(stream),
             max_frame: DEFAULT_MAX_FRAME,
@@ -423,6 +536,20 @@ impl Client {
         req: &ScheduleRequest,
         policy: &RetryPolicy,
     ) -> Result<(ScheduleResponse, RetryStats), ClientError> {
+        self.request_with_retry_budgeted(req, policy, None)
+    }
+
+    /// [`Client::request_with_retry`] under a shared [`RetryBudget`]:
+    /// the first attempt always goes out, but every retry must first
+    /// win a token — an exhausted budget returns the last error
+    /// immediately (recorded as `budget_denied`), and every success
+    /// credits the bucket back.
+    pub fn request_with_retry_budgeted(
+        &mut self,
+        req: &ScheduleRequest,
+        policy: &RetryPolicy,
+        budget: Option<&RetryBudget>,
+    ) -> Result<(ScheduleResponse, RetryStats), ClientError> {
         let started = Instant::now();
         let mut rng = policy.jitter_seed;
         let mut stats = RetryStats::default();
@@ -434,6 +561,16 @@ impl Client {
             if let Some(overall) = policy.overall_timeout {
                 if started.elapsed() >= overall && attempt > 0 {
                     return Err(last_err.expect("attempt > 0 implies a recorded error"));
+                }
+            }
+            // Every attempt past the first must win a retry token;
+            // first attempts are never gated by the budget. A denied
+            // retry returns the last error as-is.
+            if attempt > 0 {
+                if let Some(b) = budget {
+                    if !b.try_spend() {
+                        return Err(last_err.expect("attempt > 0 implies a recorded error"));
+                    }
                 }
             }
             // A broken stream must be redialed before reuse.
@@ -448,8 +585,7 @@ impl Client {
                         Err(e) => {
                             last_err = Some(e);
                             // Fall through to backoff-and-retry below.
-                            if !self.backoff(policy, attempt, started, &mut rng, &mut stats, None)
-                            {
+                            if !self.backoff(policy, attempt, started, &mut rng, &mut stats, None) {
                                 return Err(last_err.expect("recorded above"));
                             }
                             continue;
@@ -476,7 +612,12 @@ impl Client {
             }
 
             match self.request(&attempt_req) {
-                Ok(resp) => return Ok((resp, stats)),
+                Ok(resp) => {
+                    if let Some(b) = budget {
+                        b.record_success();
+                    }
+                    return Ok((resp, stats));
+                }
                 Err(err) => {
                     if err.poisons_connection() {
                         self.broken = true;
@@ -724,10 +865,8 @@ mod tests {
     #[test]
     fn connect_with_retry_survives_a_late_binding_listener() {
         use std::os::unix::net::UnixListener;
-        let path = std::env::temp_dir().join(format!(
-            "dagsched-late-bind-{}.sock",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("dagsched-late-bind-{}.sock", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let bind_path = path.clone();
         let binder = std::thread::spawn(move || {
@@ -763,10 +902,8 @@ mod tests {
     #[test]
     fn cancel_handle_unblocks_a_stuck_request() {
         use std::os::unix::net::UnixListener;
-        let path = std::env::temp_dir().join(format!(
-            "dagsched-cancel-{}.sock",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("dagsched-cancel-{}.sock", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path).expect("bind");
         let hold = std::thread::spawn(move || {
@@ -799,11 +936,128 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// Property: under *any* interleaving of successes and spend
+    /// attempts — sequenced by a seeded splitmix64 stream — the bucket
+    /// never grants more than `initial + successes × ratio` retries,
+    /// and its balance never exceeds the cap. This is the wire-
+    /// amplification bound: retries ≤ allowance + 10% of successes.
+    #[test]
+    fn retry_budget_never_exceeds_the_cap_ratio_under_any_interleaving() {
+        for seed in 0..64u64 {
+            let initial = seed % 8;
+            let budget = RetryBudget::new(initial, 16, RETRY_BUDGET_REFILL_PER_MILLE);
+            let mut rng = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+            let (mut successes, mut spent) = (0u64, 0u64);
+            for _ in 0..4096 {
+                if splitmix64(&mut rng).is_multiple_of(3) {
+                    budget.record_success();
+                    successes += 1;
+                } else if budget.try_spend() {
+                    spent += 1;
+                }
+                assert!(
+                    spent * 1000 <= initial * 1000 + successes * RETRY_BUDGET_REFILL_PER_MILLE,
+                    "seed {seed}: {spent} spends from {initial} initial + {successes} successes"
+                );
+                assert!(budget.tokens() <= 16, "balance must respect the cap");
+            }
+        }
+    }
+
+    /// Concurrent spenders cannot overdraw: with N threads racing on
+    /// one bucket, total grants still respect the allowance.
+    #[test]
+    fn retry_budget_is_race_free_across_threads() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        use std::sync::Arc;
+        let budget = Arc::new(RetryBudget::new(20, 20, 0));
+        let granted = Arc::new(Counter::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let budget = Arc::clone(&budget);
+                let granted = Arc::clone(&granted);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        if budget.try_spend() {
+                            granted.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(granted.load(Ordering::SeqCst), 20, "exactly the allowance");
+        assert!(!budget.try_spend(), "and not a token more");
+    }
+
+    /// Exhaustion gates *retries*, never first attempts: against a
+    /// server that always sheds with `busy`, a client holding an empty
+    /// budget still sends its first attempt, then returns the busy
+    /// error instead of retrying.
+    #[cfg(unix)]
+    #[test]
+    fn an_exhausted_budget_skips_retries_but_not_first_attempts() {
+        use std::os::unix::net::UnixListener;
+        let path =
+            std::env::temp_dir().join(format!("dagsched-budget-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind");
+        let server = std::thread::spawn(move || {
+            // Answer every request on every connection with `busy`
+            // until the client hangs up.
+            for _ in 0..2 {
+                let (mut conn, _) = listener.accept().expect("accept");
+                while read_frame(&mut conn, DEFAULT_MAX_FRAME).is_ok() {
+                    let reply = ErrorReply::new(crate::proto::ErrorCode::Busy, "shedding")
+                        .with_retry_after_ms(1)
+                        .to_json()
+                        .to_string();
+                    if write_frame(&mut conn, FrameKind::Error, reply.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        let req = ScheduleRequest::asm("add %o0, %o1, %o2");
+
+        // Empty budget: one wire attempt, the retry is denied.
+        let empty = RetryBudget::new(0, 8, RETRY_BUDGET_REFILL_PER_MILLE);
+        let mut client = Client::connect_unix(&path).expect("connect");
+        let err = client
+            .request_with_retry_budgeted(&req, &policy, Some(&empty))
+            .expect_err("the server only ever sheds");
+        assert!(matches!(&err, ClientError::Server(r) if r.code == crate::proto::ErrorCode::Busy));
+        // Hang up so the server moves on to the next connection.
+        drop(client);
+
+        // One token: the retry goes out (second busy consumed by the
+        // server thread), then the budget denies the third attempt.
+        let one = RetryBudget::new(1, 8, RETRY_BUDGET_REFILL_PER_MILLE);
+        let mut client = Client::connect_unix(&path).expect("connect");
+        let err = client
+            .request_with_retry_budgeted(&req, &policy, Some(&one))
+            .expect_err("still shedding");
+        assert!(matches!(&err, ClientError::Server(r) if r.code == crate::proto::ErrorCode::Busy));
+        assert_eq!(one.tokens(), 0, "the single token was spent");
+        // Hang up so the server's read loop ends and the thread exits.
+        drop(client);
+
+        server.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn retry_after_hints_surface_through_client_errors() {
-        let err = ClientError::Server(
-            ErrorReply::new(ErrorCode::Busy, "q full").with_retry_after_ms(75),
-        );
+        let err =
+            ClientError::Server(ErrorReply::new(ErrorCode::Busy, "q full").with_retry_after_ms(75));
         assert_eq!(err.retry_after(), Some(Duration::from_millis(75)));
         let plain = ClientError::Server(ErrorReply::new(ErrorCode::Busy, "q full"));
         assert_eq!(plain.retry_after(), None);

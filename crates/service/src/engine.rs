@@ -44,10 +44,16 @@ fn build_program(input: &RequestInput) -> Result<Program, ErrorReply> {
         RequestInput::Asm(text) => parse_asm(text)
             .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("parse error: {e}")))?,
         RequestInput::Profile { name, seed } => {
-            let profile = BenchmarkProfile::by_name(name).ok_or_else(|| {
-                ErrorReply::new(ErrorCode::BadRequest, format!("unknown profile `{name}`"))
-            })?;
-            generate(profile, *seed).program
+            // The parametric canon DAG-shape profiles resolve first;
+            // everything else is a Table 3 lookup.
+            if let Some(bench) = dagsched_workloads::generate_canon(name, *seed) {
+                bench.program
+            } else {
+                let profile = BenchmarkProfile::by_name(name).ok_or_else(|| {
+                    ErrorReply::new(ErrorCode::BadRequest, format!("unknown profile `{name}`"))
+                })?;
+                generate(profile, *seed).program
+            }
         }
     };
     if program.is_empty() {
@@ -104,9 +110,8 @@ pub fn execute_at(
             // Deadline-aware degradation: as the remaining budget
             // shrinks below policy thresholds, later blocks fall down
             // the cost ladder instead of blowing the deadline outright.
-            batch_limits = batch_limits.with_degrade(DegradePolicy::for_budget(
-                Duration::from_millis(ms),
-            ));
+            batch_limits =
+                batch_limits.with_degrade(DegradePolicy::for_budget(Duration::from_millis(ms)));
         }
     }
 
@@ -194,9 +199,15 @@ mod tests {
     fn each_failure_mode_maps_to_its_code() {
         let cache = ScheduleCache::default();
         let cases: Vec<(ScheduleRequest, ErrorCode)> = vec![
-            (ScheduleRequest::asm("not an instruction"), ErrorCode::ParseError),
+            (
+                ScheduleRequest::asm("not an instruction"),
+                ErrorCode::ParseError,
+            ),
             (ScheduleRequest::asm(""), ErrorCode::BadRequest),
-            (ScheduleRequest::profile("no-such-profile", 1), ErrorCode::BadRequest),
+            (
+                ScheduleRequest::profile("no-such-profile", 1),
+                ErrorCode::BadRequest,
+            ),
             (
                 {
                     let mut r = ScheduleRequest::asm("nop");
@@ -294,8 +305,14 @@ mod tests {
         let Some(arrival) = Instant::now().checked_sub(Duration::from_millis(200)) else {
             return; // clock too young to back-date; nothing to assert
         };
-        let err = execute_at(&req, &EngineLimits::default(), &cache, &mut scratch, arrival)
-            .unwrap_err();
+        let err = execute_at(
+            &req,
+            &EngineLimits::default(),
+            &cache,
+            &mut scratch,
+            arrival,
+        )
+        .unwrap_err();
         assert_eq!(err.code, ErrorCode::DeadlineExpired, "{err}");
     }
 

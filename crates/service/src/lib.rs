@@ -73,9 +73,9 @@ pub use dagsched_proto as proto;
 pub use dagsched_proto::json;
 
 pub use cache::{CacheConfig, CacheStats, ScheduleCache, MIN_ENTRY_COST};
-pub use persist::{store_fingerprint, Persistence};
-pub use client::{Client, ClientError, RetryPolicy, RetryStats};
+pub use client::{Client, ClientError, RetryBudget, RetryPolicy, RetryStats};
 pub use engine::{execute, EngineLimits};
+pub use persist::{store_fingerprint, Persistence};
 pub use pool::PoolHealth;
 pub use proto::{
     ErrorCode, ErrorReply, FrameKind, ScheduleRequest, ScheduleResponse, DEFAULT_MAX_FRAME,

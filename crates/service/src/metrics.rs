@@ -57,6 +57,15 @@ pub struct Metrics {
     /// Requests carried by those batches (`batched_requests /
     /// batches_dispatched` = realized mean batch size).
     pub batched_requests: AtomicU64,
+    /// Queued requests shed with `deadline-expired` instead of being
+    /// compiled after their deadline had already passed.
+    pub shed_expired: AtomicU64,
+    /// Requests shed with `busy` by the byte-accounted admission gate
+    /// (in-flight payloads + cache bytes would exceed `--mem-budget`).
+    pub shed_mem_budget: AtomicU64,
+    /// Times the CoDel sojourn controller cut a stage queue's
+    /// effective admission capacity (mirrors the pipeline's counter).
+    pub codel_activations: AtomicU64,
 }
 
 /// NaN-safe ratio: `0.0` when the denominator is zero.
@@ -113,6 +122,9 @@ impl Metrics {
             ("idle_timeouts", g(&self.idle_timeouts)),
             ("batches_dispatched", g(&self.batches_dispatched)),
             ("batched_requests", g(&self.batched_requests)),
+            ("shed_expired", g(&self.shed_expired)),
+            ("shed_mem_budget", g(&self.shed_mem_budget)),
+            ("codel_activations", g(&self.codel_activations)),
             ("store", store_json),
             (
                 "panic_rate",
@@ -215,11 +227,21 @@ mod tests {
 
     #[test]
     fn hit_rate_covers_all_hit_all_miss_and_mixed() {
-        let all_hits = CacheStats { hits: 5, ..CacheStats::default() };
+        let all_hits = CacheStats {
+            hits: 5,
+            ..CacheStats::default()
+        };
         assert_eq!(all_hits.hit_rate(), 1.0);
-        let all_misses = CacheStats { misses: 5, ..CacheStats::default() };
+        let all_misses = CacheStats {
+            misses: 5,
+            ..CacheStats::default()
+        };
         assert_eq!(all_misses.hit_rate(), 0.0);
-        let mixed = CacheStats { hits: 3, misses: 1, ..CacheStats::default() };
+        let mixed = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
         assert_eq!(mixed.hit_rate(), 0.75);
     }
 
@@ -244,6 +266,9 @@ mod tests {
             "idle_timeouts",
             "batches_dispatched",
             "batched_requests",
+            "shed_expired",
+            "shed_mem_budget",
+            "codel_activations",
         ] {
             assert_eq!(snap.get(key).unwrap().as_u64(), Some(0), "{key}");
         }

@@ -118,7 +118,11 @@ pub struct Persistence {
 impl Persistence {
     /// Open (or create) the store in `dir` and split its recovered
     /// records by kind.
-    pub fn open(dir: &Path, threshold: u64, fsync_every: u64) -> io::Result<(Persistence, Recovered)> {
+    pub fn open(
+        dir: &Path,
+        threshold: u64,
+        fsync_every: u64,
+    ) -> io::Result<(Persistence, Recovered)> {
         let (store, report) = Store::open(dir, store_fingerprint(), fsync_every)?;
         let mut recovered = Recovered::default();
         for record in &report.records {
@@ -200,7 +204,8 @@ impl Persistence {
         cache_entries: Vec<Vec<u8>>,
         quarantine: &[(u64, u32)],
     ) -> io::Result<()> {
-        let mut records: Vec<(u8, Vec<u8>)> = Vec::with_capacity(cache_entries.len() + quarantine.len());
+        let mut records: Vec<(u8, Vec<u8>)> =
+            Vec::with_capacity(cache_entries.len() + quarantine.len());
         for bytes in cache_entries {
             records.push((KIND_CACHE_ENTRY, bytes));
         }
@@ -279,8 +284,11 @@ mod tests {
         p.append_cache_entry(b"entry-one");
         p.append_cache_entry(b"entry-two");
         p.sync().unwrap();
-        p.compact(vec![b"entry-one".to_vec(), b"entry-two".to_vec()], &[(5, 2)])
-            .unwrap();
+        p.compact(
+            vec![b"entry-one".to_vec(), b"entry-two".to_vec()],
+            &[(5, 2)],
+        )
+        .unwrap();
         p.append_cache_entry(b"entry-three");
         p.sync().unwrap();
         drop(p);
@@ -323,8 +331,7 @@ mod tests {
     fn unknown_kinds_are_skipped_not_fatal() {
         let dir = tmp("unknown");
         {
-            let (mut store, _) =
-                Store::open(&dir, store_fingerprint(), 0).unwrap();
+            let (mut store, _) = Store::open(&dir, store_fingerprint(), 0).unwrap();
             store.append(KIND_CACHE_ENTRY, b"good").unwrap();
             store.append(200, b"from the future").unwrap();
             store.append(KIND_QUARANTINE, b"short").unwrap(); // malformed

@@ -142,9 +142,7 @@ impl<T: Send + 'static> WorkerPool<T> {
                                 match catch_unwind(AssertUnwindSafe(|| make_state(w))) {
                                     Ok(fresh) => {
                                         state = fresh;
-                                        health
-                                            .workers_respawned
-                                            .fetch_add(1, Ordering::Relaxed);
+                                        health.workers_respawned.fetch_add(1, Ordering::Relaxed);
                                     }
                                     // The factory itself is broken;
                                     // this worker cannot recover.

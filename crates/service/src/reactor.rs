@@ -47,9 +47,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::proto::{
-    write_frame, ErrorCode, ErrorReply, FrameAssembler, FrameKind, FrameReadError,
-};
+use crate::proto::{write_frame, ErrorCode, ErrorReply, FrameAssembler, FrameKind, FrameReadError};
 
 /// Poll timeout while idle: the loop re-checks the drain/SIGTERM flags
 /// at least this often.
@@ -247,7 +245,12 @@ impl Listener {
 
     fn accept(&self) -> io::Result<Stream> {
         match self {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Replies are written header-then-payload; Nagle plus
+                // delayed ACKs would stall each response ~40 ms.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
             #[cfg(unix)]
             Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
         }
@@ -337,6 +340,7 @@ fn wake_pair() -> io::Result<(WakeTx, WakeRx)> {
         let l = TcpListener::bind("127.0.0.1:0")?;
         let addr = l.local_addr()?;
         let a = TcpStream::connect(addr)?;
+        a.set_nodelay(true)?;
         let (b, _) = l.accept()?;
         a.set_nonblocking(true)?;
         b.set_nonblocking(true)?;
@@ -1020,7 +1024,11 @@ mod tests {
     fn frame_errors_map_to_the_same_codes_as_the_blocking_path() {
         let r = frame_error_reply(&FrameReadError::Oversized { len: 99, max: 10 });
         assert_eq!(r.code, ErrorCode::OversizedFrame);
-        assert!(r.message.contains("99") && r.message.contains("10"), "{}", r.message);
+        assert!(
+            r.message.contains("99") && r.message.contains("10"),
+            "{}",
+            r.message
+        );
 
         let r = frame_error_reply(&FrameReadError::BadMagic(*b"GE"));
         assert_eq!(r.code, ErrorCode::MalformedFrame);

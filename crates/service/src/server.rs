@@ -92,11 +92,10 @@ pub const QUARANTINE_THRESHOLD: u32 = 2;
 /// Bound on distinct payloads the quarantine tracks (oldest evicted).
 const QUARANTINE_CAPACITY: usize = 64;
 
-/// Retry hint attached to `busy` rejections.
-const BUSY_RETRY_MS: u64 = 50;
-
 /// Retry hint attached to `draining` rejections (a replacement server
-/// is typically seconds away in a rolling restart).
+/// is typically seconds away in a rolling restart). `busy` rejections
+/// carry no constant: their hint is derived from the rejecting queue's
+/// depth and drain rate ([`StageQueue::retry_hint_ms`]).
 const DRAIN_RETRY_MS: u64 = 500;
 
 /// FNV-1a over a request payload: the quarantine's identity key.
@@ -240,6 +239,11 @@ pub struct ServerConfig {
     /// Fsync batching for the WAL: one fsync per this many appends
     /// (`0` = only on quarantine facts, compaction and drain).
     pub fsync_every: u64,
+    /// Byte-accounted admission budget: when in-flight request
+    /// payloads plus cache bytes would exceed this, new requests are
+    /// shed with `busy` *before* their payload is admitted to the
+    /// pipeline (`None` = unbounded).
+    pub mem_budget: Option<u64>,
     /// Deterministic fault injection (chaos testing only).
     #[cfg(feature = "fault-injection")]
     pub faults: Option<FaultConfig>,
@@ -261,6 +265,7 @@ impl Default for ServerConfig {
             state_dir: None,
             wal_snapshot_threshold: DEFAULT_WAL_SNAPSHOT_THRESHOLD,
             fsync_every: DEFAULT_FSYNC_EVERY,
+            mem_budget: None,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -277,6 +282,10 @@ struct Shared {
     quarantine: Quarantine,
     /// The crash-safe store (present when `state_dir` was configured).
     persist: Option<Arc<Persistence>>,
+    /// Admission budget for in-flight payload + cache bytes.
+    mem_budget: Option<u64>,
+    /// Bytes of request payloads admitted but not yet answered.
+    inflight_bytes: AtomicU64,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultConfig>,
     #[cfg(feature = "fault-injection")]
@@ -295,6 +304,13 @@ impl Shared {
 }
 
 impl Shared {
+    /// Return an admitted payload's bytes to the admission gate.
+    fn release_bytes(&self, charge: u64) {
+        if charge > 0 {
+            self.inflight_bytes.fetch_sub(charge, Ordering::Relaxed);
+        }
+    }
+
     /// Metrics snapshot including (when persistent) store health.
     fn metrics_snapshot(&self) -> Json {
         self.metrics.snapshot(
@@ -330,6 +346,9 @@ struct DecodeJob {
     payload: Vec<u8>,
     /// When the frame completed on the wire; the deadline anchors here.
     arrival: Instant,
+    /// Bytes charged against the admission gate on entry; released
+    /// exactly once, when this request's reply is finished.
+    charge: u64,
     #[cfg(feature = "fault-injection")]
     fault: Fault,
 }
@@ -343,6 +362,8 @@ struct CompileJob {
     key: String,
     key_hash: u64,
     arrival: Instant,
+    /// Admission-gate bytes carried over from the decode job.
+    charge: u64,
     #[cfg(feature = "fault-injection")]
     fault: Fault,
 }
@@ -350,6 +371,8 @@ struct CompileJob {
 /// A coalesced follower awaiting the leader's reply.
 struct Recipient {
     conn: ConnId,
+    /// Admission-gate bytes for this follower's own payload.
+    charge: u64,
     /// Followers still draw their own *frame* fault (reset / truncate /
     /// corrupt applies per recipient); a follower's panic/slow draw is
     /// intentionally unused — the leader's compile is the only compile.
@@ -420,10 +443,10 @@ fn decode_loop(pipe: Pipeline) {
     let mut batch: Vec<DecodeJob> = Vec::new();
     while pipe.decode_q.pop_batch(&mut batch) {
         Metrics::bump(&pipe.shared.metrics.batches_dispatched);
-        pipe.shared
-            .metrics
-            .batched_requests
-            .fetch_add(u64::try_from(batch.len()).unwrap_or(u64::MAX), Ordering::Relaxed);
+        pipe.shared.metrics.batched_requests.fetch_add(
+            u64::try_from(batch.len()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
         for job in batch.drain(..) {
             decode_one(&pipe, job);
         }
@@ -434,12 +457,16 @@ fn decode_one(pipe: &Pipeline, job: DecodeJob) {
     let shared = &pipe.shared;
     let request = match parse_request(shared, &job.payload) {
         Ok(request) => request,
-        Err(reply) => return finish_error(pipe, job.conn, &reply),
+        Err(reply) => {
+            shared.release_bytes(job.charge);
+            return finish_error(pipe, job.conn, &reply);
+        }
     };
     let key = canonical_key(&request);
     let key_hash = payload_hash(key.as_bytes());
     if shared.quarantine.strikes(key_hash) >= QUARANTINE_THRESHOLD {
         Metrics::bump(&shared.metrics.requests_quarantined);
+        shared.release_bytes(job.charge);
         return finish_error(pipe, job.conn, &quarantined_reply());
     }
 
@@ -449,6 +476,7 @@ fn decode_one(pipe: &Pipeline, job: DecodeJob) {
     // flight) before the table knows the flight exists.
     let follower = Recipient {
         conn: job.conn,
+        charge: job.charge,
         #[cfg(feature = "fault-injection")]
         fault: job.fault,
     };
@@ -465,6 +493,7 @@ fn decode_one(pipe: &Pipeline, job: DecodeJob) {
             key: key.clone(),
             key_hash,
             arrival: job.arrival,
+            charge: job.charge,
             #[cfg(feature = "fault-injection")]
             fault: job.fault,
         })
@@ -477,6 +506,7 @@ fn decode_one(pipe: &Pipeline, job: DecodeJob) {
         FlightOutcome::Refused(PushError::Full(_)) => {
             Metrics::bump(&shared.metrics.busy_rejections);
             Metrics::bump(&shared.metrics.shed_with_retry_after);
+            shared.release_bytes(job.charge);
             finish_error(
                 pipe,
                 job.conn,
@@ -484,12 +514,13 @@ fn decode_one(pipe: &Pipeline, job: DecodeJob) {
                     ErrorCode::Busy,
                     "all workers busy and the queue is full; retry later",
                 )
-                .with_retry_after_ms(BUSY_RETRY_MS),
+                .with_retry_after_ms(pipe.compile_q.retry_hint_ms()),
             );
         }
         FlightOutcome::Refused(PushError::Closed(_)) => {
             Metrics::bump(&shared.metrics.drain_rejections);
             Metrics::bump(&shared.metrics.shed_with_retry_after);
+            shared.release_bytes(job.charge);
             finish_error(
                 pipe,
                 job.conn,
@@ -505,18 +536,90 @@ fn decode_one(pipe: &Pipeline, job: DecodeJob) {
 fn compile_loop(pipe: Pipeline) {
     let mut scratch = Scratch::new();
     let mut batch: Vec<CompileJob> = Vec::new();
-    while pipe.compile_q.pop_batch(&mut batch) {
+    let mut expired: Vec<CompileJob> = Vec::new();
+    let default_deadline = pipe.shared.limits.default_deadline_ms;
+    // EWMA (α = 1/8) of this worker's recent compile times, in µs. A
+    // job whose remaining budget cannot absorb an expected compile is
+    // shed at the stage boundary instead of started: a compile that
+    // expires midway burns worker time and still returns an error, so
+    // under overload starting it is strictly worse than shedding it.
+    // Starts at zero (a cold worker never predictively sheds) and one
+    // outlier decays away within a few compiles.
+    let mut svc_ewma_us: u64 = 0;
+    // Deadline-aware pop: work whose deadline lapsed while it queued is
+    // diverted and shed instead of compiled — under overload the stage
+    // spends cycles only on replies a client can still use.
+    let is_expired = |job: &CompileJob| match job.request.deadline_ms.or(default_deadline) {
+        Some(ms) => job.arrival.elapsed() >= Duration::from_millis(ms),
+        None => false,
+    };
+    while pipe
+        .compile_q
+        .pop_batch_expiring(&mut batch, &mut expired, is_expired)
+    {
         Metrics::bump(&pipe.shared.metrics.batches_dispatched);
-        pipe.shared
-            .metrics
-            .batched_requests
-            .fetch_add(u64::try_from(batch.len()).unwrap_or(u64::MAX), Ordering::Relaxed);
-        for job in batch.drain(..) {
-            compile_one(&pipe, &mut scratch, job);
+        pipe.shared.metrics.batched_requests.fetch_add(
+            u64::try_from(batch.len().saturating_add(expired.len())).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        for job in expired.drain(..) {
+            shed_expired_job(&pipe, job);
         }
+        for job in batch.drain(..) {
+            // Re-check at the stage boundary: a full batch takes tens
+            // of milliseconds to work through, so a job popped alive
+            // can blow its deadline waiting behind the jobs ahead of
+            // it. The check is predictive — elapsed plus one expected
+            // compile against the budget — so work certain to expire
+            // midway is shed before it wastes the worker.
+            let doomed = match job.request.deadline_ms.or(default_deadline) {
+                Some(ms) => {
+                    let elapsed_us =
+                        u64::try_from(job.arrival.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    elapsed_us.saturating_add(svc_ewma_us) >= ms.saturating_mul(1_000)
+                }
+                None => false,
+            };
+            if doomed {
+                shed_expired_job(&pipe, job);
+            } else {
+                let started = Instant::now();
+                compile_one(&pipe, &mut scratch, job);
+                let spent_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                svc_ewma_us = svc_ewma_us.saturating_sub(svc_ewma_us / 8) + spent_us / 8;
+            }
+        }
+        // Mirror the stage queues' controller counter into the metrics
+        // snapshot (`codel_activations` = decode + compile cuts).
+        pipe.shared.metrics.codel_activations.store(
+            pipe.decode_q
+                .codel_activations()
+                .saturating_add(pipe.compile_q.codel_activations()),
+            Ordering::Relaxed,
+        );
         // Replies are already queued; folding the WAL into a snapshot
         // here never adds request latency.
         pipe.shared.maybe_compact();
+    }
+}
+
+/// Shed a queued job whose deadline passed — or provably will pass
+/// before a compile could finish — while it waited: a typed
+/// `deadline-expired` reply for the leader and every coalesced
+/// follower, without running the compile.
+fn shed_expired_job(pipe: &Pipeline, job: CompileJob) {
+    Metrics::bump(&pipe.shared.metrics.shed_expired);
+    let reply = ErrorReply::new(
+        ErrorCode::DeadlineExpired,
+        "deadline expired, or would expire mid-compile, while the request was queued; \
+         it was shed without compiling",
+    );
+    let followers = pipe.flights.finish(&job.key);
+    pipe.shared.release_bytes(job.charge);
+    finish_error(pipe, job.conn, &reply);
+    for f in followers {
+        pipe.shared.release_bytes(f.charge);
+        finish_error(pipe, f.conn, &reply);
     }
 }
 
@@ -534,6 +637,12 @@ fn compile_one(pipe: &Pipeline, scratch: &mut Scratch, job: CompileJob) {
     // compile are collected here; later arrivals open a fresh flight
     // and hit the now-warm cache.
     let followers = pipe.flights.finish(&job.key);
+    // The flight is answered: every member's payload leaves the
+    // admission gate.
+    let flight_charge = followers
+        .iter()
+        .fold(job.charge, |sum, f| sum.saturating_add(f.charge));
+    pipe.shared.release_bytes(flight_charge);
     match outcome {
         Ok(response) => {
             let degraded = response.degraded;
@@ -741,10 +850,36 @@ impl ServeHandler {
             return;
         }
         ctx.note_request(conn);
+        // Byte-accounted admission: when a memory budget is configured,
+        // the request's payload is only admitted if in-flight payloads
+        // plus cache growth still fit — shedding happens *before* the
+        // pipeline takes ownership of the bytes, never as an OOM later.
+        let charge = u64::try_from(payload.len()).unwrap_or(u64::MAX);
+        if let Some(budget) = shared.mem_budget {
+            let projected = shared
+                .inflight_bytes
+                .load(Ordering::Relaxed)
+                .saturating_add(charge)
+                .saturating_add(u64::try_from(shared.cache.stats().bytes).unwrap_or(u64::MAX));
+            if projected > budget {
+                Metrics::bump(&shared.metrics.shed_mem_budget);
+                Metrics::bump(&shared.metrics.busy_rejections);
+                Metrics::bump(&shared.metrics.shed_with_retry_after);
+                Metrics::bump(&shared.metrics.errors);
+                ctx.send_error(
+                    conn,
+                    &ErrorReply::new(ErrorCode::Busy, "memory budget exhausted; retry later")
+                        .with_retry_after_ms(self.pipe.compile_q.retry_hint_ms()),
+                );
+                return;
+            }
+        }
+        shared.inflight_bytes.fetch_add(charge, Ordering::Relaxed);
         let job = DecodeJob {
             conn,
             payload,
             arrival: Instant::now(),
+            charge,
             #[cfg(feature = "fault-injection")]
             fault: shared.next_fault(),
         };
@@ -756,6 +891,7 @@ impl ServeHandler {
                 ctx.expect_reply(conn);
             }
             Err(PushError::Full(_)) => {
+                shared.release_bytes(charge);
                 Metrics::bump(&shared.metrics.busy_rejections);
                 Metrics::bump(&shared.metrics.shed_with_retry_after);
                 Metrics::bump(&shared.metrics.errors);
@@ -765,10 +901,11 @@ impl ServeHandler {
                         ErrorCode::Busy,
                         "all workers busy and the queue is full; retry later",
                     )
-                    .with_retry_after_ms(BUSY_RETRY_MS),
+                    .with_retry_after_ms(self.pipe.decode_q.retry_hint_ms()),
                 );
             }
             Err(PushError::Closed(_)) => {
+                shared.release_bytes(charge);
                 Metrics::bump(&shared.metrics.drain_rejections);
                 Metrics::bump(&shared.metrics.shed_with_retry_after);
                 Metrics::bump(&shared.metrics.errors);
@@ -997,6 +1134,8 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
         max_frame: config.max_frame,
         quarantine,
         persist,
+        mem_budget: config.mem_budget,
+        inflight_bytes: AtomicU64::new(0),
         #[cfg(feature = "fault-injection")]
         faults: config.faults,
         #[cfg(feature = "fault-injection")]
@@ -1019,7 +1158,10 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
     let completions = reactor.completions();
     let pipe = Pipeline {
         shared: Arc::clone(&shared),
-        decode_q: Arc::new(StageQueue::new(queue_cap, (compile_workers / 2).clamp(1, 4))),
+        decode_q: Arc::new(StageQueue::new(
+            queue_cap,
+            (compile_workers / 2).clamp(1, 4),
+        )),
         compile_q: Arc::new(StageQueue::new(queue_cap, compile_workers)),
         flights: Arc::new(SingleFlight::default()),
         completions: Arc::clone(&completions),
@@ -1073,8 +1215,12 @@ pub fn serve(listen: Listen, config: ServerConfig) -> io::Result<ServerHandle> {
 fn handle_admin(shared: &Shared, payload: &[u8]) -> Result<Json, ErrorReply> {
     let text = std::str::from_utf8(payload)
         .map_err(|_| ErrorReply::new(ErrorCode::ParseError, "admin payload is not UTF-8"))?;
-    let value = Json::parse(text)
-        .map_err(|e| ErrorReply::new(ErrorCode::ParseError, format!("admin payload is not JSON: {e}")))?;
+    let value = Json::parse(text).map_err(|e| {
+        ErrorReply::new(
+            ErrorCode::ParseError,
+            format!("admin payload is not JSON: {e}"),
+        )
+    })?;
     match AdminCommand::from_json(&value)? {
         AdminCommand::SnapshotExport => {
             // Export the *live* state, not the on-disk snapshot: the
@@ -1100,7 +1246,10 @@ fn handle_admin(shared: &Shared, payload: &[u8]) -> Result<Json, ErrorReply> {
                 ("ok", Json::from(true)),
                 ("entries", Json::from(entries)),
                 ("generation", Json::from(generation)),
-                ("shipment", Json::from(hex_encode(&shipment.encode()).as_str())),
+                (
+                    "shipment",
+                    Json::from(hex_encode(&shipment.encode()).as_str()),
+                ),
             ]))
         }
         AdminCommand::SnapshotInstall { shipment } => {
@@ -1193,6 +1342,8 @@ mod tests {
             max_frame: DEFAULT_MAX_FRAME,
             quarantine: Quarantine::default(),
             persist: None,
+            mem_budget: None,
+            inflight_bytes: AtomicU64::new(0),
             #[cfg(feature = "fault-injection")]
             faults: None,
             #[cfg(feature = "fault-injection")]
@@ -1238,18 +1389,15 @@ mod tests {
 
     #[test]
     fn canonical_keys_ignore_the_attempt_counter() {
-        let first = ScheduleRequest::from_json(
-            &Json::parse(r#"{"asm":"nop","attempt":0}"#).unwrap(),
-        )
-        .unwrap();
-        let retry = ScheduleRequest::from_json(
-            &Json::parse(r#"{"asm":"nop","attempt":3}"#).unwrap(),
-        )
-        .unwrap();
-        assert_eq!(canonical_key(&first), canonical_key(&retry));
-        let other =
-            ScheduleRequest::from_json(&Json::parse(r#"{"asm":"sethi 42, %g1"}"#).unwrap())
+        let first =
+            ScheduleRequest::from_json(&Json::parse(r#"{"asm":"nop","attempt":0}"#).unwrap())
                 .unwrap();
+        let retry =
+            ScheduleRequest::from_json(&Json::parse(r#"{"asm":"nop","attempt":3}"#).unwrap())
+                .unwrap();
+        assert_eq!(canonical_key(&first), canonical_key(&retry));
+        let other = ScheduleRequest::from_json(&Json::parse(r#"{"asm":"sethi 42, %g1"}"#).unwrap())
+            .unwrap();
         assert_ne!(canonical_key(&first), canonical_key(&other));
     }
 
@@ -1292,13 +1440,28 @@ mod tests {
 
     #[test]
     fn shedding_replies_carry_retry_hints() {
-        // The constants the rejection paths attach must be nonzero, or
-        // clients would busy-spin.
+        // The drain hint stays a constant (a replacement server is
+        // seconds away); it must be nonzero or clients would busy-spin.
         const {
-            assert!(BUSY_RETRY_MS > 0);
-            assert!(DRAIN_RETRY_MS >= BUSY_RETRY_MS);
+            assert!(DRAIN_RETRY_MS > 0);
         }
-        let reply = ErrorReply::new(ErrorCode::Busy, "x").with_retry_after_ms(BUSY_RETRY_MS);
-        assert_eq!(reply.retry_after_ms, Some(BUSY_RETRY_MS));
+        // Busy hints derive from queue congestion; even an idle queue
+        // hints a nonzero wait, so clients cannot busy-spin either.
+        let q: StageQueue<u32> = StageQueue::new(4, 1);
+        let hint = q.retry_hint_ms();
+        assert!(hint > 0);
+        let reply = ErrorReply::new(ErrorCode::Busy, "x").with_retry_after_ms(hint);
+        assert_eq!(reply.retry_after_ms, Some(hint));
+    }
+
+    #[test]
+    fn admission_charges_balance_across_release() {
+        let shared = test_shared();
+        shared.inflight_bytes.fetch_add(4096, Ordering::Relaxed);
+        shared.release_bytes(4096);
+        assert_eq!(shared.inflight_bytes.load(Ordering::Relaxed), 0);
+        // Zero charges are free and never underflow.
+        shared.release_bytes(0);
+        assert_eq!(shared.inflight_bytes.load(Ordering::Relaxed), 0);
     }
 }

@@ -149,7 +149,11 @@ fn a_quarantined_payload_stays_quarantined_across_a_restart() {
         }
         assert_eq!(
             codes,
-            vec![ErrorCode::Internal, ErrorCode::Internal, ErrorCode::Quarantined]
+            vec![
+                ErrorCode::Internal,
+                ErrorCode::Internal,
+                ErrorCode::Quarantined
+            ]
         );
         assert_eq!(metric(&first, "panics_caught"), 2);
     }
@@ -196,8 +200,8 @@ fn a_client_request_spans_the_restart_window() {
     let sock = state.join("daemon.sock");
 
     // Generation one populates the store, then exits.
-    let first = serve(Listen::Unix(sock.clone()), persistent_config(&state))
-        .expect("bind unix socket");
+    let first =
+        serve(Listen::Unix(sock.clone()), persistent_config(&state)).expect("bind unix socket");
     {
         let mut client = Client::connect(&first.endpoint()).expect("connect");
         client

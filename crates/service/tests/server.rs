@@ -222,13 +222,23 @@ fn full_queue_answers_busy() {
     // flight instead of queueing).
     let req_b = ScheduleRequest::asm("sub %o0, %o1, %o2");
     let mut b = raw_tcp(&handle);
-    write_frame(&mut b, FrameKind::Request, req_b.to_json().to_string().as_bytes()).unwrap();
+    write_frame(
+        &mut b,
+        FrameKind::Request,
+        req_b.to_json().to_string().as_bytes(),
+    )
+    .unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
     // The third request must be told `busy` with a retry hint.
     let req_c = ScheduleRequest::asm("xor %o3, %o4, %o5");
     let mut c = raw_tcp(&handle);
-    write_frame(&mut c, FrameKind::Request, req_c.to_json().to_string().as_bytes()).unwrap();
+    write_frame(
+        &mut c,
+        FrameKind::Request,
+        req_c.to_json().to_string().as_bytes(),
+    )
+    .unwrap();
     let reply = expect_error_frame(&mut c);
     assert_eq!(reply.code, ErrorCode::Busy);
     assert!(reply.retry_after_ms.is_some(), "busy carries a retry hint");
@@ -237,13 +247,26 @@ fn full_queue_answers_busy() {
     let resp = worker_hog.join().expect("hog thread");
     assert_eq!(resp.insns.len(), 1, "lingering request still completes");
     let (kind, _) = read_frame(&mut b, 1 << 20).expect("queued request's reply");
-    assert_eq!(kind, FrameKind::Response, "queued request is served, not dropped");
+    assert_eq!(
+        kind,
+        FrameKind::Response,
+        "queued request is served, not dropped"
+    );
 
     // ...and the busy-rejected *connection* survived: a retry on the
     // very same socket now succeeds.
-    write_frame(&mut c, FrameKind::Request, req_c.to_json().to_string().as_bytes()).unwrap();
+    write_frame(
+        &mut c,
+        FrameKind::Request,
+        req_c.to_json().to_string().as_bytes(),
+    )
+    .unwrap();
     let (kind, _) = read_frame(&mut c, 1 << 20).expect("retry after busy");
-    assert_eq!(kind, FrameKind::Response, "connection stays usable after busy");
+    assert_eq!(
+        kind,
+        FrameKind::Response,
+        "connection stays usable after busy"
+    );
 
     assert!(metric(&handle, "busy_rejections") >= 1);
     handle.begin_drain();
@@ -262,7 +285,9 @@ fn graceful_drain_completes_in_flight_work() {
         let mut client = Client::connect(&endpoint).expect("connect");
         let mut req = ScheduleRequest::profile("grep", PAPER_SEED);
         req.linger_ms = 300;
-        let first = client.request(&req).expect("in-flight request survives drain");
+        let first = client
+            .request(&req)
+            .expect("in-flight request survives drain");
         // The same connection's *next* request is refused.
         let second = client.request(&ScheduleRequest::asm("add %o0, %o1, %o2"));
         (first, second)
@@ -364,7 +389,11 @@ fn a_repeat_offender_payload_is_quarantined_over_the_wire() {
     }
     assert_eq!(
         codes,
-        vec![ErrorCode::Internal, ErrorCode::Internal, ErrorCode::Quarantined]
+        vec![
+            ErrorCode::Internal,
+            ErrorCode::Internal,
+            ErrorCode::Quarantined
+        ]
     );
     assert_eq!(metric(&handle, "panics_caught"), 2);
     assert_eq!(metric(&handle, "requests_quarantined"), 1);
@@ -533,8 +562,7 @@ fn backlog_connections_get_a_draining_reply_not_silence() {
             let _ = write_frame(&mut s, FrameKind::Ping, b"");
             if let Ok((FrameKind::Error, payload)) = read_frame(&mut s, 1 << 20) {
                 let text = std::str::from_utf8(&payload).expect("UTF-8 error payload");
-                let value =
-                    dagsched_service::json::Json::parse(text).expect("JSON error payload");
+                let value = dagsched_service::json::Json::parse(text).expect("JSON error payload");
                 let reply = ErrorReply::from_json(&value).expect("decodable error reply");
                 assert_eq!(reply.code, ErrorCode::Draining);
                 assert!(

@@ -84,9 +84,8 @@ pub struct InjectedFault {
 /// bytes worth corrupting (e.g. a bit flip aimed at an empty WAL).
 pub fn inject(dir: &Path, seed: u64, cycle: u64) -> io::Result<Option<InjectedFault>> {
     let fault = fault_for(seed, cycle);
-    let mut s = seed
-        .wrapping_mul(0xA076_1D64_78BD_642F)
-        ^ cycle.wrapping_add(0x1657_67B5_92A4_C7B1);
+    let mut s =
+        seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ cycle.wrapping_add(0x1657_67B5_92A4_C7B1);
     splitmix64(&mut s);
     let roll = mix(s);
     match fault {

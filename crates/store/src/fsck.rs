@@ -38,9 +38,8 @@ impl FsckReport {
 fn summarize(report: RecoveryReport) -> FsckReport {
     let mut issues = Vec::new();
     if report.stale_discarded {
-        issues.push(
-            "stale state: fingerprint mismatch, snapshot/WAL would be discarded".to_string(),
-        );
+        issues
+            .push("stale state: fingerprint mismatch, snapshot/WAL would be discarded".to_string());
     }
     if report.truncated_records > 0 {
         issues.push(format!(
@@ -104,10 +103,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "dagsched-fsck-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("dagsched-fsck-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -117,7 +114,9 @@ mod tests {
         for i in 0..4u8 {
             store.append(1, &[i]).unwrap();
         }
-        store.compact(&(0..4u8).map(|i| (1, vec![i])).collect::<Vec<_>>()).unwrap();
+        store
+            .compact(&(0..4u8).map(|i| (1, vec![i])).collect::<Vec<_>>())
+            .unwrap();
         store.append(1, &[9]).unwrap();
         store.sync().unwrap();
     }
@@ -145,7 +144,11 @@ mod tests {
 
         let report = check(&dir, Some(7)).unwrap();
         assert!(!report.clean());
-        assert!(report.issues.iter().any(|i| i.contains("torn")), "{:?}", report.issues);
+        assert!(
+            report.issues.iter().any(|i| i.contains("torn")),
+            "{:?}",
+            report.issues
+        );
         // check() must not have fixed anything.
         assert_eq!(std::fs::metadata(&wal).unwrap().len(), len - 2);
 

@@ -210,7 +210,10 @@ mod tests {
     fn insane_length_is_rejected_without_allocating() {
         let mut bytes = encode(1, 1, b"x");
         bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(decode_record(&bytes), Decoded::Corrupt(CorruptKind::LengthInsane));
+        assert_eq!(
+            decode_record(&bytes),
+            Decoded::Corrupt(CorruptKind::LengthInsane)
+        );
     }
 
     #[test]

@@ -77,7 +77,9 @@ impl fmt::Display for ShipDecodeError {
             ShipDecodeError::Truncated => f.write_str("shipment truncated before the envelope"),
             ShipDecodeError::BadMagic => f.write_str("bad shipment magic"),
             ShipDecodeError::BadVersion(v) => write!(f, "unknown shipment version {v}"),
-            ShipDecodeError::BadHeaderChecksum => f.write_str("shipment envelope checksum mismatch"),
+            ShipDecodeError::BadHeaderChecksum => {
+                f.write_str("shipment envelope checksum mismatch")
+            }
             ShipDecodeError::BadRecord(k) => write!(f, "corrupt shipped record: {k}"),
             ShipDecodeError::CountMismatch => {
                 f.write_str("shipment record count does not match its envelope")
@@ -232,15 +234,15 @@ mod tests {
 
     #[test]
     fn decode_errors_are_typed() {
-        assert_eq!(
-            Shipment::decode(b"DSSH"),
-            Err(ShipDecodeError::Truncated)
-        );
+        assert_eq!(Shipment::decode(b"DSSH"), Err(ShipDecodeError::Truncated));
         let mut bytes = sample().encode();
         bytes[0] = b'X';
         assert_eq!(Shipment::decode(&bytes), Err(ShipDecodeError::BadMagic));
         let mut bytes = sample().encode();
         bytes[4] = 9;
-        assert_eq!(Shipment::decode(&bytes), Err(ShipDecodeError::BadVersion(9)));
+        assert_eq!(
+            Shipment::decode(&bytes),
+            Err(ShipDecodeError::BadVersion(9))
+        );
     }
 }

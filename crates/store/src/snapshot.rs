@@ -87,7 +87,12 @@ impl std::fmt::Display for SnapshotError {
     }
 }
 
-fn header_bytes(generation: u64, fingerprint: u64, last_seq: u64, count: u64) -> [u8; SNAPSHOT_HEADER] {
+fn header_bytes(
+    generation: u64,
+    fingerprint: u64,
+    last_seq: u64,
+    count: u64,
+) -> [u8; SNAPSHOT_HEADER] {
     let mut h = [0u8; SNAPSHOT_HEADER];
     h[..4].copy_from_slice(&SNAPSHOT_MAGIC);
     h[4] = SNAPSHOT_VERSION;
@@ -161,16 +166,17 @@ pub fn sync_dir(dir: &Path) -> io::Result<()> {
 /// Read and fully validate the snapshot at `path`. `fingerprint` of
 /// `None` skips the staleness check (fsck inspects snapshots it cannot
 /// re-derive a fingerprint for).
-pub fn read_snapshot(path: &Path, fingerprint: Option<u64>) -> io::Result<Result<Snapshot, SnapshotError>> {
+pub fn read_snapshot(
+    path: &Path,
+    fingerprint: Option<u64>,
+) -> io::Result<Result<Snapshot, SnapshotError>> {
     let bytes = fs::read(path)?;
     Ok(parse_snapshot(&bytes, fingerprint))
 }
 
 /// Validate snapshot `bytes` end to end.
 pub fn parse_snapshot(bytes: &[u8], fingerprint: Option<u64>) -> Result<Snapshot, SnapshotError> {
-    if bytes.len() < SNAPSHOT_HEADER
-        || bytes[..4] != SNAPSHOT_MAGIC
-        || bytes[4] != SNAPSHOT_VERSION
+    if bytes.len() < SNAPSHOT_HEADER || bytes[..4] != SNAPSHOT_MAGIC || bytes[4] != SNAPSHOT_VERSION
     {
         return Err(SnapshotError::BadHeader);
     }
@@ -251,10 +257,8 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "dagsched-snap-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("dagsched-snap-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -350,7 +354,10 @@ mod tests {
             assert_eq!(parse_snapshot_file_name(&name), Some(generation));
         }
         assert_eq!(parse_snapshot_file_name("snapshot.zzz"), None);
-        assert_eq!(parse_snapshot_file_name("snapshot.0000000000000001.tmp"), None);
+        assert_eq!(
+            parse_snapshot_file_name("snapshot.0000000000000001.tmp"),
+            None
+        );
         assert_eq!(parse_snapshot_file_name("wal.log"), None);
     }
 }

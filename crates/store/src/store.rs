@@ -110,7 +110,11 @@ pub struct Store {
 impl Store {
     /// Open (or create) the store in `dir`, replaying whatever survives
     /// validation. `fsync_every` batches WAL fsyncs (0 = manual only).
-    pub fn open(dir: &Path, fingerprint: u64, fsync_every: u64) -> io::Result<(Store, RecoveryReport)> {
+    pub fn open(
+        dir: &Path,
+        fingerprint: u64,
+        fsync_every: u64,
+    ) -> io::Result<(Store, RecoveryReport)> {
         std::fs::create_dir_all(dir)?;
         let mut report = RecoveryReport {
             tmp_files_removed: remove_tmp_files(dir)?,
@@ -143,7 +147,8 @@ impl Store {
             let _ = std::fs::remove_file(dir.join(snapshot::snapshot_file_name(generation)));
         }
 
-        let (mut wal, wal_replay) = Wal::open_or_create(&dir.join(WAL_FILE), fingerprint, fsync_every)?;
+        let (mut wal, wal_replay) =
+            Wal::open_or_create(&dir.join(WAL_FILE), fingerprint, fsync_every)?;
         report.truncated_records = wal_replay.truncated_records;
         report.truncated_bytes = wal_replay.truncated_bytes;
         if wal_replay.discarded {
@@ -211,7 +216,13 @@ impl Store {
         self.wal.sync()?;
         let last_seq = self.wal.next_seq() - 1;
         let next_generation = self.generation + 1;
-        write_snapshot(&self.dir, next_generation, self.fingerprint, last_seq, records)?;
+        write_snapshot(
+            &self.dir,
+            next_generation,
+            self.fingerprint,
+            last_seq,
+            records,
+        )?;
         let old_generation = self.generation;
         self.generation = next_generation;
         // Reset the WAL *after* the snapshot is durable; preserve the
@@ -225,7 +236,8 @@ impl Store {
         // GC the superseded snapshot. Losing this delete to a crash is
         // harmless: recovery keeps the newest valid generation.
         if old_generation > 0 {
-            let _ = std::fs::remove_file(self.dir.join(snapshot::snapshot_file_name(old_generation)));
+            let _ =
+                std::fs::remove_file(self.dir.join(snapshot::snapshot_file_name(old_generation)));
             snapshot::sync_dir(&self.dir)?;
         }
         self.compactions += 1;
@@ -318,10 +330,8 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "dagsched-store-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("dagsched-store-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -359,7 +369,10 @@ mod tests {
         let s1 = store.append(1, b"a").unwrap();
         store.compact(&[(1, b"a".to_vec())]).unwrap();
         let s2 = store.append(1, b"b").unwrap();
-        assert!(s2 > s1, "seq must not restart after compaction: {s1} then {s2}");
+        assert!(
+            s2 > s1,
+            "seq must not restart after compaction: {s1} then {s2}"
+        );
         store.sync().unwrap();
         drop(store);
         let (_store, report) = Store::open(&dir, 7, 0).unwrap();
@@ -412,7 +425,9 @@ mod tests {
         for i in 0..3u8 {
             store.append(1, &[i]).unwrap();
         }
-        store.compact(&(0..3u8).map(|i| (1, vec![i])).collect::<Vec<_>>()).unwrap();
+        store
+            .compact(&(0..3u8).map(|i| (1, vec![i])).collect::<Vec<_>>())
+            .unwrap();
         store.append(1, &[9]).unwrap();
         store.sync().unwrap();
         let generation = store.generation();
@@ -475,7 +490,11 @@ mod tests {
         assert_eq!(h.appends, 5);
         assert!(h.wal_bytes > wal::WAL_HEADER as u64);
         assert_eq!(h.snapshot_generation, 0);
-        assert!(h.fsync_count >= 2, "batched fsyncs counted: {}", h.fsync_count);
+        assert!(
+            h.fsync_count >= 2,
+            "batched fsyncs counted: {}",
+            h.fsync_count
+        );
         store.compact(&[(1, vec![0])]).unwrap();
         let h = store.health();
         assert_eq!(h.snapshot_generation, 1);

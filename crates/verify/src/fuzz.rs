@@ -130,7 +130,10 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
                 } else {
                     (text.clone(), first)
                 };
-                let key = (disagreement.kind.name().to_string(), disagreement.pair.clone());
+                let key = (
+                    disagreement.kind.name().to_string(),
+                    disagreement.pair.clone(),
+                );
                 let fresh = !seen_pairs.contains(&key);
                 if fresh {
                     seen_pairs.push(key);

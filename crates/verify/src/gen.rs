@@ -126,7 +126,9 @@ impl Gen {
     }
 
     fn fresh_cells(&mut self, n: usize) {
-        self.cells = (0..n).map(|k| (format!("[%fp-{}]", 8 * (k + 1)), -(8 * (k as i32 + 1)))).collect();
+        self.cells = (0..n)
+            .map(|k| (format!("[%fp-{}]", 8 * (k + 1)), -(8 * (k as i32 + 1))))
+            .collect();
     }
 
     fn mem(&mut self) -> MemRef {
@@ -175,7 +177,11 @@ impl Gen {
                 }
             }
             5 => {
-                let op = if self.rng.gen_bool(0.5) { Opcode::Umul } else { Opcode::Smul };
+                let op = if self.rng.gen_bool(0.5) {
+                    Opcode::Umul
+                } else {
+                    Opcode::Smul
+                };
                 Instruction::int3(op, a, self.int_reg(), self.int_reg())
             }
             6 => {
@@ -289,7 +295,11 @@ impl Gen {
                 let readers = self.rng.gen_range(3usize..8);
                 for _ in 0..readers {
                     let other = self.fp_reg();
-                    let d = if self.rng.gen_bool(0.25) { hub } else { self.fp_reg() };
+                    let d = if self.rng.gen_bool(0.25) {
+                        hub
+                    } else {
+                        self.fp_reg()
+                    };
                     let op = self.fp_op();
                     self.push(Instruction::fp3(op, hub, other, d));
                 }
@@ -501,7 +511,11 @@ mod tests {
                 let text = generate_program(shape, seed);
                 let prog = parse_asm(&text)
                     .unwrap_or_else(|e| panic!("{} seed {seed}: {e}\n{text}", shape.name()));
-                assert!(!prog.is_empty(), "{} seed {seed} generated no insns", shape.name());
+                assert!(
+                    !prog.is_empty(),
+                    "{} seed {seed} generated no insns",
+                    shape.name()
+                );
             }
         }
     }

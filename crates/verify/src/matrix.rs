@@ -259,9 +259,8 @@ fn block_cells(insns: &[Instruction]) -> Vec<MemExprId> {
 /// already-inconsistent program would only produce noise.
 pub fn check_text(text: &str, cfg: &MatrixConfig) -> Result<CheckSummary, Disagreement> {
     // ── Parse + printer/parser round-trip ────────────────────────────
-    let program = parse_asm(text).map_err(|e| {
-        Disagreement::new(CheckKind::Parse, "asm text vs parser", e.to_string())
-    })?;
+    let program = parse_asm(text)
+        .map_err(|e| Disagreement::new(CheckKind::Parse, "asm text vs parser", e.to_string()))?;
     if program.is_empty() {
         // Nothing to check; an empty program is vacuously consistent.
         return Ok(CheckSummary::default());
@@ -413,7 +412,8 @@ fn check_block(
 
     // Reference DAG for uniform re-timing: compare-against-all keeps
     // every dependence arc with its full latency.
-    let ref_dag = ConstructionAlgorithm::N2Forward.run(&prepared, model, MemDepPolicy::SymbolicExpr);
+    let ref_dag =
+        ConstructionAlgorithm::N2Forward.run(&prepared, model, MemDepPolicy::SymbolicExpr);
 
     // ── Branch-and-bound optimum (small blocks) ──────────────────────
     let optimal = if insns.len() <= cfg.optimal_max_len {
@@ -441,9 +441,8 @@ fn check_block(
         let s = sched.schedule_dag(&dag, insns, model, &heur);
 
         // Dependence validity against the scheduler's own DAG.
-        s.verify(&dag).map_err(|e| {
-            Disagreement::new(CheckKind::Validity, format!("{kind} vs its DAG"), e)
-        })?;
+        s.verify(&dag)
+            .map_err(|e| Disagreement::new(CheckKind::Validity, format!("{kind} vs its DAG"), e))?;
 
         // Schedule bit-identity across heuristic paths: the scheduler
         // must emit the same order whether its priorities came from the
@@ -467,8 +466,7 @@ fn check_block(
             ));
         }
 
-        let emitted: Vec<Instruction> =
-            s.order.iter().map(|n| insns[n.index()].clone()).collect();
+        let emitted: Vec<Instruction> = s.order.iter().map(|n| insns[n.index()].clone()).collect();
 
         // Interpreter-state equivalence against the unscheduled block.
         let mut seed = cfg
@@ -527,25 +525,27 @@ fn heur_field_diff(sweep: &HeuristicSet, reference: &HeuristicSet) -> Option<Str
     macro_rules! field {
         ($name:ident) => {
             if sweep.$name != reference.$name {
-                return Some(match sweep
-                    .$name
-                    .iter()
-                    .zip(reference.$name.iter())
-                    .position(|(a, b)| a != b)
-                {
-                    Some(k) => format!(
-                        "field `{}` differs at node {k}: sweep {:?}, reference {:?}",
-                        stringify!($name),
-                        sweep.$name[k],
-                        reference.$name[k]
-                    ),
-                    None => format!(
-                        "field `{}` lengths differ: sweep {}, reference {}",
-                        stringify!($name),
-                        sweep.$name.len(),
-                        reference.$name.len()
-                    ),
-                });
+                return Some(
+                    match sweep
+                        .$name
+                        .iter()
+                        .zip(reference.$name.iter())
+                        .position(|(a, b)| a != b)
+                    {
+                        Some(k) => format!(
+                            "field `{}` differs at node {k}: sweep {:?}, reference {:?}",
+                            stringify!($name),
+                            sweep.$name[k],
+                            reference.$name[k]
+                        ),
+                        None => format!(
+                            "field `{}` lengths differ: sweep {}, reference {}",
+                            stringify!($name),
+                            sweep.$name.len(),
+                            reference.$name.len()
+                        ),
+                    },
+                );
             }
         };
     }
@@ -611,11 +611,7 @@ fn program_fingerprint(sp: &dagsched_driver::driver::ScheduledProgram) -> Vec<St
 
 /// Serial vs parallel vs cached-service bit-identity, for every
 /// published scheduler.
-fn check_pipelines(
-    program: &Program,
-    _text: &str,
-    cfg: &MatrixConfig,
-) -> Result<(), Disagreement> {
+fn check_pipelines(program: &Program, _text: &str, cfg: &MatrixConfig) -> Result<(), Disagreement> {
     let model = &cfg.model;
     for &kind in SchedulerKind::ALL {
         let config = DriverConfig {
@@ -631,14 +627,15 @@ fn check_pipelines(
                 )
             })?;
         let parallel =
-            schedule_program_batch(program, model, &config, 4, &Limits::none(), &NoCache)
-                .map_err(|e| {
+            schedule_program_batch(program, model, &config, 4, &Limits::none(), &NoCache).map_err(
+                |e| {
                     Disagreement::new(
                         CheckKind::Pipeline,
                         format!("{kind} parallel driver"),
                         format!("unexpected limit error: {e:?}"),
                     )
-                })?;
+                },
+            )?;
         let fp_serial = program_fingerprint(&serial.0);
         if fp_serial != program_fingerprint(&parallel.0) {
             return Err(Disagreement::new(
@@ -746,7 +743,11 @@ fn check_wire(text: &str, cfg: &MatrixConfig) -> Result<(), Disagreement> {
         // Binary frame round-trip.
         let mut buf = Vec::new();
         write_frame(&mut buf, FrameKind::Request, json_text.as_bytes()).map_err(|e| {
-            Disagreement::new(CheckKind::Wire, format!("{label}: write_frame"), e.to_string())
+            Disagreement::new(
+                CheckKind::Wire,
+                format!("{label}: write_frame"),
+                e.to_string(),
+            )
         })?;
         let (kind, payload) = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).map_err(|e| {
             Disagreement::new(
@@ -832,6 +833,9 @@ mod tests {
     fn multiblock_program_is_checked_blockwise() {
         let text = "    add %o0, %o1, %o2\n    cmp %o2, %o0\n    bne .L1\n    sub %o2, %o1, %o3\n    st %o3, [%fp-8]\n";
         let summary = check_text(text, &MatrixConfig::default()).expect("matrix");
-        assert!(summary.blocks >= 2, "branch splits the program: {summary:?}");
+        assert!(
+            summary.blocks >= 2,
+            "branch splits the program: {summary:?}"
+        );
     }
 }

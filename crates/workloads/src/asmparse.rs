@@ -376,7 +376,10 @@ mod tests {
     #[test]
     fn malformed_registers_are_errors_not_panics() {
         // A bare `%` used to panic in `split_at(1)` on the empty body.
-        assert!(parse_asm("add %, %o1, %o2").unwrap_err().message.contains('%'));
+        assert!(parse_asm("add %, %o1, %o2")
+            .unwrap_err()
+            .message
+            .contains('%'));
         // A multi-byte first character used to panic on the char boundary.
         assert!(parse_asm("add %é0, %o1, %o2").is_err());
         assert!(parse_asm("ld [%é0-8], %l0").is_err());

@@ -11,6 +11,9 @@
 //!
 //! * [`BenchmarkProfile`] / [`ALL_PROFILES`] — the twelve Table 3 rows.
 //! * [`generate`] — profile + seed → instruction stream + block structure.
+//! * [`generate_canon`] / [`canon_mix`] — parametric `canon-<shape>-<n>`
+//!   DAG-shape profiles (G(n,p), layered, fan-in, fan-out) for the
+//!   overload harness's heavy mix.
 //! * [`clamp_blocks`] — the instruction-window mechanism behind the
 //!   fpppp-1000/2000/4000 variants.
 //! * [`parse_asm`] — a small assembly parser for hand-written blocks
@@ -27,11 +30,13 @@
 //! ```
 
 mod asmparse;
+mod canon;
 mod gen;
 mod profile;
 mod window;
 
 pub use asmparse::{parse_asm, ParseAsmError};
+pub use canon::{canon_mix, generate_canon, is_canon_profile};
 pub use gen::{generate, Benchmark};
 pub use profile::{base_profiles, BenchmarkProfile, OpMix, Placement, ALL_PROFILES};
 pub use window::clamp_blocks;

@@ -24,7 +24,10 @@ pub trait Strategy {
         O: Debug + Clone,
         F: Fn(Self::Value) -> O,
     {
-        Map { source: self, map: f }
+        Map {
+            source: self,
+            map: f,
+        }
     }
 
     /// Erase the concrete strategy type.

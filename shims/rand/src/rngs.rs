@@ -12,7 +12,10 @@ pub struct SmallRng {
 impl SmallRng {
     /// Construct from raw state words (all-zero state is forbidden).
     pub fn from_state(s: [u64; 4]) -> SmallRng {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must be nonzero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must be nonzero"
+        );
         SmallRng { s }
     }
 }
@@ -99,7 +102,7 @@ mod tests {
             let v: i64 = rng.gen_range(-64..64);
             assert!((-64..64).contains(&v));
             let f: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            assert!(f >= f64::MIN_POSITIVE && f < 1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&f));
             let b: u8 = rng.gen_range(0..16);
             assert!(b < 16);
         }

@@ -47,11 +47,7 @@ fn wmul64(a: u64, b: u64) -> (u64, u64) {
 macro_rules! uniform_int_impl {
     ($ty:ty, $unsigned:ty, $u_large:ty, $next:ident, $wmul:ident) => {
         impl SampleUniform for $ty {
-            fn sample_uniform_single<R: RngCore + ?Sized>(
-                low: $ty,
-                high: $ty,
-                rng: &mut R,
-            ) -> $ty {
+            fn sample_uniform_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
                 assert!(low < high, "gen_range: low >= high");
                 Self::sample_uniform_inclusive(low, high - 1, rng)
             }
@@ -104,11 +100,7 @@ uniform_int_impl!(isize, usize, u64, next_u64, wmul64);
 macro_rules! uniform_float_impl {
     ($ty:ty, $next:ident, $bits_to_discard:expr, $exponent_one:expr) => {
         impl SampleUniform for $ty {
-            fn sample_uniform_single<R: RngCore + ?Sized>(
-                low: $ty,
-                high: $ty,
-                rng: &mut R,
-            ) -> $ty {
+            fn sample_uniform_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
                 assert!(low < high, "gen_range: low >= high");
                 let mut scale = high - low;
                 loop {
@@ -134,8 +126,7 @@ macro_rules! uniform_float_impl {
             ) -> $ty {
                 assert!(low <= high, "gen_range: low > high (inclusive)");
                 let scale = high - low;
-                let value1_2 =
-                    <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $exponent_one);
+                let value1_2 = <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $exponent_one);
                 let value0_1 = value1_2 - 1.0;
                 value0_1 * scale + low
             }

@@ -38,9 +38,9 @@ use dagsched::driver::DriverConfig;
 use dagsched::isa::{MachineModel, Program};
 use dagsched::netchaos::{serve_proxy, ChaosConfig};
 use dagsched::pipesim::{render_timeline, simulate, SimOptions};
-use dagsched::sched::{Scheduler, SchedulerKind};
 use dagsched::proto::AdminCommand;
 use dagsched::router::{serve_router, RouterConfig};
+use dagsched::sched::{Scheduler, SchedulerKind};
 use dagsched::service::proto::{parse_algo, parse_model, parse_policy, parse_scheduler_kind};
 use dagsched::service::server::{serve, ServerConfig};
 use dagsched::service::{CacheConfig, Client, ScheduleRequest};
@@ -257,9 +257,15 @@ fn cmd_heur(program: &Program, opts: &Options) {
 
 fn cmd_schedule(program: &Program, opts: &Options) {
     let cfg = driver_config(opts);
-    let (result, stats) =
-        schedule_program_batch(program, &opts.model, &cfg, opts.jobs, &limits(opts), &NoCache)
-            .unwrap_or_else(|e| die(&e.to_string()));
+    let (result, stats) = schedule_program_batch(
+        program,
+        &opts.model,
+        &cfg,
+        opts.jobs,
+        &limits(opts),
+        &NoCache,
+    )
+    .unwrap_or_else(|e| die(&e.to_string()));
     for insn in &result.insns {
         println!("    {insn}");
     }
@@ -292,9 +298,15 @@ fn cmd_sim(program: &Program, opts: &Options) {
         fill_delay_slots: false,
         ..driver_config(opts)
     };
-    let (result, stats) =
-        schedule_program_batch(program, &opts.model, &cfg, opts.jobs, &limits(opts), &NoCache)
-            .unwrap_or_else(|e| die(&e.to_string()));
+    let (result, stats) = schedule_program_batch(
+        program,
+        &opts.model,
+        &cfg,
+        opts.jobs,
+        &limits(opts),
+        &NoCache,
+    )
+    .unwrap_or_else(|e| die(&e.to_string()));
     let after = simulate(&result.insns, &opts.model, SimOptions::default());
     if opts.timeline {
         print!(
@@ -377,8 +389,7 @@ fn cmd_route(opts: &Options) {
         ..defaults
     };
     let hedging = config.hedge;
-    let handle =
-        serve_router(listen, config).unwrap_or_else(|e| die(&format!("route: {e}")));
+    let handle = serve_router(listen, config).unwrap_or_else(|e| die(&format!("route: {e}")));
     eprintln!(
         "dagsched: routing on {} over {} shard(s), R={}, hedging {}",
         handle.endpoint(),
@@ -510,12 +521,9 @@ fn cmd_request(opts: &Options) {
             resp.stats.degraded_blocks
         );
     }
-    let (before, after): (u64, u64) = resp
-        .blocks
-        .iter()
-        .fold((0, 0), |(b, a), s| {
-            (b + s.original_makespan, a + s.scheduled_makespan)
-        });
+    let (before, after): (u64, u64) = resp.blocks.iter().fold((0, 0), |(b, a), s| {
+        (b + s.original_makespan, a + s.scheduled_makespan)
+    });
     eprintln!(
         "! {}: {} blocks, {} -> {} cycles",
         req.scheduler,
@@ -581,7 +589,10 @@ fn cmd_fuzz(opts: &Options) {
         return;
     }
     for f in &outcome.failures {
-        eprintln!("\ndagsched: DISAGREEMENT [{}] {}", f.disagreement.kind, f.disagreement.pair);
+        eprintln!(
+            "\ndagsched: DISAGREEMENT [{}] {}",
+            f.disagreement.kind, f.disagreement.pair
+        );
         eprintln!("  detail: {}", f.disagreement.detail);
         eprintln!("  found by: {}", f.provenance);
         if let Some(p) = &f.path {

@@ -75,7 +75,7 @@ pub use dagsched_workloads as workloads;
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use dagsched_core::{
-        build_dag, ConstructionAlgorithm, ConstructError, Dag, DagArc, HeuristicSet, MemDepPolicy,
+        build_dag, ConstructError, ConstructionAlgorithm, Dag, DagArc, HeuristicSet, MemDepPolicy,
         NodeId,
     };
     pub use dagsched_isa::{

@@ -29,12 +29,18 @@ fn driver_output_is_identical_for_every_job_count() {
         let mut counter_sets: Vec<PhaseStats> = Vec::new();
         for jobs in [1usize, 2, 8] {
             let (par, stats) = schedule_program_jobs(&bench.program, &model, &config, jobs);
-            assert_eq!(par.insns, serial.insns, "{kind:?} jobs={jobs}: emitted stream");
+            assert_eq!(
+                par.insns, serial.insns,
+                "{kind:?} jobs={jobs}: emitted stream"
+            );
             assert_eq!(par.blocks.len(), serial.blocks.len());
             for (a, b) in par.blocks.iter().zip(&serial.blocks) {
                 assert_eq!(a.block, b.block, "{kind:?} jobs={jobs}");
                 assert_eq!(a.len, b.len, "{kind:?} jobs={jobs}");
-                assert_eq!(a.original_makespan, b.original_makespan, "{kind:?} jobs={jobs}");
+                assert_eq!(
+                    a.original_makespan, b.original_makespan,
+                    "{kind:?} jobs={jobs}"
+                );
                 assert_eq!(
                     a.scheduled_makespan, b.scheduled_makespan,
                     "{kind:?} jobs={jobs}"
@@ -47,7 +53,10 @@ fn driver_output_is_identical_for_every_job_count() {
         assert!(first.blocks > 0 && first.nodes > 0 && first.arcs_added > 0);
         assert!(first.construct_ns > 0 && first.heur_ns > 0 && first.sched_ns > 0);
         for (i, s) in counter_sets.iter().enumerate() {
-            assert!(first.same_counts(s), "{kind:?} counter set {i}: {s} vs {first}");
+            assert!(
+                first.same_counts(s),
+                "{kind:?} counter set {i}: {s} vs {first}"
+            );
         }
     }
 }

@@ -27,9 +27,22 @@ use dagsched::sched::{BranchAndBound, LinearScan, Scheduler, SchedulerKind, TwoP
 /// — an all-double-word block exercising register-pair def/use overlap.
 fn construction_seed() -> Vec<InsnSpec> {
     vec![
-        InsnSpec::Fp3 { op: 92, a: 0, b: 0, d: 15 },
-        InsnSpec::Load { dword: true, expr: 0, d: 215 },
-        InsnSpec::Store { dword: true, expr: 0, s: 35 },
+        InsnSpec::Fp3 {
+            op: 92,
+            a: 0,
+            b: 0,
+            d: 15,
+        },
+        InsnSpec::Load {
+            dword: true,
+            expr: 0,
+            d: 215,
+        },
+        InsnSpec::Store {
+            dword: true,
+            expr: 0,
+            s: 35,
+        },
     ]
 }
 
@@ -40,24 +53,84 @@ fn construction_seed() -> Vec<InsnSpec> {
 /// first def has a long multiply latency).
 fn heuristics_seed() -> Vec<InsnSpec> {
     vec![
-        InsnSpec::MulDiv { op: 0, a: 0, b: 0, d: 131 },
-        InsnSpec::IntImm { op: 0, a: 0, imm: 0, d: 47 },
+        InsnSpec::MulDiv {
+            op: 0,
+            a: 0,
+            b: 0,
+            d: 131,
+        },
+        InsnSpec::IntImm {
+            op: 0,
+            a: 0,
+            imm: 0,
+            d: 47,
+        },
     ]
 }
 
 /// `tests/scheduling_validity.proptest-regressions` (ten instructions).
 fn scheduling_seed() -> Vec<InsnSpec> {
     vec![
-        InsnSpec::Fp3 { op: 69, a: 0, b: 0, d: 0 },
-        InsnSpec::Int3 { op: 0, a: 1, b: 1, d: 31 },
-        InsnSpec::Fp3 { op: 0, a: 96, b: 47, d: 0 },
-        InsnSpec::Int3 { op: 0, a: 0, b: 0, d: 0 },
-        InsnSpec::Int3 { op: 0, a: 0, b: 0, d: 0 },
-        InsnSpec::MulDiv { op: 108, a: 0, b: 0, d: 0 },
-        InsnSpec::Int3 { op: 0, a: 0, b: 0, d: 0 },
-        InsnSpec::MulDiv { op: 95, a: 78, b: 247, d: 63 },
-        InsnSpec::Fp3 { op: 113, a: 76, b: 188, d: 160 },
-        InsnSpec::Fp3 { op: 208, a: 122, b: 139, d: 227 },
+        InsnSpec::Fp3 {
+            op: 69,
+            a: 0,
+            b: 0,
+            d: 0,
+        },
+        InsnSpec::Int3 {
+            op: 0,
+            a: 1,
+            b: 1,
+            d: 31,
+        },
+        InsnSpec::Fp3 {
+            op: 0,
+            a: 96,
+            b: 47,
+            d: 0,
+        },
+        InsnSpec::Int3 {
+            op: 0,
+            a: 0,
+            b: 0,
+            d: 0,
+        },
+        InsnSpec::Int3 {
+            op: 0,
+            a: 0,
+            b: 0,
+            d: 0,
+        },
+        InsnSpec::MulDiv {
+            op: 108,
+            a: 0,
+            b: 0,
+            d: 0,
+        },
+        InsnSpec::Int3 {
+            op: 0,
+            a: 0,
+            b: 0,
+            d: 0,
+        },
+        InsnSpec::MulDiv {
+            op: 95,
+            a: 78,
+            b: 247,
+            d: 63,
+        },
+        InsnSpec::Fp3 {
+            op: 113,
+            a: 76,
+            b: 188,
+            d: 160,
+        },
+        InsnSpec::Fp3 {
+            op: 208,
+            a: 122,
+            b: 139,
+            d: 227,
+        },
     ]
 }
 
@@ -69,8 +142,17 @@ fn scheduling_seed() -> Vec<InsnSpec> {
 /// the even/odd pair f0/f1 that the add consumes.
 fn semantics_seed() -> Vec<InsnSpec> {
     vec![
-        InsnSpec::Load { dword: true, expr: 0, d: 0 },
-        InsnSpec::Fp3 { op: 0, a: 200, b: 0, d: 1 },
+        InsnSpec::Load {
+            dword: true,
+            expr: 0,
+            d: 0,
+        },
+        InsnSpec::Fp3 {
+            op: 0,
+            a: 200,
+            b: 0,
+            d: 1,
+        },
     ]
 }
 
@@ -207,7 +289,12 @@ fn heuristics_seed_est_lst_slack_relations() {
     let (_dag, h) = full_heur(&prog);
     let mut any_critical = false;
     for i in 0..prog.insns.len() {
-        assert!(h.est[i] <= h.lst[i], "node {i}: est {} > lst {}", h.est[i], h.lst[i]);
+        assert!(
+            h.est[i] <= h.lst[i],
+            "node {i}: est {} > lst {}",
+            h.est[i],
+            h.lst[i]
+        );
         assert_eq!(h.slack[i], h.lst[i] - h.est[i]);
         any_critical |= h.slack[i] == 0;
     }
@@ -326,7 +413,10 @@ fn heuristics_seed_register_heuristics_are_bounded() {
     for (i, insn) in prog.insns.iter().enumerate() {
         assert!(h.regs_killed[i] as usize <= insn.uses().len());
         assert!(h.regs_born[i] as usize <= insn.defs().len());
-        assert_eq!(h.liveness[i], h.regs_born[i] as i32 - h.regs_killed[i] as i32);
+        assert_eq!(
+            h.liveness[i],
+            h.regs_born[i] as i32 - h.regs_killed[i] as i32
+        );
     }
     let total_killed: u32 = h.regs_killed.iter().sum();
     let distinct_read: u32 = {
@@ -345,7 +435,10 @@ fn heuristics_seed_register_heuristics_are_bounded() {
         }
         seen.len() as u32
     };
-    assert_eq!(total_killed, distinct_read, "one kill per distinct register read");
+    assert_eq!(
+        total_killed, distinct_read,
+        "one kill per distinct register read"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -362,7 +455,9 @@ fn scheduling_seed_schedules_are_valid() {
             let block = PreparedBlock::new(&prog.insns);
             let dag = sched.construction.run(&block, &model, sched.policy);
             let schedule = sched.schedule_block(&prog.insns, &model);
-            schedule.verify(&dag).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            schedule
+                .verify(&dag)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
             if terminated {
                 assert_eq!(
                     schedule.order.last().unwrap().index(),
@@ -410,7 +505,9 @@ fn scheduling_seed_construction_pairing_is_sound() {
         let block = PreparedBlock::new(&prog.insns);
         let truth = ConstructionAlgorithm::N2Forward.run(&block, &model, sched.policy);
         let schedule = sched.schedule_block(&prog.insns, &model);
-        schedule.verify(&truth).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        schedule
+            .verify(&truth)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
     }
 }
 
